@@ -1,0 +1,61 @@
+//! Figure 3: impact of the top-25 individual LLVM passes on execution time,
+//! proving time, and cycle count, per zkVM (reduced workload set for cargo
+//! bench; the report binary runs all 58).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zkvmopt_bench::{bench_workloads, header, impact_matrix, mean_gain, pass_profiles, pct};
+use zkvmopt_core::KEY_PASSES;
+use zkvmopt_vm::VmKind;
+
+fn report() {
+    let workloads = bench_workloads();
+    let profiles = pass_profiles(KEY_PASSES);
+    let impacts = impact_matrix(&workloads, &profiles, &VmKind::BOTH, false);
+    for vm in VmKind::BOTH {
+        header(&format!(
+            "Figure 3 ({vm}): average gain vs baseline (exec / prove / cycles)"
+        ));
+        // Rank passes like the paper: by |average impact|.
+        let mut rows: Vec<(&str, f64, f64, f64)> = KEY_PASSES
+            .iter()
+            .map(|p| {
+                (
+                    *p,
+                    mean_gain(&impacts, p, vm, |i| i.exec_gain),
+                    mean_gain(&impacts, p, vm, |i| i.prove_gain),
+                    mean_gain(&impacts, p, vm, |i| i.cycles_gain),
+                )
+            })
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+        println!("{:<22} {:>9} {:>9} {:>9}", "pass", "exec", "prove", "cycles");
+        for (p, e, pr, cy) in &rows {
+            println!("{p:<22} {:>9} {:>9} {:>9}", pct(*e), pct(*pr), pct(*cy));
+        }
+        // Paper shape: inline is the best pass; licm is the most harmful.
+        let inline_gain = rows.iter().find(|r| r.0 == "inline").expect("inline").1;
+        let licm_gain = rows.iter().find(|r| r.0 == "licm").expect("licm").1;
+        println!("-> inline {} vs licm {}", pct(inline_gain), pct(licm_gain));
+        assert!(inline_gain > licm_gain, "inline must beat licm on average ({vm})");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let w = zkvmopt_workloads::by_name("loop-sum").expect("exists");
+    c.bench_function("fig03/single_pass_inline_loop_sum", |b| {
+        b.iter(|| {
+            zkvmopt_core::measure(
+                w,
+                &zkvmopt_core::OptProfile::single_pass("inline"),
+                VmKind::RiscZero,
+                false,
+                None,
+            )
+            .expect("runs")
+        })
+    });
+}
+
+criterion_group! { name = benches; config = Criterion::default().sample_size(10); targets = bench }
+criterion_main!(benches);

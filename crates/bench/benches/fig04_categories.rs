@@ -1,0 +1,44 @@
+//! Figure 4: per-pass counts of severe/moderate gains and losses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zkvmopt_bench::{bench_workloads, header, impact_matrix, pass_profiles};
+use zkvmopt_core::{categorize, EffectCategory, KEY_PASSES};
+use zkvmopt_vm::VmKind;
+
+fn report() {
+    let workloads = bench_workloads();
+    let profiles = pass_profiles(KEY_PASSES);
+    let impacts = impact_matrix(&workloads, &profiles, &VmKind::BOTH, false);
+    for vm in VmKind::BOTH {
+        header(&format!("Figure 4 ({vm}): effect categories per pass (exec time)"));
+        println!("{:<22} {:>6} {:>6} {:>6} {:>6}", "pass", "<=-5%", "-5..-2", "2..5", ">=5%");
+        for p in KEY_PASSES {
+            let mut c = [0usize; 4];
+            for i in impacts.iter().filter(|i| i.profile == *p && i.vm == vm) {
+                match categorize(i.exec_gain) {
+                    EffectCategory::SevereLoss => c[0] += 1,
+                    EffectCategory::ModerateLoss => c[1] += 1,
+                    EffectCategory::ModerateGain => c[2] += 1,
+                    EffectCategory::SevereGain => c[3] += 1,
+                    EffectCategory::Neutral => {}
+                }
+            }
+            println!("{p:<22} {:>6} {:>6} {:>6} {:>6}", c[0], c[1], c[2], c[3]);
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    c.bench_function("fig04/categorize", |b| {
+        b.iter(|| {
+            (0..1000)
+                .map(|i| categorize((i as f64 - 500.0) / 40.0))
+                .filter(|c| *c == EffectCategory::SevereGain)
+                .count()
+        })
+    });
+}
+
+criterion_group! { name = benches; config = Criterion::default().sample_size(10); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure 5: impact of the standard -O levels on zkVM execution and proving
+//! time (paper: all levels except -O0 gain >40% on average; -O3 highest,
+//! -Oz lowest).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zkvmopt_bench::{bench_workloads, header, impact_matrix, level_profiles, mean_gain, pct};
+use zkvmopt_core::OptLevel;
+use zkvmopt_vm::VmKind;
+
+fn report() {
+    let workloads = bench_workloads();
+    let profiles = level_profiles();
+    let impacts = impact_matrix(&workloads, &profiles, &VmKind::BOTH, false);
+    header("Figure 5: average gain of -Ox levels vs unoptimized baseline");
+    println!("{:<6} {:>16} {:>16} {:>16} {:>16}", "level",
+        "R0 exec", "R0 prove", "SP1 exec", "SP1 prove");
+    for l in OptLevel::ALL {
+        let name = l.flag();
+        println!(
+            "{name:<6} {:>16} {:>16} {:>16} {:>16}",
+            pct(mean_gain(&impacts, name, VmKind::RiscZero, |i| i.exec_gain)),
+            pct(mean_gain(&impacts, name, VmKind::RiscZero, |i| i.prove_gain)),
+            pct(mean_gain(&impacts, name, VmKind::Sp1, |i| i.exec_gain)),
+            pct(mean_gain(&impacts, name, VmKind::Sp1, |i| i.prove_gain)),
+        );
+    }
+    // Paper shape: -O3 >= all other levels on exec; every level >= -O0.
+    let exec = |l: OptLevel| mean_gain(&impacts, l.flag(), VmKind::RiscZero, |i| i.exec_gain);
+    for l in OptLevel::ALL {
+        // -O2/-Os can tie -O3 within noise on the reduced set; the paper's
+        // claim is that -O3 leads on average, not that it wins every subset.
+        assert!(exec(OptLevel::O3) >= exec(l) - 2.5, "-O3 must lead ({l:?})");
+    }
+    assert!(exec(OptLevel::O2) > 20.0, "-O2 must gain substantially");
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let w = zkvmopt_workloads::by_name("polybench-gemm").expect("exists");
+    c.bench_function("fig05/o3_gemm_pipeline", |b| {
+        b.iter(|| {
+            zkvmopt_core::measure(
+                w,
+                &zkvmopt_core::OptProfile::level(OptLevel::O3),
+                VmKind::Sp1,
+                false,
+                None,
+            )
+            .expect("runs")
+        })
+    });
+}
+
+criterion_group! { name = benches; config = Criterion::default().sample_size(10); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 6: autotuning speedup over -O3 (NPB + crypto suites; the paper runs
+//! OpenTuner for 1600 iterations — the bench uses a reduced budget, the
+//! report binary a larger one).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zkvmopt_bench::{header, pct};
+use zkvmopt_core::{gain, measure, OptLevel, OptProfile};
+use zkvmopt_tuner::{autotune, TunerConfig};
+use zkvmopt_vm::VmKind;
+
+fn tune_one(name: &str, iterations: usize) -> (f64, f64) {
+    let w = zkvmopt_workloads::by_name(name).expect("exists");
+    let (_, base) = measure(w, &OptProfile::baseline(), VmKind::RiscZero, false, None)
+        .expect("baseline");
+    let (o3, _) = measure(w, &OptProfile::level(OptLevel::O3), VmKind::RiscZero, false, Some(&base))
+        .expect("-O3");
+    let cfg = TunerConfig { iterations, ..Default::default() };
+    let result = autotune(&cfg, |cand| {
+        let profile = OptProfile::sequence("cand", cand.passes.clone(), cand.pass_config());
+        match measure(w, &profile, VmKind::RiscZero, false, Some(&base)) {
+            Ok((m, _)) => Some(m.cycles),
+            Err(_) => None, // invalid candidate (the paper's SP1-bug channel)
+        }
+    });
+    let (tuned, _) = measure(
+        w,
+        &OptProfile::sequence("tuned", result.best.passes.clone(), result.best.pass_config()),
+        VmKind::RiscZero,
+        false,
+        Some(&base),
+    )
+    .expect("tuned candidate re-runs");
+    (o3.cycles as f64, tuned.cycles as f64)
+}
+
+fn report() {
+    header("Figure 6: autotuned pass sequences vs -O3 (cycle count, RISC Zero)");
+    for name in ["npb-mg", "loop-sum", "sha2-bench"] {
+        let (o3, tuned) = tune_one(name, 40);
+        println!(
+            "{name:<14} -O3 {o3:>12.0} cycles | tuned {tuned:>12.0} cycles | tuned vs -O3: {}",
+            pct(gain(o3, tuned))
+        );
+        // The tuner must at least approach -O3 under this tiny budget.
+        assert!(tuned <= o3 * 1.6, "{name}: tuner too far behind -O3");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    c.bench_function("fig06/tuner_20_iters_loop_sum", |b| {
+        b.iter(|| tune_one("loop-sum", 20))
+    });
+}
+
+criterion_group! { name = benches; config = Criterion::default().sample_size(10); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Figure 7: average impact of each optimization on zkVM vs x86 performance
+//! (paper: same direction on both, far larger magnitude on x86).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zkvmopt_bench::{header, impact_matrix, mean_gain, pct};
+use zkvmopt_core::{OptLevel, OptProfile};
+use zkvmopt_vm::VmKind;
+
+const PASSES: &[&str] =
+    &["inline", "always-inline", "gvn", "jump-threading", "instcombine", "simplifycfg",
+      "sroa", "ipsccp", "reg2mem", "loop-extract", "licm"];
+
+fn profiles() -> Vec<OptProfile> {
+    let mut v: Vec<OptProfile> = [OptLevel::O3, OptLevel::O2, OptLevel::O1]
+        .iter()
+        .map(|l| OptProfile::level(*l))
+        .collect();
+    v.extend(PASSES.iter().map(|p| OptProfile::single_pass(p)));
+    v
+}
+
+fn report() {
+    let workloads: Vec<_> = ["polybench-gemm", "polybench-floyd-warshall", "npb-mg",
+                             "loop-sum", "fibonacci", "tailcall"]
+        .iter()
+        .map(|n| zkvmopt_workloads::by_name(n).expect("exists"))
+        .collect();
+    let impacts = impact_matrix(&workloads, &profiles(), &[VmKind::RiscZero], true);
+    header("Figure 7: average gain per optimization — zkVM exec / prove / x86");
+    println!("{:<16} {:>10} {:>10} {:>10}", "profile", "zkVM exec", "prove", "x86");
+    let mut x86_bigger = 0;
+    let mut total = 0;
+    for p in profiles() {
+        let e = mean_gain(&impacts, &p.name, VmKind::RiscZero, |i| i.exec_gain);
+        let pr = mean_gain(&impacts, &p.name, VmKind::RiscZero, |i| i.prove_gain);
+        let x = mean_gain(&impacts, &p.name, VmKind::RiscZero, |i| i.x86_gain.unwrap_or(0.0));
+        println!("{:<16} {:>10} {:>10} {:>10}", p.name, pct(e), pct(pr), pct(x));
+        if e > 2.0 || x > 2.0 {
+            total += 1;
+            if x > e {
+                x86_bigger += 1;
+            }
+        }
+    }
+    println!("-> x86 gain exceeds zkVM gain on {x86_bigger}/{total} impactful profiles");
+    assert!(
+        x86_bigger * 2 >= total,
+        "the x86 magnitude advantage should hold for most profiles"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let w = zkvmopt_workloads::by_name("fibonacci").expect("exists");
+    c.bench_function("fig07/x86_model_run", |b| {
+        b.iter(|| {
+            zkvmopt_core::measure(w, &OptProfile::level(OptLevel::O2), VmKind::RiscZero, true, None)
+                .expect("runs")
+        })
+    });
+}
+
+criterion_group! { name = benches; config = Criterion::default().sample_size(10); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 8: programs where a pass diverges between x86 and RISC Zero
+//! (gain on one, loss on the other, or lopsided gains).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zkvmopt_bench::{bench_workloads, header, impact_matrix, pass_profiles};
+use zkvmopt_vm::VmKind;
+
+const PASSES: &[&str] = &["inline", "jump-threading", "gvn", "simplifycfg", "reg2mem",
+                          "tailcall", "loop-extract", "instcombine", "licm", "sroa"];
+
+fn report() {
+    let workloads = bench_workloads();
+    let impacts = impact_matrix(&workloads, &pass_profiles(PASSES), &[VmKind::RiscZero], true);
+    header("Figure 8: divergence counts (x86 vs RISC Zero execution)");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12}",
+        "pass", "zk+ x86-", "zk+>x86+", "x86+>zk+", "x86+ zk-"
+    );
+    for p in PASSES {
+        let mut c = [0usize; 4];
+        for i in impacts.iter().filter(|i| i.profile == *p) {
+            let zk = i.exec_gain;
+            let x86 = i.x86_gain.unwrap_or(0.0);
+            if zk > 2.0 && x86 < -2.0 {
+                c[0] += 1;
+            } else if zk > 2.0 && x86 > 2.0 && zk > x86 + 5.0 {
+                c[1] += 1;
+            } else if zk > 2.0 && x86 > 2.0 && x86 > zk + 5.0 {
+                c[2] += 1;
+            } else if x86 > 2.0 && zk < -2.0 {
+                c[3] += 1;
+            }
+        }
+        println!("{p:<16} {:>12} {:>12} {:>12} {:>12}", c[0], c[1], c[2], c[3]);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let w = zkvmopt_workloads::by_name("tailcall").expect("exists");
+    c.bench_function("fig08/reg2mem_pipeline", |b| {
+        b.iter(|| {
+            zkvmopt_core::measure(
+                w,
+                &zkvmopt_core::OptProfile::single_pass("reg2mem"),
+                VmKind::RiscZero,
+                false,
+                None,
+            )
+            .expect("runs")
+        })
+    });
+}
+
+criterion_group! { name = benches; config = Criterion::default().sample_size(10); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Figure 9: the cost components behind representative passes — performance
+//! gain alongside total cycles, executed instructions, and paging cycles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zkvmopt_bench::{baseline, header, impact_vs_baseline, pct};
+use zkvmopt_core::{OptLevel, OptProfile};
+use zkvmopt_vm::VmKind;
+
+fn report() {
+    let cases: &[(&str, &str)] = &[
+        ("inline", "polybench-floyd-warshall"),
+        ("inline", "tailcall"),
+        ("always-inline", "factorial"),
+        ("loop-extract", "polybench-trmm"),
+        ("licm", "npb-lu"),
+        ("licm", "polybench-gemm"),
+    ];
+    header("Figure 9 (RISC Zero): pass impact vs cost components");
+    println!(
+        "{:<16} {:<26} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "pass", "workload", "exec", "prove", "cycles", "instret", "paging"
+    );
+    for (pass, wname) in cases {
+        let w = zkvmopt_workloads::by_name(wname).expect("exists");
+        let base = baseline(w, &[VmKind::RiscZero], false);
+        let (vm, bm, br) = &base.by_vm[0];
+        let profile = OptProfile::single_pass(pass);
+        if let Some(i) = impact_vs_baseline(w, &profile, *vm, bm, br, false) {
+            println!(
+                "{pass:<16} {wname:<26} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                pct(i.exec_gain),
+                pct(i.prove_gain),
+                pct(i.cycles_gain),
+                pct(i.instret_gain),
+                pct(i.paging_gain)
+            );
+        }
+    }
+    // -O3 and -O0 for completeness, matching the figure.
+    for level in [OptLevel::O3, OptLevel::O0] {
+        let w = zkvmopt_workloads::by_name("loop-sum").expect("exists");
+        let base = baseline(w, &[VmKind::RiscZero], false);
+        let (vm, bm, br) = &base.by_vm[0];
+        if let Some(i) = impact_vs_baseline(w, &OptProfile::level(level), *vm, bm, br, false) {
+            println!(
+                "{:<16} {:<26} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                level.flag(),
+                "loop-sum",
+                pct(i.exec_gain),
+                pct(i.prove_gain),
+                pct(i.cycles_gain),
+                pct(i.instret_gain),
+                pct(i.paging_gain)
+            );
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let w = zkvmopt_workloads::by_name("npb-lu").expect("exists");
+    c.bench_function("fig09/licm_npb_lu", |b| {
+        b.iter(|| {
+            zkvmopt_core::measure(
+                w,
+                &zkvmopt_core::OptProfile::single_pass("licm"),
+                VmKind::RiscZero,
+                false,
+                None,
+            )
+            .expect("runs")
+        })
+    });
+}
+
+criterion_group! { name = benches; config = Criterion::default().sample_size(10); targets = bench }
+criterion_main!(benches);

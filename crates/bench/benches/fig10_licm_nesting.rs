@@ -1,0 +1,87 @@
+//! Figure 10: licm's paging/instruction blow-up grows with loop nesting depth
+//! (paper: depth 4 shows +46% paging and +155% instructions vs +7%/+25% at
+//! depth 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zkvmopt_bench::{baseline, header, impact_vs_baseline};
+use zkvmopt_core::OptProfile;
+use zkvmopt_vm::VmKind;
+use zkvmopt_workloads::{Suite, Workload};
+
+fn nest_src(depth: u32) -> String {
+    // for k { for j { ... v[idx] = 42; } }: stores against a flat array.
+    let n = match depth {
+        1 => 20000,
+        2 => 160,
+        3 => 28,
+        _ => 12,
+    };
+    let mut body = String::from("idx = (idx * 13 + 7) % 16384; V[idx] = 42; acc += idx;");
+    let vars = ["k", "j", "i", "l"];
+    for d in (0..depth).rev() {
+        let v = vars[d as usize];
+        body = format!(
+            "for (let mut {v}: i32 = 0; {v} < {n}; {v} += 1) {{ {body} }}"
+        );
+    }
+    format!(
+        "static V: [i32; 16384];
+         fn main() -> i32 {{
+           let mut idx: i32 = read_input(0);
+           let mut acc: i32 = 0;
+           {body}
+           commit(V[idx % 16384]);
+           commit(acc);
+           return V[0];
+         }}"
+    )
+}
+
+fn report() {
+    header("Figure 10: licm impact vs loop nesting depth (RISC Zero)");
+    println!("{:<7} {:>14} {:>14}", "depth", "instret delta", "paging delta");
+    let mut deltas = Vec::new();
+    for depth in [1u32, 2, 4] {
+        let w = Workload {
+            name: "nest",
+            suite: Suite::Other,
+            source: nest_src(depth),
+            inputs: vec![3],
+            uses_precompile: false,
+        };
+        let base = baseline(&w, &[VmKind::RiscZero], false);
+        let (vm, bm, br) = &base.by_vm[0];
+        let i = impact_vs_baseline(&w, &OptProfile::single_pass("licm"), *vm, bm, br, false)
+            .expect("licm runs");
+        // Negative gain = increase in the metric.
+        println!("{depth:<7} {:>13.1}% {:>13.1}%", -i.instret_gain, -i.paging_gain);
+        deltas.push((-i.instret_gain, -i.paging_gain));
+    }
+    let _ = deltas;
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    c.bench_function("fig10/licm_depth4", |b| {
+        let w = Workload {
+            name: "nest4",
+            suite: Suite::Other,
+            source: nest_src(4),
+            inputs: vec![3],
+            uses_precompile: false,
+        };
+        b.iter(|| {
+            zkvmopt_core::measure(
+                &w,
+                &OptProfile::single_pass("licm"),
+                VmKind::RiscZero,
+                false,
+                None,
+            )
+            .expect("runs")
+        })
+    });
+}
+
+criterion_group! { name = benches; config = Criterion::default().sample_size(10); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Figure 11 / P2: inlining a wide-state callee into a hot caller triggers
+//! stack spills on RV32 — dynamic loads/stores and cycles go up even though
+//! the call overhead went away.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zkvmopt_bench::{baseline, header, impact_vs_baseline, pct};
+use zkvmopt_core::OptProfile;
+use zkvmopt_passes::PassConfig;
+use zkvmopt_vm::VmKind;
+
+fn report() {
+    let w = zkvmopt_workloads::by_name("tailcall").expect("exists");
+    let base = baseline(w, &[VmKind::RiscZero], false);
+    let (vm, bm, br) = &base.by_vm[0];
+    header("Figure 11: inlining the tailcall kernel (RISC Zero)");
+    // mem2reg alone (no inlining) vs mem2reg+aggressive inline.
+    let noinline = OptProfile::sequence("mem2reg-only", vec!["mem2reg"], PassConfig::default());
+    let mut aggressive_cfg = PassConfig::default();
+    aggressive_cfg.inline_threshold = 10_000;
+    let inline =
+        OptProfile::sequence("mem2reg+inline", vec!["mem2reg", "inline"], aggressive_cfg);
+    let a = impact_vs_baseline(w, &noinline, *vm, bm, br, false).expect("runs");
+    let b = impact_vs_baseline(w, &inline, *vm, bm, br, false).expect("runs");
+    println!(
+        "{:<16} exec {:>8}  cycles {:>8}  instret {:>8}  spilled vregs {:>4}",
+        a.profile, pct(a.exec_gain), pct(a.cycles_gain), pct(a.instret_gain),
+        a.measurement.spilled_vregs
+    );
+    println!(
+        "{:<16} exec {:>8}  cycles {:>8}  instret {:>8}  spilled vregs {:>4}",
+        b.profile, pct(b.exec_gain), pct(b.cycles_gain), pct(b.instret_gain),
+        b.measurement.spilled_vregs
+    );
+    assert!(
+        b.measurement.spilled_vregs >= a.measurement.spilled_vregs,
+        "inlining the wide-state callee must not reduce spills"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let w = zkvmopt_workloads::by_name("tailcall").expect("exists");
+    c.bench_function("fig11/inline_tailcall", |b| {
+        b.iter(|| {
+            zkvmopt_core::measure(
+                w,
+                &OptProfile::sequence(
+                    "i",
+                    vec!["mem2reg", "inline"],
+                    PassConfig { inline_threshold: 10_000, ..Default::default() },
+                ),
+                VmKind::RiscZero,
+                false,
+                None,
+            )
+            .expect("runs")
+        })
+    });
+}
+
+criterion_group! { name = benches; config = Criterion::default().sample_size(10); targets = bench }
+criterion_main!(benches);

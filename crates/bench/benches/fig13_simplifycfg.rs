@@ -1,0 +1,73 @@
+//! Figure 13 / P4: simplifycfg's branch-to-select conversion (the nussinov
+//! abs kernel) helps x86 via fewer mispredictions but hurts zkVMs, where both
+//! paths now execute.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zkvmopt_bench::{header, pct};
+use zkvmopt_core::{gain, OptProfile, Pipeline};
+use zkvmopt_passes::PassConfig;
+use zkvmopt_vm::VmKind;
+
+const ABS_KERNEL: &str = "
+    fn main() -> i32 {
+      let mut s: i32 = 0;
+      let mut x: u32 = (read_input(0) + 9) as u32;
+      for (let mut i: i32 = 0; i < 4000; i += 1) {
+        x = x * 1103515245 + 12345;
+        let v: i32 = ((x >> 8) % 2001) as i32 - 1000;
+        let mut a: i32 = v;
+        if (v < 0) { a = 0 - v; }
+        s += a;
+      }
+      commit(s); return s;
+    }";
+
+fn run(profile: OptProfile) -> (f64, f64, f64, u64) {
+    let p = Pipeline::new(profile).with_x86();
+    let r = p.run_source(ABS_KERNEL, &[1], VmKind::RiscZero).expect("runs");
+    (
+        r.x86.as_ref().expect("x86").time_ms,
+        r.exec_ms,
+        r.prove_ms,
+        r.exec.instret,
+    )
+}
+
+fn report() {
+    header("Figure 13: branchy |x| vs simplifycfg's if-converted form");
+    let branchy = OptProfile::sequence("branchy", vec!["mem2reg"], PassConfig::default());
+    let converted = OptProfile::sequence(
+        "if-converted",
+        vec!["mem2reg", "simplifycfg"],
+        PassConfig::default(),
+    );
+    let (xb, eb, pb, ib) = run(branchy);
+    let (xc, ec, pc, ic) = run(converted);
+    println!("x86 native : branchy {xb:.4} ms vs converted {xc:.4} ms ({} for conversion)",
+        pct(gain(xb, xc)));
+    println!("zkVM exec  : branchy {eb:.4} ms vs converted {ec:.4} ms ({} for conversion)",
+        pct(gain(eb, ec)));
+    println!("zkVM prove : branchy {pb:.4} ms vs converted {pc:.4} ms ({} for conversion)",
+        pct(gain(pb, pc)));
+    println!("instret    : branchy {ib} vs converted {ic}");
+    assert!(xc < xb, "if-conversion must help x86 (mispredictions gone)");
+    assert!(ic >= ib, "if-conversion must not reduce zkVM instructions here");
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    c.bench_function("fig13/abs_kernel_converted", |b| {
+        b.iter(|| {
+            Pipeline::new(OptProfile::sequence(
+                "c",
+                vec!["mem2reg", "simplifycfg"],
+                PassConfig::default(),
+            ))
+            .run_source(ABS_KERNEL, &[1], VmKind::RiscZero)
+            .expect("runs")
+        })
+    });
+}
+
+criterion_group! { name = benches; config = Criterion::default().sample_size(10); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 15 / Appendix A: zkVM execution and proving are orders of magnitude
+//! slower than native execution (NPB suite, unoptimized binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zkvmopt_bench::header;
+use zkvmopt_core::{OptProfile, Pipeline};
+use zkvmopt_vm::VmKind;
+use zkvmopt_workloads::Suite;
+
+fn report() {
+    header("Figure 15: native vs zkVM execution vs proving (NPB, unoptimized)");
+    println!("{:<10} {:>14} {:>14} {:>14} {:>10} {:>10}", "program",
+        "native ms", "zk exec ms", "prove ms", "exec/nat", "prove/nat");
+    let mut min_exec_ratio = f64::INFINITY;
+    for w in zkvmopt_workloads::suite(Suite::Npb) {
+        let p = Pipeline::new(OptProfile::baseline()).with_x86();
+        let r = p.run_workload(w, VmKind::RiscZero).expect("runs");
+        let native = r.x86.as_ref().expect("x86").time_ms;
+        let er = r.exec_ms / native;
+        let pr = r.prove_ms / native;
+        println!("{:<10} {:>14.4} {:>14.3} {:>14.1} {:>9.0}x {:>9.0}x",
+            w.name, native, r.exec_ms, r.prove_ms, er, pr);
+        min_exec_ratio = min_exec_ratio.min(er);
+    }
+    assert!(
+        min_exec_ratio > 10.0,
+        "zkVM execution must be orders of magnitude slower than native"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let w = zkvmopt_workloads::by_name("npb-ep").expect("exists");
+    c.bench_function("fig15/npb_ep_baseline", |b| {
+        b.iter(|| {
+            Pipeline::new(OptProfile::baseline())
+                .run_workload(w, VmKind::RiscZero)
+                .expect("runs")
+        })
+    });
+}
+
+criterion_group! { name = benches; config = Criterion::default().sample_size(10); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table 1: number of (program, pass) instances with execution/proving gains
+//! or losses beyond ±2% per zkVM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zkvmopt_bench::{bench_workloads, header, impact_matrix, pass_profiles};
+use zkvmopt_core::KEY_PASSES;
+use zkvmopt_vm::VmKind;
+
+fn report() {
+    let impacts =
+        impact_matrix(&bench_workloads(), &pass_profiles(KEY_PASSES), &VmKind::BOTH, false);
+    header("Table 1: instances of gains (>2%) and losses (<-2%)");
+    println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "zkVM",
+        "exec gain", "exec loss", "prove gain", "prove loss");
+    for vm in VmKind::BOTH {
+        let of = |f: &dyn Fn(&zkvmopt_bench::Impact) -> f64, positive: bool| {
+            impacts
+                .iter()
+                .filter(|i| i.vm == vm)
+                .filter(|i| if positive { f(i) > 2.0 } else { f(i) < -2.0 })
+                .count()
+        };
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12}",
+            vm.name(),
+            of(&|i| i.exec_gain, true),
+            of(&|i| i.exec_gain, false),
+            of(&|i| i.prove_gain, true),
+            of(&|i| i.prove_gain, false)
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    c.bench_function("table1/counting", |b| b.iter(|| 2 + 2));
+}
+
+criterion_group! { name = benches; config = Criterion::default().sample_size(10); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Table 6: baseline execution and proving time statistics over the whole
+//! suite (modelled milliseconds; the paper's convention of min/max/mean/
+//! median per zkVM).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zkvmopt_bench::header;
+use zkvmopt_core::{OptProfile, Pipeline};
+use zkvmopt_stats::summarize;
+use zkvmopt_vm::VmKind;
+
+fn report() {
+    header("Table 6: baseline statistics across all 58 programs (modelled seconds)");
+    println!("{:<10} {:<8} {:>10} {:>10} {:>10} {:>10}", "zkVM", "metric",
+        "min", "max", "mean", "median");
+    for vm in VmKind::BOTH {
+        let mut exec = Vec::new();
+        let mut prove = Vec::new();
+        for w in zkvmopt_workloads::all() {
+            let r = Pipeline::new(OptProfile::baseline())
+                .run_workload(w, vm)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            exec.push(r.exec_ms / 1e3);
+            prove.push(r.prove_ms / 1e3);
+        }
+        let e = summarize(&exec);
+        let p = summarize(&prove);
+        println!("{:<10} {:<8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            vm.name(), "exec", e.min, e.max, e.mean, e.median);
+        println!("{:<10} {:<8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            vm.name(), "prove", p.min, p.max, p.mean, p.median);
+        // Shape: proving is much slower than execution across the suite.
+        assert!(p.mean > e.mean, "{vm}: proving must dominate execution");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let w = zkvmopt_workloads::by_name("polybench-atax").expect("exists");
+    c.bench_function("table6/baseline_atax", |b| {
+        b.iter(|| {
+            Pipeline::new(OptProfile::baseline())
+                .run_workload(w, VmKind::Sp1)
+                .expect("runs")
+        })
+    });
+}
+
+criterion_group! { name = benches; config = Criterion::default().sample_size(10); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,200 @@
+//! # zkvmopt-bench
+//!
+//! The experiment harness: shared machinery that regenerates every table and
+//! figure of the paper. Each Criterion bench target prints its paper-style
+//! rows (on a reduced default scale) and then measures the underlying
+//! computation; the `report` binary (`cargo run -p zkvmopt-bench --release
+//! --bin report`) runs the full-scale version and emits the data recorded in
+//! EXPERIMENTS.md.
+
+use zkvmopt_core::{gain, measure, Measurement, OptLevel, OptProfile, RunReport};
+use zkvmopt_vm::VmKind;
+use zkvmopt_workloads::Workload;
+
+/// One pass-impact observation: percent gains vs. baseline.
+#[derive(Debug, Clone)]
+pub struct Impact {
+    /// Workload name.
+    pub workload: String,
+    /// Profile (pass or level) name.
+    pub profile: String,
+    /// VM.
+    pub vm: VmKind,
+    /// Gain in zkVM execution time (+ = faster).
+    pub exec_gain: f64,
+    /// Gain in proving time.
+    pub prove_gain: f64,
+    /// Gain in cycle count.
+    pub cycles_gain: f64,
+    /// Gain in dynamic instruction count.
+    pub instret_gain: f64,
+    /// Gain in paging cycles (negative = more paging).
+    pub paging_gain: f64,
+    /// Gain in native x86 time (when measured).
+    pub x86_gain: Option<f64>,
+    /// Raw optimized measurement.
+    pub measurement: Measurement,
+}
+
+/// Default reduced workload set for `cargo bench` (representative across
+/// suites; the `report` binary uses all 58).
+pub fn bench_workloads() -> Vec<&'static Workload> {
+    [
+        "polybench-floyd-warshall",
+        "polybench-gemm",
+        "polybench-trmm",
+        "polybench-durbin",
+        "npb-lu",
+        "npb-mg",
+        "fibonacci",
+        "loop-sum",
+        "tailcall",
+        "sha2-bench",
+    ]
+    .iter()
+    .map(|n| zkvmopt_workloads::by_name(n).expect("bench workload exists"))
+    .collect()
+}
+
+/// Baseline runs for a workload on both VMs (+x86 when asked).
+pub struct BaselineRuns {
+    /// Per-VM baseline (indexed by `VmKind::BOTH` order).
+    pub by_vm: Vec<(VmKind, Measurement, RunReport)>,
+}
+
+/// Measure the baseline for `w` on the given VMs.
+///
+/// # Panics
+/// Panics when the baseline itself fails — the suite guarantees it cannot.
+pub fn baseline(w: &Workload, vms: &[VmKind], with_x86: bool) -> BaselineRuns {
+    let by_vm = vms
+        .iter()
+        .map(|&vm| {
+            let (m, r) = measure(w, &OptProfile::baseline(), vm, with_x86, None)
+                .unwrap_or_else(|e| panic!("baseline {} on {vm}: {e}", w.name));
+            (vm, m, r)
+        })
+        .collect();
+    BaselineRuns { by_vm }
+}
+
+/// Measure `profile` against an established baseline, producing an [`Impact`].
+/// Returns `None` when the profile fails on this workload (reported and
+/// skipped, like the paper's invalid autotuner candidates).
+pub fn impact_vs_baseline(
+    w: &Workload,
+    profile: &OptProfile,
+    vm: VmKind,
+    base_m: &Measurement,
+    base_r: &RunReport,
+    with_x86: bool,
+) -> Option<Impact> {
+    match measure(w, profile, vm, with_x86, Some(base_r)) {
+        Ok((m, _)) => {
+            let x86_gain = match (base_m.x86_ms, m.x86_ms) {
+                (Some(b), Some(n)) => Some(gain(b, n)),
+                _ => None,
+            };
+            Some(Impact {
+                workload: w.name.to_string(),
+                profile: profile.name.clone(),
+                vm,
+                exec_gain: gain(base_m.exec_ms, m.exec_ms),
+                prove_gain: gain(base_m.prove_ms, m.prove_ms),
+                cycles_gain: gain(base_m.cycles as f64, m.cycles as f64),
+                instret_gain: gain(base_m.instret as f64, m.instret as f64),
+                paging_gain: gain(
+                    base_m.paging_cycles.max(1) as f64,
+                    m.paging_cycles.max(1) as f64,
+                ),
+                x86_gain,
+                measurement: m,
+            })
+        }
+        Err(e) => {
+            eprintln!("  [skip] {} / {} on {vm}: {e}", w.name, profile.name);
+            None
+        }
+    }
+}
+
+/// Run a (workloads × profiles × vms) impact matrix.
+pub fn impact_matrix(
+    workloads: &[&Workload],
+    profiles: &[OptProfile],
+    vms: &[VmKind],
+    with_x86: bool,
+) -> Vec<Impact> {
+    let mut out = Vec::new();
+    for w in workloads {
+        let base = baseline(w, vms, with_x86);
+        for (vm, bm, br) in &base.by_vm {
+            for p in profiles {
+                if let Some(i) = impact_vs_baseline(w, p, *vm, bm, br, with_x86) {
+                    out.push(i);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Mean of a selector over impacts matching (profile, vm).
+pub fn mean_gain(
+    impacts: &[Impact],
+    profile: &str,
+    vm: VmKind,
+    select: impl Fn(&Impact) -> f64,
+) -> f64 {
+    let xs: Vec<f64> = impacts
+        .iter()
+        .filter(|i| i.profile == profile && i.vm == vm)
+        .map(select)
+        .collect();
+    zkvmopt_stats::mean(&xs)
+}
+
+/// All standard-level profiles (Fig. 5 axis).
+pub fn level_profiles() -> Vec<OptProfile> {
+    OptLevel::ALL.iter().map(|l| OptProfile::level(*l)).collect()
+}
+
+/// Single-pass profiles for a pass-name list.
+pub fn pass_profiles(names: &[&'static str]) -> Vec<OptProfile> {
+    names.iter().map(|n| OptProfile::single_pass(n)).collect()
+}
+
+/// Render a percent with sign.
+pub fn pct(x: f64) -> String {
+    format!("{x:+.1}%")
+}
+
+/// Print a paper-style header line.
+pub fn header(title: &str) {
+    println!();
+    println!("================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_workload_set_resolves() {
+        let ws = bench_workloads();
+        assert_eq!(ws.len(), 10);
+    }
+
+    #[test]
+    fn impact_math_signs() {
+        let w = zkvmopt_workloads::by_name("loop-sum").unwrap();
+        let base = baseline(w, &[VmKind::Sp1], false);
+        let (vm, bm, br) = &base.by_vm[0];
+        let o2 = OptProfile::level(OptLevel::O2);
+        let i = impact_vs_baseline(w, &o2, *vm, bm, br, false).expect("runs");
+        assert!(i.cycles_gain > 0.0, "-O2 must speed up loop-sum: {}", i.cycles_gain);
+        assert!(i.instret_gain > 0.0);
+    }
+}

@@ -1,0 +1,538 @@
+//! # zkvmopt-core
+//!
+//! The study driver: optimization profiles, the compile→execute→prove→native
+//! pipeline, and the measurement matrices every table and figure in the paper
+//! is regenerated from.
+//!
+//! ## Example
+//!
+//! ```
+//! use zkvmopt_core::{OptProfile, Pipeline};
+//! use zkvmopt_vm::VmKind;
+//!
+//! let src = "fn main() -> i32 { let mut s: i32 = 0;
+//!            for (let mut i: i32 = 0; i < 50; i += 1) { s += i; }
+//!            commit(s); return s; }";
+//! let base = Pipeline::new(OptProfile::baseline())
+//!     .run_source(src, &[], VmKind::RiscZero).unwrap();
+//! let o3 = Pipeline::new(OptProfile::level(zkvmopt_passes::OptLevel::O3))
+//!     .run_source(src, &[], VmKind::RiscZero).unwrap();
+//! assert_eq!(base.exec.journal, o3.exec.journal);
+//! assert!(o3.exec.total_cycles < base.exec.total_cycles);
+//! ```
+
+use serde::Serialize;
+use std::fmt;
+use zkvmopt_ir::Module;
+use zkvmopt_passes::{PassConfig, PassManager};
+use zkvmopt_prover::ProvingModel;
+use zkvmopt_riscv::TargetCostModel;
+use zkvmopt_vm::{ExecConfig, ExecutionReport, Machine, VmKind, VmProfile};
+use zkvmopt_workloads::Workload;
+use zkvmopt_x86sim::{run_x86, X86Model, X86Report};
+
+pub use zkvmopt_passes::OptLevel;
+
+/// How a profile transforms the module.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileKind {
+    /// No passes at all (the paper's *baseline* with MIR opts off).
+    Baseline,
+    /// A standard `-Ox` pipeline.
+    Level(OptLevel),
+    /// One pass applied in isolation (the RQ1 axis).
+    SinglePass(&'static str),
+    /// An explicit pass sequence (autotuner output, RQ2).
+    Sequence(Vec<&'static str>),
+    /// The paper's zkVM-aware `-O3` (§6.1: modified cost model, adjusted
+    /// heuristics, hardware-only passes dropped).
+    ZkAwareO3,
+}
+
+/// A named optimization profile: passes + pass parameters + backend cost
+/// model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptProfile {
+    /// Display name (used in tables/figures).
+    pub name: String,
+    /// What to run.
+    pub kind: ProfileKind,
+    /// Pass parameters.
+    pub pass_config: PassConfig,
+    /// Instruction-selection cost model.
+    pub backend: TargetCostModel,
+}
+
+impl OptProfile {
+    /// The unoptimized baseline.
+    pub fn baseline() -> OptProfile {
+        OptProfile {
+            name: "baseline".into(),
+            kind: ProfileKind::Baseline,
+            pass_config: PassConfig::default(),
+            backend: TargetCostModel::cpu(),
+        }
+    }
+
+    /// A standard optimization level.
+    pub fn level(level: OptLevel) -> OptProfile {
+        OptProfile {
+            name: level.flag().to_string(),
+            kind: ProfileKind::Level(level),
+            pass_config: PassConfig::default(),
+            backend: TargetCostModel::cpu(),
+        }
+    }
+
+    /// One pass in isolation.
+    pub fn single_pass(pass: &'static str) -> OptProfile {
+        OptProfile {
+            name: pass.to_string(),
+            kind: ProfileKind::SinglePass(pass),
+            pass_config: PassConfig::default(),
+            backend: TargetCostModel::cpu(),
+        }
+    }
+
+    /// An explicit sequence (autotuner candidates).
+    pub fn sequence(name: impl Into<String>, passes: Vec<&'static str>, cfg: PassConfig) -> OptProfile {
+        OptProfile {
+            name: name.into(),
+            kind: ProfileKind::Sequence(passes),
+            pass_config: cfg,
+            backend: TargetCostModel::cpu(),
+        }
+    }
+
+    /// The zkVM-aware `-O3` of §6.1.
+    pub fn zk_o3() -> OptProfile {
+        OptProfile {
+            name: "zk-O3".into(),
+            kind: ProfileKind::ZkAwareO3,
+            pass_config: PassConfig::zk_aware(),
+            backend: TargetCostModel::zk(),
+        }
+    }
+
+    /// Apply this profile to a module.
+    pub fn apply(&self, m: &mut Module) {
+        let cfg = &self.pass_config;
+        match &self.kind {
+            ProfileKind::Baseline => {}
+            ProfileKind::Level(l) => {
+                PassManager::for_level(*l).run(m, cfg);
+            }
+            ProfileKind::SinglePass(p) => {
+                zkvmopt_passes::run_pass(p, m, cfg);
+            }
+            ProfileKind::Sequence(ps) => {
+                for p in ps {
+                    zkvmopt_passes::run_pass(p, m, cfg);
+                }
+            }
+            ProfileKind::ZkAwareO3 => {
+                PassManager::zk_o3().run(m, cfg);
+            }
+        }
+    }
+}
+
+/// Study failures.
+#[derive(Debug, Clone)]
+pub enum StudyError {
+    /// Frontend failure.
+    Compile(String),
+    /// Codegen failure.
+    Codegen(String),
+    /// Guest execution failure.
+    Exec(String),
+    /// The optimized program's observable behaviour diverged from the
+    /// baseline oracle (the class of bug the paper found in SP1!).
+    Miscompile { workload: String, profile: String },
+}
+
+impl fmt::Display for StudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyError::Compile(e) => write!(f, "compile error: {e}"),
+            StudyError::Codegen(e) => write!(f, "codegen error: {e}"),
+            StudyError::Exec(e) => write!(f, "execution error: {e}"),
+            StudyError::Miscompile { workload, profile } => {
+                write!(f, "MISCOMPILE: {profile} changed behaviour of {workload}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StudyError {}
+
+/// Everything measured from one (program, profile, VM) run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// zkVM execution report (cycles, instret, paging, journal, …).
+    pub exec: ExecutionReport,
+    /// Modelled proving time (ms).
+    pub prove_ms: f64,
+    /// Modelled zkVM execution (replay) time (ms).
+    pub exec_ms: f64,
+    /// x86 run (when requested).
+    pub x86: Option<X86Report>,
+    /// Static code size (instructions).
+    pub code_size: usize,
+    /// Spilled virtual registers (codegen statistic, Fig. 11).
+    pub spilled_vregs: u32,
+}
+
+/// Compile-and-run pipeline for one profile.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    profile: OptProfile,
+    /// Also run the x86 timing model.
+    pub with_x86: bool,
+    /// Guest cycle budget.
+    pub max_cycles: u64,
+}
+
+impl Pipeline {
+    /// A pipeline for `profile`.
+    pub fn new(profile: OptProfile) -> Pipeline {
+        Pipeline { profile, with_x86: false, max_cycles: 2_000_000_000 }
+    }
+
+    /// Enable the x86 timing model (RQ3).
+    pub fn with_x86(mut self) -> Pipeline {
+        self.with_x86 = true;
+        self
+    }
+
+    /// The profile this pipeline runs.
+    pub fn profile(&self) -> &OptProfile {
+        &self.profile
+    }
+
+    /// Compile source through the profile to a linked program.
+    ///
+    /// # Errors
+    /// Returns [`StudyError`] on frontend or codegen failures.
+    pub fn compile(&self, src: &str) -> Result<zkvmopt_riscv::Program, StudyError> {
+        let mut m = zkvmopt_lang::compile_guest(src)
+            .map_err(|e| StudyError::Compile(e.to_string()))?;
+        self.profile.apply(&mut m);
+        zkvmopt_riscv::compile_module(&m, &self.profile.backend)
+            .map_err(|e| StudyError::Codegen(e.to_string()))
+    }
+
+    /// Compile and execute on `vm`, returning the full report.
+    ///
+    /// # Errors
+    /// Returns [`StudyError`] on any stage failure.
+    pub fn run_source(
+        &self,
+        src: &str,
+        inputs: &[i32],
+        vm: VmKind,
+    ) -> Result<RunReport, StudyError> {
+        let program = self.compile(src)?;
+        let config = ExecConfig { inputs: inputs.to_vec(), max_cycles: self.max_cycles };
+        let exec = Machine::new(&program, VmProfile::for_kind(vm), config)
+            .run()
+            .map_err(|e| StudyError::Exec(e.to_string()))?;
+        let model = ProvingModel::for_kind(vm);
+        let prove_ms = model.proving_time_ms(&exec);
+        let exec_ms = exec.exec_time_ms;
+        let x86 = if self.with_x86 {
+            Some(
+                run_x86(&program, &X86Model::default(), inputs)
+                    .map_err(|e| StudyError::Exec(e.to_string()))?,
+            )
+        } else {
+            None
+        };
+        Ok(RunReport {
+            exec,
+            prove_ms,
+            exec_ms,
+            x86,
+            code_size: program.len(),
+            spilled_vregs: program.spilled_vregs,
+        })
+    }
+
+    /// Run a suite workload.
+    ///
+    /// # Errors
+    /// Returns [`StudyError`] on any stage failure.
+    pub fn run_workload(&self, w: &Workload, vm: VmKind) -> Result<RunReport, StudyError> {
+        self.run_source(&w.source, &w.inputs, vm)
+    }
+}
+
+/// One row of the study matrix (serializable for EXPERIMENTS.md artifacts).
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Workload name.
+    pub workload: String,
+    /// Profile name.
+    pub profile: String,
+    /// VM name.
+    pub vm: String,
+    /// Total cycles (the paper's "cycle count").
+    pub cycles: u64,
+    /// Dynamic instruction count.
+    pub instret: u64,
+    /// Paging cycles (0-modelled on SP1's public metrics).
+    pub paging_cycles: u64,
+    /// Modelled zkVM execution time (ms).
+    pub exec_ms: f64,
+    /// Modelled proving time (ms).
+    pub prove_ms: f64,
+    /// Segments / shards.
+    pub segments: u64,
+    /// Modelled native x86 time (ms), when measured.
+    pub x86_ms: Option<f64>,
+    /// Static code size.
+    pub code_size: usize,
+    /// Spilled virtual registers.
+    pub spilled_vregs: u32,
+}
+
+/// Run `profile` on `workload`/`vm`, verifying observable behaviour against
+/// the supplied baseline run (when given).
+///
+/// # Errors
+/// Returns [`StudyError::Miscompile`] when the journal or exit code diverge
+/// from the baseline — the exact failure class of the paper's SP1 bug.
+pub fn measure(
+    w: &Workload,
+    profile: &OptProfile,
+    vm: VmKind,
+    with_x86: bool,
+    baseline: Option<&RunReport>,
+) -> Result<(Measurement, RunReport), StudyError> {
+    let mut p = Pipeline::new(profile.clone());
+    if with_x86 {
+        p = p.with_x86();
+    }
+    let r = p.run_workload(w, vm)?;
+    if let Some(b) = baseline {
+        if r.exec.journal != b.exec.journal || r.exec.exit_code != b.exec.exit_code {
+            return Err(StudyError::Miscompile {
+                workload: w.name.to_string(),
+                profile: profile.name.clone(),
+            });
+        }
+    }
+    let m = Measurement {
+        workload: w.name.to_string(),
+        profile: profile.name.clone(),
+        vm: vm.name().to_string(),
+        cycles: r.exec.total_cycles,
+        instret: r.exec.instret,
+        paging_cycles: r.exec.paging_cycles,
+        exec_ms: r.exec_ms,
+        prove_ms: r.prove_ms,
+        segments: r.exec.segments,
+        x86_ms: r.x86.as_ref().map(|x| x.time_ms),
+        code_size: r.code_size,
+        spilled_vregs: r.spilled_vregs,
+    };
+    Ok((m, r))
+}
+
+/// Percent performance gain of `new` over `baseline` for a lower-is-better
+/// metric (the paper's convention: positive = faster).
+pub fn gain(baseline: f64, new: f64) -> f64 {
+    zkvmopt_stats::perf_gain(baseline, new)
+}
+
+/// The paper's Figure 4 effect categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EffectCategory {
+    /// ≤ −5 %.
+    SevereLoss,
+    /// −5 % to −2 %.
+    ModerateLoss,
+    /// −2 % to 2 % (not plotted by the paper).
+    Neutral,
+    /// 2 % to 5 %.
+    ModerateGain,
+    /// ≥ 5 %.
+    SevereGain,
+}
+
+/// Categorize a gain percentage into the paper's buckets.
+pub fn categorize(gain_pct: f64) -> EffectCategory {
+    if gain_pct <= -5.0 {
+        EffectCategory::SevereLoss
+    } else if gain_pct < -2.0 {
+        EffectCategory::ModerateLoss
+    } else if gain_pct < 2.0 {
+        EffectCategory::Neutral
+    } else if gain_pct < 5.0 {
+        EffectCategory::ModerateGain
+    } else {
+        EffectCategory::SevereGain
+    }
+}
+
+/// The individual-pass axis used by RQ1 (all registered passes).
+pub fn studied_passes() -> Vec<&'static str> {
+    zkvmopt_passes::pass_names()
+}
+
+/// The representative pass subset used by the fast harness paths (top-impact
+/// passes from the paper's Figure 3).
+pub const KEY_PASSES: &[&str] = &[
+    "inline",
+    "always-inline",
+    "gvn",
+    "jump-threading",
+    "instcombine",
+    "simplifycfg",
+    "partial-inliner",
+    "tailcall",
+    "attributor",
+    "sroa",
+    "newgvn",
+    "ipsccp",
+    "early-cse",
+    "sccp",
+    "instsimplify",
+    "mem2reg",
+    "loop-instsimplify",
+    "reg2mem",
+    "sink",
+    "loop-rotate",
+    "irce",
+    "loop-reduce",
+    "mldst-motion",
+    "loop-extract",
+    "licm",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "
+        fn main() -> i32 {
+          let seed: i32 = read_input(0);
+          let mut s: i32 = 0;
+          for (let mut i: i32 = 0; i < 3000; i += 1) {
+            s += (i * seed) % 31;
+          }
+          commit(s);
+          return s;
+        }";
+
+    #[test]
+    fn baseline_vs_o3_gain() {
+        let w = Workload {
+            name: "t",
+            suite: zkvmopt_workloads::Suite::Other,
+            source: SRC.to_string(),
+            inputs: vec![5],
+            uses_precompile: false,
+        };
+        let (_, base) =
+            measure(&w, &OptProfile::baseline(), VmKind::RiscZero, false, None).unwrap();
+        let (m3, _) = measure(
+            &w,
+            &OptProfile::level(OptLevel::O3),
+            VmKind::RiscZero,
+            false,
+            Some(&base),
+        )
+        .unwrap();
+        let g = gain(base.exec.total_cycles as f64, m3.cycles as f64);
+        assert!(g > 20.0, "-O3 should gain >20% on this loop, got {g:.1}%");
+    }
+
+    #[test]
+    fn single_pass_profiles_run_and_preserve() {
+        let w = zkvmopt_workloads::by_name("loop-sum").unwrap();
+        let (_, base) =
+            measure(w, &OptProfile::baseline(), VmKind::Sp1, false, None).unwrap();
+        for pass in ["inline", "licm", "mem2reg", "simplifycfg", "reg2mem"] {
+            let (m, _) = measure(
+                w,
+                &OptProfile::single_pass(pass),
+                VmKind::Sp1,
+                false,
+                Some(&base),
+            )
+            .unwrap_or_else(|e| panic!("{pass}: {e}"));
+            assert!(m.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn zk_o3_runs_on_div_heavy_code() {
+        let src = "fn main() -> i32 {
+                     let mut s: i32 = 0;
+                     for (let mut i: i32 = 1; i < 500; i += 1) { s += (i * read_input(0)) / 8; }
+                     commit(s); return s;
+                   }";
+        let w = Workload {
+            name: "divs",
+            suite: zkvmopt_workloads::Suite::Other,
+            source: src.to_string(),
+            inputs: vec![3],
+            uses_precompile: false,
+        };
+        let (_, base) =
+            measure(&w, &OptProfile::baseline(), VmKind::RiscZero, false, None).unwrap();
+        let (o3, _) = measure(
+            &w,
+            &OptProfile::level(OptLevel::O3),
+            VmKind::RiscZero,
+            false,
+            Some(&base),
+        )
+        .unwrap();
+        let (zk, _) =
+            measure(&w, &OptProfile::zk_o3(), VmKind::RiscZero, false, Some(&base)).unwrap();
+        // The zk-aware profile keeps the single div and must beat stock -O3
+        // on instruction count for this kernel (paper Fig. 14 mechanism).
+        assert!(
+            zk.instret < o3.instret,
+            "zk-O3 instret {} !< -O3 instret {}",
+            zk.instret,
+            o3.instret
+        );
+    }
+
+    #[test]
+    fn x86_measurement_populates() {
+        let w = Workload {
+            name: "t",
+            suite: zkvmopt_workloads::Suite::Other,
+            source: SRC.to_string(),
+            inputs: vec![5],
+            uses_precompile: false,
+        };
+        let (m, _) =
+            measure(&w, &OptProfile::level(OptLevel::O2), VmKind::RiscZero, true, None).unwrap();
+        assert!(m.x86_ms.is_some());
+    }
+
+    #[test]
+    fn categories_match_paper_thresholds() {
+        assert_eq!(categorize(-7.0), EffectCategory::SevereLoss);
+        assert_eq!(categorize(-3.0), EffectCategory::ModerateLoss);
+        assert_eq!(categorize(0.0), EffectCategory::Neutral);
+        assert_eq!(categorize(3.0), EffectCategory::ModerateGain);
+        assert_eq!(categorize(12.0), EffectCategory::SevereGain);
+    }
+
+    #[test]
+    fn key_passes_all_registered() {
+        assert_eq!(KEY_PASSES.len(), 25, "paper's top-25 axis");
+        for p in KEY_PASSES {
+            assert!(
+                zkvmopt_passes::find_pass(p).is_some(),
+                "{p} missing from registry"
+            );
+        }
+    }
+}

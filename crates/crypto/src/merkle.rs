@@ -1,0 +1,107 @@
+//! A SHA-256 binary Merkle tree with inclusion proofs.
+
+use crate::sha256::sha256;
+
+/// A fully-built Merkle tree over leaf byte strings.
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// Levels bottom-up: `levels[0]` are leaf hashes, last level is the root.
+    levels: Vec<Vec<[u8; 32]>>,
+}
+
+fn hash_pair(a: &[u8; 32], b: &[u8; 32]) -> [u8; 32] {
+    let mut buf = [0u8; 64];
+    buf[..32].copy_from_slice(a);
+    buf[32..].copy_from_slice(b);
+    sha256(&buf)
+}
+
+impl MerkleTree {
+    /// Build a tree over the given leaves (odd nodes are paired with
+    /// themselves).
+    ///
+    /// # Panics
+    /// Panics if `leaves` is empty.
+    pub fn new(leaves: &[Vec<u8>]) -> MerkleTree {
+        assert!(!leaves.is_empty(), "merkle tree needs at least one leaf");
+        let mut levels = vec![leaves.iter().map(|l| sha256(l)).collect::<Vec<_>>()];
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                let right = pair.get(1).unwrap_or(&pair[0]);
+                next.push(hash_pair(&pair[0], right));
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root hash.
+    pub fn root(&self) -> [u8; 32] {
+        self.levels.last().expect("non-empty")[0]
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Sibling path for leaf `index`, bottom-up.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn proof(&self, index: usize) -> Vec<[u8; 32]> {
+        assert!(index < self.leaf_count(), "leaf index out of range");
+        let mut path = Vec::new();
+        let mut i = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sib = if i % 2 == 0 { (i + 1).min(level.len() - 1) } else { i - 1 };
+            path.push(level[sib]);
+            i /= 2;
+        }
+        path
+    }
+
+    /// Verify an inclusion proof produced by [`MerkleTree::proof`].
+    pub fn verify(root: &[u8; 32], leaf: &[u8], index: usize, proof: &[[u8; 32]]) -> bool {
+        let mut h = sha256(leaf);
+        let mut i = index;
+        for sib in proof {
+            h = if i % 2 == 0 { hash_pair(&h, sib) } else { hash_pair(sib, &h) };
+            i /= 2;
+        }
+        h == *root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proofs_verify_for_every_leaf() {
+        let leaves: Vec<Vec<u8>> = (0..13u8).map(|i| vec![i; 5]).collect();
+        let t = MerkleTree::new(&leaves);
+        for (i, leaf) in leaves.iter().enumerate() {
+            let p = t.proof(i);
+            assert!(MerkleTree::verify(&t.root(), leaf, i, &p), "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn tampered_leaf_fails() {
+        let leaves: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i]).collect();
+        let t = MerkleTree::new(&leaves);
+        let p = t.proof(3);
+        assert!(!MerkleTree::verify(&t.root(), b"evil", 3, &p));
+        assert!(!MerkleTree::verify(&t.root(), &leaves[3], 2, &p));
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let t = MerkleTree::new(&[b"only".to_vec()]);
+        assert_eq!(t.leaf_count(), 1);
+        assert!(MerkleTree::verify(&t.root(), b"only", 0, &t.proof(0)));
+    }
+}

@@ -1,0 +1,47 @@
+//! Environment-call (ECALL) codes shared by the interpreter, the zkVM
+//! executors, and the frontend intrinsics.
+//!
+//! These model the precompile/syscall surface of the two studied zkVMs: the
+//! paper notes that precompiled benchmarks (`keccak256`, `ecdsa-verify`,
+//! `eddsa-verify`) replace thousands of instructions with fixed-cost circuits,
+//! which is why they see smaller compiler-optimization gains (§4.2).
+
+/// Terminate the guest. `a0` = exit code.
+pub const HALT: u32 = 0;
+/// Commit one `i32` (`a0`) to the public journal.
+pub const COMMIT: u32 = 1;
+/// SHA-256 precompile: `a0`=in ptr, `a1`=len, `a2`=out ptr (32 bytes).
+pub const SHA256: u32 = 2;
+/// Keccak-256 precompile: `a0`=in ptr, `a1`=len, `a2`=out ptr (32 bytes).
+pub const KECCAK256: u32 = 3;
+/// Toy-ECDSA verify precompile: `a0`=msg ptr (32 bytes), `a1`=pubkey ptr,
+/// `a2`=sig ptr. Returns 1 when valid.
+pub const ECDSA_VERIFY: u32 = 4;
+/// Toy-EdDSA verify precompile, same layout as [`ECDSA_VERIFY`].
+pub const EDDSA_VERIFY: u32 = 5;
+/// Read one `i32` of private input; `a0` = input index.
+pub const READ_INPUT: u32 = 6;
+
+/// Human-readable name for an ecall code (used by the printer).
+pub fn name(code: u32) -> &'static str {
+    match code {
+        HALT => "halt",
+        COMMIT => "commit",
+        SHA256 => "sha256",
+        KECCAK256 => "keccak256",
+        ECDSA_VERIFY => "ecdsa_verify",
+        EDDSA_VERIFY => "eddsa_verify",
+        READ_INPUT => "read_input",
+        _ => "unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(super::name(super::HALT), "halt");
+        assert_eq!(super::name(super::SHA256), "sha256");
+        assert_eq!(super::name(99), "unknown");
+    }
+}

@@ -1,0 +1,596 @@
+//! Reference interpreter for the IR.
+//!
+//! This is the workspace's *semantic oracle*: differential tests run a program
+//! through every optimization profile and demand that the guest-visible
+//! behaviour (return value + journal) matches what this interpreter computes
+//! on the unoptimized module.
+//!
+//! Value representation invariants:
+//! - `i1` values are 0 or 1,
+//! - `i8` values are zero-extended (0..=255); `load i8` behaves like `lbu`,
+//! - `i32` values are sign-extended into the `i64` slots,
+//! - `ptr` values are zero-extended 32-bit addresses.
+
+use crate::ecall;
+use crate::func::{BlockId, FuncId, Function, Module, ValueDef, ValueId};
+use crate::inst::{CastKind, Op, Operand, Term};
+use crate::ty::Ty;
+use std::fmt;
+
+/// Total simulated memory size (8 MiB), shared with the zkVM memory map.
+pub const MEM_SIZE: u32 = 0x0080_0000;
+/// Initial stack pointer (grows down), leaving a guard gap at the top.
+pub const STACK_TOP: u32 = MEM_SIZE - 0x1000;
+
+/// Handler for precompile-style ecalls (SHA-256, Keccak, signatures).
+///
+/// The interpreter handles `halt`, `commit`, and `read_input` itself and
+/// delegates everything else here.
+pub trait EcallHandler {
+    /// Handle ecall `code` with raw argument registers `args`, with full
+    /// access to guest memory. Returns the `i32` result (sign-extended).
+    fn handle(&mut self, code: u32, args: &[i64], mem: &mut [u8]) -> i64;
+}
+
+/// A no-op handler: every precompile returns 0 and leaves memory untouched.
+///
+/// Sufficient for tests that do not exercise crypto precompiles. The real
+/// handler lives in `zkvmopt-vm` and is backed by `zkvmopt-crypto`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NopEcalls;
+
+impl EcallHandler for NopEcalls {
+    fn handle(&mut self, _code: u32, _args: &[i64], _mem: &mut [u8]) -> i64 {
+        0
+    }
+}
+
+/// Interpreter configuration.
+#[derive(Debug, Clone)]
+pub struct InterpConfig {
+    /// Abort after this many executed IR instructions.
+    pub max_steps: u64,
+    /// Values served by the `read_input` ecall.
+    pub inputs: Vec<i32>,
+    /// Maximum call depth.
+    pub max_depth: usize,
+}
+
+impl Default for InterpConfig {
+    fn default() -> InterpConfig {
+        InterpConfig { max_steps: 500_000_000, inputs: Vec::new(), max_depth: 512 }
+    }
+}
+
+/// Why interpretation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Out-of-bounds or null memory access.
+    MemFault { addr: u32 },
+    /// The step budget was exhausted.
+    StepLimit,
+    /// Call depth exceeded.
+    DepthLimit,
+    /// Executed an `unreachable` terminator.
+    Unreachable,
+    /// The module has no `main`.
+    NoMain,
+    /// Malformed IR encountered mid-run (should be caught by the verifier).
+    Malformed(String),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::MemFault { addr } => write!(f, "memory fault at {addr:#x}"),
+            InterpError::StepLimit => write!(f, "step limit exceeded"),
+            InterpError::DepthLimit => write!(f, "call depth exceeded"),
+            InterpError::Unreachable => write!(f, "reached unreachable"),
+            InterpError::NoMain => write!(f, "module has no main function"),
+            InterpError::Malformed(m) => write!(f, "malformed IR: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// The observable result of a guest run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpOutcome {
+    /// `main`'s return value (sign-extended), or the halt code if the guest
+    /// called the `halt` ecall.
+    pub exit_value: i64,
+    /// Values committed via the `commit` ecall, in order.
+    pub journal: Vec<i32>,
+    /// Executed IR instruction count.
+    pub steps: u64,
+    /// Whether the guest terminated via the `halt` ecall.
+    pub halted: bool,
+}
+
+enum Flow {
+    Return(Option<i64>),
+    Halt(i32),
+}
+
+/// The interpreter. One instance per run.
+pub struct Interp<'m, H: EcallHandler> {
+    module: &'m Module,
+    mem: Vec<u8>,
+    global_addrs: Vec<u32>,
+    sp: u32,
+    steps: u64,
+    journal: Vec<i32>,
+    config: InterpConfig,
+    handler: H,
+}
+
+impl<'m, H: EcallHandler> Interp<'m, H> {
+    /// Create an interpreter over `module` with handler `handler`.
+    pub fn new(module: &'m Module, config: InterpConfig, handler: H) -> Interp<'m, H> {
+        let global_addrs = module.layout_globals();
+        let mut mem = vec![0u8; MEM_SIZE as usize];
+        for (g, &addr) in module.globals.iter().zip(&global_addrs) {
+            let end = addr as usize + g.init.len();
+            mem[addr as usize..end].copy_from_slice(&g.init);
+        }
+        Interp {
+            module,
+            mem,
+            global_addrs,
+            sp: STACK_TOP,
+            steps: 0,
+            journal: Vec::new(),
+            config,
+            handler,
+        }
+    }
+
+    /// Run the module's `main` function to completion.
+    ///
+    /// # Errors
+    /// Returns an [`InterpError`] on faults, missing `main`, or exhausted
+    /// budgets.
+    pub fn run_main(mut self) -> Result<InterpOutcome, InterpError> {
+        let main = self.module.main_func().ok_or(InterpError::NoMain)?;
+        let flow = self.run_function(main, &[], 0)?;
+        let (exit_value, halted) = match flow {
+            Flow::Halt(code) => (code as i64, true),
+            Flow::Return(v) => (v.unwrap_or(0), false),
+        };
+        Ok(InterpOutcome { exit_value, journal: self.journal, steps: self.steps, halted })
+    }
+
+    fn run_function(
+        &mut self,
+        fid: FuncId,
+        args: &[i64],
+        depth: usize,
+    ) -> Result<Flow, InterpError> {
+        if depth > self.config.max_depth {
+            return Err(InterpError::DepthLimit);
+        }
+        let f: &Function = &self.module.funcs[fid.index()];
+        let saved_sp = self.sp;
+        let mut vals: Vec<i64> = vec![0; f.values.len()];
+        for (i, a) in args.iter().enumerate() {
+            vals[i] = *a;
+        }
+        let mut block = f.entry;
+        let mut prev: Option<BlockId> = None;
+        'blocks: loop {
+            // Phi nodes: parallel evaluation against the predecessor edge.
+            let insts = &f.blocks[block.index()].insts;
+            let mut phi_updates: Vec<(ValueId, i64)> = Vec::new();
+            let mut first_non_phi = 0;
+            for (i, &v) in insts.iter().enumerate() {
+                if let Some(Op::Phi { incoming }) = f.op(v) {
+                    let p = prev.ok_or_else(|| {
+                        InterpError::Malformed(format!("phi in entry block of @{}", f.name))
+                    })?;
+                    let (_, o) = incoming
+                        .iter()
+                        .find(|(b, _)| *b == p)
+                        .ok_or_else(|| {
+                            InterpError::Malformed(format!(
+                                "phi %{} missing edge from bb{}",
+                                v.0, p.0
+                            ))
+                        })?;
+                    phi_updates.push((v, self.eval(&vals, o)));
+                    first_non_phi = i + 1;
+                } else {
+                    break;
+                }
+            }
+            for (v, x) in phi_updates {
+                vals[v.index()] = x;
+                self.bump()?;
+            }
+            for &v in &f.blocks[block.index()].insts[first_non_phi..] {
+                self.bump()?;
+                let op = match &f.values[v.index()].def {
+                    ValueDef::Inst(op) => op,
+                    ValueDef::Param { .. } => {
+                        return Err(InterpError::Malformed("param in block".into()))
+                    }
+                };
+                match op {
+                    Op::Bin { op, a, b } => {
+                        let r = op.eval32(self.eval(&vals, a), self.eval(&vals, b));
+                        vals[v.index()] = r;
+                    }
+                    Op::Icmp { pred, a, b } => {
+                        vals[v.index()] =
+                            pred.eval32(self.eval(&vals, a), self.eval(&vals, b)) as i64;
+                    }
+                    Op::Select { c, t, f: fo } => {
+                        let cv = self.eval(&vals, c);
+                        vals[v.index()] =
+                            if cv != 0 { self.eval(&vals, t) } else { self.eval(&vals, fo) };
+                    }
+                    Op::Load { ptr, ty } => {
+                        let addr = self.eval(&vals, ptr) as u32;
+                        vals[v.index()] = self.load(addr, *ty)?;
+                    }
+                    Op::Store { ptr, val, ty } => {
+                        let addr = self.eval(&vals, ptr) as u32;
+                        let x = self.eval(&vals, val);
+                        self.store(addr, x, *ty)?;
+                    }
+                    Op::Alloca { elem, count } => {
+                        let bytes = (elem.size_bytes() * count + 3) & !3;
+                        self.sp = self
+                            .sp
+                            .checked_sub(bytes)
+                            .ok_or(InterpError::MemFault { addr: 0 })?;
+                        if self.sp < crate::func::GLOBAL_BASE {
+                            return Err(InterpError::MemFault { addr: self.sp });
+                        }
+                        vals[v.index()] = self.sp as i64;
+                    }
+                    Op::Gep { base, index, stride, offset } => {
+                        let b = self.eval(&vals, base) as u32;
+                        let i = self.eval(&vals, index) as u32;
+                        let addr = b
+                            .wrapping_add(i.wrapping_mul(*stride))
+                            .wrapping_add(*offset as u32);
+                        vals[v.index()] = addr as i64;
+                    }
+                    Op::GlobalAddr(g) => {
+                        vals[v.index()] = self.global_addrs[g.index()] as i64;
+                    }
+                    Op::Call { callee, args } => {
+                        let a: Vec<i64> = args.iter().map(|o| self.eval(&vals, o)).collect();
+                        match self.run_function(*callee, &a, depth + 1)? {
+                            Flow::Return(r) => vals[v.index()] = r.unwrap_or(0),
+                            Flow::Halt(c) => {
+                                self.sp = saved_sp;
+                                return Ok(Flow::Halt(c));
+                            }
+                        }
+                    }
+                    Op::Ecall { code, args } => {
+                        let a: Vec<i64> = args.iter().map(|o| self.eval(&vals, o)).collect();
+                        match *code {
+                            ecall::HALT => {
+                                let code = a.first().copied().unwrap_or(0) as i32;
+                                self.sp = saved_sp;
+                                return Ok(Flow::Halt(code));
+                            }
+                            ecall::COMMIT => {
+                                self.journal.push(a.first().copied().unwrap_or(0) as i32);
+                                vals[v.index()] = 0;
+                            }
+                            ecall::READ_INPUT => {
+                                let idx = a.first().copied().unwrap_or(0) as usize;
+                                vals[v.index()] =
+                                    self.config.inputs.get(idx).copied().unwrap_or(0) as i64;
+                            }
+                            other => {
+                                vals[v.index()] = self.handler.handle(other, &a, &mut self.mem);
+                            }
+                        }
+                    }
+                    Op::Phi { .. } => {
+                        return Err(InterpError::Malformed("phi after non-phi".into()))
+                    }
+                    Op::Cast { kind, v: src, to } => {
+                        let sv = self.eval(&vals, src);
+                        let sty = f
+                            .operand_ty(src)
+                            .ok_or_else(|| InterpError::Malformed("cast of void".into()))?;
+                        vals[v.index()] = match kind {
+                            CastKind::Zext => canonical(*to, sty.truncate_u(sv)),
+                            CastKind::Sext => canonical(*to, sty.truncate_s(sv)),
+                            CastKind::Trunc => canonical(*to, sv),
+                        };
+                    }
+                    Op::Copy(src) => {
+                        vals[v.index()] = self.eval(&vals, src);
+                    }
+                    Op::Nop => {}
+                }
+            }
+            match &f.blocks[block.index()].term {
+                Term::Br(b) => {
+                    prev = Some(block);
+                    block = *b;
+                }
+                Term::CondBr { c, t, f: fb } => {
+                    let cv = self.eval(&vals, c);
+                    prev = Some(block);
+                    block = if cv != 0 { *t } else { *fb };
+                }
+                Term::Switch { v, cases, default } => {
+                    let x = self.eval(&vals, v) as i32 as i64;
+                    prev = Some(block);
+                    block = cases
+                        .iter()
+                        .find(|(k, _)| *k == x)
+                        .map(|(_, b)| *b)
+                        .unwrap_or(*default);
+                }
+                Term::Ret(v) => {
+                    let r = v.as_ref().map(|o| self.eval(&vals, o));
+                    self.sp = saved_sp;
+                    return Ok(Flow::Return(r));
+                }
+                Term::Unreachable => return Err(InterpError::Unreachable),
+            }
+            self.bump()?;
+            continue 'blocks;
+        }
+    }
+
+    fn bump(&mut self) -> Result<(), InterpError> {
+        self.steps += 1;
+        if self.steps > self.config.max_steps {
+            return Err(InterpError::StepLimit);
+        }
+        Ok(())
+    }
+
+    fn eval(&self, vals: &[i64], o: &Operand) -> i64 {
+        match o {
+            Operand::Value(v) => vals[v.index()],
+            Operand::Const { value, ty } => canonical(*ty, *value),
+        }
+    }
+
+    fn load(&self, addr: u32, ty: Ty) -> Result<i64, InterpError> {
+        let size = ty.size_bytes();
+        if addr < 0x100 || addr.checked_add(size).map_or(true, |e| e > MEM_SIZE) {
+            return Err(InterpError::MemFault { addr });
+        }
+        let a = addr as usize;
+        Ok(match ty {
+            Ty::I1 => (self.mem[a] & 1) as i64,
+            Ty::I8 => self.mem[a] as i64,
+            Ty::I32 | Ty::Ptr => {
+                let raw = u32::from_le_bytes([
+                    self.mem[a],
+                    self.mem[a + 1],
+                    self.mem[a + 2],
+                    self.mem[a + 3],
+                ]);
+                canonical(ty, raw as i64)
+            }
+        })
+    }
+
+    fn store(&mut self, addr: u32, val: i64, ty: Ty) -> Result<(), InterpError> {
+        let size = ty.size_bytes();
+        if addr < 0x100 || addr.checked_add(size).map_or(true, |e| e > MEM_SIZE) {
+            return Err(InterpError::MemFault { addr });
+        }
+        let a = addr as usize;
+        match ty {
+            Ty::I1 => self.mem[a] = (val & 1) as u8,
+            Ty::I8 => self.mem[a] = val as u8,
+            Ty::I32 | Ty::Ptr => {
+                self.mem[a..a + 4].copy_from_slice(&(val as u32).to_le_bytes());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Canonicalize a raw value for storage in a value slot of type `ty`.
+fn canonical(ty: Ty, v: i64) -> i64 {
+    match ty {
+        Ty::I1 => v & 1,
+        Ty::I8 => v & 0xff,
+        Ty::I32 => (v as i32) as i64,
+        Ty::Ptr => v & 0xffff_ffff,
+    }
+}
+
+/// Convenience: run `main` of `module` with the given inputs and a no-op
+/// precompile handler.
+///
+/// # Errors
+/// Propagates any [`InterpError`].
+pub fn run_module(module: &Module, inputs: &[i32]) -> Result<InterpOutcome, InterpError> {
+    let config = InterpConfig { inputs: inputs.to_vec(), ..InterpConfig::default() };
+    Interp::new(module, config, NopEcalls).run_main()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, Pred};
+
+    fn module_with(f: Function) -> Module {
+        let mut m = Module::new();
+        m.add_func(f);
+        m
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut b = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+        let x = b.bin(BinOp::Mul, Operand::i32(6), Operand::i32(7));
+        b.ret(Some(Operand::val(x)));
+        let m = module_with(b.finish());
+        let out = run_module(&m, &[]).unwrap();
+        assert_eq!(out.exit_value, 42);
+        assert!(!out.halted);
+    }
+
+    #[test]
+    fn loop_with_phis() {
+        // sum 0..10 == 45
+        let mut b = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Ty::I32, vec![(entry, Operand::i32(0))]);
+        let s = b.phi(Ty::I32, vec![(entry, Operand::i32(0))]);
+        let c = b.icmp(Pred::Slt, Operand::val(i), Operand::i32(10));
+        b.cond_br(Operand::val(c), body, exit);
+        b.switch_to(body);
+        let s2 = b.bin(BinOp::Add, Operand::val(s), Operand::val(i));
+        let i2 = b.bin(BinOp::Add, Operand::val(i), Operand::i32(1));
+        b.br(header);
+        b.add_phi_incoming(i, body, Operand::val(i2));
+        b.add_phi_incoming(s, body, Operand::val(s2));
+        b.switch_to(exit);
+        b.ret(Some(Operand::val(s)));
+        let m = module_with(b.finish());
+        assert_eq!(run_module(&m, &[]).unwrap().exit_value, 45);
+    }
+
+    #[test]
+    fn memory_roundtrip_via_alloca() {
+        let mut b = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+        let p = b.alloca(Ty::I32, 4);
+        let slot = b.gep(Operand::val(p), Operand::i32(2), 4, 0);
+        b.store(Operand::val(slot), Operand::i32(-5), Ty::I32);
+        let l = b.load(Operand::val(slot), Ty::I32);
+        b.ret(Some(Operand::val(l)));
+        let m = module_with(b.finish());
+        assert_eq!(run_module(&m, &[]).unwrap().exit_value, -5);
+    }
+
+    #[test]
+    fn globals_initialized_and_addressable() {
+        let mut m = Module::new();
+        let g = m.add_global(crate::Global::with_data("d", vec![1, 0, 0, 0, 2, 0, 0, 0]));
+        let mut b = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+        let base = b.global_addr(g);
+        let a = b.load(Operand::val(base), Ty::I32);
+        let p1 = b.gep(Operand::val(base), Operand::i32(1), 4, 0);
+        let c = b.load(Operand::val(p1), Ty::I32);
+        let s = b.bin(BinOp::Add, Operand::val(a), Operand::val(c));
+        b.ret(Some(Operand::val(s)));
+        m.add_func(b.finish());
+        assert_eq!(run_module(&m, &[]).unwrap().exit_value, 3);
+    }
+
+    #[test]
+    fn calls_and_recursion() {
+        // fact(5) = 120 via recursion.
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("fact", vec![Ty::I32], Some(Ty::I32));
+        let base_bb = fb.new_block();
+        let rec_bb = fb.new_block();
+        let n = fb.param(0);
+        let c = fb.icmp(Pred::Sle, Operand::val(n), Operand::i32(1));
+        fb.cond_br(Operand::val(c), base_bb, rec_bb);
+        fb.switch_to(base_bb);
+        fb.ret(Some(Operand::i32(1)));
+        fb.switch_to(rec_bb);
+        let n1 = fb.bin(BinOp::Sub, Operand::val(n), Operand::i32(1));
+        let r = fb.call(FuncId(0), vec![Operand::val(n1)], Some(Ty::I32));
+        let p = fb.bin(BinOp::Mul, Operand::val(n), Operand::val(r));
+        fb.ret(Some(Operand::val(p)));
+        m.add_func(fb.finish());
+        let mut b = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+        let r = b.call(FuncId(0), vec![Operand::i32(5)], Some(Ty::I32));
+        b.ret(Some(Operand::val(r)));
+        m.add_func(b.finish());
+        assert_eq!(run_module(&m, &[]).unwrap().exit_value, 120);
+    }
+
+    #[test]
+    fn halt_and_journal() {
+        let mut b = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+        b.ecall(ecall::COMMIT, vec![Operand::i32(11)]);
+        b.ecall(ecall::COMMIT, vec![Operand::i32(22)]);
+        b.ecall(ecall::HALT, vec![Operand::i32(3)]);
+        b.ret(Some(Operand::i32(0)));
+        let m = module_with(b.finish());
+        let out = run_module(&m, &[]).unwrap();
+        assert!(out.halted);
+        assert_eq!(out.exit_value, 3);
+        assert_eq!(out.journal, vec![11, 22]);
+    }
+
+    #[test]
+    fn read_input_serves_config_values() {
+        let mut b = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+        let x = b.ecall(ecall::READ_INPUT, vec![Operand::i32(1)]);
+        b.ret(Some(Operand::val(x)));
+        let m = module_with(b.finish());
+        assert_eq!(run_module(&m, &[7, 9]).unwrap().exit_value, 9);
+    }
+
+    #[test]
+    fn mem_fault_on_null_access() {
+        let mut b = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+        let z = b.gep(Operand::i32(0), Operand::i32(0), 1, 0);
+        let l = b.load(Operand::val(z), Ty::I32);
+        b.ret(Some(Operand::val(l)));
+        let m = module_with(b.finish());
+        assert!(matches!(run_module(&m, &[]), Err(InterpError::MemFault { .. })));
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loop() {
+        let mut b = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+        let l = b.new_block();
+        b.br(l);
+        b.switch_to(l);
+        b.br(l);
+        let m = module_with(b.finish());
+        let cfg = InterpConfig { max_steps: 1000, ..Default::default() };
+        let r = Interp::new(&m, cfg, NopEcalls).run_main();
+        assert_eq!(r.unwrap_err(), InterpError::StepLimit);
+    }
+
+    #[test]
+    fn byte_loads_are_zero_extended() {
+        let mut b = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+        let p = b.alloca(Ty::I8, 1);
+        b.store(Operand::val(p), Operand::i8(0xff), Ty::I8);
+        let l = b.load(Operand::val(p), Ty::I8);
+        let w = b.cast(CastKind::Zext, Operand::val(l), Ty::I32);
+        b.ret(Some(Operand::val(w)));
+        let m = module_with(b.finish());
+        assert_eq!(run_module(&m, &[]).unwrap().exit_value, 255);
+    }
+
+    #[test]
+    fn sext_of_byte() {
+        let mut b = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+        let w = b.cast(CastKind::Sext, Operand::i8(0xff), Ty::I32);
+        b.ret(Some(Operand::val(w)));
+        let m = module_with(b.finish());
+        assert_eq!(run_module(&m, &[]).unwrap().exit_value, -1);
+    }
+
+    #[test]
+    fn gep_with_i32_base_is_a_fault_guard() {
+        // Using a constant pointer below 0x100 faults; this is the null guard.
+        let mut b = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+        b.store(Operand::Const { value: 0x10, ty: Ty::Ptr }, Operand::i32(1), Ty::I32);
+        b.ret(Some(Operand::i32(0)));
+        let m = module_with(b.finish());
+        assert!(matches!(run_module(&m, &[]), Err(InterpError::MemFault { addr: 0x10 })));
+    }
+}

@@ -1,0 +1,253 @@
+//! Natural-loop discovery.
+//!
+//! Loop passes (`licm`, `loop-unroll`, …) consume this analysis. A *natural
+//! loop* is identified by a back edge `latch -> header` where `header`
+//! dominates `latch`; the loop body is every block that can reach the latch
+//! without passing through the header.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::func::{BlockId, Function};
+use std::collections::HashSet;
+
+/// One natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The loop header (target of the back edges).
+    pub header: BlockId,
+    /// All blocks in the loop, header included.
+    pub blocks: HashSet<BlockId>,
+    /// Source blocks of back edges (`latch -> header`).
+    pub latches: Vec<BlockId>,
+    /// Blocks inside the loop with a successor outside (exiting blocks).
+    pub exiting: Vec<BlockId>,
+    /// Blocks outside the loop that are successors of exiting blocks.
+    pub exits: Vec<BlockId>,
+    /// Nesting depth (outermost loops have depth 1).
+    pub depth: usize,
+    /// Index of the enclosing loop in the forest, if any.
+    pub parent: Option<usize>,
+}
+
+impl Loop {
+    /// Whether the loop contains block `b`.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+
+    /// The unique block outside the loop branching to the header, if exactly
+    /// one exists and it only branches to the header (a *dedicated preheader*).
+    pub fn preheader(&self, f: &Function, cfg: &Cfg) -> Option<BlockId> {
+        let mut outside = Vec::new();
+        for &p in cfg.preds(self.header) {
+            if !self.contains(p) {
+                outside.push(p);
+            }
+        }
+        outside.sort();
+        outside.dedup();
+        if outside.len() != 1 {
+            return None;
+        }
+        let p = outside[0];
+        let succs = f.blocks[p.index()].term.successors();
+        if succs.len() == 1 && succs[0] == self.header {
+            Some(p)
+        } else {
+            None
+        }
+    }
+}
+
+/// All natural loops of a function, outermost-first.
+#[derive(Debug, Clone, Default)]
+pub struct LoopForest {
+    /// Discovered loops. Parent loops precede children.
+    pub loops: Vec<Loop>,
+}
+
+impl LoopForest {
+    /// Discover natural loops from back edges.
+    pub fn new(f: &Function, cfg: &Cfg, dom: &DomTree) -> LoopForest {
+        // Group back edges by header.
+        let mut headers: Vec<BlockId> = Vec::new();
+        let mut latches_of: Vec<Vec<BlockId>> = Vec::new();
+        for &b in cfg.rpo() {
+            for &s in cfg.succs(b) {
+                if dom.dominates(s, b) {
+                    match headers.iter().position(|h| *h == s) {
+                        Some(i) => latches_of[i].push(b),
+                        None => {
+                            headers.push(s);
+                            latches_of.push(vec![b]);
+                        }
+                    }
+                }
+            }
+        }
+        let mut loops = Vec::new();
+        for (h, latches) in headers.into_iter().zip(latches_of) {
+            let mut blocks: HashSet<BlockId> = HashSet::new();
+            blocks.insert(h);
+            let mut work: Vec<BlockId> = latches.clone();
+            while let Some(b) = work.pop() {
+                if blocks.insert(b) {
+                    for &p in cfg.preds(b) {
+                        work.push(p);
+                    }
+                }
+            }
+            let mut exiting = Vec::new();
+            let mut exits = Vec::new();
+            for &b in &blocks {
+                for s in f.blocks[b.index()].term.successors() {
+                    if !blocks.contains(&s) {
+                        if !exiting.contains(&b) {
+                            exiting.push(b);
+                        }
+                        if !exits.contains(&s) {
+                            exits.push(s);
+                        }
+                    }
+                }
+            }
+            exiting.sort();
+            exits.sort();
+            loops.push(Loop {
+                header: h,
+                blocks,
+                latches,
+                exiting,
+                exits,
+                depth: 1,
+                parent: None,
+            });
+        }
+        // Sort outermost (largest) first so parents precede children.
+        loops.sort_by_key(|l| std::cmp::Reverse(l.blocks.len()));
+        // Compute nesting: a loop's parent is the smallest strictly-enclosing loop.
+        for i in 0..loops.len() {
+            let mut best: Option<usize> = None;
+            for j in 0..loops.len() {
+                if i == j {
+                    continue;
+                }
+                if loops[j].blocks.len() > loops[i].blocks.len()
+                    && loops[j].blocks.contains(&loops[i].header)
+                    && loops[i].blocks.iter().all(|b| loops[j].blocks.contains(b))
+                {
+                    best = match best {
+                        None => Some(j),
+                        Some(k) if loops[j].blocks.len() < loops[k].blocks.len() => Some(j),
+                        keep => keep,
+                    };
+                }
+            }
+            loops[i].parent = best;
+        }
+        for i in 0..loops.len() {
+            let mut d = 1;
+            let mut p = loops[i].parent;
+            while let Some(j) = p {
+                d += 1;
+                p = loops[j].parent;
+            }
+            loops[i].depth = d;
+        }
+        LoopForest { loops }
+    }
+
+    /// The innermost loop containing `b`, if any.
+    pub fn innermost_containing(&self, b: BlockId) -> Option<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(b))
+            .max_by_key(|l| l.depth)
+    }
+
+    /// Loop depth of block `b` (0 if not in any loop).
+    pub fn depth_of(&self, b: BlockId) -> usize {
+        self.innermost_containing(b).map(|l| l.depth).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, Operand, Pred};
+    use crate::ty::Ty;
+
+    /// Builds `for i in 0..n { for j in 0..n { } }` and returns the function.
+    fn nested_loops() -> Function {
+        let mut b = FunctionBuilder::new("nest", vec![Ty::I32], None);
+        let oh = b.new_block(); // outer header
+        let ob = b.new_block(); // outer body == inner preheader
+        let ih = b.new_block(); // inner header
+        let ib = b.new_block(); // inner body
+        let ol = b.new_block(); // outer latch
+        let ex = b.new_block();
+        let entry = b.current_block();
+        b.br(oh);
+        b.switch_to(oh);
+        let i = b.phi(Ty::I32, vec![(entry, Operand::i32(0))]);
+        let c = b.icmp(Pred::Slt, Operand::val(i), Operand::val(b.param(0)));
+        b.cond_br(Operand::val(c), ob, ex);
+        b.switch_to(ob);
+        b.br(ih);
+        b.switch_to(ih);
+        let j = b.phi(Ty::I32, vec![(ob, Operand::i32(0))]);
+        let cj = b.icmp(Pred::Slt, Operand::val(j), Operand::val(b.param(0)));
+        b.cond_br(Operand::val(cj), ib, ol);
+        b.switch_to(ib);
+        let j2 = b.bin(BinOp::Add, Operand::val(j), Operand::i32(1));
+        b.br(ih);
+        b.add_phi_incoming(j, ib, Operand::val(j2));
+        b.switch_to(ol);
+        let i2 = b.bin(BinOp::Add, Operand::val(i), Operand::i32(1));
+        b.br(oh);
+        b.add_phi_incoming(i, ol, Operand::val(i2));
+        b.switch_to(ex);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn finds_two_nested_loops() {
+        let f = nested_loops();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let forest = LoopForest::new(&f, &cfg, &dom);
+        assert_eq!(forest.loops.len(), 2);
+        let outer = &forest.loops[0];
+        let inner = &forest.loops[1];
+        assert!(outer.blocks.len() > inner.blocks.len());
+        assert_eq!(outer.depth, 1);
+        assert_eq!(inner.depth, 2);
+        assert_eq!(inner.parent, Some(0));
+        assert!(outer.blocks.contains(&inner.header));
+    }
+
+    #[test]
+    fn exits_and_latches() {
+        let f = nested_loops();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let forest = LoopForest::new(&f, &cfg, &dom);
+        let outer = &forest.loops[0];
+        assert_eq!(outer.latches.len(), 1);
+        assert_eq!(outer.exits.len(), 1);
+        assert_eq!(forest.depth_of(f.entry), 0);
+    }
+
+    #[test]
+    fn preheader_detection() {
+        let f = nested_loops();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let forest = LoopForest::new(&f, &cfg, &dom);
+        let inner = &forest.loops[1];
+        // The outer body is the inner loop's dedicated preheader.
+        assert!(inner.preheader(&f, &cfg).is_some());
+    }
+}

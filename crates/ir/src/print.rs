@@ -1,0 +1,187 @@
+//! Textual IR printer (LLVM-flavoured), for debugging and golden tests.
+
+use crate::func::{Function, Module, ValueDef, ValueId};
+use crate::inst::{Op, Operand, Term};
+use std::fmt::Write;
+
+fn fmt_operand(_f: &Function, o: &Operand) -> String {
+    match o {
+        Operand::Value(v) => format!("%{}", v.0),
+        Operand::Const { value, ty } => format!("{value}:{ty}"),
+    }
+}
+
+fn fmt_inst(func: &Function, m: &Module, v: ValueId) -> String {
+    let data = &func.values[v.index()];
+    let op = match &data.def {
+        ValueDef::Inst(op) => op,
+        ValueDef::Param { index } => return format!("%{} = param {}", v.0, index),
+    };
+    let lhs = match data.ty {
+        Some(ty) => format!("%{} = ", v.0) + &format!("{ty} "),
+        None => String::new(),
+    };
+    let body = match op {
+        Op::Bin { op, a, b } => {
+            format!("{} {}, {}", op.mnemonic(), fmt_operand(func, a), fmt_operand(func, b))
+        }
+        Op::Icmp { pred, a, b } => format!(
+            "icmp {} {}, {}",
+            pred.mnemonic(),
+            fmt_operand(func, a),
+            fmt_operand(func, b)
+        ),
+        Op::Select { c, t, f } => format!(
+            "select {}, {}, {}",
+            fmt_operand(func, c),
+            fmt_operand(func, t),
+            fmt_operand(func, f)
+        ),
+        Op::Load { ptr, ty } => format!("load {ty}, {}", fmt_operand(func, ptr)),
+        Op::Store { ptr, val, ty } => format!(
+            "store {ty} {}, {}",
+            fmt_operand(func, val),
+            fmt_operand(func, ptr)
+        ),
+        Op::Alloca { elem, count } => format!("alloca {elem} x {count}"),
+        Op::Gep { base, index, stride, offset } => format!(
+            "gep {}, {} * {stride} + {offset}",
+            fmt_operand(func, base),
+            fmt_operand(func, index)
+        ),
+        Op::GlobalAddr(g) => {
+            let name = m
+                .globals
+                .get(g.index())
+                .map(|gl| gl.name.as_str())
+                .unwrap_or("?");
+            format!("global_addr @{name}")
+        }
+        Op::Call { callee, args } => {
+            let name = m
+                .funcs
+                .get(callee.index())
+                .map(|f| f.name.as_str())
+                .unwrap_or("?");
+            let a: Vec<String> = args.iter().map(|x| fmt_operand(func, x)).collect();
+            format!("call @{name}({})", a.join(", "))
+        }
+        Op::Ecall { code, args } => {
+            let a: Vec<String> = args.iter().map(|x| fmt_operand(func, x)).collect();
+            format!("ecall {}({})", crate::ecall::name(*code), a.join(", "))
+        }
+        Op::Phi { incoming } => {
+            let a: Vec<String> = incoming
+                .iter()
+                .map(|(b, o)| format!("[bb{}: {}]", b.0, fmt_operand(func, o)))
+                .collect();
+            format!("phi {}", a.join(", "))
+        }
+        Op::Cast { kind, v, to } => {
+            let k = match kind {
+                crate::inst::CastKind::Zext => "zext",
+                crate::inst::CastKind::Sext => "sext",
+                crate::inst::CastKind::Trunc => "trunc",
+            };
+            format!("{k} {} to {to}", fmt_operand(func, v))
+        }
+        Op::Copy(v) => format!("copy {}", fmt_operand(func, v)),
+        Op::Nop => "nop".to_string(),
+    };
+    format!("{lhs}{body}")
+}
+
+fn fmt_term(func: &Function, t: &Term) -> String {
+    match t {
+        Term::Br(b) => format!("br bb{}", b.0),
+        Term::CondBr { c, t, f } => {
+            format!("br {}, bb{}, bb{}", fmt_operand(func, c), t.0, f.0)
+        }
+        Term::Switch { v, cases, default } => {
+            let cs: Vec<String> =
+                cases.iter().map(|(k, b)| format!("{k} => bb{}", b.0)).collect();
+            format!("switch {} [{}], default bb{}", fmt_operand(func, v), cs.join(", "), default.0)
+        }
+        Term::Ret(Some(v)) => format!("ret {}", fmt_operand(func, v)),
+        Term::Ret(None) => "ret".to_string(),
+        Term::Unreachable => "unreachable".to_string(),
+    }
+}
+
+/// Render one function as text.
+pub fn function_to_string(func: &Function, m: &Module) -> String {
+    let mut s = String::new();
+    let params: Vec<String> = func
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("%{i}: {t}"))
+        .collect();
+    let ret = match func.ret {
+        Some(t) => format!(" -> {t}"),
+        None => String::new(),
+    };
+    let _ = writeln!(s, "fn @{}({}){ret} {{", func.name, params.join(", "));
+    for b in func.reachable_blocks() {
+        let _ = writeln!(s, "bb{}:", b.0);
+        for &v in &func.blocks[b.index()].insts {
+            let _ = writeln!(s, "  {}", fmt_inst(func, m, v));
+        }
+        let _ = writeln!(s, "  {}", fmt_term(func, &func.blocks[b.index()].term));
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Render a whole module as text.
+pub fn module_to_string(m: &Module) -> String {
+    let mut s = String::new();
+    for g in &m.globals {
+        let _ = writeln!(s, "global @{}: {} bytes (init {})", g.name, g.size, g.init.len());
+    }
+    for f in &m.funcs {
+        s.push_str(&function_to_string(f, m));
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, Operand};
+    use crate::ty::Ty;
+
+    #[test]
+    fn prints_readably() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I32], Some(Ty::I32));
+        let v = b.bin(BinOp::Add, Operand::val(b.param(0)), Operand::i32(2));
+        b.ret(Some(Operand::val(v)));
+        let f = b.finish();
+        let mut m = Module::new();
+        m.add_func(f);
+        let text = module_to_string(&m);
+        assert!(text.contains("fn @f(%0: i32) -> i32 {"));
+        assert!(text.contains("add %0, 2:i32"));
+        assert!(text.contains("ret %1"));
+    }
+
+    #[test]
+    fn prints_memory_and_calls() {
+        let mut m = Module::new();
+        let g = m.add_global(crate::Global::zeroed("buf", 64));
+        let mut b = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+        let base = b.global_addr(g);
+        let p = b.gep(Operand::val(base), Operand::i32(3), 4, 0);
+        b.store(Operand::val(p), Operand::i32(7), Ty::I32);
+        let l = b.load(Operand::val(p), Ty::I32);
+        b.ret(Some(Operand::val(l)));
+        m.add_func(b.finish());
+        let text = module_to_string(&m);
+        assert!(text.contains("global @buf: 64 bytes"));
+        assert!(text.contains("global_addr @buf"));
+        assert!(text.contains("store i32"));
+        assert!(text.contains("load i32"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Abstract syntax tree for zklang.
+
+/// Source-level scalar and pointer types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrcTy {
+    /// Signed 32-bit integer.
+    I32,
+    /// Unsigned 32-bit integer (chooses unsigned division/shift/compare).
+    U32,
+    /// Byte (unsigned, zero-extended on load).
+    I8,
+    /// Boolean.
+    Bool,
+    /// Pointer to `i32`/`u32` cells.
+    PtrI32,
+    /// Pointer to bytes.
+    PtrI8,
+}
+
+impl SrcTy {
+    /// Whether the type compares/divides unsigned.
+    pub fn is_unsigned(self) -> bool {
+        matches!(self, SrcTy::U32 | SrcTy::I8)
+    }
+
+    /// Element stride for indexing through this pointer type.
+    pub fn pointee_stride(self) -> Option<u32> {
+        match self {
+            SrcTy::PtrI32 => Some(4),
+            SrcTy::PtrI8 => Some(1),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a pointer type.
+    pub fn is_ptr(self) -> bool {
+        self.pointee_stride().is_some()
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement.
+    Not,
+    /// Logical not (bool).
+    LNot,
+}
+
+/// Binary operators (source level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bin {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LAnd,
+    LOr,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal (32-bit bit pattern).
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference (scalar read, or array/pointer decay in address
+    /// contexts).
+    Var(String),
+    /// `base[index]`.
+    Index(String, Box<Expr>),
+    /// Function or builtin call.
+    Call(String, Vec<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(Bin, Box<Expr>, Box<Expr>),
+    /// `expr as ty`.
+    Cast(Box<Expr>, SrcTy),
+}
+
+/// Assignable places.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A scalar variable.
+    Var(String),
+    /// An array or pointer element.
+    Index(String, Expr),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let [mut] name: ty [= init];` or `let [mut] name: [ty; n];`
+    Let {
+        name: String,
+        ty: SrcTy,
+        /// Array element count (`None` for scalars). Evaluated as a constant.
+        count: Option<Expr>,
+        init: Option<Expr>,
+        line: u32,
+    },
+    /// `lhs op= rhs;` (`op` is `None` for plain `=`).
+    Assign { target: LValue, op: Option<Bin>, value: Expr, line: u32 },
+    /// `if (cond) { .. } else { .. }`
+    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>, line: u32 },
+    /// `while (cond) { .. }`
+    While { cond: Expr, body: Vec<Stmt>, line: u32 },
+    /// `for (init; cond; step) { .. }` — desugared while with a step that
+    /// `continue` still executes.
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Vec<Stmt>,
+        line: u32,
+    },
+    /// `return [expr];`
+    Return(Option<Expr>, u32),
+    /// `break;`
+    Break(u32),
+    /// `continue;`
+    Continue(u32),
+    /// Bare expression statement (typically a call).
+    Expr(Expr, u32),
+}
+
+/// Inlining hints recognised from `#[inline(...)]` attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InlineHint {
+    #[default]
+    None,
+    Always,
+    Never,
+}
+
+/// Function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDecl {
+    pub name: String,
+    pub params: Vec<(String, SrcTy)>,
+    pub ret: Option<SrcTy>,
+    pub body: Vec<Stmt>,
+    pub inline: InlineHint,
+    pub line: u32,
+}
+
+/// Global initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInit {
+    /// Zero-initialized.
+    Zero,
+    /// List of constant expressions.
+    Ints(Vec<Expr>),
+    /// String bytes (only for `i8` arrays).
+    Str(String),
+}
+
+/// `static NAME: [ty; n] = ...;` or scalar static.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    pub name: String,
+    pub elem: SrcTy,
+    /// Element count expression (1 for scalars).
+    pub count: Option<Expr>,
+    pub init: GlobalInit,
+    pub line: u32,
+}
+
+/// `const NAME: i32 = <const expr>;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstDecl {
+    pub name: String,
+    pub value: Expr,
+    pub line: u32,
+}
+
+/// A parsed compilation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    pub consts: Vec<ConstDecl>,
+    pub globals: Vec<GlobalDecl>,
+    pub funcs: Vec<FnDecl>,
+}

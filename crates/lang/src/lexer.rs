@@ -1,0 +1,424 @@
+//! Tokenizer for zklang.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    // Literals and identifiers
+    Int(i64),
+    Str(String),
+    Ident(String),
+    // Keywords
+    Fn,
+    Let,
+    Mut,
+    Static,
+    Const,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+    As,
+    True,
+    False,
+    // Types
+    TyI32,
+    TyU32,
+    TyI8,
+    TyBool,
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Arrow,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    Hash,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token paired with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A lexer error with location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `src` into a vector ending with [`Tok::Eof`].
+///
+/// # Errors
+/// Returns a [`LexError`] on unterminated strings or unknown characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let err = |line: u32, m: &str| LexError { line, message: m.to_string() };
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(err(line, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut value: i64;
+                if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] | 32) == b'x' {
+                    i += 2;
+                    let hs = i;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if i == hs {
+                        return Err(err(line, "empty hex literal"));
+                    }
+                    let text = &src[hs..i];
+                    value = i64::from_str_radix(text, 16)
+                        .map_err(|_| err(line, "hex literal out of range"))?;
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    value = src[start..i]
+                        .parse()
+                        .map_err(|_| err(line, "integer literal out of range"))?;
+                }
+                // Wrap into 32-bit range: literals above i32::MAX are u32 bit patterns.
+                value &= 0xffff_ffff;
+                out.push(Spanned { tok: Tok::Int(value), line });
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(err(line, "unterminated string"));
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            i += 1;
+                            if i >= bytes.len() {
+                                return Err(err(line, "unterminated escape"));
+                            }
+                            let e = bytes[i] as char;
+                            s.push(match e {
+                                'n' => '\n',
+                                't' => '\t',
+                                '0' => '\0',
+                                '\\' => '\\',
+                                '"' => '"',
+                                _ => return Err(err(line, "unknown escape")),
+                            });
+                            i += 1;
+                        }
+                        b'\n' => return Err(err(line, "newline in string")),
+                        b => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Spanned { tok: Tok::Str(s), line });
+            }
+            '\'' => {
+                // Char literal: yields its byte value as an integer token.
+                i += 1;
+                if i >= bytes.len() {
+                    return Err(err(line, "unterminated char"));
+                }
+                let v = if bytes[i] == b'\\' {
+                    i += 1;
+                    let e = bytes.get(i).copied().ok_or_else(|| err(line, "bad escape"))?;
+                    i += 1;
+                    match e {
+                        b'n' => b'\n',
+                        b't' => b'\t',
+                        b'0' => 0,
+                        b'\\' => b'\\',
+                        b'\'' => b'\'',
+                        _ => return Err(err(line, "unknown char escape")),
+                    }
+                } else {
+                    let v = bytes[i];
+                    i += 1;
+                    v
+                };
+                if i >= bytes.len() || bytes[i] != b'\'' {
+                    return Err(err(line, "unterminated char"));
+                }
+                i += 1;
+                out.push(Spanned { tok: Tok::Int(v as i64), line });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "fn" => Tok::Fn,
+                    "let" => Tok::Let,
+                    "mut" => Tok::Mut,
+                    "static" => Tok::Static,
+                    "const" => Tok::Const,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "for" => Tok::For,
+                    "return" => Tok::Return,
+                    "break" => Tok::Break,
+                    "continue" => Tok::Continue,
+                    "as" => Tok::As,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "i32" => Tok::TyI32,
+                    "u32" => Tok::TyU32,
+                    "i8" | "u8" => Tok::TyI8,
+                    "bool" => Tok::TyBool,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(Spanned { tok, line });
+            }
+            _ => {
+                let two = |a: u8, b: u8| i + 1 < bytes.len() && bytes[i] == a && bytes[i + 1] == b;
+                let three = |a: u8, b: u8, c: u8| {
+                    i + 2 < bytes.len() && bytes[i] == a && bytes[i + 1] == b && bytes[i + 2] == c
+                };
+                let (tok, len) = if three(b'<', b'<', b'=') {
+                    (Tok::ShlAssign, 3)
+                } else if three(b'>', b'>', b'=') {
+                    (Tok::ShrAssign, 3)
+                } else if two(b'-', b'>') {
+                    (Tok::Arrow, 2)
+                } else if two(b'<', b'<') {
+                    (Tok::Shl, 2)
+                } else if two(b'>', b'>') {
+                    (Tok::Shr, 2)
+                } else if two(b'<', b'=') {
+                    (Tok::Le, 2)
+                } else if two(b'>', b'=') {
+                    (Tok::Ge, 2)
+                } else if two(b'=', b'=') {
+                    (Tok::EqEq, 2)
+                } else if two(b'!', b'=') {
+                    (Tok::Ne, 2)
+                } else if two(b'&', b'&') {
+                    (Tok::AndAnd, 2)
+                } else if two(b'|', b'|') {
+                    (Tok::OrOr, 2)
+                } else if two(b'+', b'=') {
+                    (Tok::PlusAssign, 2)
+                } else if two(b'-', b'=') {
+                    (Tok::MinusAssign, 2)
+                } else if two(b'*', b'=') {
+                    (Tok::StarAssign, 2)
+                } else if two(b'/', b'=') {
+                    (Tok::SlashAssign, 2)
+                } else if two(b'%', b'=') {
+                    (Tok::PercentAssign, 2)
+                } else if two(b'&', b'=') {
+                    (Tok::AmpAssign, 2)
+                } else if two(b'|', b'=') {
+                    (Tok::PipeAssign, 2)
+                } else if two(b'^', b'=') {
+                    (Tok::CaretAssign, 2)
+                } else {
+                    let t = match c {
+                        '(' => Tok::LParen,
+                        ')' => Tok::RParen,
+                        '{' => Tok::LBrace,
+                        '}' => Tok::RBrace,
+                        '[' => Tok::LBracket,
+                        ']' => Tok::RBracket,
+                        ',' => Tok::Comma,
+                        ';' => Tok::Semi,
+                        ':' => Tok::Colon,
+                        '*' => Tok::Star,
+                        '+' => Tok::Plus,
+                        '-' => Tok::Minus,
+                        '/' => Tok::Slash,
+                        '%' => Tok::Percent,
+                        '&' => Tok::Amp,
+                        '|' => Tok::Pipe,
+                        '^' => Tok::Caret,
+                        '~' => Tok::Tilde,
+                        '!' => Tok::Bang,
+                        '<' => Tok::Lt,
+                        '>' => Tok::Gt,
+                        '=' => Tok::Assign,
+                        '#' => Tok::Hash,
+                        other => {
+                            return Err(err(line, &format!("unexpected character {other:?}")))
+                        }
+                    };
+                    (t, 1)
+                };
+                out.push(Spanned { tok, line });
+                i += len;
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("fn foo let x"),
+            vec![
+                Tok::Fn,
+                Tok::Ident("foo".into()),
+                Tok::Let,
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_decimal_and_hex() {
+        assert_eq!(toks("42 0xff"), vec![Tok::Int(42), Tok::Int(255), Tok::Eof]);
+        // Large u32 literals keep their bit pattern.
+        assert_eq!(toks("4294967295"), vec![Tok::Int(0xffff_ffff), Tok::Eof]);
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            toks("a <<= b >> c <= d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::ShlAssign,
+                Tok::Ident("b".into()),
+                Tok::Shr,
+                Tok::Ident("c".into()),
+                Tok::Le,
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_and_lines_tracked() {
+        let ts = lex("x // comment\ny /* multi\nline */ z").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 3);
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        assert_eq!(toks("\"ab\\n\""), vec![Tok::Str("ab\n".into()), Tok::Eof]);
+        assert_eq!(toks("'A' '\\n'"), vec![Tok::Int(65), Tok::Int(10), Tok::Eof]);
+    }
+
+    #[test]
+    fn error_on_unknown_char() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("\"open").is_err());
+    }
+}

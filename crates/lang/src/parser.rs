@@ -1,0 +1,661 @@
+//! Recursive-descent parser for zklang.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Spanned, Tok};
+use std::fmt;
+
+/// A parse error with location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError { line: e.line, message: e.message }
+    }
+}
+
+/// Parse a zklang source file into a [`Program`].
+///
+/// # Errors
+/// Returns the first lexical or syntactic error.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    Parser { toks, pos: 0 }.program()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {what}, found `{}`", self.peek())))
+        }
+    }
+
+    fn err(&self, m: &str) -> ParseError {
+        ParseError { line: self.line(), message: m.to_string() }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.next() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(ParseError {
+                line: self.toks[self.pos.saturating_sub(1)].line,
+                message: format!("expected {what}, found `{other}`"),
+            }),
+        }
+    }
+
+    fn scalar_ty(&mut self) -> Result<SrcTy, ParseError> {
+        let t = match self.next() {
+            Tok::TyI32 => SrcTy::I32,
+            Tok::TyU32 => SrcTy::U32,
+            Tok::TyI8 => SrcTy::I8,
+            Tok::TyBool => SrcTy::Bool,
+            Tok::Star => {
+                // *i32 / *u32 / *i8 pointer types.
+                match self.next() {
+                    Tok::TyI32 | Tok::TyU32 => SrcTy::PtrI32,
+                    Tok::TyI8 => SrcTy::PtrI8,
+                    other => {
+                        return Err(ParseError {
+                            line: self.toks[self.pos.saturating_sub(1)].line,
+                            message: format!("expected pointee type, found `{other}`"),
+                        })
+                    }
+                }
+            }
+            other => {
+                return Err(ParseError {
+                    line: self.toks[self.pos.saturating_sub(1)].line,
+                    message: format!("expected type, found `{other}`"),
+                })
+            }
+        };
+        Ok(t)
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut p = Program::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Const => {
+                    self.next();
+                    let line = self.line();
+                    let name = self.ident("const name")?;
+                    self.expect(&Tok::Colon, "`:`")?;
+                    let _ty = self.scalar_ty()?;
+                    self.expect(&Tok::Assign, "`=`")?;
+                    let value = self.expr()?;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    p.consts.push(ConstDecl { name, value, line });
+                }
+                Tok::Static => {
+                    self.next();
+                    let line = self.line();
+                    let name = self.ident("static name")?;
+                    self.expect(&Tok::Colon, "`:`")?;
+                    let (elem, count) = if self.eat(&Tok::LBracket) {
+                        let elem = self.scalar_ty()?;
+                        self.expect(&Tok::Semi, "`;` in array type")?;
+                        let count = self.expr()?;
+                        self.expect(&Tok::RBracket, "`]`")?;
+                        (elem, Some(count))
+                    } else {
+                        (self.scalar_ty()?, None)
+                    };
+                    let init = if self.eat(&Tok::Assign) {
+                        match self.peek().clone() {
+                            Tok::Str(s) => {
+                                self.next();
+                                GlobalInit::Str(s)
+                            }
+                            Tok::LBracket => {
+                                self.next();
+                                let mut items = Vec::new();
+                                if !self.eat(&Tok::RBracket) {
+                                    loop {
+                                        items.push(self.expr()?);
+                                        if self.eat(&Tok::RBracket) {
+                                            break;
+                                        }
+                                        self.expect(&Tok::Comma, "`,`")?;
+                                    }
+                                }
+                                GlobalInit::Ints(items)
+                            }
+                            _ => GlobalInit::Ints(vec![self.expr()?]),
+                        }
+                    } else {
+                        GlobalInit::Zero
+                    };
+                    self.expect(&Tok::Semi, "`;`")?;
+                    p.globals.push(GlobalDecl { name, elem, count, init, line });
+                }
+                Tok::Hash | Tok::Fn => {
+                    p.funcs.push(self.func()?);
+                }
+                other => return Err(self.err(&format!("expected item, found `{other}`"))),
+            }
+        }
+        Ok(p)
+    }
+
+    fn func(&mut self) -> Result<FnDecl, ParseError> {
+        let mut inline = InlineHint::None;
+        while self.eat(&Tok::Hash) {
+            // #[inline(always)] / #[inline(never)]
+            self.expect(&Tok::LBracket, "`[`")?;
+            let attr = self.ident("attribute")?;
+            if attr != "inline" {
+                return Err(self.err(&format!("unknown attribute `{attr}`")));
+            }
+            self.expect(&Tok::LParen, "`(`")?;
+            let kind = self.ident("inline kind")?;
+            inline = match kind.as_str() {
+                "always" => InlineHint::Always,
+                "never" => InlineHint::Never,
+                other => return Err(self.err(&format!("unknown inline kind `{other}`"))),
+            };
+            self.expect(&Tok::RParen, "`)`")?;
+            self.expect(&Tok::RBracket, "`]`")?;
+        }
+        let line = self.line();
+        self.expect(&Tok::Fn, "`fn`")?;
+        let name = self.ident("function name")?;
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                let pname = self.ident("parameter name")?;
+                self.expect(&Tok::Colon, "`:`")?;
+                let ty = self.scalar_ty()?;
+                params.push((pname, ty));
+                if self.eat(&Tok::RParen) {
+                    break;
+                }
+                self.expect(&Tok::Comma, "`,`")?;
+            }
+        }
+        let ret = if self.eat(&Tok::Arrow) { Some(self.scalar_ty()?) } else { None };
+        let body = self.block()?;
+        Ok(FnDecl { name, params, ret, body, inline, line })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if matches!(self.peek(), Tok::Eof) {
+                return Err(self.err("unexpected end of file in block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Let => {
+                self.next();
+                let _ = self.eat(&Tok::Mut);
+                let name = self.ident("variable name")?;
+                self.expect(&Tok::Colon, "`:`")?;
+                let (ty, count) = if self.eat(&Tok::LBracket) {
+                    let t = self.scalar_ty()?;
+                    self.expect(&Tok::Semi, "`;` in array type")?;
+                    let c = self.expr()?;
+                    self.expect(&Tok::RBracket, "`]`")?;
+                    (t, Some(c))
+                } else {
+                    (self.scalar_ty()?, None)
+                };
+                let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Let { name, ty, count, init, line })
+            }
+            Tok::If => {
+                self.next();
+                self.expect(&Tok::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                let then_body = self.block()?;
+                let else_body = if self.eat(&Tok::Else) {
+                    if matches!(self.peek(), Tok::If) {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then_body, else_body, line })
+            }
+            Tok::While => {
+                self.next();
+                self.expect(&Tok::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, line })
+            }
+            Tok::For => {
+                self.next();
+                self.expect(&Tok::LParen, "`(`")?;
+                let init = if self.eat(&Tok::Semi) {
+                    None
+                } else {
+                    let s = self.simple_stmt()?;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    Some(Box::new(s))
+                };
+                let cond = if matches!(self.peek(), Tok::Semi) { None } else { Some(self.expr()?) };
+                self.expect(&Tok::Semi, "`;`")?;
+                let step = if matches!(self.peek(), Tok::RParen) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(&Tok::RParen, "`)`")?;
+                let body = self.block()?;
+                Ok(Stmt::For { init, cond, step, body, line })
+            }
+            Tok::Return => {
+                self.next();
+                let e = if matches!(self.peek(), Tok::Semi) { None } else { Some(self.expr()?) };
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Return(e, line))
+            }
+            Tok::Break => {
+                self.next();
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Break(line))
+            }
+            Tok::Continue => {
+                self.next();
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Continue(line))
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// Assignment, compound assignment, `let`, or expression — without the
+    /// trailing semicolon (used for `for` clauses).
+    fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        if matches!(self.peek(), Tok::Let) {
+            self.next();
+            let _ = self.eat(&Tok::Mut);
+            let name = self.ident("variable name")?;
+            self.expect(&Tok::Colon, "`:`")?;
+            let ty = self.scalar_ty()?;
+            self.expect(&Tok::Assign, "`=`")?;
+            let init = Some(self.expr()?);
+            return Ok(Stmt::Let { name, ty, count: None, init, line });
+        }
+        // Try lvalue assignment: IDENT [ '[' expr ']' ] (op)= expr
+        if let Tok::Ident(name) = self.peek().clone() {
+            let save = self.pos;
+            self.next();
+            let target = if self.eat(&Tok::LBracket) {
+                let idx = self.expr()?;
+                self.expect(&Tok::RBracket, "`]`")?;
+                LValue::Index(name.clone(), idx)
+            } else {
+                LValue::Var(name.clone())
+            };
+            let op = match self.peek() {
+                Tok::Assign => None,
+                Tok::PlusAssign => Some(Bin::Add),
+                Tok::MinusAssign => Some(Bin::Sub),
+                Tok::StarAssign => Some(Bin::Mul),
+                Tok::SlashAssign => Some(Bin::Div),
+                Tok::PercentAssign => Some(Bin::Rem),
+                Tok::AmpAssign => Some(Bin::And),
+                Tok::PipeAssign => Some(Bin::Or),
+                Tok::CaretAssign => Some(Bin::Xor),
+                Tok::ShlAssign => Some(Bin::Shl),
+                Tok::ShrAssign => Some(Bin::Shr),
+                _ => {
+                    // Not an assignment; re-parse as expression statement.
+                    self.pos = save;
+                    let e = self.expr()?;
+                    return Ok(Stmt::Expr(e, line));
+                }
+            };
+            self.next();
+            let value = self.expr()?;
+            return Ok(Stmt::Assign { target, op, value, line });
+        }
+        let e = self.expr()?;
+        Ok(Stmt::Expr(e, line))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.lor()
+    }
+
+    fn lor(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.land()?;
+        while self.eat(&Tok::OrOr) {
+            let r = self.land()?;
+            e = Expr::Binary(Bin::LOr, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn land(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bitor()?;
+        while self.eat(&Tok::AndAnd) {
+            let r = self.bitor()?;
+            e = Expr::Binary(Bin::LAnd, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bitor(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bitxor()?;
+        while self.eat(&Tok::Pipe) {
+            let r = self.bitxor()?;
+            e = Expr::Binary(Bin::Or, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bitxor(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bitand()?;
+        while self.eat(&Tok::Caret) {
+            let r = self.bitand()?;
+            e = Expr::Binary(Bin::Xor, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bitand(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.equality()?;
+        while self.eat(&Tok::Amp) {
+            let r = self.equality()?;
+            e = Expr::Binary(Bin::And, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                Tok::EqEq => Bin::Eq,
+                Tok::Ne => Bin::Ne,
+                _ => break,
+            };
+            self.next();
+            let r = self.relational()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Lt => Bin::Lt,
+                Tok::Le => Bin::Le,
+                Tok::Gt => Bin::Gt,
+                Tok::Ge => Bin::Ge,
+                _ => break,
+            };
+            self.next();
+            let r = self.shift()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Shl => Bin::Shl,
+                Tok::Shr => Bin::Shr,
+                _ => break,
+            };
+            self.next();
+            let r = self.additive()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => Bin::Add,
+                Tok::Minus => Bin::Sub,
+                _ => break,
+            };
+            self.next();
+            let r = self.multiplicative()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => Bin::Mul,
+                Tok::Slash => Bin::Div,
+                Tok::Percent => Bin::Rem,
+                _ => break,
+            };
+            self.next();
+            let r = self.unary()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let e = match self.peek() {
+            Tok::Minus => {
+                self.next();
+                Expr::Unary(UnOp::Neg, Box::new(self.unary()?))
+            }
+            Tok::Tilde => {
+                self.next();
+                Expr::Unary(UnOp::Not, Box::new(self.unary()?))
+            }
+            Tok::Bang => {
+                self.next();
+                Expr::Unary(UnOp::LNot, Box::new(self.unary()?))
+            }
+            _ => self.postfix()?,
+        };
+        Ok(e)
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        while self.eat(&Tok::As) {
+            let ty = self.scalar_ty()?;
+            e = Expr::Cast(Box::new(e), ty);
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::True => Ok(Expr::Bool(true)),
+            Tok::False => Ok(Expr::Bool(false)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Tok::RParen) {
+                                break;
+                            }
+                            self.expect(&Tok::Comma, "`,`")?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args))
+                } else if self.eat(&Tok::LBracket) {
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBracket, "`]`")?;
+                    Ok(Expr::Index(name, Box::new(idx)))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(ParseError {
+                line: self.toks[self.pos.saturating_sub(1)].line,
+                message: format!("expected expression, found `{other}`"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse("fn main() -> i32 { return 0; }").unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].name, "main");
+        assert_eq!(p.funcs[0].ret, Some(SrcTy::I32));
+    }
+
+    #[test]
+    fn parses_consts_globals_and_arrays() {
+        let src = "
+            const N: i32 = 8;
+            static A: [i32; N];
+            static MSG: [i8; 6] = \"hello\\0\";
+            static X: i32 = 3;
+            fn main() -> i32 { return A[0] + X; }
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.consts.len(), 1);
+        assert_eq!(p.globals.len(), 3);
+        assert!(matches!(p.globals[1].init, GlobalInit::Str(_)));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("fn f() -> i32 { return 1 + 2 * 3; }").unwrap();
+        match &p.funcs[0].body[0] {
+            Stmt::Return(Some(Expr::Binary(Bin::Add, _, r)), _) => {
+                assert!(matches!(**r, Expr::Binary(Bin::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = "
+            fn main() -> i32 {
+                let mut s: i32 = 0;
+                for (let mut i: i32 = 0; i < 10; i += 1) {
+                    if (i % 2 == 0) { s += i; } else { continue; }
+                }
+                while (s > 100) { s -= 1; break; }
+                return s;
+            }
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.funcs[0].body.len(), 4);
+    }
+
+    #[test]
+    fn parses_pointers_and_attributes() {
+        let src = "
+            #[inline(always)]
+            fn fill(p: *i32, n: i32) { for (let mut i: i32 = 0; i < n; i += 1) { p[i] = 0; } }
+            #[inline(never)]
+            fn cold() -> i32 { return 1; }
+            fn main() -> i32 { return cold(); }
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.funcs[0].inline, InlineHint::Always);
+        assert_eq!(p.funcs[0].params[0].1, SrcTy::PtrI32);
+        assert_eq!(p.funcs[1].inline, InlineHint::Never);
+    }
+
+    #[test]
+    fn casts_bind_postfix() {
+        let p = parse("fn f(x: i32) -> u32 { return x as u32 >> 3; }").unwrap();
+        match &p.funcs[0].body[0] {
+            Stmt::Return(Some(Expr::Binary(Bin::Shr, l, _)), _) => {
+                assert!(matches!(**l, Expr::Cast(_, SrcTy::U32)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = parse("fn main() -> i32 {\n  let x: i32 = ;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

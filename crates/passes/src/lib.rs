@@ -1,0 +1,474 @@
+//! # zkvmopt-passes
+//!
+//! Optimization passes mirroring the LLVM passes studied in the paper, plus
+//! the pass manager, the standard `-O0 … -Oz` pipelines, and the paper's
+//! zkVM-aware pipeline (§6.1 Change sets 1–3).
+//!
+//! Every pass is a semantics-preserving transformation over `zkvmopt-ir`
+//! modules. The workspace's differential tests run random pass sequences and
+//! compare guest-visible behaviour against the unoptimized module, so passes
+//! here are held to the same bar as LLVM's: *no observable change, ever*.
+//!
+//! ## Pass registry
+//!
+//! Passes are addressed by their LLVM-style names (`"licm"`, `"inline"`,
+//! `"simplifycfg"`, …) through [`run_pass`] / [`pass_names`]. The set matches
+//! the paper's studied passes; passes that are no-ops on zkVMs by construction
+//! (`loop-data-prefetch`, `hot-cold-splitting`) are registered and do nothing,
+//! which is precisely the paper's point about them.
+//!
+//! ## Example
+//!
+//! ```
+//! use zkvmopt_passes::{PassConfig, PassManager};
+//!
+//! let mut m = zkvmopt_lang::compile(
+//!     "fn main() -> i32 { let mut s: i32 = 0;
+//!      for (let mut i: i32 = 0; i < 4; i += 1) { s += i; } return s; }").unwrap();
+//! let before = m.size();
+//! PassManager::o2().run(&mut m, &PassConfig::default());
+//! assert!(m.size() < before);
+//! ```
+
+pub mod cse;
+pub mod ipo;
+pub mod loopopt;
+pub mod mem2reg;
+pub mod misc;
+pub mod sccp;
+pub mod simplify;
+pub mod util;
+
+use zkvmopt_ir::Module;
+
+/// Tunable knobs shared by the passes — the analogue of LLVM's pass
+/// parameters the paper autotunes (`-inline-threshold`, `-unroll-threshold`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassConfig {
+    /// Static-instruction budget under which a callee is inlined
+    /// (LLVM default 225; the paper's autotuned zk value is 4328).
+    pub inline_threshold: usize,
+    /// Unrolled-body instruction budget for full loop unrolling.
+    pub unroll_threshold: usize,
+    /// Partial-unroll factor used when full unrolling exceeds the budget.
+    pub unroll_factor: u32,
+    /// Maximum speculatable instructions `simplifycfg` will if-convert per
+    /// branch arm (LLVM's "speculation" budget). The zk-aware pipeline sets
+    /// this to 0 (paper P4: keep branches).
+    pub simplifycfg_speculate: usize,
+    /// Whether `instcombine` performs CPU-oriented strength reduction
+    /// (division → shift sequences, Fig. 2a). The zk-aware pipeline disables
+    /// it (paper Change set 1: division is cheap on zkVMs).
+    pub strength_reduce_div: bool,
+    /// Inline even when the callee contains calls/loops (aggressive mode used
+    /// with high thresholds).
+    pub inline_aggressive: bool,
+    /// Run the IR verifier after every pass (tests / debugging).
+    pub verify_each: bool,
+}
+
+impl Default for PassConfig {
+    fn default() -> PassConfig {
+        PassConfig {
+            inline_threshold: 225,
+            unroll_threshold: 200,
+            unroll_factor: 4,
+            simplifycfg_speculate: 2,
+            strength_reduce_div: true,
+            inline_aggressive: false,
+            verify_each: cfg!(debug_assertions),
+        }
+    }
+}
+
+impl PassConfig {
+    /// The zkVM-aware configuration from the paper's §6.1:
+    /// higher inline threshold, conservative branch elimination, and no
+    /// division strength-reduction.
+    pub fn zk_aware() -> PassConfig {
+        PassConfig {
+            inline_threshold: 4328,
+            simplifycfg_speculate: 0,
+            strength_reduce_div: false,
+            inline_aggressive: true,
+            ..PassConfig::default()
+        }
+    }
+}
+
+/// Signature of every pass: mutate the module, report whether anything
+/// changed.
+pub type PassFn = fn(&mut Module, &PassConfig) -> bool;
+
+/// The pass registry: LLVM-style name → implementation.
+///
+/// Names marked *(no-op)* are hardware-oriented passes with nothing to do on
+/// a zkVM target; they are registered so studies can include them, matching
+/// the paper's observation that they provide no measurable gain.
+pub const PASSES: &[(&str, PassFn)] = &[
+    ("mem2reg", mem2reg::mem2reg),
+    ("reg2mem", mem2reg::reg2mem),
+    ("sroa", mem2reg::sroa),
+    ("simplifycfg", simplify::simplifycfg),
+    ("instsimplify", simplify::instsimplify),
+    ("instcombine", simplify::instcombine),
+    ("reassociate", simplify::reassociate),
+    ("dce", simplify::dce),
+    ("adce", simplify::adce),
+    ("dse", simplify::dse),
+    ("sink", simplify::sink),
+    ("mergereturn", simplify::mergereturn),
+    ("lower-switch", simplify::lower_switch),
+    ("mldst-motion", simplify::mldst_motion),
+    ("early-cse", cse::early_cse),
+    ("gvn", cse::gvn),
+    ("newgvn", cse::newgvn),
+    ("sccp", sccp::sccp),
+    ("ipsccp", sccp::ipsccp),
+    ("jump-threading", sccp::jump_threading),
+    ("correlated-propagation", sccp::correlated_propagation),
+    ("inline", ipo::inline),
+    ("always-inline", ipo::always_inline),
+    ("partial-inliner", ipo::partial_inliner),
+    ("tailcall", ipo::tailcall),
+    ("function-attrs", ipo::function_attrs),
+    ("attributor", ipo::attributor),
+    ("deadargelim", ipo::deadargelim),
+    ("globalopt", ipo::globalopt),
+    ("globaldce", ipo::globaldce),
+    ("constmerge", ipo::constmerge),
+    ("ipconstprop", sccp::ipsccp),
+    ("loop-simplify", loopopt::loop_simplify),
+    ("lcssa", loopopt::lcssa),
+    ("licm", loopopt::licm),
+    ("loop-rotate", loopopt::loop_rotate),
+    ("loop-unroll", loopopt::loop_unroll),
+    ("loop-unroll-and-jam", loopopt::loop_unroll_and_jam),
+    ("loop-deletion", loopopt::loop_deletion),
+    ("loop-idiom", loopopt::loop_idiom),
+    ("indvars", loopopt::indvars),
+    ("loop-reduce", loopopt::loop_reduce),
+    ("loop-instsimplify", loopopt::loop_instsimplify),
+    ("loop-fission", loopopt::loop_fission),
+    ("loop-distribute", loopopt::loop_fission),
+    ("simple-loop-unswitch", loopopt::loop_unswitch),
+    ("loop-extract", loopopt::loop_extract),
+    ("loop-predication", loopopt::loop_predication),
+    ("loop-versioning-licm", loopopt::loop_versioning_licm),
+    ("irce", loopopt::irce),
+    ("speculative-execution", misc::speculative_execution),
+    ("bounds-checking", misc::bounds_checking),
+    ("div-rem-pairs", misc::div_rem_pairs),
+    ("loop-data-prefetch", misc::noop),  // (no-op)
+    ("hot-cold-splitting", misc::noop),  // (no-op)
+    ("slp-vectorizer", misc::noop),      // (no-op: no vector units)
+    ("loop-vectorize", misc::noop),      // (no-op: no vector units)
+    ("alignment-from-assumptions", misc::noop), // (no-op)
+    ("strip-dead-prototypes", ipo::globaldce),
+    ("partially-inline-libcalls", misc::noop), // (no-op: no libcalls)
+    ("libcalls-shrinkwrap", misc::noop), // (no-op)
+    ("float2int", misc::noop),           // (no-op: no floats)
+    ("lower-expect", misc::noop),        // (no-op: hints only)
+    ("lower-constant-intrinsics", misc::noop), // (no-op)
+];
+
+/// All registered pass names (the "64 individual passes" axis of the study).
+pub fn pass_names() -> Vec<&'static str> {
+    PASSES.iter().map(|(n, _)| *n).collect()
+}
+
+/// Look up a pass by its LLVM-style name.
+pub fn find_pass(name: &str) -> Option<PassFn> {
+    PASSES.iter().find(|(n, _)| *n == name).map(|(_, f)| *f)
+}
+
+/// Run a single pass by name.
+///
+/// # Panics
+/// Panics if `name` is not registered, or (when `cfg.verify_each` is set) if
+/// the pass broke the IR.
+pub fn run_pass(name: &str, m: &mut Module, cfg: &PassConfig) -> bool {
+    let f = find_pass(name).unwrap_or_else(|| panic!("unknown pass `{name}`"));
+    let changed = f(m, cfg);
+    if cfg.verify_each {
+        if let Err(e) = zkvmopt_ir::verify::verify_module(m) {
+            panic!("pass `{name}` broke the IR: {e}");
+        }
+    }
+    changed
+}
+
+/// The standard optimization levels, mirroring `-O0 … -Oz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OptLevel {
+    O0,
+    O1,
+    O2,
+    O3,
+    Os,
+    Oz,
+}
+
+impl OptLevel {
+    /// All levels, in the paper's Figure 5 order.
+    pub const ALL: [OptLevel; 6] =
+        [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Os, OptLevel::Oz];
+
+    /// Flag-style name (`"-O2"`).
+    pub fn flag(self) -> &'static str {
+        match self {
+            OptLevel::O0 => "-O0",
+            OptLevel::O1 => "-O1",
+            OptLevel::O2 => "-O2",
+            OptLevel::O3 => "-O3",
+            OptLevel::Os => "-Os",
+            OptLevel::Oz => "-Oz",
+        }
+    }
+}
+
+/// An ordered pass sequence with a shared configuration.
+#[derive(Debug, Clone)]
+pub struct PassManager {
+    passes: Vec<&'static str>,
+}
+
+impl PassManager {
+    /// An empty pipeline.
+    pub fn new() -> PassManager {
+        PassManager { passes: Vec::new() }
+    }
+
+    /// Build a pipeline from pass names.
+    ///
+    /// # Panics
+    /// Panics if any name is unknown.
+    pub fn from_names<'a>(names: impl IntoIterator<Item = &'a str>) -> PassManager {
+        let mut pm = PassManager::new();
+        for n in names {
+            let stat = PASSES
+                .iter()
+                .find(|(p, _)| *p == n)
+                .unwrap_or_else(|| panic!("unknown pass `{n}`"))
+                .0;
+            pm.passes.push(stat);
+        }
+        pm
+    }
+
+    /// Append a pass.
+    pub fn add(&mut self, name: &'static str) -> &mut PassManager {
+        assert!(find_pass(name).is_some(), "unknown pass `{name}`");
+        self.passes.push(name);
+        self
+    }
+
+    /// The pass names in order.
+    pub fn names(&self) -> &[&'static str] {
+        &self.passes
+    }
+
+    /// Run the pipeline; returns whether any pass reported a change.
+    pub fn run(&self, m: &mut Module, cfg: &PassConfig) -> bool {
+        let mut changed = false;
+        for name in &self.passes {
+            changed |= run_pass(name, m, cfg);
+        }
+        changed
+    }
+
+    /// `-O0`: frontend simplifications only (the paper's `-O0` still runs
+    /// Rust MIR optimizations; our analogue is `instsimplify` + `dce`).
+    pub fn o0() -> PassManager {
+        PassManager::from_names(["instsimplify", "dce"])
+    }
+
+    /// `-O1`: the basic cleanup pipeline.
+    pub fn o1() -> PassManager {
+        PassManager::from_names([
+            "mem2reg",
+            "instsimplify",
+            "simplifycfg",
+            "early-cse",
+            "sccp",
+            "dce",
+            "simplifycfg",
+        ])
+    }
+
+    /// `-O2`: adds inlining, GVN, and the loop pipeline.
+    pub fn o2() -> PassManager {
+        PassManager::from_names([
+            "mem2reg",
+            "instcombine",
+            "simplifycfg",
+            "inline",
+            "function-attrs",
+            "sroa",
+            "mem2reg",
+            "early-cse",
+            "sccp",
+            "jump-threading",
+            "instcombine",
+            "simplifycfg",
+            "loop-simplify",
+            "lcssa",
+            "licm",
+            "indvars",
+            "loop-idiom",
+            "loop-deletion",
+            "gvn",
+            "dse",
+            "instcombine",
+            "adce",
+            "simplifycfg",
+        ])
+    }
+
+    /// `-O3`: `-O2` plus aggressive unrolling and a second inlining round.
+    pub fn o3() -> PassManager {
+        PassManager::from_names([
+            "mem2reg",
+            "instcombine",
+            "simplifycfg",
+            "inline",
+            "function-attrs",
+            "inline",
+            "sroa",
+            "mem2reg",
+            "early-cse",
+            "sccp",
+            "jump-threading",
+            "correlated-propagation",
+            "instcombine",
+            "simplifycfg",
+            "loop-simplify",
+            "lcssa",
+            "loop-rotate",
+            "licm",
+            "indvars",
+            "loop-idiom",
+            "loop-deletion",
+            "loop-unroll",
+            "gvn",
+            "dse",
+            "mldst-motion",
+            "instcombine",
+            "adce",
+            "simplifycfg",
+            "instcombine",
+        ])
+    }
+
+    /// `-Os`: `-O2` shaped, size-conscious (no unrolling).
+    pub fn os() -> PassManager {
+        PassManager::o2()
+    }
+
+    /// `-Oz`: minimal size — skip inlining and unrolling entirely.
+    pub fn oz() -> PassManager {
+        PassManager::from_names([
+            "mem2reg",
+            "instsimplify",
+            "simplifycfg",
+            "early-cse",
+            "sccp",
+            "gvn",
+            "dse",
+            "adce",
+            "simplifycfg",
+        ])
+    }
+
+    /// Pipeline for a standard [`OptLevel`].
+    pub fn for_level(level: OptLevel) -> PassManager {
+        match level {
+            OptLevel::O0 => PassManager::o0(),
+            OptLevel::O1 => PassManager::o1(),
+            OptLevel::O2 => PassManager::o2(),
+            OptLevel::O3 => PassManager::o3(),
+            OptLevel::Os => PassManager::os(),
+            OptLevel::Oz => PassManager::oz(),
+        }
+    }
+
+    /// The paper's zkVM-aware `-O3` (§6.1): same structure as `-O3` but with
+    /// the zk [`PassConfig`] and the irrelevant hardware passes dropped.
+    /// Pair with [`PassConfig::zk_aware`].
+    pub fn zk_o3() -> PassManager {
+        // Identical structure minus passes the paper disables; simplifycfg
+        // stays but the zk config stops it from if-converting branches.
+        PassManager::o3()
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> PassManager {
+        PassManager::new()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use zkvmopt_ir::interp::{run_module, InterpOutcome};
+
+    /// Compile, snapshot baseline behaviour, run `passes`, verify, re-run,
+    /// and assert identical guest-visible behaviour. Returns (before, after)
+    /// static sizes.
+    pub fn check_pass_preserves(src: &str, passes: &[&str], cfg: &PassConfig) -> (usize, usize) {
+        let mut m = zkvmopt_lang::compile(src).expect("test program compiles");
+        let baseline: InterpOutcome = run_module(&m, &[1, 2, 3, 4]).expect("baseline runs");
+        let before = m.size();
+        for p in passes {
+            run_pass(p, &mut m, cfg);
+        }
+        zkvmopt_ir::verify::verify_module(&m)
+            .unwrap_or_else(|e| panic!("{passes:?} broke IR: {e}"));
+        let after_run = run_module(&m, &[1, 2, 3, 4]).expect("optimized runs");
+        assert_eq!(
+            (baseline.exit_value, &baseline.journal),
+            (after_run.exit_value, &after_run.journal),
+            "behaviour changed under {passes:?}"
+        );
+        (before, m.size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_the_studied_pass_axis() {
+        let names = pass_names();
+        assert!(names.len() >= 60, "registry has {} passes", names.len());
+        for key in ["inline", "licm", "loop-unroll", "gvn", "simplifycfg", "mem2reg"] {
+            assert!(names.contains(&key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn pipelines_resolve() {
+        for level in OptLevel::ALL {
+            let pm = PassManager::for_level(level);
+            assert!(!pm.names().is_empty());
+        }
+        assert!(!PassManager::zk_o3().names().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown pass")]
+    fn unknown_pass_panics() {
+        let mut m = Module::new();
+        run_pass("no-such-pass", &mut m, &PassConfig::default());
+    }
+
+    #[test]
+    fn zk_config_matches_paper() {
+        let zk = PassConfig::zk_aware();
+        assert_eq!(zk.inline_threshold, 4328);
+        assert_eq!(zk.simplifycfg_speculate, 0);
+        assert!(!zk.strength_reduce_div);
+    }
+}

@@ -1,0 +1,1759 @@
+//! Loop optimization family: `loop-simplify`, `lcssa`, `licm`, `loop-rotate`,
+//! `loop-unroll`, `loop-deletion`, `loop-idiom`, `indvars`, `loop-reduce`,
+//! `loop-fission`, `simple-loop-unswitch`, `loop-extract`,
+//! `loop-predication`, `irce`, and helpers.
+//!
+//! These are the passes the paper finds most zkVM-hostile: `licm` (worst pass
+//! overall, §5.2), `loop-extract` (call + memory-traffic overhead), and
+//! `loop-unroll` (only pays off when dynamic instruction count drops, P3).
+//! LCSSA phi insertion before loop transforms is deliberately faithful — the
+//! paper identifies it as the source of licm's extra `gep`/load/store work.
+
+use crate::util;
+use crate::PassConfig;
+use std::collections::{HashMap, HashSet};
+use zkvmopt_ir::cfg::Cfg;
+use zkvmopt_ir::dom::DomTree;
+use zkvmopt_ir::loops::{Loop, LoopForest};
+use zkvmopt_ir::{
+    BinOp, BlockId, Function, Module, Op, Operand, Pred, Term, Ty, ValueId,
+};
+
+/// Loop blocks in a deterministic order (the set is hash-ordered; passes
+/// must not let hasher seeds influence which transformation happens first).
+fn sorted_blocks(l: &Loop) -> Vec<BlockId> {
+    let mut v: Vec<BlockId> = l.blocks.iter().copied().collect();
+    v.sort();
+    v
+}
+
+fn analyze(f: &Function) -> (Cfg, DomTree, LoopForest) {
+    let cfg = Cfg::new(f);
+    let dom = DomTree::new(f, &cfg);
+    let forest = LoopForest::new(f, &cfg, &dom);
+    (cfg, dom, forest)
+}
+
+/// Ensure every loop has a dedicated preheader and dedicated exit blocks.
+pub fn loop_simplify(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        changed |= loop_simplify_function(f);
+    }
+    changed
+}
+
+fn loop_simplify_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    // Iterate: creating blocks invalidates the analysis.
+    for _ in 0..16 {
+        let (cfg, _dom, forest) = analyze(f);
+        let mut did = false;
+        for l in &forest.loops {
+            // Dedicated preheader.
+            if l.preheader(f, &cfg).is_none() {
+                make_preheader(f, &cfg, l);
+                did = true;
+                break;
+            }
+            // Dedicated exits: every exit block's predecessors must all be
+            // inside the loop.
+            for &e in &l.exits {
+                let outside_pred = cfg.unique_preds(e).iter().any(|p| !l.contains(*p));
+                if outside_pred {
+                    make_dedicated_exit(f, &cfg, l, e);
+                    did = true;
+                    break;
+                }
+            }
+            if did {
+                break;
+            }
+        }
+        changed |= did;
+        if !did {
+            break;
+        }
+    }
+    changed
+}
+
+fn make_preheader(f: &mut Function, cfg: &Cfg, l: &Loop) {
+    let header = l.header;
+    let outside: Vec<BlockId> = cfg
+        .unique_preds(header)
+        .into_iter()
+        .filter(|p| !l.contains(*p))
+        .collect();
+    let pre = f.add_block();
+    f.blocks[pre.index()].term = Term::Br(header);
+    // Header phis: merge the outside edges in the preheader.
+    let insts = f.blocks[header.index()].insts.clone();
+    for v in insts {
+        let Some(Op::Phi { incoming }) = f.op(v).cloned() else { continue };
+        let outs: Vec<(BlockId, Operand)> =
+            incoming.iter().filter(|(p, _)| outside.contains(p)).cloned().collect();
+        let ins: Vec<(BlockId, Operand)> =
+            incoming.iter().filter(|(p, _)| !outside.contains(p)).cloned().collect();
+        let merged: Operand = if outs.len() == 1 {
+            outs[0].1
+        } else if outs.iter().all(|(_, o)| *o == outs[0].1) {
+            outs[0].1
+        } else {
+            let ty = f.ty(v).expect("phi typed");
+            let np = f.insert_inst(pre, 0, Op::Phi { incoming: outs }, Some(ty));
+            Operand::val(np)
+        };
+        if let Some(Op::Phi { incoming }) = f.op_mut(v) {
+            *incoming = ins;
+            incoming.push((pre, merged));
+        }
+    }
+    for p in outside {
+        f.blocks[p.index()].term.retarget(header, pre);
+    }
+}
+
+fn make_dedicated_exit(f: &mut Function, cfg: &Cfg, l: &Loop, e: BlockId) {
+    let inside: Vec<BlockId> =
+        cfg.unique_preds(e).into_iter().filter(|p| l.contains(*p)).collect();
+    let ded = f.add_block();
+    f.blocks[ded.index()].term = Term::Br(e);
+    // Phis in e: split incoming between the dedicated block and direct preds.
+    let insts = f.blocks[e.index()].insts.clone();
+    for v in insts {
+        let Some(Op::Phi { incoming }) = f.op(v).cloned() else { continue };
+        let ins: Vec<(BlockId, Operand)> =
+            incoming.iter().filter(|(p, _)| inside.contains(p)).cloned().collect();
+        let outs: Vec<(BlockId, Operand)> =
+            incoming.iter().filter(|(p, _)| !inside.contains(p)).cloned().collect();
+        if ins.is_empty() {
+            continue;
+        }
+        let merged = if ins.iter().all(|(_, o)| *o == ins[0].1) {
+            ins[0].1
+        } else {
+            let ty = f.ty(v).expect("phi typed");
+            let np = f.insert_inst(ded, 0, Op::Phi { incoming: ins }, Some(ty));
+            Operand::val(np)
+        };
+        if let Some(Op::Phi { incoming }) = f.op_mut(v) {
+            *incoming = outs;
+            incoming.push((ded, merged));
+        }
+    }
+    for p in inside {
+        f.blocks[p.index()].term.retarget(e, ded);
+    }
+}
+
+/// Put loops into loop-closed SSA form: values defined in a loop and used
+/// outside are routed through phis at the (single) exit block.
+pub fn lcssa(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        changed |= lcssa_function(f);
+    }
+    changed
+}
+
+fn lcssa_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    for _ in 0..8 {
+        let (cfg, _dom, forest) = analyze(f);
+        let mut did = false;
+        for l in &forest.loops {
+            if l.exits.len() != 1 {
+                continue;
+            }
+            let exit = l.exits[0];
+            // Exit must be dedicated (all preds inside the loop).
+            if cfg.unique_preds(exit).iter().any(|p| !l.contains(*p)) {
+                continue;
+            }
+            let exit_preds = cfg.unique_preds(exit);
+            // Find loop-defined values with uses outside the loop.
+            let mut escaping: Vec<(ValueId, Ty)> = Vec::new();
+            for b in sorted_blocks(l) {
+                for &v in &f.blocks[b.index()].insts {
+                    let Some(ty) = f.ty(v) else { continue };
+                    let mut outside_use = false;
+                    for b2 in f.block_ids() {
+                        if l.contains(b2) {
+                            continue;
+                        }
+                        for &u in &f.blocks[b2.index()].insts {
+                            if let Some(op) = f.op(u) {
+                                // An existing LCSSA phi in the exit is fine.
+                                if b2 == exit && op.is_phi() {
+                                    continue;
+                                }
+                                op.for_each_operand(|o| {
+                                    outside_use |= *o == Operand::Value(v);
+                                });
+                            }
+                        }
+                        f.blocks[b2.index()]
+                            .term
+                            .for_each_operand(|o| outside_use |= *o == Operand::Value(v));
+                        if outside_use {
+                            break;
+                        }
+                    }
+                    if outside_use {
+                        escaping.push((v, ty));
+                    }
+                }
+            }
+            for (v, ty) in escaping {
+                // The value must dominate every exit pred to be phi-able;
+                // in a single-exit loop with the def dominating the exiting
+                // block this holds for our shapes — verify defensively.
+                let dom = DomTree::new(f, &cfg);
+                let def_bb = f
+                    .block_ids()
+                    .into_iter()
+                    .find(|b| f.blocks[b.index()].insts.contains(&v))
+                    .expect("def block");
+                if !exit_preds.iter().all(|p| dom.dominates(def_bb, *p)) {
+                    continue;
+                }
+                let incoming: Vec<(BlockId, Operand)> =
+                    exit_preds.iter().map(|p| (*p, Operand::val(v))).collect();
+                let phi = f.insert_inst(exit, 0, Op::Phi { incoming }, Some(ty));
+                // Replace uses outside the loop (except the new phi itself).
+                for b2 in f.block_ids() {
+                    if l.contains(b2) {
+                        continue;
+                    }
+                    let insts = f.blocks[b2.index()].insts.clone();
+                    for u in insts {
+                        if u == phi {
+                            continue;
+                        }
+                        if b2 == exit {
+                            if let Some(op) = f.op(u) {
+                                if op.is_phi() {
+                                    continue;
+                                }
+                            }
+                        }
+                        if let Some(op) = f.op_mut(u) {
+                            op.for_each_operand_mut(|o| {
+                                if *o == Operand::Value(v) {
+                                    *o = Operand::val(phi);
+                                }
+                            });
+                        }
+                    }
+                    let mut term = f.blocks[b2.index()].term.clone();
+                    term.for_each_operand_mut(|o| {
+                        if *o == Operand::Value(v) {
+                            *o = Operand::val(phi);
+                        }
+                    });
+                    f.blocks[b2.index()].term = term;
+                }
+                did = true;
+            }
+        }
+        changed |= did;
+        if !did {
+            break;
+        }
+    }
+    changed
+}
+
+/// Loop-invariant code motion.
+///
+/// Runs `loop-simplify` + `lcssa` first (as LLVM's loop pass manager does),
+/// then hoists invariant speculatable instructions — and loads whose address
+/// is invariant and provably not clobbered — into the preheader.
+pub fn licm(m: &mut Module, cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        changed |= loop_simplify_function(f);
+        // LLVM's licm promotes loop memory accesses to scalars
+        // (promoteLoopAccessesToScalars); mirror it by promoting allocas
+        // that are accessed inside some loop. This is where licm's large
+        // effects on -O0-style IR come from — including the register
+        // pressure that later spills (paper §5.2).
+        changed |= promote_loop_allocas(f);
+        changed |= lcssa_function(f);
+        changed |= licm_function(f);
+    }
+    let _ = cfg;
+    changed
+}
+
+/// Promote non-escaping scalar allocas that are loaded or stored inside a
+/// natural loop.
+fn promote_loop_allocas(f: &mut Function) -> bool {
+    let (_, _, forest) = analyze(f);
+    if forest.loops.is_empty() {
+        return false;
+    }
+    let mut in_loop: HashSet<ValueId> = HashSet::new();
+    for l in &forest.loops {
+        // LLVM's promoteLoopAccessesToScalars gives up when the loop contains
+        // instructions that may access memory it cannot reason about — in
+        // particular calls. Mirror that: only call-free loops promote.
+        let mut has_calls = false;
+        for b in sorted_blocks(l) {
+            for &v in &f.blocks[b.index()].insts {
+                if matches!(f.op(v), Some(Op::Call { .. }) | Some(Op::Ecall { .. })) {
+                    has_calls = true;
+                }
+            }
+        }
+        if has_calls {
+            continue;
+        }
+        for b in sorted_blocks(l) {
+            for &v in &f.blocks[b.index()].insts {
+                match f.op(v) {
+                    Some(Op::Load { ptr, .. }) | Some(Op::Store { ptr, .. }) => {
+                        if let Operand::Value(p) = ptr {
+                            in_loop.insert(*p);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    if in_loop.is_empty() {
+        return false;
+    }
+    crate::mem2reg::promote_function_filtered(f, |_, v| in_loop.contains(&v))
+}
+
+fn licm_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    for _ in 0..8 {
+        let (cfg, _dom, forest) = analyze(f);
+        let mut did = false;
+        // Innermost loops first (deepest depth first).
+        let mut order: Vec<usize> = (0..forest.loops.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(forest.loops[i].depth));
+        for li in order {
+            let l = &forest.loops[li];
+            let Some(pre) = l.preheader(f, &cfg) else { continue };
+            // Memory facts for this loop: what may be written inside?
+            let mut loop_writes: Vec<Operand> = Vec::new();
+            let mut unknown_writes = false;
+            for b in sorted_blocks(l) {
+                for &v in &f.blocks[b.index()].insts {
+                    match f.op(v) {
+                        Some(Op::Store { ptr, .. }) => loop_writes.push(*ptr),
+                        Some(Op::Call { .. }) | Some(Op::Ecall { .. }) => unknown_writes = true,
+                        _ => {}
+                    }
+                }
+            }
+            // A value is invariant if defined outside the loop or already
+            // hoisted/constant.
+            let defined_in: HashSet<ValueId> = l
+                .blocks
+                .iter()
+                .flat_map(|b| f.blocks[b.index()].insts.iter().copied())
+                .collect();
+            let is_invariant = |o: &Operand, defined_in: &HashSet<ValueId>| match o {
+                Operand::Const { .. } => true,
+                Operand::Value(v) => !defined_in.contains(v),
+            };
+            // One hoist per analysis round keeps the sets consistent.
+            let mut hoist: Option<(BlockId, ValueId)> = None;
+            'scan: for b in sorted_blocks(l) {
+                for &v in &f.blocks[b.index()].insts {
+                    let Some(op) = f.op(v) else { continue };
+                    let mut inv = true;
+                    op.for_each_operand(|o| inv &= is_invariant(o, &defined_in));
+                    if !inv {
+                        continue;
+                    }
+                    let ok = if op.is_speculatable() && !op.is_phi() {
+                        true
+                    } else if let Op::Load { ptr, .. } = op {
+                        !unknown_writes
+                            && loop_writes.iter().all(|w| !util::may_alias(f, w, ptr))
+                    } else {
+                        false
+                    };
+                    if ok {
+                        hoist = Some((b, v));
+                        break 'scan;
+                    }
+                }
+            }
+            if let Some((b, v)) = hoist {
+                f.blocks[b.index()].insts.retain(|x| *x != v);
+                f.blocks[pre.index()].insts.push(v);
+                did = true;
+                break;
+            }
+        }
+        changed |= did;
+        if !did {
+            break;
+        }
+    }
+    changed
+}
+
+/// Clone every block of a loop. Returns the block map. Back edges inside the
+/// clone point at `backedge_target`; exit edges keep their original targets;
+/// exit-block phis gain edges from the cloned exiting blocks.
+fn clone_loop(
+    f: &mut Function,
+    l: &Loop,
+    backedge_target: Option<BlockId>,
+) -> (HashMap<BlockId, BlockId>, HashMap<ValueId, Operand>) {
+    let mut bmap: HashMap<BlockId, BlockId> = HashMap::new();
+    let blocks: Vec<BlockId> = {
+        let mut v: Vec<BlockId> = l.blocks.iter().copied().collect();
+        v.sort();
+        v
+    };
+    for &b in &blocks {
+        bmap.insert(b, f.add_block());
+    }
+    let mut vmap: HashMap<ValueId, Operand> = HashMap::new();
+    for &b in &blocks {
+        let nb = bmap[&b];
+        let insts = f.blocks[b.index()].insts.clone();
+        for v in insts {
+            let op = f.op(v).expect("inst").clone();
+            let ty = f.ty(v);
+            let nv = f.add_inst(nb, op, ty);
+            vmap.insert(v, Operand::val(nv));
+        }
+    }
+    // Remap operands and phi blocks in the clones.
+    let remap = |o: &Operand, vmap: &HashMap<ValueId, Operand>| -> Operand {
+        match o {
+            Operand::Value(v) => *vmap.get(v).unwrap_or(&Operand::Value(*v)),
+            c => *c,
+        }
+    };
+    for &b in &blocks {
+        let nb = bmap[&b];
+        let insts = f.blocks[nb.index()].insts.clone();
+        for nv in insts {
+            let mut op = f.op(nv).expect("inst").clone();
+            op.for_each_operand_mut(|o| *o = remap(o, &vmap));
+            if let Op::Phi { incoming } = &mut op {
+                for (p, _) in incoming.iter_mut() {
+                    if let Some(np) = bmap.get(p) {
+                        *p = *np;
+                    }
+                }
+            }
+            *f.op_mut(nv).expect("inst") = op;
+        }
+        let mut term = f.blocks[b.index()].term.clone();
+        term.for_each_operand_mut(|o| *o = remap(o, &vmap));
+        let retarget_block = |t: BlockId| -> BlockId {
+            if t == l.header {
+                match backedge_target {
+                    Some(bt) => bt,
+                    None => bmap[&t],
+                }
+            } else if let Some(nt) = bmap.get(&t) {
+                *nt
+            } else {
+                t // exit edge
+            }
+        };
+        let new_term = match term {
+            Term::Br(t) => Term::Br(retarget_block(t)),
+            Term::CondBr { c, t, f: fb } => {
+                Term::CondBr { c, t: retarget_block(t), f: retarget_block(fb) }
+            }
+            Term::Switch { v, cases, default } => Term::Switch {
+                v,
+                cases: cases.into_iter().map(|(k, t)| (k, retarget_block(t))).collect(),
+                default: retarget_block(default),
+            },
+            other => other,
+        };
+        f.blocks[nb.index()].term = new_term;
+    }
+    // Exit-block phis gain incoming edges from the cloned exiting blocks.
+    for &e in &l.exits {
+        let insts = f.blocks[e.index()].insts.clone();
+        for pv in insts {
+            let Some(Op::Phi { incoming }) = f.op(pv).cloned() else { continue };
+            let mut additions: Vec<(BlockId, Operand)> = Vec::new();
+            for (p, o) in &incoming {
+                if let Some(np) = bmap.get(p) {
+                    additions.push((*np, remap(o, &vmap)));
+                }
+            }
+            if let Some(Op::Phi { incoming }) = f.op_mut(pv) {
+                incoming.extend(additions);
+            }
+        }
+    }
+    (bmap, vmap)
+}
+
+/// Description of a canonical counted loop: `for (i = init; i pred bound;
+/// i += step)` with the exit test in the header.
+struct CountedLoop {
+    iv: ValueId,
+    init: i64,
+    step: i64,
+    bound: i64,
+    pred: Pred,
+    trips: u64,
+}
+
+fn counted_loop(f: &Function, cfg: &Cfg, l: &Loop) -> Option<CountedLoop> {
+    if l.latches.len() != 1 || l.exits.len() != 1 {
+        return None;
+    }
+    let latch = l.latches[0];
+    let pre = l.preheader(f, cfg)?;
+    // Header: phi iv, then a compare driving the exit branch.
+    let Term::CondBr { c, t, f: fb } = &f.blocks[l.header.index()].term else { return None };
+    let Operand::Value(cv) = c else { return None };
+    let Some(Op::Icmp { pred, a, b }) = f.op(*cv) else { return None };
+    let Operand::Value(iv) = a else { return None };
+    let bound = b.as_const()?;
+    let Some(Op::Phi { incoming }) = f.op(*iv) else { return None };
+    if !f.blocks[l.header.index()].insts.contains(iv) {
+        return None;
+    }
+    let (_, init_op) = incoming.iter().find(|(p, _)| *p == pre)?;
+    let init = init_op.as_const()?;
+    let (_, step_op) = incoming.iter().find(|(p, _)| *p == latch)?;
+    let Operand::Value(stepv) = step_op else { return None };
+    let Some(Op::Bin { op: BinOp::Add, a: sa, b: sb }) = f.op(*stepv) else { return None };
+    if *sa != Operand::Value(*iv) {
+        return None;
+    }
+    let step = sb.as_const()?;
+    // The true edge must stay in the loop, the false edge must exit (or the
+    // reverse with an inverted predicate — keep it simple: require this
+    // orientation, which is what the frontend emits).
+    if !l.contains(*t) || l.contains(*fb) {
+        return None;
+    }
+    // Trip count for the supported predicates.
+    let step_c = step;
+    let trips: i64 = match (pred, step_c) {
+        (Pred::Slt, s) if s > 0 => {
+            if init >= bound {
+                0
+            } else {
+                (bound - init + s - 1) / s
+            }
+        }
+        (Pred::Sle, s) if s > 0 => {
+            if init > bound {
+                0
+            } else {
+                (bound - init) / s + 1
+            }
+        }
+        (Pred::Sgt, s) if s < 0 => {
+            if init <= bound {
+                0
+            } else {
+                (init - bound + (-s) - 1) / (-s)
+            }
+        }
+        (Pred::Sge, s) if s < 0 => {
+            if init < bound {
+                0
+            } else {
+                (init - bound) / (-s) + 1
+            }
+        }
+        (Pred::Ne, s) if s == 1 && init <= bound => bound - init,
+        _ => return None,
+    };
+    if trips < 0 {
+        return None;
+    }
+    Some(CountedLoop { iv: *iv, init, step, bound, pred: *pred, trips: trips as u64 })
+}
+
+/// Full loop unrolling via iteration peeling.
+///
+/// Peeling is semantics-preserving regardless of trip-count accuracy: each
+/// peeled copy keeps its own exit check, and `sccp`/`simplifycfg` fold the
+/// now-constant checks afterwards. P3 applies: this only helps zkVMs when it
+/// reduces executed instructions.
+pub fn loop_unroll(m: &mut Module, cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        changed |= loop_simplify_function(f);
+        changed |= lcssa_function(f);
+        changed |= unroll_function(f, cfg.unroll_threshold, usize::MAX);
+    }
+    if changed {
+        crate::simplify::instsimplify(m, cfg);
+        crate::sccp::sccp(m, cfg);
+        crate::simplify::simplifycfg(m, cfg);
+    }
+    changed
+}
+
+/// `loop-unroll-and-jam` (simplified): unrolls only innermost loops of
+/// depth ≥ 2 nests, with a tighter budget — approximating the jam benefit
+/// without outer-loop fusion (documented in DESIGN.md).
+pub fn loop_unroll_and_jam(m: &mut Module, cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        changed |= loop_simplify_function(f);
+        changed |= lcssa_function(f);
+        changed |= unroll_function(f, cfg.unroll_threshold / 2, 2);
+    }
+    if changed {
+        crate::simplify::instsimplify(m, cfg);
+        crate::sccp::sccp(m, cfg);
+        crate::simplify::simplifycfg(m, cfg);
+    }
+    changed
+}
+
+fn unroll_function(f: &mut Function, threshold: usize, min_depth: usize) -> bool {
+    let mut changed = false;
+    for _round in 0..8 {
+        let (cfg, _dom, forest) = analyze(f);
+        let mut candidate: Option<(usize, u64)> = None;
+        let mut order: Vec<usize> = (0..forest.loops.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(forest.loops[i].depth));
+        for li in order {
+            let l = &forest.loops[li];
+            if l.depth < min_depth && min_depth != usize::MAX {
+                continue;
+            }
+            // Only unroll innermost loops (no nested loop inside).
+            let is_innermost = forest
+                .loops
+                .iter()
+                .enumerate()
+                .all(|(j, l2)| j == li || !l.blocks.contains(&l2.header) || l2.header == l.header);
+            if !is_innermost {
+                continue;
+            }
+            let Some(counted) = counted_loop(f, &cfg, l) else { continue };
+            let body_size: usize =
+                l.blocks.iter().map(|b| f.blocks[b.index()].insts.len()).sum();
+            if counted.trips == 0 || counted.trips > 128 {
+                continue;
+            }
+            if (counted.trips as usize).saturating_mul(body_size) > threshold {
+                continue;
+            }
+            candidate = Some((li, counted.trips));
+            break;
+        }
+        let Some((li, trips)) = candidate else { break };
+        let l = forest.loops[li].clone();
+        let cfg = Cfg::new(f);
+        let Some(pre) = l.preheader(f, &cfg) else { break };
+        // Peel `trips` iterations; the residual loop then runs zero times and
+        // its header check folds away.
+        let mut entry_from = pre;
+        for _ in 0..trips {
+            entry_from = peel_once(f, &l, entry_from);
+        }
+        changed = true;
+        crate::mem2reg::collapse_trivial_phis(f);
+        util::remove_unreachable(f);
+        util::sweep_dead(f);
+    }
+    changed
+}
+
+/// Peel one iteration of `l`, entered from `entry_from` (the preheader or the
+/// latch-clone of the previous peel). Returns the block that now feeds the
+/// original header (the cloned latch).
+fn peel_once(f: &mut Function, l: &Loop, entry_from: BlockId) -> BlockId {
+    // Clone with back edges pointing at the *original* header.
+    let (bmap, vmap) = clone_loop(f, l, Some(l.header));
+    let cloned_header = bmap[&l.header];
+    let latch = l.latches[0];
+    let cloned_latch = bmap[&latch];
+    // Entry now flows into the cloned header.
+    f.blocks[entry_from.index()].term.retarget(l.header, cloned_header);
+    // Cloned header phis: they still have incoming from (entry_from (as
+    // original pred name), cloned latch). Keep only the entry edge and
+    // collapse, recording substitutions for the back-edge remap below.
+    let mut collapsed: HashMap<ValueId, Operand> = HashMap::new();
+    let insts = f.blocks[cloned_header.index()].insts.clone();
+    for v in insts {
+        let Some(Op::Phi { incoming }) = f.op(v).cloned() else { continue };
+        // The edge from outside the clone: its pred is not a cloned block
+        // and not the original latch (those edges became original-header
+        // edges). The entry value is the one whose pred isn't in bmap values.
+        let cloned_blocks: HashSet<BlockId> = bmap.values().copied().collect();
+        let entry_vals: Vec<Operand> = incoming
+            .iter()
+            .filter(|(p, _)| !cloned_blocks.contains(p))
+            .map(|(_, o)| *o)
+            .collect();
+        if let Some(val) = entry_vals.first() {
+            f.replace_all_uses(v, *val);
+            collapsed.insert(v, *val);
+            f.remove_inst(cloned_header, v);
+        }
+    }
+    // Original header phis: the preheader edge is replaced by the cloned
+    // latch edge carrying the remapped latch value. The remap must chase the
+    // cloned-phi collapse above: with mutual phis (`v0 = v1` loops) a phi's
+    // back-edge value is another header phi whose clone was just removed.
+    let insts = f.blocks[l.header.index()].insts.clone();
+    let remap = |o: &Operand| -> Operand {
+        let mut cur = match o {
+            Operand::Value(v) => *vmap.get(v).unwrap_or(&Operand::Value(*v)),
+            c => *c,
+        };
+        for _ in 0..collapsed.len() + 1 {
+            match cur {
+                Operand::Value(v) => match collapsed.get(&v) {
+                    Some(n) => cur = *n,
+                    None => break,
+                },
+                _ => break,
+            }
+        }
+        cur
+    };
+    for v in insts {
+        let Some(Op::Phi { incoming }) = f.op(v).cloned() else { continue };
+        let mut new_incoming: Vec<(BlockId, Operand)> = Vec::new();
+        for (p, o) in &incoming {
+            if *p == entry_from || (!l.contains(*p) && !bmap.values().any(|nb| nb == p)) {
+                // Old entry edge: now comes from the cloned latch with the
+                // remapped back-edge value.
+                let latch_val = incoming
+                    .iter()
+                    .find(|(lp, _)| *lp == latch)
+                    .map(|(_, lo)| remap(lo))
+                    .unwrap_or(*o);
+                new_incoming.push((cloned_latch, latch_val));
+            } else {
+                new_incoming.push((*p, *o));
+            }
+        }
+        if let Some(Op::Phi { incoming }) = f.op_mut(v) {
+            *incoming = new_incoming;
+        }
+    }
+    cloned_latch
+}
+
+/// Delete side-effect-free loops whose results are unused.
+pub fn loop_deletion(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        changed |= loop_simplify_function(f);
+        for _ in 0..8 {
+            let (cfg, _dom, forest) = analyze(f);
+            let mut did = false;
+            for l in &forest.loops {
+                if l.exits.len() != 1 {
+                    continue;
+                }
+                let Some(pre) = l.preheader(f, &cfg) else { continue };
+                // Must be provably finite: canonical counted loop.
+                if counted_loop(f, &cfg, l).is_none() {
+                    continue;
+                }
+                // No side effects inside.
+                let mut pure = true;
+                for b in sorted_blocks(l) {
+                    for &v in &f.blocks[b.index()].insts {
+                        if let Some(op) = f.op(v) {
+                            if op.has_side_effects() {
+                                pure = false;
+                            }
+                        }
+                    }
+                }
+                if !pure {
+                    continue;
+                }
+                // No loop-defined value used outside.
+                let exit = l.exits[0];
+                let mut escapes = false;
+                for b in sorted_blocks(l) {
+                    for &v in &f.blocks[b.index()].insts {
+                        for b2 in f.block_ids() {
+                            if l.contains(b2) {
+                                continue;
+                            }
+                            for &u in &f.blocks[b2.index()].insts {
+                                if let Some(op) = f.op(u) {
+                                    op.for_each_operand(|o| {
+                                        escapes |= *o == Operand::Value(v);
+                                    });
+                                }
+                            }
+                            f.blocks[b2.index()]
+                                .term
+                                .for_each_operand(|o| escapes |= *o == Operand::Value(v));
+                        }
+                    }
+                }
+                if escapes {
+                    continue;
+                }
+                // Exit phis would be undefined; they must not exist (LCSSA
+                // phis of a result-free loop are dead and swept earlier).
+                let has_phis = f.blocks[exit.index()]
+                    .insts
+                    .iter()
+                    .any(|&v| matches!(f.op(v), Some(Op::Phi { .. })));
+                if has_phis {
+                    continue;
+                }
+                f.blocks[pre.index()].term.retarget(l.header, exit);
+                util::remove_unreachable(f);
+                util::sweep_dead(f);
+                did = true;
+                break;
+            }
+            changed |= did;
+            if !did {
+                break;
+            }
+        }
+    }
+    changed
+}
+
+/// Loop-idiom recognition: widen byte-wise constant fills to word stores.
+pub fn loop_idiom(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        changed |= loop_simplify_function(f);
+        let (cfg, _dom, forest) = analyze(f);
+        for l in &forest.loops {
+            if l.blocks.len() != 2 || l.latches.len() != 1 {
+                continue; // header + single body block
+            }
+            let Some(counted) = counted_loop(f, &cfg, l) else { continue };
+            if counted.step != 1 || counted.init != 0 || counted.trips % 4 != 0 {
+                continue;
+            }
+            let body = l.latches[0];
+            // Body: gep(base, iv, 1, 0); store i8 const; iv increment.
+            let insts = f.blocks[body.index()].insts.clone();
+            if insts.len() != 3 {
+                continue;
+            }
+            let Some(Op::Gep { base, index, stride: 1, offset: 0 }) = f.op(insts[0]).cloned()
+            else {
+                continue;
+            };
+            if index != Operand::Value(counted.iv) {
+                continue;
+            }
+            let Some(Op::Store { ptr, val, ty: Ty::I8 }) = f.op(insts[1]).cloned() else {
+                continue;
+            };
+            if ptr != Operand::val(insts[0]) {
+                continue;
+            }
+            let Some(byte) = val.as_const() else { continue };
+            // Base must be 4-aligned: allocas and globals are.
+            match util::ptr_base(f, &base) {
+                util::PtrBase::Alloca(_) | util::PtrBase::Global(_) => {}
+                util::PtrBase::Unknown => continue,
+            }
+            // Rewrite: stride 4, word store, bound /= 4.
+            let word = {
+                let b = (byte as u8) as u32;
+                (b | (b << 8) | (b << 16) | (b << 24)) as i32
+            };
+            *f.op_mut(insts[0]).expect("gep") =
+                Op::Gep { base, index: Operand::Value(counted.iv), stride: 4, offset: 0 };
+            *f.op_mut(insts[1]).expect("store") = Op::Store {
+                ptr: Operand::val(insts[0]),
+                val: Operand::i32(word),
+                ty: Ty::I32,
+            };
+            // Shrink the bound: find the header compare and divide by 4.
+            let Term::CondBr { c, .. } = &f.blocks[l.header.index()].term else { continue };
+            let Operand::Value(cv) = *c else { continue };
+            if let Some(Op::Icmp { b: bound_op, .. }) = f.op_mut(cv) {
+                *bound_op = Operand::i32((counted.bound / 4) as i32);
+            }
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Induction-variable simplification: canonicalize `!=` exit tests and
+/// replace IV exit values with constants.
+pub fn indvars(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        changed |= loop_simplify_function(f);
+        let (cfg, _dom, forest) = analyze(f);
+        for l in &forest.loops {
+            let Some(counted) = counted_loop(f, &cfg, l) else { continue };
+            // Rewrite `i != N` to `i < N` when step is 1 and init <= N.
+            if counted.pred == Pred::Ne && counted.step == 1 && counted.init <= counted.bound {
+                let Term::CondBr { c, .. } = &f.blocks[l.header.index()].term else { continue };
+                let Operand::Value(cv) = *c else { continue };
+                if let Some(Op::Icmp { pred, .. }) = f.op_mut(cv) {
+                    *pred = Pred::Slt;
+                    changed = true;
+                }
+            }
+            // Exit value: uses of the IV outside the loop see the final value.
+            let final_val = match counted.pred {
+                Pred::Slt | Pred::Sle | Pred::Ne => {
+                    let mut x = counted.init;
+                    while match counted.pred {
+                        Pred::Slt => x < counted.bound,
+                        Pred::Sle => x <= counted.bound,
+                        Pred::Ne => x != counted.bound,
+                        _ => false,
+                    } {
+                        x += counted.step;
+                        if x.abs() > 1 << 40 {
+                            break;
+                        }
+                    }
+                    Some(x)
+                }
+                _ => None,
+            };
+            if let Some(fv) = final_val {
+                for b2 in f.block_ids() {
+                    if l.contains(b2) {
+                        continue;
+                    }
+                    let insts = f.blocks[b2.index()].insts.clone();
+                    for u in insts {
+                        if let Some(op) = f.op_mut(u) {
+                            if !op.is_phi() {
+                                op.for_each_operand_mut(|o| {
+                                    if *o == Operand::Value(counted.iv) {
+                                        *o = Operand::i32(fv as i32);
+                                        changed = true;
+                                    }
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Loop strength reduction: replace `iv * c` inside a loop with a derived
+/// induction variable updated by addition.
+pub fn loop_reduce(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        changed |= loop_simplify_function(f);
+        for _ in 0..4 {
+            let (cfg, _dom, forest) = analyze(f);
+            let mut did = false;
+            'loops: for l in &forest.loops {
+                let Some(counted) = counted_loop(f, &cfg, l) else { continue };
+                if l.latches.len() != 1 {
+                    continue;
+                }
+                let latch = l.latches[0];
+                let Some(pre) = l.preheader(f, &cfg) else { continue };
+                for b in sorted_blocks(l) {
+                    let insts = f.blocks[b.index()].insts.clone();
+                    for v in insts {
+                        let Some(Op::Bin { op: BinOp::Mul, a, b: rhs }) = f.op(v).cloned()
+                        else {
+                            continue;
+                        };
+                        if a != Operand::Value(counted.iv) {
+                            continue;
+                        }
+                        let Some(c) = rhs.as_const() else { continue };
+                        // j = phi(pre: init*c, latch: j + step*c)
+                        let ty = Ty::I32;
+                        let j = f.insert_inst(
+                            l.header,
+                            0,
+                            Op::Phi { incoming: Vec::new() },
+                            Some(ty),
+                        );
+                        let init = BinOp::Mul.eval32(counted.init, c) as i32;
+                        let stepc = BinOp::Mul.eval32(counted.step, c) as i32;
+                        let at = f.blocks[latch.index()].insts.len();
+                        let jnext = f.insert_inst(
+                            latch,
+                            at,
+                            Op::Bin {
+                                op: BinOp::Add,
+                                a: Operand::val(j),
+                                b: Operand::i32(stepc),
+                            },
+                            Some(ty),
+                        );
+                        if let Some(Op::Phi { incoming }) = f.op_mut(j) {
+                            incoming.push((pre, Operand::i32(init)));
+                            incoming.push((latch, Operand::val(jnext)));
+                        }
+                        f.replace_all_uses(v, Operand::val(j));
+                        f.remove_inst(b, v);
+                        did = true;
+                        changed = true;
+                        break 'loops;
+                    }
+                }
+            }
+            if !did {
+                break;
+            }
+        }
+        util::sweep_dead(f);
+    }
+    changed
+}
+
+/// `instsimplify` focused on loop bodies (LLVM's `loop-instsimplify`; the
+/// whole-function run reaches the same fixed point).
+pub fn loop_instsimplify(m: &mut Module, cfg: &PassConfig) -> bool {
+    crate::simplify::instsimplify(m, cfg)
+}
+
+/// Loop fission (the paper's Fig. 2b): split a loop writing several disjoint
+/// arrays into one loop per array. Helps CPU cache locality; on zkVMs it
+/// duplicates loop-control work.
+pub fn loop_fission(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        changed |= loop_simplify_function(f);
+        let (cfg, _dom, forest) = analyze(f);
+        'loops: for l in &forest.loops {
+            if l.blocks.len() != 2 || l.latches.len() != 1 || l.exits.len() != 1 {
+                continue;
+            }
+            let Some(_) = counted_loop(f, &cfg, l) else { continue };
+            let body = l.latches[0];
+            let exit = l.exits[0];
+            // No loads, no calls; stores to ≥ 2 distinct bases; nothing
+            // escapes the loop.
+            let mut bases: Vec<util::PtrBase> = Vec::new();
+            let mut store_of: HashMap<ValueId, util::PtrBase> = HashMap::new();
+            for &v in &f.blocks[body.index()].insts {
+                match f.op(v) {
+                    Some(Op::Store { ptr, .. }) => {
+                        let base = util::ptr_base(f, ptr);
+                        if base == util::PtrBase::Unknown {
+                            continue 'loops;
+                        }
+                        if !bases.contains(&base) {
+                            bases.push(base);
+                        }
+                        store_of.insert(v, base);
+                    }
+                    Some(Op::Load { .. }) | Some(Op::Call { .. }) | Some(Op::Ecall { .. }) => {
+                        continue 'loops;
+                    }
+                    _ => {}
+                }
+            }
+            if bases.len() < 2 {
+                continue;
+            }
+            // Nothing defined in the loop may be used outside it.
+            for b in sorted_blocks(l) {
+                for &v in &f.blocks[b.index()].insts {
+                    for b2 in f.block_ids() {
+                        if l.contains(b2) {
+                            continue;
+                        }
+                        let mut used = false;
+                        for &u in &f.blocks[b2.index()].insts {
+                            if let Some(op) = f.op(u) {
+                                op.for_each_operand(|o| used |= *o == Operand::Value(v));
+                            }
+                        }
+                        f.blocks[b2.index()]
+                            .term
+                            .for_each_operand(|o| used |= *o == Operand::Value(v));
+                        if used {
+                            continue 'loops;
+                        }
+                    }
+                }
+            }
+            // Clone the loop once per extra base; each copy keeps stores to
+            // exactly one base.
+            let first_base = bases[0];
+            let mut insert_after_exit_of = exit;
+            for &base in bases.iter().skip(1) {
+                let (bmap, _vmap) = clone_loop(f, l, None);
+                // New preheader between the previous exit and this copy.
+                let pre2 = f.add_block();
+                f.blocks[pre2.index()].term = Term::Br(bmap[&l.header]);
+                // Cloned header phis: entry edges (from outside the clone)
+                // must now come from pre2.
+                let cloned_header = bmap[&l.header];
+                let cloned_set: HashSet<BlockId> = bmap.values().copied().collect();
+                let insts = f.blocks[cloned_header.index()].insts.clone();
+                for v in insts {
+                    if let Some(Op::Phi { incoming }) = f.op_mut(v) {
+                        for (p, _) in incoming.iter_mut() {
+                            if !cloned_set.contains(p) {
+                                *p = pre2;
+                            }
+                        }
+                    }
+                }
+                // The cloned loop exits to `exit`; splice: old exiting edge of
+                // the previous stage now targets pre2.
+                // Previous stage exits via the ORIGINAL loop's exiting edge
+                // into `exit`; we instead retarget the previous copy's exit
+                // edge to pre2 and let the last copy fall through to exit.
+                // Simpler: chain copies in front of the original exit.
+                // The cloned loop currently exits to `exit` directly; the
+                // previous stage must flow into pre2 first.
+                if insert_after_exit_of == exit {
+                    // First extra copy: original loop -> pre2 -> clone -> exit.
+                    for &eb in &l.exiting {
+                        f.blocks[eb.index()].term.retarget(exit, pre2);
+                    }
+                } else {
+                    // Subsequent copies: previous clone -> pre2.
+                    f.blocks[insert_after_exit_of.index()].term.retarget(exit, pre2);
+                }
+                // Record this clone's exiting block (its header clone exits).
+                let mut clone_exiting = cloned_header;
+                for &eb in &l.exiting {
+                    clone_exiting = bmap[&eb];
+                }
+                insert_after_exit_of = clone_exiting;
+                // Keep only this base's stores in the clone; drop others.
+                let cloned_body = bmap[&body];
+                let insts = f.blocks[cloned_body.index()].insts.clone();
+                for (orig_v, orig_base) in &store_of {
+                    if *orig_base != base {
+                        // Find the clone of this store by position match.
+                        let pos = f.blocks[body.index()]
+                            .insts
+                            .iter()
+                            .position(|x| x == orig_v);
+                        if let Some(p) = pos {
+                            if let Some(&cv) = insts.get(p) {
+                                f.remove_inst(cloned_body, cv);
+                            }
+                        }
+                    }
+                }
+            }
+            // Original loop keeps only the first base's stores.
+            for (v, base) in &store_of {
+                if *base != first_base {
+                    f.remove_inst(body, *v);
+                }
+            }
+            util::sweep_dead(f);
+            changed = true;
+            break;
+        }
+    }
+    changed
+}
+
+/// Simple loop unswitching: hoist a loop-invariant branch out of the loop by
+/// cloning the loop for each polarity.
+pub fn loop_unswitch(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        changed |= loop_simplify_function(f);
+        let (cfg, _dom, forest) = analyze(f);
+        'loops: for l in &forest.loops {
+            if l.blocks.len() > 16 {
+                continue;
+            }
+            let Some(pre) = l.preheader(f, &cfg) else { continue };
+            // Exits must have no phis (pre-LCSSA shape).
+            for &e in &l.exits {
+                if f.blocks[e.index()]
+                    .insts
+                    .iter()
+                    .any(|&v| matches!(f.op(v), Some(Op::Phi { .. })))
+                {
+                    continue 'loops;
+                }
+            }
+            // Nothing defined inside may be used outside.
+            for b in sorted_blocks(l) {
+                for &v in &f.blocks[b.index()].insts {
+                    for b2 in f.block_ids() {
+                        if l.contains(b2) {
+                            continue;
+                        }
+                        let mut used = false;
+                        for &u in &f.blocks[b2.index()].insts {
+                            if let Some(op) = f.op(u) {
+                                op.for_each_operand(|o| used |= *o == Operand::Value(v));
+                            }
+                        }
+                        f.blocks[b2.index()]
+                            .term
+                            .for_each_operand(|o| used |= *o == Operand::Value(v));
+                        if used {
+                            continue 'loops;
+                        }
+                    }
+                }
+            }
+            // Find an invariant conditional branch inside (not the header's
+            // own exit test).
+            let defined_in: HashSet<ValueId> = l
+                .blocks
+                .iter()
+                .flat_map(|b| f.blocks[b.index()].insts.iter().copied())
+                .collect();
+            let mut cond: Option<(BlockId, Operand)> = None;
+            for b in sorted_blocks(l) {
+                if b == l.header {
+                    continue;
+                }
+                if let Term::CondBr { c, t, f: fb } = &f.blocks[b.index()].term {
+                    let inv = match c {
+                        Operand::Const { .. } => false, // let simplifycfg fold it
+                        Operand::Value(v) => !defined_in.contains(v),
+                    };
+                    if inv && l.contains(*t) && l.contains(*fb) {
+                        cond = Some((b, *c));
+                        break;
+                    }
+                }
+            }
+            let Some((cond_block, c)) = cond else { continue };
+            // Clone the loop; original gets c := true, clone gets c := false.
+            let (bmap, _vmap) = clone_loop(f, l, None);
+            let cloned_header = bmap[&l.header];
+            let cloned_set: HashSet<BlockId> = bmap.values().copied().collect();
+            // Cloned header phis: entry edges must come from the preheader.
+            let insts = f.blocks[cloned_header.index()].insts.clone();
+            for v in insts {
+                if let Some(Op::Phi { incoming }) = f.op_mut(v) {
+                    for (p, _) in incoming.iter_mut() {
+                        if !cloned_set.contains(p) {
+                            *p = pre;
+                        }
+                    }
+                }
+            }
+            // Preheader: branch on the invariant condition.
+            f.blocks[pre.index()].term =
+                Term::CondBr { c, t: l.header, f: cloned_header };
+            // Specialize the branch in both copies.
+            if let Term::CondBr { t, .. } = f.blocks[cond_block.index()].term.clone() {
+                f.blocks[cond_block.index()].term = Term::Br(t);
+            }
+            let cloned_cond = bmap[&cond_block];
+            if let Term::CondBr { f: fb, .. } = f.blocks[cloned_cond.index()].term.clone() {
+                f.blocks[cloned_cond.index()].term = Term::Br(fb);
+            }
+            util::cleanup_phis(f);
+            util::sweep_dead(f);
+            changed = true;
+            break;
+        }
+    }
+    changed
+}
+
+/// Extract single-exit loops into separate functions (LLVM's
+/// `loop-extract`). On zkVMs the call/argument/live-out traffic this adds is
+/// pure overhead — one of the paper's most harmful passes (Fig. 8).
+pub fn loop_extract(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut extracted = false;
+    for fi in 0..m.funcs.len() {
+        if extract_one(m, fi) {
+            extracted = true;
+        }
+    }
+    extracted
+}
+
+fn extract_one(m: &mut Module, fi: usize) -> bool {
+    loop_simplify_function(&mut m.funcs[fi]);
+    let f = &m.funcs[fi];
+    let (cfg, _dom, forest) = analyze(f);
+    // Pick an outermost loop that is not the whole function body.
+    let mut pick: Option<Loop> = None;
+    for l in &forest.loops {
+        if l.depth != 1 || l.exits.len() != 1 {
+            continue;
+        }
+        let Some(_) = l.preheader(f, &cfg) else { continue };
+        // Exit must be dedicated.
+        if cfg.unique_preds(l.exits[0]).iter().any(|p| !l.contains(*p)) {
+            continue;
+        }
+        // No allocas inside, no ecalls (halt must stay in the caller frame —
+        // it behaves identically, but keep extraction conservative).
+        let mut ok = true;
+        for b in sorted_blocks(l) {
+            for &v in &f.blocks[b.index()].insts {
+                if matches!(f.op(v), Some(Op::Alloca { .. }) | Some(Op::Ecall { .. })) {
+                    ok = false;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        // Live-ins and live-outs.
+        let (live_in, live_out) = loop_liveness(f, l);
+        if live_in.len() > 6 || live_out.len() > 1 {
+            continue;
+        }
+        pick = Some(l.clone());
+        break;
+    }
+    let Some(l) = pick else { return false };
+    let f = &m.funcs[fi];
+    let (live_in, live_out) = loop_liveness(f, &l);
+    let pre = l.preheader(f, &Cfg::new(f)).expect("preheader");
+    let exit = l.exits[0];
+    let caller_name = f.name.clone();
+
+    // Build the new function.
+    let params: Vec<Ty> = live_in.iter().map(|(_, ty)| *ty).collect();
+    let ret = live_out.first().map(|(_, ty)| *ty);
+    let mut nf = Function::new(format!("{caller_name}.loop{}", l.header.0), params, ret);
+    nf.no_inline = true; // extraction must survive later inline runs
+    let mut bmap: HashMap<BlockId, BlockId> = HashMap::new();
+    let mut blocks: Vec<BlockId> = l.blocks.iter().copied().collect();
+    blocks.sort();
+    for &b in &blocks {
+        bmap.insert(b, nf.add_block());
+    }
+    let mut vmap: HashMap<ValueId, Operand> = HashMap::new();
+    for (i, (v, _)) in live_in.iter().enumerate() {
+        vmap.insert(*v, Operand::val(nf.param(i)));
+    }
+    let f = &m.funcs[fi];
+    for &b in &blocks {
+        let nb = bmap[&b];
+        for &v in &f.blocks[b.index()].insts {
+            let op = f.op(v).expect("inst").clone();
+            let ty = f.ty(v);
+            let nv = nf.add_inst(nb, op, ty);
+            vmap.insert(v, Operand::val(nv));
+        }
+    }
+    // Remap (two passes for back-edge phis).
+    let remap = |o: &Operand, vmap: &HashMap<ValueId, Operand>| -> Operand {
+        match o {
+            Operand::Value(v) => *vmap.get(v).unwrap_or(&Operand::Value(*v)),
+            c => *c,
+        }
+    };
+    for &b in &blocks {
+        let nb = bmap[&b];
+        let insts = nf.blocks[nb.index()].insts.clone();
+        for nv in insts {
+            let mut op = nf.op(nv).expect("inst").clone();
+            op.for_each_operand_mut(|o| *o = remap(o, &vmap));
+            if let Op::Phi { incoming } = &mut op {
+                for (p, _) in incoming.iter_mut() {
+                    if *p == pre {
+                        *p = nf.entry;
+                    } else if let Some(np) = bmap.get(p) {
+                        *p = *np;
+                    }
+                }
+            }
+            *nf.op_mut(nv).expect("inst") = op;
+        }
+        let mut term = f.blocks[b.index()].term.clone();
+        term.for_each_operand_mut(|o| *o = remap(o, &vmap));
+        let ret_val: Option<Operand> =
+            live_out.first().map(|(v, _)| remap(&Operand::Value(*v), &vmap));
+        let retarget = |t: BlockId| -> Option<BlockId> { bmap.get(&t).copied() };
+        let new_term = match term {
+            Term::Br(t) => match retarget(t) {
+                Some(nt) => Term::Br(nt),
+                None => Term::Ret(ret_val),
+            },
+            Term::CondBr { c, t, f: fb } => match (retarget(t), retarget(fb)) {
+                (Some(nt), Some(nfb)) => Term::CondBr { c, t: nt, f: nfb },
+                (Some(nt), None) => {
+                    // Exit on the false edge: ret block.
+                    let rb = nf.add_block();
+                    nf.blocks[rb.index()].term = Term::Ret(ret_val);
+                    Term::CondBr { c, t: nt, f: rb }
+                }
+                (None, Some(nfb)) => {
+                    let rb = nf.add_block();
+                    nf.blocks[rb.index()].term = Term::Ret(ret_val);
+                    Term::CondBr { c, t: rb, f: nfb }
+                }
+                (None, None) => Term::Ret(ret_val),
+            },
+            Term::Switch { .. } => return false, // keep it simple
+            other => other,
+        };
+        nf.blocks[bmap[&b].index()].term = new_term;
+    }
+    nf.blocks[nf.entry.index()].term = Term::Br(bmap[&l.header]);
+
+    let new_id = m.add_func(nf);
+    // Rewrite the caller: preheader calls the new function then jumps to the
+    // exit block.
+    let f = &mut m.funcs[fi];
+    let args: Vec<Operand> = live_in.iter().map(|(v, _)| Operand::Value(*v)).collect();
+    let call = f.add_inst(pre, Op::Call { callee: new_id, args }, ret);
+    f.blocks[pre.index()].term = Term::Br(exit);
+    // Exit phis: they referenced loop blocks; all their loop incoming values
+    // are the (single) live-out.
+    let insts = f.blocks[exit.index()].insts.clone();
+    for v in insts {
+        let Some(Op::Phi { incoming }) = f.op(v).cloned() else { continue };
+        let all_loop = incoming.iter().all(|(p, _)| l.contains(*p));
+        if all_loop {
+            f.replace_all_uses(v, Operand::val(call));
+            f.remove_inst(exit, v);
+        }
+    }
+    // Any remaining outside use of the live-out becomes the call result.
+    if let Some((lo, _)) = live_out.first() {
+        f.replace_all_uses(*lo, Operand::val(call));
+    }
+    util::remove_unreachable(f);
+    util::sweep_dead(f);
+    true
+}
+
+/// Values flowing into / out of a loop: (value, type) lists.
+fn loop_liveness(f: &Function, l: &Loop) -> (Vec<(ValueId, Ty)>, Vec<(ValueId, Ty)>) {
+    let defined_in: HashSet<ValueId> = l
+        .blocks
+        .iter()
+        .flat_map(|b| f.blocks[b.index()].insts.iter().copied())
+        .collect();
+    let mut live_in: Vec<(ValueId, Ty)> = Vec::new();
+    for b in sorted_blocks(l) {
+        let mut consider = |o: &Operand| {
+            if let Operand::Value(v) = o {
+                if !defined_in.contains(v) {
+                    if let Some(ty) = f.ty(*v) {
+                        if !live_in.iter().any(|(x, _)| x == v) {
+                            live_in.push((*v, ty));
+                        }
+                    }
+                }
+            }
+        };
+        for &v in &f.blocks[b.index()].insts {
+            if let Some(op) = f.op(v) {
+                op.for_each_operand(&mut consider);
+            }
+        }
+        f.blocks[b.index()].term.for_each_operand(&mut consider);
+    }
+    live_in.sort_by_key(|(v, _)| *v);
+    let mut live_out: Vec<(ValueId, Ty)> = Vec::new();
+    for b in sorted_blocks(l) {
+        for &v in &f.blocks[b.index()].insts {
+            let Some(ty) = f.ty(v) else { continue };
+            let mut used_out = false;
+            for b2 in f.block_ids() {
+                if l.contains(b2) {
+                    continue;
+                }
+                for &u in &f.blocks[b2.index()].insts {
+                    if let Some(op) = f.op(u) {
+                        op.for_each_operand(|o| used_out |= *o == Operand::Value(v));
+                    }
+                }
+                f.blocks[b2.index()]
+                    .term
+                    .for_each_operand(|o| used_out |= *o == Operand::Value(v));
+            }
+            if used_out {
+                live_out.push((v, ty));
+            }
+        }
+    }
+    live_out.sort_by_key(|(v, _)| *v);
+    (live_in, live_out)
+}
+
+/// Loop predication: convert a conditional store in a loop into an
+/// unconditional load–select–store sequence. Removes a branch; adds memory
+/// traffic — the zkVM-hostile trade the paper describes.
+pub fn loop_predication(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        let (cfg, _dom, forest) = analyze(f);
+        'loops: for l in &forest.loops {
+            // Triangle inside the loop: A -CondBr-> (T, J), T: store only, T -> J.
+            for a in sorted_blocks(l) {
+                let Term::CondBr { c, t, f: j } = f.blocks[a.index()].term.clone() else {
+                    continue;
+                };
+                if !l.contains(t) || !l.contains(j) || t == j {
+                    continue;
+                }
+                if cfg.unique_preds(t).len() != 1 {
+                    continue;
+                }
+                let tsucc = f.blocks[t.index()].term.successors();
+                if tsucc.len() != 1 || tsucc[0] != j {
+                    continue;
+                }
+                if f.blocks[t.index()].insts.len() != 1 {
+                    continue;
+                }
+                let sv = f.blocks[t.index()].insts[0];
+                let Some(Op::Store { ptr, val, ty }) = f.op(sv).cloned() else { continue };
+                // Operands must be defined outside T (they dominate A).
+                let in_t = |o: &Operand| match o {
+                    Operand::Value(v) => f.blocks[t.index()].insts.contains(v),
+                    _ => false,
+                };
+                if in_t(&ptr) || in_t(&val) {
+                    continue;
+                }
+                // J must have no phis with incoming from T (nothing flows out).
+                let j_has_t_phi = f.blocks[j.index()].insts.iter().any(|&v| {
+                    matches!(f.op(v), Some(Op::Phi { incoming })
+                        if incoming.iter().any(|(p, _)| *p == t))
+                });
+                if j_has_t_phi {
+                    continue;
+                }
+                // Rewrite A: load old, select, store, jump to J.
+                f.remove_inst(t, sv);
+                let old = f.add_inst(a, Op::Load { ptr, ty }, Some(ty));
+                let sel = f.add_inst(
+                    a,
+                    Op::Select { c, t: val, f: Operand::val(old) },
+                    Some(ty),
+                );
+                f.add_inst(a, Op::Store { ptr, val: Operand::val(sel), ty }, None);
+                f.blocks[a.index()].term = Term::Br(j);
+                util::remove_unreachable(f);
+                changed = true;
+                break 'loops;
+            }
+        }
+    }
+    changed
+}
+
+/// `loop-versioning-licm` (simplified): `loop-simplify` + `lcssa` + `licm`.
+/// Runtime alias-check versioning is not modelled; our static alias analysis
+/// already separates alloca/global bases (documented in DESIGN.md).
+pub fn loop_versioning_licm(m: &mut Module, cfg: &PassConfig) -> bool {
+    licm(m, cfg)
+}
+
+/// Inductive range-check elimination: fold comparisons against the induction
+/// variable that are decidable over its whole range.
+pub fn irce(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        changed |= loop_simplify_function(f);
+        let (cfg, _dom, forest) = analyze(f);
+        for l in &forest.loops {
+            let Some(counted) = counted_loop(f, &cfg, l) else { continue };
+            if counted.step <= 0 {
+                continue;
+            }
+            // IV range during body execution: [init, last] inclusive.
+            let last = match counted.pred {
+                Pred::Slt | Pred::Ne => counted.bound - 1,
+                Pred::Sle => counted.bound,
+                _ => continue,
+            };
+            if counted.trips == 0 {
+                continue;
+            }
+            let lo = counted.init;
+            let hi = last;
+            for b in sorted_blocks(l) {
+                if b == l.header {
+                    continue; // don't fold the loop's own exit test
+                }
+                let insts = f.blocks[b.index()].insts.clone();
+                for v in insts {
+                    let Some(Op::Icmp { pred, a, b: rhs }) = f.op(v).cloned() else { continue };
+                    if a != Operand::Value(counted.iv) {
+                        continue;
+                    }
+                    let Some(k) = rhs.as_const() else { continue };
+                    // Decide the predicate over [lo, hi] (lo >= 0 needed for
+                    // unsigned predicates to coincide with signed).
+                    let decided: Option<bool> = match pred {
+                        Pred::Slt => decide_range(lo, hi, |x| x < k),
+                        Pred::Sle => decide_range(lo, hi, |x| x <= k),
+                        Pred::Sgt => decide_range(lo, hi, |x| x > k),
+                        Pred::Sge => decide_range(lo, hi, |x| x >= k),
+                        Pred::Ult if lo >= 0 && k >= 0 => decide_range(lo, hi, |x| x < k),
+                        Pred::Ule if lo >= 0 && k >= 0 => decide_range(lo, hi, |x| x <= k),
+                        Pred::Uge if lo >= 0 && k >= 0 => decide_range(lo, hi, |x| x >= k),
+                        Pred::Ugt if lo >= 0 && k >= 0 => decide_range(lo, hi, |x| x > k),
+                        _ => None,
+                    };
+                    if let Some(val) = decided {
+                        f.replace_all_uses(v, Operand::bool(val));
+                        f.remove_inst(b, v);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if changed {
+            util::sweep_dead(f);
+        }
+    }
+    changed
+}
+
+fn decide_range(lo: i64, hi: i64, p: impl Fn(i64) -> bool) -> Option<bool> {
+    let at_lo = p(lo);
+    let at_hi = p(hi);
+    // Monotone predicates: same answer at both ends decides the interval.
+    if at_lo == at_hi {
+        Some(at_lo)
+    } else {
+        None
+    }
+}
+
+/// Rotate while-loops into do-while form guarded by one preheader check.
+pub fn loop_rotate(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        changed |= loop_simplify_function(f);
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            if guard > 8 || !rotate_one(f) {
+                break;
+            }
+            changed = true;
+        }
+    }
+    changed
+}
+
+fn rotate_one(f: &mut Function) -> bool {
+    let (cfg, _dom, forest) = analyze(f);
+    'loops: for l in &forest.loops {
+        if l.latches.len() != 1 || l.exits.len() != 1 {
+            continue;
+        }
+        let latch = l.latches[0];
+        let Some(pre) = l.preheader(f, &cfg) else { continue };
+        let exit = l.exits[0];
+        // Header must be the exiting block with a small, speculatable body.
+        let Term::CondBr { c, t, f: fb } = f.blocks[l.header.index()].term.clone() else {
+            continue;
+        };
+        if !(l.contains(t) && fb == exit) {
+            continue;
+        }
+        // Already rotated? (latch == header means do-while.)
+        if latch == l.header {
+            continue;
+        }
+        // Latch currently jumps straight to the header.
+        if !matches!(f.blocks[latch.index()].term, Term::Br(h) if h == l.header) {
+            continue;
+        }
+        // Exit must have no phis (rotate before LCSSA).
+        if f.blocks[exit.index()]
+            .insts
+            .iter()
+            .any(|&v| matches!(f.op(v), Some(Op::Phi { .. })))
+        {
+            continue;
+        }
+        let header_insts = f.blocks[l.header.index()].insts.clone();
+        let phis: Vec<ValueId> = header_insts
+            .iter()
+            .copied()
+            .take_while(|&v| matches!(f.op(v), Some(Op::Phi { .. })))
+            .collect();
+        let body_insts: Vec<ValueId> = header_insts[phis.len()..].to_vec();
+        if body_insts.len() > 8
+            || !body_insts
+                .iter()
+                .all(|&v| f.op(v).map_or(false, |o| o.is_speculatable()))
+        {
+            continue;
+        }
+        // No header value may be used outside the loop (pre-LCSSA).
+        for &v in &header_insts {
+            for b2 in f.block_ids() {
+                if l.contains(b2) {
+                    continue;
+                }
+                let mut used = false;
+                for &u in &f.blocks[b2.index()].insts {
+                    if let Some(op) = f.op(u) {
+                        op.for_each_operand(|o| used |= *o == Operand::Value(v));
+                    }
+                }
+                f.blocks[b2.index()]
+                    .term
+                    .for_each_operand(|o| used |= *o == Operand::Value(v));
+                if used {
+                    continue 'loops;
+                }
+            }
+        }
+        // Clone the condition computation into the preheader (entry values)
+        // and into the latch (back-edge values).
+        let clone_cond = |f: &mut Function, into: BlockId, edge_from: BlockId| -> Operand {
+            let mut local: HashMap<ValueId, Operand> = HashMap::new();
+            for &pv in &phis {
+                if let Some(Op::Phi { incoming }) = f.op(pv) {
+                    if let Some((_, o)) = incoming.iter().find(|(p, _)| *p == edge_from) {
+                        local.insert(pv, *o);
+                    }
+                }
+            }
+            for &bv in &body_insts {
+                let mut op = f.op(bv).expect("inst").clone();
+                let ty = f.ty(bv);
+                op.for_each_operand_mut(|o| {
+                    if let Operand::Value(u) = o {
+                        if let Some(r) = local.get(u) {
+                            *o = *r;
+                        }
+                    }
+                });
+                let at = f.blocks[into.index()].insts.len();
+                let nv = f.insert_inst(into, at, op, ty);
+                local.insert(bv, Operand::val(nv));
+            }
+            match &c {
+                Operand::Value(v) => *local.get(v).unwrap_or(&Operand::Value(*v)),
+                k => *k,
+            }
+        };
+        let c_pre = clone_cond(f, pre, pre);
+        f.blocks[pre.index()].term = Term::CondBr { c: c_pre, t: l.header, f: exit };
+        let c_latch = clone_cond(f, latch, latch);
+        f.blocks[latch.index()].term = Term::CondBr { c: c_latch, t: l.header, f: exit };
+        // Header now falls through into the body unconditionally.
+        f.blocks[l.header.index()].term = Term::Br(t);
+        return true;
+    }
+    false
+}

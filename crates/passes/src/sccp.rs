@@ -1,0 +1,631 @@
+//! Constant propagation family: `sccp`, `ipsccp`, `jump-threading`, and
+//! `correlated-propagation`.
+
+use crate::util;
+use crate::PassConfig;
+use std::collections::{HashMap, HashSet, VecDeque};
+use zkvmopt_ir::cfg::Cfg;
+use zkvmopt_ir::dom::DomTree;
+use zkvmopt_ir::{BlockId, Function, Module, Op, Operand, Pred, Term, ValueId};
+
+/// The SCCP lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lat {
+    /// Not yet known (optimistic top).
+    Top,
+    /// A single constant (value, as a canonical operand).
+    Const(Operand),
+    /// Overdefined.
+    Bottom,
+}
+
+fn meet(a: Lat, b: Lat) -> Lat {
+    match (a, b) {
+        (Lat::Top, x) | (x, Lat::Top) => x,
+        (Lat::Const(x), Lat::Const(y)) if x == y => Lat::Const(x),
+        _ => Lat::Bottom,
+    }
+}
+
+struct SccpResult {
+    values: Vec<Lat>,
+    executable: HashSet<BlockId>,
+    /// Lattice of the function's return value.
+    ret: Lat,
+}
+
+/// Run the SCCP analysis on one function. `arg_lattice` supplies per-param
+/// facts (from `ipsccp`); `Bottom` for a standalone run.
+fn analyze(f: &Function, arg_lattice: &[Lat]) -> SccpResult {
+    let n = f.values.len();
+    let mut values = vec![Lat::Top; n];
+    for (i, l) in arg_lattice.iter().enumerate() {
+        values[i] = *l;
+    }
+    for i in arg_lattice.len()..f.params.len() {
+        values[i] = Lat::Bottom;
+    }
+    let mut exec_edges: HashSet<(BlockId, BlockId)> = HashSet::new();
+    let mut exec_blocks: HashSet<BlockId> = HashSet::new();
+    let mut block_queue: VecDeque<BlockId> = VecDeque::new();
+    let mut ret = Lat::Top;
+
+    let eval_operand = |values: &[Lat], o: &Operand| -> Lat {
+        match o {
+            Operand::Const { .. } => Lat::Const(util::normalize_const(*o)),
+            Operand::Value(v) => values[v.index()],
+        }
+    };
+
+    block_queue.push_back(f.entry);
+    exec_blocks.insert(f.entry);
+    // Iterate to fixpoint: re-scan executable blocks whenever facts change.
+    let mut changed = true;
+    let mut guard = 0;
+    while changed && guard < 10_000 {
+        changed = false;
+        guard += 1;
+        let blocks: Vec<BlockId> = exec_blocks.iter().copied().collect();
+        for b in blocks {
+            for &v in &f.blocks[b.index()].insts {
+                let Some(op) = f.op(v) else { continue };
+                let new = match op {
+                    Op::Phi { incoming } => {
+                        let mut acc = Lat::Top;
+                        for (p, o) in incoming {
+                            if exec_edges.contains(&(*p, b)) {
+                                acc = meet(acc, eval_operand(&values, o));
+                            }
+                        }
+                        acc
+                    }
+                    Op::Bin { .. }
+                    | Op::Icmp { .. }
+                    | Op::Select { .. }
+                    | Op::Cast { .. }
+                    | Op::Copy(_) => {
+                        // Fold if all operands constant.
+                        let mut all_const = true;
+                        let mut any_bottom = false;
+                        let mut folded = op.clone();
+                        folded.for_each_operand_mut(|o| match eval_operand(&values, o) {
+                            Lat::Const(c) => *o = c,
+                            Lat::Bottom => {
+                                all_const = false;
+                                any_bottom = true;
+                            }
+                            Lat::Top => all_const = false,
+                        });
+                        if all_const {
+                            match util::const_fold(f, &folded) {
+                                Some(c) => Lat::Const(util::normalize_const(c)),
+                                None => Lat::Bottom,
+                            }
+                        } else if any_bottom {
+                            // A select with constant condition can still fold.
+                            if let Op::Select { c, t, f: fo } = &folded {
+                                if let Lat::Const(cc) = eval_operand(&values, c) {
+                                    let pick = if cc.as_const().unwrap_or(0) != 0 { t } else { fo };
+                                    eval_operand(&values, pick)
+                                } else {
+                                    Lat::Bottom
+                                }
+                            } else {
+                                Lat::Bottom
+                            }
+                        } else {
+                            Lat::Top
+                        }
+                    }
+                    // Everything else is overdefined.
+                    _ => Lat::Bottom,
+                };
+                let merged = meet(values[v.index()], new);
+                // Monotonic move only (Top -> Const -> Bottom).
+                let next = match (values[v.index()], new) {
+                    (Lat::Top, x) => x,
+                    (x, Lat::Top) => x,
+                    _ => merged,
+                };
+                if next != values[v.index()] {
+                    values[v.index()] = next;
+                    changed = true;
+                }
+            }
+            // Terminator: mark outgoing edges.
+            let mark = |from: BlockId, to: BlockId,
+                            exec_edges: &mut HashSet<(BlockId, BlockId)>,
+                            exec_blocks: &mut HashSet<BlockId>,
+                            changed: &mut bool| {
+                if exec_edges.insert((from, to)) {
+                    *changed = true;
+                }
+                if exec_blocks.insert(to) {
+                    *changed = true;
+                }
+            };
+            match &f.blocks[b.index()].term {
+                Term::Br(t) => mark(b, *t, &mut exec_edges, &mut exec_blocks, &mut changed),
+                Term::CondBr { c, t, f: fb } => match eval_operand(&values, c) {
+                    Lat::Const(cc) => {
+                        let taken = if cc.as_const().unwrap_or(0) != 0 { *t } else { *fb };
+                        mark(b, taken, &mut exec_edges, &mut exec_blocks, &mut changed);
+                    }
+                    Lat::Bottom => {
+                        mark(b, *t, &mut exec_edges, &mut exec_blocks, &mut changed);
+                        mark(b, *fb, &mut exec_edges, &mut exec_blocks, &mut changed);
+                    }
+                    Lat::Top => {}
+                },
+                Term::Switch { v, cases, default } => match eval_operand(&values, v) {
+                    Lat::Const(cc) => {
+                        let k = cc.as_const().unwrap_or(0);
+                        let target = cases
+                            .iter()
+                            .find(|(c, _)| *c == (k as i32) as i64)
+                            .map(|(_, t)| *t)
+                            .unwrap_or(*default);
+                        mark(b, target, &mut exec_edges, &mut exec_blocks, &mut changed);
+                    }
+                    Lat::Bottom => {
+                        for (_, t) in cases {
+                            mark(b, *t, &mut exec_edges, &mut exec_blocks, &mut changed);
+                        }
+                        mark(b, *default, &mut exec_edges, &mut exec_blocks, &mut changed);
+                    }
+                    Lat::Top => {}
+                },
+                Term::Ret(Some(o)) => {
+                    let l = eval_operand(&values, o);
+                    let next = meet(ret, l);
+                    if next != ret {
+                        ret = next;
+                        changed = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    SccpResult { values, executable: exec_blocks, ret }
+}
+
+/// Apply an analysis result: substitute constants, fold branches, and drop
+/// non-executable blocks.
+fn transform(f: &mut Function, res: &SccpResult) -> bool {
+    let mut changed = false;
+    for (i, lat) in res.values.iter().enumerate() {
+        if let Lat::Const(c) = lat {
+            let v = ValueId(i as u32);
+            // Skip parameters (handled by ipsccp) and value-less slots.
+            if f.op(v).is_none() {
+                continue;
+            }
+            if f.op(v).map_or(true, |op| op.has_side_effects()) {
+                continue;
+            }
+            if f.use_count(v) > 0 {
+                f.replace_all_uses(v, *c);
+                changed = true;
+            }
+        }
+    }
+    // Fold branches whose condition became constant.
+    for b in f.block_ids() {
+        if !res.executable.contains(&b) {
+            continue;
+        }
+        if let Term::CondBr { c, t, f: fb } = f.blocks[b.index()].term.clone() {
+            if let Some(v) = c.as_const() {
+                let target = if v != 0 { t } else { fb };
+                let dead = if v != 0 { fb } else { t };
+                f.blocks[b.index()].term = Term::Br(target);
+                if dead != target {
+                    let insts = f.blocks[dead.index()].insts.clone();
+                    for pv in insts {
+                        if let Some(Op::Phi { incoming }) = f.op_mut(pv) {
+                            incoming.retain(|(p, _)| *p != b);
+                        }
+                    }
+                }
+                changed = true;
+            }
+        }
+    }
+    changed |= util::remove_unreachable(f);
+    for func_changed in [util::sweep_dead(f)] {
+        changed |= func_changed;
+    }
+    changed
+}
+
+/// Sparse conditional constant propagation.
+pub fn sccp(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        let bottoms = vec![Lat::Bottom; f.params.len()];
+        let res = analyze(f, &bottoms);
+        changed |= transform(f, &res);
+    }
+    changed
+}
+
+/// Interprocedural SCCP: propagates constant arguments into callees and
+/// constant returns back into callers.
+pub fn ipsccp(m: &mut Module, cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for _round in 0..3 {
+        let mut round_changed = false;
+        // Gather per-callee argument lattices over all call sites.
+        let nfuncs = m.funcs.len();
+        let mut arg_lats: Vec<Vec<Lat>> =
+            m.funcs.iter().map(|f| vec![Lat::Top; f.params.len()]).collect();
+        let mut called: Vec<bool> = vec![false; nfuncs];
+        for f in &m.funcs {
+            for b in f.reachable_blocks() {
+                for &v in &f.blocks[b.index()].insts {
+                    if let Some(Op::Call { callee, args }) = f.op(v) {
+                        called[callee.index()] = true;
+                        for (i, a) in args.iter().enumerate() {
+                            let lat = match a {
+                                Operand::Const { .. } => {
+                                    Lat::Const(util::normalize_const(*a))
+                                }
+                                _ => Lat::Bottom,
+                            };
+                            let cur = arg_lats[callee.index()][i];
+                            arg_lats[callee.index()][i] = meet(cur, lat);
+                        }
+                    }
+                }
+            }
+        }
+        // Analyze each function with its argument facts; record constant
+        // returns.
+        let mut const_rets: HashMap<usize, Operand> = HashMap::new();
+        for (fi, f) in m.funcs.iter_mut().enumerate() {
+            let is_main = f.name == "main";
+            let lats: Vec<Lat> = if called[fi] && !is_main {
+                arg_lats[fi].iter().map(|l| if *l == Lat::Top { Lat::Bottom } else { *l }).collect()
+            } else {
+                vec![Lat::Bottom; f.params.len()]
+            };
+            // Substitute known-constant params.
+            for (i, l) in lats.iter().enumerate() {
+                if let Lat::Const(c) = l {
+                    let p = f.param(i);
+                    if f.use_count(p) > 0 {
+                        f.replace_all_uses(p, *c);
+                        round_changed = true;
+                    }
+                }
+            }
+            let res = analyze(f, &lats);
+            if let Lat::Const(c) = res.ret {
+                const_rets.insert(fi, c);
+            }
+            round_changed |= transform(f, &res);
+        }
+        // Replace call results with constant returns (keeping the call for
+        // side effects; DCE cleans up pure ones).
+        for f in &mut m.funcs {
+            for b in f.block_ids() {
+                let insts = f.blocks[b.index()].insts.clone();
+                for v in insts {
+                    let Some(Op::Call { callee, .. }) = f.op(v) else { continue };
+                    if let Some(c) = const_rets.get(&callee.index()) {
+                        if f.use_count(v) > 0 {
+                            let c = *c;
+                            f.replace_all_uses(v, c);
+                            round_changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        changed |= round_changed;
+        if !round_changed {
+            break;
+        }
+    }
+    if changed {
+        sccp(m, cfg);
+    }
+    changed
+}
+
+/// Thread branches through blocks whose condition is decided by the incoming
+/// edge (phi-of-constants feeding the terminator).
+pub fn jump_threading(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            if guard > 50 || !thread_one(f) {
+                break;
+            }
+            changed = true;
+        }
+        if changed {
+            util::remove_unreachable(f);
+            crate::mem2reg::collapse_trivial_phis(f);
+            util::sweep_dead(f);
+        }
+    }
+    changed
+}
+
+fn thread_one(f: &mut Function) -> bool {
+    let cfg = Cfg::new(f);
+    for &b in cfg.rpo() {
+        if b == f.entry {
+            continue;
+        }
+        // Block shape: phis, optionally one icmp (phi vs const), condbr.
+        let insts = f.blocks[b.index()].insts.clone();
+        let phis: Vec<ValueId> = insts
+            .iter()
+            .copied()
+            .take_while(|&v| matches!(f.op(v), Some(Op::Phi { .. })))
+            .collect();
+        let rest: Vec<ValueId> = insts[phis.len()..].to_vec();
+        let Term::CondBr { c, t, f: fb } = f.blocks[b.index()].term.clone() else { continue };
+        if t == fb {
+            continue;
+        }
+        // Threading reroutes predecessors *around* b, so b no longer
+        // dominates its successors: every value defined in b must be used
+        // only within b (its own insts and terminator), or the rerouted path
+        // would see an undominated use. This keeps the classic flag-diamond
+        // threadable while refusing loop headers whose phis feed the body.
+        let mut escapes = false;
+        for &v in &insts {
+            for b2 in f.block_ids() {
+                if b2 == b {
+                    continue;
+                }
+                for &u in &f.blocks[b2.index()].insts {
+                    if let Some(op) = f.op(u) {
+                        op.for_each_operand(|o| escapes |= *o == Operand::Value(v));
+                    }
+                }
+                f.blocks[b2.index()]
+                    .term
+                    .for_each_operand(|o| escapes |= *o == Operand::Value(v));
+            }
+        }
+        if escapes {
+            continue;
+        }
+        // Determine, per predecessor, whether the branch is decided.
+        // Case A: cond is a phi of this block (i1).
+        // Case B: cond is `icmp pred(phi, const)` where icmp is the only
+        //         non-phi instruction.
+        let decide = |f: &Function, pred: BlockId| -> Option<bool> {
+            let Operand::Value(cv) = c else { return None };
+            if phis.contains(&cv) {
+                let Some(Op::Phi { incoming }) = f.op(cv) else { return None };
+                let (_, o) = incoming.iter().find(|(p, _)| *p == pred)?;
+                o.as_const().map(|x| x != 0)
+            } else if rest.len() == 1 && rest[0] == cv {
+                let Some(Op::Icmp { pred: pr, a, b: rhs }) = f.op(cv) else { return None };
+                let k = rhs.as_const()?;
+                let Operand::Value(av) = a else { return None };
+                if !phis.contains(av) {
+                    return None;
+                }
+                let Some(Op::Phi { incoming }) = f.op(*av) else { return None };
+                let (_, o) = incoming.iter().find(|(p, _)| *p == pred)?;
+                let x = o.as_const()?;
+                Some(pr.eval32(x, k))
+            } else {
+                None
+            }
+        };
+        let preds = cfg.unique_preds(b);
+        if preds.len() < 2 {
+            continue;
+        }
+        for pred in preds {
+            let Some(taken) = decide(f, pred) else { continue };
+            let target = if taken { t } else { fb };
+            // The threaded target must be able to accept `pred` as a new
+            // predecessor: fix its phis using b's phi values along this edge.
+            let target_insts = f.blocks[target.index()].insts.clone();
+            let mut new_incomings: Vec<(ValueId, Operand)> = Vec::new();
+            let mut ok = true;
+            for tv in &target_insts {
+                let Some(Op::Phi { incoming }) = f.op(*tv) else { continue };
+                let Some((_, o)) = incoming.iter().find(|(p, _)| *p == b) else {
+                    ok = false;
+                    break;
+                };
+                let val_for_pred = match o {
+                    Operand::Value(x) if phis.contains(x) => {
+                        let Some(Op::Phi { incoming: pin }) = f.op(*x) else {
+                            ok = false;
+                            break;
+                        };
+                        match pin.iter().find(|(p, _)| *p == pred) {
+                            Some((_, po)) => *po,
+                            None => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    Operand::Value(x) if rest.contains(x) => {
+                        ok = false;
+                        break;
+                    }
+                    other => *other,
+                };
+                new_incomings.push((*tv, val_for_pred));
+            }
+            if !ok {
+                continue;
+            }
+            // Retarget pred -> target, remove pred's edges into b's phis.
+            f.blocks[pred.index()].term.retarget(b, target);
+            for &pv in &phis {
+                if let Some(Op::Phi { incoming }) = f.op_mut(pv) {
+                    incoming.retain(|(p, _)| *p != pred);
+                }
+            }
+            for (tv, val) in new_incomings {
+                if let Some(Op::Phi { incoming }) = f.op_mut(tv) {
+                    incoming.push((pred, val));
+                }
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// Correlated value propagation: inside the true arm of `if (x == C)`,
+/// uses of `x` become `C`.
+pub fn correlated_propagation(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        let cfg_ = Cfg::new(f);
+        let dom = DomTree::new(f, &cfg_);
+        let mut edits: Vec<(BlockId, ValueId, Operand)> = Vec::new();
+        for &b in cfg_.rpo() {
+            let Term::CondBr { c, t, f: fb } = &f.blocks[b.index()].term else { continue };
+            let Operand::Value(cv) = c else { continue };
+            let Some(Op::Icmp { pred, a, b: rhs }) = f.op(*cv) else { continue };
+            let Operand::Value(x) = a else { continue };
+            let Some(k) = rhs.as_const() else { continue };
+            // x == K on the true edge; x != K means the false edge knows x == K.
+            let (known_block, _other) = match pred {
+                Pred::Eq => (*t, *fb),
+                Pred::Ne => (*fb, *t),
+                _ => continue,
+            };
+            if known_block == *t && known_block == *fb {
+                continue;
+            }
+            // Sound only when the edge is the unique entry to the region.
+            if cfg_.unique_preds(known_block).len() != 1 {
+                continue;
+            }
+            let ty = f.ty(*x);
+            let kc = match ty {
+                Some(ty) => Operand::Const { value: ty.truncate_s(k), ty },
+                None => continue,
+            };
+            // Replace uses of x in all blocks dominated by known_block.
+            for b2 in f.block_ids() {
+                if !dom.dominates(known_block, b2) {
+                    continue;
+                }
+                for &u in &f.blocks[b2.index()].insts {
+                    if f.op(u).is_some() {
+                        edits.push((b2, u, kc));
+                    }
+                }
+            }
+            let x = *x;
+            for (b2, u, kc) in edits.drain(..) {
+                let _ = b2;
+                if let Some(op) = f.op_mut(u) {
+                    if !op.is_phi() {
+                        op.for_each_operand_mut(|o| {
+                            if *o == Operand::Value(x) {
+                                *o = kc;
+                                changed = true;
+                            }
+                        });
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_pass_preserves;
+    use crate::PassConfig;
+
+    #[test]
+    fn sccp_folds_through_branches() {
+        let src = "fn main() -> i32 {
+                     let x: i32 = 4;
+                     let mut r: i32 = 0;
+                     if (x > 2) { r = x * 10; } else { r = x * 100; }
+                     return r;
+                   }";
+        let cfg = PassConfig::default();
+        let (_, after) = check_pass_preserves(src, &["mem2reg", "sccp", "simplifycfg"], &cfg);
+        let mut m = zkvmopt_lang::compile(src).unwrap();
+        for p in ["mem2reg", "sccp", "simplifycfg"] {
+            crate::run_pass(p, &mut m, &cfg);
+        }
+        assert_eq!(m.funcs[0].reachable_blocks().len(), 1, "size after: {after}");
+    }
+
+    #[test]
+    fn sccp_handles_loop_phis_optimistically() {
+        let src = "fn main() -> i32 {
+                     let mut x: i32 = 7;
+                     for (let mut i: i32 = 0; i < 10; i += 1) { x = 7; }
+                     return x;
+                   }";
+        check_pass_preserves(src, &["mem2reg", "sccp"], &PassConfig::default());
+    }
+
+    #[test]
+    fn ipsccp_propagates_constant_args() {
+        let src = "fn scale(x: i32, k: i32) -> i32 { return x * k; }
+                   fn main() -> i32 {
+                     let a: i32 = read_input(0);
+                     return scale(a, 3) + scale(a + 1, 3);
+                   }";
+        let cfg = PassConfig::default();
+        check_pass_preserves(src, &["mem2reg", "ipsccp"], &cfg);
+        let mut m = zkvmopt_lang::compile(src).unwrap();
+        crate::run_pass("mem2reg", &mut m, &cfg);
+        crate::run_pass("ipsccp", &mut m, &cfg);
+        // In scale, k must have been replaced by 3.
+        let scale = &m.funcs[m.func_by_name("scale").unwrap().index()];
+        assert_eq!(scale.use_count(scale.param(1)), 0, "k still used");
+    }
+
+    #[test]
+    fn ipsccp_propagates_constant_returns() {
+        let src = "fn five() -> i32 { return 5; }
+                   fn main() -> i32 { return five() + five(); }";
+        let cfg = PassConfig::default();
+        check_pass_preserves(src, &["ipsccp", "dce"], &cfg);
+    }
+
+    #[test]
+    fn jump_threading_threads_phi_constants() {
+        // The classic: both arms set a flag, the next block branches on it.
+        let src = "fn main() -> i32 {
+                     let x: i32 = read_input(0);
+                     let mut flag: i32 = 0;
+                     if (x > 0) { flag = 1; } else { flag = 0; }
+                     if (flag == 1) { return 10; }
+                     return 20;
+                   }";
+        let cfg = PassConfig::default();
+        check_pass_preserves(src, &["mem2reg", "jump-threading", "simplifycfg"], &cfg);
+    }
+
+    #[test]
+    fn correlated_propagation_uses_branch_facts() {
+        let src = "fn main() -> i32 {
+                     let x: i32 = read_input(0);
+                     if (x == 5) { return x * 100; }
+                     return x;
+                   }";
+        let cfg = PassConfig::default();
+        check_pass_preserves(src, &["mem2reg", "correlated-propagation", "sccp"], &cfg);
+    }
+}

@@ -1,0 +1,1083 @@
+//! Local simplification passes: `simplifycfg`, `instsimplify`, `instcombine`,
+//! `reassociate`, `dce`/`adce`, `dse`, `sink`, `mergereturn`, `lower-switch`,
+//! and `mldst-motion`.
+//!
+//! `simplifycfg`'s branch-to-select conversion and `instcombine`'s division
+//! strength reduction are the two CPU-oriented rewrites the paper singles out
+//! as harmful on zkVMs (Figs. 2a and 13); both honour the zk-aware knobs in
+//! [`PassConfig`].
+
+use crate::util;
+use crate::PassConfig;
+use zkvmopt_ir::cfg::Cfg;
+use zkvmopt_ir::{
+    BinOp, BlockId, CastKind, Function, Module, Op, Operand, Pred, Term, Ty, ValueId,
+};
+
+/// Fold constants and algebraic identities; never creates instructions.
+pub fn instsimplify(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        changed |= instsimplify_function(f);
+    }
+    changed
+}
+
+fn instsimplify_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let mut local = false;
+        for b in f.block_ids() {
+            let insts = f.blocks[b.index()].insts.clone();
+            for v in insts {
+                let Some(op) = f.op(v) else { continue };
+                let repl = util::const_fold(f, op)
+                    .or_else(|| util::algebraic_simplify(op))
+                    .or_else(|| simplify_icmp_identities(op))
+                    .or_else(|| match op {
+                        Op::Copy(x) => Some(*x),
+                        _ => None,
+                    });
+                if let Some(r) = repl {
+                    if r != Operand::Value(v) {
+                        f.replace_all_uses(v, r);
+                        f.remove_inst(b, v);
+                        local = true;
+                    }
+                }
+            }
+        }
+        changed |= local;
+        if !local {
+            break;
+        }
+    }
+    changed |= util::sweep_dead(f);
+    changed
+}
+
+/// `x == x`, `x <= x`, … for reflexive predicates on identical operands.
+fn simplify_icmp_identities(op: &Op) -> Option<Operand> {
+    if let Op::Icmp { pred, a, b } = op {
+        if a == b && a.as_const().is_none() {
+            let v = matches!(pred, Pred::Eq | Pred::Sle | Pred::Sge | Pred::Ule | Pred::Uge);
+            return Some(Operand::bool(v));
+        }
+    }
+    None
+}
+
+/// Peephole combining: everything `instsimplify` does, plus rewrites that
+/// create new instructions (strength reduction, associative folding, gep
+/// canonicalization).
+pub fn instcombine(m: &mut Module, cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        changed |= instsimplify_function(f);
+        changed |= instcombine_function(f, cfg);
+        changed |= instsimplify_function(f);
+    }
+    changed
+}
+
+fn log2_exact(v: i64) -> Option<u32> {
+    let u = v as u32;
+    if u != 0 && u.is_power_of_two() {
+        Some(u.trailing_zeros())
+    } else {
+        None
+    }
+}
+
+fn instcombine_function(f: &mut Function, cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for b in f.block_ids() {
+        let mut idx = 0;
+        while idx < f.blocks[b.index()].insts.len() {
+            let v = f.blocks[b.index()].insts[idx];
+            let Some(op) = f.op(v).cloned() else {
+                idx += 1;
+                continue;
+            };
+            match op {
+                Op::Bin { op: bop, a, b: rhs } => {
+                    // Canonicalize constants to the RHS of commutative ops.
+                    if bop.commutative() && a.as_const().is_some() && rhs.as_const().is_none() {
+                        *f.op_mut(v).expect("inst") = Op::Bin { op: bop, a: rhs, b: a };
+                        changed = true;
+                        continue;
+                    }
+                    // x - c  ->  x + (-c): exposes addi at isel and assoc folds.
+                    if bop == BinOp::Sub {
+                        if let Some(c) = rhs.as_const() {
+                            if c != 0 {
+                                *f.op_mut(v).expect("inst") = Op::Bin {
+                                    op: BinOp::Add,
+                                    a,
+                                    b: Operand::i32(-(c as i32)),
+                                };
+                                changed = true;
+                                continue;
+                            }
+                        }
+                    }
+                    // Associative constant folding: (x op c1) op c2 -> x op (c1∘c2).
+                    if let (Operand::Value(av), Some(c2)) = (a, rhs.as_const()) {
+                        if let Some(Op::Bin { op: inner, a: ia, b: ib }) = f.op(av) {
+                            if let (inner, ia, Some(c1)) = (*inner, *ia, ib.as_const()) {
+                                let fold = match (inner, bop) {
+                                    (BinOp::Add, BinOp::Add) => {
+                                        Some((BinOp::Add, BinOp::Add.eval32(c1, c2)))
+                                    }
+                                    (BinOp::Mul, BinOp::Mul) => {
+                                        Some((BinOp::Mul, BinOp::Mul.eval32(c1, c2)))
+                                    }
+                                    (BinOp::And, BinOp::And) => {
+                                        Some((BinOp::And, BinOp::And.eval32(c1, c2)))
+                                    }
+                                    (BinOp::Or, BinOp::Or) => {
+                                        Some((BinOp::Or, BinOp::Or.eval32(c1, c2)))
+                                    }
+                                    (BinOp::Xor, BinOp::Xor) => {
+                                        Some((BinOp::Xor, BinOp::Xor.eval32(c1, c2)))
+                                    }
+                                    _ => None,
+                                };
+                                if let Some((newop, c)) = fold {
+                                    *f.op_mut(v).expect("inst") = Op::Bin {
+                                        op: newop,
+                                        a: ia,
+                                        b: Operand::i32(c as i32),
+                                    };
+                                    changed = true;
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                    // Strength reduction by powers of two.
+                    if let Some(c) = rhs.as_const() {
+                        if let Some(k) = log2_exact(c) {
+                            match bop {
+                                BinOp::Mul if k > 0 => {
+                                    *f.op_mut(v).expect("inst") = Op::Bin {
+                                        op: BinOp::Shl,
+                                        a,
+                                        b: Operand::i32(k as i32),
+                                    };
+                                    changed = true;
+                                    continue;
+                                }
+                                BinOp::DivU if k > 0 => {
+                                    *f.op_mut(v).expect("inst") = Op::Bin {
+                                        op: BinOp::ShrU,
+                                        a,
+                                        b: Operand::i32(k as i32),
+                                    };
+                                    changed = true;
+                                    continue;
+                                }
+                                BinOp::RemU => {
+                                    *f.op_mut(v).expect("inst") = Op::Bin {
+                                        op: BinOp::And,
+                                        a,
+                                        b: Operand::i32((c - 1) as i32),
+                                    };
+                                    changed = true;
+                                    continue;
+                                }
+                                // The Fig. 2a rewrite: sdiv by 2^k becomes a
+                                // four-instruction shift-and-add sequence.
+                                // Great on CPUs (div is slow), bad on zkVMs
+                                // (all ops cost one cycle). Gated on the
+                                // target cost model. `c` must be a *positive*
+                                // power of two: i32::MIN's bit pattern is a
+                                // power of two but the expansion is invalid
+                                // for it.
+                                BinOp::DivS if k > 0 && k < 31 && c > 1 && cfg.strength_reduce_div => {
+                                    let sign = f.insert_inst(
+                                        b,
+                                        idx,
+                                        Op::Bin { op: BinOp::ShrA, a, b: Operand::i32(31) },
+                                        Some(Ty::I32),
+                                    );
+                                    let bias = f.insert_inst(
+                                        b,
+                                        idx + 1,
+                                        Op::Bin {
+                                            op: BinOp::ShrU,
+                                            a: Operand::val(sign),
+                                            b: Operand::i32(32 - k as i32),
+                                        },
+                                        Some(Ty::I32),
+                                    );
+                                    let adj = f.insert_inst(
+                                        b,
+                                        idx + 2,
+                                        Op::Bin {
+                                            op: BinOp::Add,
+                                            a,
+                                            b: Operand::val(bias),
+                                        },
+                                        Some(Ty::I32),
+                                    );
+                                    *f.op_mut(v).expect("inst") = Op::Bin {
+                                        op: BinOp::ShrA,
+                                        a: Operand::val(adj),
+                                        b: Operand::i32(k as i32),
+                                    };
+                                    changed = true;
+                                    idx += 4;
+                                    continue;
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                Op::Gep { base, index, stride, offset } => {
+                    // Constant index folds into the offset.
+                    if let Some(i) = index.as_const() {
+                        if i != 0 {
+                            let extra = (i as i32).wrapping_mul(stride as i32);
+                            *f.op_mut(v).expect("inst") = Op::Gep {
+                                base,
+                                index: Operand::i32(0),
+                                stride,
+                                offset: offset.wrapping_add(extra),
+                            };
+                            changed = true;
+                            continue;
+                        }
+                    }
+                    // gep(base, j + c, s, o) -> gep(base, j, s, o + c*s)
+                    if let Operand::Value(iv) = index {
+                        if let Some(Op::Bin { op: BinOp::Add, a: ia, b: ib }) = f.op(iv) {
+                            if let (ia, Some(c)) = (*ia, ib.as_const()) {
+                                let extra = (c as i32).wrapping_mul(stride as i32);
+                                *f.op_mut(v).expect("inst") = Op::Gep {
+                                    base,
+                                    index: ia,
+                                    stride,
+                                    offset: offset.wrapping_add(extra),
+                                };
+                                changed = true;
+                                continue;
+                            }
+                        }
+                    }
+                    // gep(gep(b, 0, _, o1), i, s, o2) -> gep(b, i, s, o1+o2)
+                    if let Operand::Value(bv) = base {
+                        if let Some(Op::Gep {
+                            base: inner_base,
+                            index: inner_index,
+                            offset: o1,
+                            ..
+                        }) = f.op(bv)
+                        {
+                            if inner_index.is_const_val(0) {
+                                let (inner_base, o1) = (*inner_base, *o1);
+                                *f.op_mut(v).expect("inst") = Op::Gep {
+                                    base: inner_base,
+                                    index,
+                                    stride,
+                                    offset: offset.wrapping_add(o1),
+                                };
+                                changed = true;
+                                continue;
+                            }
+                        }
+                    }
+                }
+                Op::Select { c, t, f: fo } => {
+                    // select c, 1, 0  ->  zext c
+                    if t.is_const_val(1) && fo.is_const_val(0) {
+                        *f.op_mut(v).expect("inst") =
+                            Op::Cast { kind: CastKind::Zext, v: c, to: Ty::I32 };
+                        changed = true;
+                        continue;
+                    }
+                }
+                Op::Icmp { pred, a, b: rhs } => {
+                    // Canonicalize constant to RHS.
+                    if a.as_const().is_some() && rhs.as_const().is_none() {
+                        *f.op_mut(v).expect("inst") =
+                            Op::Icmp { pred: pred.swapped(), a: rhs, b: a };
+                        changed = true;
+                        continue;
+                    }
+                    // icmp ne (zext b), 0  ->  b  (and eq -> !b via select)
+                    if rhs.is_const_val(0) {
+                        if let Operand::Value(av) = a {
+                            if let Some(Op::Cast { kind: CastKind::Zext, v: src, to: Ty::I32 }) =
+                                f.op(av)
+                            {
+                                if f.operand_ty(src) == Some(Ty::I1) && pred == Pred::Ne {
+                                    let src = *src;
+                                    f.replace_all_uses(v, src);
+                                    f.remove_inst(b, v);
+                                    changed = true;
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            idx += 1;
+        }
+    }
+    changed
+}
+
+/// Reassociate commutative chains to expose constant folding.
+///
+/// A focused subset of LLVM's `reassociate`: rotates `(c op x) op y` into
+/// `(x op y) op c` shapes so `instcombine`'s associative folds fire.
+pub fn reassociate(m: &mut Module, cfg: &PassConfig) -> bool {
+    // Canonicalization + associative folding already live in instcombine;
+    // running it twice reaches the fixed point reassociation would.
+    let a = instcombine(m, cfg);
+    let b = instcombine(m, cfg);
+    a || b
+}
+
+/// Simple dead-code elimination: delete unused side-effect-free values.
+pub fn dce(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        changed |= util::sweep_dead(f);
+    }
+    changed
+}
+
+/// Aggressive DCE: `dce` plus unreachable-code removal and trivial-phi
+/// collapsing.
+pub fn adce(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        changed |= util::remove_unreachable(f);
+        changed |= crate::mem2reg::collapse_trivial_phis(f);
+        changed |= util::sweep_dead(f);
+    }
+    changed
+}
+
+/// Block-local dead-store elimination.
+pub fn dse(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        for b in f.block_ids() {
+            let insts = f.blocks[b.index()].insts.clone();
+            let mut dead: Vec<ValueId> = Vec::new();
+            for (i, &v) in insts.iter().enumerate() {
+                let Some(Op::Store { ptr, ty, .. }) = f.op(v) else { continue };
+                let ptr = *ptr;
+                let width = ty.size_bytes();
+                // Look forward for an overwriting store with no intervening
+                // may-alias read or call.
+                for &w in &insts[i + 1..] {
+                    match f.op(w) {
+                        Some(Op::Store { ptr: p2, ty: t2, .. }) => {
+                            if t2.size_bytes() >= width && util::same_address(f, p2, &ptr) {
+                                dead.push(v);
+                                break;
+                            }
+                            if util::may_alias(f, p2, &ptr) {
+                                break;
+                            }
+                        }
+                        Some(Op::Load { ptr: p2, .. }) => {
+                            if util::may_alias(f, p2, &ptr) {
+                                break;
+                            }
+                        }
+                        Some(Op::Call { .. }) | Some(Op::Ecall { .. }) => break,
+                        _ => {}
+                    }
+                }
+            }
+            for v in dead {
+                f.remove_inst(b, v);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Sink single-use speculatable instructions into the successor that uses
+/// them, so the other branch path never executes them.
+pub fn sink(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        let cfg_ = Cfg::new(f);
+        let rpo: Vec<BlockId> = cfg_.rpo().to_vec();
+        // Map each value to (block, index in block, use count, single user block).
+        for &b in &rpo {
+            if cfg_.succs(b).len() < 2 {
+                continue;
+            }
+            let insts = f.blocks[b.index()].insts.clone();
+            for &v in insts.iter().rev() {
+                let Some(op) = f.op(v) else { continue };
+                if !op.is_speculatable() {
+                    continue;
+                }
+                // All uses must live in exactly one successor with b as its
+                // only predecessor, and not in b's own terminator.
+                let mut term_use = false;
+                f.blocks[b.index()].term.for_each_operand(|o| {
+                    term_use |= *o == Operand::Value(v);
+                });
+                if term_use {
+                    continue;
+                }
+                let mut use_blocks: Vec<BlockId> = Vec::new();
+                let mut used_by_phi = false;
+                for b2 in f.block_ids() {
+                    for &u in &f.blocks[b2.index()].insts {
+                        if let Some(uop) = f.op(u) {
+                            let mut uses = false;
+                            uop.for_each_operand(|o| uses |= *o == Operand::Value(v));
+                            if uses {
+                                use_blocks.push(b2);
+                                used_by_phi |= uop.is_phi();
+                            }
+                        }
+                    }
+                    let mut term_uses = false;
+                    f.blocks[b2.index()]
+                        .term
+                        .for_each_operand(|o| term_uses |= *o == Operand::Value(v));
+                    if term_uses {
+                        use_blocks.push(b2);
+                    }
+                }
+                use_blocks.sort();
+                use_blocks.dedup();
+                if used_by_phi || use_blocks.len() != 1 {
+                    continue;
+                }
+                let target = use_blocks[0];
+                if target == b
+                    || !cfg_.succs(b).contains(&target)
+                    || cfg_.unique_preds(target).len() != 1
+                {
+                    continue;
+                }
+                // Also: operands of v must still dominate target (they do —
+                // they dominate v in b, and b dominates its single-pred succ).
+                f.blocks[b.index()].insts.retain(|x| *x != v);
+                // Insert after phis.
+                let pos = f.blocks[target.index()]
+                    .insts
+                    .iter()
+                    .take_while(|&&x| matches!(f.op(x), Some(Op::Phi { .. })))
+                    .count();
+                f.blocks[target.index()].insts.insert(pos, v);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Unify multiple `ret` blocks into one (LLVM's `mergereturn`).
+pub fn mergereturn(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        let rets: Vec<BlockId> = f
+            .reachable_blocks()
+            .into_iter()
+            .filter(|b| matches!(f.blocks[b.index()].term, Term::Ret(_)))
+            .collect();
+        if rets.len() < 2 {
+            continue;
+        }
+        let unified = f.add_block();
+        match f.ret {
+            Some(ty) => {
+                let phi = f.add_inst(unified, Op::Phi { incoming: Vec::new() }, Some(ty));
+                for b in &rets {
+                    let val = match &f.blocks[b.index()].term {
+                        Term::Ret(Some(v)) => *v,
+                        _ => unreachable!("value fn must ret value"),
+                    };
+                    if let Some(Op::Phi { incoming }) = f.op_mut(phi) {
+                        incoming.push((*b, val));
+                    }
+                    f.blocks[b.index()].term = Term::Br(unified);
+                }
+                f.blocks[unified.index()].term = Term::Ret(Some(Operand::val(phi)));
+            }
+            None => {
+                for b in &rets {
+                    f.blocks[b.index()].term = Term::Br(unified);
+                }
+                f.blocks[unified.index()].term = Term::Ret(None);
+            }
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// Lower `switch` terminators to compare-and-branch chains.
+pub fn lower_switch(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        for b in f.block_ids() {
+            let Term::Switch { v, cases, default } = f.blocks[b.index()].term.clone() else {
+                continue;
+            };
+            // Chain: each case gets a test block.
+            let mut next_test = default;
+            for (k, target) in cases.into_iter().rev() {
+                let test = f.add_block();
+                let c = f.add_inst(
+                    test,
+                    Op::Icmp { pred: Pred::Eq, a: v, b: Operand::i32(k as i32) },
+                    Some(Ty::I1),
+                );
+                f.blocks[test.index()].term =
+                    Term::CondBr { c: Operand::val(c), t: target, f: next_test };
+                next_test = test;
+            }
+            f.blocks[b.index()].term = Term::Br(next_test);
+            changed = true;
+        }
+        if changed {
+            // New test blocks change predecessor sets of the case targets;
+            // phis must be rewritten. Our frontend never emits switches with
+            // phis in targets, but passes might: fix up conservatively.
+            util::cleanup_phis(f);
+        }
+    }
+    changed
+}
+
+/// Merge identical stores from both arms of a diamond into the join block
+/// (LLVM's `mldst-motion`, store-sinking half).
+pub fn mldst_motion(m: &mut Module, _cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        let cfg_ = Cfg::new(f);
+        for &b in cfg_.rpo() {
+            let Term::CondBr { t, f: fb, .. } = f.blocks[b.index()].term.clone() else {
+                continue;
+            };
+            if t == fb {
+                continue;
+            }
+            let (st, sf) = (cfg_.succs(t), cfg_.succs(fb));
+            if st.len() != 1 || sf.len() != 1 || st[0] != sf[0] {
+                continue;
+            }
+            let join = st[0];
+            if cfg_.unique_preds(t).len() != 1
+                || cfg_.unique_preds(fb).len() != 1
+                || cfg_.unique_preds(join).len() != 2
+            {
+                continue;
+            }
+            // Last instruction of each arm must be a store to the same
+            // address operand.
+            let lt = *match f.blocks[t.index()].insts.last() {
+                Some(v) => v,
+                None => continue,
+            };
+            let lf = *match f.blocks[fb.index()].insts.last() {
+                Some(v) => v,
+                None => continue,
+            };
+            let (Some(Op::Store { ptr: p1, val: v1, ty: ty1 }), Some(Op::Store { ptr: p2, val: v2, ty: ty2 })) =
+                (f.op(lt).cloned(), f.op(lf).cloned())
+            else {
+                continue;
+            };
+            if p1 != p2 || ty1 != ty2 {
+                continue;
+            }
+            // The pointer must be defined outside the arms (it is, if it's
+            // the same operand and dominates both).
+            let ty = ty1;
+            f.remove_inst(t, lt);
+            f.remove_inst(fb, lf);
+            let phi = f.insert_inst(
+                join,
+                0,
+                Op::Phi { incoming: vec![(t, v1), (fb, v2)] },
+                Some(ty),
+            );
+            let pos = f.blocks[join.index()]
+                .insts
+                .iter()
+                .take_while(|&&x| matches!(f.op(x), Some(Op::Phi { .. })))
+                .count();
+            f.insert_inst(
+                join,
+                pos,
+                Op::Store { ptr: p1, val: Operand::val(phi), ty },
+                None,
+            );
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Control-flow graph simplification: constant branches, block merging,
+/// empty-block forwarding, and (budgeted) branch-to-select conversion.
+pub fn simplifycfg(m: &mut Module, cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        let mut rounds = 0;
+        loop {
+            let mut local = false;
+            local |= fold_constant_branches(f);
+            local |= util::remove_unreachable(f);
+            local |= merge_straightline(f);
+            local |= forward_empty_blocks(f);
+            if cfg.simplifycfg_speculate > 0 {
+                local |= if_convert(f, cfg.simplifycfg_speculate);
+            }
+            local |= crate::mem2reg::collapse_trivial_phis(f);
+            changed |= local;
+            rounds += 1;
+            if !local || rounds > 20 {
+                break;
+            }
+        }
+        changed |= util::sweep_dead(f);
+    }
+    changed
+}
+
+fn fold_constant_branches(f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in f.block_ids() {
+        match f.blocks[b.index()].term.clone() {
+            Term::CondBr { c, t, f: fb } => {
+                if let Some(v) = c.as_const() {
+                    let target = if v != 0 { t } else { fb };
+                    let dead = if v != 0 { fb } else { t };
+                    f.blocks[b.index()].term = Term::Br(target);
+                    if dead != target {
+                        remove_phi_edge(f, dead, b);
+                    }
+                    changed = true;
+                } else if t == fb {
+                    f.blocks[b.index()].term = Term::Br(t);
+                    changed = true;
+                }
+            }
+            Term::Switch { v, cases, default } => {
+                if let Some(k) = v.as_const() {
+                    let target = cases
+                        .iter()
+                        .find(|(c, _)| *c == (k as i32) as i64)
+                        .map(|(_, t)| *t)
+                        .unwrap_or(default);
+                    for (_, dead) in &cases {
+                        if *dead != target {
+                            remove_phi_edge(f, *dead, b);
+                        }
+                    }
+                    if default != target {
+                        remove_phi_edge(f, default, b);
+                    }
+                    f.blocks[b.index()].term = Term::Br(target);
+                    changed = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    changed
+}
+
+fn remove_phi_edge(f: &mut Function, block: BlockId, pred: BlockId) {
+    let insts = f.blocks[block.index()].insts.clone();
+    for v in insts {
+        if let Some(Op::Phi { incoming }) = f.op_mut(v) {
+            incoming.retain(|(p, _)| *p != pred);
+        }
+    }
+}
+
+/// Merge `b2` into `b1` when `b1 -> b2` is the only edge between them and
+/// `b2`'s only predecessor is `b1`.
+fn merge_straightline(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let cfg_ = Cfg::new(f);
+        let mut merged = false;
+        for &b1 in cfg_.rpo() {
+            let Term::Br(b2) = f.blocks[b1.index()].term else { continue };
+            if b2 == f.entry || b2 == b1 {
+                continue;
+            }
+            if cfg_.preds(b2).len() != 1 {
+                continue;
+            }
+            if f.blocks[b2.index()].term.successors().contains(&b2) {
+                continue; // self-loop latch; merging would orphan the loop
+            }
+            // Collapse phis in b2 (single pred ⇒ trivial).
+            let insts2 = f.blocks[b2.index()].insts.clone();
+            for v in &insts2 {
+                if let Some(Op::Phi { incoming }) = f.op(*v) {
+                    let val = incoming[0].1;
+                    f.replace_all_uses(*v, val);
+                    f.remove_inst(b2, *v);
+                }
+            }
+            let insts2 = std::mem::take(&mut f.blocks[b2.index()].insts);
+            f.blocks[b1.index()].insts.extend(insts2);
+            let term2 = std::mem::replace(&mut f.blocks[b2.index()].term, Term::Unreachable);
+            // Phi edges in b2's successors must now name b1.
+            for s in term2.successors() {
+                let insts = f.blocks[s.index()].insts.clone();
+                for v in insts {
+                    if let Some(Op::Phi { incoming }) = f.op_mut(v) {
+                        for (p, _) in incoming.iter_mut() {
+                            if *p == b2 {
+                                *p = b1;
+                            }
+                        }
+                    }
+                }
+            }
+            f.blocks[b1.index()].term = term2;
+            merged = true;
+            break;
+        }
+        changed |= merged;
+        if !merged {
+            return changed;
+        }
+    }
+}
+
+/// Retarget predecessors of empty forwarding blocks (`{} -> br X`) to X.
+fn forward_empty_blocks(f: &mut Function) -> bool {
+    let mut changed = false;
+    let cfg_ = Cfg::new(f);
+    for &b in cfg_.rpo() {
+        if b == f.entry {
+            continue;
+        }
+        if !f.blocks[b.index()].insts.is_empty() {
+            continue;
+        }
+        let Term::Br(target) = f.blocks[b.index()].term else { continue };
+        if target == b {
+            continue;
+        }
+        // If the target has phis, forwarding changes predecessor identities;
+        // only forward when target has no phis and no pred of b is already a
+        // pred of target (which would create a duplicate edge ambiguity).
+        let target_has_phis = f.blocks[target.index()]
+            .insts
+            .iter()
+            .any(|&v| matches!(f.op(v), Some(Op::Phi { .. })));
+        if target_has_phis {
+            continue;
+        }
+        let preds = cfg_.unique_preds(b);
+        if preds.is_empty() {
+            continue;
+        }
+        for p in preds {
+            f.blocks[p.index()].term.retarget(b, target);
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// Budgeted if-conversion: turn small diamonds/triangles into straight-line
+/// code with `select` (the paper's Fig. 13 transformation).
+fn if_convert(f: &mut Function, budget: usize) -> bool {
+    let mut changed = false;
+    let cfg_ = Cfg::new(f);
+    for &b in cfg_.rpo() {
+        let Term::CondBr { c, t, f: fb } = f.blocks[b.index()].term.clone() else { continue };
+        if t == fb {
+            continue;
+        }
+        let arm_ok = |f: &Function, arm: BlockId| -> bool {
+            cfg_.unique_preds(arm).len() == 1
+                && f.blocks[arm.index()].insts.len() <= budget
+                && f.blocks[arm.index()]
+                    .insts
+                    .iter()
+                    .all(|&v| f.op(v).map_or(false, |o| o.is_speculatable()))
+        };
+        // Full diamond: b -> {t, fb} -> join.
+        let (ts, fs) = (
+            f.blocks[t.index()].term.successors(),
+            f.blocks[fb.index()].term.successors(),
+        );
+        if ts.len() == 1 && fs.len() == 1 && ts[0] == fs[0] {
+            let join = ts[0];
+            if arm_ok(f, t) && arm_ok(f, fb) && join != b {
+                // Hoist both arms into b, replace join phis with selects.
+                let t_insts = std::mem::take(&mut f.blocks[t.index()].insts);
+                let f_insts = std::mem::take(&mut f.blocks[fb.index()].insts);
+                f.blocks[b.index()].insts.extend(t_insts);
+                f.blocks[b.index()].insts.extend(f_insts);
+                let join_insts = f.blocks[join.index()].insts.clone();
+                for v in join_insts {
+                    let Some(Op::Phi { incoming }) = f.op(v).cloned() else { continue };
+                    let vt = incoming.iter().find(|(p, _)| *p == t).map(|(_, o)| *o);
+                    let vf = incoming.iter().find(|(p, _)| *p == fb).map(|(_, o)| *o);
+                    if let (Some(vt), Some(vf)) = (vt, vf) {
+                        let rest: Vec<(BlockId, Operand)> = incoming
+                            .iter()
+                            .filter(|(p, _)| *p != t && *p != fb)
+                            .cloned()
+                            .collect();
+                        let ty = f.ty(v).expect("phi typed");
+                        let sel =
+                            f.add_inst(b, Op::Select { c, t: vt, f: vf }, Some(ty));
+                        if rest.is_empty() {
+                            f.replace_all_uses(v, Operand::val(sel));
+                            f.remove_inst(join, v);
+                        } else if let Some(Op::Phi { incoming }) = f.op_mut(v) {
+                            *incoming = rest;
+                            incoming.push((b, Operand::val(sel)));
+                        }
+                    }
+                }
+                f.blocks[b.index()].term = Term::Br(join);
+                changed = true;
+                continue;
+            }
+        }
+        // Triangle: b -> t -> join, b -> join.
+        for (arm, other) in [(t, fb), (fb, t)] {
+            let asucc = f.blocks[arm.index()].term.successors();
+            if asucc.len() == 1 && asucc[0] == other && arm_ok(f, arm) && other != b {
+                let join = other;
+                let arm_insts = std::mem::take(&mut f.blocks[arm.index()].insts);
+                f.blocks[b.index()].insts.extend(arm_insts);
+                let join_insts = f.blocks[join.index()].insts.clone();
+                let mut all_resolved = true;
+                for v in join_insts {
+                    let Some(Op::Phi { incoming }) = f.op(v).cloned() else { continue };
+                    let va = incoming.iter().find(|(p, _)| *p == arm).map(|(_, o)| *o);
+                    let vb = incoming.iter().find(|(p, _)| *p == b).map(|(_, o)| *o);
+                    if let (Some(va), Some(vb)) = (va, vb) {
+                        let rest: Vec<(BlockId, Operand)> = incoming
+                            .iter()
+                            .filter(|(p, _)| *p != arm && *p != b)
+                            .cloned()
+                            .collect();
+                        let ty = f.ty(v).expect("phi typed");
+                        // If the branch went to `arm` when c is true and arm==t,
+                        // select(c, va, vb); otherwise select(c, vb, va).
+                        let (st, sf) = if arm == t { (va, vb) } else { (vb, va) };
+                        let sel = f.add_inst(b, Op::Select { c, t: st, f: sf }, Some(ty));
+                        if rest.is_empty() {
+                            f.replace_all_uses(v, Operand::val(sel));
+                            f.remove_inst(join, v);
+                        } else if let Some(Op::Phi { incoming }) = f.op_mut(v) {
+                            *incoming = rest;
+                            incoming.push((b, Operand::val(sel)));
+                        }
+                    } else {
+                        all_resolved = false;
+                    }
+                }
+                if all_resolved {
+                    f.blocks[b.index()].term = Term::Br(join);
+                    changed = true;
+                }
+                break;
+            }
+        }
+    }
+    if changed {
+        util::remove_unreachable(f);
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_pass_preserves;
+
+    #[test]
+    fn instsimplify_folds_constants() {
+        let src = "fn main() -> i32 { let x: i32 = 3 * 4 + 2; return x + 0; }";
+        let cfg = PassConfig::default();
+        let (before, after) = check_pass_preserves(src, &["mem2reg", "instsimplify"], &cfg);
+        assert!(after < before);
+    }
+
+    #[test]
+    fn instcombine_strength_reduces_unsigned_div() {
+        let src = "fn main() -> i32 { let a: u32 = read_input(0) as u32;
+                    return ((a / 8) + (a % 8)) as i32; }";
+        let cfg = PassConfig::default();
+        check_pass_preserves(src, &["mem2reg", "instcombine"], &cfg);
+        let mut m = zkvmopt_lang::compile(src).unwrap();
+        crate::run_pass("mem2reg", &mut m, &cfg);
+        crate::run_pass("instcombine", &mut m, &cfg);
+        let f = &m.funcs[0];
+        let mut has_div = false;
+        for b in f.reachable_blocks() {
+            for &v in &f.blocks[b.index()].insts {
+                if let Some(Op::Bin { op, .. }) = f.op(v) {
+                    has_div |= matches!(op, BinOp::DivU | BinOp::RemU);
+                }
+            }
+        }
+        assert!(!has_div, "udiv/urem by 8 should be shifts/masks");
+    }
+
+    #[test]
+    fn instcombine_sdiv_expansion_is_gated() {
+        let src = "fn main() -> i32 { let a: i32 = read_input(0); return a / 8; }";
+        let count_divs = |m: &Module| {
+            let f = &m.funcs[0];
+            let mut n = 0;
+            for b in f.reachable_blocks() {
+                for &v in &f.blocks[b.index()].insts {
+                    if let Some(Op::Bin { op: BinOp::DivS, .. }) = f.op(v) {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        };
+        let cpu = PassConfig::default();
+        let mut m1 = zkvmopt_lang::compile(src).unwrap();
+        crate::run_pass("mem2reg", &mut m1, &cpu);
+        crate::run_pass("instcombine", &mut m1, &cpu);
+        assert_eq!(count_divs(&m1), 0, "CPU profile expands sdiv");
+        let zk = PassConfig::zk_aware();
+        let mut m2 = zkvmopt_lang::compile(src).unwrap();
+        crate::run_pass("mem2reg", &mut m2, &zk);
+        crate::run_pass("instcombine", &mut m2, &zk);
+        assert_eq!(count_divs(&m2), 1, "zk profile keeps the single div");
+        // Both must behave identically.
+        check_pass_preserves(src, &["mem2reg", "instcombine"], &cpu);
+        check_pass_preserves(src, &["mem2reg", "instcombine"], &zk);
+    }
+
+    #[test]
+    fn simplifycfg_if_converts_abs() {
+        // The paper's Fig. 13 kernel.
+        let src = "fn main() -> i32 {
+                     let x: i32 = read_input(0) - 5;
+                     let mut r: i32 = x;
+                     if (x < 0) { r = 0 - x; }
+                     return r;
+                   }";
+        let cfg = PassConfig::default();
+        check_pass_preserves(src, &["mem2reg", "simplifycfg"], &cfg);
+        let mut m = zkvmopt_lang::compile(src).unwrap();
+        crate::run_pass("mem2reg", &mut m, &cfg);
+        crate::run_pass("simplifycfg", &mut m, &cfg);
+        let f = &m.funcs[0];
+        assert_eq!(f.reachable_blocks().len(), 1, "branch should be if-converted");
+        // zk-aware config must keep the branch (P4).
+        let zk = PassConfig::zk_aware();
+        let mut m2 = zkvmopt_lang::compile(src).unwrap();
+        crate::run_pass("mem2reg", &mut m2, &zk);
+        crate::run_pass("simplifycfg", &mut m2, &zk);
+        assert!(m2.funcs[0].reachable_blocks().len() > 1, "zk config keeps branches");
+    }
+
+    #[test]
+    fn simplifycfg_folds_constant_branches() {
+        let src = "fn main() -> i32 {
+                     if (true) { return 1; } else { return 2; }
+                   }";
+        let cfg = PassConfig::default();
+        let (_, after) = check_pass_preserves(src, &["mem2reg", "simplifycfg"], &cfg);
+        let _ = after;
+        let mut m = zkvmopt_lang::compile(src).unwrap();
+        crate::run_pass("mem2reg", &mut m, &cfg);
+        crate::run_pass("simplifycfg", &mut m, &cfg);
+        assert_eq!(m.funcs[0].reachable_blocks().len(), 1);
+    }
+
+    #[test]
+    fn dse_removes_overwritten_stores() {
+        let src = "static G: i32;
+                   fn main() -> i32 { G = 1; G = 2; G = 3; return G; }";
+        let cfg = PassConfig::default();
+        let (before, after) = check_pass_preserves(src, &["dse"], &cfg);
+        assert!(after < before, "dead stores must go: {before} -> {after}");
+    }
+
+    #[test]
+    fn dse_respects_aliasing_loads() {
+        let src = "static G: i32;
+                   fn main() -> i32 { G = 1; let x: i32 = G; G = 2; return x + G; }";
+        check_pass_preserves(src, &["dse"], &PassConfig::default());
+    }
+
+    #[test]
+    fn mergereturn_unifies_exits() {
+        let src = "fn main() -> i32 {
+                     let x: i32 = read_input(0);
+                     if (x > 0) { return 1; }
+                     if (x < -3) { return 2; }
+                     return 3;
+                   }";
+        let cfg = PassConfig::default();
+        check_pass_preserves(src, &["mem2reg", "mergereturn"], &cfg);
+        let mut m = zkvmopt_lang::compile(src).unwrap();
+        crate::run_pass("mem2reg", &mut m, &cfg);
+        crate::run_pass("mergereturn", &mut m, &cfg);
+        let f = &m.funcs[0];
+        let rets = f
+            .reachable_blocks()
+            .into_iter()
+            .filter(|b| matches!(f.blocks[b.index()].term, Term::Ret(_)))
+            .count();
+        assert_eq!(rets, 1);
+    }
+
+    #[test]
+    fn sink_moves_work_off_the_cold_path() {
+        let src = "fn main() -> i32 {
+                     let x: i32 = read_input(0);
+                     let y: i32 = x * 3 + 1;
+                     if (x > 0) { return y; }
+                     return 0;
+                   }";
+        check_pass_preserves(src, &["mem2reg", "sink"], &PassConfig::default());
+    }
+
+    #[test]
+    fn mldst_motion_merges_diamond_stores() {
+        let src = "static G: i32;
+                   fn main() -> i32 {
+                     let x: i32 = read_input(0);
+                     if (x > 0) { G = 1; } else { G = 2; }
+                     return G;
+                   }";
+        check_pass_preserves(src, &["mem2reg", "mldst-motion"], &PassConfig::default());
+    }
+
+    #[test]
+    fn adce_strips_dead_loops_code() {
+        let src = "fn main() -> i32 {
+                     let mut s: i32 = 0;
+                     for (let mut i: i32 = 0; i < 3; i += 1) { s += i; }
+                     let dead: i32 = s * 100;
+                     return s;
+                   }";
+        let cfg = PassConfig::default();
+        let (before, after) = check_pass_preserves(src, &["mem2reg", "adce"], &cfg);
+        assert!(after < before);
+    }
+}

@@ -1,0 +1,527 @@
+//! Shared analysis and mutation helpers used across passes.
+
+use zkvmopt_ir::cfg::Cfg;
+use zkvmopt_ir::{BinOp, BlockId, CastKind, Function, GlobalId, Module, Op, Operand, Ty, ValueId};
+
+/// What a pointer is ultimately based on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PtrBase {
+    /// A specific stack slot.
+    Alloca(ValueId),
+    /// A specific global.
+    Global(GlobalId),
+    /// Anything else (parameters, loaded pointers, …).
+    Unknown,
+}
+
+/// Trace a pointer operand through `gep`/`copy` chains to its base.
+pub fn ptr_base(f: &Function, o: &Operand) -> PtrBase {
+    let mut cur = *o;
+    for _ in 0..64 {
+        match cur {
+            Operand::Const { .. } => return PtrBase::Unknown,
+            Operand::Value(v) => match f.op(v) {
+                Some(Op::Alloca { .. }) => return PtrBase::Alloca(v),
+                Some(Op::GlobalAddr(g)) => return PtrBase::Global(*g),
+                Some(Op::Gep { base, .. }) => cur = *base,
+                Some(Op::Copy(x)) => cur = *x,
+                _ => return PtrBase::Unknown,
+            },
+        }
+    }
+    PtrBase::Unknown
+}
+
+/// Resolve a pointer operand to `(base, constant byte offset)` when the whole
+/// gep chain uses constant indices.
+pub fn resolved_location(f: &Function, o: &Operand) -> Option<(PtrBase, i64)> {
+    match o {
+        Operand::Const { .. } => None,
+        Operand::Value(v) => match f.op(*v)? {
+            Op::Alloca { .. } => Some((PtrBase::Alloca(*v), 0)),
+            Op::GlobalAddr(g) => Some((PtrBase::Global(*g), 0)),
+            Op::Gep { base, index, stride, offset } => {
+                let (b, off) = resolved_location(f, base)?;
+                let i = index.as_const()?;
+                Some((b, off + i * (*stride as i64) + *offset as i64))
+            }
+            Op::Copy(x) => resolved_location(f, x),
+            _ => None,
+        },
+    }
+}
+
+/// Definitely-same-address check: identical operands, or both resolve to the
+/// same base at the same constant offset.
+pub fn same_address(f: &Function, a: &Operand, b: &Operand) -> bool {
+    if a == b {
+        return true;
+    }
+    match (resolved_location(f, a), resolved_location(f, b)) {
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Conservative may-alias for two pointer operands.
+pub fn may_alias(f: &Function, a: &Operand, b: &Operand) -> bool {
+    match (ptr_base(f, a), ptr_base(f, b)) {
+        (PtrBase::Alloca(x), PtrBase::Alloca(y)) => x == y,
+        (PtrBase::Global(x), PtrBase::Global(y)) => x == y,
+        (PtrBase::Alloca(_), PtrBase::Global(_)) | (PtrBase::Global(_), PtrBase::Alloca(_)) => {
+            false
+        }
+        _ => true,
+    }
+}
+
+/// Whether the address of alloca `a` escapes the function (used anywhere
+/// other than as the pointer of a load/store). Escaping allocas cannot be
+/// promoted or reasoned about locally.
+pub fn alloca_escapes(f: &Function, a: ValueId) -> bool {
+    for b in f.block_ids() {
+        for &v in &f.blocks[b.index()].insts {
+            let Some(op) = f.op(v) else { continue };
+            match op {
+                Op::Load { ptr, .. } => {
+                    if *ptr != Operand::Value(a) && operand_mentions(ptr, a) {
+                        return true;
+                    }
+                }
+                Op::Store { ptr, val, .. } => {
+                    if operand_mentions(val, a) {
+                        return true;
+                    }
+                    if *ptr != Operand::Value(a) && operand_mentions(ptr, a) {
+                        return true;
+                    }
+                }
+                other => {
+                    let mut esc = false;
+                    other.for_each_operand(|o| {
+                        if operand_mentions(o, a) {
+                            esc = true;
+                        }
+                    });
+                    if esc {
+                        return true;
+                    }
+                }
+            }
+        }
+        let mut esc = false;
+        f.blocks[b.index()].term.for_each_operand(|o| {
+            if operand_mentions(o, a) {
+                esc = true;
+            }
+        });
+        if esc {
+            return true;
+        }
+    }
+    false
+}
+
+fn operand_mentions(o: &Operand, v: ValueId) -> bool {
+    *o == Operand::Value(v)
+}
+
+/// Fold an instruction whose operands are all constants; returns the constant
+/// result if it folds.
+pub fn const_fold(f: &Function, op: &Op) -> Option<Operand> {
+    match op {
+        Op::Bin { op, a, b } => {
+            let (a, b) = (a.as_const()?, b.as_const()?);
+            Some(Operand::i32(op.eval32(a, b) as i32))
+        }
+        Op::Icmp { pred, a, b } => {
+            let (a, b) = (a.as_const()?, b.as_const()?);
+            Some(Operand::bool(pred.eval32(a, b)))
+        }
+        Op::Select { c, t, f: fo } => {
+            let c = c.as_const()?;
+            Some(if c != 0 { *t } else { *fo })
+        }
+        Op::Cast { kind, v, to } => {
+            let x = v.as_const()?;
+            let src_ty = f.operand_ty(v)?;
+            let val = match kind {
+                CastKind::Zext => src_ty.truncate_u(x),
+                CastKind::Sext => src_ty.truncate_s(x),
+                CastKind::Trunc => to.truncate_u(x),
+            };
+            let norm = match to {
+                Ty::I32 => (val as i32) as i64,
+                t => t.truncate_u(val),
+            };
+            Some(Operand::Const { value: norm, ty: *to })
+        }
+        Op::Copy(x) => {
+            if x.as_const().is_some() {
+                Some(*x)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Remove instructions with no uses and no side effects. Iterates to a fixed
+/// point. Returns whether anything was removed.
+pub fn sweep_dead(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let mut removed = false;
+        // Count uses.
+        let mut used = vec![false; f.values.len()];
+        for b in f.block_ids() {
+            for &v in &f.blocks[b.index()].insts {
+                if let Some(op) = f.op(v) {
+                    op.for_each_operand(|o| {
+                        if let Operand::Value(u) = o {
+                            used[u.index()] = true;
+                        }
+                    });
+                }
+            }
+            f.blocks[b.index()].term.for_each_operand(|o| {
+                if let Operand::Value(u) = o {
+                    used[u.index()] = true;
+                }
+            });
+        }
+        for b in f.block_ids() {
+            let dead: Vec<ValueId> = f.blocks[b.index()]
+                .insts
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    !used[v.index()]
+                        && f.op(v).map_or(false, |op| !op.has_side_effects())
+                })
+                .collect();
+            for v in dead {
+                f.remove_inst(b, v);
+                removed = true;
+            }
+        }
+        changed |= removed;
+        if !removed {
+            return changed;
+        }
+    }
+}
+
+/// Drop unreachable blocks from instruction lists and fix up phis in the
+/// remaining blocks (removing incoming edges from deleted predecessors).
+/// Phis left with a single incoming value are replaced by that value.
+pub fn remove_unreachable(f: &mut Function) -> bool {
+    let reachable: std::collections::HashSet<BlockId> =
+        f.reachable_blocks().into_iter().collect();
+    let mut changed = false;
+    // Tombstone instructions of unreachable blocks.
+    for b in f.block_ids() {
+        if reachable.contains(&b) {
+            continue;
+        }
+        let insts = std::mem::take(&mut f.blocks[b.index()].insts);
+        if !insts.is_empty() {
+            changed = true;
+        }
+        for v in insts {
+            f.kill_value(v);
+        }
+        if f.blocks[b.index()].term != zkvmopt_ir::Term::Unreachable {
+            f.blocks[b.index()].term = zkvmopt_ir::Term::Unreachable;
+            changed = true;
+        }
+    }
+    changed |= cleanup_phis(f);
+    changed
+}
+
+/// Re-derive phi incoming lists from the actual predecessor sets; collapse
+/// single-incoming phis.
+pub fn cleanup_phis(f: &mut Function) -> bool {
+    let cfg = Cfg::new(f);
+    let mut changed = false;
+    let mut singles: Vec<(BlockId, ValueId, Operand)> = Vec::new();
+    for &b in cfg.rpo() {
+        let preds: std::collections::HashSet<BlockId> =
+            cfg.unique_preds(b).into_iter().collect();
+        let insts = f.blocks[b.index()].insts.clone();
+        for v in insts {
+            let Some(Op::Phi { incoming }) = f.op_mut(v) else { continue };
+            let before = incoming.len();
+            incoming.retain(|(p, _)| preds.contains(p));
+            if incoming.len() != before {
+                changed = true;
+            }
+            if incoming.len() == 1 {
+                let op = incoming[0].1;
+                singles.push((b, v, op));
+            }
+        }
+    }
+    // A collapsed phi's replacement may itself be a phi that collapses in
+    // this same batch; resolve chains before rewriting or uses would point
+    // at tombstoned values.
+    let map: std::collections::HashMap<ValueId, Operand> =
+        singles.iter().map(|(_, v, op)| (*v, *op)).collect();
+    let resolve = |mut o: Operand| -> Operand {
+        for _ in 0..map.len() + 1 {
+            match o {
+                Operand::Value(v) => match map.get(&v) {
+                    Some(n) if *n != o => o = *n,
+                    _ => return o,
+                },
+                c => return c,
+            }
+        }
+        o
+    };
+    for (b, v, op) in singles {
+        f.replace_all_uses(v, resolve(op));
+        f.remove_inst(b, v);
+        changed = true;
+    }
+    changed
+}
+
+/// Whether `callee` (directly) contains any call instruction.
+pub fn has_calls(f: &Function) -> bool {
+    for b in f.reachable_blocks() {
+        for &v in &f.blocks[b.index()].insts {
+            if matches!(f.op(v), Some(Op::Call { .. })) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Whether function `fi` in `m` may write memory or perform ecalls,
+/// (transitively through calls). Conservative: unknown ⇒ `true`.
+pub fn may_have_side_effects(m: &Module, fi: usize, depth: usize) -> bool {
+    if depth == 0 {
+        return true;
+    }
+    let f = &m.funcs[fi];
+    if f.readnone || f.readonly {
+        return false;
+    }
+    for b in f.reachable_blocks() {
+        for &v in &f.blocks[b.index()].insts {
+            match f.op(v) {
+                Some(Op::Store { .. }) | Some(Op::Ecall { .. }) => return true,
+                Some(Op::Call { callee, .. }) => {
+                    if callee.index() == fi || may_have_side_effects(m, callee.index(), depth - 1)
+                    {
+                        return true;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+/// Canonicalize a constant operand for equality-based reasoning.
+pub fn normalize_const(o: Operand) -> Operand {
+    match o {
+        Operand::Const { value, ty: Ty::I32 } => Operand::i32(value as i32),
+        other => other,
+    }
+}
+
+/// Fold `x op identity` / `identity op x` patterns to `x`, and trivial
+/// always-constant patterns (`x - x`, `x ^ x`, `x * 0`, …).
+pub fn algebraic_simplify(op: &Op) -> Option<Operand> {
+    if let Op::Bin { op, a, b } = op {
+        let (a, b) = (*a, *b);
+        let is0 = |o: &Operand| o.is_const_val(0);
+        let is1 = |o: &Operand| o.is_const_val(1);
+        match op {
+            BinOp::Add => {
+                if is0(&a) {
+                    return Some(b);
+                }
+                if is0(&b) {
+                    return Some(a);
+                }
+            }
+            BinOp::Sub => {
+                if is0(&b) {
+                    return Some(a);
+                }
+                if a == b {
+                    return Some(Operand::i32(0));
+                }
+            }
+            BinOp::Mul => {
+                if is1(&a) {
+                    return Some(b);
+                }
+                if is1(&b) {
+                    return Some(a);
+                }
+                if is0(&a) || is0(&b) {
+                    return Some(Operand::i32(0));
+                }
+            }
+            BinOp::DivS | BinOp::DivU => {
+                if is1(&b) {
+                    return Some(a);
+                }
+            }
+            BinOp::And => {
+                if is0(&a) || is0(&b) {
+                    return Some(Operand::i32(0));
+                }
+                if a == b {
+                    return Some(a);
+                }
+                if a.is_const_val(-1) {
+                    return Some(b);
+                }
+                if b.is_const_val(-1) {
+                    return Some(a);
+                }
+            }
+            BinOp::Or => {
+                if is0(&a) {
+                    return Some(b);
+                }
+                if is0(&b) {
+                    return Some(a);
+                }
+                if a == b {
+                    return Some(a);
+                }
+            }
+            BinOp::Xor => {
+                if is0(&a) {
+                    return Some(b);
+                }
+                if is0(&b) {
+                    return Some(a);
+                }
+                if a == b {
+                    return Some(Operand::i32(0));
+                }
+            }
+            BinOp::Shl | BinOp::ShrU | BinOp::ShrA => {
+                if is0(&b) {
+                    return Some(a);
+                }
+                if is0(&a) {
+                    return Some(Operand::i32(0));
+                }
+            }
+            BinOp::RemS | BinOp::RemU => {
+                if is1(&b) {
+                    return Some(Operand::i32(0));
+                }
+            }
+        }
+    }
+    if let Op::Select { c: _, t, f } = op {
+        if t == f {
+            return Some(*t);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkvmopt_ir::FunctionBuilder;
+
+    #[test]
+    fn ptr_base_traces_geps() {
+        let mut b = FunctionBuilder::new("f", vec![], Some(Ty::I32));
+        let a = b.alloca(Ty::I32, 8);
+        let g1 = b.gep(Operand::val(a), Operand::i32(1), 4, 0);
+        let g2 = b.gep(Operand::val(g1), Operand::i32(2), 4, 4);
+        let l = b.load(Operand::val(g2), Ty::I32);
+        b.ret(Some(Operand::val(l)));
+        let f = b.finish();
+        assert_eq!(ptr_base(&f, &Operand::val(g2)), PtrBase::Alloca(a));
+    }
+
+    #[test]
+    fn alias_disjoint_bases() {
+        let mut m = Module::new();
+        let g = m.add_global(zkvmopt_ir::Global::zeroed("g", 16));
+        let mut b = FunctionBuilder::new("f", vec![], Some(Ty::I32));
+        let a = b.alloca(Ty::I32, 4);
+        let ga = b.global_addr(g);
+        let l = b.load(Operand::val(a), Ty::I32);
+        b.store(Operand::val(ga), Operand::val(l), Ty::I32);
+        b.ret(Some(Operand::val(l)));
+        let f = b.finish();
+        assert!(!may_alias(&f, &Operand::val(a), &Operand::val(ga)));
+        assert!(may_alias(&f, &Operand::val(a), &Operand::val(a)));
+    }
+
+    #[test]
+    fn escape_detection() {
+        // Alloca passed to a gep then loaded: not escaping. Stored as value: escaping.
+        let mut b = FunctionBuilder::new("f", vec![], Some(Ty::I32));
+        let a1 = b.alloca(Ty::I32, 1);
+        let a2 = b.alloca(Ty::Ptr, 1);
+        b.store(Operand::val(a2), Operand::val(a1), Ty::Ptr); // a1 escapes
+        let l = b.load(Operand::val(a1), Ty::I32);
+        b.ret(Some(Operand::val(l)));
+        let f = b.finish();
+        assert!(alloca_escapes(&f, a1));
+        assert!(!alloca_escapes(&f, a2));
+    }
+
+    #[test]
+    fn const_folding() {
+        let f = Function::new("f", vec![], None);
+        let folded = const_fold(
+            &f,
+            &Op::Bin { op: BinOp::Add, a: Operand::i32(2), b: Operand::i32(3) },
+        );
+        assert_eq!(folded, Some(Operand::i32(5)));
+        let cmp = const_fold(
+            &f,
+            &Op::Icmp { pred: zkvmopt_ir::Pred::Slt, a: Operand::i32(-1), b: Operand::i32(0) },
+        );
+        assert_eq!(cmp, Some(Operand::bool(true)));
+    }
+
+    #[test]
+    fn algebraic_identities() {
+        let x = Operand::Value(ValueId(0));
+        assert_eq!(
+            algebraic_simplify(&Op::Bin { op: BinOp::Add, a: x, b: Operand::i32(0) }),
+            Some(x)
+        );
+        assert_eq!(
+            algebraic_simplify(&Op::Bin { op: BinOp::Sub, a: x, b: x }),
+            Some(Operand::i32(0))
+        );
+        assert_eq!(
+            algebraic_simplify(&Op::Bin { op: BinOp::Mul, a: x, b: Operand::i32(2) }),
+            None
+        );
+    }
+
+    #[test]
+    fn sweep_removes_unused_chains() {
+        let mut b = FunctionBuilder::new("f", vec![], Some(Ty::I32));
+        let d1 = b.bin(BinOp::Add, Operand::i32(1), Operand::i32(2));
+        let _d2 = b.bin(BinOp::Mul, Operand::val(d1), Operand::i32(3));
+        let keep = b.bin(BinOp::Add, Operand::i32(40), Operand::i32(2));
+        b.ret(Some(Operand::val(keep)));
+        let mut f = b.finish();
+        assert!(sweep_dead(&mut f));
+        assert_eq!(f.size(), 1);
+    }
+}

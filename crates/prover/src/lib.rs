@@ -1,0 +1,258 @@
+//! # zkvmopt-prover
+//!
+//! Proving-cost models for the two zkVM profiles, plus a Merkle-commitment
+//! "toy prover" that does real hashing work proportional to the trace.
+//!
+//! **Substitution note (DESIGN.md):** the paper measures wall-clock proving
+//! on a GPU rig; every claim it makes is *relative* (percent vs. baseline).
+//! In STARK zkVMs the dominant cost is the padded trace area, proved per
+//! segment (RISC Zero continuations) or shard (SP1) with a per-unit
+//! aggregation overhead. That is exactly what [`ProvingModel`] computes. The
+//! SP1 shard-count discontinuity the paper hits in §6.1 (regex-match: 16 →
+//! 20 shards) falls out of the same arithmetic.
+
+use zkvmopt_crypto::MerkleTree;
+use zkvmopt_vm::{ExecutionReport, VmKind};
+
+/// Analytic proving-cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvingModel {
+    /// Which VM this models.
+    pub kind: VmKind,
+    /// Rows per proving unit (segment/shard) before padding.
+    pub unit_rows: u64,
+    /// Fixed per-unit cost (commit phases, FRI setup), milliseconds.
+    pub per_unit_ms: f64,
+    /// Per-padded-row cost, milliseconds.
+    pub per_row_ms: f64,
+    /// Per-unit aggregation/recursion overhead once more than one unit
+    /// exists, milliseconds.
+    pub aggregation_ms: f64,
+}
+
+impl ProvingModel {
+    /// RISC Zero–like: ~1 Mi-row segments, heavier per-segment cost.
+    pub fn risc_zero() -> ProvingModel {
+        ProvingModel {
+            kind: VmKind::RiscZero,
+            unit_rows: 1 << 20,
+            per_unit_ms: 180.0,
+            per_row_ms: 1.15e-3,
+            aggregation_ms: 25.0,
+        }
+    }
+
+    /// SP1-like: 512 Ki-row shards, lighter per-shard cost, visible
+    /// aggregation overhead.
+    pub fn sp1() -> ProvingModel {
+        ProvingModel {
+            kind: VmKind::Sp1,
+            unit_rows: 1 << 19,
+            per_unit_ms: 28.0,
+            per_row_ms: 1.5e-4,
+            aggregation_ms: 9.0,
+        }
+    }
+
+    /// Model for a [`VmKind`].
+    pub fn for_kind(kind: VmKind) -> ProvingModel {
+        match kind {
+            VmKind::RiscZero => ProvingModel::risc_zero(),
+            VmKind::Sp1 => ProvingModel::sp1(),
+        }
+    }
+
+    /// Trace rows implied by an execution report.
+    ///
+    /// RISC Zero's trace includes paging activity; SP1's chip tables charge
+    /// extra rows for multiplies/divides and memory operations.
+    pub fn rows(&self, r: &ExecutionReport) -> u64 {
+        match self.kind {
+            VmKind::RiscZero => r.total_cycles,
+            VmKind::Sp1 => {
+                r.user_cycles + r.mix.mul + 2 * r.mix.div + (r.mix.load + r.mix.store) / 2
+            }
+        }
+    }
+
+    /// Number of proving units (segments/shards) for a report.
+    pub fn units(&self, r: &ExecutionReport) -> u64 {
+        self.rows(r).div_ceil(self.unit_rows).max(1)
+    }
+
+    /// Modelled proving time in milliseconds.
+    pub fn proving_time_ms(&self, r: &ExecutionReport) -> f64 {
+        let rows = self.rows(r);
+        let units = self.units(r);
+        let mut ms = 0.0;
+        let mut remaining = rows;
+        for _ in 0..units {
+            let in_unit = remaining.min(self.unit_rows);
+            remaining = remaining.saturating_sub(self.unit_rows);
+            // Real STARK provers pad the main trace to a power of two, but
+            // the many secondary chip tables pad at much finer granularity,
+            // so measured proving time tracks rows far more continuously
+            // than a single pow2 pad would suggest. Model that blend:
+            // half the cost follows the pow2-padded main trace, half follows
+            // 2 KiB-granular chip tables.
+            let pow2 = in_unit.next_power_of_two().max(1 << 12);
+            let fine = in_unit.div_ceil(2048).max(1) * 2048;
+            let padded = (pow2 + fine) / 2;
+            ms += self.per_unit_ms + padded as f64 * self.per_row_ms;
+        }
+        if units > 1 {
+            ms += units as f64 * self.aggregation_ms;
+        }
+        ms
+    }
+}
+
+/// A toy "proof": a Merkle commitment over per-segment trace digests plus
+/// the journal. Real hashing work, real verification — not zero-knowledge,
+/// but enough to give the workspace an artifact whose construction cost
+/// scales with the trace like a real prover's does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToyProof {
+    /// Merkle root over the committed leaves.
+    pub root: [u8; 32],
+    /// Number of committed leaves.
+    pub leaves: usize,
+    /// The public journal the proof binds.
+    pub journal: Vec<i32>,
+    /// Exit code the proof binds.
+    pub exit_code: i32,
+}
+
+/// Build a toy proof from an execution report.
+///
+/// One leaf per `unit_rows` cycles (so bigger executions hash more), plus
+/// one leaf binding the journal and exit code.
+pub fn toy_prove(model: &ProvingModel, r: &ExecutionReport) -> ToyProof {
+    let units = model.units(r);
+    let mut leaves: Vec<Vec<u8>> = Vec::with_capacity(units as usize + 1);
+    for u in 0..units {
+        let mut leaf = Vec::with_capacity(40);
+        leaf.extend_from_slice(b"segment");
+        leaf.extend_from_slice(&u.to_le_bytes());
+        leaf.extend_from_slice(&r.instret.to_le_bytes());
+        leaf.extend_from_slice(&r.total_cycles.to_le_bytes());
+        leaves.push(leaf);
+    }
+    let mut public = Vec::new();
+    public.extend_from_slice(b"journal");
+    public.extend_from_slice(&r.exit_code.to_le_bytes());
+    for j in &r.journal {
+        public.extend_from_slice(&j.to_le_bytes());
+    }
+    leaves.push(public);
+    let tree = MerkleTree::new(&leaves);
+    ToyProof {
+        root: tree.root(),
+        leaves: leaves.len(),
+        journal: r.journal.clone(),
+        exit_code: r.exit_code,
+    }
+}
+
+/// Verify that a toy proof binds the given journal and exit code (rebuilds
+/// the public leaf and checks it against the root via a fresh proof path).
+pub fn toy_verify(model: &ProvingModel, r: &ExecutionReport, proof: &ToyProof) -> bool {
+    let rebuilt = toy_prove(model, r);
+    rebuilt.root == proof.root
+        && proof.journal == r.journal
+        && proof.exit_code == r.exit_code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkvmopt_vm::{run_program, VmKind};
+
+    fn report(cycles_hint: u32) -> ExecutionReport {
+        let src = format!(
+            "fn main() -> i32 {{
+               let mut s: i32 = 0;
+               for (let mut i: i32 = 0; i < {cycles_hint}; i += 1) {{ s += i; }}
+               return s;
+             }}"
+        );
+        let m = zkvmopt_lang::compile_guest(&src).unwrap();
+        let p = zkvmopt_riscv::compile_module(&m, &zkvmopt_riscv::TargetCostModel::zk()).unwrap();
+        run_program(&p, VmKind::RiscZero, &[]).unwrap()
+    }
+
+    #[test]
+    fn proving_time_scales_with_cycles() {
+        let small = report(100);
+        let big = report(100_000);
+        for kind in VmKind::BOTH {
+            let model = ProvingModel::for_kind(kind);
+            let ts = model.proving_time_ms(&small);
+            let tb = model.proving_time_ms(&big);
+            assert!(tb > ts, "{kind}: {tb} !> {ts}");
+        }
+    }
+
+    #[test]
+    fn shard_boundaries_add_aggregation_cost() {
+        let model = ProvingModel::sp1();
+        // Synthetic reports just under / over one shard.
+        let mut r = report(100);
+        r.user_cycles = model.unit_rows - 10;
+        r.total_cycles = r.user_cycles;
+        r.mix = zkvmopt_vm::InstMix { alu: r.user_cycles, ..Default::default() };
+        let one = model.proving_time_ms(&r);
+        assert_eq!(model.units(&r), 1);
+        r.user_cycles = model.unit_rows * 2;
+        r.total_cycles = r.user_cycles;
+        r.mix.alu = r.user_cycles;
+        let three = model.proving_time_ms(&r);
+        assert!(model.units(&r) >= 2);
+        assert!(three > one * 1.5, "crossing shards must jump: {one} -> {three}");
+    }
+
+    #[test]
+    fn risczero_charges_paging_rows() {
+        let model = ProvingModel::risc_zero();
+        let mut r = report(100);
+        let base_rows = model.rows(&r);
+        r.paging_cycles += 100_000;
+        r.total_cycles += 100_000;
+        assert!(model.rows(&r) > base_rows);
+        // SP1 ignores paging cycles in its row count.
+        let sp1 = ProvingModel::sp1();
+        let rows_before = sp1.rows(&r);
+        r.paging_cycles += 1_000_000;
+        r.total_cycles += 1_000_000;
+        assert_eq!(sp1.rows(&r), rows_before);
+    }
+
+    #[test]
+    fn toy_proof_roundtrip_and_tamper() {
+        let r = report(500);
+        let model = ProvingModel::risc_zero();
+        let proof = toy_prove(&model, &r);
+        assert!(toy_verify(&model, &r, &proof));
+        let mut bad = proof.clone();
+        bad.root[0] ^= 1;
+        assert!(!toy_verify(&model, &r, &bad));
+        let mut other = r.clone();
+        other.journal.push(42);
+        assert!(!toy_verify(&model, &other, &proof));
+    }
+
+    #[test]
+    fn padded_rows_give_power_of_two_discontinuities() {
+        let model = ProvingModel::risc_zero();
+        let mut r = report(100);
+        r.mix = zkvmopt_vm::InstMix { alu: 1, ..Default::default() };
+        r.paging_cycles = 0;
+        r.user_cycles = (1 << 16) - 100;
+        r.total_cycles = r.user_cycles;
+        let a = model.proving_time_ms(&r);
+        r.user_cycles = (1 << 16) + 100;
+        r.total_cycles = r.user_cycles;
+        let b = model.proving_time_ms(&r);
+        assert!(b > a, "crossing a padding boundary must cost: {a} -> {b}");
+    }
+}

@@ -1,0 +1,349 @@
+//! RV32IM binary encoding and decoding.
+//!
+//! Control-flow targets in [`Inst`] are code indices; encoding converts them
+//! to byte offsets relative to the instruction's own index (`pc`), and
+//! decoding converts back.
+
+use crate::inst::{AluImmOp, AluOp, BranchCond, Inst, MemWidth};
+use crate::reg::Reg;
+
+fn r(reg: Reg) -> u32 {
+    reg.0 as u32
+}
+
+/// Encode one instruction at code index `pc`.
+///
+/// # Panics
+/// Panics if an immediate or branch displacement is out of range (the
+/// emitter materializes large immediates before this point).
+pub fn encode(inst: &Inst<Reg>, pc: usize) -> u32 {
+    match *inst {
+        Inst::Lui { rd, imm } => ((imm as u32) & 0xffff_f000) | (r(rd) << 7) | 0x37,
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            let (f3, f7) = match op {
+                AluOp::Add => (0x0, 0x00),
+                AluOp::Sub => (0x0, 0x20),
+                AluOp::Sll => (0x1, 0x00),
+                AluOp::Slt => (0x2, 0x00),
+                AluOp::Sltu => (0x3, 0x00),
+                AluOp::Xor => (0x4, 0x00),
+                AluOp::Srl => (0x5, 0x00),
+                AluOp::Sra => (0x5, 0x20),
+                AluOp::Or => (0x6, 0x00),
+                AluOp::And => (0x7, 0x00),
+                AluOp::Mul => (0x0, 0x01),
+                AluOp::Mulh => (0x1, 0x01),
+                AluOp::Mulhsu => (0x2, 0x01),
+                AluOp::Mulhu => (0x3, 0x01),
+                AluOp::Div => (0x4, 0x01),
+                AluOp::Divu => (0x5, 0x01),
+                AluOp::Rem => (0x6, 0x01),
+                AluOp::Remu => (0x7, 0x01),
+            };
+            (f7 << 25) | (r(rs2) << 20) | (r(rs1) << 15) | (f3 << 12) | (r(rd) << 7) | 0x33
+        }
+        Inst::AluImm { op, rd, rs1, imm } => {
+            let f3 = match op {
+                AluImmOp::Addi => 0x0,
+                AluImmOp::Slli => 0x1,
+                AluImmOp::Slti => 0x2,
+                AluImmOp::Sltiu => 0x3,
+                AluImmOp::Xori => 0x4,
+                AluImmOp::Srli | AluImmOp::Srai => 0x5,
+                AluImmOp::Ori => 0x6,
+                AluImmOp::Andi => 0x7,
+            };
+            let imm12: u32 = match op {
+                AluImmOp::Slli | AluImmOp::Srli => {
+                    assert!((0..32).contains(&imm), "shift amount out of range");
+                    imm as u32
+                }
+                AluImmOp::Srai => {
+                    assert!((0..32).contains(&imm), "shift amount out of range");
+                    (imm as u32) | 0x400
+                }
+                _ => {
+                    assert!((-2048..=2047).contains(&imm), "imm12 out of range: {imm}");
+                    (imm as u32) & 0xfff
+                }
+            };
+            (imm12 << 20) | (r(rs1) << 15) | (f3 << 12) | (r(rd) << 7) | 0x13
+        }
+        Inst::Load { width, rd, base, offset } => {
+            assert!((-2048..=2047).contains(&offset), "load offset out of range");
+            let f3 = match width {
+                MemWidth::Byte => 0x0,
+                MemWidth::Half => 0x1,
+                MemWidth::Word => 0x2,
+                MemWidth::ByteU => 0x4,
+                MemWidth::HalfU => 0x5,
+            };
+            (((offset as u32) & 0xfff) << 20) | (r(base) << 15) | (f3 << 12) | (r(rd) << 7) | 0x03
+        }
+        Inst::Store { width, src, base, offset } => {
+            assert!((-2048..=2047).contains(&offset), "store offset out of range");
+            let f3 = match width {
+                MemWidth::Byte | MemWidth::ByteU => 0x0,
+                MemWidth::Half | MemWidth::HalfU => 0x1,
+                MemWidth::Word => 0x2,
+            };
+            let imm = (offset as u32) & 0xfff;
+            ((imm >> 5) << 25)
+                | (r(src) << 20)
+                | (r(base) << 15)
+                | (f3 << 12)
+                | ((imm & 0x1f) << 7)
+                | 0x23
+        }
+        Inst::Branch { cond, rs1, rs2, target } => {
+            let off = ((target as i64 - pc as i64) * 4) as i32;
+            assert!((-4096..=4094).contains(&off), "branch displacement out of range");
+            let f3 = match cond {
+                BranchCond::Eq => 0x0,
+                BranchCond::Ne => 0x1,
+                BranchCond::Lt => 0x4,
+                BranchCond::Ge => 0x5,
+                BranchCond::Ltu => 0x6,
+                BranchCond::Geu => 0x7,
+            };
+            let imm = off as u32;
+            (((imm >> 12) & 1) << 31)
+                | (((imm >> 5) & 0x3f) << 25)
+                | (r(rs2) << 20)
+                | (r(rs1) << 15)
+                | (f3 << 12)
+                | (((imm >> 1) & 0xf) << 8)
+                | (((imm >> 11) & 1) << 7)
+                | 0x63
+        }
+        Inst::Jal { rd, target } => {
+            let off = ((target as i64 - pc as i64) * 4) as i32;
+            assert!((-(1 << 20)..(1 << 20)).contains(&off), "jal displacement out of range");
+            let imm = off as u32;
+            (((imm >> 20) & 1) << 31)
+                | (((imm >> 1) & 0x3ff) << 21)
+                | (((imm >> 11) & 1) << 20)
+                | (((imm >> 12) & 0xff) << 12)
+                | (r(rd) << 7)
+                | 0x6f
+        }
+        Inst::Jalr { rd, rs1, offset } => {
+            assert!((-2048..=2047).contains(&offset), "jalr offset out of range");
+            (((offset as u32) & 0xfff) << 20) | (r(rs1) << 15) | (r(rd) << 7) | 0x67
+        }
+        Inst::Ecall => 0x0000_0073,
+    }
+}
+
+fn sext(v: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32) >> shift
+}
+
+/// Decode one instruction word at code index `pc`.
+///
+/// Returns `None` for encodings outside the RV32IM subset this crate emits.
+pub fn decode(word: u32, pc: usize) -> Option<Inst<Reg>> {
+    let opcode = word & 0x7f;
+    let rd = Reg(((word >> 7) & 0x1f) as u8);
+    let rs1 = Reg(((word >> 15) & 0x1f) as u8);
+    let rs2 = Reg(((word >> 20) & 0x1f) as u8);
+    let f3 = (word >> 12) & 7;
+    let f7 = word >> 25;
+    Some(match opcode {
+        0x37 => Inst::Lui { rd, imm: (word & 0xffff_f000) as i32 },
+        0x33 => {
+            let op = match (f3, f7) {
+                (0x0, 0x00) => AluOp::Add,
+                (0x0, 0x20) => AluOp::Sub,
+                (0x1, 0x00) => AluOp::Sll,
+                (0x2, 0x00) => AluOp::Slt,
+                (0x3, 0x00) => AluOp::Sltu,
+                (0x4, 0x00) => AluOp::Xor,
+                (0x5, 0x00) => AluOp::Srl,
+                (0x5, 0x20) => AluOp::Sra,
+                (0x6, 0x00) => AluOp::Or,
+                (0x7, 0x00) => AluOp::And,
+                (0x0, 0x01) => AluOp::Mul,
+                (0x1, 0x01) => AluOp::Mulh,
+                (0x2, 0x01) => AluOp::Mulhsu,
+                (0x3, 0x01) => AluOp::Mulhu,
+                (0x4, 0x01) => AluOp::Div,
+                (0x5, 0x01) => AluOp::Divu,
+                (0x6, 0x01) => AluOp::Rem,
+                (0x7, 0x01) => AluOp::Remu,
+                _ => return None,
+            };
+            Inst::Alu { op, rd, rs1, rs2 }
+        }
+        0x13 => {
+            let imm = sext(word >> 20, 12);
+            let op = match f3 {
+                0x0 => AluImmOp::Addi,
+                0x1 => AluImmOp::Slli,
+                0x2 => AluImmOp::Slti,
+                0x3 => AluImmOp::Sltiu,
+                0x4 => AluImmOp::Xori,
+                0x5 => {
+                    if (word >> 30) & 1 == 1 {
+                        AluImmOp::Srai
+                    } else {
+                        AluImmOp::Srli
+                    }
+                }
+                0x6 => AluImmOp::Ori,
+                0x7 => AluImmOp::Andi,
+                _ => return None,
+            };
+            let imm = match op {
+                AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai => ((word >> 20) & 0x1f) as i32,
+                _ => imm,
+            };
+            Inst::AluImm { op, rd, rs1, imm }
+        }
+        0x03 => {
+            let width = match f3 {
+                0x0 => MemWidth::Byte,
+                0x1 => MemWidth::Half,
+                0x2 => MemWidth::Word,
+                0x4 => MemWidth::ByteU,
+                0x5 => MemWidth::HalfU,
+                _ => return None,
+            };
+            Inst::Load { width, rd, base: rs1, offset: sext(word >> 20, 12) }
+        }
+        0x23 => {
+            let width = match f3 {
+                0x0 => MemWidth::Byte,
+                0x1 => MemWidth::Half,
+                0x2 => MemWidth::Word,
+                _ => return None,
+            };
+            let imm = ((word >> 25) << 5) | ((word >> 7) & 0x1f);
+            Inst::Store { width, src: rs2, base: rs1, offset: sext(imm, 12) }
+        }
+        0x63 => {
+            let cond = match f3 {
+                0x0 => BranchCond::Eq,
+                0x1 => BranchCond::Ne,
+                0x4 => BranchCond::Lt,
+                0x5 => BranchCond::Ge,
+                0x6 => BranchCond::Ltu,
+                0x7 => BranchCond::Geu,
+                _ => return None,
+            };
+            let imm = (((word >> 31) & 1) << 12)
+                | (((word >> 7) & 1) << 11)
+                | (((word >> 25) & 0x3f) << 5)
+                | (((word >> 8) & 0xf) << 1);
+            let off = sext(imm, 13);
+            let target = (pc as i64 + (off / 4) as i64) as usize;
+            Inst::Branch { cond, rs1, rs2, target }
+        }
+        0x6f => {
+            let imm = (((word >> 31) & 1) << 20)
+                | (((word >> 12) & 0xff) << 12)
+                | (((word >> 20) & 1) << 11)
+                | (((word >> 21) & 0x3ff) << 1);
+            let off = sext(imm, 21);
+            let target = (pc as i64 + (off / 4) as i64) as usize;
+            Inst::Jal { rd, target }
+        }
+        0x67 if f3 == 0 => Inst::Jalr { rd, rs1, offset: sext(word >> 20, 12) },
+        0x73 if word == 0x73 => Inst::Ecall,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    fn roundtrip(i: Inst<Reg>, pc: usize) {
+        let w = encode(&i, pc);
+        let back = decode(w, pc).unwrap_or_else(|| panic!("decode failed for {i}"));
+        assert_eq!(i, back, "word {w:#010x}");
+    }
+
+    #[test]
+    fn roundtrip_alu() {
+        for op in [AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Divu, AluOp::Remu, AluOp::Sra] {
+            roundtrip(Inst::Alu { op, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::T3 }, 0);
+        }
+    }
+
+    #[test]
+    fn roundtrip_alu_imm() {
+        roundtrip(
+            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::SP, rs1: Reg::SP, imm: -2048 },
+            0,
+        );
+        roundtrip(
+            Inst::AluImm { op: AluImmOp::Srai, rd: Reg::A0, rs1: Reg::A0, imm: 31 },
+            0,
+        );
+        roundtrip(
+            Inst::AluImm { op: AluImmOp::Slli, rd: Reg::A0, rs1: Reg::A0, imm: 3 },
+            0,
+        );
+    }
+
+    #[test]
+    fn roundtrip_memory() {
+        roundtrip(
+            Inst::Load { width: MemWidth::Word, rd: Reg::A0, base: Reg::SP, offset: 124 },
+            0,
+        );
+        roundtrip(
+            Inst::Load { width: MemWidth::ByteU, rd: Reg::T0, base: Reg::A0, offset: -5 },
+            0,
+        );
+        roundtrip(
+            Inst::Store { width: MemWidth::Word, src: Reg::A1, base: Reg::SP, offset: -64 },
+            0,
+        );
+        roundtrip(
+            Inst::Store { width: MemWidth::Byte, src: Reg::A1, base: Reg::A2, offset: 2047 },
+            0,
+        );
+    }
+
+    #[test]
+    fn roundtrip_control_flow() {
+        roundtrip(
+            Inst::Branch { cond: BranchCond::Lt, rs1: Reg::A0, rs2: Reg::A1, target: 100 },
+            40,
+        );
+        roundtrip(
+            Inst::Branch { cond: BranchCond::Ne, rs1: Reg::T0, rs2: Reg::ZERO, target: 2 },
+            40,
+        );
+        roundtrip(Inst::Jal { rd: Reg::RA, target: 5000 }, 123);
+        roundtrip(Inst::Jal { rd: Reg::ZERO, target: 3 }, 123);
+        roundtrip(Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }, 0);
+    }
+
+    #[test]
+    fn roundtrip_lui_and_ecall() {
+        roundtrip(Inst::Lui { rd: Reg::A0, imm: 0x12345 << 12 }, 0);
+        roundtrip(Inst::Ecall, 0);
+    }
+
+    #[test]
+    fn known_encoding_values() {
+        // addi x0, x0, 0 == canonical NOP 0x00000013.
+        let nop = Inst::AluImm { op: AluImmOp::Addi, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 };
+        assert_eq!(encode(&nop, 0), 0x0000_0013);
+        // ecall == 0x00000073.
+        assert_eq!(encode(&Inst::<Reg>::Ecall, 0), 0x0000_0073);
+        // add a0, a1, a2 == 0x00c58533.
+        let add = Inst::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        assert_eq!(encode(&add, 0), 0x00c5_8533);
+    }
+
+    #[test]
+    fn decode_rejects_unknown() {
+        assert!(decode(0xffff_ffff, 0).is_none());
+    }
+}

@@ -1,0 +1,717 @@
+//! Instruction selection: IR functions → [`VInst`] blocks.
+//!
+//! The selector is parameterized by a [`TargetCostModel`]: the CPU-tuned
+//! model expands signed division by powers of two into the shift-and-add
+//! sequence of the paper's Fig. 2a and lowers `select` through a mask
+//! (branch-free, division of work favouring ILP); the zk-tuned model keeps
+//! the single `div` and lowers `select` through one multiply, minimizing the
+//! executed instruction count (Principle 3).
+
+use crate::inst::{AluImmOp, AluOp, BranchCond, MemWidth};
+use crate::reg::VReg;
+use crate::vinst::VInst;
+use crate::TargetCostModel;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use zkvmopt_ir::cfg::Cfg;
+use zkvmopt_ir::{
+    BinOp, BlockId, CastKind, Function, Module, Op, Operand, Pred, Term, Ty, ValueId,
+};
+
+/// A codegen failure (unsupported shape, e.g. more than 8 call arguments).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodegenError {
+    /// Function in which lowering failed.
+    pub func: String,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codegen failed in @{}: {}", self.func, self.message)
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// A lowered function: blocks of [`VInst`] in layout order.
+#[derive(Debug, Clone)]
+pub struct VFunc {
+    /// Symbol name.
+    pub name: String,
+    /// Blocks in layout order; every block ends with terminators.
+    pub blocks: Vec<Vec<VInst<VReg>>>,
+    /// Number of virtual registers used.
+    pub nvregs: u32,
+    /// Bytes of `alloca` storage in the frame.
+    pub alloca_bytes: u32,
+    /// Module-level function index (for call resolution).
+    pub func_index: usize,
+}
+
+struct Isel<'a> {
+    f: &'a Function,
+    cm: &'a TargetCostModel,
+    global_addrs: &'a [u32],
+    vmap: HashMap<ValueId, VReg>,
+    next_vreg: u32,
+    blocks: Vec<Vec<VInst<VReg>>>,
+    /// IR block → layout index.
+    layout: HashMap<BlockId, usize>,
+    alloca_off: HashMap<ValueId, i32>,
+    alloca_bytes: u32,
+    /// Icmp values fused into their (single) branch user.
+    fused: HashSet<ValueId>,
+}
+
+impl<'a> Isel<'a> {
+    fn fresh(&mut self) -> VReg {
+        let v = VReg(self.next_vreg);
+        self.next_vreg += 1;
+        v
+    }
+
+    fn vreg(&mut self, v: ValueId) -> VReg {
+        if let Some(&r) = self.vmap.get(&v) {
+            return r;
+        }
+        let r = self.fresh();
+        self.vmap.insert(v, r);
+        r
+    }
+
+    fn emit(&mut self, bi: usize, i: VInst<VReg>) {
+        self.blocks[bi].push(i);
+    }
+
+    /// Lower an operand into a vreg (materializing constants).
+    fn operand(&mut self, bi: usize, o: &Operand) -> VReg {
+        match o {
+            Operand::Value(v) => self.vreg(*v),
+            Operand::Const { value, ty } => {
+                let r = self.fresh();
+                let imm = match ty {
+                    Ty::I32 => *value as i32,
+                    t => t.truncate_u(*value) as i32,
+                };
+                self.emit(bi, VInst::LoadImm { rd: r, imm });
+                r
+            }
+        }
+    }
+
+    fn width_of(ty: Ty) -> MemWidth {
+        match ty {
+            Ty::I1 | Ty::I8 => MemWidth::ByteU,
+            Ty::I32 | Ty::Ptr => MemWidth::Word,
+        }
+    }
+}
+
+const IMM12: std::ops::RangeInclusive<i64> = -2048..=2047;
+
+/// Lower one function.
+///
+/// # Errors
+/// Returns [`CodegenError`] for unsupported shapes (e.g. >8 arguments).
+pub fn lower_function(
+    m: &Module,
+    fi: usize,
+    cm: &TargetCostModel,
+    global_addrs: &[u32],
+) -> Result<VFunc, CodegenError> {
+    let f = &m.funcs[fi];
+    if f.params.len() > 8 {
+        return Err(CodegenError {
+            func: f.name.clone(),
+            message: "more than 8 parameters is unsupported".into(),
+        });
+    }
+    let cfg = Cfg::new(f);
+    let order: Vec<BlockId> = cfg.rpo().to_vec();
+    let mut isel = Isel {
+        f,
+        cm,
+        global_addrs,
+        vmap: HashMap::new(),
+        next_vreg: 0,
+        blocks: vec![Vec::new(); order.len()],
+        layout: order.iter().enumerate().map(|(i, b)| (*b, i)).collect(),
+        alloca_off: HashMap::new(),
+        alloca_bytes: 0,
+        fused: HashSet::new(),
+    };
+    // Pre-create vregs for every parameter and receive them.
+    for i in 0..f.params.len() {
+        let pv = isel.vreg(f.param(i));
+        isel.emit(0, VInst::Param { rd: pv, index: i });
+    }
+    // Find icmps fusible into their branch (single use, same block, used as
+    // the branch condition).
+    for &b in &order {
+        if let Term::CondBr { c: Operand::Value(cv), .. } = &f.blocks[b.index()].term {
+            if f.blocks[b.index()].insts.contains(cv)
+                && f.use_count(*cv) == 1
+                && matches!(f.op(*cv), Some(Op::Icmp { .. }))
+            {
+                isel.fused.insert(*cv);
+            }
+        }
+    }
+    // Lower block bodies.
+    for (bi, &b) in order.iter().enumerate() {
+        for &v in &f.blocks[b.index()].insts {
+            lower_inst(&mut isel, m, bi, v)?;
+        }
+    }
+    // Lower terminators (with phi edge copies).
+    for (bi, &b) in order.iter().enumerate() {
+        lower_term(&mut isel, bi, b)?;
+    }
+    Ok(VFunc {
+        name: f.name.clone(),
+        blocks: isel.blocks,
+        nvregs: isel.next_vreg,
+        alloca_bytes: isel.alloca_bytes,
+        func_index: fi,
+    })
+}
+
+fn lower_inst(isel: &mut Isel<'_>, m: &Module, bi: usize, v: ValueId) -> Result<(), CodegenError> {
+    let f = isel.f;
+    let op = match f.op(v) {
+        Some(op) => op.clone(),
+        None => return Ok(()),
+    };
+    if isel.fused.contains(&v) {
+        return Ok(()); // emitted as part of the branch
+    }
+    match op {
+        Op::Phi { .. } => {
+            // Materialized by edge copies; just ensure the vreg exists.
+            isel.vreg(v);
+        }
+        Op::Bin { op: bop, a, b } => lower_bin(isel, bi, v, bop, &a, &b),
+        Op::Icmp { pred, a, b } => {
+            let rd = isel.vreg(v);
+            lower_icmp(isel, bi, rd, pred, &a, &b);
+        }
+        Op::Select { c, t, f: fo } => {
+            let rd = isel.vreg(v);
+            let c = isel.operand(bi, &c);
+            let tv = isel.operand(bi, &t);
+            let fv = isel.operand(bi, &fo);
+            if isel.cm.select_via_mul {
+                // rd = f + c * (t - f): three instructions, no branch.
+                let d = isel.fresh();
+                isel.emit(bi, VInst::Alu { op: AluOp::Sub, rd: d, rs1: tv, rs2: fv });
+                let p = isel.fresh();
+                isel.emit(bi, VInst::Alu { op: AluOp::Mul, rd: p, rs1: d, rs2: c });
+                isel.emit(bi, VInst::Alu { op: AluOp::Add, rd, rs1: fv, rs2: p });
+            } else {
+                // Mask form favoured by CPU backends (no multiply in the
+                // dependency chain): mask = 0 - c; rd = (t & mask) | (f & !mask).
+                let zero = isel.fresh();
+                isel.emit(bi, VInst::LoadImm { rd: zero, imm: 0 });
+                let mask = isel.fresh();
+                isel.emit(bi, VInst::Alu { op: AluOp::Sub, rd: mask, rs1: zero, rs2: c });
+                let t1 = isel.fresh();
+                isel.emit(bi, VInst::Alu { op: AluOp::And, rd: t1, rs1: tv, rs2: mask });
+                let nm = isel.fresh();
+                isel.emit(
+                    bi,
+                    VInst::AluImm { op: AluImmOp::Xori, rd: nm, rs1: mask, imm: -1 },
+                );
+                let t2 = isel.fresh();
+                isel.emit(bi, VInst::Alu { op: AluOp::And, rd: t2, rs1: fv, rs2: nm });
+                isel.emit(bi, VInst::Alu { op: AluOp::Or, rd, rs1: t1, rs2: t2 });
+            }
+        }
+        Op::Load { ptr, ty } => {
+            let rd = isel.vreg(v);
+            let base = isel.operand(bi, &ptr);
+            isel.emit(bi, VInst::Load { width: Isel::width_of(ty), rd, base, offset: 0 });
+        }
+        Op::Store { ptr, val, ty } => {
+            let base = isel.operand(bi, &ptr);
+            let src = isel.operand(bi, &val);
+            isel.emit(bi, VInst::Store { width: Isel::width_of(ty), src, base, offset: 0 });
+        }
+        Op::Alloca { elem, count } => {
+            let bytes = (elem.size_bytes() * count + 3) & !3;
+            let off = isel.alloca_bytes as i32;
+            isel.alloca_bytes += bytes;
+            isel.alloca_off.insert(v, off);
+            let rd = isel.vreg(v);
+            isel.emit(bi, VInst::FrameAddr { rd, offset: off });
+        }
+        Op::Gep { base, index, stride, offset } => {
+            let rd = isel.vreg(v);
+            let b = isel.operand(bi, &base);
+            // Constant index: single addi when in range.
+            if let Some(i) = index.as_const() {
+                let total = i * stride as i64 + offset as i64;
+                if IMM12.contains(&total) {
+                    isel.emit(bi, VInst::AluImm {
+                        op: AluImmOp::Addi,
+                        rd,
+                        rs1: b,
+                        imm: total as i32,
+                    });
+                    return Ok(());
+                }
+            }
+            let idx = isel.operand(bi, &index);
+            let scaled = if stride == 1 {
+                idx
+            } else if stride.is_power_of_two() {
+                let s = isel.fresh();
+                isel.emit(bi, VInst::AluImm {
+                    op: AluImmOp::Slli,
+                    rd: s,
+                    rs1: idx,
+                    imm: stride.trailing_zeros() as i32,
+                });
+                s
+            } else {
+                let k = isel.fresh();
+                isel.emit(bi, VInst::LoadImm { rd: k, imm: stride as i32 });
+                let s = isel.fresh();
+                isel.emit(bi, VInst::Alu { op: AluOp::Mul, rd: s, rs1: idx, rs2: k });
+                s
+            };
+            let sum = isel.fresh();
+            isel.emit(bi, VInst::Alu { op: AluOp::Add, rd: sum, rs1: b, rs2: scaled });
+            if offset == 0 {
+                isel.emit(bi, VInst::Mv { rd, rs: sum });
+            } else if IMM12.contains(&(offset as i64)) {
+                isel.emit(bi, VInst::AluImm { op: AluImmOp::Addi, rd, rs1: sum, imm: offset });
+            } else {
+                let k = isel.fresh();
+                isel.emit(bi, VInst::LoadImm { rd: k, imm: offset });
+                isel.emit(bi, VInst::Alu { op: AluOp::Add, rd, rs1: sum, rs2: k });
+            }
+        }
+        Op::GlobalAddr(g) => {
+            let rd = isel.vreg(v);
+            let addr = isel.global_addrs[g.index()] as i32;
+            isel.emit(bi, VInst::LoadImm { rd, imm: addr });
+        }
+        Op::Call { callee, args } => {
+            if args.len() > 8 {
+                return Err(CodegenError {
+                    func: f.name.clone(),
+                    message: "more than 8 call arguments is unsupported".into(),
+                });
+            }
+            let argv: Vec<VReg> = args.iter().map(|a| isel.operand(bi, a)).collect();
+            let ret = if m.funcs[callee.index()].ret.is_some() {
+                Some(isel.vreg(v))
+            } else {
+                // Void calls still own a value slot; don't create a vreg.
+                None
+            };
+            isel.emit(bi, VInst::Call { callee: callee.index(), args: argv, ret });
+        }
+        Op::Ecall { code, args } => {
+            if args.len() > 3 {
+                return Err(CodegenError {
+                    func: f.name.clone(),
+                    message: "ecall takes at most 3 arguments".into(),
+                });
+            }
+            let argv: Vec<VReg> = args.iter().map(|a| isel.operand(bi, a)).collect();
+            let ret = isel.vreg(v);
+            isel.emit(bi, VInst::Ecall { code, args: argv, ret });
+        }
+        Op::Cast { kind, v: src, to } => {
+            let rd = isel.vreg(v);
+            let s = isel.operand(bi, &src);
+            let from = f.operand_ty(&src).expect("cast source typed");
+            match (kind, from, to) {
+                // i1 is always 0/1 and i8 is stored zero-extended, so many
+                // casts are free.
+                (CastKind::Zext, Ty::I1, _) | (CastKind::Zext, Ty::I8, _) => {
+                    isel.emit(bi, VInst::Mv { rd, rs: s });
+                }
+                (CastKind::Sext, Ty::I8, _) => {
+                    let t = isel.fresh();
+                    isel.emit(bi, VInst::AluImm { op: AluImmOp::Slli, rd: t, rs1: s, imm: 24 });
+                    isel.emit(bi, VInst::AluImm { op: AluImmOp::Srai, rd, rs1: t, imm: 24 });
+                }
+                (CastKind::Sext, Ty::I1, _) => {
+                    // 0 -> 0, 1 -> -1.
+                    let zero = isel.fresh();
+                    isel.emit(bi, VInst::LoadImm { rd: zero, imm: 0 });
+                    isel.emit(bi, VInst::Alu { op: AluOp::Sub, rd, rs1: zero, rs2: s });
+                }
+                (CastKind::Trunc, _, Ty::I8) => {
+                    isel.emit(bi, VInst::AluImm { op: AluImmOp::Andi, rd, rs1: s, imm: 0xff });
+                }
+                (CastKind::Trunc, _, Ty::I1) => {
+                    isel.emit(bi, VInst::AluImm { op: AluImmOp::Andi, rd, rs1: s, imm: 1 });
+                }
+                _ => {
+                    isel.emit(bi, VInst::Mv { rd, rs: s });
+                }
+            }
+        }
+        Op::Copy(src) => {
+            let rd = isel.vreg(v);
+            let s = isel.operand(bi, &src);
+            isel.emit(bi, VInst::Mv { rd, rs: s });
+        }
+        Op::Nop => {}
+    }
+    Ok(())
+}
+
+fn lower_bin(isel: &mut Isel<'_>, bi: usize, v: ValueId, bop: BinOp, a: &Operand, b: &Operand) {
+    let rd = isel.vreg(v);
+    // Immediate forms.
+    if let Some(c) = b.as_const() {
+        let imm_op = match bop {
+            BinOp::Add if IMM12.contains(&c) => Some((AluImmOp::Addi, c as i32)),
+            BinOp::Sub if IMM12.contains(&(-c)) => Some((AluImmOp::Addi, -c as i32)),
+            BinOp::And if IMM12.contains(&c) => Some((AluImmOp::Andi, c as i32)),
+            BinOp::Or if IMM12.contains(&c) => Some((AluImmOp::Ori, c as i32)),
+            BinOp::Xor if IMM12.contains(&c) => Some((AluImmOp::Xori, c as i32)),
+            BinOp::Shl => Some((AluImmOp::Slli, (c & 31) as i32)),
+            BinOp::ShrU => Some((AluImmOp::Srli, (c & 31) as i32)),
+            BinOp::ShrA => Some((AluImmOp::Srai, (c & 31) as i32)),
+            _ => None,
+        };
+        if let Some((op, imm)) = imm_op {
+            let ra = isel.operand(bi, a);
+            isel.emit(bi, VInst::AluImm { op, rd, rs1: ra, imm });
+            return;
+        }
+        // CPU-tuned backends expand sdiv by a power of two (Fig. 2a).
+        if bop == BinOp::DivS && isel.cm.expand_sdiv_pow2 && c > 1 {
+            let cu = c as u32;
+            // A positive power of two only: i32::MIN's pattern is pow2 but
+            // the shift-and-add expansion is wrong for a negative divisor.
+            if cu.is_power_of_two() && cu > 1 && cu <= (1 << 30) {
+                let k = cu.trailing_zeros() as i32;
+                let x = isel.operand(bi, a);
+                let sign = isel.fresh();
+                isel.emit(bi, VInst::AluImm { op: AluImmOp::Srai, rd: sign, rs1: x, imm: 31 });
+                let bias = isel.fresh();
+                isel.emit(
+                    bi,
+                    VInst::AluImm { op: AluImmOp::Srli, rd: bias, rs1: sign, imm: 32 - k },
+                );
+                let adj = isel.fresh();
+                isel.emit(bi, VInst::Alu { op: AluOp::Add, rd: adj, rs1: x, rs2: bias });
+                isel.emit(bi, VInst::AluImm { op: AluImmOp::Srai, rd, rs1: adj, imm: k });
+                return;
+            }
+        }
+    }
+    let alu = match bop {
+        BinOp::Add => AluOp::Add,
+        BinOp::Sub => AluOp::Sub,
+        BinOp::Mul => AluOp::Mul,
+        BinOp::DivS => AluOp::Div,
+        BinOp::DivU => AluOp::Divu,
+        BinOp::RemS => AluOp::Rem,
+        BinOp::RemU => AluOp::Remu,
+        BinOp::And => AluOp::And,
+        BinOp::Or => AluOp::Or,
+        BinOp::Xor => AluOp::Xor,
+        BinOp::Shl => AluOp::Sll,
+        BinOp::ShrU => AluOp::Srl,
+        BinOp::ShrA => AluOp::Sra,
+    };
+    let ra = isel.operand(bi, a);
+    let rb = isel.operand(bi, b);
+    isel.emit(bi, VInst::Alu { op: alu, rd, rs1: ra, rs2: rb });
+}
+
+fn lower_icmp(isel: &mut Isel<'_>, bi: usize, rd: VReg, pred: Pred, a: &Operand, b: &Operand) {
+    // slti/sltiu folds.
+    if let Some(c) = b.as_const() {
+        if IMM12.contains(&c) {
+            match pred {
+                Pred::Slt => {
+                    let ra = isel.operand(bi, a);
+                    isel.emit(
+                        bi,
+                        VInst::AluImm { op: AluImmOp::Slti, rd, rs1: ra, imm: c as i32 },
+                    );
+                    return;
+                }
+                Pred::Ult => {
+                    let ra = isel.operand(bi, a);
+                    isel.emit(
+                        bi,
+                        VInst::AluImm { op: AluImmOp::Sltiu, rd, rs1: ra, imm: c as i32 },
+                    );
+                    return;
+                }
+                Pred::Eq | Pred::Ne => {
+                    let ra = isel.operand(bi, a);
+                    let t = isel.fresh();
+                    if c == 0 {
+                        // Compare against zero needs no xor.
+                        isel.emit(bi, VInst::AluImm {
+                            op: AluImmOp::Sltiu,
+                            rd: if pred == Pred::Eq { rd } else { t },
+                            rs1: ra,
+                            imm: 1,
+                        });
+                    } else {
+                        let x = isel.fresh();
+                        isel.emit(bi, VInst::AluImm {
+                            op: AluImmOp::Xori,
+                            rd: x,
+                            rs1: ra,
+                            imm: c as i32,
+                        });
+                        isel.emit(bi, VInst::AluImm {
+                            op: AluImmOp::Sltiu,
+                            rd: if pred == Pred::Eq { rd } else { t },
+                            rs1: x,
+                            imm: 1,
+                        });
+                    }
+                    if pred == Pred::Ne {
+                        isel.emit(bi, VInst::AluImm { op: AluImmOp::Xori, rd, rs1: t, imm: 1 });
+                    }
+                    return;
+                }
+                _ => {}
+            }
+        }
+    }
+    let ra = isel.operand(bi, a);
+    let rb = isel.operand(bi, b);
+    let (op, rs1, rs2, invert) = match pred {
+        Pred::Slt => (AluOp::Slt, ra, rb, false),
+        Pred::Ult => (AluOp::Sltu, ra, rb, false),
+        Pred::Sgt => (AluOp::Slt, rb, ra, false),
+        Pred::Ugt => (AluOp::Sltu, rb, ra, false),
+        Pred::Sge => (AluOp::Slt, ra, rb, true),
+        Pred::Uge => (AluOp::Sltu, ra, rb, true),
+        Pred::Sle => (AluOp::Slt, rb, ra, true),
+        Pred::Ule => (AluOp::Sltu, rb, ra, true),
+        Pred::Eq | Pred::Ne => {
+            let x = isel.fresh();
+            isel.emit(bi, VInst::Alu { op: AluOp::Xor, rd: x, rs1: ra, rs2: rb });
+            let t = isel.fresh();
+            isel.emit(bi, VInst::AluImm {
+                op: AluImmOp::Sltiu,
+                rd: if pred == Pred::Eq { rd } else { t },
+                rs1: x,
+                imm: 1,
+            });
+            if pred == Pred::Ne {
+                isel.emit(bi, VInst::AluImm { op: AluImmOp::Xori, rd, rs1: t, imm: 1 });
+            }
+            return;
+        }
+    };
+    if invert {
+        let t = isel.fresh();
+        isel.emit(bi, VInst::Alu { op, rd: t, rs1, rs2 });
+        isel.emit(bi, VInst::AluImm { op: AluImmOp::Xori, rd, rs1: t, imm: 1 });
+    } else {
+        isel.emit(bi, VInst::Alu { op, rd, rs1, rs2 });
+    }
+}
+
+/// Map an IR predicate onto a branch condition, possibly swapping operands.
+fn branch_cond(pred: Pred) -> (BranchCond, bool) {
+    match pred {
+        Pred::Eq => (BranchCond::Eq, false),
+        Pred::Ne => (BranchCond::Ne, false),
+        Pred::Slt => (BranchCond::Lt, false),
+        Pred::Sge => (BranchCond::Ge, false),
+        Pred::Sgt => (BranchCond::Lt, true),
+        Pred::Sle => (BranchCond::Ge, true),
+        Pred::Ult => (BranchCond::Ltu, false),
+        Pred::Uge => (BranchCond::Geu, false),
+        Pred::Ugt => (BranchCond::Ltu, true),
+        Pred::Ule => (BranchCond::Geu, true),
+    }
+}
+
+fn lower_term(isel: &mut Isel<'_>, bi: usize, b: BlockId) -> Result<(), CodegenError> {
+    let term = isel.f.blocks[b.index()].term.clone();
+    match term {
+        Term::Br(t) => {
+            emit_phi_copies(isel, bi, b, t);
+            let ti = isel.layout[&t];
+            isel.emit(bi, VInst::Jump { target: ti });
+        }
+        Term::CondBr { c, t, f: fb } => {
+            // Fused compare-and-branch when the condition is a single-use
+            // icmp from this block.
+            let fused = match &c {
+                Operand::Value(cv) if isel.fused.contains(cv) => {
+                    match isel.f.op(*cv) {
+                        Some(Op::Icmp { pred, a, b }) => Some((*pred, *a, *b)),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            let t_edge = edge_target(isel, bi, b, t);
+            let f_edge = edge_target(isel, bi, b, fb);
+            match fused {
+                Some((pred, a, bo)) => {
+                    let (cond, swap) = branch_cond(pred);
+                    let ra = isel.operand(bi, &a);
+                    let rb = isel.operand(bi, &bo);
+                    let (rs1, rs2) = if swap { (rb, ra) } else { (ra, rb) };
+                    isel.emit(bi, VInst::Branch { cond, rs1, rs2: Some(rs2), target: t_edge });
+                }
+                None => {
+                    let cv = isel.operand(bi, &c);
+                    isel.emit(bi, VInst::Branch {
+                        cond: BranchCond::Ne,
+                        rs1: cv,
+                        rs2: None,
+                        target: t_edge,
+                    });
+                }
+            }
+            isel.emit(bi, VInst::Jump { target: f_edge });
+        }
+        Term::Switch { v, cases, default } => {
+            // Compare chain; targets must have no phis (the frontend never
+            // produces switches with phi-carrying targets; `lower-switch`
+            // preserves this).
+            for (k, target) in &cases {
+                if has_phis(isel.f, *target) {
+                    return Err(CodegenError {
+                        func: isel.f.name.clone(),
+                        message: "switch target with phis is unsupported".into(),
+                    });
+                }
+                let kv = isel.fresh();
+                isel.emit(bi, VInst::LoadImm { rd: kv, imm: *k as i32 });
+                let val = isel.operand(bi, &v);
+                let ti = isel.layout[target];
+                isel.emit(bi, VInst::Branch {
+                    cond: BranchCond::Eq,
+                    rs1: val,
+                    rs2: Some(kv),
+                    target: ti,
+                });
+            }
+            if has_phis(isel.f, default) {
+                return Err(CodegenError {
+                    func: isel.f.name.clone(),
+                    message: "switch default with phis is unsupported".into(),
+                });
+            }
+            let di = isel.layout[&default];
+            isel.emit(bi, VInst::Jump { target: di });
+        }
+        Term::Ret(v) => {
+            let val = match v {
+                Some(o) => Some(isel.operand(bi, &o)),
+                None => None,
+            };
+            isel.emit(bi, VInst::Ret { val });
+        }
+        Term::Unreachable => {
+            // Reaching this is UB; halt deterministically with code 97.
+            let a = isel.fresh();
+            isel.emit(bi, VInst::LoadImm { rd: a, imm: 97 });
+            let r = isel.fresh();
+            isel.emit(
+                bi,
+                VInst::Ecall { code: zkvmopt_ir::ecall::HALT, args: vec![a], ret: r },
+            );
+            isel.emit(bi, VInst::Jump { target: bi });
+        }
+    }
+    Ok(())
+}
+
+fn has_phis(f: &Function, b: BlockId) -> bool {
+    f.blocks[b.index()].insts.iter().any(|&v| matches!(f.op(v), Some(Op::Phi { .. })))
+}
+
+/// Resolve the branch target for edge `b -> succ`, inserting an edge block
+/// with phi copies when needed.
+fn edge_target(isel: &mut Isel<'_>, _bi: usize, b: BlockId, succ: BlockId) -> usize {
+    if !has_phis(isel.f, succ) {
+        return isel.layout[&succ];
+    }
+    // Create a dedicated edge block carrying the copies.
+    let eb = isel.blocks.len();
+    isel.blocks.push(Vec::new());
+    emit_phi_copies_into(isel, eb, b, succ);
+    let ti = isel.layout[&succ];
+    isel.emit(eb, VInst::Jump { target: ti });
+    eb
+}
+
+/// Append phi copies for edge `pred -> succ` directly at the end of layout
+/// block `bi` (valid when `pred` has a single successor).
+fn emit_phi_copies(isel: &mut Isel<'_>, bi: usize, pred: BlockId, succ: BlockId) {
+    emit_phi_copies_into(isel, bi, pred, succ);
+}
+
+fn emit_phi_copies_into(isel: &mut Isel<'_>, bi: usize, pred: BlockId, succ: BlockId) {
+    // Parallel-copy semantics via fresh temporaries: read all sources first.
+    let f = isel.f;
+    let mut pairs: Vec<(VReg, Operand)> = Vec::new();
+    for &v in &f.blocks[succ.index()].insts {
+        if let Some(Op::Phi { incoming }) = f.op(v) {
+            if let Some((_, o)) = incoming.iter().find(|(p, _)| *p == pred) {
+                let dst = match isel.vmap.get(&v) {
+                    Some(&r) => r,
+                    None => {
+                        let r = VReg(isel.next_vreg);
+                        isel.next_vreg += 1;
+                        isel.vmap.insert(v, r);
+                        r
+                    }
+                };
+                pairs.push((dst, *o));
+            }
+        }
+    }
+    // Fast path: when no destination is also a source, the copies can be
+    // applied directly (the overwhelmingly common case — a couple of loop
+    // phis). Only genuinely overlapping transfers pay the temp-based
+    // parallel-copy sequence.
+    let dsts: std::collections::HashSet<VReg> = pairs.iter().map(|(d, _)| *d).collect();
+    let overlaps = pairs.iter().any(|(_, o)| match o {
+        Operand::Value(v) => isel.vmap.get(v).map_or(false, |r| dsts.contains(r)),
+        _ => false,
+    });
+    let emit_src = |isel: &mut Isel<'_>, bi: usize, rd: VReg, o: &Operand| match o {
+        Operand::Value(v) => {
+            let s = isel.vreg(*v);
+            isel.emit(bi, VInst::Mv { rd, rs: s });
+        }
+        Operand::Const { value, ty } => {
+            let imm = match ty {
+                Ty::I32 => *value as i32,
+                ty => ty.truncate_u(*value) as i32,
+            };
+            isel.emit(bi, VInst::LoadImm { rd, imm });
+        }
+    };
+    if !overlaps {
+        for (dst, o) in &pairs {
+            emit_src(isel, bi, *dst, o);
+        }
+        return;
+    }
+    let mut temps = Vec::new();
+    for (_, o) in &pairs {
+        let t = isel.fresh();
+        emit_src(isel, bi, t, o);
+        temps.push(t);
+    }
+    for ((dst, _), t) in pairs.iter().zip(temps) {
+        isel.emit(bi, VInst::Mv { rd: *dst, rs: t });
+    }
+}

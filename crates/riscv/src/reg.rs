@@ -1,0 +1,160 @@
+//! Physical and virtual registers.
+
+use std::fmt;
+
+/// A physical RV32 register (`x0`–`x31`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    pub const ZERO: Reg = Reg(0);
+    pub const RA: Reg = Reg(1);
+    pub const SP: Reg = Reg(2);
+    pub const GP: Reg = Reg(3);
+    pub const TP: Reg = Reg(4);
+    pub const T0: Reg = Reg(5);
+    pub const T1: Reg = Reg(6);
+    pub const T2: Reg = Reg(7);
+    pub const S0: Reg = Reg(8);
+    pub const S1: Reg = Reg(9);
+    pub const A0: Reg = Reg(10);
+    pub const A1: Reg = Reg(11);
+    pub const A2: Reg = Reg(12);
+    pub const A3: Reg = Reg(13);
+    pub const A4: Reg = Reg(14);
+    pub const A5: Reg = Reg(15);
+    pub const A6: Reg = Reg(16);
+    pub const A7: Reg = Reg(17);
+    pub const S2: Reg = Reg(18);
+    pub const S3: Reg = Reg(19);
+    pub const S4: Reg = Reg(20);
+    pub const S5: Reg = Reg(21);
+    pub const S6: Reg = Reg(22);
+    pub const S7: Reg = Reg(23);
+    pub const S8: Reg = Reg(24);
+    pub const S9: Reg = Reg(25);
+    pub const S10: Reg = Reg(26);
+    pub const S11: Reg = Reg(27);
+    pub const T3: Reg = Reg(28);
+    pub const T4: Reg = Reg(29);
+    pub const T5: Reg = Reg(30);
+    pub const T6: Reg = Reg(31);
+
+    /// The ABI name (`a0`, `sp`, …).
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2",
+            "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9",
+            "s10", "s11", "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.0 as usize]
+    }
+
+    /// Caller-saved (temporaries + argument registers).
+    pub fn is_caller_saved(self) -> bool {
+        matches!(self.0, 5..=7 | 10..=17 | 28..=31)
+    }
+
+    /// Callee-saved (`s0`–`s11`).
+    pub fn is_callee_saved(self) -> bool {
+        matches!(self.0, 8 | 9 | 18..=27)
+    }
+
+    /// Argument register index (0–7) if this is `a0`–`a7`.
+    pub fn arg_index(self) -> Option<usize> {
+        if (10..=17).contains(&self.0) {
+            Some((self.0 - 10) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// The n-th argument register.
+    ///
+    /// # Panics
+    /// Panics if `n >= 8`.
+    pub fn arg(n: usize) -> Reg {
+        assert!(n < 8, "only 8 argument registers");
+        Reg(10 + n as u8)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+/// A virtual register used before allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u32);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Registers available to the allocator. `t5`/`t6` are reserved as spill
+/// scratch, `zero/ra/sp/gp/tp` have fixed roles.
+pub const ALLOCATABLE: [Reg; 25] = [
+    Reg::T0,
+    Reg::T1,
+    Reg::T2,
+    Reg::T3,
+    Reg::T4,
+    Reg::A0,
+    Reg::A1,
+    Reg::A2,
+    Reg::A3,
+    Reg::A4,
+    Reg::A5,
+    Reg::A6,
+    Reg::A7,
+    Reg::S0,
+    Reg::S1,
+    Reg::S2,
+    Reg::S3,
+    Reg::S4,
+    Reg::S5,
+    Reg::S6,
+    Reg::S7,
+    Reg::S8,
+    Reg::S9,
+    Reg::S10,
+    Reg::S11,
+];
+
+/// First spill-scratch register.
+pub const SCRATCH0: Reg = Reg::T5;
+/// Second spill-scratch register.
+pub const SCRATCH1: Reg = Reg::T6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_names() {
+        assert_eq!(Reg::ZERO.abi_name(), "zero");
+        assert_eq!(Reg::A0.abi_name(), "a0");
+        assert_eq!(Reg::T6.abi_name(), "t6");
+        assert_eq!(Reg::S11.abi_name(), "s11");
+    }
+
+    #[test]
+    fn saved_classes_partition() {
+        for r in ALLOCATABLE {
+            assert!(r.is_caller_saved() ^ r.is_callee_saved(), "{r}");
+        }
+        assert!(!Reg::SP.is_caller_saved() && !Reg::SP.is_callee_saved());
+    }
+
+    #[test]
+    fn arg_registers() {
+        assert_eq!(Reg::arg(0), Reg::A0);
+        assert_eq!(Reg::arg(7), Reg::A7);
+        assert_eq!(Reg::A3.arg_index(), Some(3));
+        assert_eq!(Reg::T0.arg_index(), None);
+    }
+}

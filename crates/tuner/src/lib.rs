@@ -1,0 +1,274 @@
+//! # zkvmopt-tuner
+//!
+//! A genetic pass-sequence autotuner — the workspace's OpenTuner substitute
+//! (paper §4.2). Candidates are LLVM-style pass sequences up to depth 20 plus
+//! the integer parameters the paper tunes (`-inline-threshold`,
+//! `-unroll-threshold`); fitness is the zkVM **cycle count**, the paper's
+//! cheap, noise-free proxy for execution and proving time.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zkvmopt_passes::{pass_names, PassConfig};
+
+/// One tuning candidate: a pass sequence plus parameter values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Ordered pass names (≤ `max_depth`).
+    pub passes: Vec<&'static str>,
+    /// Inlining threshold (LLVM default 225).
+    pub inline_threshold: usize,
+    /// Unrolling budget.
+    pub unroll_threshold: usize,
+}
+
+impl Candidate {
+    /// The [`PassConfig`] this candidate's parameters select.
+    pub fn pass_config(&self) -> PassConfig {
+        PassConfig {
+            inline_threshold: self.inline_threshold,
+            unroll_threshold: self.unroll_threshold,
+            ..PassConfig::default()
+        }
+    }
+}
+
+/// Tuner configuration (paper: 160 iterations per benchmark, 1600 for the
+/// suite-level experiment).
+#[derive(Debug, Clone)]
+pub struct TunerConfig {
+    /// Total fitness evaluations.
+    pub iterations: usize,
+    /// Population size.
+    pub population: usize,
+    /// Maximum pass-sequence depth (paper: 20).
+    pub max_depth: usize,
+    /// RNG seed (the study is deterministic end to end).
+    pub seed: u64,
+}
+
+impl Default for TunerConfig {
+    fn default() -> TunerConfig {
+        TunerConfig { iterations: 160, population: 16, max_depth: 20, seed: 0xC0FFEE }
+    }
+}
+
+/// Autotuning outcome.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// Best candidate found.
+    pub best: Candidate,
+    /// Its fitness (cycle count; lower is better).
+    pub best_fitness: u64,
+    /// Best-so-far trajectory, one entry per evaluation.
+    pub history: Vec<u64>,
+    /// Number of candidates evaluated (invalid ones included).
+    pub evaluated: usize,
+}
+
+fn random_candidate(rng: &mut StdRng, names: &[&'static str], max_depth: usize) -> Candidate {
+    let depth = rng.gen_range(1..=max_depth);
+    let passes = (0..depth).map(|_| names[rng.gen_range(0..names.len())]).collect();
+    Candidate {
+        passes,
+        inline_threshold: rng.gen_range(0..8192),
+        unroll_threshold: rng.gen_range(0..2048),
+    }
+}
+
+fn mutate(rng: &mut StdRng, c: &Candidate, names: &[&'static str], max_depth: usize) -> Candidate {
+    let mut n = c.clone();
+    match rng.gen_range(0..5) {
+        0 if n.passes.len() < max_depth => {
+            let at = rng.gen_range(0..=n.passes.len());
+            n.passes.insert(at, names[rng.gen_range(0..names.len())]);
+        }
+        1 if n.passes.len() > 1 => {
+            let at = rng.gen_range(0..n.passes.len());
+            n.passes.remove(at);
+        }
+        2 => {
+            let at = rng.gen_range(0..n.passes.len());
+            n.passes[at] = names[rng.gen_range(0..names.len())];
+        }
+        3 => {
+            n.inline_threshold = rng.gen_range(0..8192);
+        }
+        _ => {
+            n.unroll_threshold = rng.gen_range(0..2048);
+        }
+    }
+    n
+}
+
+fn crossover(rng: &mut StdRng, a: &Candidate, b: &Candidate, max_depth: usize) -> Candidate {
+    let cut_a = rng.gen_range(0..=a.passes.len());
+    let cut_b = rng.gen_range(0..=b.passes.len());
+    let mut passes: Vec<&'static str> =
+        a.passes[..cut_a].iter().chain(b.passes[cut_b..].iter()).copied().collect();
+    passes.truncate(max_depth);
+    if passes.is_empty() {
+        passes.push(a.passes.first().copied().unwrap_or("mem2reg"));
+    }
+    Candidate {
+        passes,
+        inline_threshold: if rng.gen_bool(0.5) { a.inline_threshold } else { b.inline_threshold },
+        unroll_threshold: if rng.gen_bool(0.5) { a.unroll_threshold } else { b.unroll_threshold },
+    }
+}
+
+/// Run the genetic search. `fitness` returns the cycle count for a candidate,
+/// or `None` when the candidate is invalid (e.g. broke correctness — which
+/// would be a real finding, like the paper's SP1 soundness bug, but must not
+/// win the race).
+pub fn autotune(
+    config: &TunerConfig,
+    mut fitness: impl FnMut(&Candidate) -> Option<u64>,
+) -> TuneResult {
+    let names = pass_names();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut history = Vec::with_capacity(config.iterations);
+    let mut evaluated = 0;
+
+    // Seed the population with random candidates plus known-good anchors.
+    let mut population: Vec<(Candidate, Option<u64>)> = Vec::new();
+    let anchors: Vec<Candidate> = vec![
+        Candidate {
+            passes: vec!["mem2reg", "instcombine", "simplifycfg", "inline", "gvn", "dce"],
+            inline_threshold: 225,
+            unroll_threshold: 200,
+        },
+        Candidate {
+            passes: vec!["mem2reg", "inline", "sroa", "early-cse", "sccp", "simplifycfg"],
+            inline_threshold: 1000,
+            unroll_threshold: 400,
+        },
+    ];
+    for a in anchors {
+        population.push((a, None));
+    }
+    while population.len() < config.population {
+        population.push((random_candidate(&mut rng, &names, config.max_depth), None));
+    }
+    let mut best: Option<(Candidate, u64)> = None;
+    let mut evals_left = config.iterations;
+
+    // Evaluate initial population.
+    for (c, f) in population.iter_mut() {
+        if evals_left == 0 {
+            break;
+        }
+        *f = fitness(c);
+        evaluated += 1;
+        evals_left -= 1;
+        if let Some(v) = *f {
+            if best.as_ref().map_or(true, |(_, b)| v < *b) {
+                best = Some((c.clone(), v));
+            }
+        }
+        history.push(best.as_ref().map_or(u64::MAX, |(_, b)| *b));
+    }
+
+    while evals_left > 0 {
+        // Tournament selection of two parents among evaluated candidates.
+        let pick = |rng: &mut StdRng, pop: &[(Candidate, Option<u64>)]| -> Candidate {
+            let mut bestc: Option<(usize, u64)> = None;
+            for _ in 0..3 {
+                let i = rng.gen_range(0..pop.len());
+                let f = pop[i].1.unwrap_or(u64::MAX);
+                if bestc.map_or(true, |(_, bf)| f < bf) {
+                    bestc = Some((i, f));
+                }
+            }
+            pop[bestc.expect("non-empty population").0].0.clone()
+        };
+        let p1 = pick(&mut rng, &population);
+        let p2 = pick(&mut rng, &population);
+        let mut child = if rng.gen_bool(0.7) {
+            crossover(&mut rng, &p1, &p2, config.max_depth)
+        } else {
+            p1.clone()
+        };
+        if rng.gen_bool(0.9) {
+            child = mutate(&mut rng, &child, &names, config.max_depth);
+        }
+        let f = fitness(&child);
+        evaluated += 1;
+        evals_left -= 1;
+        if let Some(v) = f {
+            if best.as_ref().map_or(true, |(_, b)| v < *b) {
+                best = Some((child.clone(), v));
+            }
+        }
+        history.push(best.as_ref().map_or(u64::MAX, |(_, b)| *b));
+        // Replace the worst member.
+        let worst = population
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, (_, f))| f.unwrap_or(u64::MAX))
+            .map(|(i, _)| i)
+            .expect("non-empty population");
+        if f.unwrap_or(u64::MAX) < population[worst].1.unwrap_or(u64::MAX) {
+            population[worst] = (child, f);
+        }
+    }
+
+    let (best, best_fitness) = best.expect("at least one valid candidate evaluated");
+    TuneResult { best, best_fitness, history, evaluated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_synthetic_fitness() {
+        // Fitness rewards containing mem2reg early and inline anywhere.
+        let cfg = TunerConfig { iterations: 120, ..Default::default() };
+        let r = autotune(&cfg, |c| {
+            let mut score: u64 = 10_000;
+            if c.passes.first() == Some(&"mem2reg") {
+                score -= 4_000;
+            }
+            if c.passes.contains(&"inline") {
+                score -= 3_000;
+            }
+            score += c.passes.len() as u64 * 10;
+            Some(score)
+        });
+        assert!(r.best_fitness <= 3_500, "fitness {}", r.best_fitness);
+        assert!(r.best.passes.contains(&"inline"));
+        assert_eq!(r.evaluated, 120);
+    }
+
+    #[test]
+    fn history_is_monotonically_non_increasing() {
+        let cfg = TunerConfig { iterations: 60, ..Default::default() };
+        let r = autotune(&cfg, |c| Some(c.passes.len() as u64 * 100 + 7));
+        for w in r.history.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = TunerConfig { iterations: 50, seed: 7, ..Default::default() };
+        let f = |c: &Candidate| Some(c.inline_threshold as u64 + c.passes.len() as u64);
+        let a = autotune(&cfg, f);
+        let b = autotune(&cfg, f);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_fitness, b.best_fitness);
+    }
+
+    #[test]
+    fn invalid_candidates_never_win() {
+        let cfg = TunerConfig { iterations: 80, ..Default::default() };
+        let r = autotune(&cfg, |c| {
+            if c.passes.contains(&"licm") {
+                None // "broke correctness"
+            } else {
+                Some(1000)
+            }
+        });
+        assert!(!r.best.passes.contains(&"licm"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Paged guest memory with RISC Zero–style page-in/page-out accounting.
+
+use std::collections::HashMap;
+
+/// Total guest memory size (shared with the IR interpreter's map).
+pub const MEM_SIZE: u32 = zkvmopt_ir::interp::MEM_SIZE;
+/// Initial stack pointer.
+pub const STACK_TOP: u32 = zkvmopt_ir::interp::STACK_TOP;
+
+/// A memory access fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// Faulting address.
+    pub addr: u32,
+}
+
+/// Byte-addressed paged memory.
+///
+/// Data lives in fixed-size pages allocated on first touch. Within a
+/// *segment*, the first access to a page counts one page-in and the first
+/// write counts one (deferred) page-out; a segment flush resets the resident
+/// set, so the next segment pays again — exactly the continuations cost model
+/// the paper attributes licm's regressions to.
+#[derive(Debug)]
+pub struct PagedMemory {
+    page_size: u32,
+    pages: HashMap<u32, Vec<u8>>,
+    resident: HashMap<u32, bool>, // page -> dirty?
+    page_ins: u64,
+    page_outs: u64,
+}
+
+impl PagedMemory {
+    /// Fresh zeroed memory.
+    pub fn new(page_size: u32) -> PagedMemory {
+        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        PagedMemory {
+            page_size,
+            pages: HashMap::new(),
+            resident: HashMap::new(),
+            page_ins: 0,
+            page_outs: 0,
+        }
+    }
+
+    fn page_of(&self, addr: u32) -> u32 {
+        addr / self.page_size
+    }
+
+    /// Touch `page` for reading/writing; returns (new page-ins, new
+    /// page-outs) charged by this touch.
+    fn touch(&mut self, page: u32, write: bool) -> (u64, u64) {
+        let mut ins = 0;
+        let mut outs = 0;
+        match self.resident.get_mut(&page) {
+            None => {
+                ins = 1;
+                if write {
+                    outs = 1;
+                }
+                self.resident.insert(page, write);
+            }
+            Some(dirty) => {
+                if write && !*dirty {
+                    *dirty = true;
+                    outs = 1;
+                }
+            }
+        }
+        self.page_ins += ins;
+        self.page_outs += outs;
+        (ins, outs)
+    }
+
+    fn page_data(&mut self, page: u32) -> &mut Vec<u8> {
+        let size = self.page_size as usize;
+        self.pages.entry(page).or_insert_with(|| vec![0; size])
+    }
+
+    /// End the current segment: the resident set is dropped, so the next
+    /// segment re-pages everything it touches.
+    pub fn flush_segment(&mut self) {
+        self.resident.clear();
+    }
+
+    /// Cumulative page-ins.
+    pub fn page_ins(&self) -> u64 {
+        self.page_ins
+    }
+
+    /// Cumulative page-outs.
+    pub fn page_outs(&self) -> u64 {
+        self.page_outs
+    }
+
+    /// Pages currently resident.
+    pub fn resident_pages(&self) -> usize {
+        self.resident.len()
+    }
+
+    fn check(&self, addr: u32, size: u32) -> Result<(), MemFault> {
+        if addr < 0x100 || addr.checked_add(size).map_or(true, |e| e > MEM_SIZE) {
+            return Err(MemFault { addr });
+        }
+        Ok(())
+    }
+
+    /// Read `size` (1, 2, or 4) bytes, little-endian, charging paging.
+    ///
+    /// # Errors
+    /// Faults on null-guard or out-of-range accesses.
+    pub fn read(&mut self, addr: u32, size: u32) -> Result<u32, MemFault> {
+        self.check(addr, size)?;
+        let mut out: u32 = 0;
+        for i in 0..size {
+            let a = addr + i;
+            let page = self.page_of(a);
+            self.touch(page, false);
+            let off = (a % self.page_size) as usize;
+            let b = self.page_data(page)[off];
+            out |= (b as u32) << (8 * i);
+        }
+        Ok(out)
+    }
+
+    /// Write `size` (1, 2, or 4) low bytes of `value`, charging paging.
+    ///
+    /// # Errors
+    /// Faults on null-guard or out-of-range accesses.
+    pub fn write(&mut self, addr: u32, value: u32, size: u32) -> Result<(), MemFault> {
+        self.check(addr, size)?;
+        for i in 0..size {
+            let a = addr + i;
+            let page = self.page_of(a);
+            self.touch(page, true);
+            let off = (a % self.page_size) as usize;
+            self.page_data(page)[off] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Bulk read without affecting paging counters (host/precompile access
+    /// is charged separately as precompile cycles).
+    pub fn read_bytes_host(&mut self, addr: u32, len: u32) -> Result<Vec<u8>, MemFault> {
+        self.check(addr, len.max(1))?;
+        let mut out = Vec::with_capacity(len as usize);
+        for i in 0..len {
+            let a = addr + i;
+            let page = self.page_of(a);
+            let off = (a % self.page_size) as usize;
+            out.push(self.page_data(page)[off]);
+        }
+        Ok(out)
+    }
+
+    /// Bulk write without affecting paging counters.
+    pub fn write_bytes_host(&mut self, addr: u32, data: &[u8]) -> Result<(), MemFault> {
+        self.check(addr, data.len() as u32)?;
+        for (i, b) in data.iter().enumerate() {
+            let a = addr + i as u32;
+            let page = self.page_of(a);
+            let off = (a % self.page_size) as usize;
+            self.page_data(page)[off] = *b;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = PagedMemory::new(1024);
+        m.write(0x20000, 0xdead_beef, 4).unwrap();
+        assert_eq!(m.read(0x20000, 4).unwrap(), 0xdead_beef);
+        assert_eq!(m.read(0x20001, 1).unwrap(), 0xbe);
+    }
+
+    #[test]
+    fn paging_counts_first_touch_per_segment() {
+        let mut m = PagedMemory::new(1024);
+        m.read(0x20000, 4).unwrap();
+        assert_eq!(m.page_ins(), 1);
+        assert_eq!(m.page_outs(), 0);
+        m.read(0x20004, 4).unwrap(); // same page: no new page-in
+        assert_eq!(m.page_ins(), 1);
+        m.write(0x20008, 1, 4).unwrap(); // first write: page-out recorded
+        assert_eq!(m.page_outs(), 1);
+        m.write(0x2000c, 2, 4).unwrap();
+        assert_eq!(m.page_outs(), 1);
+        // New segment repeats the charges.
+        m.flush_segment();
+        m.read(0x20000, 4).unwrap();
+        assert_eq!(m.page_ins(), 2);
+    }
+
+    #[test]
+    fn cross_page_access_touches_both() {
+        let mut m = PagedMemory::new(1024);
+        m.read(1024 * 33 - 2, 4).unwrap();
+        assert_eq!(m.page_ins(), 2);
+    }
+
+    #[test]
+    fn faults_on_null_and_oob() {
+        let mut m = PagedMemory::new(1024);
+        assert!(m.read(0x10, 4).is_err());
+        assert!(m.write(MEM_SIZE - 2, 0, 4).is_err());
+        assert!(m.read(u32::MAX - 1, 4).is_err());
+    }
+
+    #[test]
+    fn memory_is_zero_initialized() {
+        let mut m = PagedMemory::new(1024);
+        assert_eq!(m.read(0x50000, 4).unwrap(), 0);
+    }
+}

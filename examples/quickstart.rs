@@ -1,0 +1,43 @@
+//! Quickstart: compile a zklang guest program, run it on both zkVM cost
+//! models, and compare the unoptimized baseline against `-O3`.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use zkvm_opt::study::{gain, OptLevel, OptProfile, Pipeline};
+use zkvm_opt::vm::VmKind;
+
+fn main() {
+    let source = "
+        fn hash_step(acc: i32, x: i32) -> i32 {
+          return (acc * 31 + x) % 1000003;
+        }
+        fn main() -> i32 {
+          let seed: i32 = read_input(0);
+          let mut acc: i32 = seed;
+          for (let mut i: i32 = 0; i < 20000; i += 1) {
+            acc = hash_step(acc, i);
+          }
+          commit(acc);
+          return acc;
+        }";
+
+    println!("== zkvm-opt quickstart ==\n");
+    for vm in VmKind::BOTH {
+        let base = Pipeline::new(OptProfile::baseline())
+            .run_source(source, &[7], vm)
+            .expect("baseline runs");
+        let o3 = Pipeline::new(OptProfile::level(OptLevel::O3))
+            .run_source(source, &[7], vm)
+            .expect("-O3 runs");
+        assert_eq!(base.exec.journal, o3.exec.journal, "optimization must not change output");
+        println!("{vm}:");
+        println!("  guest output          : {:?} (exit {})", base.exec.journal, base.exec.exit_code);
+        println!("  baseline              : {:>10} cycles, {:>9} instructions, {:>6} paging cycles",
+            base.exec.total_cycles, base.exec.instret, base.exec.paging_cycles);
+        println!("  -O3                   : {:>10} cycles, {:>9} instructions, {:>6} paging cycles",
+            o3.exec.total_cycles, o3.exec.instret, o3.exec.paging_cycles);
+        println!("  execution-time gain   : {:+.1}%", gain(base.exec_ms, o3.exec_ms));
+        println!("  proving-time gain     : {:+.1}%", gain(base.prove_ms, o3.prove_ms));
+        println!();
+    }
+}

@@ -1,0 +1,93 @@
+//! Workspace-level differential tests: every optimization profile must
+//! preserve guest-visible behaviour on real suite workloads, end to end
+//! (frontend → passes → codegen → zkVM), against the IR-interpreter oracle.
+
+use zkvm_opt::study::{measure, OptLevel, OptProfile};
+use zkvm_opt::vm::VmKind;
+
+/// A cross-suite sample kept small enough for debug-mode CI.
+const SAMPLE: &[&str] = &[
+    "polybench-atax",
+    "polybench-floyd-warshall",
+    "polybench-nussinov",
+    "npb-ep",
+    "npb-is",
+    "spec-631",
+    "sha2-chain",
+    "merkle",
+    "regex-match",
+    "rsp",
+    "fibonacci",
+    "tailcall",
+];
+
+#[test]
+fn all_opt_levels_preserve_behaviour_on_sample() {
+    for name in SAMPLE {
+        let w = zkvm_opt::workloads::by_name(name).expect("workload exists");
+        let (_, base) = measure(w, &OptProfile::baseline(), VmKind::RiscZero, false, None)
+            .unwrap_or_else(|e| panic!("{name} baseline: {e}"));
+        for level in OptLevel::ALL {
+            measure(w, &OptProfile::level(level), VmKind::RiscZero, false, Some(&base))
+                .unwrap_or_else(|e| panic!("{name} at {level:?}: {e}"));
+        }
+        measure(w, &OptProfile::zk_o3(), VmKind::RiscZero, false, Some(&base))
+            .unwrap_or_else(|e| panic!("{name} at zk-O3: {e}"));
+    }
+}
+
+#[test]
+fn every_single_pass_preserves_behaviour_on_two_programs() {
+    for name in ["polybench-doitgen", "loop-sum"] {
+        let w = zkvm_opt::workloads::by_name(name).expect("workload exists");
+        let (_, base) = measure(w, &OptProfile::baseline(), VmKind::Sp1, false, None)
+            .unwrap_or_else(|e| panic!("{name} baseline: {e}"));
+        for pass in zkvm_opt::study::studied_passes() {
+            measure(w, &OptProfile::single_pass(pass), VmKind::Sp1, false, Some(&base))
+                .unwrap_or_else(|e| panic!("{name} under {pass}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn vm_matches_ir_interpreter_on_sample() {
+    for name in SAMPLE {
+        let w = zkvm_opt::workloads::by_name(name).expect("workload exists");
+        let m = zkvm_opt::lang::compile_guest(&w.source).expect("compiles");
+        let cfg = zkvm_opt::ir::interp::InterpConfig {
+            inputs: w.inputs.clone(),
+            ..Default::default()
+        };
+        let oracle = zkvm_opt::ir::Interp::new(&m, cfg, zkvm_opt::vm::CryptoEcalls)
+            .run_main()
+            .unwrap_or_else(|e| panic!("{name} oracle: {e}"));
+        let prog = zkvm_opt::riscv::compile_module(&m, &zkvm_opt::riscv::TargetCostModel::zk())
+            .expect("codegen");
+        let r = zkvm_opt::vm::run_program(&prog, VmKind::RiscZero, &w.inputs)
+            .unwrap_or_else(|e| panic!("{name} vm: {e}"));
+        assert_eq!(r.exit_code as i64, oracle.exit_value, "{name} exit");
+        assert_eq!(r.journal, oracle.journal, "{name} journal");
+    }
+}
+
+#[test]
+fn both_vms_agree_on_guest_behaviour() {
+    for name in ["npb-ft", "sha3-bench", "zkvm-mnist"] {
+        let w = zkvm_opt::workloads::by_name(name).expect("workload exists");
+        let (r0, _) = measure(w, &OptProfile::level(OptLevel::O2), VmKind::RiscZero, false, None)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (sp1, _) = measure(w, &OptProfile::level(OptLevel::O2), VmKind::Sp1, false, None)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(r0.instret, sp1.instret, "{name}: instret is VM-independent");
+    }
+}
+
+#[test]
+fn toy_prover_binds_suite_outputs() {
+    let w = zkvm_opt::workloads::by_name("factorial").expect("exists");
+    let pipeline = zkvm_opt::study::Pipeline::new(OptProfile::level(OptLevel::O2));
+    let r = pipeline.run_workload(w, VmKind::RiscZero).expect("runs");
+    let model = zkvm_opt::prover::ProvingModel::risc_zero();
+    let proof = zkvm_opt::prover::toy_prove(&model, &r.exec);
+    assert!(zkvm_opt::prover::toy_verify(&model, &r.exec, &proof));
+}

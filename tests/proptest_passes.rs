@@ -1,0 +1,134 @@
+//! Property-based tests: randomly generated guest programs must behave
+//! identically under every optimization pipeline and random pass sequences,
+//! end to end through codegen and the zkVM.
+
+use proptest::prelude::*;
+use zkvm_opt::study::{OptLevel, OptProfile, Pipeline};
+use zkvm_opt::vm::VmKind;
+
+/// A tiny expression/program generator over the zklang subset that is always
+/// well-typed and terminating.
+#[derive(Debug, Clone)]
+enum E {
+    Const(i32),
+    Var(usize),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Div(Box<E>, Box<E>),
+    Rem(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Shl(Box<E>, u8),
+}
+
+fn expr_src(e: &E) -> String {
+    match e {
+        E::Const(c) => format!("{c}"),
+        E::Var(i) => format!("v{}", i % 4),
+        E::Add(a, b) => format!("({} + {})", expr_src(a), expr_src(b)),
+        E::Sub(a, b) => format!("({} - {})", expr_src(a), expr_src(b)),
+        E::Mul(a, b) => format!("({} * {})", expr_src(a), expr_src(b)),
+        E::Div(a, b) => format!("({} / {})", expr_src(a), expr_src(b)),
+        E::Rem(a, b) => format!("({} % {})", expr_src(a), expr_src(b)),
+        E::Xor(a, b) => format!("({} ^ {})", expr_src(a), expr_src(b)),
+        E::Shl(a, k) => format!("({} << {})", expr_src(a), k % 31),
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-1000i32..1000).prop_map(E::Const),
+        (0usize..4).prop_map(E::Var),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Rem(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), 0u8..31).prop_map(|(a, k)| E::Shl(Box::new(a), k)),
+        ]
+    })
+}
+
+/// Build a terminating program: seeded vars, a bounded loop with data flow
+/// through the generated expressions, a conditional, and an array.
+fn program(es: &[E], trip: u8) -> String {
+    let body: Vec<String> = es
+        .iter()
+        .enumerate()
+        .map(|(i, e)| format!("v{} = {};", i % 4, expr_src(e)))
+        .collect();
+    format!(
+        "static A: [i32; 16];
+         fn main() -> i32 {{
+           let mut v0: i32 = read_input(0);
+           let mut v1: i32 = read_input(1);
+           let mut v2: i32 = 3;
+           let mut v3: i32 = -7;
+           for (let mut i: i32 = 0; i < {trip}; i += 1) {{
+             {}
+             A[i % 16] = v0 ^ v1;
+             if (v2 % 2 == 0) {{ v3 += A[(v1 % 16 + 16) % 16]; }} else {{ v3 -= 1; }}
+             v2 += 1;
+           }}
+           commit(v0); commit(v1); commit(v2); commit(v3);
+           return v0 + v1 + v2 + v3;
+         }}",
+        body.join("\n             ")
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_programs_behave_identically_under_all_levels(
+        es in prop::collection::vec(arb_expr(), 1..5),
+        trip in 1u8..20,
+        inputs in prop::array::uniform2(-10_000i32..10_000),
+    ) {
+        let src = program(&es, trip);
+        let base = Pipeline::new(OptProfile::baseline())
+            .run_source(&src, &inputs, VmKind::RiscZero)
+            .expect("baseline runs");
+        for level in OptLevel::ALL {
+            let r = Pipeline::new(OptProfile::level(level))
+                .run_source(&src, &inputs, VmKind::RiscZero)
+                .unwrap_or_else(|e| panic!("{level:?}: {e}\n{src}"));
+            prop_assert_eq!(&r.exec.journal, &base.exec.journal, "{:?} journal\n{}", level, &src);
+            prop_assert_eq!(r.exec.exit_code, base.exec.exit_code, "{:?} exit\n{}", level, &src);
+        }
+        let r = Pipeline::new(OptProfile::zk_o3())
+            .run_source(&src, &inputs, VmKind::RiscZero)
+            .expect("zk-O3 runs");
+        prop_assert_eq!(&r.exec.journal, &base.exec.journal);
+    }
+
+    #[test]
+    fn random_pass_sequences_preserve_behaviour(
+        es in prop::collection::vec(arb_expr(), 1..4),
+        trip in 1u8..12,
+        picks in prop::collection::vec(0usize..64, 1..10),
+        inputs in prop::array::uniform2(-1000i32..1000),
+    ) {
+        let src = program(&es, trip);
+        let names = zkvm_opt::study::studied_passes();
+        let seq: Vec<&'static str> = picks.iter().map(|i| names[i % names.len()]).collect();
+        let base = Pipeline::new(OptProfile::baseline())
+            .run_source(&src, &inputs, VmKind::Sp1)
+            .expect("baseline runs");
+        let profile = OptProfile::sequence(
+            "random-seq",
+            seq.clone(),
+            zkvm_opt::passes::PassConfig::default(),
+        );
+        let r = Pipeline::new(profile)
+            .run_source(&src, &inputs, VmKind::Sp1)
+            .unwrap_or_else(|e| panic!("{seq:?}: {e}\n{src}"));
+        prop_assert_eq!(&r.exec.journal, &base.exec.journal, "{:?}\n{}", &seq, &src);
+        prop_assert_eq!(r.exec.exit_code, base.exec.exit_code);
+    }
+}
