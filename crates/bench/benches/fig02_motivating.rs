@@ -52,12 +52,24 @@ fn report() {
     zk_prof.name = "zk-isel".into();
     let (x_cpu, e_cpu, p_cpu) = run_case(DIV8, cpu_prof);
     let (x_zk, e_zk, p_zk) = run_case(DIV8, zk_prof);
-    println!("x86 native : shifts {:.4} ms vs div {:.4} ms -> shifts {} faster",
-        x_cpu, x_zk, pct(gain(x_zk, x_cpu)));
-    println!("zkVM exec  : shifts {:.4} ms vs div {:.4} ms -> div {} faster",
-        e_cpu, e_zk, pct(gain(e_cpu, e_zk)));
-    println!("zkVM prove : shifts {:.4} ms vs div {:.4} ms -> div {} faster",
-        p_cpu, p_zk, pct(gain(p_cpu, p_zk)));
+    println!(
+        "x86 native : shifts {:.4} ms vs div {:.4} ms -> shifts {} faster",
+        x_cpu,
+        x_zk,
+        pct(gain(x_zk, x_cpu))
+    );
+    println!(
+        "zkVM exec  : shifts {:.4} ms vs div {:.4} ms -> div {} faster",
+        e_cpu,
+        e_zk,
+        pct(gain(e_cpu, e_zk))
+    );
+    println!(
+        "zkVM prove : shifts {:.4} ms vs div {:.4} ms -> div {} faster",
+        p_cpu,
+        p_zk,
+        pct(gain(p_cpu, p_zk))
+    );
     assert!(x_cpu < x_zk, "shifts must win on x86");
     assert!(e_zk < e_cpu, "div must win on the zkVM");
 
@@ -65,12 +77,24 @@ fn report() {
     let prof = || OptProfile::level(zkvmopt_core::OptLevel::O1);
     let (x_f, e_f, p_f) = run_case(FUSED, prof());
     let (x_s, e_s, p_s) = run_case(FISSIONED, prof());
-    println!("x86 native : fused {:.4} ms vs fissioned {:.4} ms ({} for fission)",
-        x_f, x_s, pct(gain(x_f, x_s)));
-    println!("zkVM exec  : fused {:.4} ms vs fissioned {:.4} ms ({} for fission)",
-        e_f, e_s, pct(gain(e_f, e_s)));
-    println!("zkVM prove : fused {:.4} ms vs fissioned {:.4} ms ({} for fission)",
-        p_f, p_s, pct(gain(p_f, p_s)));
+    println!(
+        "x86 native : fused {:.4} ms vs fissioned {:.4} ms ({} for fission)",
+        x_f,
+        x_s,
+        pct(gain(x_f, x_s))
+    );
+    println!(
+        "zkVM exec  : fused {:.4} ms vs fissioned {:.4} ms ({} for fission)",
+        e_f,
+        e_s,
+        pct(gain(e_f, e_s))
+    );
+    println!(
+        "zkVM prove : fused {:.4} ms vs fissioned {:.4} ms ({} for fission)",
+        p_f,
+        p_s,
+        pct(gain(p_f, p_s))
+    );
     assert!(e_s >= e_f, "fission must not help zkVM execution");
 }
 

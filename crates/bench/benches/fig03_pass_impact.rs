@@ -28,7 +28,10 @@ fn report() {
             })
             .collect();
         rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
-        println!("{:<22} {:>9} {:>9} {:>9}", "pass", "exec", "prove", "cycles");
+        println!(
+            "{:<22} {:>9} {:>9} {:>9}",
+            "pass", "exec", "prove", "cycles"
+        );
         for (p, e, pr, cy) in &rows {
             println!("{p:<22} {:>9} {:>9} {:>9}", pct(*e), pct(*pr), pct(*cy));
         }
@@ -36,7 +39,10 @@ fn report() {
         let inline_gain = rows.iter().find(|r| r.0 == "inline").expect("inline").1;
         let licm_gain = rows.iter().find(|r| r.0 == "licm").expect("licm").1;
         println!("-> inline {} vs licm {}", pct(inline_gain), pct(licm_gain));
-        assert!(inline_gain > licm_gain, "inline must beat licm on average ({vm})");
+        assert!(
+            inline_gain > licm_gain,
+            "inline must beat licm on average ({vm})"
+        );
     }
 }
 

@@ -10,8 +10,13 @@ fn report() {
     let profiles = pass_profiles(KEY_PASSES);
     let impacts = impact_matrix(&workloads, &profiles, &VmKind::BOTH, false);
     for vm in VmKind::BOTH {
-        header(&format!("Figure 4 ({vm}): effect categories per pass (exec time)"));
-        println!("{:<22} {:>6} {:>6} {:>6} {:>6}", "pass", "<=-5%", "-5..-2", "2..5", ">=5%");
+        header(&format!(
+            "Figure 4 ({vm}): effect categories per pass (exec time)"
+        ));
+        println!(
+            "{:<22} {:>6} {:>6} {:>6} {:>6}",
+            "pass", "<=-5%", "-5..-2", "2..5", ">=5%"
+        );
         for p in KEY_PASSES {
             let mut c = [0usize; 4];
             for i in impacts.iter().filter(|i| i.profile == *p && i.vm == vm) {

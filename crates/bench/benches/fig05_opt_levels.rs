@@ -12,8 +12,10 @@ fn report() {
     let profiles = level_profiles();
     let impacts = impact_matrix(&workloads, &profiles, &VmKind::BOTH, false);
     header("Figure 5: average gain of -Ox levels vs unoptimized baseline");
-    println!("{:<6} {:>16} {:>16} {:>16} {:>16}", "level",
-        "R0 exec", "R0 prove", "SP1 exec", "SP1 prove");
+    println!(
+        "{:<6} {:>16} {:>16} {:>16} {:>16}",
+        "level", "R0 exec", "R0 prove", "SP1 exec", "SP1 prove"
+    );
     for l in OptLevel::ALL {
         let name = l.flag();
         println!(

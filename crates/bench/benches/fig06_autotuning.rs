@@ -10,11 +10,20 @@ use zkvmopt_vm::VmKind;
 
 fn tune_one(name: &str, iterations: usize) -> (f64, f64) {
     let w = zkvmopt_workloads::by_name(name).expect("exists");
-    let (_, base) = measure(w, &OptProfile::baseline(), VmKind::RiscZero, false, None)
-        .expect("baseline");
-    let (o3, _) = measure(w, &OptProfile::level(OptLevel::O3), VmKind::RiscZero, false, Some(&base))
-        .expect("-O3");
-    let cfg = TunerConfig { iterations, ..Default::default() };
+    let (_, base) =
+        measure(w, &OptProfile::baseline(), VmKind::RiscZero, false, None).expect("baseline");
+    let (o3, _) = measure(
+        w,
+        &OptProfile::level(OptLevel::O3),
+        VmKind::RiscZero,
+        false,
+        Some(&base),
+    )
+    .expect("-O3");
+    let cfg = TunerConfig {
+        iterations,
+        ..Default::default()
+    };
     let result = autotune(&cfg, |cand| {
         let profile = OptProfile::sequence("cand", cand.passes.clone(), cand.pass_config());
         match measure(w, &profile, VmKind::RiscZero, false, Some(&base)) {
@@ -24,7 +33,11 @@ fn tune_one(name: &str, iterations: usize) -> (f64, f64) {
     });
     let (tuned, _) = measure(
         w,
-        &OptProfile::sequence("tuned", result.best.passes.clone(), result.best.pass_config()),
+        &OptProfile::sequence(
+            "tuned",
+            result.best.passes.clone(),
+            result.best.pass_config(),
+        ),
         VmKind::RiscZero,
         false,
         Some(&base),

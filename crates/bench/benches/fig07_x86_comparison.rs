@@ -6,9 +6,19 @@ use zkvmopt_bench::{header, impact_matrix, mean_gain, pct};
 use zkvmopt_core::{OptLevel, OptProfile};
 use zkvmopt_vm::VmKind;
 
-const PASSES: &[&str] =
-    &["inline", "always-inline", "gvn", "jump-threading", "instcombine", "simplifycfg",
-      "sroa", "ipsccp", "reg2mem", "loop-extract", "licm"];
+const PASSES: &[&str] = &[
+    "inline",
+    "always-inline",
+    "gvn",
+    "jump-threading",
+    "instcombine",
+    "simplifycfg",
+    "sroa",
+    "ipsccp",
+    "reg2mem",
+    "loop-extract",
+    "licm",
+];
 
 fn profiles() -> Vec<OptProfile> {
     let mut v: Vec<OptProfile> = [OptLevel::O3, OptLevel::O2, OptLevel::O1]
@@ -20,21 +30,38 @@ fn profiles() -> Vec<OptProfile> {
 }
 
 fn report() {
-    let workloads: Vec<_> = ["polybench-gemm", "polybench-floyd-warshall", "npb-mg",
-                             "loop-sum", "fibonacci", "tailcall"]
-        .iter()
-        .map(|n| zkvmopt_workloads::by_name(n).expect("exists"))
-        .collect();
+    let workloads: Vec<_> = [
+        "polybench-gemm",
+        "polybench-floyd-warshall",
+        "npb-mg",
+        "loop-sum",
+        "fibonacci",
+        "tailcall",
+    ]
+    .iter()
+    .map(|n| zkvmopt_workloads::by_name(n).expect("exists"))
+    .collect();
     let impacts = impact_matrix(&workloads, &profiles(), &[VmKind::RiscZero], true);
     header("Figure 7: average gain per optimization — zkVM exec / prove / x86");
-    println!("{:<16} {:>10} {:>10} {:>10}", "profile", "zkVM exec", "prove", "x86");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10}",
+        "profile", "zkVM exec", "prove", "x86"
+    );
     let mut x86_bigger = 0;
     let mut total = 0;
     for p in profiles() {
         let e = mean_gain(&impacts, &p.name, VmKind::RiscZero, |i| i.exec_gain);
         let pr = mean_gain(&impacts, &p.name, VmKind::RiscZero, |i| i.prove_gain);
-        let x = mean_gain(&impacts, &p.name, VmKind::RiscZero, |i| i.x86_gain.unwrap_or(0.0));
-        println!("{:<16} {:>10} {:>10} {:>10}", p.name, pct(e), pct(pr), pct(x));
+        let x = mean_gain(&impacts, &p.name, VmKind::RiscZero, |i| {
+            i.x86_gain.unwrap_or(0.0)
+        });
+        println!(
+            "{:<16} {:>10} {:>10} {:>10}",
+            p.name,
+            pct(e),
+            pct(pr),
+            pct(x)
+        );
         if e > 2.0 || x > 2.0 {
             total += 1;
             if x > e {
@@ -54,8 +81,14 @@ fn bench(c: &mut Criterion) {
     let w = zkvmopt_workloads::by_name("fibonacci").expect("exists");
     c.bench_function("fig07/x86_model_run", |b| {
         b.iter(|| {
-            zkvmopt_core::measure(w, &OptProfile::level(OptLevel::O2), VmKind::RiscZero, true, None)
-                .expect("runs")
+            zkvmopt_core::measure(
+                w,
+                &OptProfile::level(OptLevel::O2),
+                VmKind::RiscZero,
+                true,
+                None,
+            )
+            .expect("runs")
         })
     });
 }

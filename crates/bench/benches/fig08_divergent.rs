@@ -5,12 +5,27 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use zkvmopt_bench::{bench_workloads, header, impact_matrix, pass_profiles};
 use zkvmopt_vm::VmKind;
 
-const PASSES: &[&str] = &["inline", "jump-threading", "gvn", "simplifycfg", "reg2mem",
-                          "tailcall", "loop-extract", "instcombine", "licm", "sroa"];
+const PASSES: &[&str] = &[
+    "inline",
+    "jump-threading",
+    "gvn",
+    "simplifycfg",
+    "reg2mem",
+    "tailcall",
+    "loop-extract",
+    "instcombine",
+    "licm",
+    "sroa",
+];
 
 fn report() {
     let workloads = bench_workloads();
-    let impacts = impact_matrix(&workloads, &pass_profiles(PASSES), &[VmKind::RiscZero], true);
+    let impacts = impact_matrix(
+        &workloads,
+        &pass_profiles(PASSES),
+        &[VmKind::RiscZero],
+        true,
+    );
     header("Figure 8: divergence counts (x86 vs RISC Zero execution)");
     println!(
         "{:<16} {:>12} {:>12} {:>12} {:>12}",
@@ -31,7 +46,10 @@ fn report() {
                 c[3] += 1;
             }
         }
-        println!("{p:<16} {:>12} {:>12} {:>12} {:>12}", c[0], c[1], c[2], c[3]);
+        println!(
+            "{p:<16} {:>12} {:>12} {:>12} {:>12}",
+            c[0], c[1], c[2], c[3]
+        );
     }
 }
 

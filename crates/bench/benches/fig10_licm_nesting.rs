@@ -20,9 +20,7 @@ fn nest_src(depth: u32) -> String {
     let vars = ["k", "j", "i", "l"];
     for d in (0..depth).rev() {
         let v = vars[d as usize];
-        body = format!(
-            "for (let mut {v}: i32 = 0; {v} < {n}; {v} += 1) {{ {body} }}"
-        );
+        body = format!("for (let mut {v}: i32 = 0; {v} < {n}; {v} += 1) {{ {body} }}");
     }
     format!(
         "static V: [i32; 16384];
@@ -39,7 +37,10 @@ fn nest_src(depth: u32) -> String {
 
 fn report() {
     header("Figure 10: licm impact vs loop nesting depth (RISC Zero)");
-    println!("{:<7} {:>14} {:>14}", "depth", "instret delta", "paging delta");
+    println!(
+        "{:<7} {:>14} {:>14}",
+        "depth", "instret delta", "paging delta"
+    );
     let mut deltas = Vec::new();
     for depth in [1u32, 2, 4] {
         let w = Workload {
@@ -54,7 +55,10 @@ fn report() {
         let i = impact_vs_baseline(&w, &OptProfile::single_pass("licm"), *vm, bm, br, false)
             .expect("licm runs");
         // Negative gain = increase in the metric.
-        println!("{depth:<7} {:>13.1}% {:>13.1}%", -i.instret_gain, -i.paging_gain);
+        println!(
+            "{depth:<7} {:>13.1}% {:>13.1}%",
+            -i.instret_gain, -i.paging_gain
+        );
         deltas.push((-i.instret_gain, -i.paging_gain));
     }
     let _ = deltas;

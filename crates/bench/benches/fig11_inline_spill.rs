@@ -15,20 +15,27 @@ fn report() {
     header("Figure 11: inlining the tailcall kernel (RISC Zero)");
     // mem2reg alone (no inlining) vs mem2reg+aggressive inline.
     let noinline = OptProfile::sequence("mem2reg-only", vec!["mem2reg"], PassConfig::default());
-    let mut aggressive_cfg = PassConfig::default();
-    aggressive_cfg.inline_threshold = 10_000;
-    let inline =
-        OptProfile::sequence("mem2reg+inline", vec!["mem2reg", "inline"], aggressive_cfg);
+    let aggressive_cfg = PassConfig {
+        inline_threshold: 10_000,
+        ..Default::default()
+    };
+    let inline = OptProfile::sequence("mem2reg+inline", vec!["mem2reg", "inline"], aggressive_cfg);
     let a = impact_vs_baseline(w, &noinline, *vm, bm, br, false).expect("runs");
     let b = impact_vs_baseline(w, &inline, *vm, bm, br, false).expect("runs");
     println!(
         "{:<16} exec {:>8}  cycles {:>8}  instret {:>8}  spilled vregs {:>4}",
-        a.profile, pct(a.exec_gain), pct(a.cycles_gain), pct(a.instret_gain),
+        a.profile,
+        pct(a.exec_gain),
+        pct(a.cycles_gain),
+        pct(a.instret_gain),
         a.measurement.spilled_vregs
     );
     println!(
         "{:<16} exec {:>8}  cycles {:>8}  instret {:>8}  spilled vregs {:>4}",
-        b.profile, pct(b.exec_gain), pct(b.cycles_gain), pct(b.instret_gain),
+        b.profile,
+        pct(b.exec_gain),
+        pct(b.cycles_gain),
+        pct(b.instret_gain),
         b.measurement.spilled_vregs
     );
     assert!(
@@ -47,7 +54,10 @@ fn bench(c: &mut Criterion) {
                 &OptProfile::sequence(
                     "i",
                     vec!["mem2reg", "inline"],
-                    PassConfig { inline_threshold: 10_000, ..Default::default() },
+                    PassConfig {
+                        inline_threshold: 10_000,
+                        ..Default::default()
+                    },
                 ),
                 VmKind::RiscZero,
                 false,

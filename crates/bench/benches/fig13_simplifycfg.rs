@@ -24,7 +24,9 @@ const ABS_KERNEL: &str = "
 
 fn run(profile: OptProfile) -> (f64, f64, f64, u64) {
     let p = Pipeline::new(profile).with_x86();
-    let r = p.run_source(ABS_KERNEL, &[1], VmKind::RiscZero).expect("runs");
+    let r = p
+        .run_source(ABS_KERNEL, &[1], VmKind::RiscZero)
+        .expect("runs");
     (
         r.x86.as_ref().expect("x86").time_ms,
         r.exec_ms,
@@ -43,15 +45,24 @@ fn report() {
     );
     let (xb, eb, pb, ib) = run(branchy);
     let (xc, ec, pc, ic) = run(converted);
-    println!("x86 native : branchy {xb:.4} ms vs converted {xc:.4} ms ({} for conversion)",
-        pct(gain(xb, xc)));
-    println!("zkVM exec  : branchy {eb:.4} ms vs converted {ec:.4} ms ({} for conversion)",
-        pct(gain(eb, ec)));
-    println!("zkVM prove : branchy {pb:.4} ms vs converted {pc:.4} ms ({} for conversion)",
-        pct(gain(pb, pc)));
+    println!(
+        "x86 native : branchy {xb:.4} ms vs converted {xc:.4} ms ({} for conversion)",
+        pct(gain(xb, xc))
+    );
+    println!(
+        "zkVM exec  : branchy {eb:.4} ms vs converted {ec:.4} ms ({} for conversion)",
+        pct(gain(eb, ec))
+    );
+    println!(
+        "zkVM prove : branchy {pb:.4} ms vs converted {pc:.4} ms ({} for conversion)",
+        pct(gain(pb, pc))
+    );
     println!("instret    : branchy {ib} vs converted {ic}");
     assert!(xc < xb, "if-conversion must help x86 (mispredictions gone)");
-    assert!(ic >= ib, "if-conversion must not reduce zkVM instructions here");
+    assert!(
+        ic >= ib,
+        "if-conversion must not reduce zkVM instructions here"
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -7,12 +7,23 @@ use zkvmopt_core::{gain, measure, OptLevel, OptProfile};
 use zkvmopt_vm::VmKind;
 
 fn report() {
-    let names = ["fibonacci", "loop-sum", "polybench-floyd-warshall",
-                 "polybench-covariance", "npb-ft", "regex-match",
-                 "polybench-gemm", "sha2-bench", "npb-mg", "tailcall"];
+    let names = [
+        "fibonacci",
+        "loop-sum",
+        "polybench-floyd-warshall",
+        "polybench-covariance",
+        "npb-ft",
+        "regex-match",
+        "polybench-gemm",
+        "sha2-bench",
+        "npb-mg",
+        "tailcall",
+    ];
     header("Figure 14: zk-aware -O3 vs stock -O3 (execution time gain)");
-    println!("{:<26} {:>12} {:>12} {:>14} {:>14}", "workload",
-        "R0 exec", "SP1 exec", "R0 instret Δ", "R0 prove");
+    println!(
+        "{:<26} {:>12} {:>12} {:>14} {:>14}",
+        "workload", "R0 exec", "SP1 exec", "R0 instret Δ", "R0 prove"
+    );
     let mut wins_r0 = 0;
     let mut losses_r0 = 0;
     let mut total = 0;
@@ -25,8 +36,7 @@ fn report() {
         for vm in VmKind::BOTH {
             let (o3, o3r) =
                 measure(w, &OptProfile::level(OptLevel::O3), vm, false, None).expect("-O3");
-            let (zk, _) =
-                measure(w, &OptProfile::zk_o3(), vm, false, Some(&o3r)).expect("zk-O3");
+            let (zk, _) = measure(w, &OptProfile::zk_o3(), vm, false, Some(&o3r)).expect("zk-O3");
             let e = gain(o3.exec_ms, zk.exec_ms);
             row.push_str(&format!(" {:>12}", pct(e)));
             if vm == VmKind::RiscZero {
@@ -48,23 +58,27 @@ fn report() {
             losses_r0 += 1;
         }
     }
-    println!("-> zk-O3 beats -O3 on RISC Zero exec for {wins_r0}/{total} programs \
-({losses_r0} regressions); mean {:+.1}%;", sum_r0 / total as f64);
+    println!(
+        "-> zk-O3 beats -O3 on RISC Zero exec for {wins_r0}/{total} programs \
+({losses_r0} regressions); mean {:+.1}%;",
+        sum_r0 / total as f64
+    );
     println!("   instruction count reduced on {instr_reduced}/{total} (the paper's driver).");
     // Paper shape: wins outnumber regressions (39/58 improved, 2 regressed)
     // and the average is positive — ties are programs the cost model leaves
     // untouched.
     assert!(wins_r0 > losses_r0, "wins {wins_r0} !> losses {losses_r0}");
-    assert!(sum_r0 / total as f64 > 0.0, "mean zk-O3 gain must be positive");
+    assert!(
+        sum_r0 / total as f64 > 0.0,
+        "mean zk-O3 gain must be positive"
+    );
 }
 
 fn bench(c: &mut Criterion) {
     report();
     let w = zkvmopt_workloads::by_name("fibonacci").expect("exists");
     c.bench_function("fig14/zk_o3_fibonacci", |b| {
-        b.iter(|| {
-            measure(w, &OptProfile::zk_o3(), VmKind::RiscZero, false, None).expect("runs")
-        })
+        b.iter(|| measure(w, &OptProfile::zk_o3(), VmKind::RiscZero, false, None).expect("runs"))
     });
 }
 

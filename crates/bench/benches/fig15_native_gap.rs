@@ -9,8 +9,10 @@ use zkvmopt_workloads::Suite;
 
 fn report() {
     header("Figure 15: native vs zkVM execution vs proving (NPB, unoptimized)");
-    println!("{:<10} {:>14} {:>14} {:>14} {:>10} {:>10}", "program",
-        "native ms", "zk exec ms", "prove ms", "exec/nat", "prove/nat");
+    println!(
+        "{:<10} {:>14} {:>14} {:>14} {:>10} {:>10}",
+        "program", "native ms", "zk exec ms", "prove ms", "exec/nat", "prove/nat"
+    );
     let mut min_exec_ratio = f64::INFINITY;
     for w in zkvmopt_workloads::suite(Suite::Npb) {
         let p = Pipeline::new(OptProfile::baseline()).with_x86();
@@ -18,8 +20,10 @@ fn report() {
         let native = r.x86.as_ref().expect("x86").time_ms;
         let er = r.exec_ms / native;
         let pr = r.prove_ms / native;
-        println!("{:<10} {:>14.4} {:>14.3} {:>14.1} {:>9.0}x {:>9.0}x",
-            w.name, native, r.exec_ms, r.prove_ms, er, pr);
+        println!(
+            "{:<10} {:>14.4} {:>14.3} {:>14.1} {:>9.0}x {:>9.0}x",
+            w.name, native, r.exec_ms, r.prove_ms, er, pr
+        );
         min_exec_ratio = min_exec_ratio.min(er);
     }
     assert!(

@@ -7,11 +7,17 @@ use zkvmopt_core::KEY_PASSES;
 use zkvmopt_vm::VmKind;
 
 fn report() {
-    let impacts =
-        impact_matrix(&bench_workloads(), &pass_profiles(KEY_PASSES), &VmKind::BOTH, false);
+    let impacts = impact_matrix(
+        &bench_workloads(),
+        &pass_profiles(KEY_PASSES),
+        &VmKind::BOTH,
+        false,
+    );
     header("Table 1: instances of gains (>2%) and losses (<-2%)");
-    println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "zkVM",
-        "exec gain", "exec loss", "prove gain", "prove loss");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "zkVM", "exec gain", "exec loss", "prove gain", "prove loss"
+    );
     for vm in VmKind::BOTH {
         let of = |f: &dyn Fn(&zkvmopt_bench::Impact) -> f64, positive: bool| {
             impacts

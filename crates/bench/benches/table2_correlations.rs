@@ -9,14 +9,22 @@ use zkvmopt_stats::{kendall_tau, mean, pearson};
 use zkvmopt_vm::VmKind;
 
 fn report() {
-    let workloads: Vec<_> = ["loop-sum", "polybench-gemm", "npb-mg", "fibonacci",
-                             "polybench-floyd-warshall", "tailcall"]
-        .iter()
-        .map(|n| zkvmopt_workloads::by_name(n).expect("exists"))
-        .collect();
+    let workloads: Vec<_> = [
+        "loop-sum",
+        "polybench-gemm",
+        "npb-mg",
+        "fibonacci",
+        "polybench-floyd-warshall",
+        "tailcall",
+    ]
+    .iter()
+    .map(|n| zkvmopt_workloads::by_name(n).expect("exists"))
+    .collect();
     header("Table 2: Kendall tau / Pearson between cost metrics and performance");
-    println!("{:<10} {:<16} {:<16} {:>10} {:>10}", "zkVM", "perf metric", "cost metric",
-        "Kendall", "Pearson");
+    println!(
+        "{:<10} {:<16} {:<16} {:>10} {:>10}",
+        "zkVM", "perf metric", "cost metric", "Kendall", "Pearson"
+    );
     for vm in VmKind::BOTH {
         let mut tau_ie = Vec::new(); // instret vs exec
         let mut r_ie = Vec::new();
@@ -48,18 +56,44 @@ fn report() {
                 r_pe.push(pearson(&paging, &exec));
             }
         }
-        println!("{:<10} {:<16} {:<16} {:>10.2} {:>10.2}", vm.name(), "exec time",
-            "executed instr", mean(&tau_ie), mean(&r_ie));
-        println!("{:<10} {:<16} {:<16} {:>10.2} {:>10.2}", vm.name(), "proving time",
-            "executed instr", mean(&tau_ip), mean(&r_ip));
+        println!(
+            "{:<10} {:<16} {:<16} {:>10.2} {:>10.2}",
+            vm.name(),
+            "exec time",
+            "executed instr",
+            mean(&tau_ie),
+            mean(&r_ie)
+        );
+        println!(
+            "{:<10} {:<16} {:<16} {:>10.2} {:>10.2}",
+            vm.name(),
+            "proving time",
+            "executed instr",
+            mean(&tau_ip),
+            mean(&r_ip)
+        );
         if vm == VmKind::RiscZero {
-            println!("{:<10} {:<16} {:<16} {:>10.2} {:>10.2}", vm.name(), "exec time",
-                "paging cycles", mean(&tau_pe), mean(&r_pe));
+            println!(
+                "{:<10} {:<16} {:<16} {:>10.2} {:>10.2}",
+                vm.name(),
+                "exec time",
+                "paging cycles",
+                mean(&tau_pe),
+                mean(&r_pe)
+            );
         }
         // The paper's core claim: strong positive monotonic+linear relation
         // between dynamic instruction count and execution time.
-        assert!(mean(&tau_ie) > 0.4, "tau(instr, exec) = {:.2}", mean(&tau_ie));
-        assert!(mean(&r_ie) > 0.7, "pearson(instr, exec) = {:.2}", mean(&r_ie));
+        assert!(
+            mean(&tau_ie) > 0.4,
+            "tau(instr, exec) = {:.2}",
+            mean(&tau_ie)
+        );
+        assert!(
+            mean(&r_ie) > 0.7,
+            "pearson(instr, exec) = {:.2}",
+            mean(&r_ie)
+        );
     }
 }
 

@@ -13,9 +13,7 @@ fn matvec_src(unroll: usize) -> String {
         _ => {
             let mut s = String::new();
             for k in 0..unroll {
-                s.push_str(&format!(
-                    "res[row+{k}] += MAT[col*5+row+{k}] * VEC[col]; "
-                ));
+                s.push_str(&format!("res[row+{k}] += MAT[col*5+row+{k}] * VEC[col]; "));
             }
             s.push_str(&format!("row += {unroll};"));
             s
@@ -58,8 +56,10 @@ fn report() {
         .run_source(&matvec_src(1), &[5], vm)
         .expect("runs")
     };
-    println!("{:<8} {:>10} {:>12} {:>12} {:>12} {:>12}", "factor",
-        "x86 time", "SP1 exec", "SP1 prove", "R0 exec", "R0 prove");
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "factor", "x86 time", "SP1 exec", "SP1 prove", "R0 exec", "R0 prove"
+    );
     let b_sp1 = base(VmKind::Sp1);
     let b_r0 = base(VmKind::RiscZero);
     for factor in [4usize, 16] {
@@ -77,8 +77,10 @@ fn report() {
         let r0 = run(VmKind::RiscZero);
         println!(
             "{factor:<8} {:>10} {:>12} {:>12} {:>12} {:>12}",
-            pct(gain(b_r0.x86.as_ref().expect("x86").time_ms,
-                     r0.x86.as_ref().expect("x86").time_ms)),
+            pct(gain(
+                b_r0.x86.as_ref().expect("x86").time_ms,
+                r0.x86.as_ref().expect("x86").time_ms
+            )),
             pct(gain(b_sp1.exec_ms, sp1.exec_ms)),
             pct(gain(b_sp1.prove_ms, sp1.prove_ms)),
             pct(gain(b_r0.exec_ms, r0.exec_ms)),

@@ -10,8 +10,10 @@ use zkvmopt_vm::VmKind;
 
 fn report() {
     header("Table 6: baseline statistics across all 58 programs (modelled seconds)");
-    println!("{:<10} {:<8} {:>10} {:>10} {:>10} {:>10}", "zkVM", "metric",
-        "min", "max", "mean", "median");
+    println!(
+        "{:<10} {:<8} {:>10} {:>10} {:>10} {:>10}",
+        "zkVM", "metric", "min", "max", "mean", "median"
+    );
     for vm in VmKind::BOTH {
         let mut exec = Vec::new();
         let mut prove = Vec::new();
@@ -24,10 +26,24 @@ fn report() {
         }
         let e = summarize(&exec);
         let p = summarize(&prove);
-        println!("{:<10} {:<8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
-            vm.name(), "exec", e.min, e.max, e.mean, e.median);
-        println!("{:<10} {:<8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
-            vm.name(), "prove", p.min, p.max, p.mean, p.median);
+        println!(
+            "{:<10} {:<8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            vm.name(),
+            "exec",
+            e.min,
+            e.max,
+            e.mean,
+            e.median
+        );
+        println!(
+            "{:<10} {:<8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            vm.name(),
+            "prove",
+            p.min,
+            p.max,
+            p.mean,
+            p.median
+        );
         // Shape: proving is much slower than execution across the suite.
         assert!(p.mean > e.mean, "{vm}: proving must dominate execution");
     }

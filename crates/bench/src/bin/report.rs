@@ -12,7 +12,7 @@
 use zkvmopt_bench::{
     bench_workloads, header, impact_matrix, mean_gain, pass_profiles, pct, Impact,
 };
-use zkvmopt_core::{categorize, EffectCategory, KEY_PASSES, OptLevel, OptProfile};
+use zkvmopt_core::{categorize, EffectCategory, OptLevel, OptProfile, KEY_PASSES};
 use zkvmopt_stats::{kendall_tau, mean, pearson, summarize};
 use zkvmopt_vm::VmKind;
 use zkvmopt_workloads::Workload;
@@ -66,7 +66,12 @@ fn main() {
 
     let mut pass_impacts: Option<Vec<Impact>> = None;
     let ensure_pass_impacts = |o: &Options| -> Vec<Impact> {
-        impact_matrix(&workload_set(o), &pass_profiles(&pass_axis(o)), &VmKind::BOTH, false)
+        impact_matrix(
+            &workload_set(o),
+            &pass_profiles(&pass_axis(o)),
+            &VmKind::BOTH,
+            false,
+        )
     };
 
     if want(&o, "fig3") || want(&o, "fig4") || want(&o, "table1") {
@@ -89,7 +94,10 @@ fn main() {
                 })
                 .collect();
             rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
-            println!("{:<26} {:>9} {:>9} {:>9}", "pass", "exec", "prove", "cycles");
+            println!(
+                "{:<26} {:>9} {:>9} {:>9}",
+                "pass", "exec", "prove", "cycles"
+            );
             for (p, e, pr, cy) in rows.iter().take(25) {
                 println!("{p:<26} {:>9} {:>9} {:>9}", pct(*e), pct(*pr), pct(*cy));
             }
@@ -99,8 +107,13 @@ fn main() {
     if want(&o, "fig4") {
         let impacts = pass_impacts.as_ref().expect("computed");
         for vm in VmKind::BOTH {
-            header(&format!("Figure 4 ({vm}): effect categories per pass (exec)"));
-            println!("{:<26} {:>6} {:>7} {:>6} {:>6}", "pass", "<=-5%", "-5..-2", "2..5", ">=5%");
+            header(&format!(
+                "Figure 4 ({vm}): effect categories per pass (exec)"
+            ));
+            println!(
+                "{:<26} {:>6} {:>7} {:>6} {:>6}",
+                "pass", "<=-5%", "-5..-2", "2..5", ">=5%"
+            );
             for p in pass_axis(&o) {
                 let mut c = [0usize; 4];
                 for i in impacts.iter().filter(|i| i.profile == p && i.vm == vm) {
@@ -122,8 +135,10 @@ fn main() {
     if want(&o, "table1") {
         let impacts = pass_impacts.as_ref().expect("computed");
         header("Table 1: gain/loss instance counts (>2% / <-2%)");
-        println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "zkVM",
-            "exec gain", "exec loss", "prove gain", "prove loss");
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12}",
+            "zkVM", "exec gain", "exec loss", "prove gain", "prove loss"
+        );
         for vm in VmKind::BOTH {
             let count = |sel: &dyn Fn(&Impact) -> f64, pos: bool| {
                 impacts
@@ -144,12 +159,16 @@ fn main() {
     }
 
     if want(&o, "fig5") {
-        let levels: Vec<OptProfile> =
-            OptLevel::ALL.iter().map(|l| OptProfile::level(*l)).collect();
+        let levels: Vec<OptProfile> = OptLevel::ALL
+            .iter()
+            .map(|l| OptProfile::level(*l))
+            .collect();
         let impacts = impact_matrix(&workload_set(&o), &levels, &VmKind::BOTH, false);
         header("Figure 5: -Ox levels vs baseline");
-        println!("{:<6} {:>14} {:>14} {:>14} {:>14}", "level",
-            "R0 exec", "R0 prove", "SP1 exec", "SP1 prove");
+        println!(
+            "{:<6} {:>14} {:>14} {:>14} {:>14}",
+            "level", "R0 exec", "R0 prove", "SP1 exec", "SP1 prove"
+        );
         for l in OptLevel::ALL {
             println!(
                 "{:<6} {:>14} {:>14} {:>14} {:>14}",
@@ -190,11 +209,19 @@ fn main() {
                     r_pe.push(pearson(&paging, &exec));
                 }
             }
-            println!("{:<10} instr->exec   tau {:>5.2}  pearson {:>5.2}",
-                vm.name(), mean(&tau_ie), mean(&r_ie));
+            println!(
+                "{:<10} instr->exec   tau {:>5.2}  pearson {:>5.2}",
+                vm.name(),
+                mean(&tau_ie),
+                mean(&r_ie)
+            );
             if vm == VmKind::RiscZero {
-                println!("{:<10} paging->exec  tau {:>5.2}  pearson {:>5.2}",
-                    vm.name(), mean(&tau_pe), mean(&r_pe));
+                println!(
+                    "{:<10} paging->exec  tau {:>5.2}  pearson {:>5.2}",
+                    vm.name(),
+                    mean(&tau_pe),
+                    mean(&r_pe)
+                );
             }
         }
     }
@@ -213,10 +240,22 @@ fn main() {
             }
             let e = summarize(&exec);
             let p = summarize(&prove);
-            println!("{:<10} exec : min {:.3} max {:.3} mean {:.3} median {:.3}",
-                vm.name(), e.min, e.max, e.mean, e.median);
-            println!("{:<10} prove: min {:.3} max {:.3} mean {:.3} median {:.3}",
-                vm.name(), p.min, p.max, p.mean, p.median);
+            println!(
+                "{:<10} exec : min {:.3} max {:.3} mean {:.3} median {:.3}",
+                vm.name(),
+                e.min,
+                e.max,
+                e.mean,
+                e.median
+            );
+            println!(
+                "{:<10} prove: min {:.3} max {:.3} mean {:.3} median {:.3}",
+                vm.name(),
+                p.min,
+                p.max,
+                p.mean,
+                p.median
+            );
         }
     }
 
@@ -247,8 +286,11 @@ fn main() {
                 }
             }
         }
-        println!("-> average: RISC Zero {} | SP1 {}",
-            pct(mean(&r0_gains)), pct(mean(&sp1_gains)));
+        println!(
+            "-> average: RISC Zero {} | SP1 {}",
+            pct(mean(&r0_gains)),
+            pct(mean(&sp1_gains))
+        );
     }
 
     println!("\nreport complete.");

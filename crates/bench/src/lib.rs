@@ -156,7 +156,10 @@ pub fn mean_gain(
 
 /// All standard-level profiles (Fig. 5 axis).
 pub fn level_profiles() -> Vec<OptProfile> {
-    OptLevel::ALL.iter().map(|l| OptProfile::level(*l)).collect()
+    OptLevel::ALL
+        .iter()
+        .map(|l| OptProfile::level(*l))
+        .collect()
 }
 
 /// Single-pass profiles for a pass-name list.
@@ -194,7 +197,11 @@ mod tests {
         let (vm, bm, br) = &base.by_vm[0];
         let o2 = OptProfile::level(OptLevel::O2);
         let i = impact_vs_baseline(w, &o2, *vm, bm, br, false).expect("runs");
-        assert!(i.cycles_gain > 0.0, "-O2 must speed up loop-sum: {}", i.cycles_gain);
+        assert!(
+            i.cycles_gain > 0.0,
+            "-O2 must speed up loop-sum: {}",
+            i.cycles_gain
+        );
         assert!(i.instret_gain > 0.0);
     }
 }

@@ -95,7 +95,11 @@ impl OptProfile {
     }
 
     /// An explicit sequence (autotuner candidates).
-    pub fn sequence(name: impl Into<String>, passes: Vec<&'static str>, cfg: PassConfig) -> OptProfile {
+    pub fn sequence(
+        name: impl Into<String>,
+        passes: Vec<&'static str>,
+        cfg: PassConfig,
+    ) -> OptProfile {
         OptProfile {
             name: name.into(),
             kind: ProfileKind::Sequence(passes),
@@ -196,7 +200,11 @@ pub struct Pipeline {
 impl Pipeline {
     /// A pipeline for `profile`.
     pub fn new(profile: OptProfile) -> Pipeline {
-        Pipeline { profile, with_x86: false, max_cycles: 2_000_000_000 }
+        Pipeline {
+            profile,
+            with_x86: false,
+            max_cycles: 2_000_000_000,
+        }
     }
 
     /// Enable the x86 timing model (RQ3).
@@ -215,8 +223,8 @@ impl Pipeline {
     /// # Errors
     /// Returns [`StudyError`] on frontend or codegen failures.
     pub fn compile(&self, src: &str) -> Result<zkvmopt_riscv::Program, StudyError> {
-        let mut m = zkvmopt_lang::compile_guest(src)
-            .map_err(|e| StudyError::Compile(e.to_string()))?;
+        let mut m =
+            zkvmopt_lang::compile_guest(src).map_err(|e| StudyError::Compile(e.to_string()))?;
         self.profile.apply(&mut m);
         zkvmopt_riscv::compile_module(&m, &self.profile.backend)
             .map_err(|e| StudyError::Codegen(e.to_string()))
@@ -233,7 +241,10 @@ impl Pipeline {
         vm: VmKind,
     ) -> Result<RunReport, StudyError> {
         let program = self.compile(src)?;
-        let config = ExecConfig { inputs: inputs.to_vec(), max_cycles: self.max_cycles };
+        let config = ExecConfig {
+            inputs: inputs.to_vec(),
+            max_cycles: self.max_cycles,
+        };
         let exec = Machine::new(&program, VmProfile::for_kind(vm), config)
             .run()
             .map_err(|e| StudyError::Exec(e.to_string()))?;
@@ -451,8 +462,7 @@ mod tests {
     #[test]
     fn single_pass_profiles_run_and_preserve() {
         let w = zkvmopt_workloads::by_name("loop-sum").unwrap();
-        let (_, base) =
-            measure(w, &OptProfile::baseline(), VmKind::Sp1, false, None).unwrap();
+        let (_, base) = measure(w, &OptProfile::baseline(), VmKind::Sp1, false, None).unwrap();
         for pass in ["inline", "licm", "mem2reg", "simplifycfg", "reg2mem"] {
             let (m, _) = measure(
                 w,
@@ -490,8 +500,14 @@ mod tests {
             Some(&base),
         )
         .unwrap();
-        let (zk, _) =
-            measure(&w, &OptProfile::zk_o3(), VmKind::RiscZero, false, Some(&base)).unwrap();
+        let (zk, _) = measure(
+            &w,
+            &OptProfile::zk_o3(),
+            VmKind::RiscZero,
+            false,
+            Some(&base),
+        )
+        .unwrap();
         // The zk-aware profile keeps the single div and must beat stock -O3
         // on instruction count for this kernel (paper Fig. 14 mechanism).
         assert!(
@@ -511,8 +527,14 @@ mod tests {
             inputs: vec![5],
             uses_precompile: false,
         };
-        let (m, _) =
-            measure(&w, &OptProfile::level(OptLevel::O2), VmKind::RiscZero, true, None).unwrap();
+        let (m, _) = measure(
+            &w,
+            &OptProfile::level(OptLevel::O2),
+            VmKind::RiscZero,
+            true,
+            None,
+        )
+        .unwrap();
         assert!(m.x86_ms.is_some());
     }
 

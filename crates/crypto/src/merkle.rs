@@ -56,7 +56,11 @@ impl MerkleTree {
         let mut path = Vec::new();
         let mut i = index;
         for level in &self.levels[..self.levels.len() - 1] {
-            let sib = if i % 2 == 0 { (i + 1).min(level.len() - 1) } else { i - 1 };
+            let sib = if i.is_multiple_of(2) {
+                (i + 1).min(level.len() - 1)
+            } else {
+                i - 1
+            };
             path.push(level[sib]);
             i /= 2;
         }
@@ -68,7 +72,11 @@ impl MerkleTree {
         let mut h = sha256(leaf);
         let mut i = index;
         for sib in proof {
-            h = if i % 2 == 0 { hash_pair(&h, sib) } else { hash_pair(sib, &h) };
+            h = if i.is_multiple_of(2) {
+                hash_pair(&h, sib)
+            } else {
+                hash_pair(sib, &h)
+            };
             i /= 2;
         }
         h == *root

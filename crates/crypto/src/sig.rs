@@ -82,7 +82,10 @@ fn hash_to_scalar(parts: &[&[u8]]) -> u64 {
 /// Derive a key pair from a seed (deterministic, for test vectors).
 pub fn keypair_from_seed(seed: u64) -> KeyPair {
     let secret = hash_to_scalar(&[b"key", &seed.to_le_bytes()]).max(2);
-    KeyPair { secret, public: powmod(G, secret, P) }
+    KeyPair {
+        secret,
+        public: powmod(G, secret, P),
+    }
 }
 
 /// Sign a 32-byte message hash.
@@ -135,9 +138,24 @@ mod tests {
     fn malformed_signatures_rejected() {
         let kp = keypair_from_seed(7);
         let msg = sha256(b"m");
-        assert!(!verify(Scheme::Ecdsa, kp.public, &msg, &Signature { r: 0, s: 1 }));
-        assert!(!verify(Scheme::Ecdsa, kp.public, &msg, &Signature { r: P, s: 1 }));
-        assert!(!verify(Scheme::Ecdsa, kp.public, &msg, &Signature { r: 5, s: P }));
+        assert!(!verify(
+            Scheme::Ecdsa,
+            kp.public,
+            &msg,
+            &Signature { r: 0, s: 1 }
+        ));
+        assert!(!verify(
+            Scheme::Ecdsa,
+            kp.public,
+            &msg,
+            &Signature { r: P, s: 1 }
+        ));
+        assert!(!verify(
+            Scheme::Ecdsa,
+            kp.public,
+            &msg,
+            &Signature { r: 5, s: P }
+        ));
     }
 
     #[test]

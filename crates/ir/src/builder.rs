@@ -39,7 +39,11 @@ impl FunctionBuilder {
     /// Start building a function; the cursor points at the entry block.
     pub fn new(name: impl Into<String>, params: Vec<Ty>, ret: Option<Ty>) -> FunctionBuilder {
         let func = Function::new(name, params, ret);
-        FunctionBuilder { func, current: BlockId(0), sealed: vec![false] }
+        FunctionBuilder {
+            func,
+            current: BlockId(0),
+            sealed: vec![false],
+        }
     }
 
     /// The `ValueId` of parameter `i`.
@@ -64,7 +68,10 @@ impl FunctionBuilder {
     /// # Panics
     /// Panics if `b` is already sealed.
     pub fn switch_to(&mut self, b: BlockId) {
-        assert!(!self.sealed[b.index()], "cannot emit into sealed block {b:?}");
+        assert!(
+            !self.sealed[b.index()],
+            "cannot emit into sealed block {b:?}"
+        );
         self.current = b;
     }
 
@@ -126,7 +133,15 @@ impl FunctionBuilder {
 
     /// Emit address arithmetic `base + index * stride + offset`.
     pub fn gep(&mut self, base: Operand, index: Operand, stride: u32, offset: i32) -> ValueId {
-        self.emit(Op::Gep { base, index, stride, offset }, Some(Ty::Ptr))
+        self.emit(
+            Op::Gep {
+                base,
+                index,
+                stride,
+                offset,
+            },
+            Some(Ty::Ptr),
+        )
     }
 
     /// Emit the address of global `g`.

@@ -56,7 +56,12 @@ impl Cfg {
         for (i, b) in post.iter().enumerate() {
             rpo_index[b.index()] = i;
         }
-        Cfg { preds, succs, rpo: post, rpo_index }
+        Cfg {
+            preds,
+            succs,
+            rpo: post,
+            rpo_index,
+        }
     }
 
     /// Predecessors of `b` (with multiplicity, matching multi-edges).

@@ -41,7 +41,11 @@ impl DomTree {
             }
         }
         let rpo_index: Vec<usize> = (0..n).map(|i| cfg.rpo_index(BlockId(i as u32))).collect();
-        DomTree { idom, rpo_index, entry: f.entry }
+        DomTree {
+            idom,
+            rpo_index,
+            entry: f.entry,
+        }
     }
 
     fn intersect(idom: &[Option<BlockId>], cfg: &Cfg, mut a: BlockId, mut b: BlockId) -> BlockId {
@@ -100,7 +104,10 @@ impl DomTree {
             if preds.len() < 2 {
                 continue;
             }
-            let Some(id) = self.idom(b).or(if b == self.entry { Some(b) } else { None }) else {
+            let Some(id) = self
+                .idom(b)
+                .or(if b == self.entry { Some(b) } else { None })
+            else {
                 continue;
             };
             for p in preds {

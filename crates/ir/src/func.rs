@@ -78,7 +78,10 @@ pub struct BlockData {
 
 impl BlockData {
     fn new() -> BlockData {
-        BlockData { insts: Vec::new(), term: Term::Unreachable }
+        BlockData {
+            insts: Vec::new(),
+            term: Term::Unreachable,
+        }
     }
 }
 
@@ -115,7 +118,10 @@ impl Function {
         let values = params
             .iter()
             .enumerate()
-            .map(|(i, t)| ValueData { def: ValueDef::Param { index: i }, ty: Some(*t) })
+            .map(|(i, t)| ValueData {
+                def: ValueDef::Param { index: i },
+                ty: Some(*t),
+            })
             .collect();
         Function {
             name: name.into(),
@@ -165,7 +171,10 @@ impl Function {
     /// The caller is responsible for inserting the id into exactly one block's
     /// instruction list (the verifier checks this).
     pub fn new_value(&mut self, op: Op, ty: Option<Ty>) -> ValueId {
-        self.values.push(ValueData { def: ValueDef::Inst(op), ty });
+        self.values.push(ValueData {
+            def: ValueDef::Inst(op),
+            ty,
+        });
         ValueId((self.values.len() - 1) as u32)
     }
 
@@ -204,13 +213,19 @@ impl Function {
     /// (the verifier will complain otherwise).
     pub fn remove_inst(&mut self, block: BlockId, v: ValueId) {
         self.blocks[block.index()].insts.retain(|x| *x != v);
-        self.values[v.index()] = ValueData { def: ValueDef::Inst(Op::Nop), ty: None };
+        self.values[v.index()] = ValueData {
+            def: ValueDef::Inst(Op::Nop),
+            ty: None,
+        };
     }
 
     /// Tombstone `v` without touching block lists (for bulk editing where the
     /// caller rebuilds the list).
     pub fn kill_value(&mut self, v: ValueId) {
-        self.values[v.index()] = ValueData { def: ValueDef::Inst(Op::Nop), ty: None };
+        self.values[v.index()] = ValueData {
+            def: ValueDef::Inst(Op::Nop),
+            ty: None,
+        };
     }
 
     /// Replace every use of value `from` (in instructions and terminators of
@@ -284,7 +299,10 @@ impl Function {
     /// Count instructions in reachable blocks (a static size metric used by the
     /// inliner and the `-Os`/`-Oz` pipelines).
     pub fn size(&self) -> usize {
-        self.reachable_blocks().iter().map(|b| self.blocks[b.index()].insts.len()).sum()
+        self.reachable_blocks()
+            .iter()
+            .map(|b| self.blocks[b.index()].insts.len())
+            .sum()
     }
 
     /// Whether any reachable instruction is a call to `callee`.
@@ -318,13 +336,23 @@ pub struct Global {
 impl Global {
     /// A zero-initialized global.
     pub fn zeroed(name: impl Into<String>, size: u32) -> Global {
-        Global { name: name.into(), size, init: Vec::new(), align: 4 }
+        Global {
+            name: name.into(),
+            size,
+            init: Vec::new(),
+            align: 4,
+        }
     }
 
     /// A global with initial data.
     pub fn with_data(name: impl Into<String>, data: Vec<u8>) -> Global {
         let size = data.len() as u32;
-        Global { name: name.into(), size, init: data, align: 4 }
+        Global {
+            name: name.into(),
+            size,
+            init: data,
+            align: 4,
+        }
     }
 }
 
@@ -361,7 +389,10 @@ impl Module {
 
     /// Find a function id by name.
     pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
-        self.funcs.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
     }
 
     /// The function named `main`, which every guest program must define.
@@ -400,7 +431,11 @@ mod tests {
         let p = f.param(0);
         let v = f.add_inst(
             f.entry,
-            Op::Bin { op: BinOp::Add, a: Operand::val(p), b: Operand::i32(1) },
+            Op::Bin {
+                op: BinOp::Add,
+                a: Operand::val(p),
+                b: Operand::i32(1),
+            },
             Some(Ty::I32),
         );
         f.blocks[f.entry.index()].term = Term::Ret(Some(Operand::val(v)));
@@ -455,8 +490,18 @@ mod tests {
     #[test]
     fn global_layout_respects_alignment() {
         let mut m = Module::new();
-        m.add_global(Global { name: "a".into(), size: 3, init: vec![], align: 4 });
-        m.add_global(Global { name: "b".into(), size: 8, init: vec![], align: 8 });
+        m.add_global(Global {
+            name: "a".into(),
+            size: 3,
+            init: vec![],
+            align: 4,
+        });
+        m.add_global(Global {
+            name: "b".into(),
+            size: 8,
+            init: vec![],
+            align: 8,
+        });
         let l = m.layout_globals();
         assert_eq!(l[0], GLOBAL_BASE);
         assert_eq!(l[1] % 8, 0);

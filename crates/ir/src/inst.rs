@@ -26,17 +26,26 @@ impl Operand {
 
     /// Shorthand for an `i32` immediate.
     pub fn i32(v: i32) -> Operand {
-        Operand::Const { value: v as i64, ty: Ty::I32 }
+        Operand::Const {
+            value: v as i64,
+            ty: Ty::I32,
+        }
     }
 
     /// Shorthand for an `i8` immediate.
     pub fn i8(v: u8) -> Operand {
-        Operand::Const { value: v as i64, ty: Ty::I8 }
+        Operand::Const {
+            value: v as i64,
+            ty: Ty::I8,
+        }
     }
 
     /// Shorthand for a boolean immediate.
     pub fn bool(v: bool) -> Operand {
-        Operand::Const { value: v as i64, ty: Ty::I1 }
+        Operand::Const {
+            value: v as i64,
+            ty: Ty::I1,
+        }
     }
 
     /// Returns the constant payload if this operand is an immediate.
@@ -89,7 +98,10 @@ pub enum BinOp {
 impl BinOp {
     /// Whether `a op b == b op a`.
     pub fn commutative(self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+        )
     }
 
     /// Evaluate on 32-bit semantics, returning a sign-extended `i64`.
@@ -114,13 +126,7 @@ impl BinOp {
                     a32.wrapping_div(b32)
                 }
             }
-            BinOp::DivU => {
-                if ub == 0 {
-                    -1i32
-                } else {
-                    (ua / ub) as i32
-                }
-            }
+            BinOp::DivU => ua.checked_div(ub).map_or(-1i32, |q| q as i32),
             BinOp::RemS => {
                 if b32 == 0 {
                     a32
@@ -299,7 +305,12 @@ pub enum Op {
     ///
     /// This is the IR construct whose duplication in loop-closed SSA form drives
     /// the paper's licm paging regressions.
-    Gep { base: Operand, index: Operand, stride: u32, offset: i32 },
+    Gep {
+        base: Operand,
+        index: Operand,
+        stride: u32,
+        offset: i32,
+    },
     /// Address of a module global.
     GlobalAddr(GlobalId),
     /// Direct call. Result type is the callee's return type (if any).
@@ -438,7 +449,11 @@ pub enum Term {
     /// Two-way conditional branch on an `i1` operand.
     CondBr { c: Operand, t: BlockId, f: BlockId },
     /// Multi-way dispatch. Lowered to compare chains by `lower-switch`.
-    Switch { v: Operand, cases: Vec<(i64, BlockId)>, default: BlockId },
+    Switch {
+        v: Operand,
+        cases: Vec<(i64, BlockId)>,
+        default: BlockId,
+    },
     /// Function return.
     Ret(Option<Operand>),
     /// Control never reaches here.
@@ -565,7 +580,11 @@ mod tests {
         for p in all {
             for (a, b) in [(0i64, 0i64), (1, 2), (-5, 3), (7, -7)] {
                 assert_eq!(p.eval32(a, b), !p.inverse().eval32(a, b), "{p:?} {a} {b}");
-                assert_eq!(p.eval32(a, b), p.swapped().eval32(b, a), "{p:?} swap {a} {b}");
+                assert_eq!(
+                    p.eval32(a, b),
+                    p.swapped().eval32(b, a),
+                    "{p:?} swap {a} {b}"
+                );
             }
         }
     }
@@ -575,7 +594,11 @@ mod tests {
         let b0 = BlockId(0);
         let b1 = BlockId(1);
         let b2 = BlockId(2);
-        let mut t = Term::CondBr { c: Operand::bool(true), t: b0, f: b1 };
+        let mut t = Term::CondBr {
+            c: Operand::bool(true),
+            t: b0,
+            f: b1,
+        };
         assert_eq!(t.successors(), vec![b0, b1]);
         t.retarget(b1, b2);
         assert_eq!(t.successors(), vec![b0, b2]);
@@ -583,7 +606,11 @@ mod tests {
 
     #[test]
     fn op_operand_visit() {
-        let mut op = Op::Bin { op: BinOp::Add, a: Operand::i32(1), b: Operand::i32(2) };
+        let mut op = Op::Bin {
+            op: BinOp::Add,
+            a: Operand::i32(1),
+            b: Operand::i32(2),
+        };
         let mut n = 0;
         op.for_each_operand(|_| n += 1);
         assert_eq!(n, 2);
@@ -598,12 +625,32 @@ mod tests {
 
     #[test]
     fn side_effect_classification() {
-        assert!(Op::Store { ptr: Operand::i32(0), val: Operand::i32(0), ty: Ty::I32 }
-            .has_side_effects());
-        assert!(!Op::Load { ptr: Operand::i32(0), ty: Ty::I32 }.has_side_effects());
-        assert!(Op::Load { ptr: Operand::i32(0), ty: Ty::I32 }.reads_memory());
-        assert!(Op::Bin { op: BinOp::Add, a: Operand::i32(0), b: Operand::i32(0) }
-            .is_speculatable());
-        assert!(!Op::Load { ptr: Operand::i32(0), ty: Ty::I32 }.is_speculatable());
+        assert!(Op::Store {
+            ptr: Operand::i32(0),
+            val: Operand::i32(0),
+            ty: Ty::I32
+        }
+        .has_side_effects());
+        assert!(!Op::Load {
+            ptr: Operand::i32(0),
+            ty: Ty::I32
+        }
+        .has_side_effects());
+        assert!(Op::Load {
+            ptr: Operand::i32(0),
+            ty: Ty::I32
+        }
+        .reads_memory());
+        assert!(Op::Bin {
+            op: BinOp::Add,
+            a: Operand::i32(0),
+            b: Operand::i32(0)
+        }
+        .is_speculatable());
+        assert!(!Op::Load {
+            ptr: Operand::i32(0),
+            ty: Ty::I32
+        }
+        .is_speculatable());
     }
 }

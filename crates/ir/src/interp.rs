@@ -58,7 +58,11 @@ pub struct InterpConfig {
 
 impl Default for InterpConfig {
     fn default() -> InterpConfig {
-        InterpConfig { max_steps: 500_000_000, inputs: Vec::new(), max_depth: 512 }
+        InterpConfig {
+            max_steps: 500_000_000,
+            inputs: Vec::new(),
+            max_depth: 512,
+        }
     }
 }
 
@@ -158,7 +162,12 @@ impl<'m, H: EcallHandler> Interp<'m, H> {
             Flow::Halt(code) => (code as i64, true),
             Flow::Return(v) => (v.unwrap_or(0), false),
         };
-        Ok(InterpOutcome { exit_value, journal: self.journal, steps: self.steps, halted })
+        Ok(InterpOutcome {
+            exit_value,
+            journal: self.journal,
+            steps: self.steps,
+            halted,
+        })
     }
 
     fn run_function(
@@ -188,15 +197,9 @@ impl<'m, H: EcallHandler> Interp<'m, H> {
                     let p = prev.ok_or_else(|| {
                         InterpError::Malformed(format!("phi in entry block of @{}", f.name))
                     })?;
-                    let (_, o) = incoming
-                        .iter()
-                        .find(|(b, _)| *b == p)
-                        .ok_or_else(|| {
-                            InterpError::Malformed(format!(
-                                "phi %{} missing edge from bb{}",
-                                v.0, p.0
-                            ))
-                        })?;
+                    let (_, o) = incoming.iter().find(|(b, _)| *b == p).ok_or_else(|| {
+                        InterpError::Malformed(format!("phi %{} missing edge from bb{}", v.0, p.0))
+                    })?;
                     phi_updates.push((v, self.eval(&vals, o)));
                     first_non_phi = i + 1;
                 } else {
@@ -226,8 +229,11 @@ impl<'m, H: EcallHandler> Interp<'m, H> {
                     }
                     Op::Select { c, t, f: fo } => {
                         let cv = self.eval(&vals, c);
-                        vals[v.index()] =
-                            if cv != 0 { self.eval(&vals, t) } else { self.eval(&vals, fo) };
+                        vals[v.index()] = if cv != 0 {
+                            self.eval(&vals, t)
+                        } else {
+                            self.eval(&vals, fo)
+                        };
                     }
                     Op::Load { ptr, ty } => {
                         let addr = self.eval(&vals, ptr) as u32;
@@ -249,7 +255,12 @@ impl<'m, H: EcallHandler> Interp<'m, H> {
                         }
                         vals[v.index()] = self.sp as i64;
                     }
-                    Op::Gep { base, index, stride, offset } => {
+                    Op::Gep {
+                        base,
+                        index,
+                        stride,
+                        offset,
+                    } => {
                         let b = self.eval(&vals, base) as u32;
                         let i = self.eval(&vals, index) as u32;
                         let addr = b
@@ -360,7 +371,7 @@ impl<'m, H: EcallHandler> Interp<'m, H> {
 
     fn load(&self, addr: u32, ty: Ty) -> Result<i64, InterpError> {
         let size = ty.size_bytes();
-        if addr < 0x100 || addr.checked_add(size).map_or(true, |e| e > MEM_SIZE) {
+        if addr < 0x100 || addr.checked_add(size).is_none_or(|e| e > MEM_SIZE) {
             return Err(InterpError::MemFault { addr });
         }
         let a = addr as usize;
@@ -381,7 +392,7 @@ impl<'m, H: EcallHandler> Interp<'m, H> {
 
     fn store(&mut self, addr: u32, val: i64, ty: Ty) -> Result<(), InterpError> {
         let size = ty.size_bytes();
-        if addr < 0x100 || addr.checked_add(size).map_or(true, |e| e > MEM_SIZE) {
+        if addr < 0x100 || addr.checked_add(size).is_none_or(|e| e > MEM_SIZE) {
             return Err(InterpError::MemFault { addr });
         }
         let a = addr as usize;
@@ -412,7 +423,10 @@ fn canonical(ty: Ty, v: i64) -> i64 {
 /// # Errors
 /// Propagates any [`InterpError`].
 pub fn run_module(module: &Module, inputs: &[i32]) -> Result<InterpOutcome, InterpError> {
-    let config = InterpConfig { inputs: inputs.to_vec(), ..InterpConfig::default() };
+    let config = InterpConfig {
+        inputs: inputs.to_vec(),
+        ..InterpConfig::default()
+    };
     Interp::new(module, config, NopEcalls).run_main()
 }
 
@@ -547,7 +561,10 @@ mod tests {
         let l = b.load(Operand::val(z), Ty::I32);
         b.ret(Some(Operand::val(l)));
         let m = module_with(b.finish());
-        assert!(matches!(run_module(&m, &[]), Err(InterpError::MemFault { .. })));
+        assert!(matches!(
+            run_module(&m, &[]),
+            Err(InterpError::MemFault { .. })
+        ));
     }
 
     #[test]
@@ -558,7 +575,10 @@ mod tests {
         b.switch_to(l);
         b.br(l);
         let m = module_with(b.finish());
-        let cfg = InterpConfig { max_steps: 1000, ..Default::default() };
+        let cfg = InterpConfig {
+            max_steps: 1000,
+            ..Default::default()
+        };
         let r = Interp::new(&m, cfg, NopEcalls).run_main();
         assert_eq!(r.unwrap_err(), InterpError::StepLimit);
     }
@@ -588,9 +608,19 @@ mod tests {
     fn gep_with_i32_base_is_a_fault_guard() {
         // Using a constant pointer below 0x100 faults; this is the null guard.
         let mut b = FunctionBuilder::new("main", vec![], Some(Ty::I32));
-        b.store(Operand::Const { value: 0x10, ty: Ty::Ptr }, Operand::i32(1), Ty::I32);
+        b.store(
+            Operand::Const {
+                value: 0x10,
+                ty: Ty::Ptr,
+            },
+            Operand::i32(1),
+            Ty::I32,
+        );
         b.ret(Some(Operand::i32(0)));
         let m = module_with(b.finish());
-        assert!(matches!(run_module(&m, &[]), Err(InterpError::MemFault { addr: 0x10 })));
+        assert!(matches!(
+            run_module(&m, &[]),
+            Err(InterpError::MemFault { addr: 0x10 })
+        ));
     }
 }

@@ -23,7 +23,12 @@ fn fmt_inst(func: &Function, m: &Module, v: ValueId) -> String {
     };
     let body = match op {
         Op::Bin { op, a, b } => {
-            format!("{} {}, {}", op.mnemonic(), fmt_operand(func, a), fmt_operand(func, b))
+            format!(
+                "{} {}, {}",
+                op.mnemonic(),
+                fmt_operand(func, a),
+                fmt_operand(func, b)
+            )
         }
         Op::Icmp { pred, a, b } => format!(
             "icmp {} {}, {}",
@@ -44,7 +49,12 @@ fn fmt_inst(func: &Function, m: &Module, v: ValueId) -> String {
             fmt_operand(func, ptr)
         ),
         Op::Alloca { elem, count } => format!("alloca {elem} x {count}"),
-        Op::Gep { base, index, stride, offset } => format!(
+        Op::Gep {
+            base,
+            index,
+            stride,
+            offset,
+        } => format!(
             "gep {}, {} * {stride} + {offset}",
             fmt_operand(func, base),
             fmt_operand(func, index)
@@ -98,9 +108,16 @@ fn fmt_term(func: &Function, t: &Term) -> String {
             format!("br {}, bb{}, bb{}", fmt_operand(func, c), t.0, f.0)
         }
         Term::Switch { v, cases, default } => {
-            let cs: Vec<String> =
-                cases.iter().map(|(k, b)| format!("{k} => bb{}", b.0)).collect();
-            format!("switch {} [{}], default bb{}", fmt_operand(func, v), cs.join(", "), default.0)
+            let cs: Vec<String> = cases
+                .iter()
+                .map(|(k, b)| format!("{k} => bb{}", b.0))
+                .collect();
+            format!(
+                "switch {} [{}], default bb{}",
+                fmt_operand(func, v),
+                cs.join(", "),
+                default.0
+            )
         }
         Term::Ret(Some(v)) => format!("ret {}", fmt_operand(func, v)),
         Term::Ret(None) => "ret".to_string(),
@@ -137,7 +154,13 @@ pub fn function_to_string(func: &Function, m: &Module) -> String {
 pub fn module_to_string(m: &Module) -> String {
     let mut s = String::new();
     for g in &m.globals {
-        let _ = writeln!(s, "global @{}: {} bytes (init {})", g.name, g.size, g.init.len());
+        let _ = writeln!(
+            s,
+            "global @{}: {} bytes (init {})",
+            g.name,
+            g.size,
+            g.init.len()
+        );
     }
     for f in &m.funcs {
         s.push_str(&function_to_string(f, m));

@@ -30,7 +30,10 @@ impl fmt::Display for VerifyError {
 impl std::error::Error for VerifyError {}
 
 fn err(func: &Function, msg: impl Into<String>) -> VerifyError {
-    VerifyError { func: func.name.clone(), message: msg.into() }
+    VerifyError {
+        func: func.name.clone(),
+        message: msg.into(),
+    }
 }
 
 /// Verify a whole module.
@@ -65,10 +68,16 @@ pub fn verify_function(f: &Function, m: &Module) -> Result<(), VerifyError> {
     for b in f.block_ids() {
         for (i, &v) in f.blocks[b.index()].insts.iter().enumerate() {
             if v.index() >= f.values.len() {
-                return Err(err(f, format!("bb{}: instruction id %{} out of range", b.0, v.0)));
+                return Err(err(
+                    f,
+                    format!("bb{}: instruction id %{} out of range", b.0, v.0),
+                ));
             }
             if matches!(f.values[v.index()].def, ValueDef::Param { .. }) {
-                return Err(err(f, format!("bb{}: parameter %{} listed as instruction", b.0, v.0)));
+                return Err(err(
+                    f,
+                    format!("bb{}: parameter %{} listed as instruction", b.0, v.0),
+                ));
             }
             if position.insert(v, (b, i)).is_some() {
                 return Err(err(f, format!("%{} appears in more than one block", v.0)));
@@ -83,7 +92,10 @@ pub fn verify_function(f: &Function, m: &Module) -> Result<(), VerifyError> {
         // Terminator targets must be valid.
         for s in data.term.successors() {
             if s.index() >= f.blocks.len() {
-                return Err(err(f, format!("bb{}: branch to out-of-range bb{}", b.0, s.0)));
+                return Err(err(
+                    f,
+                    format!("bb{}: branch to out-of-range bb{}", b.0, s.0),
+                ));
             }
         }
         // Return type must match signature.
@@ -96,10 +108,16 @@ pub fn verify_function(f: &Function, m: &Module) -> Result<(), VerifyError> {
                 }
             }
             (Term::Ret(Some(_)), None) => {
-                return Err(err(f, format!("bb{}: value return from void function", b.0)));
+                return Err(err(
+                    f,
+                    format!("bb{}: value return from void function", b.0),
+                ));
             }
             (Term::Ret(None), Some(_)) => {
-                return Err(err(f, format!("bb{}: void return from value function", b.0)));
+                return Err(err(
+                    f,
+                    format!("bb{}: void return from value function", b.0),
+                ));
             }
             _ => {}
         }
@@ -134,7 +152,10 @@ pub fn verify_function(f: &Function, m: &Module) -> Result<(), VerifyError> {
                 let mut dedup = inc_blocks.clone();
                 dedup.dedup();
                 if dedup.len() != inc_blocks.len() {
-                    return Err(err(f, format!("bb{}: phi %{} duplicate incoming block", b.0, v.0)));
+                    return Err(err(
+                        f,
+                        format!("bb{}: phi %{} duplicate incoming block", b.0, v.0),
+                    ));
                 }
                 let preds_set: HashSet<BlockId> = preds.iter().copied().collect();
                 let inc_set: HashSet<BlockId> = inc_blocks.iter().copied().collect();
@@ -150,7 +171,10 @@ pub fn verify_function(f: &Function, m: &Module) -> Result<(), VerifyError> {
             }
             // Dominance: each value operand must be defined before use.
             let mut viol: Option<String> = None;
-            let check_use = |o: &Operand, viol: &mut Option<String>, use_block: BlockId, use_idx: Option<usize>| {
+            let check_use = |o: &Operand,
+                             viol: &mut Option<String>,
+                             use_block: BlockId,
+                             use_idx: Option<usize>| {
                 let Operand::Value(u) = o else { return };
                 if u.index() >= f.values.len() {
                     *viol = Some(format!("use of out-of-range %{}", u.0));
@@ -223,7 +247,13 @@ fn operand_ty(f: &Function, o: &Operand) -> Option<Ty> {
     f.operand_ty(o)
 }
 
-fn check_types(f: &Function, m: &Module, v: ValueId, op: &Op, b: BlockId) -> Result<(), VerifyError> {
+fn check_types(
+    f: &Function,
+    m: &Module,
+    v: ValueId,
+    op: &Op,
+    b: BlockId,
+) -> Result<(), VerifyError> {
     let want = |cond: bool, msg: &str| -> Result<(), VerifyError> {
         if cond {
             Ok(())
@@ -243,7 +273,10 @@ fn check_types(f: &Function, m: &Module, v: ValueId, op: &Op, b: BlockId) -> Res
             let ta = operand_ty(f, a);
             let tb = operand_ty(f, bo);
             want(ta == tb, "icmp operands must share a type")?;
-            want(matches!(ta, Some(Ty::I32) | Some(Ty::Ptr)), "icmp operates on i32/ptr")?;
+            want(
+                matches!(ta, Some(Ty::I32) | Some(Ty::Ptr)),
+                "icmp operates on i32/ptr",
+            )?;
         }
         Op::Select { c, t, f: fo } => {
             want(operand_ty(f, c) == Some(Ty::I1), "select cond must be i1")?;
@@ -252,11 +285,17 @@ fn check_types(f: &Function, m: &Module, v: ValueId, op: &Op, b: BlockId) -> Res
             want(rty == tt, "select result type mismatch")?;
         }
         Op::Load { ptr, ty } => {
-            want(operand_ty(f, ptr) == Some(Ty::Ptr), "load pointer must be ptr")?;
+            want(
+                operand_ty(f, ptr) == Some(Ty::Ptr),
+                "load pointer must be ptr",
+            )?;
             want(rty == Some(*ty), "load result/type mismatch")?;
         }
         Op::Store { ptr, val, ty } => {
-            want(operand_ty(f, ptr) == Some(Ty::Ptr), "store pointer must be ptr")?;
+            want(
+                operand_ty(f, ptr) == Some(Ty::Ptr),
+                "store pointer must be ptr",
+            )?;
             want(operand_ty(f, val) == Some(*ty), "store value/type mismatch")?;
             want(rty.is_none(), "store has no result")?;
         }
@@ -267,7 +306,10 @@ fn check_types(f: &Function, m: &Module, v: ValueId, op: &Op, b: BlockId) -> Res
         }
         Op::Gep { base, index, .. } => {
             want(operand_ty(f, base) == Some(Ty::Ptr), "gep base must be ptr")?;
-            want(operand_ty(f, index) == Some(Ty::I32), "gep index must be i32")?;
+            want(
+                operand_ty(f, index) == Some(Ty::I32),
+                "gep index must be i32",
+            )?;
             want(rty == Some(Ty::Ptr), "gep result must be ptr")?;
         }
         Op::GlobalAddr(g) => {
@@ -276,7 +318,10 @@ fn check_types(f: &Function, m: &Module, v: ValueId, op: &Op, b: BlockId) -> Res
         }
         Op::Call { callee, args } => {
             let Some(cf) = m.funcs.get(callee.index()) else {
-                return Err(err(f, format!("bb{}: %{}: call to unknown function", b.0, v.0)));
+                return Err(err(
+                    f,
+                    format!("bb{}: %{}: call to unknown function", b.0, v.0),
+                ));
             };
             want(args.len() == cf.params.len(), "call arity mismatch")?;
             for (i, (a, p)) in args.iter().zip(&cf.params).enumerate() {
@@ -298,7 +343,10 @@ fn check_types(f: &Function, m: &Module, v: ValueId, op: &Op, b: BlockId) -> Res
             };
             for (_, o) in incoming {
                 if operand_ty(f, o) != Some(t) {
-                    return Err(err(f, format!("bb{}: %{}: phi incoming type mismatch", b.0, v.0)));
+                    return Err(err(
+                        f,
+                        format!("bb{}: %{}: phi incoming type mismatch", b.0, v.0),
+                    ));
                 }
             }
         }
@@ -368,11 +416,19 @@ mod tests {
         let mut f = Function::new("bad", vec![], Some(Ty::I32));
         // Manually create: %0 = add %1, 1 ; %1 = add 1, 1 — use before def.
         let v0 = f.new_value(
-            Op::Bin { op: BinOp::Add, a: Operand::Value(ValueId(1)), b: Operand::i32(1) },
+            Op::Bin {
+                op: BinOp::Add,
+                a: Operand::Value(ValueId(1)),
+                b: Operand::i32(1),
+            },
             Some(Ty::I32),
         );
         let v1 = f.new_value(
-            Op::Bin { op: BinOp::Add, a: Operand::i32(1), b: Operand::i32(1) },
+            Op::Bin {
+                op: BinOp::Add,
+                a: Operand::i32(1),
+                b: Operand::i32(1),
+            },
             Some(Ty::I32),
         );
         let e = f.entry;
@@ -392,7 +448,13 @@ mod tests {
         b.switch_to(j);
         // Claims an edge from a block that is not a predecessor.
         let bogus = BlockId(0);
-        let p = b.phi(Ty::I32, vec![(entry, Operand::i32(1)), (BlockId(bogus.0 + 7), Operand::i32(2))]);
+        let p = b.phi(
+            Ty::I32,
+            vec![
+                (entry, Operand::i32(1)),
+                (BlockId(bogus.0 + 7), Operand::i32(2)),
+            ],
+        );
         b.ret(Some(Operand::val(p)));
         let mut f = b.finish();
         // Make the bogus block id refer to a real block to isolate the pred check.

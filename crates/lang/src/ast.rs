@@ -116,11 +116,25 @@ pub enum Stmt {
         line: u32,
     },
     /// `lhs op= rhs;` (`op` is `None` for plain `=`).
-    Assign { target: LValue, op: Option<Bin>, value: Expr, line: u32 },
+    Assign {
+        target: LValue,
+        op: Option<Bin>,
+        value: Expr,
+        line: u32,
+    },
     /// `if (cond) { .. } else { .. }`
-    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>, line: u32 },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+        line: u32,
+    },
     /// `while (cond) { .. }`
-    While { cond: Expr, body: Vec<Stmt>, line: u32 },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+        line: u32,
+    },
     /// `for (init; cond; step) { .. }` — desugared while with a step that
     /// `continue` still executes.
     For {

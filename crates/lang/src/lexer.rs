@@ -118,7 +118,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
     let mut out = Vec::new();
     let mut i = 0;
     let mut line: u32 = 1;
-    let err = |line: u32, m: &str| LexError { line, message: m.to_string() };
+    let err = |line: u32, m: &str| LexError {
+        line,
+        message: m.to_string(),
+    };
     while i < bytes.len() {
         let c = bytes[i] as char;
         match c {
@@ -173,7 +176,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 }
                 // Wrap into 32-bit range: literals above i32::MAX are u32 bit patterns.
                 value &= 0xffff_ffff;
-                out.push(Spanned { tok: Tok::Int(value), line });
+                out.push(Spanned {
+                    tok: Tok::Int(value),
+                    line,
+                });
             }
             '"' => {
                 i += 1;
@@ -210,7 +216,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         }
                     }
                 }
-                out.push(Spanned { tok: Tok::Str(s), line });
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    line,
+                });
             }
             '\'' => {
                 // Char literal: yields its byte value as an integer token.
@@ -220,7 +229,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 }
                 let v = if bytes[i] == b'\\' {
                     i += 1;
-                    let e = bytes.get(i).copied().ok_or_else(|| err(line, "bad escape"))?;
+                    let e = bytes
+                        .get(i)
+                        .copied()
+                        .ok_or_else(|| err(line, "bad escape"))?;
                     i += 1;
                     match e {
                         b'n' => b'\n',
@@ -239,7 +251,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     return Err(err(line, "unterminated char"));
                 }
                 i += 1;
-                out.push(Spanned { tok: Tok::Int(v as i64), line });
+                out.push(Spanned {
+                    tok: Tok::Int(v as i64),
+                    line,
+                });
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
@@ -341,9 +356,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         '>' => Tok::Gt,
                         '=' => Tok::Assign,
                         '#' => Tok::Hash,
-                        other => {
-                            return Err(err(line, &format!("unexpected character {other:?}")))
-                        }
+                        other => return Err(err(line, &format!("unexpected character {other:?}"))),
                     };
                     (t, 1)
                 };
@@ -352,7 +365,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
         }
     }
-    out.push(Spanned { tok: Tok::Eof, line });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -413,7 +429,10 @@ mod tests {
     #[test]
     fn strings_and_chars() {
         assert_eq!(toks("\"ab\\n\""), vec![Tok::Str("ab\n".into()), Tok::Eof]);
-        assert_eq!(toks("'A' '\\n'"), vec![Tok::Int(65), Tok::Int(10), Tok::Eof]);
+        assert_eq!(
+            toks("'A' '\\n'"),
+            vec![Tok::Int(65), Tok::Int(10), Tok::Eof]
+        );
     }
 
     #[test]

@@ -60,13 +60,19 @@ impl std::error::Error for CompileError {}
 
 impl From<parser::ParseError> for CompileError {
     fn from(e: parser::ParseError) -> CompileError {
-        CompileError { line: e.line, message: e.message }
+        CompileError {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 
 impl From<lower::LowerError> for CompileError {
     fn from(e: lower::LowerError) -> CompileError {
-        CompileError { line: e.line, message: e.message }
+        CompileError {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 
@@ -80,7 +86,10 @@ pub fn compile(src: &str) -> Result<Module, CompileError> {
     let prog = parser::parse(src)?;
     let module = lower::lower(&prog)?;
     if let Err(e) = zkvmopt_ir::verify::verify_module(&module) {
-        return Err(CompileError { line: 0, message: format!("internal: {e}") });
+        return Err(CompileError {
+            line: 0,
+            message: format!("internal: {e}"),
+        });
     }
     Ok(module)
 }
@@ -103,7 +112,10 @@ pub fn compile_guest(src: &str) -> Result<Module, CompileError> {
             }
         }
         None => {
-            return Err(CompileError { line: 0, message: "guest program must define main".into() })
+            return Err(CompileError {
+                line: 0,
+                message: "guest program must define main".into(),
+            })
         }
     }
     Ok(m)
@@ -116,7 +128,9 @@ mod tests {
 
     fn run(src: &str) -> i64 {
         let m = compile_guest(src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
-        run_module(&m, &[]).unwrap_or_else(|e| panic!("run failed: {e}")).exit_value
+        run_module(&m, &[])
+            .unwrap_or_else(|e| panic!("run failed: {e}"))
+            .exit_value
     }
 
     fn run_with_inputs(src: &str, inputs: &[i32]) -> (i64, Vec<i32>) {
@@ -134,12 +148,18 @@ mod tests {
 
     #[test]
     fn signedness_of_division_and_shift() {
-        assert_eq!(run("fn main() -> i32 { let a: i32 = -7; return a / 2; }"), -3);
+        assert_eq!(
+            run("fn main() -> i32 { let a: i32 = -7; return a / 2; }"),
+            -3
+        );
         assert_eq!(
             run("fn main() -> i32 { let a: u32 = 0xfffffff8; return (a >> 1) as i32; }"),
             0x7ffffffc
         );
-        assert_eq!(run("fn main() -> i32 { let a: i32 = -8; return a >> 1; }"), -4);
+        assert_eq!(
+            run("fn main() -> i32 { let a: i32 = -8; return a >> 1; }"),
+            -4
+        );
         assert_eq!(
             run("fn main() -> i32 { let a: u32 = 0xffffffff; if (a > 0) { return 1; } return 0; }"),
             1

@@ -9,8 +9,8 @@ use crate::ast::*;
 use std::collections::HashMap;
 use std::fmt;
 use zkvmopt_ir::{
-    ecall, BinOp, BlockId, CastKind, FuncId, Function, Global, GlobalId, Module, Op, Operand,
-    Pred, Term, Ty, ValueId,
+    ecall, BinOp, BlockId, CastKind, FuncId, Function, Global, GlobalId, Module, Op, Operand, Pred,
+    Term, Ty, ValueId,
 };
 
 /// A lowering/type error with source location.
@@ -29,7 +29,10 @@ impl fmt::Display for LowerError {
 impl std::error::Error for LowerError {}
 
 fn err<T>(line: u32, m: impl Into<String>) -> Result<T, LowerError> {
-    Err(LowerError { line, message: m.into() })
+    Err(LowerError {
+        line,
+        message: m.into(),
+    })
 }
 
 /// The type of an evaluated expression, as seen by the checker.
@@ -115,9 +118,17 @@ fn compatible(a: ETy, b: ETy) -> bool {
 #[derive(Debug, Clone)]
 enum Sym {
     /// A scalar or array local backed by an alloca holding the storage.
-    Local { ptr: ValueId, ty: ETy, is_array: bool },
+    Local {
+        ptr: ValueId,
+        ty: ETy,
+        is_array: bool,
+    },
     /// A module global.
-    GlobalVar { id: GlobalId, ty: ETy, is_array: bool },
+    GlobalVar {
+        id: GlobalId,
+        ty: ETy,
+        is_array: bool,
+    },
     /// A compile-time constant.
     Const(i64),
 }
@@ -185,7 +196,10 @@ impl FnCtx {
     }
 
     fn declare(&mut self, name: &str, sym: Sym) {
-        self.scopes.last_mut().expect("scope stack non-empty").insert(name.to_string(), sym);
+        self.scopes
+            .last_mut()
+            .expect("scope stack non-empty")
+            .insert(name.to_string(), sym);
     }
 }
 
@@ -362,7 +376,14 @@ impl Lowerer {
             let slot = cx.alloca(ety.mem(), 1);
             let pv = cx.func.param(i);
             self.emit_store(&mut cx, Operand::val(slot), Operand::val(pv), ety);
-            cx.declare(pname, Sym::Local { ptr: slot, ty: ety, is_array: false });
+            cx.declare(
+                pname,
+                Sym::Local {
+                    ptr: slot,
+                    ty: ety,
+                    is_array: false,
+                },
+            );
         }
         self.lower_block(&mut cx, &f.body)?;
         if !cx.done {
@@ -371,7 +392,10 @@ impl Lowerer {
                 Some(t) => {
                     let zero = match t.ir() {
                         Ty::I1 => Operand::bool(false),
-                        Ty::Ptr => Operand::Const { value: 0, ty: Ty::Ptr },
+                        Ty::Ptr => Operand::Const {
+                            value: 0,
+                            ty: Ty::Ptr,
+                        },
                         _ => Operand::i32(0),
                     };
                     cx.seal(Term::Ret(Some(zero)));
@@ -390,7 +414,11 @@ impl Lowerer {
                 let narrow = match ety {
                     ETy::Bool => {
                         let z = cx.emit(
-                            Op::Cast { kind: CastKind::Zext, v: val, to: Ty::I32 },
+                            Op::Cast {
+                                kind: CastKind::Zext,
+                                v: val,
+                                to: Ty::I32,
+                            },
                             Some(Ty::I32),
                         );
                         Operand::val(z)
@@ -398,10 +426,21 @@ impl Lowerer {
                     _ => val,
                 };
                 let t = cx.emit(
-                    Op::Cast { kind: CastKind::Trunc, v: narrow, to: Ty::I8 },
+                    Op::Cast {
+                        kind: CastKind::Trunc,
+                        v: narrow,
+                        to: Ty::I8,
+                    },
                     Some(Ty::I8),
                 );
-                cx.emit(Op::Store { ptr, val: Operand::val(t), ty: Ty::I8 }, None);
+                cx.emit(
+                    Op::Store {
+                        ptr,
+                        val: Operand::val(t),
+                        ty: Ty::I8,
+                    },
+                    None,
+                );
             }
             ty => {
                 cx.emit(Op::Store { ptr, val, ty }, None);
@@ -417,14 +456,22 @@ impl Lowerer {
                 match ety {
                     ETy::Bool => {
                         let b = cx.emit(
-                            Op::Cast { kind: CastKind::Trunc, v: Operand::val(raw), to: Ty::I1 },
+                            Op::Cast {
+                                kind: CastKind::Trunc,
+                                v: Operand::val(raw),
+                                to: Ty::I1,
+                            },
                             Some(Ty::I1),
                         );
                         Operand::val(b)
                     }
                     _ => {
                         let w = cx.emit(
-                            Op::Cast { kind: CastKind::Zext, v: Operand::val(raw), to: Ty::I32 },
+                            Op::Cast {
+                                kind: CastKind::Zext,
+                                v: Operand::val(raw),
+                                to: Ty::I32,
+                            },
                             Some(Ty::I32),
                         );
                         Operand::val(w)
@@ -452,7 +499,13 @@ impl Lowerer {
             cx.start_block(b);
         }
         match s {
-            Stmt::Let { name, ty, count, init, line } => {
+            Stmt::Let {
+                name,
+                ty,
+                count,
+                init,
+                line,
+            } => {
                 let ety = ETy::from_src(*ty);
                 match count {
                     None => {
@@ -474,12 +527,22 @@ impl Lowerer {
                             }
                             None => match ety.ir() {
                                 Ty::I1 => Operand::bool(false),
-                                Ty::Ptr => Operand::Const { value: 0, ty: Ty::Ptr },
+                                Ty::Ptr => Operand::Const {
+                                    value: 0,
+                                    ty: Ty::Ptr,
+                                },
                                 _ => Operand::i32(0),
                             },
                         };
                         self.emit_store(cx, Operand::val(slot), v, ety);
-                        cx.declare(name, Sym::Local { ptr: slot, ty: ety, is_array: false });
+                        cx.declare(
+                            name,
+                            Sym::Local {
+                                ptr: slot,
+                                ty: ety,
+                                is_array: false,
+                            },
+                        );
                     }
                     Some(ce) => {
                         if init.is_some() {
@@ -496,18 +559,29 @@ impl Lowerer {
                         // Zero-fill so behaviour is deterministic under every
                         // optimization profile.
                         self.emit_zero_fill(cx, slot, ety, n as u32);
-                        cx.declare(name, Sym::Local { ptr: slot, ty: ety, is_array: true });
+                        cx.declare(
+                            name,
+                            Sym::Local {
+                                ptr: slot,
+                                ty: ety,
+                                is_array: true,
+                            },
+                        );
                     }
                 }
             }
-            Stmt::Assign { target, op, value, line } => {
+            Stmt::Assign {
+                target,
+                op,
+                value,
+                line,
+            } => {
                 let (ptr, ety) = self.lower_lvalue(cx, target, *line)?;
                 let (mut v, vt) = self.lower_expr(cx, value, *line)?;
                 let want = ety;
                 if let Some(b) = op {
                     let cur = self.emit_load(cx, ptr, ety);
-                    let (r, rt) =
-                        self.lower_binop(cx, *b, cur, ety, v, vt, *line)?;
+                    let (r, rt) = self.lower_binop(cx, *b, cur, ety, v, vt, *line)?;
                     if !compatible(rt, want) {
                         return err(*line, "compound assignment type mismatch");
                     }
@@ -520,7 +594,12 @@ impl Lowerer {
                 }
                 self.emit_store(cx, ptr, v, ety);
             }
-            Stmt::If { cond, then_body, else_body, line } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                line,
+            } => {
                 let (c, ct) = self.lower_expr(cx, cond, *line)?;
                 if ct != ETy::Bool {
                     return err(*line, "if condition must be bool");
@@ -528,7 +607,11 @@ impl Lowerer {
                 let then_bb = cx.func.add_block();
                 let else_bb = cx.func.add_block();
                 let merge_bb = cx.func.add_block();
-                cx.seal(Term::CondBr { c, t: then_bb, f: else_bb });
+                cx.seal(Term::CondBr {
+                    c,
+                    t: then_bb,
+                    f: else_bb,
+                });
                 cx.start_block(then_bb);
                 self.lower_block(cx, then_body)?;
                 cx.seal(Term::Br(merge_bb));
@@ -547,7 +630,11 @@ impl Lowerer {
                 if ct != ETy::Bool {
                     return err(*line, "while condition must be bool");
                 }
-                cx.seal(Term::CondBr { c, t: body_bb, f: exit });
+                cx.seal(Term::CondBr {
+                    c,
+                    t: body_bb,
+                    f: exit,
+                });
                 cx.start_block(body_bb);
                 cx.loop_stack.push((header, exit));
                 self.lower_block(cx, body)?;
@@ -555,7 +642,13 @@ impl Lowerer {
                 cx.seal(Term::Br(header));
                 cx.start_block(exit);
             }
-            Stmt::For { init, cond, step, body, line } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                line,
+            } => {
                 cx.scopes.push(HashMap::new());
                 if let Some(i) = init {
                     self.lower_stmt(cx, i)?;
@@ -572,7 +665,11 @@ impl Lowerer {
                         if ct != ETy::Bool {
                             return err(*line, "for condition must be bool");
                         }
-                        cx.seal(Term::CondBr { c, t: body_bb, f: exit });
+                        cx.seal(Term::CondBr {
+                            c,
+                            t: body_bb,
+                            f: exit,
+                        });
                     }
                     None => cx.seal(Term::Br(body_bb)),
                 }
@@ -589,23 +686,21 @@ impl Lowerer {
                 cx.start_block(exit);
                 cx.scopes.pop();
             }
-            Stmt::Return(e, line) => {
-                match (e, cx.ret) {
-                    (None, None) => cx.seal(Term::Ret(None)),
-                    (Some(e), Some(rt)) => {
-                        let (v, vt) = self.lower_expr(cx, e, *line)?;
-                        if !compatible(vt, rt) {
-                            return err(
-                                *line,
-                                format!("return type mismatch: {} vs {}", vt.name(), rt.name()),
-                            );
-                        }
-                        cx.seal(Term::Ret(Some(v)));
+            Stmt::Return(e, line) => match (e, cx.ret) {
+                (None, None) => cx.seal(Term::Ret(None)),
+                (Some(e), Some(rt)) => {
+                    let (v, vt) = self.lower_expr(cx, e, *line)?;
+                    if !compatible(vt, rt) {
+                        return err(
+                            *line,
+                            format!("return type mismatch: {} vs {}", vt.name(), rt.name()),
+                        );
                     }
-                    (None, Some(_)) => return err(*line, "missing return value"),
-                    (Some(_), None) => return err(*line, "void function returns a value"),
+                    cx.seal(Term::Ret(Some(v)));
                 }
-            }
+                (None, Some(_)) => return err(*line, "missing return value"),
+                (Some(_), None) => return err(*line, "void function returns a value"),
+            },
             Stmt::Break(line) => match cx.loop_stack.last() {
                 Some(&(_, brk)) => cx.seal(Term::Br(brk)),
                 None => return err(*line, "break outside loop"),
@@ -624,20 +719,47 @@ impl Lowerer {
     fn emit_zero_fill(&self, cx: &mut FnCtx, slot: ValueId, ety: ETy, n: u32) {
         // for (i = 0; i < n; i++) slot[i] = 0;
         let idx = cx.alloca(Ty::I32, 1);
-        cx.emit(Op::Store { ptr: Operand::val(idx), val: Operand::i32(0), ty: Ty::I32 }, None);
+        cx.emit(
+            Op::Store {
+                ptr: Operand::val(idx),
+                val: Operand::i32(0),
+                ty: Ty::I32,
+            },
+            None,
+        );
         let header = cx.func.add_block();
         let body = cx.func.add_block();
         let exit = cx.func.add_block();
         cx.seal(Term::Br(header));
         cx.start_block(header);
-        let i = cx.emit(Op::Load { ptr: Operand::val(idx), ty: Ty::I32 }, Some(Ty::I32));
+        let i = cx.emit(
+            Op::Load {
+                ptr: Operand::val(idx),
+                ty: Ty::I32,
+            },
+            Some(Ty::I32),
+        );
         let c = cx.emit(
-            Op::Icmp { pred: Pred::Slt, a: Operand::val(i), b: Operand::i32(n as i32) },
+            Op::Icmp {
+                pred: Pred::Slt,
+                a: Operand::val(i),
+                b: Operand::i32(n as i32),
+            },
             Some(Ty::I1),
         );
-        cx.seal(Term::CondBr { c: Operand::val(c), t: body, f: exit });
+        cx.seal(Term::CondBr {
+            c: Operand::val(c),
+            t: body,
+            f: exit,
+        });
         cx.start_block(body);
-        let i2 = cx.emit(Op::Load { ptr: Operand::val(idx), ty: Ty::I32 }, Some(Ty::I32));
+        let i2 = cx.emit(
+            Op::Load {
+                ptr: Operand::val(idx),
+                ty: Ty::I32,
+            },
+            Some(Ty::I32),
+        );
         let p = cx.emit(
             Op::Gep {
                 base: Operand::val(slot),
@@ -647,12 +769,30 @@ impl Lowerer {
             },
             Some(Ty::Ptr),
         );
-        cx.emit(Op::Store { ptr: Operand::val(p), val: zero_of(ety.mem()), ty: ety.mem() }, None);
+        cx.emit(
+            Op::Store {
+                ptr: Operand::val(p),
+                val: zero_of(ety.mem()),
+                ty: ety.mem(),
+            },
+            None,
+        );
         let inc = cx.emit(
-            Op::Bin { op: BinOp::Add, a: Operand::val(i2), b: Operand::i32(1) },
+            Op::Bin {
+                op: BinOp::Add,
+                a: Operand::val(i2),
+                b: Operand::i32(1),
+            },
             Some(Ty::I32),
         );
-        cx.emit(Op::Store { ptr: Operand::val(idx), val: Operand::val(inc), ty: Ty::I32 }, None);
+        cx.emit(
+            Op::Store {
+                ptr: Operand::val(idx),
+                val: Operand::val(inc),
+                ty: Ty::I32,
+            },
+            None,
+        );
         cx.seal(Term::Br(header));
         cx.start_block(exit);
     }
@@ -666,10 +806,7 @@ impl Lowerer {
     ) -> Result<(Operand, ETy), LowerError> {
         match lv {
             LValue::Var(name) => {
-                let sym = cx
-                    .lookup(name)
-                    .cloned()
-                    .or_else(|| self.module_sym(name));
+                let sym = cx.lookup(name).cloned().or_else(|| self.module_sym(name));
                 match sym {
                     Some(Sym::Local { ptr, ty, is_array }) => {
                         if is_array {
@@ -695,7 +832,12 @@ impl Lowerer {
                     return err(line, "index must be an integer");
                 }
                 let p = cx.emit(
-                    Op::Gep { base, index: iv, stride: elem.stride(), offset: 0 },
+                    Op::Gep {
+                        base,
+                        index: iv,
+                        stride: elem.stride(),
+                        offset: 0,
+                    },
                     Some(Ty::Ptr),
                 );
                 Ok((Operand::val(p), elem))
@@ -717,7 +859,13 @@ impl Lowerer {
                     Ok((Operand::val(ptr), ty))
                 } else if ty.is_ptr() {
                     // Scalar local holding a pointer: load it, index pointee.
-                    let v = cx.emit(Op::Load { ptr: Operand::val(ptr), ty: Ty::Ptr }, Some(Ty::Ptr));
+                    let v = cx.emit(
+                        Op::Load {
+                            ptr: Operand::val(ptr),
+                            ty: Ty::Ptr,
+                        },
+                        Some(Ty::Ptr),
+                    );
                     let elem = if ty == ETy::PtrI8 { ETy::I8 } else { ETy::U32 };
                     Ok((Operand::val(v), elem))
                 } else {
@@ -741,7 +889,11 @@ impl Lowerer {
             return Some(Sym::Const(*v));
         }
         if let Some((id, ty, is_array)) = self.globals.get(name) {
-            return Some(Sym::GlobalVar { id: *id, ty: *ty, is_array: *is_array });
+            return Some(Sym::GlobalVar {
+                id: *id,
+                ty: *ty,
+                is_array: *is_array,
+            });
         }
         None
     }
@@ -842,18 +994,32 @@ impl Lowerer {
         line: u32,
     ) -> Result<(Operand, ETy), LowerError> {
         match e {
-            Expr::Int(v) => Ok((Operand::Const { value: (*v as i32) as i64, ty: Ty::I32 }, ETy::I32)),
+            Expr::Int(v) => Ok((
+                Operand::Const {
+                    value: (*v as i32) as i64,
+                    ty: Ty::I32,
+                },
+                ETy::I32,
+            )),
             Expr::Bool(b) => Ok((Operand::bool(*b), ETy::Bool)),
             Expr::Var(name) => {
                 let sym = cx.lookup(name).cloned().or_else(|| self.module_sym(name));
                 match sym {
-                    Some(Sym::Const(v)) => {
-                        Ok((Operand::Const { value: (v as i32) as i64, ty: Ty::I32 }, ETy::I32))
-                    }
+                    Some(Sym::Const(v)) => Ok((
+                        Operand::Const {
+                            value: (v as i32) as i64,
+                            ty: Ty::I32,
+                        },
+                        ETy::I32,
+                    )),
                     Some(Sym::Local { ptr, ty, is_array }) => {
                         if is_array {
                             // Array decays to a pointer to its first element.
-                            let pt = if ty == ETy::I8 { ETy::PtrI8 } else { ETy::PtrI32 };
+                            let pt = if ty == ETy::I8 {
+                                ETy::PtrI8
+                            } else {
+                                ETy::PtrI32
+                            };
                             Ok((Operand::val(ptr), pt))
                         } else {
                             Ok((self.emit_load(cx, Operand::val(ptr), ty), ty))
@@ -862,7 +1028,11 @@ impl Lowerer {
                     Some(Sym::GlobalVar { id, ty, is_array }) => {
                         let a = cx.emit(Op::GlobalAddr(id), Some(Ty::Ptr));
                         if is_array {
-                            let pt = if ty == ETy::I8 { ETy::PtrI8 } else { ETy::PtrI32 };
+                            let pt = if ty == ETy::I8 {
+                                ETy::PtrI8
+                            } else {
+                                ETy::PtrI32
+                            };
                             Ok((Operand::val(a), pt))
                         } else {
                             Ok((self.emit_load(cx, Operand::val(a), ty), ty))
@@ -878,7 +1048,12 @@ impl Lowerer {
                     return err(line, "index must be an integer");
                 }
                 let p = cx.emit(
-                    Op::Gep { base, index: iv, stride: elem.stride(), offset: 0 },
+                    Op::Gep {
+                        base,
+                        index: iv,
+                        stride: elem.stride(),
+                        offset: 0,
+                    },
                     Some(Ty::Ptr),
                 );
                 Ok((self.emit_load(cx, Operand::val(p), elem), elem))
@@ -891,17 +1066,28 @@ impl Lowerer {
                             return err(line, "negation of non-integer");
                         }
                         let r = cx.emit(
-                            Op::Bin { op: BinOp::Sub, a: Operand::i32(0), b: v },
+                            Op::Bin {
+                                op: BinOp::Sub,
+                                a: Operand::i32(0),
+                                b: v,
+                            },
                             Some(Ty::I32),
                         );
-                        Ok((Operand::val(r), if vt == ETy::U32 { ETy::U32 } else { ETy::I32 }))
+                        Ok((
+                            Operand::val(r),
+                            if vt == ETy::U32 { ETy::U32 } else { ETy::I32 },
+                        ))
                     }
                     UnOp::Not => {
                         if !vt.is_int() {
                             return err(line, "bitwise not of non-integer");
                         }
                         let r = cx.emit(
-                            Op::Bin { op: BinOp::Xor, a: v, b: Operand::i32(-1) },
+                            Op::Bin {
+                                op: BinOp::Xor,
+                                a: v,
+                                b: Operand::i32(-1),
+                            },
                             Some(Ty::I32),
                         );
                         Ok((Operand::val(r), vt))
@@ -911,11 +1097,19 @@ impl Lowerer {
                             return err(line, "logical not of non-bool");
                         }
                         let w = cx.emit(
-                            Op::Cast { kind: CastKind::Zext, v, to: Ty::I32 },
+                            Op::Cast {
+                                kind: CastKind::Zext,
+                                v,
+                                to: Ty::I32,
+                            },
                             Some(Ty::I32),
                         );
                         let r = cx.emit(
-                            Op::Icmp { pred: Pred::Eq, a: Operand::val(w), b: Operand::i32(0) },
+                            Op::Icmp {
+                                pred: Pred::Eq,
+                                a: Operand::val(w),
+                                b: Operand::i32(0),
+                            },
                             Some(Ty::I1),
                         );
                         Ok((Operand::val(r), ETy::Bool))
@@ -933,9 +1127,17 @@ impl Lowerer {
                 let rhs_bb = cx.func.add_block();
                 let done_bb = cx.func.add_block();
                 if *op == Bin::LAnd {
-                    cx.seal(Term::CondBr { c: av, t: rhs_bb, f: done_bb });
+                    cx.seal(Term::CondBr {
+                        c: av,
+                        t: rhs_bb,
+                        f: done_bb,
+                    });
                 } else {
-                    cx.seal(Term::CondBr { c: av, t: done_bb, f: rhs_bb });
+                    cx.seal(Term::CondBr {
+                        c: av,
+                        t: done_bb,
+                        f: rhs_bb,
+                    });
                 }
                 cx.start_block(rhs_bb);
                 let (bv, bt) = self.lower_expr(cx, b, line)?;
@@ -957,19 +1159,29 @@ impl Lowerer {
                 let tt = ETy::from_src(*to);
                 let r = match (vt, tt) {
                     (a, b) if a == b => v,
-                    (ETy::I32, ETy::U32) | (ETy::U32, ETy::I32) | (ETy::I8, ETy::I32)
+                    (ETy::I32, ETy::U32)
+                    | (ETy::U32, ETy::I32)
+                    | (ETy::I8, ETy::I32)
                     | (ETy::I8, ETy::U32) => v,
                     (ETy::I32, ETy::I8) | (ETy::U32, ETy::I8) => {
                         // Mask to a byte while keeping the i32 representation.
                         let r = cx.emit(
-                            Op::Bin { op: BinOp::And, a: v, b: Operand::i32(0xff) },
+                            Op::Bin {
+                                op: BinOp::And,
+                                a: v,
+                                b: Operand::i32(0xff),
+                            },
                             Some(Ty::I32),
                         );
                         Operand::val(r)
                     }
                     (ETy::Bool, ETy::I32) | (ETy::Bool, ETy::U32) => {
                         let r = cx.emit(
-                            Op::Cast { kind: CastKind::Zext, v, to: Ty::I32 },
+                            Op::Cast {
+                                kind: CastKind::Zext,
+                                v,
+                                to: Ty::I32,
+                            },
                             Some(Ty::I32),
                         );
                         Operand::val(r)
@@ -1004,7 +1216,10 @@ impl Lowerer {
         }
         let arity = |n: usize| -> Result<(), LowerError> {
             if args.len() != n {
-                err(line, format!("`{name}` expects {n} arguments, got {}", args.len()))
+                err(
+                    line,
+                    format!("`{name}` expects {n} arguments, got {}", args.len()),
+                )
             } else {
                 Ok(())
             }
@@ -1048,7 +1263,11 @@ impl Lowerer {
                 let rv = match t {
                     ETy::Bool => {
                         let w = cx.emit(
-                            Op::Cast { kind: CastKind::Zext, v: *v, to: Ty::I32 },
+                            Op::Cast {
+                                kind: CastKind::Zext,
+                                v: *v,
+                                to: Ty::I32,
+                            },
                             Some(Ty::I32),
                         );
                         Operand::val(w)
@@ -1066,12 +1285,15 @@ impl Lowerer {
         if sig.params.len() != args.len() {
             return err(
                 line,
-                format!("`{name}` expects {} arguments, got {}", sig.params.len(), args.len()),
+                format!(
+                    "`{name}` expects {} arguments, got {}",
+                    sig.params.len(),
+                    args.len()
+                ),
             );
         }
         for (i, (have, want)) in tys.iter().zip(&sig.params).enumerate() {
-            let ok = compatible(*have, *want)
-                || (have.is_ptr() && want.is_ptr()); // pointer types interconvert at calls
+            let ok = compatible(*have, *want) || (have.is_ptr() && want.is_ptr()); // pointer types interconvert at calls
             if !ok {
                 return err(
                     line,
@@ -1086,7 +1308,13 @@ impl Lowerer {
         }
         let id = sig.id;
         let ret = sig.ret;
-        let r = cx.emit(Op::Call { callee: id, args: vals }, ret.map(|t| t.ir()));
+        let r = cx.emit(
+            Op::Call {
+                callee: id,
+                args: vals,
+            },
+            ret.map(|t| t.ir()),
+        );
         match ret {
             Some(t) => Ok((Operand::val(r), t)),
             None => Ok((Operand::i32(0), ETy::I32)),
@@ -1099,6 +1327,9 @@ fn zero_of(ty: Ty) -> Operand {
         Ty::I1 => Operand::bool(false),
         Ty::I8 => Operand::i8(0),
         Ty::I32 => Operand::i32(0),
-        Ty::Ptr => Operand::Const { value: 0, ty: Ty::Ptr },
+        Ty::Ptr => Operand::Const {
+            value: 0,
+            ty: Ty::Ptr,
+        },
     }
 }

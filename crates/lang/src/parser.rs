@@ -21,7 +21,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> ParseError {
-        ParseError { line: e.line, message: e.message }
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 
@@ -74,7 +77,10 @@ impl Parser {
     }
 
     fn err(&self, m: &str) -> ParseError {
-        ParseError { line: self.line(), message: m.to_string() }
+        ParseError {
+            line: self.line(),
+            message: m.to_string(),
+        }
     }
 
     fn ident(&mut self, what: &str) -> Result<String, ParseError> {
@@ -172,7 +178,13 @@ impl Parser {
                         GlobalInit::Zero
                     };
                     self.expect(&Tok::Semi, "`;`")?;
-                    p.globals.push(GlobalDecl { name, elem, count, init, line });
+                    p.globals.push(GlobalDecl {
+                        name,
+                        elem,
+                        count,
+                        init,
+                        line,
+                    });
                 }
                 Tok::Hash | Tok::Fn => {
                     p.funcs.push(self.func()?);
@@ -219,9 +231,20 @@ impl Parser {
                 self.expect(&Tok::Comma, "`,`")?;
             }
         }
-        let ret = if self.eat(&Tok::Arrow) { Some(self.scalar_ty()?) } else { None };
+        let ret = if self.eat(&Tok::Arrow) {
+            Some(self.scalar_ty()?)
+        } else {
+            None
+        };
         let body = self.block()?;
-        Ok(FnDecl { name, params, ret, body, inline, line })
+        Ok(FnDecl {
+            name,
+            params,
+            ret,
+            body,
+            inline,
+            line,
+        })
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
@@ -253,9 +276,19 @@ impl Parser {
                 } else {
                     (self.scalar_ty()?, None)
                 };
-                let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+                let init = if self.eat(&Tok::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
                 self.expect(&Tok::Semi, "`;`")?;
-                Ok(Stmt::Let { name, ty, count, init, line })
+                Ok(Stmt::Let {
+                    name,
+                    ty,
+                    count,
+                    init,
+                    line,
+                })
             }
             Tok::If => {
                 self.next();
@@ -272,7 +305,12 @@ impl Parser {
                 } else {
                     Vec::new()
                 };
-                Ok(Stmt::If { cond, then_body, else_body, line })
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    line,
+                })
             }
             Tok::While => {
                 self.next();
@@ -292,7 +330,11 @@ impl Parser {
                     self.expect(&Tok::Semi, "`;`")?;
                     Some(Box::new(s))
                 };
-                let cond = if matches!(self.peek(), Tok::Semi) { None } else { Some(self.expr()?) };
+                let cond = if matches!(self.peek(), Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&Tok::Semi, "`;`")?;
                 let step = if matches!(self.peek(), Tok::RParen) {
                     None
@@ -301,11 +343,21 @@ impl Parser {
                 };
                 self.expect(&Tok::RParen, "`)`")?;
                 let body = self.block()?;
-                Ok(Stmt::For { init, cond, step, body, line })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    line,
+                })
             }
             Tok::Return => {
                 self.next();
-                let e = if matches!(self.peek(), Tok::Semi) { None } else { Some(self.expr()?) };
+                let e = if matches!(self.peek(), Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&Tok::Semi, "`;`")?;
                 Ok(Stmt::Return(e, line))
             }
@@ -339,7 +391,13 @@ impl Parser {
             let ty = self.scalar_ty()?;
             self.expect(&Tok::Assign, "`=`")?;
             let init = Some(self.expr()?);
-            return Ok(Stmt::Let { name, ty, count: None, init, line });
+            return Ok(Stmt::Let {
+                name,
+                ty,
+                count: None,
+                init,
+                line,
+            });
         }
         // Try lvalue assignment: IDENT [ '[' expr ']' ] (op)= expr
         if let Tok::Ident(name) = self.peek().clone() {
@@ -373,7 +431,12 @@ impl Parser {
             };
             self.next();
             let value = self.expr()?;
-            return Ok(Stmt::Assign { target, op, value, line });
+            return Ok(Stmt::Assign {
+                target,
+                op,
+                value,
+                line,
+            });
         }
         let e = self.expr()?;
         Ok(Stmt::Expr(e, line))

@@ -13,12 +13,21 @@ fn expr_key(f: &Function, op: &Op) -> Option<String> {
     Some(match op {
         Op::Bin { op, a, b } => {
             let (x, y) = (fmt(a), fmt(b));
-            let (x, y) = if op.commutative() && y < x { (y, x) } else { (x, y) };
+            let (x, y) = if op.commutative() && y < x {
+                (y, x)
+            } else {
+                (x, y)
+            };
             format!("bin:{op:?}:{x}:{y}")
         }
         Op::Icmp { pred, a, b } => format!("icmp:{pred:?}:{}:{}", fmt(a), fmt(b)),
         Op::Select { c, t, f: fo } => format!("sel:{}:{}:{}", fmt(c), fmt(t), fmt(fo)),
-        Op::Gep { base, index, stride, offset } => {
+        Op::Gep {
+            base,
+            index,
+            stride,
+            offset,
+        } => {
             format!("gep:{}:{}:{stride}:{offset}", fmt(base), fmt(index))
         }
         Op::GlobalAddr(g) => format!("ga:{g:?}"),
@@ -145,7 +154,10 @@ fn mem_facts(m: &Module, f: &Function) -> MemFacts {
             }
         }
     }
-    MemFacts { written, unknown_writes }
+    MemFacts {
+        written,
+        unknown_writes,
+    }
 }
 
 /// Dominator-scoped global value numbering.
@@ -306,8 +318,7 @@ mod tests {
                      return r + a;
                    }";
         let cfg = PassConfig::default();
-        let (before, after) =
-            check_pass_preserves(src, &["mem2reg", "gvn", "dce"], &cfg);
+        let (before, after) = check_pass_preserves(src, &["mem2reg", "gvn", "dce"], &cfg);
         assert!(after < before, "{before} -> {after}");
     }
 

@@ -11,9 +11,7 @@
 use crate::util;
 use crate::PassConfig;
 use std::collections::HashMap;
-use zkvmopt_ir::{
-    BlockId, FuncId, Function, Module, Op, Operand, Term, Ty, ValueId,
-};
+use zkvmopt_ir::{BlockId, FuncId, Function, Module, Op, Operand, Term, Ty, ValueId};
 
 /// Upper bound on call sites inlined per pass invocation (growth guard).
 const INLINE_BUDGET: usize = 400;
@@ -36,13 +34,10 @@ pub fn always_inline(m: &mut Module, cfg: &PassConfig) -> bool {
 pub fn partial_inliner(m: &mut Module, cfg: &PassConfig) -> bool {
     let mut changed = false;
     let mut budget = INLINE_BUDGET / 4;
-    loop {
-        let Some((caller, block, v)) = find_site(m, |m, callee| {
-            let f = &m.funcs[callee.index()];
-            guard_shaped(f) && f.size() <= cfg.inline_threshold * 4
-        }) else {
-            break;
-        };
+    while let Some((caller, block, v)) = find_site(m, |m, callee| {
+        let f = &m.funcs[callee.index()];
+        guard_shaped(f) && f.size() <= cfg.inline_threshold * 4
+    }) {
         if budget == 0 {
             break;
         }
@@ -61,7 +56,9 @@ pub fn partial_inliner(m: &mut Module, cfg: &PassConfig) -> bool {
 
 fn guard_shaped(f: &Function) -> bool {
     let entry = &f.blocks[f.entry.index()];
-    let Term::CondBr { t, f: fb, .. } = &entry.term else { return false };
+    let Term::CondBr { t, f: fb, .. } = &entry.term else {
+        return false;
+    };
     for target in [t, fb] {
         let tb = &f.blocks[target.index()];
         if matches!(tb.term, Term::Ret(_)) && tb.insts.len() <= 2 {
@@ -74,20 +71,17 @@ fn guard_shaped(f: &Function) -> bool {
 fn run_inliner(m: &mut Module, cfg: &PassConfig, always_only: bool) -> bool {
     let mut changed = false;
     let mut budget = INLINE_BUDGET;
-    loop {
-        let Some((caller, block, v)) = find_site(m, |m, callee| {
-            let f = &m.funcs[callee.index()];
-            if f.no_inline {
-                return false;
-            }
-            if always_only {
-                f.always_inline
-            } else {
-                f.always_inline || f.size() <= cfg.inline_threshold
-            }
-        }) else {
-            break;
-        };
+    while let Some((caller, block, v)) = find_site(m, |m, callee| {
+        let f = &m.funcs[callee.index()];
+        if f.no_inline {
+            return false;
+        }
+        if always_only {
+            f.always_inline
+        } else {
+            f.always_inline || f.size() <= cfg.inline_threshold
+        }
+    }) {
         if budget == 0 || m.funcs[caller.index()].size() > CALLER_SIZE_CAP {
             break;
         }
@@ -115,7 +109,9 @@ fn find_site(
         let caller_id = FuncId(ci as u32);
         for b in caller.reachable_blocks() {
             for &v in &caller.blocks[b.index()].insts {
-                let Some(Op::Call { callee, .. }) = caller.op(v) else { continue };
+                let Some(Op::Call { callee, .. }) = caller.op(v) else {
+                    continue;
+                };
                 let callee = *callee;
                 if callee == caller_id {
                     continue;
@@ -174,8 +170,10 @@ fn inline_site(m: &mut Module, caller_id: FuncId, call_block: BlockId, call_v: V
         .expect("call in its block");
     let tail: Vec<ValueId> = caller.blocks[call_block.index()].insts.split_off(pos + 1);
     caller.blocks[cont.index()].insts = tail;
-    let old_term =
-        std::mem::replace(&mut caller.blocks[call_block.index()].term, Term::Unreachable);
+    let old_term = std::mem::replace(
+        &mut caller.blocks[call_block.index()].term,
+        Term::Unreachable,
+    );
     // Successor phis must now name `cont` instead of `call_block`.
     for s in old_term.successors() {
         let insts = caller.blocks[s.index()].insts.clone();
@@ -250,7 +248,11 @@ fn inline_site(m: &mut Module, caller_id: FuncId, call_block: BlockId, call_v: V
         term.for_each_operand_mut(|o| *o = remap(o, &vmap));
         let new_term = match term {
             Term::Br(t) => Term::Br(bmap[&t]),
-            Term::CondBr { c, t, f } => Term::CondBr { c, t: bmap[&t], f: bmap[&f] },
+            Term::CondBr { c, t, f } => Term::CondBr {
+                c,
+                t: bmap[&t],
+                f: bmap[&f],
+            },
             Term::Switch { v, cases, default } => Term::Switch {
                 v,
                 cases: cases.into_iter().map(|(k, t)| (k, bmap[&t])).collect(),
@@ -275,7 +277,10 @@ fn inline_site(m: &mut Module, caller_id: FuncId, call_block: BlockId, call_v: V
             match live_rets.len() {
                 0 => Some(match ty {
                     Ty::I1 => Operand::bool(false),
-                    Ty::Ptr => Operand::Const { value: 0, ty: Ty::Ptr },
+                    Ty::Ptr => Operand::Const {
+                        value: 0,
+                        ty: Ty::Ptr,
+                    },
                     _ => Operand::i32(0),
                 }),
                 1 => Some(live_rets[0].1),
@@ -283,7 +288,9 @@ fn inline_site(m: &mut Module, caller_id: FuncId, call_block: BlockId, call_v: V
                     let phi = caller.insert_inst(
                         cont,
                         0,
-                        Op::Phi { incoming: live_rets },
+                        Op::Phi {
+                            incoming: live_rets,
+                        },
                         Some(ty),
                     );
                     Some(Operand::val(phi))
@@ -324,8 +331,12 @@ fn tailcall_function(m: &mut Module, fid: FuncId) -> bool {
     // the last instruction.
     let mut sites: Vec<(BlockId, ValueId, Vec<Operand>)> = Vec::new();
     for b in f.reachable_blocks() {
-        let Some(&last) = f.blocks[b.index()].insts.last() else { continue };
-        let Some(Op::Call { callee, args }) = f.op(last) else { continue };
+        let Some(&last) = f.blocks[b.index()].insts.last() else {
+            continue;
+        };
+        let Some(Op::Call { callee, args }) = f.op(last) else {
+            continue;
+        };
         if *callee != fid {
             continue;
         }
@@ -352,7 +363,14 @@ fn tailcall_function(m: &mut Module, fid: FuncId) -> bool {
     let params: Vec<Ty> = f.params.clone();
     let mut phis = Vec::new();
     for (i, ty) in params.iter().enumerate() {
-        let phi = f.insert_inst(old_entry, i, Op::Phi { incoming: Vec::new() }, Some(*ty));
+        let phi = f.insert_inst(
+            old_entry,
+            i,
+            Op::Phi {
+                incoming: Vec::new(),
+            },
+            Some(*ty),
+        );
         phis.push(phi);
         let p = f.param(i);
         f.replace_all_uses(p, Operand::val(phi));
@@ -404,16 +422,12 @@ pub fn function_attrs(m: &mut Module, _cfg: &PassConfig) -> bool {
                         // Accesses to the function's own non-escaping stack
                         // slots are invisible to callers (LLVM: such functions
                         // still qualify as readnone).
-                        Some(Op::Load { ptr, .. }) => {
-                            if !is_local_slot(f, ptr) {
-                                rn = false;
-                            }
+                        Some(Op::Load { ptr, .. }) if !is_local_slot(f, ptr) => {
+                            rn = false;
                         }
-                        Some(Op::Store { ptr, .. }) => {
-                            if !is_local_slot(f, ptr) {
-                                rn = false;
-                                ro = false;
-                            }
+                        Some(Op::Store { ptr, .. }) if !is_local_slot(f, ptr) => {
+                            rn = false;
+                            ro = false;
                         }
                         Some(Op::Ecall { .. }) => {
                             rn = false;
@@ -458,7 +472,9 @@ pub fn function_attrs(m: &mut Module, _cfg: &PassConfig) -> bool {
         for b in f.block_ids() {
             let insts = f.blocks[b.index()].insts.clone();
             for v in insts {
-                let Some(Op::Call { callee, .. }) = f.op(v) else { continue };
+                let Some(Op::Call { callee, .. }) = f.op(v) else {
+                    continue;
+                };
                 if readnone[callee.index()] && f.use_count(v) == 0 {
                     f.remove_inst(b, v);
                     any = true;
@@ -496,8 +512,9 @@ pub fn deadargelim(m: &mut Module, _cfg: &PassConfig) -> bool {
     let n = m.funcs.len();
     let mut dead: Vec<Vec<bool>> = Vec::with_capacity(n);
     for f in &m.funcs {
-        let d: Vec<bool> =
-            (0..f.params.len()).map(|i| f.use_count(f.param(i)) == 0).collect();
+        let d: Vec<bool> = (0..f.params.len())
+            .map(|i| f.use_count(f.param(i)) == 0)
+            .collect();
         dead.push(d);
     }
     let mut changed = false;
@@ -505,7 +522,9 @@ pub fn deadargelim(m: &mut Module, _cfg: &PassConfig) -> bool {
         for b in f.block_ids() {
             let insts = f.blocks[b.index()].insts.clone();
             for v in insts {
-                let Some(Op::Call { callee, args }) = f.op(v) else { continue };
+                let Some(Op::Call { callee, args }) = f.op(v) else {
+                    continue;
+                };
                 let callee = *callee;
                 let mut new_args = args.clone();
                 let mut local = false;
@@ -514,7 +533,10 @@ pub fn deadargelim(m: &mut Module, _cfg: &PassConfig) -> bool {
                         let ty = m_ty(a);
                         *a = match ty {
                             Some(Ty::I1) => Operand::bool(false),
-                            Some(Ty::Ptr) => Operand::Const { value: 0, ty: Ty::Ptr },
+                            Some(Ty::Ptr) => Operand::Const {
+                                value: 0,
+                                ty: Ty::Ptr,
+                            },
                             _ => Operand::i32(0),
                         };
                         local = true;
@@ -585,8 +607,12 @@ pub fn globalopt(m: &mut Module, _cfg: &PassConfig) -> bool {
         for b in f.block_ids() {
             let insts = f.blocks[b.index()].insts.clone();
             for v in insts {
-                let Some(Op::Load { ptr, ty }) = f.op(v).cloned() else { continue };
-                let Some((g, off)) = const_global_offset(f, &ptr) else { continue };
+                let Some(Op::Load { ptr, ty }) = f.op(v).cloned() else {
+                    continue;
+                };
+                let Some((g, off)) = const_global_offset(f, &ptr) else {
+                    continue;
+                };
                 if !readonly[g.index()] {
                     continue;
                 }
@@ -605,7 +631,10 @@ pub fn globalopt(m: &mut Module, _cfg: &PassConfig) -> bool {
                     Ty::I1 => Operand::bool(raw & 1 != 0),
                     Ty::I8 => Operand::i8(raw as u8),
                     Ty::I32 => Operand::i32(raw as i32),
-                    Ty::Ptr => Operand::Const { value: raw, ty: Ty::Ptr },
+                    Ty::Ptr => Operand::Const {
+                        value: raw,
+                        ty: Ty::Ptr,
+                    },
                 };
                 f.replace_all_uses(v, c);
                 f.remove_inst(b, v);
@@ -624,7 +653,12 @@ fn const_global_offset(f: &Function, o: &Operand) -> Option<(zkvmopt_ir::GlobalI
     match o {
         Operand::Value(v) => match f.op(*v)? {
             Op::GlobalAddr(g) => Some((*g, 0)),
-            Op::Gep { base, index, stride, offset } => {
+            Op::Gep {
+                base,
+                index,
+                stride,
+                offset,
+            } => {
                 let (g, base_off) = const_global_offset(f, base)?;
                 let i = index.as_const()?;
                 Some((g, base_off + i * (*stride as i64) + *offset as i64))
@@ -639,7 +673,9 @@ fn const_global_offset(f: &Function, o: &Operand) -> Option<(zkvmopt_ir::GlobalI
 /// Gut functions unreachable from `main` in the call graph (bodies become a
 /// single `unreachable`; ids stay stable).
 pub fn globaldce(m: &mut Module, _cfg: &PassConfig) -> bool {
-    let Some(main) = m.main_func() else { return false };
+    let Some(main) = m.main_func() else {
+        return false;
+    };
     let n = m.funcs.len();
     let mut live = vec![false; n];
     let mut work = vec![main];
@@ -791,8 +827,11 @@ mod tests {
                 return s;
             }
             fn main() -> i32 { return big(4); }";
-        let mut cfg = PassConfig::default();
-        cfg.inline_threshold = 1; // too small for `big`
+        // Threshold too small for `big`; always-inline must override it.
+        let cfg = PassConfig {
+            inline_threshold: 1,
+            ..Default::default()
+        };
         let mut m = zkvmopt_lang::compile(src).unwrap();
         crate::run_pass("always-inline", &mut m, &cfg);
         let main = &m.funcs[m.main_func().unwrap().index()];
@@ -865,8 +904,7 @@ mod tests {
         let src = "static T: [i32; 4] = [2, 4, 8, 16];
                    fn main() -> i32 { return T[0] + T[2]; }";
         let cfg = PassConfig::default();
-        let (before, after) =
-            check_pass_preserves(src, &["instcombine", "globalopt", "dce"], &cfg);
+        let (before, after) = check_pass_preserves(src, &["instcombine", "globalopt", "dce"], &cfg);
         assert!(after < before, "loads should fold: {before} -> {after}");
     }
 

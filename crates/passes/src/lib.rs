@@ -159,16 +159,16 @@ pub const PASSES: &[(&str, PassFn)] = &[
     ("speculative-execution", misc::speculative_execution),
     ("bounds-checking", misc::bounds_checking),
     ("div-rem-pairs", misc::div_rem_pairs),
-    ("loop-data-prefetch", misc::noop),  // (no-op)
-    ("hot-cold-splitting", misc::noop),  // (no-op)
-    ("slp-vectorizer", misc::noop),      // (no-op: no vector units)
-    ("loop-vectorize", misc::noop),      // (no-op: no vector units)
+    ("loop-data-prefetch", misc::noop),         // (no-op)
+    ("hot-cold-splitting", misc::noop),         // (no-op)
+    ("slp-vectorizer", misc::noop),             // (no-op: no vector units)
+    ("loop-vectorize", misc::noop),             // (no-op: no vector units)
     ("alignment-from-assumptions", misc::noop), // (no-op)
     ("strip-dead-prototypes", ipo::globaldce),
     ("partially-inline-libcalls", misc::noop), // (no-op: no libcalls)
-    ("libcalls-shrinkwrap", misc::noop), // (no-op)
-    ("float2int", misc::noop),           // (no-op: no floats)
-    ("lower-expect", misc::noop),        // (no-op: hints only)
+    ("libcalls-shrinkwrap", misc::noop),       // (no-op)
+    ("float2int", misc::noop),                 // (no-op: no floats)
+    ("lower-expect", misc::noop),              // (no-op: hints only)
     ("lower-constant-intrinsics", misc::noop), // (no-op)
 ];
 
@@ -211,8 +211,14 @@ pub enum OptLevel {
 
 impl OptLevel {
     /// All levels, in the paper's Figure 5 order.
-    pub const ALL: [OptLevel; 6] =
-        [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Os, OptLevel::Oz];
+    pub const ALL: [OptLevel; 6] = [
+        OptLevel::O0,
+        OptLevel::O1,
+        OptLevel::O2,
+        OptLevel::O3,
+        OptLevel::Os,
+        OptLevel::Oz,
+    ];
 
     /// Flag-style name (`"-O2"`).
     pub fn flag(self) -> &'static str {
@@ -443,7 +449,14 @@ mod tests {
     fn registry_has_the_studied_pass_axis() {
         let names = pass_names();
         assert!(names.len() >= 60, "registry has {} passes", names.len());
-        for key in ["inline", "licm", "loop-unroll", "gvn", "simplifycfg", "mem2reg"] {
+        for key in [
+            "inline",
+            "licm",
+            "loop-unroll",
+            "gvn",
+            "simplifycfg",
+            "mem2reg",
+        ] {
             assert!(names.contains(&key), "missing {key}");
         }
     }

@@ -15,9 +15,7 @@ use std::collections::{HashMap, HashSet};
 use zkvmopt_ir::cfg::Cfg;
 use zkvmopt_ir::dom::DomTree;
 use zkvmopt_ir::loops::{Loop, LoopForest};
-use zkvmopt_ir::{
-    BinOp, BlockId, Function, Module, Op, Operand, Pred, Term, Ty, ValueId,
-};
+use zkvmopt_ir::{BinOp, BlockId, Function, Module, Op, Operand, Pred, Term, Ty, ValueId};
 
 /// Loop blocks in a deterministic order (the set is hash-ordered; passes
 /// must not let hasher seeds influence which transformation happens first).
@@ -90,14 +88,20 @@ fn make_preheader(f: &mut Function, cfg: &Cfg, l: &Loop) {
     // Header phis: merge the outside edges in the preheader.
     let insts = f.blocks[header.index()].insts.clone();
     for v in insts {
-        let Some(Op::Phi { incoming }) = f.op(v).cloned() else { continue };
-        let outs: Vec<(BlockId, Operand)> =
-            incoming.iter().filter(|(p, _)| outside.contains(p)).cloned().collect();
-        let ins: Vec<(BlockId, Operand)> =
-            incoming.iter().filter(|(p, _)| !outside.contains(p)).cloned().collect();
-        let merged: Operand = if outs.len() == 1 {
-            outs[0].1
-        } else if outs.iter().all(|(_, o)| *o == outs[0].1) {
+        let Some(Op::Phi { incoming }) = f.op(v).cloned() else {
+            continue;
+        };
+        let outs: Vec<(BlockId, Operand)> = incoming
+            .iter()
+            .filter(|(p, _)| outside.contains(p))
+            .cloned()
+            .collect();
+        let ins: Vec<(BlockId, Operand)> = incoming
+            .iter()
+            .filter(|(p, _)| !outside.contains(p))
+            .cloned()
+            .collect();
+        let merged: Operand = if outs.iter().all(|(_, o)| *o == outs[0].1) {
             outs[0].1
         } else {
             let ty = f.ty(v).expect("phi typed");
@@ -115,18 +119,29 @@ fn make_preheader(f: &mut Function, cfg: &Cfg, l: &Loop) {
 }
 
 fn make_dedicated_exit(f: &mut Function, cfg: &Cfg, l: &Loop, e: BlockId) {
-    let inside: Vec<BlockId> =
-        cfg.unique_preds(e).into_iter().filter(|p| l.contains(*p)).collect();
+    let inside: Vec<BlockId> = cfg
+        .unique_preds(e)
+        .into_iter()
+        .filter(|p| l.contains(*p))
+        .collect();
     let ded = f.add_block();
     f.blocks[ded.index()].term = Term::Br(e);
     // Phis in e: split incoming between the dedicated block and direct preds.
     let insts = f.blocks[e.index()].insts.clone();
     for v in insts {
-        let Some(Op::Phi { incoming }) = f.op(v).cloned() else { continue };
-        let ins: Vec<(BlockId, Operand)> =
-            incoming.iter().filter(|(p, _)| inside.contains(p)).cloned().collect();
-        let outs: Vec<(BlockId, Operand)> =
-            incoming.iter().filter(|(p, _)| !inside.contains(p)).cloned().collect();
+        let Some(Op::Phi { incoming }) = f.op(v).cloned() else {
+            continue;
+        };
+        let ins: Vec<(BlockId, Operand)> = incoming
+            .iter()
+            .filter(|(p, _)| inside.contains(p))
+            .cloned()
+            .collect();
+        let outs: Vec<(BlockId, Operand)> = incoming
+            .iter()
+            .filter(|(p, _)| !inside.contains(p))
+            .cloned()
+            .collect();
         if ins.is_empty() {
             continue;
         }
@@ -339,7 +354,9 @@ fn licm_function(f: &mut Function) -> bool {
         order.sort_by_key(|&i| std::cmp::Reverse(forest.loops[i].depth));
         for li in order {
             let l = &forest.loops[li];
-            let Some(pre) = l.preheader(f, &cfg) else { continue };
+            let Some(pre) = l.preheader(f, &cfg) else {
+                continue;
+            };
             // Memory facts for this loop: what may be written inside?
             let mut loop_writes: Vec<Operand> = Vec::new();
             let mut unknown_writes = false;
@@ -376,8 +393,7 @@ fn licm_function(f: &mut Function) -> bool {
                     let ok = if op.is_speculatable() && !op.is_phi() {
                         true
                     } else if let Op::Load { ptr, .. } = op {
-                        !unknown_writes
-                            && loop_writes.iter().all(|w| !util::may_alias(f, w, ptr))
+                        !unknown_writes && loop_writes.iter().all(|w| !util::may_alias(f, w, ptr))
                     } else {
                         false
                     };
@@ -468,12 +484,17 @@ fn clone_loop(
         };
         let new_term = match term {
             Term::Br(t) => Term::Br(retarget_block(t)),
-            Term::CondBr { c, t, f: fb } => {
-                Term::CondBr { c, t: retarget_block(t), f: retarget_block(fb) }
-            }
+            Term::CondBr { c, t, f: fb } => Term::CondBr {
+                c,
+                t: retarget_block(t),
+                f: retarget_block(fb),
+            },
             Term::Switch { v, cases, default } => Term::Switch {
                 v,
-                cases: cases.into_iter().map(|(k, t)| (k, retarget_block(t))).collect(),
+                cases: cases
+                    .into_iter()
+                    .map(|(k, t)| (k, retarget_block(t)))
+                    .collect(),
                 default: retarget_block(default),
             },
             other => other,
@@ -484,7 +505,9 @@ fn clone_loop(
     for &e in &l.exits {
         let insts = f.blocks[e.index()].insts.clone();
         for pv in insts {
-            let Some(Op::Phi { incoming }) = f.op(pv).cloned() else { continue };
+            let Some(Op::Phi { incoming }) = f.op(pv).cloned() else {
+                continue;
+            };
             let mut additions: Vec<(BlockId, Operand)> = Vec::new();
             for (p, o) in &incoming {
                 if let Some(np) = bmap.get(p) {
@@ -517,20 +540,35 @@ fn counted_loop(f: &Function, cfg: &Cfg, l: &Loop) -> Option<CountedLoop> {
     let latch = l.latches[0];
     let pre = l.preheader(f, cfg)?;
     // Header: phi iv, then a compare driving the exit branch.
-    let Term::CondBr { c, t, f: fb } = &f.blocks[l.header.index()].term else { return None };
+    let Term::CondBr { c, t, f: fb } = &f.blocks[l.header.index()].term else {
+        return None;
+    };
     let Operand::Value(cv) = c else { return None };
-    let Some(Op::Icmp { pred, a, b }) = f.op(*cv) else { return None };
+    let Some(Op::Icmp { pred, a, b }) = f.op(*cv) else {
+        return None;
+    };
     let Operand::Value(iv) = a else { return None };
     let bound = b.as_const()?;
-    let Some(Op::Phi { incoming }) = f.op(*iv) else { return None };
+    let Some(Op::Phi { incoming }) = f.op(*iv) else {
+        return None;
+    };
     if !f.blocks[l.header.index()].insts.contains(iv) {
         return None;
     }
     let (_, init_op) = incoming.iter().find(|(p, _)| *p == pre)?;
     let init = init_op.as_const()?;
     let (_, step_op) = incoming.iter().find(|(p, _)| *p == latch)?;
-    let Operand::Value(stepv) = step_op else { return None };
-    let Some(Op::Bin { op: BinOp::Add, a: sa, b: sb }) = f.op(*stepv) else { return None };
+    let Operand::Value(stepv) = step_op else {
+        return None;
+    };
+    let Some(Op::Bin {
+        op: BinOp::Add,
+        a: sa,
+        b: sb,
+    }) = f.op(*stepv)
+    else {
+        return None;
+    };
     if *sa != Operand::Value(*iv) {
         return None;
     }
@@ -578,7 +616,14 @@ fn counted_loop(f: &Function, cfg: &Cfg, l: &Loop) -> Option<CountedLoop> {
     if trips < 0 {
         return None;
     }
-    Some(CountedLoop { iv: *iv, init, step, bound, pred: *pred, trips: trips as u64 })
+    Some(CountedLoop {
+        iv: *iv,
+        init,
+        step,
+        bound,
+        pred: *pred,
+        trips: trips as u64,
+    })
 }
 
 /// Full loop unrolling via iteration peeling.
@@ -633,17 +678,21 @@ fn unroll_function(f: &mut Function, threshold: usize, min_depth: usize) -> bool
                 continue;
             }
             // Only unroll innermost loops (no nested loop inside).
-            let is_innermost = forest
-                .loops
-                .iter()
-                .enumerate()
-                .all(|(j, l2)| j == li || !l.blocks.contains(&l2.header) || l2.header == l.header);
+            let is_innermost =
+                forest.loops.iter().enumerate().all(|(j, l2)| {
+                    j == li || !l.blocks.contains(&l2.header) || l2.header == l.header
+                });
             if !is_innermost {
                 continue;
             }
-            let Some(counted) = counted_loop(f, &cfg, l) else { continue };
-            let body_size: usize =
-                l.blocks.iter().map(|b| f.blocks[b.index()].insts.len()).sum();
+            let Some(counted) = counted_loop(f, &cfg, l) else {
+                continue;
+            };
+            let body_size: usize = l
+                .blocks
+                .iter()
+                .map(|b| f.blocks[b.index()].insts.len())
+                .sum();
             if counted.trips == 0 || counted.trips > 128 {
                 continue;
             }
@@ -656,7 +705,9 @@ fn unroll_function(f: &mut Function, threshold: usize, min_depth: usize) -> bool
         let Some((li, trips)) = candidate else { break };
         let l = forest.loops[li].clone();
         let cfg = Cfg::new(f);
-        let Some(pre) = l.preheader(f, &cfg) else { break };
+        let Some(pre) = l.preheader(f, &cfg) else {
+            break;
+        };
         // Peel `trips` iterations; the residual loop then runs zero times and
         // its header check folds away.
         let mut entry_from = pre;
@@ -681,14 +732,18 @@ fn peel_once(f: &mut Function, l: &Loop, entry_from: BlockId) -> BlockId {
     let latch = l.latches[0];
     let cloned_latch = bmap[&latch];
     // Entry now flows into the cloned header.
-    f.blocks[entry_from.index()].term.retarget(l.header, cloned_header);
+    f.blocks[entry_from.index()]
+        .term
+        .retarget(l.header, cloned_header);
     // Cloned header phis: they still have incoming from (entry_from (as
     // original pred name), cloned latch). Keep only the entry edge and
     // collapse, recording substitutions for the back-edge remap below.
     let mut collapsed: HashMap<ValueId, Operand> = HashMap::new();
     let insts = f.blocks[cloned_header.index()].insts.clone();
     for v in insts {
-        let Some(Op::Phi { incoming }) = f.op(v).cloned() else { continue };
+        let Some(Op::Phi { incoming }) = f.op(v).cloned() else {
+            continue;
+        };
         // The edge from outside the clone: its pred is not a cloned block
         // and not the original latch (those edges became original-header
         // edges). The entry value is the one whose pred isn't in bmap values.
@@ -726,7 +781,9 @@ fn peel_once(f: &mut Function, l: &Loop, entry_from: BlockId) -> BlockId {
         cur
     };
     for v in insts {
-        let Some(Op::Phi { incoming }) = f.op(v).cloned() else { continue };
+        let Some(Op::Phi { incoming }) = f.op(v).cloned() else {
+            continue;
+        };
         let mut new_incoming: Vec<(BlockId, Operand)> = Vec::new();
         for (p, o) in &incoming {
             if *p == entry_from || (!l.contains(*p) && !bmap.values().any(|nb| nb == p)) {
@@ -761,7 +818,9 @@ pub fn loop_deletion(m: &mut Module, _cfg: &PassConfig) -> bool {
                 if l.exits.len() != 1 {
                     continue;
                 }
-                let Some(pre) = l.preheader(f, &cfg) else { continue };
+                let Some(pre) = l.preheader(f, &cfg) else {
+                    continue;
+                };
                 // Must be provably finite: canonical counted loop.
                 if counted_loop(f, &cfg, l).is_none() {
                     continue;
@@ -839,7 +898,9 @@ pub fn loop_idiom(m: &mut Module, _cfg: &PassConfig) -> bool {
             if l.blocks.len() != 2 || l.latches.len() != 1 {
                 continue; // header + single body block
             }
-            let Some(counted) = counted_loop(f, &cfg, l) else { continue };
+            let Some(counted) = counted_loop(f, &cfg, l) else {
+                continue;
+            };
             if counted.step != 1 || counted.init != 0 || counted.trips % 4 != 0 {
                 continue;
             }
@@ -849,14 +910,24 @@ pub fn loop_idiom(m: &mut Module, _cfg: &PassConfig) -> bool {
             if insts.len() != 3 {
                 continue;
             }
-            let Some(Op::Gep { base, index, stride: 1, offset: 0 }) = f.op(insts[0]).cloned()
+            let Some(Op::Gep {
+                base,
+                index,
+                stride: 1,
+                offset: 0,
+            }) = f.op(insts[0]).cloned()
             else {
                 continue;
             };
             if index != Operand::Value(counted.iv) {
                 continue;
             }
-            let Some(Op::Store { ptr, val, ty: Ty::I8 }) = f.op(insts[1]).cloned() else {
+            let Some(Op::Store {
+                ptr,
+                val,
+                ty: Ty::I8,
+            }) = f.op(insts[1]).cloned()
+            else {
                 continue;
             };
             if ptr != Operand::val(insts[0]) {
@@ -873,15 +944,21 @@ pub fn loop_idiom(m: &mut Module, _cfg: &PassConfig) -> bool {
                 let b = (byte as u8) as u32;
                 (b | (b << 8) | (b << 16) | (b << 24)) as i32
             };
-            *f.op_mut(insts[0]).expect("gep") =
-                Op::Gep { base, index: Operand::Value(counted.iv), stride: 4, offset: 0 };
+            *f.op_mut(insts[0]).expect("gep") = Op::Gep {
+                base,
+                index: Operand::Value(counted.iv),
+                stride: 4,
+                offset: 0,
+            };
             *f.op_mut(insts[1]).expect("store") = Op::Store {
                 ptr: Operand::val(insts[0]),
                 val: Operand::i32(word),
                 ty: Ty::I32,
             };
             // Shrink the bound: find the header compare and divide by 4.
-            let Term::CondBr { c, .. } = &f.blocks[l.header.index()].term else { continue };
+            let Term::CondBr { c, .. } = &f.blocks[l.header.index()].term else {
+                continue;
+            };
             let Operand::Value(cv) = *c else { continue };
             if let Some(Op::Icmp { b: bound_op, .. }) = f.op_mut(cv) {
                 *bound_op = Operand::i32((counted.bound / 4) as i32);
@@ -900,10 +977,14 @@ pub fn indvars(m: &mut Module, _cfg: &PassConfig) -> bool {
         changed |= loop_simplify_function(f);
         let (cfg, _dom, forest) = analyze(f);
         for l in &forest.loops {
-            let Some(counted) = counted_loop(f, &cfg, l) else { continue };
+            let Some(counted) = counted_loop(f, &cfg, l) else {
+                continue;
+            };
             // Rewrite `i != N` to `i < N` when step is 1 and init <= N.
             if counted.pred == Pred::Ne && counted.step == 1 && counted.init <= counted.bound {
-                let Term::CondBr { c, .. } = &f.blocks[l.header.index()].term else { continue };
+                let Term::CondBr { c, .. } = &f.blocks[l.header.index()].term else {
+                    continue;
+                };
                 let Operand::Value(cv) = *c else { continue };
                 if let Some(Op::Icmp { pred, .. }) = f.op_mut(cv) {
                     *pred = Pred::Slt;
@@ -964,16 +1045,24 @@ pub fn loop_reduce(m: &mut Module, _cfg: &PassConfig) -> bool {
             let (cfg, _dom, forest) = analyze(f);
             let mut did = false;
             'loops: for l in &forest.loops {
-                let Some(counted) = counted_loop(f, &cfg, l) else { continue };
+                let Some(counted) = counted_loop(f, &cfg, l) else {
+                    continue;
+                };
                 if l.latches.len() != 1 {
                     continue;
                 }
                 let latch = l.latches[0];
-                let Some(pre) = l.preheader(f, &cfg) else { continue };
+                let Some(pre) = l.preheader(f, &cfg) else {
+                    continue;
+                };
                 for b in sorted_blocks(l) {
                     let insts = f.blocks[b.index()].insts.clone();
                     for v in insts {
-                        let Some(Op::Bin { op: BinOp::Mul, a, b: rhs }) = f.op(v).cloned()
+                        let Some(Op::Bin {
+                            op: BinOp::Mul,
+                            a,
+                            b: rhs,
+                        }) = f.op(v).cloned()
                         else {
                             continue;
                         };
@@ -986,7 +1075,9 @@ pub fn loop_reduce(m: &mut Module, _cfg: &PassConfig) -> bool {
                         let j = f.insert_inst(
                             l.header,
                             0,
-                            Op::Phi { incoming: Vec::new() },
+                            Op::Phi {
+                                incoming: Vec::new(),
+                            },
                             Some(ty),
                         );
                         let init = BinOp::Mul.eval32(counted.init, c) as i32;
@@ -1041,7 +1132,9 @@ pub fn loop_fission(m: &mut Module, _cfg: &PassConfig) -> bool {
             if l.blocks.len() != 2 || l.latches.len() != 1 || l.exits.len() != 1 {
                 continue;
             }
-            let Some(_) = counted_loop(f, &cfg, l) else { continue };
+            let Some(_) = counted_loop(f, &cfg, l) else {
+                continue;
+            };
             let body = l.latches[0];
             let exit = l.exits[0];
             // No loads, no calls; stores to ≥ 2 distinct bases; nothing
@@ -1129,7 +1222,9 @@ pub fn loop_fission(m: &mut Module, _cfg: &PassConfig) -> bool {
                     }
                 } else {
                     // Subsequent copies: previous clone -> pre2.
-                    f.blocks[insert_after_exit_of.index()].term.retarget(exit, pre2);
+                    f.blocks[insert_after_exit_of.index()]
+                        .term
+                        .retarget(exit, pre2);
                 }
                 // Record this clone's exiting block (its header clone exits).
                 let mut clone_exiting = cloned_header;
@@ -1180,7 +1275,9 @@ pub fn loop_unswitch(m: &mut Module, _cfg: &PassConfig) -> bool {
             if l.blocks.len() > 16 {
                 continue;
             }
-            let Some(pre) = l.preheader(f, &cfg) else { continue };
+            let Some(pre) = l.preheader(f, &cfg) else {
+                continue;
+            };
             // Exits must have no phis (pre-LCSSA shape).
             for &e in &l.exits {
                 if f.blocks[e.index()]
@@ -1236,7 +1333,9 @@ pub fn loop_unswitch(m: &mut Module, _cfg: &PassConfig) -> bool {
                     }
                 }
             }
-            let Some((cond_block, c)) = cond else { continue };
+            let Some((cond_block, c)) = cond else {
+                continue;
+            };
             // Clone the loop; original gets c := true, clone gets c := false.
             let (bmap, _vmap) = clone_loop(f, l, None);
             let cloned_header = bmap[&l.header];
@@ -1253,8 +1352,11 @@ pub fn loop_unswitch(m: &mut Module, _cfg: &PassConfig) -> bool {
                 }
             }
             // Preheader: branch on the invariant condition.
-            f.blocks[pre.index()].term =
-                Term::CondBr { c, t: l.header, f: cloned_header };
+            f.blocks[pre.index()].term = Term::CondBr {
+                c,
+                t: l.header,
+                f: cloned_header,
+            };
             // Specialize the branch in both copies.
             if let Term::CondBr { t, .. } = f.blocks[cond_block.index()].term.clone() {
                 f.blocks[cond_block.index()].term = Term::Br(t);
@@ -1295,7 +1397,9 @@ fn extract_one(m: &mut Module, fi: usize) -> bool {
         if l.depth != 1 || l.exits.len() != 1 {
             continue;
         }
-        let Some(_) = l.preheader(f, &cfg) else { continue };
+        let Some(_) = l.preheader(f, &cfg) else {
+            continue;
+        };
         // Exit must be dedicated.
         if cfg.unique_preds(l.exits[0]).iter().any(|p| !l.contains(*p)) {
             continue;
@@ -1379,8 +1483,9 @@ fn extract_one(m: &mut Module, fi: usize) -> bool {
         }
         let mut term = f.blocks[b.index()].term.clone();
         term.for_each_operand_mut(|o| *o = remap(o, &vmap));
-        let ret_val: Option<Operand> =
-            live_out.first().map(|(v, _)| remap(&Operand::Value(*v), &vmap));
+        let ret_val: Option<Operand> = live_out
+            .first()
+            .map(|(v, _)| remap(&Operand::Value(*v), &vmap));
         let retarget = |t: BlockId| -> Option<BlockId> { bmap.get(&t).copied() };
         let new_term = match term {
             Term::Br(t) => match retarget(t) {
@@ -1414,13 +1519,22 @@ fn extract_one(m: &mut Module, fi: usize) -> bool {
     // exit block.
     let f = &mut m.funcs[fi];
     let args: Vec<Operand> = live_in.iter().map(|(v, _)| Operand::Value(*v)).collect();
-    let call = f.add_inst(pre, Op::Call { callee: new_id, args }, ret);
+    let call = f.add_inst(
+        pre,
+        Op::Call {
+            callee: new_id,
+            args,
+        },
+        ret,
+    );
     f.blocks[pre.index()].term = Term::Br(exit);
     // Exit phis: they referenced loop blocks; all their loop incoming values
     // are the (single) live-out.
     let insts = f.blocks[exit.index()].insts.clone();
     for v in insts {
-        let Some(Op::Phi { incoming }) = f.op(v).cloned() else { continue };
+        let Some(Op::Phi { incoming }) = f.op(v).cloned() else {
+            continue;
+        };
         let all_loop = incoming.iter().all(|(p, _)| l.contains(*p));
         if all_loop {
             f.replace_all_uses(v, Operand::val(call));
@@ -1436,8 +1550,11 @@ fn extract_one(m: &mut Module, fi: usize) -> bool {
     true
 }
 
+/// A list of live (value, type) pairs at a loop boundary.
+type LiveVals = Vec<(ValueId, Ty)>;
+
 /// Values flowing into / out of a loop: (value, type) lists.
-fn loop_liveness(f: &Function, l: &Loop) -> (Vec<(ValueId, Ty)>, Vec<(ValueId, Ty)>) {
+fn loop_liveness(f: &Function, l: &Loop) -> (LiveVals, LiveVals) {
     let defined_in: HashSet<ValueId> = l
         .blocks
         .iter()
@@ -1518,7 +1635,9 @@ pub fn loop_predication(m: &mut Module, _cfg: &PassConfig) -> bool {
                     continue;
                 }
                 let sv = f.blocks[t.index()].insts[0];
-                let Some(Op::Store { ptr, val, ty }) = f.op(sv).cloned() else { continue };
+                let Some(Op::Store { ptr, val, ty }) = f.op(sv).cloned() else {
+                    continue;
+                };
                 // Operands must be defined outside T (they dominate A).
                 let in_t = |o: &Operand| match o {
                     Operand::Value(v) => f.blocks[t.index()].insts.contains(v),
@@ -1540,10 +1659,22 @@ pub fn loop_predication(m: &mut Module, _cfg: &PassConfig) -> bool {
                 let old = f.add_inst(a, Op::Load { ptr, ty }, Some(ty));
                 let sel = f.add_inst(
                     a,
-                    Op::Select { c, t: val, f: Operand::val(old) },
+                    Op::Select {
+                        c,
+                        t: val,
+                        f: Operand::val(old),
+                    },
                     Some(ty),
                 );
-                f.add_inst(a, Op::Store { ptr, val: Operand::val(sel), ty }, None);
+                f.add_inst(
+                    a,
+                    Op::Store {
+                        ptr,
+                        val: Operand::val(sel),
+                        ty,
+                    },
+                    None,
+                );
                 f.blocks[a.index()].term = Term::Br(j);
                 util::remove_unreachable(f);
                 changed = true;
@@ -1569,7 +1700,9 @@ pub fn irce(m: &mut Module, _cfg: &PassConfig) -> bool {
         changed |= loop_simplify_function(f);
         let (cfg, _dom, forest) = analyze(f);
         for l in &forest.loops {
-            let Some(counted) = counted_loop(f, &cfg, l) else { continue };
+            let Some(counted) = counted_loop(f, &cfg, l) else {
+                continue;
+            };
             if counted.step <= 0 {
                 continue;
             }
@@ -1590,7 +1723,9 @@ pub fn irce(m: &mut Module, _cfg: &PassConfig) -> bool {
                 }
                 let insts = f.blocks[b.index()].insts.clone();
                 for v in insts {
-                    let Some(Op::Icmp { pred, a, b: rhs }) = f.op(v).cloned() else { continue };
+                    let Some(Op::Icmp { pred, a, b: rhs }) = f.op(v).cloned() else {
+                        continue;
+                    };
                     if a != Operand::Value(counted.iv) {
                         continue;
                     }
@@ -1658,7 +1793,9 @@ fn rotate_one(f: &mut Function) -> bool {
             continue;
         }
         let latch = l.latches[0];
-        let Some(pre) = l.preheader(f, &cfg) else { continue };
+        let Some(pre) = l.preheader(f, &cfg) else {
+            continue;
+        };
         let exit = l.exits[0];
         // Header must be the exiting block with a small, speculatable body.
         let Term::CondBr { c, t, f: fb } = f.blocks[l.header.index()].term.clone() else {
@@ -1693,7 +1830,7 @@ fn rotate_one(f: &mut Function) -> bool {
         if body_insts.len() > 8
             || !body_insts
                 .iter()
-                .all(|&v| f.op(v).map_or(false, |o| o.is_speculatable()))
+                .all(|&v| f.op(v).is_some_and(|o| o.is_speculatable()))
         {
             continue;
         }
@@ -1748,9 +1885,17 @@ fn rotate_one(f: &mut Function) -> bool {
             }
         };
         let c_pre = clone_cond(f, pre, pre);
-        f.blocks[pre.index()].term = Term::CondBr { c: c_pre, t: l.header, f: exit };
+        f.blocks[pre.index()].term = Term::CondBr {
+            c: c_pre,
+            t: l.header,
+            f: exit,
+        };
         let c_latch = clone_cond(f, latch, latch);
-        f.blocks[latch.index()].term = Term::CondBr { c: c_latch, t: l.header, f: exit };
+        f.blocks[latch.index()].term = Term::CondBr {
+            c: c_latch,
+            t: l.header,
+            f: exit,
+        };
         // Header now falls through into the body unconditionally.
         f.blocks[l.header.index()].term = Term::Br(t);
         return true;

@@ -21,7 +21,10 @@ fn zero_of(ty: Ty) -> Operand {
         Ty::I1 => Operand::bool(false),
         Ty::I8 => Operand::i8(0),
         Ty::I32 => Operand::i32(0),
-        Ty::Ptr => Operand::Const { value: 0, ty: Ty::Ptr },
+        Ty::Ptr => Operand::Const {
+            value: 0,
+            ty: Ty::Ptr,
+        },
     }
 }
 
@@ -36,16 +39,23 @@ pub fn mem2reg(m: &mut Module, _cfg: &PassConfig) -> bool {
 
 /// Promote only the allocas accepted by `want` (used by `licm`'s
 /// load/store-promotion, which scopes promotion to loop-accessed slots).
-pub fn promote_function_filtered(f: &mut Function, want: impl Fn(&Function, ValueId) -> bool) -> bool {
-    let vars: Vec<(ValueId, Ty)> =
-        promotable_allocas(f).into_iter().filter(|(v, _)| want(f, *v)).collect();
+pub fn promote_function_filtered(
+    f: &mut Function,
+    want: impl Fn(&Function, ValueId) -> bool,
+) -> bool {
+    let vars: Vec<(ValueId, Ty)> = promotable_allocas(f)
+        .into_iter()
+        .filter(|(v, _)| want(f, *v))
+        .collect();
     promote_vars(f, vars)
 }
 
 fn promotable_allocas(f: &Function) -> Vec<(ValueId, Ty)> {
     let mut out = Vec::new();
     for &v in &f.blocks[f.entry.index()].insts {
-        let Some(Op::Alloca { elem, count }) = f.op(v) else { continue };
+        let Some(Op::Alloca { elem, count }) = f.op(v) else {
+            continue;
+        };
         if *count != 1 {
             continue;
         }
@@ -112,8 +122,14 @@ fn promote_vars(f: &mut Function, vars: Vec<(ValueId, Ty)>) -> bool {
         while let Some(b) = work.pop() {
             for &df in &frontiers[b.index()] {
                 if has_phi.insert(df) {
-                    let phi =
-                        f.insert_inst(df, 0, Op::Phi { incoming: Vec::new() }, Some(*ty));
+                    let phi = f.insert_inst(
+                        df,
+                        0,
+                        Op::Phi {
+                            incoming: Vec::new(),
+                        },
+                        Some(*ty),
+                    );
                     phi_at.insert((df, vi), phi);
                     work.push(df);
                 }
@@ -155,32 +171,33 @@ fn promote_vars(f: &mut Function, vars: Vec<(ValueId, Ty)>) -> bool {
                     match f.op(v) {
                         Some(Op::Phi { .. }) => {
                             // Is it one of ours?
-                            if let Some((_, vi)) =
-                                phi_at.iter().find_map(|((pb, vi), pv)| {
-                                    (*pv == v && *pb == b).then_some((*pb, *vi))
-                                })
-                            {
+                            if let Some((_, vi)) = phi_at.iter().find_map(|((pb, vi), pv)| {
+                                (*pv == v && *pb == b).then_some((*pb, *vi))
+                            }) {
                                 stacks[vi].push(Operand::val(v));
                                 pushes[vi] += 1;
                             }
                         }
-                        Some(Op::Load { ptr, .. }) => {
-                            if let Operand::Value(p) = ptr {
-                                if let Some(&vi) = var_index.get(p) {
-                                    let cur = *stacks[vi].last().expect("stack");
-                                    subst.insert(v, cur);
-                                    kill.push((b, v));
-                                }
+                        Some(Op::Load {
+                            ptr: Operand::Value(p),
+                            ..
+                        }) => {
+                            if let Some(&vi) = var_index.get(p) {
+                                let cur = *stacks[vi].last().expect("stack");
+                                subst.insert(v, cur);
+                                kill.push((b, v));
                             }
                         }
-                        Some(Op::Store { ptr, val, .. }) => {
-                            if let Operand::Value(p) = ptr {
-                                if let Some(&vi) = var_index.get(p) {
-                                    let val = *val;
-                                    stacks[vi].push(val);
-                                    pushes[vi] += 1;
-                                    kill.push((b, v));
-                                }
+                        Some(Op::Store {
+                            ptr: Operand::Value(p),
+                            val,
+                            ..
+                        }) => {
+                            if let Some(&vi) = var_index.get(p) {
+                                let val = *val;
+                                stacks[vi].push(val);
+                                pushes[vi] += 1;
+                                kill.push((b, v));
                             }
                         }
                         _ => {}
@@ -255,7 +272,9 @@ pub fn collapse_trivial_phis(f: &mut Function) -> bool {
         for b in f.block_ids() {
             let insts = f.blocks[b.index()].insts.clone();
             for v in insts {
-                let Some(Op::Phi { incoming }) = f.op(v) else { continue };
+                let Some(Op::Phi { incoming }) = f.op(v) else {
+                    continue;
+                };
                 let mut unique: Option<Operand> = None;
                 let mut trivial = true;
                 for (_, o) in incoming {
@@ -304,9 +323,11 @@ fn sroa_function(f: &mut Function) -> bool {
     let mut changed = false;
     let entry_insts = f.blocks[f.entry.index()].insts.clone();
     'cand: for v in entry_insts {
-        let Some(Op::Alloca { elem, count }) = f.op(v) else { continue };
+        let Some(Op::Alloca { elem, count }) = f.op(v) else {
+            continue;
+        };
         let (elem, count) = (*elem, *count);
-        if count < 2 || count > 32 {
+        if !(2..=32).contains(&count) {
             continue;
         }
         // Every use must be a gep with a constant in-bounds index, matching
@@ -322,10 +343,14 @@ fn sroa_function(f: &mut Function) -> bool {
                     continue;
                 }
                 match op {
-                    Op::Gep { base, index, stride, offset }
-                        if *base == Operand::Value(v)
-                            && *stride == elem.size_bytes()
-                            && *offset == 0 =>
+                    Op::Gep {
+                        base,
+                        index,
+                        stride,
+                        offset,
+                    } if *base == Operand::Value(v)
+                        && *stride == elem.size_bytes()
+                        && *offset == 0 =>
                     {
                         match index.as_const() {
                             Some(k) if k >= 0 && (k as u32) < count => {
@@ -486,11 +511,32 @@ fn demote_phi(f: &mut Function, b: BlockId, v: ValueId, ty: Ty) {
     // defined by a (possibly demoted) phi, then store into the slot.
     for (pred, op) in incoming {
         let at = f.blocks[pred.index()].insts.len();
-        f.insert_inst(pred, at, Op::Store { ptr: Operand::val(slot), val: op, ty }, None);
+        f.insert_inst(
+            pred,
+            at,
+            Op::Store {
+                ptr: Operand::val(slot),
+                val: op,
+                ty,
+            },
+            None,
+        );
     }
     // Replace the phi with a load at the head of the block.
-    let pos = f.blocks[b.index()].insts.iter().position(|x| *x == v).expect("phi present");
-    let load = f.insert_inst(b, pos, Op::Load { ptr: Operand::val(slot), ty }, Some(ty));
+    let pos = f.blocks[b.index()]
+        .insts
+        .iter()
+        .position(|x| *x == v)
+        .expect("phi present");
+    let load = f.insert_inst(
+        b,
+        pos,
+        Op::Load {
+            ptr: Operand::val(slot),
+            ty,
+        },
+        Some(ty),
+    );
     f.replace_all_uses(v, Operand::val(load));
     f.remove_inst(b, v);
 }
@@ -506,7 +552,11 @@ fn demote_value(f: &mut Function, v: ValueId, def_bb: BlockId, ty: Ty) {
     f.insert_inst(
         def_bb,
         pos + 1,
-        Op::Store { ptr: Operand::val(slot), val: Operand::val(v), ty },
+        Op::Store {
+            ptr: Operand::val(slot),
+            val: Operand::val(v),
+            ty,
+        },
         None,
     );
     // Replace uses in *other* blocks with fresh loads.
@@ -522,7 +572,15 @@ fn demote_value(f: &mut Function, v: ValueId, def_bb: BlockId, ty: Ty) {
                 op.for_each_operand(|o| uses |= *o == Operand::Value(v));
             }
             if uses {
-                let load = f.insert_inst(b, i, Op::Load { ptr: Operand::val(slot), ty }, Some(ty));
+                let load = f.insert_inst(
+                    b,
+                    i,
+                    Op::Load {
+                        ptr: Operand::val(slot),
+                        ty,
+                    },
+                    Some(ty),
+                );
                 if let Some(op) = f.op_mut(u) {
                     op.for_each_operand_mut(|o| {
                         if *o == Operand::Value(v) {
@@ -536,10 +594,20 @@ fn demote_value(f: &mut Function, v: ValueId, def_bb: BlockId, ty: Ty) {
             }
         }
         let mut term_uses = false;
-        f.blocks[b.index()].term.for_each_operand(|o| term_uses |= *o == Operand::Value(v));
+        f.blocks[b.index()]
+            .term
+            .for_each_operand(|o| term_uses |= *o == Operand::Value(v));
         if term_uses {
             let at = f.blocks[b.index()].insts.len();
-            let load = f.insert_inst(b, at, Op::Load { ptr: Operand::val(slot), ty }, Some(ty));
+            let load = f.insert_inst(
+                b,
+                at,
+                Op::Load {
+                    ptr: Operand::val(slot),
+                    ty,
+                },
+                Some(ty),
+            );
             f.blocks[b.index()].term.for_each_operand_mut(|o| {
                 if *o == Operand::Value(v) {
                     *o = Operand::val(load);
@@ -662,6 +730,10 @@ mod tests {
                 }
                 return x;
             }";
-        check_pass_preserves(src, &["mem2reg", "reg2mem", "mem2reg"], &PassConfig::default());
+        check_pass_preserves(
+            src,
+            &["mem2reg", "reg2mem", "mem2reg"],
+            &PassConfig::default(),
+        );
     }
 }

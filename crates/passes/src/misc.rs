@@ -15,7 +15,9 @@ pub fn speculative_execution(m: &mut Module, _cfg: &PassConfig) -> bool {
     for f in &mut m.funcs {
         let cfg_ = Cfg::new(f);
         for &b in cfg_.rpo() {
-            let Term::CondBr { t, f: fb, .. } = f.blocks[b.index()].term else { continue };
+            let Term::CondBr { t, f: fb, .. } = f.blocks[b.index()].term else {
+                continue;
+            };
             for arm in [t, fb] {
                 if cfg_.unique_preds(arm).len() != 1 || arm == b {
                     continue;
@@ -24,7 +26,9 @@ pub fn speculative_execution(m: &mut Module, _cfg: &PassConfig) -> bool {
                 // operands are all defined outside the arm.
                 let mut hoisted = 0;
                 while hoisted < PER_ARM_BUDGET {
-                    let Some(&v) = f.blocks[arm.index()].insts.first() else { break };
+                    let Some(&v) = f.blocks[arm.index()].insts.first() else {
+                        break;
+                    };
                     let Some(op) = f.op(v) else { break };
                     if !op.is_speculatable() || op.is_phi() {
                         break;
@@ -60,7 +64,13 @@ pub fn bounds_checking(m: &mut Module, _cfg: &PassConfig) -> bool {
             let mut i = 0;
             while i < f.blocks[b.index()].insts.len() {
                 let v = f.blocks[b.index()].insts[i];
-                let Some(Op::Gep { base, index, stride, offset: 0 }) = f.op(v).cloned() else {
+                let Some(Op::Gep {
+                    base,
+                    index,
+                    stride,
+                    offset: 0,
+                }) = f.op(v).cloned()
+                else {
                     i += 1;
                     continue;
                 };
@@ -103,7 +113,11 @@ pub fn bounds_checking(m: &mut Module, _cfg: &PassConfig) -> bool {
                 let guard = f.insert_inst(
                     b,
                     i,
-                    Op::Icmp { pred: Pred::Uge, a: index, b: Operand::i32(count as i32) },
+                    Op::Icmp {
+                        pred: Pred::Uge,
+                        a: index,
+                        b: Operand::i32(count as i32),
+                    },
                     Some(Ty::I1),
                 );
                 let trap_bb = f.add_block();
@@ -112,8 +126,7 @@ pub fn bounds_checking(m: &mut Module, _cfg: &PassConfig) -> bool {
                 // into cont_bb.
                 let tail: Vec<_> = f.blocks[b.index()].insts.split_off(i + 1);
                 f.blocks[cont_bb.index()].insts = tail;
-                let old_term =
-                    std::mem::replace(&mut f.blocks[b.index()].term, Term::Unreachable);
+                let old_term = std::mem::replace(&mut f.blocks[b.index()].term, Term::Unreachable);
                 // Fix successor phis: they now come from cont_bb.
                 for s in old_term.successors() {
                     let insts = f.blocks[s.index()].insts.clone();
@@ -128,10 +141,16 @@ pub fn bounds_checking(m: &mut Module, _cfg: &PassConfig) -> bool {
                     }
                 }
                 f.blocks[cont_bb.index()].term = old_term;
-                f.blocks[b.index()].term =
-                    Term::CondBr { c: Operand::val(guard), t: trap_bb, f: cont_bb };
+                f.blocks[b.index()].term = Term::CondBr {
+                    c: Operand::val(guard),
+                    t: trap_bb,
+                    f: cont_bb,
+                };
                 let halt = f.new_value(
-                    Op::Ecall { code: ecall::HALT, args: vec![Operand::i32(98)] },
+                    Op::Ecall {
+                        code: ecall::HALT,
+                        args: vec![Operand::i32(98)],
+                    },
                     Some(Ty::I32),
                 );
                 f.blocks[trap_bb.index()].insts.push(halt);
@@ -158,11 +177,21 @@ pub fn div_rem_pairs(m: &mut Module, _cfg: &PassConfig) -> bool {
             // both are in the same block (adjacency canonicalization).
             let insts = f.blocks[b.index()].insts.clone();
             for (i, &v) in insts.iter().enumerate() {
-                let Some(Op::Bin { op: BinOp::DivS, a, b: rhs }) = f.op(v).cloned() else {
+                let Some(Op::Bin {
+                    op: BinOp::DivS,
+                    a,
+                    b: rhs,
+                }) = f.op(v).cloned()
+                else {
                     continue;
                 };
                 for (j, &w) in insts.iter().enumerate().skip(i + 2) {
-                    let Some(Op::Bin { op: BinOp::RemS, a: ra, b: rb }) = f.op(w) else {
+                    let Some(Op::Bin {
+                        op: BinOp::RemS,
+                        a: ra,
+                        b: rb,
+                    }) = f.op(w)
+                    else {
                         continue;
                     };
                     if *ra == a && *rb == rhs {

@@ -42,8 +42,12 @@ fn analyze(f: &Function, arg_lattice: &[Lat]) -> SccpResult {
     for (i, l) in arg_lattice.iter().enumerate() {
         values[i] = *l;
     }
-    for i in arg_lattice.len()..f.params.len() {
-        values[i] = Lat::Bottom;
+    for v in values
+        .iter_mut()
+        .take(f.params.len())
+        .skip(arg_lattice.len())
+    {
+        *v = Lat::Bottom;
     }
     let mut exec_edges: HashSet<(BlockId, BlockId)> = HashSet::new();
     let mut exec_blocks: HashSet<BlockId> = HashSet::new();
@@ -105,7 +109,11 @@ fn analyze(f: &Function, arg_lattice: &[Lat]) -> SccpResult {
                             // A select with constant condition can still fold.
                             if let Op::Select { c, t, f: fo } = &folded {
                                 if let Lat::Const(cc) = eval_operand(&values, c) {
-                                    let pick = if cc.as_const().unwrap_or(0) != 0 { t } else { fo };
+                                    let pick = if cc.as_const().unwrap_or(0) != 0 {
+                                        t
+                                    } else {
+                                        fo
+                                    };
                                     eval_operand(&values, pick)
                                 } else {
                                     Lat::Bottom
@@ -133,10 +141,11 @@ fn analyze(f: &Function, arg_lattice: &[Lat]) -> SccpResult {
                 }
             }
             // Terminator: mark outgoing edges.
-            let mark = |from: BlockId, to: BlockId,
-                            exec_edges: &mut HashSet<(BlockId, BlockId)>,
-                            exec_blocks: &mut HashSet<BlockId>,
-                            changed: &mut bool| {
+            let mark = |from: BlockId,
+                        to: BlockId,
+                        exec_edges: &mut HashSet<(BlockId, BlockId)>,
+                        exec_blocks: &mut HashSet<BlockId>,
+                        changed: &mut bool| {
                 if exec_edges.insert((from, to)) {
                     *changed = true;
                 }
@@ -148,7 +157,11 @@ fn analyze(f: &Function, arg_lattice: &[Lat]) -> SccpResult {
                 Term::Br(t) => mark(b, *t, &mut exec_edges, &mut exec_blocks, &mut changed),
                 Term::CondBr { c, t, f: fb } => match eval_operand(&values, c) {
                     Lat::Const(cc) => {
-                        let taken = if cc.as_const().unwrap_or(0) != 0 { *t } else { *fb };
+                        let taken = if cc.as_const().unwrap_or(0) != 0 {
+                            *t
+                        } else {
+                            *fb
+                        };
                         mark(b, taken, &mut exec_edges, &mut exec_blocks, &mut changed);
                     }
                     Lat::Bottom => {
@@ -187,7 +200,11 @@ fn analyze(f: &Function, arg_lattice: &[Lat]) -> SccpResult {
             }
         }
     }
-    SccpResult { values, executable: exec_blocks, ret }
+    SccpResult {
+        values,
+        executable: exec_blocks,
+        ret,
+    }
 }
 
 /// Apply an analysis result: substitute constants, fold branches, and drop
@@ -201,7 +218,7 @@ fn transform(f: &mut Function, res: &SccpResult) -> bool {
             if f.op(v).is_none() {
                 continue;
             }
-            if f.op(v).map_or(true, |op| op.has_side_effects()) {
+            if f.op(v).is_none_or(|op| op.has_side_effects()) {
                 continue;
             }
             if f.use_count(v) > 0 {
@@ -233,7 +250,8 @@ fn transform(f: &mut Function, res: &SccpResult) -> bool {
         }
     }
     changed |= util::remove_unreachable(f);
-    for func_changed in [util::sweep_dead(f)] {
+    {
+        let func_changed = util::sweep_dead(f);
         changed |= func_changed;
     }
     changed
@@ -258,8 +276,11 @@ pub fn ipsccp(m: &mut Module, cfg: &PassConfig) -> bool {
         let mut round_changed = false;
         // Gather per-callee argument lattices over all call sites.
         let nfuncs = m.funcs.len();
-        let mut arg_lats: Vec<Vec<Lat>> =
-            m.funcs.iter().map(|f| vec![Lat::Top; f.params.len()]).collect();
+        let mut arg_lats: Vec<Vec<Lat>> = m
+            .funcs
+            .iter()
+            .map(|f| vec![Lat::Top; f.params.len()])
+            .collect();
         let mut called: Vec<bool> = vec![false; nfuncs];
         for f in &m.funcs {
             for b in f.reachable_blocks() {
@@ -268,9 +289,7 @@ pub fn ipsccp(m: &mut Module, cfg: &PassConfig) -> bool {
                         called[callee.index()] = true;
                         for (i, a) in args.iter().enumerate() {
                             let lat = match a {
-                                Operand::Const { .. } => {
-                                    Lat::Const(util::normalize_const(*a))
-                                }
+                                Operand::Const { .. } => Lat::Const(util::normalize_const(*a)),
                                 _ => Lat::Bottom,
                             };
                             let cur = arg_lats[callee.index()][i];
@@ -286,7 +305,10 @@ pub fn ipsccp(m: &mut Module, cfg: &PassConfig) -> bool {
         for (fi, f) in m.funcs.iter_mut().enumerate() {
             let is_main = f.name == "main";
             let lats: Vec<Lat> = if called[fi] && !is_main {
-                arg_lats[fi].iter().map(|l| if *l == Lat::Top { Lat::Bottom } else { *l }).collect()
+                arg_lats[fi]
+                    .iter()
+                    .map(|l| if *l == Lat::Top { Lat::Bottom } else { *l })
+                    .collect()
             } else {
                 vec![Lat::Bottom; f.params.len()]
             };
@@ -312,7 +334,9 @@ pub fn ipsccp(m: &mut Module, cfg: &PassConfig) -> bool {
             for b in f.block_ids() {
                 let insts = f.blocks[b.index()].insts.clone();
                 for v in insts {
-                    let Some(Op::Call { callee, .. }) = f.op(v) else { continue };
+                    let Some(Op::Call { callee, .. }) = f.op(v) else {
+                        continue;
+                    };
                     if let Some(c) = const_rets.get(&callee.index()) {
                         if f.use_count(v) > 0 {
                             let c = *c;
@@ -370,7 +394,9 @@ fn thread_one(f: &mut Function) -> bool {
             .take_while(|&v| matches!(f.op(v), Some(Op::Phi { .. })))
             .collect();
         let rest: Vec<ValueId> = insts[phis.len()..].to_vec();
-        let Term::CondBr { c, t, f: fb } = f.blocks[b.index()].term.clone() else { continue };
+        let Term::CondBr { c, t, f: fb } = f.blocks[b.index()].term.clone() else {
+            continue;
+        };
         if t == fb {
             continue;
         }
@@ -405,17 +431,28 @@ fn thread_one(f: &mut Function) -> bool {
         let decide = |f: &Function, pred: BlockId| -> Option<bool> {
             let Operand::Value(cv) = c else { return None };
             if phis.contains(&cv) {
-                let Some(Op::Phi { incoming }) = f.op(cv) else { return None };
+                let Some(Op::Phi { incoming }) = f.op(cv) else {
+                    return None;
+                };
                 let (_, o) = incoming.iter().find(|(p, _)| *p == pred)?;
                 o.as_const().map(|x| x != 0)
             } else if rest.len() == 1 && rest[0] == cv {
-                let Some(Op::Icmp { pred: pr, a, b: rhs }) = f.op(cv) else { return None };
+                let Some(Op::Icmp {
+                    pred: pr,
+                    a,
+                    b: rhs,
+                }) = f.op(cv)
+                else {
+                    return None;
+                };
                 let k = rhs.as_const()?;
                 let Operand::Value(av) = a else { return None };
                 if !phis.contains(av) {
                     return None;
                 }
-                let Some(Op::Phi { incoming }) = f.op(*av) else { return None };
+                let Some(Op::Phi { incoming }) = f.op(*av) else {
+                    return None;
+                };
                 let (_, o) = incoming.iter().find(|(p, _)| *p == pred)?;
                 let x = o.as_const()?;
                 Some(pr.eval32(x, k))
@@ -428,7 +465,9 @@ fn thread_one(f: &mut Function) -> bool {
             continue;
         }
         for pred in preds {
-            let Some(taken) = decide(f, pred) else { continue };
+            let Some(taken) = decide(f, pred) else {
+                continue;
+            };
             let target = if taken { t } else { fb };
             // The threaded target must be able to accept `pred` as a new
             // predecessor: fix its phis using b's phi values along this edge.
@@ -436,7 +475,9 @@ fn thread_one(f: &mut Function) -> bool {
             let mut new_incomings: Vec<(ValueId, Operand)> = Vec::new();
             let mut ok = true;
             for tv in &target_insts {
-                let Some(Op::Phi { incoming }) = f.op(*tv) else { continue };
+                let Some(Op::Phi { incoming }) = f.op(*tv) else {
+                    continue;
+                };
                 let Some((_, o)) = incoming.iter().find(|(p, _)| *p == b) else {
                     ok = false;
                     break;
@@ -493,9 +534,13 @@ pub fn correlated_propagation(m: &mut Module, _cfg: &PassConfig) -> bool {
         let dom = DomTree::new(f, &cfg_);
         let mut edits: Vec<(BlockId, ValueId, Operand)> = Vec::new();
         for &b in cfg_.rpo() {
-            let Term::CondBr { c, t, f: fb } = &f.blocks[b.index()].term else { continue };
+            let Term::CondBr { c, t, f: fb } = &f.blocks[b.index()].term else {
+                continue;
+            };
             let Operand::Value(cv) = c else { continue };
-            let Some(Op::Icmp { pred, a, b: rhs }) = f.op(*cv) else { continue };
+            let Some(Op::Icmp { pred, a, b: rhs }) = f.op(*cv) else {
+                continue;
+            };
             let Operand::Value(x) = a else { continue };
             let Some(k) = rhs.as_const() else { continue };
             // x == K on the true edge; x != K means the false edge knows x == K.
@@ -513,7 +558,10 @@ pub fn correlated_propagation(m: &mut Module, _cfg: &PassConfig) -> bool {
             }
             let ty = f.ty(*x);
             let kc = match ty {
-                Some(ty) => Operand::Const { value: ty.truncate_s(k), ty },
+                Some(ty) => Operand::Const {
+                    value: ty.truncate_s(k),
+                    ty,
+                },
                 None => continue,
             };
             // Replace uses of x in all blocks dominated by known_block.
@@ -548,7 +596,7 @@ pub fn correlated_propagation(m: &mut Module, _cfg: &PassConfig) -> bool {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+
     use crate::testutil::check_pass_preserves;
     use crate::PassConfig;
 
@@ -566,7 +614,11 @@ mod tests {
         for p in ["mem2reg", "sccp", "simplifycfg"] {
             crate::run_pass(p, &mut m, &cfg);
         }
-        assert_eq!(m.funcs[0].reachable_blocks().len(), 1, "size after: {after}");
+        assert_eq!(
+            m.funcs[0].reachable_blocks().len(),
+            1,
+            "size after: {after}"
+        );
     }
 
     #[test]

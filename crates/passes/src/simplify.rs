@@ -34,7 +34,7 @@ fn instsimplify_function(f: &mut Function) -> bool {
                 let repl = util::const_fold(f, op)
                     .or_else(|| util::algebraic_simplify(op))
                     .or_else(|| simplify_icmp_identities(op))
-                    .or_else(|| match op {
+                    .or(match op {
                         Op::Copy(x) => Some(*x),
                         _ => None,
                     });
@@ -60,7 +60,10 @@ fn instsimplify_function(f: &mut Function) -> bool {
 fn simplify_icmp_identities(op: &Op) -> Option<Operand> {
     if let Op::Icmp { pred, a, b } = op {
         if a == b && a.as_const().is_none() {
-            let v = matches!(pred, Pred::Eq | Pred::Sle | Pred::Sge | Pred::Ule | Pred::Uge);
+            let v = matches!(
+                pred,
+                Pred::Eq | Pred::Sle | Pred::Sge | Pred::Ule | Pred::Uge
+            );
             return Some(Operand::bool(v));
         }
     }
@@ -103,7 +106,11 @@ fn instcombine_function(f: &mut Function, cfg: &PassConfig) -> bool {
                 Op::Bin { op: bop, a, b: rhs } => {
                     // Canonicalize constants to the RHS of commutative ops.
                     if bop.commutative() && a.as_const().is_some() && rhs.as_const().is_none() {
-                        *f.op_mut(v).expect("inst") = Op::Bin { op: bop, a: rhs, b: a };
+                        *f.op_mut(v).expect("inst") = Op::Bin {
+                            op: bop,
+                            a: rhs,
+                            b: a,
+                        };
                         changed = true;
                         continue;
                     }
@@ -123,7 +130,12 @@ fn instcombine_function(f: &mut Function, cfg: &PassConfig) -> bool {
                     }
                     // Associative constant folding: (x op c1) op c2 -> x op (c1∘c2).
                     if let (Operand::Value(av), Some(c2)) = (a, rhs.as_const()) {
-                        if let Some(Op::Bin { op: inner, a: ia, b: ib }) = f.op(av) {
+                        if let Some(Op::Bin {
+                            op: inner,
+                            a: ia,
+                            b: ib,
+                        }) = f.op(av)
+                        {
                             if let (inner, ia, Some(c1)) = (*inner, *ia, ib.as_const()) {
                                 let fold = match (inner, bop) {
                                     (BinOp::Add, BinOp::Add) => {
@@ -194,11 +206,17 @@ fn instcombine_function(f: &mut Function, cfg: &PassConfig) -> bool {
                                 // power of two: i32::MIN's bit pattern is a
                                 // power of two but the expansion is invalid
                                 // for it.
-                                BinOp::DivS if k > 0 && k < 31 && c > 1 && cfg.strength_reduce_div => {
+                                BinOp::DivS
+                                    if k > 0 && k < 31 && c > 1 && cfg.strength_reduce_div =>
+                                {
                                     let sign = f.insert_inst(
                                         b,
                                         idx,
-                                        Op::Bin { op: BinOp::ShrA, a, b: Operand::i32(31) },
+                                        Op::Bin {
+                                            op: BinOp::ShrA,
+                                            a,
+                                            b: Operand::i32(31),
+                                        },
                                         Some(Ty::I32),
                                     );
                                     let bias = f.insert_inst(
@@ -235,7 +253,12 @@ fn instcombine_function(f: &mut Function, cfg: &PassConfig) -> bool {
                         }
                     }
                 }
-                Op::Gep { base, index, stride, offset } => {
+                Op::Gep {
+                    base,
+                    index,
+                    stride,
+                    offset,
+                } => {
                     // Constant index folds into the offset.
                     if let Some(i) = index.as_const() {
                         if i != 0 {
@@ -252,7 +275,12 @@ fn instcombine_function(f: &mut Function, cfg: &PassConfig) -> bool {
                     }
                     // gep(base, j + c, s, o) -> gep(base, j, s, o + c*s)
                     if let Operand::Value(iv) = index {
-                        if let Some(Op::Bin { op: BinOp::Add, a: ia, b: ib }) = f.op(iv) {
+                        if let Some(Op::Bin {
+                            op: BinOp::Add,
+                            a: ia,
+                            b: ib,
+                        }) = f.op(iv)
+                        {
                             if let (ia, Some(c)) = (*ia, ib.as_const()) {
                                 let extra = (c as i32).wrapping_mul(stride as i32);
                                 *f.op_mut(v).expect("inst") = Op::Gep {
@@ -289,28 +317,36 @@ fn instcombine_function(f: &mut Function, cfg: &PassConfig) -> bool {
                         }
                     }
                 }
-                Op::Select { c, t, f: fo } => {
+                Op::Select { c, t, f: fo }
                     // select c, 1, 0  ->  zext c
-                    if t.is_const_val(1) && fo.is_const_val(0) {
-                        *f.op_mut(v).expect("inst") =
-                            Op::Cast { kind: CastKind::Zext, v: c, to: Ty::I32 };
+                    if t.is_const_val(1) && fo.is_const_val(0) => {
+                        *f.op_mut(v).expect("inst") = Op::Cast {
+                            kind: CastKind::Zext,
+                            v: c,
+                            to: Ty::I32,
+                        };
                         changed = true;
                         continue;
                     }
-                }
                 Op::Icmp { pred, a, b: rhs } => {
                     // Canonicalize constant to RHS.
                     if a.as_const().is_some() && rhs.as_const().is_none() {
-                        *f.op_mut(v).expect("inst") =
-                            Op::Icmp { pred: pred.swapped(), a: rhs, b: a };
+                        *f.op_mut(v).expect("inst") = Op::Icmp {
+                            pred: pred.swapped(),
+                            a: rhs,
+                            b: a,
+                        };
                         changed = true;
                         continue;
                     }
                     // icmp ne (zext b), 0  ->  b  (and eq -> !b via select)
                     if rhs.is_const_val(0) {
                         if let Operand::Value(av) = a {
-                            if let Some(Op::Cast { kind: CastKind::Zext, v: src, to: Ty::I32 }) =
-                                f.op(av)
+                            if let Some(Op::Cast {
+                                kind: CastKind::Zext,
+                                v: src,
+                                to: Ty::I32,
+                            }) = f.op(av)
                             {
                                 if f.operand_ty(src) == Some(Ty::I1) && pred == Pred::Ne {
                                     let src = *src;
@@ -372,14 +408,18 @@ pub fn dse(m: &mut Module, _cfg: &PassConfig) -> bool {
             let insts = f.blocks[b.index()].insts.clone();
             let mut dead: Vec<ValueId> = Vec::new();
             for (i, &v) in insts.iter().enumerate() {
-                let Some(Op::Store { ptr, ty, .. }) = f.op(v) else { continue };
+                let Some(Op::Store { ptr, ty, .. }) = f.op(v) else {
+                    continue;
+                };
                 let ptr = *ptr;
                 let width = ty.size_bytes();
                 // Look forward for an overwriting store with no intervening
                 // may-alias read or call.
                 for &w in &insts[i + 1..] {
                     match f.op(w) {
-                        Some(Op::Store { ptr: p2, ty: t2, .. }) => {
+                        Some(Op::Store {
+                            ptr: p2, ty: t2, ..
+                        }) => {
                             if t2.size_bytes() >= width && util::same_address(f, p2, &ptr) {
                                 dead.push(v);
                                 break;
@@ -388,10 +428,8 @@ pub fn dse(m: &mut Module, _cfg: &PassConfig) -> bool {
                                 break;
                             }
                         }
-                        Some(Op::Load { ptr: p2, .. }) => {
-                            if util::may_alias(f, p2, &ptr) {
-                                break;
-                            }
+                        Some(Op::Load { ptr: p2, .. }) if util::may_alias(f, p2, &ptr) => {
+                            break;
                         }
                         Some(Op::Call { .. }) | Some(Op::Ecall { .. }) => break,
                         _ => {}
@@ -499,7 +537,13 @@ pub fn mergereturn(m: &mut Module, _cfg: &PassConfig) -> bool {
         let unified = f.add_block();
         match f.ret {
             Some(ty) => {
-                let phi = f.add_inst(unified, Op::Phi { incoming: Vec::new() }, Some(ty));
+                let phi = f.add_inst(
+                    unified,
+                    Op::Phi {
+                        incoming: Vec::new(),
+                    },
+                    Some(ty),
+                );
                 for b in &rets {
                     let val = match &f.blocks[b.index()].term {
                         Term::Ret(Some(v)) => *v,
@@ -538,11 +582,18 @@ pub fn lower_switch(m: &mut Module, _cfg: &PassConfig) -> bool {
                 let test = f.add_block();
                 let c = f.add_inst(
                     test,
-                    Op::Icmp { pred: Pred::Eq, a: v, b: Operand::i32(k as i32) },
+                    Op::Icmp {
+                        pred: Pred::Eq,
+                        a: v,
+                        b: Operand::i32(k as i32),
+                    },
                     Some(Ty::I1),
                 );
-                f.blocks[test.index()].term =
-                    Term::CondBr { c: Operand::val(c), t: target, f: next_test };
+                f.blocks[test.index()].term = Term::CondBr {
+                    c: Operand::val(c),
+                    t: target,
+                    f: next_test,
+                };
                 next_test = test;
             }
             f.blocks[b.index()].term = Term::Br(next_test);
@@ -592,8 +643,18 @@ pub fn mldst_motion(m: &mut Module, _cfg: &PassConfig) -> bool {
                 Some(v) => v,
                 None => continue,
             };
-            let (Some(Op::Store { ptr: p1, val: v1, ty: ty1 }), Some(Op::Store { ptr: p2, val: v2, ty: ty2 })) =
-                (f.op(lt).cloned(), f.op(lf).cloned())
+            let (
+                Some(Op::Store {
+                    ptr: p1,
+                    val: v1,
+                    ty: ty1,
+                }),
+                Some(Op::Store {
+                    ptr: p2,
+                    val: v2,
+                    ty: ty2,
+                }),
+            ) = (f.op(lt).cloned(), f.op(lf).cloned())
             else {
                 continue;
             };
@@ -608,7 +669,9 @@ pub fn mldst_motion(m: &mut Module, _cfg: &PassConfig) -> bool {
             let phi = f.insert_inst(
                 join,
                 0,
-                Op::Phi { incoming: vec![(t, v1), (fb, v2)] },
+                Op::Phi {
+                    incoming: vec![(t, v1), (fb, v2)],
+                },
                 Some(ty),
             );
             let pos = f.blocks[join.index()]
@@ -619,7 +682,11 @@ pub fn mldst_motion(m: &mut Module, _cfg: &PassConfig) -> bool {
             f.insert_inst(
                 join,
                 pos,
-                Op::Store { ptr: p1, val: Operand::val(phi), ty },
+                Op::Store {
+                    ptr: p1,
+                    val: Operand::val(phi),
+                    ty,
+                },
                 None,
             );
             changed = true;
@@ -715,7 +782,9 @@ fn merge_straightline(f: &mut Function) -> bool {
         let cfg_ = Cfg::new(f);
         let mut merged = false;
         for &b1 in cfg_.rpo() {
-            let Term::Br(b2) = f.blocks[b1.index()].term else { continue };
+            let Term::Br(b2) = f.blocks[b1.index()].term else {
+                continue;
+            };
             if b2 == f.entry || b2 == b1 {
                 continue;
             }
@@ -772,7 +841,9 @@ fn forward_empty_blocks(f: &mut Function) -> bool {
         if !f.blocks[b.index()].insts.is_empty() {
             continue;
         }
-        let Term::Br(target) = f.blocks[b.index()].term else { continue };
+        let Term::Br(target) = f.blocks[b.index()].term else {
+            continue;
+        };
         if target == b {
             continue;
         }
@@ -804,7 +875,9 @@ fn if_convert(f: &mut Function, budget: usize) -> bool {
     let mut changed = false;
     let cfg_ = Cfg::new(f);
     for &b in cfg_.rpo() {
-        let Term::CondBr { c, t, f: fb } = f.blocks[b.index()].term.clone() else { continue };
+        let Term::CondBr { c, t, f: fb } = f.blocks[b.index()].term.clone() else {
+            continue;
+        };
         if t == fb {
             continue;
         }
@@ -814,7 +887,7 @@ fn if_convert(f: &mut Function, budget: usize) -> bool {
                 && f.blocks[arm.index()]
                     .insts
                     .iter()
-                    .all(|&v| f.op(v).map_or(false, |o| o.is_speculatable()))
+                    .all(|&v| f.op(v).is_some_and(|o| o.is_speculatable()))
         };
         // Full diamond: b -> {t, fb} -> join.
         let (ts, fs) = (
@@ -831,7 +904,9 @@ fn if_convert(f: &mut Function, budget: usize) -> bool {
                 f.blocks[b.index()].insts.extend(f_insts);
                 let join_insts = f.blocks[join.index()].insts.clone();
                 for v in join_insts {
-                    let Some(Op::Phi { incoming }) = f.op(v).cloned() else { continue };
+                    let Some(Op::Phi { incoming }) = f.op(v).cloned() else {
+                        continue;
+                    };
                     let vt = incoming.iter().find(|(p, _)| *p == t).map(|(_, o)| *o);
                     let vf = incoming.iter().find(|(p, _)| *p == fb).map(|(_, o)| *o);
                     if let (Some(vt), Some(vf)) = (vt, vf) {
@@ -841,8 +916,7 @@ fn if_convert(f: &mut Function, budget: usize) -> bool {
                             .cloned()
                             .collect();
                         let ty = f.ty(v).expect("phi typed");
-                        let sel =
-                            f.add_inst(b, Op::Select { c, t: vt, f: vf }, Some(ty));
+                        let sel = f.add_inst(b, Op::Select { c, t: vt, f: vf }, Some(ty));
                         if rest.is_empty() {
                             f.replace_all_uses(v, Operand::val(sel));
                             f.remove_inst(join, v);
@@ -867,7 +941,9 @@ fn if_convert(f: &mut Function, budget: usize) -> bool {
                 let join_insts = f.blocks[join.index()].insts.clone();
                 let mut all_resolved = true;
                 for v in join_insts {
-                    let Some(Op::Phi { incoming }) = f.op(v).cloned() else { continue };
+                    let Some(Op::Phi { incoming }) = f.op(v).cloned() else {
+                        continue;
+                    };
                     let va = incoming.iter().find(|(p, _)| *p == arm).map(|(_, o)| *o);
                     let vb = incoming.iter().find(|(p, _)| *p == b).map(|(_, o)| *o);
                     if let (Some(va), Some(vb)) = (va, vb) {
@@ -948,7 +1024,10 @@ mod tests {
             let mut n = 0;
             for b in f.reachable_blocks() {
                 for &v in &f.blocks[b.index()].insts {
-                    if let Some(Op::Bin { op: BinOp::DivS, .. }) = f.op(v) {
+                    if let Some(Op::Bin {
+                        op: BinOp::DivS, ..
+                    }) = f.op(v)
+                    {
                         n += 1;
                     }
                 }
@@ -985,13 +1064,20 @@ mod tests {
         crate::run_pass("mem2reg", &mut m, &cfg);
         crate::run_pass("simplifycfg", &mut m, &cfg);
         let f = &m.funcs[0];
-        assert_eq!(f.reachable_blocks().len(), 1, "branch should be if-converted");
+        assert_eq!(
+            f.reachable_blocks().len(),
+            1,
+            "branch should be if-converted"
+        );
         // zk-aware config must keep the branch (P4).
         let zk = PassConfig::zk_aware();
         let mut m2 = zkvmopt_lang::compile(src).unwrap();
         crate::run_pass("mem2reg", &mut m2, &zk);
         crate::run_pass("simplifycfg", &mut m2, &zk);
-        assert!(m2.funcs[0].reachable_blocks().len() > 1, "zk config keeps branches");
+        assert!(
+            m2.funcs[0].reachable_blocks().len() > 1,
+            "zk config keeps branches"
+        );
     }
 
     #[test]

@@ -40,7 +40,12 @@ pub fn resolved_location(f: &Function, o: &Operand) -> Option<(PtrBase, i64)> {
         Operand::Value(v) => match f.op(*v)? {
             Op::Alloca { .. } => Some((PtrBase::Alloca(*v), 0)),
             Op::GlobalAddr(g) => Some((PtrBase::Global(*g), 0)),
-            Op::Gep { base, index, stride, offset } => {
+            Op::Gep {
+                base,
+                index,
+                stride,
+                offset,
+            } => {
                 let (b, off) = resolved_location(f, base)?;
                 let i = index.as_const()?;
                 Some((b, off + i * (*stride as i64) + *offset as i64))
@@ -154,7 +159,10 @@ pub fn const_fold(f: &Function, op: &Op) -> Option<Operand> {
                 Ty::I32 => (val as i32) as i64,
                 t => t.truncate_u(val),
             };
-            Some(Operand::Const { value: norm, ty: *to })
+            Some(Operand::Const {
+                value: norm,
+                ty: *to,
+            })
         }
         Op::Copy(x) => {
             if x.as_const().is_some() {
@@ -196,10 +204,7 @@ pub fn sweep_dead(f: &mut Function) -> bool {
                 .insts
                 .iter()
                 .copied()
-                .filter(|&v| {
-                    !used[v.index()]
-                        && f.op(v).map_or(false, |op| !op.has_side_effects())
-                })
+                .filter(|&v| !used[v.index()] && f.op(v).is_some_and(|op| !op.has_side_effects()))
                 .collect();
             for v in dead {
                 f.remove_inst(b, v);
@@ -217,8 +222,7 @@ pub fn sweep_dead(f: &mut Function) -> bool {
 /// remaining blocks (removing incoming edges from deleted predecessors).
 /// Phis left with a single incoming value are replaced by that value.
 pub fn remove_unreachable(f: &mut Function) -> bool {
-    let reachable: std::collections::HashSet<BlockId> =
-        f.reachable_blocks().into_iter().collect();
+    let reachable: std::collections::HashSet<BlockId> = f.reachable_blocks().into_iter().collect();
     let mut changed = false;
     // Tombstone instructions of unreachable blocks.
     for b in f.block_ids() {
@@ -248,11 +252,12 @@ pub fn cleanup_phis(f: &mut Function) -> bool {
     let mut changed = false;
     let mut singles: Vec<(BlockId, ValueId, Operand)> = Vec::new();
     for &b in cfg.rpo() {
-        let preds: std::collections::HashSet<BlockId> =
-            cfg.unique_preds(b).into_iter().collect();
+        let preds: std::collections::HashSet<BlockId> = cfg.unique_preds(b).into_iter().collect();
         let insts = f.blocks[b.index()].insts.clone();
         for v in insts {
-            let Some(Op::Phi { incoming }) = f.op_mut(v) else { continue };
+            let Some(Op::Phi { incoming }) = f.op_mut(v) else {
+                continue;
+            };
             let before = incoming.len();
             incoming.retain(|(p, _)| preds.contains(p));
             if incoming.len() != before {
@@ -315,11 +320,11 @@ pub fn may_have_side_effects(m: &Module, fi: usize, depth: usize) -> bool {
         for &v in &f.blocks[b.index()].insts {
             match f.op(v) {
                 Some(Op::Store { .. }) | Some(Op::Ecall { .. }) => return true,
-                Some(Op::Call { callee, .. }) => {
-                    if callee.index() == fi || may_have_side_effects(m, callee.index(), depth - 1)
-                    {
-                        return true;
-                    }
+                Some(Op::Call { callee, .. })
+                    if (callee.index() == fi
+                        || may_have_side_effects(m, callee.index(), depth - 1)) =>
+                {
+                    return true;
                 }
                 _ => {}
             }
@@ -486,12 +491,20 @@ mod tests {
         let f = Function::new("f", vec![], None);
         let folded = const_fold(
             &f,
-            &Op::Bin { op: BinOp::Add, a: Operand::i32(2), b: Operand::i32(3) },
+            &Op::Bin {
+                op: BinOp::Add,
+                a: Operand::i32(2),
+                b: Operand::i32(3),
+            },
         );
         assert_eq!(folded, Some(Operand::i32(5)));
         let cmp = const_fold(
             &f,
-            &Op::Icmp { pred: zkvmopt_ir::Pred::Slt, a: Operand::i32(-1), b: Operand::i32(0) },
+            &Op::Icmp {
+                pred: zkvmopt_ir::Pred::Slt,
+                a: Operand::i32(-1),
+                b: Operand::i32(0),
+            },
         );
         assert_eq!(cmp, Some(Operand::bool(true)));
     }
@@ -500,15 +513,27 @@ mod tests {
     fn algebraic_identities() {
         let x = Operand::Value(ValueId(0));
         assert_eq!(
-            algebraic_simplify(&Op::Bin { op: BinOp::Add, a: x, b: Operand::i32(0) }),
+            algebraic_simplify(&Op::Bin {
+                op: BinOp::Add,
+                a: x,
+                b: Operand::i32(0)
+            }),
             Some(x)
         );
         assert_eq!(
-            algebraic_simplify(&Op::Bin { op: BinOp::Sub, a: x, b: x }),
+            algebraic_simplify(&Op::Bin {
+                op: BinOp::Sub,
+                a: x,
+                b: x
+            }),
             Some(Operand::i32(0))
         );
         assert_eq!(
-            algebraic_simplify(&Op::Bin { op: BinOp::Mul, a: x, b: Operand::i32(2) }),
+            algebraic_simplify(&Op::Bin {
+                op: BinOp::Mul,
+                a: x,
+                b: Operand::i32(2)
+            }),
             None
         );
     }

@@ -158,9 +158,7 @@ pub fn toy_prove(model: &ProvingModel, r: &ExecutionReport) -> ToyProof {
 /// the public leaf and checks it against the root via a fresh proof path).
 pub fn toy_verify(model: &ProvingModel, r: &ExecutionReport, proof: &ToyProof) -> bool {
     let rebuilt = toy_prove(model, r);
-    rebuilt.root == proof.root
-        && proof.journal == r.journal
-        && proof.exit_code == r.exit_code
+    rebuilt.root == proof.root && proof.journal == r.journal && proof.exit_code == r.exit_code
 }
 
 #[cfg(test)]
@@ -200,7 +198,10 @@ mod tests {
         let mut r = report(100);
         r.user_cycles = model.unit_rows - 10;
         r.total_cycles = r.user_cycles;
-        r.mix = zkvmopt_vm::InstMix { alu: r.user_cycles, ..Default::default() };
+        r.mix = zkvmopt_vm::InstMix {
+            alu: r.user_cycles,
+            ..Default::default()
+        };
         let one = model.proving_time_ms(&r);
         assert_eq!(model.units(&r), 1);
         r.user_cycles = model.unit_rows * 2;
@@ -208,7 +209,10 @@ mod tests {
         r.mix.alu = r.user_cycles;
         let three = model.proving_time_ms(&r);
         assert!(model.units(&r) >= 2);
-        assert!(three > one * 1.5, "crossing shards must jump: {one} -> {three}");
+        assert!(
+            three > one * 1.5,
+            "crossing shards must jump: {one} -> {three}"
+        );
     }
 
     #[test]
@@ -245,7 +249,10 @@ mod tests {
     fn padded_rows_give_power_of_two_discontinuities() {
         let model = ProvingModel::risc_zero();
         let mut r = report(100);
-        r.mix = zkvmopt_vm::InstMix { alu: 1, ..Default::default() };
+        r.mix = zkvmopt_vm::InstMix {
+            alu: 1,
+            ..Default::default()
+        };
         r.paging_cycles = 0;
         r.user_cycles = (1 << 16) - 100;
         r.total_cycles = r.user_cycles;

@@ -71,21 +71,36 @@ struct Emitter {
 impl Emitter {
     fn li(&mut self, rd: Reg, imm: i32) {
         if (-2048..=2047).contains(&imm) {
-            self.code.push(Inst::AluImm { op: AluImmOp::Addi, rd, rs1: Reg::ZERO, imm });
+            self.code.push(Inst::AluImm {
+                op: AluImmOp::Addi,
+                rd,
+                rs1: Reg::ZERO,
+                imm,
+            });
         } else {
             // lui + addi with carry adjustment.
             let hi = (imm as i64 + 0x800) as i32 & !0xfff;
             let lo = imm.wrapping_sub(hi);
             self.code.push(Inst::Lui { rd, imm: hi });
             if lo != 0 {
-                self.code.push(Inst::AluImm { op: AluImmOp::Addi, rd, rs1: rd, imm: lo });
+                self.code.push(Inst::AluImm {
+                    op: AluImmOp::Addi,
+                    rd,
+                    rs1: rd,
+                    imm: lo,
+                });
             }
         }
     }
 
     fn mv(&mut self, rd: Reg, rs: Reg) {
         if rd != rs {
-            self.code.push(Inst::AluImm { op: AluImmOp::Addi, rd, rs1: rs, imm: 0 });
+            self.code.push(Inst::AluImm {
+                op: AluImmOp::Addi,
+                rd,
+                rs1: rs,
+                imm: 0,
+            });
         }
     }
 
@@ -93,7 +108,12 @@ impl Emitter {
     /// offset exceeds imm12).
     fn frame_load(&mut self, rd: Reg, off: i32, addr_scratch: Reg) {
         if (-2048..=2047).contains(&off) {
-            self.code.push(Inst::Load { width: MemWidth::Word, rd, base: Reg::SP, offset: off });
+            self.code.push(Inst::Load {
+                width: MemWidth::Word,
+                rd,
+                base: Reg::SP,
+                offset: off,
+            });
         } else {
             self.li(addr_scratch, off);
             self.code.push(Inst::Alu {
@@ -147,7 +167,9 @@ impl Emitter {
         while !pending.is_empty() {
             // Emit any move whose destination is not a pending source.
             let ready = pending.iter().position(|(d, _)| {
-                !pending.iter().any(|(_, s)| matches!(s, MoveSrc::Reg(r) if r == d))
+                !pending
+                    .iter()
+                    .any(|(_, s)| matches!(s, MoveSrc::Reg(r) if r == d))
             });
             match ready {
                 Some(i) => {
@@ -187,7 +209,9 @@ struct Frame {
 fn layout_frame(af: &AllocatedFunc) -> Frame {
     let alloca = af.alloca_bytes as i32;
     let spill_base = alloca;
-    let slot_off: Vec<i32> = (0..af.spill_slots).map(|i| spill_base + 4 * i as i32).collect();
+    let slot_off: Vec<i32> = (0..af.spill_slots)
+        .map(|i| spill_base + 4 * i as i32)
+        .collect();
     let save_base = spill_base + 4 * af.spill_slots as i32;
     let mut saves: Vec<(Reg, i32)> = af
         .used_callee_saved
@@ -199,7 +223,12 @@ fn layout_frame(af: &AllocatedFunc) -> Frame {
     saves.push((Reg::RA, ra_off));
     let raw = ra_off + 4;
     let size = (raw + 15) & !15;
-    Frame { size, slot_off, alloca_base: 0, saves }
+    Frame {
+        size,
+        slot_off,
+        alloca_base: 0,
+        saves,
+    }
 }
 
 fn loc_use(e: &mut Emitter, frame: &Frame, loc: Loc, which: usize) -> Reg {
@@ -240,12 +269,19 @@ pub fn link(
     globals: Vec<(u32, Vec<u8>)>,
     main_index: usize,
 ) -> Result<Program, CodegenError> {
-    let mut e = Emitter { code: Vec::new(), block_fixups: Vec::new(), call_fixups: Vec::new() };
+    let mut e = Emitter {
+        code: Vec::new(),
+        block_fixups: Vec::new(),
+        call_fixups: Vec::new(),
+    };
     // _start: call main, then halt with its return value.
     // a0 already holds main's return after the call.
     let start = e.code.len();
     e.call_fixups.push((e.code.len(), main_index));
-    e.code.push(Inst::Jal { rd: Reg::RA, target: 0 });
+    e.code.push(Inst::Jal {
+        rd: Reg::RA,
+        target: 0,
+    });
     e.li(Reg::T0, zkvmopt_ir::ecall::HALT as i32);
     e.code.push(Inst::Ecall);
 
@@ -297,7 +333,12 @@ fn emit_function(e: &mut Emitter, af: &AllocatedFunc) -> Result<(), CodegenError
             });
         } else {
             e.li(SCRATCH0, frame.size);
-            e.code.push(Inst::Alu { op: AluOp::Sub, rd: Reg::SP, rs1: Reg::SP, rs2: SCRATCH0 });
+            e.code.push(Inst::Alu {
+                op: AluOp::Sub,
+                rd: Reg::SP,
+                rs1: Reg::SP,
+                rs2: SCRATCH0,
+            });
         }
     }
     for &(r, off) in &frame.saves {
@@ -312,9 +353,7 @@ fn emit_function(e: &mut Emitter, af: &AllocatedFunc) -> Result<(), CodegenError
             if let VInst::Param { rd, index } = inst {
                 match rd {
                     Loc::Reg(r) => param_moves.push((*r, MoveSrc::Reg(Reg::arg(*index)))),
-                    Loc::Slot(s) => {
-                        param_slot_stores.push((*index, frame.slot_off[*s as usize]))
-                    }
+                    Loc::Slot(s) => param_slot_stores.push((*index, frame.slot_off[*s as usize])),
                 }
                 skip.push(i);
             } else {
@@ -361,28 +400,58 @@ fn emit_inst(
             let r1 = loc_use(e, frame, *rs1, 0);
             let r2 = loc_use(e, frame, *rs2, 1);
             loc_def(e, frame, *rd, |e, d| {
-                e.code.push(Inst::Alu { op: *op, rd: d, rs1: r1, rs2: r2 });
+                e.code.push(Inst::Alu {
+                    op: *op,
+                    rd: d,
+                    rs1: r1,
+                    rs2: r2,
+                });
             });
         }
         VInst::AluImm { op, rd, rs1, imm } => {
             let r1 = loc_use(e, frame, *rs1, 0);
             loc_def(e, frame, *rd, |e, d| {
-                e.code.push(Inst::AluImm { op: *op, rd: d, rs1: r1, imm: *imm });
+                e.code.push(Inst::AluImm {
+                    op: *op,
+                    rd: d,
+                    rs1: r1,
+                    imm: *imm,
+                });
             });
         }
         VInst::LoadImm { rd, imm } => {
             loc_def(e, frame, *rd, |e, d| e.li(d, *imm));
         }
-        VInst::Load { width, rd, base, offset } => {
+        VInst::Load {
+            width,
+            rd,
+            base,
+            offset,
+        } => {
             let b = loc_use(e, frame, *base, 0);
             loc_def(e, frame, *rd, |e, d| {
-                e.code.push(Inst::Load { width: *width, rd: d, base: b, offset: *offset });
+                e.code.push(Inst::Load {
+                    width: *width,
+                    rd: d,
+                    base: b,
+                    offset: *offset,
+                });
             });
         }
-        VInst::Store { width, src, base, offset } => {
+        VInst::Store {
+            width,
+            src,
+            base,
+            offset,
+        } => {
             let s = loc_use(e, frame, *src, 0);
             let b = loc_use(e, frame, *base, 1);
-            e.code.push(Inst::Store { width: *width, src: s, base: b, offset: *offset });
+            e.code.push(Inst::Store {
+                width: *width,
+                src: s,
+                base: b,
+                offset: *offset,
+            });
         }
         VInst::FrameAddr { rd, offset } => {
             let total = frame.alloca_base + *offset;
@@ -396,22 +465,40 @@ fn emit_inst(
                     });
                 } else {
                     e.li(d, total);
-                    e.code.push(Inst::Alu { op: AluOp::Add, rd: d, rs1: Reg::SP, rs2: d });
+                    e.code.push(Inst::Alu {
+                        op: AluOp::Add,
+                        rd: d,
+                        rs1: Reg::SP,
+                        rs2: d,
+                    });
                 }
             });
         }
-        VInst::Branch { cond, rs1, rs2, target } => {
+        VInst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
             let r1 = loc_use(e, frame, *rs1, 0);
             let r2 = match rs2 {
                 Some(l) => loc_use(e, frame, *l, 1),
                 None => Reg::ZERO,
             };
             e.block_fixups.push((e.code.len(), *target));
-            e.code.push(Inst::Branch { cond: *cond, rs1: r1, rs2: r2, target: 0 });
+            e.code.push(Inst::Branch {
+                cond: *cond,
+                rs1: r1,
+                rs2: r2,
+                target: 0,
+            });
         }
         VInst::Jump { target } => {
             e.block_fixups.push((e.code.len(), *target));
-            e.code.push(Inst::Jal { rd: Reg::ZERO, target: 0 });
+            e.code.push(Inst::Jal {
+                rd: Reg::ZERO,
+                target: 0,
+            });
         }
         VInst::Call { callee, args, ret } => {
             if args.len() > 8 {
@@ -427,7 +514,10 @@ fn emit_inst(
                 .collect();
             e.parallel_moves(moves);
             e.call_fixups.push((e.code.len(), *callee));
-            e.code.push(Inst::Jal { rd: Reg::RA, target: 0 });
+            e.code.push(Inst::Jal {
+                rd: Reg::RA,
+                target: 0,
+            });
             if let Some(r) = ret {
                 match r {
                     Loc::Reg(rr) => e.mv(*rr, Reg::A0),
@@ -478,14 +568,16 @@ fn emit_inst(
                     });
                 }
             }
-            e.code.push(Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 });
+            e.code.push(Inst::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0,
+            });
         }
         VInst::Mv { rd, rs } => match (rd, rs) {
             (Loc::Reg(d), Loc::Reg(s)) => e.mv(*d, *s),
             (Loc::Reg(d), Loc::Slot(s)) => e.frame_load(*d, frame.slot_off[*s as usize], SCRATCH0),
-            (Loc::Slot(d), Loc::Reg(s)) => {
-                e.frame_store(*s, frame.slot_off[*d as usize], SCRATCH0)
-            }
+            (Loc::Slot(d), Loc::Reg(s)) => e.frame_store(*s, frame.slot_off[*d as usize], SCRATCH0),
             (Loc::Slot(d), Loc::Slot(s)) => {
                 e.frame_load(SCRATCH0, frame.slot_off[*s as usize], SCRATCH0);
                 e.frame_store(SCRATCH0, frame.slot_off[*d as usize], SCRATCH1);

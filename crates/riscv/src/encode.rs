@@ -69,7 +69,12 @@ pub fn encode(inst: &Inst<Reg>, pc: usize) -> u32 {
             };
             (imm12 << 20) | (r(rs1) << 15) | (f3 << 12) | (r(rd) << 7) | 0x13
         }
-        Inst::Load { width, rd, base, offset } => {
+        Inst::Load {
+            width,
+            rd,
+            base,
+            offset,
+        } => {
             assert!((-2048..=2047).contains(&offset), "load offset out of range");
             let f3 = match width {
                 MemWidth::Byte => 0x0,
@@ -80,8 +85,16 @@ pub fn encode(inst: &Inst<Reg>, pc: usize) -> u32 {
             };
             (((offset as u32) & 0xfff) << 20) | (r(base) << 15) | (f3 << 12) | (r(rd) << 7) | 0x03
         }
-        Inst::Store { width, src, base, offset } => {
-            assert!((-2048..=2047).contains(&offset), "store offset out of range");
+        Inst::Store {
+            width,
+            src,
+            base,
+            offset,
+        } => {
+            assert!(
+                (-2048..=2047).contains(&offset),
+                "store offset out of range"
+            );
             let f3 = match width {
                 MemWidth::Byte | MemWidth::ByteU => 0x0,
                 MemWidth::Half | MemWidth::HalfU => 0x1,
@@ -95,9 +108,17 @@ pub fn encode(inst: &Inst<Reg>, pc: usize) -> u32 {
                 | ((imm & 0x1f) << 7)
                 | 0x23
         }
-        Inst::Branch { cond, rs1, rs2, target } => {
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
             let off = ((target as i64 - pc as i64) * 4) as i32;
-            assert!((-4096..=4094).contains(&off), "branch displacement out of range");
+            assert!(
+                (-4096..=4094).contains(&off),
+                "branch displacement out of range"
+            );
             let f3 = match cond {
                 BranchCond::Eq => 0x0,
                 BranchCond::Ne => 0x1,
@@ -118,7 +139,10 @@ pub fn encode(inst: &Inst<Reg>, pc: usize) -> u32 {
         }
         Inst::Jal { rd, target } => {
             let off = ((target as i64 - pc as i64) * 4) as i32;
-            assert!((-(1 << 20)..(1 << 20)).contains(&off), "jal displacement out of range");
+            assert!(
+                (-(1 << 20)..(1 << 20)).contains(&off),
+                "jal displacement out of range"
+            );
             let imm = off as u32;
             (((imm >> 20) & 1) << 31)
                 | (((imm >> 1) & 0x3ff) << 21)
@@ -151,7 +175,10 @@ pub fn decode(word: u32, pc: usize) -> Option<Inst<Reg>> {
     let f3 = (word >> 12) & 7;
     let f7 = word >> 25;
     Some(match opcode {
-        0x37 => Inst::Lui { rd, imm: (word & 0xffff_f000) as i32 },
+        0x37 => Inst::Lui {
+            rd,
+            imm: (word & 0xffff_f000) as i32,
+        },
         0x33 => {
             let op = match (f3, f7) {
                 (0x0, 0x00) => AluOp::Add,
@@ -210,7 +237,12 @@ pub fn decode(word: u32, pc: usize) -> Option<Inst<Reg>> {
                 0x5 => MemWidth::HalfU,
                 _ => return None,
             };
-            Inst::Load { width, rd, base: rs1, offset: sext(word >> 20, 12) }
+            Inst::Load {
+                width,
+                rd,
+                base: rs1,
+                offset: sext(word >> 20, 12),
+            }
         }
         0x23 => {
             let width = match f3 {
@@ -220,7 +252,12 @@ pub fn decode(word: u32, pc: usize) -> Option<Inst<Reg>> {
                 _ => return None,
             };
             let imm = ((word >> 25) << 5) | ((word >> 7) & 0x1f);
-            Inst::Store { width, src: rs2, base: rs1, offset: sext(imm, 12) }
+            Inst::Store {
+                width,
+                src: rs2,
+                base: rs1,
+                offset: sext(imm, 12),
+            }
         }
         0x63 => {
             let cond = match f3 {
@@ -238,7 +275,12 @@ pub fn decode(word: u32, pc: usize) -> Option<Inst<Reg>> {
                 | (((word >> 8) & 0xf) << 1);
             let off = sext(imm, 13);
             let target = (pc as i64 + (off / 4) as i64) as usize;
-            Inst::Branch { cond, rs1, rs2, target }
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            }
         }
         0x6f => {
             let imm = (((word >> 31) & 1) << 20)
@@ -249,7 +291,11 @@ pub fn decode(word: u32, pc: usize) -> Option<Inst<Reg>> {
             let target = (pc as i64 + (off / 4) as i64) as usize;
             Inst::Jal { rd, target }
         }
-        0x67 if f3 == 0 => Inst::Jalr { rd, rs1, offset: sext(word >> 20, 12) },
+        0x67 if f3 == 0 => Inst::Jalr {
+            rd,
+            rs1,
+            offset: sext(word >> 20, 12),
+        },
         0x73 if word == 0x73 => Inst::Ecall,
         _ => return None,
     })
@@ -268,23 +314,53 @@ mod tests {
 
     #[test]
     fn roundtrip_alu() {
-        for op in [AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Divu, AluOp::Remu, AluOp::Sra] {
-            roundtrip(Inst::Alu { op, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::T3 }, 0);
+        for op in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Mul,
+            AluOp::Divu,
+            AluOp::Remu,
+            AluOp::Sra,
+        ] {
+            roundtrip(
+                Inst::Alu {
+                    op,
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    rs2: Reg::T3,
+                },
+                0,
+            );
         }
     }
 
     #[test]
     fn roundtrip_alu_imm() {
         roundtrip(
-            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::SP, rs1: Reg::SP, imm: -2048 },
+            Inst::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::SP,
+                rs1: Reg::SP,
+                imm: -2048,
+            },
             0,
         );
         roundtrip(
-            Inst::AluImm { op: AluImmOp::Srai, rd: Reg::A0, rs1: Reg::A0, imm: 31 },
+            Inst::AluImm {
+                op: AluImmOp::Srai,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 31,
+            },
             0,
         );
         roundtrip(
-            Inst::AluImm { op: AluImmOp::Slli, rd: Reg::A0, rs1: Reg::A0, imm: 3 },
+            Inst::AluImm {
+                op: AluImmOp::Slli,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 3,
+            },
             0,
         );
     }
@@ -292,19 +368,39 @@ mod tests {
     #[test]
     fn roundtrip_memory() {
         roundtrip(
-            Inst::Load { width: MemWidth::Word, rd: Reg::A0, base: Reg::SP, offset: 124 },
+            Inst::Load {
+                width: MemWidth::Word,
+                rd: Reg::A0,
+                base: Reg::SP,
+                offset: 124,
+            },
             0,
         );
         roundtrip(
-            Inst::Load { width: MemWidth::ByteU, rd: Reg::T0, base: Reg::A0, offset: -5 },
+            Inst::Load {
+                width: MemWidth::ByteU,
+                rd: Reg::T0,
+                base: Reg::A0,
+                offset: -5,
+            },
             0,
         );
         roundtrip(
-            Inst::Store { width: MemWidth::Word, src: Reg::A1, base: Reg::SP, offset: -64 },
+            Inst::Store {
+                width: MemWidth::Word,
+                src: Reg::A1,
+                base: Reg::SP,
+                offset: -64,
+            },
             0,
         );
         roundtrip(
-            Inst::Store { width: MemWidth::Byte, src: Reg::A1, base: Reg::A2, offset: 2047 },
+            Inst::Store {
+                width: MemWidth::Byte,
+                src: Reg::A1,
+                base: Reg::A2,
+                offset: 2047,
+            },
             0,
         );
     }
@@ -312,33 +408,78 @@ mod tests {
     #[test]
     fn roundtrip_control_flow() {
         roundtrip(
-            Inst::Branch { cond: BranchCond::Lt, rs1: Reg::A0, rs2: Reg::A1, target: 100 },
+            Inst::Branch {
+                cond: BranchCond::Lt,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                target: 100,
+            },
             40,
         );
         roundtrip(
-            Inst::Branch { cond: BranchCond::Ne, rs1: Reg::T0, rs2: Reg::ZERO, target: 2 },
+            Inst::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::T0,
+                rs2: Reg::ZERO,
+                target: 2,
+            },
             40,
         );
-        roundtrip(Inst::Jal { rd: Reg::RA, target: 5000 }, 123);
-        roundtrip(Inst::Jal { rd: Reg::ZERO, target: 3 }, 123);
-        roundtrip(Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }, 0);
+        roundtrip(
+            Inst::Jal {
+                rd: Reg::RA,
+                target: 5000,
+            },
+            123,
+        );
+        roundtrip(
+            Inst::Jal {
+                rd: Reg::ZERO,
+                target: 3,
+            },
+            123,
+        );
+        roundtrip(
+            Inst::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0,
+            },
+            0,
+        );
     }
 
     #[test]
     fn roundtrip_lui_and_ecall() {
-        roundtrip(Inst::Lui { rd: Reg::A0, imm: 0x12345 << 12 }, 0);
+        roundtrip(
+            Inst::Lui {
+                rd: Reg::A0,
+                imm: 0x12345 << 12,
+            },
+            0,
+        );
         roundtrip(Inst::Ecall, 0);
     }
 
     #[test]
     fn known_encoding_values() {
         // addi x0, x0, 0 == canonical NOP 0x00000013.
-        let nop = Inst::AluImm { op: AluImmOp::Addi, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 };
+        let nop = Inst::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            imm: 0,
+        };
         assert_eq!(encode(&nop, 0), 0x0000_0013);
         // ecall == 0x00000073.
         assert_eq!(encode(&Inst::<Reg>::Ecall, 0), 0x0000_0073);
         // add a0, a1, a2 == 0x00c58533.
-        let add = Inst::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        let add = Inst::Alu {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
         assert_eq!(encode(&add, 0), 0x00c5_8533);
     }
 

@@ -175,13 +175,33 @@ pub enum Inst<R> {
     Alu { op: AluOp, rd: R, rs1: R, rs2: R },
     /// Register–immediate ALU (imm must fit 12 bits signed, 5 bits for
     /// shifts).
-    AluImm { op: AluImmOp, rd: R, rs1: R, imm: i32 },
+    AluImm {
+        op: AluImmOp,
+        rd: R,
+        rs1: R,
+        imm: i32,
+    },
     /// Load of the given width.
-    Load { width: MemWidth, rd: R, base: R, offset: i32 },
+    Load {
+        width: MemWidth,
+        rd: R,
+        base: R,
+        offset: i32,
+    },
     /// Store of the given width.
-    Store { width: MemWidth, src: R, base: R, offset: i32 },
+    Store {
+        width: MemWidth,
+        src: R,
+        base: R,
+        offset: i32,
+    },
     /// Conditional branch to code index `target`.
-    Branch { cond: BranchCond, rs1: R, rs2: R, target: usize },
+    Branch {
+        cond: BranchCond,
+        rs1: R,
+        rs2: R,
+        target: usize,
+    },
     /// Unconditional jump (writes return address to `rd`).
     Jal { rd: R, target: usize },
     /// Indirect jump: `jalr rd, rs1, imm` (used for `ret`).
@@ -195,23 +215,57 @@ impl<R: Copy> Inst<R> {
     pub fn map_regs<S: Copy>(&self, mut f: impl FnMut(R) -> S) -> Inst<S> {
         match *self {
             Inst::Lui { rd, imm } => Inst::Lui { rd: f(rd), imm },
-            Inst::Alu { op, rd, rs1, rs2 } => {
-                Inst::Alu { op, rd: f(rd), rs1: f(rs1), rs2: f(rs2) }
-            }
-            Inst::AluImm { op, rd, rs1, imm } => {
-                Inst::AluImm { op, rd: f(rd), rs1: f(rs1), imm }
-            }
-            Inst::Load { width, rd, base, offset } => {
-                Inst::Load { width, rd: f(rd), base: f(base), offset }
-            }
-            Inst::Store { width, src, base, offset } => {
-                Inst::Store { width, src: f(src), base: f(base), offset }
-            }
-            Inst::Branch { cond, rs1, rs2, target } => {
-                Inst::Branch { cond, rs1: f(rs1), rs2: f(rs2), target }
-            }
+            Inst::Alu { op, rd, rs1, rs2 } => Inst::Alu {
+                op,
+                rd: f(rd),
+                rs1: f(rs1),
+                rs2: f(rs2),
+            },
+            Inst::AluImm { op, rd, rs1, imm } => Inst::AluImm {
+                op,
+                rd: f(rd),
+                rs1: f(rs1),
+                imm,
+            },
+            Inst::Load {
+                width,
+                rd,
+                base,
+                offset,
+            } => Inst::Load {
+                width,
+                rd: f(rd),
+                base: f(base),
+                offset,
+            },
+            Inst::Store {
+                width,
+                src,
+                base,
+                offset,
+            } => Inst::Store {
+                width,
+                src: f(src),
+                base: f(base),
+                offset,
+            },
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => Inst::Branch {
+                cond,
+                rs1: f(rs1),
+                rs2: f(rs2),
+                target,
+            },
             Inst::Jal { rd, target } => Inst::Jal { rd: f(rd), target },
-            Inst::Jalr { rd, rs1, offset } => Inst::Jalr { rd: f(rd), rs1: f(rs1), offset },
+            Inst::Jalr { rd, rs1, offset } => Inst::Jalr {
+                rd: f(rd),
+                rs1: f(rs1),
+                offset,
+            },
             Inst::Ecall => Inst::Ecall,
         }
     }
@@ -253,7 +307,12 @@ impl<R: fmt::Display> fmt::Display for Inst<R> {
             Inst::AluImm { op, rd, rs1, imm } => {
                 write!(f, "{} {rd}, {rs1}, {imm}", op.mnemonic())
             }
-            Inst::Load { width, rd, base, offset } => {
+            Inst::Load {
+                width,
+                rd,
+                base,
+                offset,
+            } => {
                 let m = match width {
                     MemWidth::Byte => "lb",
                     MemWidth::ByteU => "lbu",
@@ -263,7 +322,12 @@ impl<R: fmt::Display> fmt::Display for Inst<R> {
                 };
                 write!(f, "{m} {rd}, {offset}({base})")
             }
-            Inst::Store { width, src, base, offset } => {
+            Inst::Store {
+                width,
+                src,
+                base,
+                offset,
+            } => {
                 let m = match width {
                     MemWidth::Byte | MemWidth::ByteU => "sb",
                     MemWidth::Half | MemWidth::HalfU => "sh",
@@ -271,7 +335,12 @@ impl<R: fmt::Display> fmt::Display for Inst<R> {
                 };
                 write!(f, "{m} {src}, {offset}({base})")
             }
-            Inst::Branch { cond, rs1, rs2, target } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 write!(f, "{} {rs1}, {rs2}, .L{target}", cond.mnemonic())
             }
             Inst::Jal { rd, target } => write!(f, "jal {rd}, .L{target}"),
@@ -288,23 +357,39 @@ mod tests {
 
     #[test]
     fn def_use_classification() {
-        let i: Inst<Reg> =
-            Inst::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        let i: Inst<Reg> = Inst::Alu {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
         assert_eq!(i.def(), Some(Reg::A0));
         assert_eq!(i.uses(), vec![Reg::A1, Reg::A2]);
-        let s: Inst<Reg> =
-            Inst::Store { width: MemWidth::Word, src: Reg::A0, base: Reg::SP, offset: 4 };
+        let s: Inst<Reg> = Inst::Store {
+            width: MemWidth::Word,
+            src: Reg::A0,
+            base: Reg::SP,
+            offset: 4,
+        };
         assert_eq!(s.def(), None);
         assert_eq!(s.uses(), vec![Reg::A0, Reg::SP]);
     }
 
     #[test]
     fn display_asm() {
-        let i: Inst<Reg> =
-            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::SP, rs1: Reg::SP, imm: -16 };
+        let i: Inst<Reg> = Inst::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::SP,
+            rs1: Reg::SP,
+            imm: -16,
+        };
         assert_eq!(i.to_string(), "addi sp, sp, -16");
-        let l: Inst<Reg> =
-            Inst::Load { width: MemWidth::Word, rd: Reg::A0, base: Reg::SP, offset: 8 };
+        let l: Inst<Reg> = Inst::Load {
+            width: MemWidth::Word,
+            rd: Reg::A0,
+            base: Reg::SP,
+            offset: 8,
+        };
         assert_eq!(l.to_string(), "lw a0, 8(sp)");
     }
 
@@ -318,8 +403,12 @@ mod tests {
     #[test]
     fn map_regs_applies() {
         use crate::reg::VReg;
-        let i: Inst<VReg> =
-            Inst::Alu { op: AluOp::Add, rd: VReg(0), rs1: VReg(1), rs2: VReg(2) };
+        let i: Inst<VReg> = Inst::Alu {
+            op: AluOp::Add,
+            rd: VReg(0),
+            rs1: VReg(1),
+            rs2: VReg(2),
+        };
         let m = i.map_regs(|v| Reg(v.0 as u8 + 10));
         assert_eq!(m.def(), Some(Reg::A0));
     }

@@ -150,7 +150,11 @@ pub fn lower_function(
     // Find icmps fusible into their branch (single use, same block, used as
     // the branch condition).
     for &b in &order {
-        if let Term::CondBr { c: Operand::Value(cv), .. } = &f.blocks[b.index()].term {
+        if let Term::CondBr {
+            c: Operand::Value(cv),
+            ..
+        } = &f.blocks[b.index()].term
+        {
             if f.blocks[b.index()].insts.contains(cv)
                 && f.use_count(*cv) == 1
                 && matches!(f.op(*cv), Some(Op::Icmp { .. }))
@@ -205,38 +209,115 @@ fn lower_inst(isel: &mut Isel<'_>, m: &Module, bi: usize, v: ValueId) -> Result<
             if isel.cm.select_via_mul {
                 // rd = f + c * (t - f): three instructions, no branch.
                 let d = isel.fresh();
-                isel.emit(bi, VInst::Alu { op: AluOp::Sub, rd: d, rs1: tv, rs2: fv });
+                isel.emit(
+                    bi,
+                    VInst::Alu {
+                        op: AluOp::Sub,
+                        rd: d,
+                        rs1: tv,
+                        rs2: fv,
+                    },
+                );
                 let p = isel.fresh();
-                isel.emit(bi, VInst::Alu { op: AluOp::Mul, rd: p, rs1: d, rs2: c });
-                isel.emit(bi, VInst::Alu { op: AluOp::Add, rd, rs1: fv, rs2: p });
+                isel.emit(
+                    bi,
+                    VInst::Alu {
+                        op: AluOp::Mul,
+                        rd: p,
+                        rs1: d,
+                        rs2: c,
+                    },
+                );
+                isel.emit(
+                    bi,
+                    VInst::Alu {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: fv,
+                        rs2: p,
+                    },
+                );
             } else {
                 // Mask form favoured by CPU backends (no multiply in the
                 // dependency chain): mask = 0 - c; rd = (t & mask) | (f & !mask).
                 let zero = isel.fresh();
                 isel.emit(bi, VInst::LoadImm { rd: zero, imm: 0 });
                 let mask = isel.fresh();
-                isel.emit(bi, VInst::Alu { op: AluOp::Sub, rd: mask, rs1: zero, rs2: c });
+                isel.emit(
+                    bi,
+                    VInst::Alu {
+                        op: AluOp::Sub,
+                        rd: mask,
+                        rs1: zero,
+                        rs2: c,
+                    },
+                );
                 let t1 = isel.fresh();
-                isel.emit(bi, VInst::Alu { op: AluOp::And, rd: t1, rs1: tv, rs2: mask });
+                isel.emit(
+                    bi,
+                    VInst::Alu {
+                        op: AluOp::And,
+                        rd: t1,
+                        rs1: tv,
+                        rs2: mask,
+                    },
+                );
                 let nm = isel.fresh();
                 isel.emit(
                     bi,
-                    VInst::AluImm { op: AluImmOp::Xori, rd: nm, rs1: mask, imm: -1 },
+                    VInst::AluImm {
+                        op: AluImmOp::Xori,
+                        rd: nm,
+                        rs1: mask,
+                        imm: -1,
+                    },
                 );
                 let t2 = isel.fresh();
-                isel.emit(bi, VInst::Alu { op: AluOp::And, rd: t2, rs1: fv, rs2: nm });
-                isel.emit(bi, VInst::Alu { op: AluOp::Or, rd, rs1: t1, rs2: t2 });
+                isel.emit(
+                    bi,
+                    VInst::Alu {
+                        op: AluOp::And,
+                        rd: t2,
+                        rs1: fv,
+                        rs2: nm,
+                    },
+                );
+                isel.emit(
+                    bi,
+                    VInst::Alu {
+                        op: AluOp::Or,
+                        rd,
+                        rs1: t1,
+                        rs2: t2,
+                    },
+                );
             }
         }
         Op::Load { ptr, ty } => {
             let rd = isel.vreg(v);
             let base = isel.operand(bi, &ptr);
-            isel.emit(bi, VInst::Load { width: Isel::width_of(ty), rd, base, offset: 0 });
+            isel.emit(
+                bi,
+                VInst::Load {
+                    width: Isel::width_of(ty),
+                    rd,
+                    base,
+                    offset: 0,
+                },
+            );
         }
         Op::Store { ptr, val, ty } => {
             let base = isel.operand(bi, &ptr);
             let src = isel.operand(bi, &val);
-            isel.emit(bi, VInst::Store { width: Isel::width_of(ty), src, base, offset: 0 });
+            isel.emit(
+                bi,
+                VInst::Store {
+                    width: Isel::width_of(ty),
+                    src,
+                    base,
+                    offset: 0,
+                },
+            );
         }
         Op::Alloca { elem, count } => {
             let bytes = (elem.size_bytes() * count + 3) & !3;
@@ -246,19 +327,27 @@ fn lower_inst(isel: &mut Isel<'_>, m: &Module, bi: usize, v: ValueId) -> Result<
             let rd = isel.vreg(v);
             isel.emit(bi, VInst::FrameAddr { rd, offset: off });
         }
-        Op::Gep { base, index, stride, offset } => {
+        Op::Gep {
+            base,
+            index,
+            stride,
+            offset,
+        } => {
             let rd = isel.vreg(v);
             let b = isel.operand(bi, &base);
             // Constant index: single addi when in range.
             if let Some(i) = index.as_const() {
                 let total = i * stride as i64 + offset as i64;
                 if IMM12.contains(&total) {
-                    isel.emit(bi, VInst::AluImm {
-                        op: AluImmOp::Addi,
-                        rd,
-                        rs1: b,
-                        imm: total as i32,
-                    });
+                    isel.emit(
+                        bi,
+                        VInst::AluImm {
+                            op: AluImmOp::Addi,
+                            rd,
+                            rs1: b,
+                            imm: total as i32,
+                        },
+                    );
                     return Ok(());
                 }
             }
@@ -267,30 +356,71 @@ fn lower_inst(isel: &mut Isel<'_>, m: &Module, bi: usize, v: ValueId) -> Result<
                 idx
             } else if stride.is_power_of_two() {
                 let s = isel.fresh();
-                isel.emit(bi, VInst::AluImm {
-                    op: AluImmOp::Slli,
-                    rd: s,
-                    rs1: idx,
-                    imm: stride.trailing_zeros() as i32,
-                });
+                isel.emit(
+                    bi,
+                    VInst::AluImm {
+                        op: AluImmOp::Slli,
+                        rd: s,
+                        rs1: idx,
+                        imm: stride.trailing_zeros() as i32,
+                    },
+                );
                 s
             } else {
                 let k = isel.fresh();
-                isel.emit(bi, VInst::LoadImm { rd: k, imm: stride as i32 });
+                isel.emit(
+                    bi,
+                    VInst::LoadImm {
+                        rd: k,
+                        imm: stride as i32,
+                    },
+                );
                 let s = isel.fresh();
-                isel.emit(bi, VInst::Alu { op: AluOp::Mul, rd: s, rs1: idx, rs2: k });
+                isel.emit(
+                    bi,
+                    VInst::Alu {
+                        op: AluOp::Mul,
+                        rd: s,
+                        rs1: idx,
+                        rs2: k,
+                    },
+                );
                 s
             };
             let sum = isel.fresh();
-            isel.emit(bi, VInst::Alu { op: AluOp::Add, rd: sum, rs1: b, rs2: scaled });
+            isel.emit(
+                bi,
+                VInst::Alu {
+                    op: AluOp::Add,
+                    rd: sum,
+                    rs1: b,
+                    rs2: scaled,
+                },
+            );
             if offset == 0 {
                 isel.emit(bi, VInst::Mv { rd, rs: sum });
             } else if IMM12.contains(&(offset as i64)) {
-                isel.emit(bi, VInst::AluImm { op: AluImmOp::Addi, rd, rs1: sum, imm: offset });
+                isel.emit(
+                    bi,
+                    VInst::AluImm {
+                        op: AluImmOp::Addi,
+                        rd,
+                        rs1: sum,
+                        imm: offset,
+                    },
+                );
             } else {
                 let k = isel.fresh();
                 isel.emit(bi, VInst::LoadImm { rd: k, imm: offset });
-                isel.emit(bi, VInst::Alu { op: AluOp::Add, rd, rs1: sum, rs2: k });
+                isel.emit(
+                    bi,
+                    VInst::Alu {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: sum,
+                        rs2: k,
+                    },
+                );
             }
         }
         Op::GlobalAddr(g) => {
@@ -312,7 +442,14 @@ fn lower_inst(isel: &mut Isel<'_>, m: &Module, bi: usize, v: ValueId) -> Result<
                 // Void calls still own a value slot; don't create a vreg.
                 None
             };
-            isel.emit(bi, VInst::Call { callee: callee.index(), args: argv, ret });
+            isel.emit(
+                bi,
+                VInst::Call {
+                    callee: callee.index(),
+                    args: argv,
+                    ret,
+                },
+            );
         }
         Op::Ecall { code, args } => {
             if args.len() > 3 {
@@ -323,7 +460,14 @@ fn lower_inst(isel: &mut Isel<'_>, m: &Module, bi: usize, v: ValueId) -> Result<
             }
             let argv: Vec<VReg> = args.iter().map(|a| isel.operand(bi, a)).collect();
             let ret = isel.vreg(v);
-            isel.emit(bi, VInst::Ecall { code, args: argv, ret });
+            isel.emit(
+                bi,
+                VInst::Ecall {
+                    code,
+                    args: argv,
+                    ret,
+                },
+            );
         }
         Op::Cast { kind, v: src, to } => {
             let rd = isel.vreg(v);
@@ -337,20 +481,60 @@ fn lower_inst(isel: &mut Isel<'_>, m: &Module, bi: usize, v: ValueId) -> Result<
                 }
                 (CastKind::Sext, Ty::I8, _) => {
                     let t = isel.fresh();
-                    isel.emit(bi, VInst::AluImm { op: AluImmOp::Slli, rd: t, rs1: s, imm: 24 });
-                    isel.emit(bi, VInst::AluImm { op: AluImmOp::Srai, rd, rs1: t, imm: 24 });
+                    isel.emit(
+                        bi,
+                        VInst::AluImm {
+                            op: AluImmOp::Slli,
+                            rd: t,
+                            rs1: s,
+                            imm: 24,
+                        },
+                    );
+                    isel.emit(
+                        bi,
+                        VInst::AluImm {
+                            op: AluImmOp::Srai,
+                            rd,
+                            rs1: t,
+                            imm: 24,
+                        },
+                    );
                 }
                 (CastKind::Sext, Ty::I1, _) => {
                     // 0 -> 0, 1 -> -1.
                     let zero = isel.fresh();
                     isel.emit(bi, VInst::LoadImm { rd: zero, imm: 0 });
-                    isel.emit(bi, VInst::Alu { op: AluOp::Sub, rd, rs1: zero, rs2: s });
+                    isel.emit(
+                        bi,
+                        VInst::Alu {
+                            op: AluOp::Sub,
+                            rd,
+                            rs1: zero,
+                            rs2: s,
+                        },
+                    );
                 }
                 (CastKind::Trunc, _, Ty::I8) => {
-                    isel.emit(bi, VInst::AluImm { op: AluImmOp::Andi, rd, rs1: s, imm: 0xff });
+                    isel.emit(
+                        bi,
+                        VInst::AluImm {
+                            op: AluImmOp::Andi,
+                            rd,
+                            rs1: s,
+                            imm: 0xff,
+                        },
+                    );
                 }
                 (CastKind::Trunc, _, Ty::I1) => {
-                    isel.emit(bi, VInst::AluImm { op: AluImmOp::Andi, rd, rs1: s, imm: 1 });
+                    isel.emit(
+                        bi,
+                        VInst::AluImm {
+                            op: AluImmOp::Andi,
+                            rd,
+                            rs1: s,
+                            imm: 1,
+                        },
+                    );
                 }
                 _ => {
                     isel.emit(bi, VInst::Mv { rd, rs: s });
@@ -384,7 +568,15 @@ fn lower_bin(isel: &mut Isel<'_>, bi: usize, v: ValueId, bop: BinOp, a: &Operand
         };
         if let Some((op, imm)) = imm_op {
             let ra = isel.operand(bi, a);
-            isel.emit(bi, VInst::AluImm { op, rd, rs1: ra, imm });
+            isel.emit(
+                bi,
+                VInst::AluImm {
+                    op,
+                    rd,
+                    rs1: ra,
+                    imm,
+                },
+            );
             return;
         }
         // CPU-tuned backends expand sdiv by a power of two (Fig. 2a).
@@ -396,15 +588,44 @@ fn lower_bin(isel: &mut Isel<'_>, bi: usize, v: ValueId, bop: BinOp, a: &Operand
                 let k = cu.trailing_zeros() as i32;
                 let x = isel.operand(bi, a);
                 let sign = isel.fresh();
-                isel.emit(bi, VInst::AluImm { op: AluImmOp::Srai, rd: sign, rs1: x, imm: 31 });
+                isel.emit(
+                    bi,
+                    VInst::AluImm {
+                        op: AluImmOp::Srai,
+                        rd: sign,
+                        rs1: x,
+                        imm: 31,
+                    },
+                );
                 let bias = isel.fresh();
                 isel.emit(
                     bi,
-                    VInst::AluImm { op: AluImmOp::Srli, rd: bias, rs1: sign, imm: 32 - k },
+                    VInst::AluImm {
+                        op: AluImmOp::Srli,
+                        rd: bias,
+                        rs1: sign,
+                        imm: 32 - k,
+                    },
                 );
                 let adj = isel.fresh();
-                isel.emit(bi, VInst::Alu { op: AluOp::Add, rd: adj, rs1: x, rs2: bias });
-                isel.emit(bi, VInst::AluImm { op: AluImmOp::Srai, rd, rs1: adj, imm: k });
+                isel.emit(
+                    bi,
+                    VInst::Alu {
+                        op: AluOp::Add,
+                        rd: adj,
+                        rs1: x,
+                        rs2: bias,
+                    },
+                );
+                isel.emit(
+                    bi,
+                    VInst::AluImm {
+                        op: AluImmOp::Srai,
+                        rd,
+                        rs1: adj,
+                        imm: k,
+                    },
+                );
                 return;
             }
         }
@@ -426,7 +647,15 @@ fn lower_bin(isel: &mut Isel<'_>, bi: usize, v: ValueId, bop: BinOp, a: &Operand
     };
     let ra = isel.operand(bi, a);
     let rb = isel.operand(bi, b);
-    isel.emit(bi, VInst::Alu { op: alu, rd, rs1: ra, rs2: rb });
+    isel.emit(
+        bi,
+        VInst::Alu {
+            op: alu,
+            rd,
+            rs1: ra,
+            rs2: rb,
+        },
+    );
 }
 
 fn lower_icmp(isel: &mut Isel<'_>, bi: usize, rd: VReg, pred: Pred, a: &Operand, b: &Operand) {
@@ -438,7 +667,12 @@ fn lower_icmp(isel: &mut Isel<'_>, bi: usize, rd: VReg, pred: Pred, a: &Operand,
                     let ra = isel.operand(bi, a);
                     isel.emit(
                         bi,
-                        VInst::AluImm { op: AluImmOp::Slti, rd, rs1: ra, imm: c as i32 },
+                        VInst::AluImm {
+                            op: AluImmOp::Slti,
+                            rd,
+                            rs1: ra,
+                            imm: c as i32,
+                        },
                     );
                     return;
                 }
@@ -446,7 +680,12 @@ fn lower_icmp(isel: &mut Isel<'_>, bi: usize, rd: VReg, pred: Pred, a: &Operand,
                     let ra = isel.operand(bi, a);
                     isel.emit(
                         bi,
-                        VInst::AluImm { op: AluImmOp::Sltiu, rd, rs1: ra, imm: c as i32 },
+                        VInst::AluImm {
+                            op: AluImmOp::Sltiu,
+                            rd,
+                            rs1: ra,
+                            imm: c as i32,
+                        },
                     );
                     return;
                 }
@@ -455,29 +694,46 @@ fn lower_icmp(isel: &mut Isel<'_>, bi: usize, rd: VReg, pred: Pred, a: &Operand,
                     let t = isel.fresh();
                     if c == 0 {
                         // Compare against zero needs no xor.
-                        isel.emit(bi, VInst::AluImm {
-                            op: AluImmOp::Sltiu,
-                            rd: if pred == Pred::Eq { rd } else { t },
-                            rs1: ra,
-                            imm: 1,
-                        });
+                        isel.emit(
+                            bi,
+                            VInst::AluImm {
+                                op: AluImmOp::Sltiu,
+                                rd: if pred == Pred::Eq { rd } else { t },
+                                rs1: ra,
+                                imm: 1,
+                            },
+                        );
                     } else {
                         let x = isel.fresh();
-                        isel.emit(bi, VInst::AluImm {
-                            op: AluImmOp::Xori,
-                            rd: x,
-                            rs1: ra,
-                            imm: c as i32,
-                        });
-                        isel.emit(bi, VInst::AluImm {
-                            op: AluImmOp::Sltiu,
-                            rd: if pred == Pred::Eq { rd } else { t },
-                            rs1: x,
-                            imm: 1,
-                        });
+                        isel.emit(
+                            bi,
+                            VInst::AluImm {
+                                op: AluImmOp::Xori,
+                                rd: x,
+                                rs1: ra,
+                                imm: c as i32,
+                            },
+                        );
+                        isel.emit(
+                            bi,
+                            VInst::AluImm {
+                                op: AluImmOp::Sltiu,
+                                rd: if pred == Pred::Eq { rd } else { t },
+                                rs1: x,
+                                imm: 1,
+                            },
+                        );
                     }
                     if pred == Pred::Ne {
-                        isel.emit(bi, VInst::AluImm { op: AluImmOp::Xori, rd, rs1: t, imm: 1 });
+                        isel.emit(
+                            bi,
+                            VInst::AluImm {
+                                op: AluImmOp::Xori,
+                                rd,
+                                rs1: t,
+                                imm: 1,
+                            },
+                        );
                     }
                     return;
                 }
@@ -498,24 +754,59 @@ fn lower_icmp(isel: &mut Isel<'_>, bi: usize, rd: VReg, pred: Pred, a: &Operand,
         Pred::Ule => (AluOp::Sltu, rb, ra, true),
         Pred::Eq | Pred::Ne => {
             let x = isel.fresh();
-            isel.emit(bi, VInst::Alu { op: AluOp::Xor, rd: x, rs1: ra, rs2: rb });
+            isel.emit(
+                bi,
+                VInst::Alu {
+                    op: AluOp::Xor,
+                    rd: x,
+                    rs1: ra,
+                    rs2: rb,
+                },
+            );
             let t = isel.fresh();
-            isel.emit(bi, VInst::AluImm {
-                op: AluImmOp::Sltiu,
-                rd: if pred == Pred::Eq { rd } else { t },
-                rs1: x,
-                imm: 1,
-            });
+            isel.emit(
+                bi,
+                VInst::AluImm {
+                    op: AluImmOp::Sltiu,
+                    rd: if pred == Pred::Eq { rd } else { t },
+                    rs1: x,
+                    imm: 1,
+                },
+            );
             if pred == Pred::Ne {
-                isel.emit(bi, VInst::AluImm { op: AluImmOp::Xori, rd, rs1: t, imm: 1 });
+                isel.emit(
+                    bi,
+                    VInst::AluImm {
+                        op: AluImmOp::Xori,
+                        rd,
+                        rs1: t,
+                        imm: 1,
+                    },
+                );
             }
             return;
         }
     };
     if invert {
         let t = isel.fresh();
-        isel.emit(bi, VInst::Alu { op, rd: t, rs1, rs2 });
-        isel.emit(bi, VInst::AluImm { op: AluImmOp::Xori, rd, rs1: t, imm: 1 });
+        isel.emit(
+            bi,
+            VInst::Alu {
+                op,
+                rd: t,
+                rs1,
+                rs2,
+            },
+        );
+        isel.emit(
+            bi,
+            VInst::AluImm {
+                op: AluImmOp::Xori,
+                rd,
+                rs1: t,
+                imm: 1,
+            },
+        );
     } else {
         isel.emit(bi, VInst::Alu { op, rd, rs1, rs2 });
     }
@@ -549,12 +840,10 @@ fn lower_term(isel: &mut Isel<'_>, bi: usize, b: BlockId) -> Result<(), CodegenE
             // Fused compare-and-branch when the condition is a single-use
             // icmp from this block.
             let fused = match &c {
-                Operand::Value(cv) if isel.fused.contains(cv) => {
-                    match isel.f.op(*cv) {
-                        Some(Op::Icmp { pred, a, b }) => Some((*pred, *a, *b)),
-                        _ => None,
-                    }
-                }
+                Operand::Value(cv) if isel.fused.contains(cv) => match isel.f.op(*cv) {
+                    Some(Op::Icmp { pred, a, b }) => Some((*pred, *a, *b)),
+                    _ => None,
+                },
                 _ => None,
             };
             let t_edge = edge_target(isel, bi, b, t);
@@ -565,16 +854,27 @@ fn lower_term(isel: &mut Isel<'_>, bi: usize, b: BlockId) -> Result<(), CodegenE
                     let ra = isel.operand(bi, &a);
                     let rb = isel.operand(bi, &bo);
                     let (rs1, rs2) = if swap { (rb, ra) } else { (ra, rb) };
-                    isel.emit(bi, VInst::Branch { cond, rs1, rs2: Some(rs2), target: t_edge });
+                    isel.emit(
+                        bi,
+                        VInst::Branch {
+                            cond,
+                            rs1,
+                            rs2: Some(rs2),
+                            target: t_edge,
+                        },
+                    );
                 }
                 None => {
                     let cv = isel.operand(bi, &c);
-                    isel.emit(bi, VInst::Branch {
-                        cond: BranchCond::Ne,
-                        rs1: cv,
-                        rs2: None,
-                        target: t_edge,
-                    });
+                    isel.emit(
+                        bi,
+                        VInst::Branch {
+                            cond: BranchCond::Ne,
+                            rs1: cv,
+                            rs2: None,
+                            target: t_edge,
+                        },
+                    );
                 }
             }
             isel.emit(bi, VInst::Jump { target: f_edge });
@@ -591,15 +891,24 @@ fn lower_term(isel: &mut Isel<'_>, bi: usize, b: BlockId) -> Result<(), CodegenE
                     });
                 }
                 let kv = isel.fresh();
-                isel.emit(bi, VInst::LoadImm { rd: kv, imm: *k as i32 });
+                isel.emit(
+                    bi,
+                    VInst::LoadImm {
+                        rd: kv,
+                        imm: *k as i32,
+                    },
+                );
                 let val = isel.operand(bi, &v);
                 let ti = isel.layout[target];
-                isel.emit(bi, VInst::Branch {
-                    cond: BranchCond::Eq,
-                    rs1: val,
-                    rs2: Some(kv),
-                    target: ti,
-                });
+                isel.emit(
+                    bi,
+                    VInst::Branch {
+                        cond: BranchCond::Eq,
+                        rs1: val,
+                        rs2: Some(kv),
+                        target: ti,
+                    },
+                );
             }
             if has_phis(isel.f, default) {
                 return Err(CodegenError {
@@ -611,10 +920,7 @@ fn lower_term(isel: &mut Isel<'_>, bi: usize, b: BlockId) -> Result<(), CodegenE
             isel.emit(bi, VInst::Jump { target: di });
         }
         Term::Ret(v) => {
-            let val = match v {
-                Some(o) => Some(isel.operand(bi, &o)),
-                None => None,
-            };
+            let val = v.map(|o| isel.operand(bi, &o));
             isel.emit(bi, VInst::Ret { val });
         }
         Term::Unreachable => {
@@ -624,7 +930,11 @@ fn lower_term(isel: &mut Isel<'_>, bi: usize, b: BlockId) -> Result<(), CodegenE
             let r = isel.fresh();
             isel.emit(
                 bi,
-                VInst::Ecall { code: zkvmopt_ir::ecall::HALT, args: vec![a], ret: r },
+                VInst::Ecall {
+                    code: zkvmopt_ir::ecall::HALT,
+                    args: vec![a],
+                    ret: r,
+                },
             );
             isel.emit(bi, VInst::Jump { target: bi });
         }
@@ -633,7 +943,10 @@ fn lower_term(isel: &mut Isel<'_>, bi: usize, b: BlockId) -> Result<(), CodegenE
 }
 
 fn has_phis(f: &Function, b: BlockId) -> bool {
-    f.blocks[b.index()].insts.iter().any(|&v| matches!(f.op(v), Some(Op::Phi { .. })))
+    f.blocks[b.index()]
+        .insts
+        .iter()
+        .any(|&v| matches!(f.op(v), Some(Op::Phi { .. })))
 }
 
 /// Resolve the branch target for edge `b -> succ`, inserting an edge block
@@ -683,7 +996,7 @@ fn emit_phi_copies_into(isel: &mut Isel<'_>, bi: usize, pred: BlockId, succ: Blo
     // parallel-copy sequence.
     let dsts: std::collections::HashSet<VReg> = pairs.iter().map(|(d, _)| *d).collect();
     let overlaps = pairs.iter().any(|(_, o)| match o {
-        Operand::Value(v) => isel.vmap.get(v).map_or(false, |r| dsts.contains(r)),
+        Operand::Value(v) => isel.vmap.get(v).is_some_and(|r| dsts.contains(r)),
         _ => false,
     });
     let emit_src = |isel: &mut Isel<'_>, bi: usize, rd: VReg, o: &Operand| match o {

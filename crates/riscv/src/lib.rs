@@ -52,12 +52,20 @@ pub struct TargetCostModel {
 impl TargetCostModel {
     /// The CPU-tuned model (LLVM's stock RISC-V backend attitude).
     pub fn cpu() -> TargetCostModel {
-        TargetCostModel { name: "cpu", expand_sdiv_pow2: true, select_via_mul: false }
+        TargetCostModel {
+            name: "cpu",
+            expand_sdiv_pow2: true,
+            select_via_mul: false,
+        }
     }
 
     /// The zkVM-aware model from the paper's Change set 1.
     pub fn zk() -> TargetCostModel {
-        TargetCostModel { name: "zk", expand_sdiv_pow2: false, select_via_mul: true }
+        TargetCostModel {
+            name: "zk",
+            expand_sdiv_pow2: false,
+            select_via_mul: true,
+        }
     }
 }
 
@@ -119,8 +127,14 @@ mod tests {
         let zk = compile(src, &TargetCostModel::zk());
         let cpu_asm = cpu.disassemble();
         let zk_asm = zk.disassemble();
-        assert!(!cpu_asm.contains("div "), "CPU model must expand the division:\n{cpu_asm}");
-        assert!(zk_asm.contains("div "), "zk model must keep the division:\n{zk_asm}");
+        assert!(
+            !cpu_asm.contains("div "),
+            "CPU model must expand the division:\n{cpu_asm}"
+        );
+        assert!(
+            zk_asm.contains("div "),
+            "zk model must keep the division:\n{zk_asm}"
+        );
         assert!(cpu.len() > zk.len());
     }
 

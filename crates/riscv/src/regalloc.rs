@@ -67,10 +67,10 @@ pub fn allocate(vf: &VFunc) -> AllocatedFunc {
     for (bi, block) in vf.blocks.iter().enumerate() {
         for inst in block {
             match inst {
-                VInst::Branch { target, .. } | VInst::Jump { target } => {
-                    if !succs[bi].contains(target) {
-                        succs[bi].push(*target);
-                    }
+                VInst::Branch { target, .. } | VInst::Jump { target }
+                    if !succs[bi].contains(target) =>
+                {
+                    succs[bi].push(*target);
                 }
                 _ => {}
             }
@@ -133,8 +133,11 @@ pub fn allocate(vf: &VFunc) -> AllocatedFunc {
             }
             match inst {
                 VInst::Call { .. } => {
-                    let cs: Vec<Reg> =
-                        ALLOCATABLE.iter().copied().filter(|r| r.is_caller_saved()).collect();
+                    let cs: Vec<Reg> = ALLOCATABLE
+                        .iter()
+                        .copied()
+                        .filter(|r| r.is_caller_saved())
+                        .collect();
                     clobbers.push((pos, cs));
                 }
                 VInst::Ecall { .. } => {
@@ -166,7 +169,12 @@ pub fn allocate(vf: &VFunc) -> AllocatedFunc {
                 .filter(|(p, _)| s <= *p && *p < e)
                 .flat_map(|(_, rs)| rs.iter().copied())
                 .collect();
-            Interval { vreg: VReg(i as u32), start: s, end: e, forbidden }
+            Interval {
+                vreg: VReg(i as u32),
+                start: s,
+                end: e,
+                forbidden,
+            }
         })
         .collect();
     intervals.sort_by_key(|iv| (iv.start, iv.end));
@@ -239,11 +247,7 @@ pub fn allocate(vf: &VFunc) -> AllocatedFunc {
         .iter()
         .map(|b| {
             b.iter()
-                .map(|i| {
-                    i.map_regs(|v| {
-                        *assignment.get(&v).unwrap_or(&Loc::Reg(Reg::ZERO))
-                    })
-                })
+                .map(|i| i.map_regs(|v| *assignment.get(&v).unwrap_or(&Loc::Reg(Reg::ZERO))))
                 .collect()
         })
         .collect();

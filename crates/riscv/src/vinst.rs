@@ -15,22 +15,46 @@ pub enum VInst<R> {
     /// Register–register ALU.
     Alu { op: AluOp, rd: R, rs1: R, rs2: R },
     /// Register–immediate ALU (immediate guaranteed in range by isel).
-    AluImm { op: AluImmOp, rd: R, rs1: R, imm: i32 },
+    AluImm {
+        op: AluImmOp,
+        rd: R,
+        rs1: R,
+        imm: i32,
+    },
     /// Materialize a 32-bit constant (expands to `addi`/`lui+addi`).
     LoadImm { rd: R, imm: i32 },
     /// Typed load.
-    Load { width: MemWidth, rd: R, base: R, offset: i32 },
+    Load {
+        width: MemWidth,
+        rd: R,
+        base: R,
+        offset: i32,
+    },
     /// Typed store.
-    Store { width: MemWidth, src: R, base: R, offset: i32 },
+    Store {
+        width: MemWidth,
+        src: R,
+        base: R,
+        offset: i32,
+    },
     /// Address of a frame slot: `sp + (alloca area base) + offset`.
     FrameAddr { rd: R, offset: i32 },
     /// Conditional branch to layout block `target`; `rs2 == None` compares
     /// against `x0`.
-    Branch { cond: BranchCond, rs1: R, rs2: Option<R>, target: usize },
+    Branch {
+        cond: BranchCond,
+        rs1: R,
+        rs2: Option<R>,
+        target: usize,
+    },
     /// Unconditional jump to layout block `target`.
     Jump { target: usize },
     /// Direct call (expands to argument shuffling + `jal ra`).
-    Call { callee: usize, args: Vec<R>, ret: Option<R> },
+    Call {
+        callee: usize,
+        args: Vec<R>,
+        ret: Option<R>,
+    },
     /// zkVM environment call: `code -> t0`, `args -> a0..`, result in `a0`.
     Ecall { code: u32, args: Vec<R>, ret: R },
     /// Function return (expands to result move + epilogue + `jalr`).
@@ -85,21 +109,54 @@ impl<R: Copy> VInst<R> {
     /// Map registers through `f`.
     pub fn map_regs<S: Copy>(&self, mut f: impl FnMut(R) -> S) -> VInst<S> {
         match self {
-            VInst::Alu { op, rd, rs1, rs2 } => {
-                VInst::Alu { op: *op, rd: f(*rd), rs1: f(*rs1), rs2: f(*rs2) }
-            }
-            VInst::AluImm { op, rd, rs1, imm } => {
-                VInst::AluImm { op: *op, rd: f(*rd), rs1: f(*rs1), imm: *imm }
-            }
-            VInst::LoadImm { rd, imm } => VInst::LoadImm { rd: f(*rd), imm: *imm },
-            VInst::Load { width, rd, base, offset } => {
-                VInst::Load { width: *width, rd: f(*rd), base: f(*base), offset: *offset }
-            }
-            VInst::Store { width, src, base, offset } => {
-                VInst::Store { width: *width, src: f(*src), base: f(*base), offset: *offset }
-            }
-            VInst::FrameAddr { rd, offset } => VInst::FrameAddr { rd: f(*rd), offset: *offset },
-            VInst::Branch { cond, rs1, rs2, target } => VInst::Branch {
+            VInst::Alu { op, rd, rs1, rs2 } => VInst::Alu {
+                op: *op,
+                rd: f(*rd),
+                rs1: f(*rs1),
+                rs2: f(*rs2),
+            },
+            VInst::AluImm { op, rd, rs1, imm } => VInst::AluImm {
+                op: *op,
+                rd: f(*rd),
+                rs1: f(*rs1),
+                imm: *imm,
+            },
+            VInst::LoadImm { rd, imm } => VInst::LoadImm {
+                rd: f(*rd),
+                imm: *imm,
+            },
+            VInst::Load {
+                width,
+                rd,
+                base,
+                offset,
+            } => VInst::Load {
+                width: *width,
+                rd: f(*rd),
+                base: f(*base),
+                offset: *offset,
+            },
+            VInst::Store {
+                width,
+                src,
+                base,
+                offset,
+            } => VInst::Store {
+                width: *width,
+                src: f(*src),
+                base: f(*base),
+                offset: *offset,
+            },
+            VInst::FrameAddr { rd, offset } => VInst::FrameAddr {
+                rd: f(*rd),
+                offset: *offset,
+            },
+            VInst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => VInst::Branch {
                 cond: *cond,
                 rs1: f(*rs1),
                 rs2: rs2.map(&mut f),
@@ -116,15 +173,26 @@ impl<R: Copy> VInst<R> {
                 args: args.iter().map(|a| f(*a)).collect(),
                 ret: f(*ret),
             },
-            VInst::Ret { val } => VInst::Ret { val: val.map(&mut f) },
-            VInst::Mv { rd, rs } => VInst::Mv { rd: f(*rd), rs: f(*rs) },
-            VInst::Param { rd, index } => VInst::Param { rd: f(*rd), index: *index },
+            VInst::Ret { val } => VInst::Ret {
+                val: val.map(&mut f),
+            },
+            VInst::Mv { rd, rs } => VInst::Mv {
+                rd: f(*rd),
+                rs: f(*rs),
+            },
+            VInst::Param { rd, index } => VInst::Param {
+                rd: f(*rd),
+                index: *index,
+            },
         }
     }
 
     /// Whether this ends a basic block.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, VInst::Branch { .. } | VInst::Jump { .. } | VInst::Ret { .. })
+        matches!(
+            self,
+            VInst::Branch { .. } | VInst::Jump { .. } | VInst::Ret { .. }
+        )
     }
 }
 
@@ -138,10 +206,19 @@ impl<R: fmt::Display> fmt::Display for VInst<R> {
                 write!(f, "{} {rd}, {rs1}, {imm}", op.mnemonic())
             }
             VInst::LoadImm { rd, imm } => write!(f, "li {rd}, {imm}"),
-            VInst::Load { rd, base, offset, .. } => write!(f, "lw* {rd}, {offset}({base})"),
-            VInst::Store { src, base, offset, .. } => write!(f, "sw* {src}, {offset}({base})"),
+            VInst::Load {
+                rd, base, offset, ..
+            } => write!(f, "lw* {rd}, {offset}({base})"),
+            VInst::Store {
+                src, base, offset, ..
+            } => write!(f, "sw* {src}, {offset}({base})"),
             VInst::FrameAddr { rd, offset } => write!(f, "frame {rd}, {offset}"),
-            VInst::Branch { cond, rs1, rs2, target } => match rs2 {
+            VInst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => match rs2 {
                 Some(r2) => write!(f, "{} {rs1}, {r2}, bb{target}", cond.mnemonic()),
                 None => write!(f, "{} {rs1}, zero, bb{target}", cond.mnemonic()),
             },
@@ -164,12 +241,19 @@ mod tests {
 
     #[test]
     fn defs_and_uses() {
-        let c: VInst<VReg> =
-            VInst::Call { callee: 0, args: vec![VReg(1), VReg(2)], ret: Some(VReg(3)) };
+        let c: VInst<VReg> = VInst::Call {
+            callee: 0,
+            args: vec![VReg(1), VReg(2)],
+            ret: Some(VReg(3)),
+        };
         assert_eq!(c.defs(), vec![VReg(3)]);
         assert_eq!(c.uses(), vec![VReg(1), VReg(2)]);
-        let b: VInst<VReg> =
-            VInst::Branch { cond: BranchCond::Ne, rs1: VReg(0), rs2: None, target: 3 };
+        let b: VInst<VReg> = VInst::Branch {
+            cond: BranchCond::Ne,
+            rs1: VReg(0),
+            rs2: None,
+            target: 3,
+        };
         assert_eq!(b.uses(), vec![VReg(0)]);
         assert!(b.is_terminator());
     }

@@ -48,7 +48,12 @@ pub struct TunerConfig {
 
 impl Default for TunerConfig {
     fn default() -> TunerConfig {
-        TunerConfig { iterations: 160, population: 16, max_depth: 20, seed: 0xC0FFEE }
+        TunerConfig {
+            iterations: 160,
+            population: 16,
+            max_depth: 20,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -67,7 +72,9 @@ pub struct TuneResult {
 
 fn random_candidate(rng: &mut StdRng, names: &[&'static str], max_depth: usize) -> Candidate {
     let depth = rng.gen_range(1..=max_depth);
-    let passes = (0..depth).map(|_| names[rng.gen_range(0..names.len())]).collect();
+    let passes = (0..depth)
+        .map(|_| names[rng.gen_range(0..names.len())])
+        .collect();
     Candidate {
         passes,
         inline_threshold: rng.gen_range(0..8192),
@@ -103,16 +110,27 @@ fn mutate(rng: &mut StdRng, c: &Candidate, names: &[&'static str], max_depth: us
 fn crossover(rng: &mut StdRng, a: &Candidate, b: &Candidate, max_depth: usize) -> Candidate {
     let cut_a = rng.gen_range(0..=a.passes.len());
     let cut_b = rng.gen_range(0..=b.passes.len());
-    let mut passes: Vec<&'static str> =
-        a.passes[..cut_a].iter().chain(b.passes[cut_b..].iter()).copied().collect();
+    let mut passes: Vec<&'static str> = a.passes[..cut_a]
+        .iter()
+        .chain(b.passes[cut_b..].iter())
+        .copied()
+        .collect();
     passes.truncate(max_depth);
     if passes.is_empty() {
         passes.push(a.passes.first().copied().unwrap_or("mem2reg"));
     }
     Candidate {
         passes,
-        inline_threshold: if rng.gen_bool(0.5) { a.inline_threshold } else { b.inline_threshold },
-        unroll_threshold: if rng.gen_bool(0.5) { a.unroll_threshold } else { b.unroll_threshold },
+        inline_threshold: if rng.gen_bool(0.5) {
+            a.inline_threshold
+        } else {
+            b.inline_threshold
+        },
+        unroll_threshold: if rng.gen_bool(0.5) {
+            a.unroll_threshold
+        } else {
+            b.unroll_threshold
+        },
     }
 }
 
@@ -133,12 +151,26 @@ pub fn autotune(
     let mut population: Vec<(Candidate, Option<u64>)> = Vec::new();
     let anchors: Vec<Candidate> = vec![
         Candidate {
-            passes: vec!["mem2reg", "instcombine", "simplifycfg", "inline", "gvn", "dce"],
+            passes: vec![
+                "mem2reg",
+                "instcombine",
+                "simplifycfg",
+                "inline",
+                "gvn",
+                "dce",
+            ],
             inline_threshold: 225,
             unroll_threshold: 200,
         },
         Candidate {
-            passes: vec!["mem2reg", "inline", "sroa", "early-cse", "sccp", "simplifycfg"],
+            passes: vec![
+                "mem2reg",
+                "inline",
+                "sroa",
+                "early-cse",
+                "sccp",
+                "simplifycfg",
+            ],
             inline_threshold: 1000,
             unroll_threshold: 400,
         },
@@ -161,7 +193,7 @@ pub fn autotune(
         evaluated += 1;
         evals_left -= 1;
         if let Some(v) = *f {
-            if best.as_ref().map_or(true, |(_, b)| v < *b) {
+            if best.as_ref().is_none_or(|(_, b)| v < *b) {
                 best = Some((c.clone(), v));
             }
         }
@@ -175,7 +207,7 @@ pub fn autotune(
             for _ in 0..3 {
                 let i = rng.gen_range(0..pop.len());
                 let f = pop[i].1.unwrap_or(u64::MAX);
-                if bestc.map_or(true, |(_, bf)| f < bf) {
+                if bestc.is_none_or(|(_, bf)| f < bf) {
                     bestc = Some((i, f));
                 }
             }
@@ -195,7 +227,7 @@ pub fn autotune(
         evaluated += 1;
         evals_left -= 1;
         if let Some(v) = f {
-            if best.as_ref().map_or(true, |(_, b)| v < *b) {
+            if best.as_ref().is_none_or(|(_, b)| v < *b) {
                 best = Some((child.clone(), v));
             }
         }
@@ -213,7 +245,12 @@ pub fn autotune(
     }
 
     let (best, best_fitness) = best.expect("at least one valid candidate evaluated");
-    TuneResult { best, best_fitness, history, evaluated }
+    TuneResult {
+        best,
+        best_fitness,
+        history,
+        evaluated,
+    }
 }
 
 #[cfg(test)]
@@ -223,7 +260,10 @@ mod tests {
     #[test]
     fn converges_on_synthetic_fitness() {
         // Fitness rewards containing mem2reg early and inline anywhere.
-        let cfg = TunerConfig { iterations: 120, ..Default::default() };
+        let cfg = TunerConfig {
+            iterations: 120,
+            ..Default::default()
+        };
         let r = autotune(&cfg, |c| {
             let mut score: u64 = 10_000;
             if c.passes.first() == Some(&"mem2reg") {
@@ -242,7 +282,10 @@ mod tests {
 
     #[test]
     fn history_is_monotonically_non_increasing() {
-        let cfg = TunerConfig { iterations: 60, ..Default::default() };
+        let cfg = TunerConfig {
+            iterations: 60,
+            ..Default::default()
+        };
         let r = autotune(&cfg, |c| Some(c.passes.len() as u64 * 100 + 7));
         for w in r.history.windows(2) {
             assert!(w[1] <= w[0]);
@@ -251,7 +294,11 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let cfg = TunerConfig { iterations: 50, seed: 7, ..Default::default() };
+        let cfg = TunerConfig {
+            iterations: 50,
+            seed: 7,
+            ..Default::default()
+        };
         let f = |c: &Candidate| Some(c.inline_threshold as u64 + c.passes.len() as u64);
         let a = autotune(&cfg, f);
         let b = autotune(&cfg, f);
@@ -261,7 +308,10 @@ mod tests {
 
     #[test]
     fn invalid_candidates_never_win() {
-        let cfg = TunerConfig { iterations: 80, ..Default::default() };
+        let cfg = TunerConfig {
+            iterations: 80,
+            ..Default::default()
+        };
         let r = autotune(&cfg, |c| {
             if c.passes.contains(&"licm") {
                 None // "broke correctness"

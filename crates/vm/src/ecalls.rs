@@ -122,11 +122,19 @@ mod tests {
         mem[64..72].copy_from_slice(&kp.public.to_le_bytes());
         mem[96..104].copy_from_slice(&s.r.to_le_bytes());
         mem[104..112].copy_from_slice(&s.s.to_le_bytes());
-        let ok = run_precompile(ecall::ECDSA_VERIFY, &[0, 64, 96], &mut FlatMem(&mut mem[..]));
+        let ok = run_precompile(
+            ecall::ECDSA_VERIFY,
+            &[0, 64, 96],
+            &mut FlatMem(&mut mem[..]),
+        );
         assert_eq!(ok, 1);
         // Corrupt the message: verification fails.
         mem[0] ^= 1;
-        let bad = run_precompile(ecall::ECDSA_VERIFY, &[0, 64, 96], &mut FlatMem(&mut mem[..]));
+        let bad = run_precompile(
+            ecall::ECDSA_VERIFY,
+            &[0, 64, 96],
+            &mut FlatMem(&mut mem[..]),
+        );
         assert_eq!(bad, 0);
     }
 }

@@ -34,7 +34,9 @@ pub mod mem;
 pub mod profile;
 
 pub use ecalls::CryptoEcalls;
-pub use machine::{alu, alu_imm, run_program, ExecConfig, ExecError, ExecutionReport, InstMix, Machine};
+pub use machine::{
+    alu, alu_imm, run_program, ExecConfig, ExecError, ExecutionReport, InstMix, Machine,
+};
 pub use mem::PagedMemory;
 pub use profile::{VmKind, VmProfile};
 
@@ -58,8 +60,10 @@ mod tests {
     /// and demand identical guest-visible behaviour.
     fn differential(src: &str, inputs: &[i32], passes: &[&str]) -> ExecutionReport {
         let m = zkvmopt_lang::compile_guest(src).expect("compiles");
-        let config =
-            InterpConfig { inputs: inputs.to_vec(), ..InterpConfig::default() };
+        let config = InterpConfig {
+            inputs: inputs.to_vec(),
+            ..InterpConfig::default()
+        };
         let oracle = Interp::new(&m, config, CryptoEcalls)
             .run_main()
             .expect("oracle runs");
@@ -145,8 +149,7 @@ mod tests {
               return s % 1000;
             }";
         let m0 = zkvmopt_lang::compile_guest(src).unwrap();
-        let base_prog =
-            zkvmopt_riscv::compile_module(&m0, &TargetCostModel::zk()).unwrap();
+        let base_prog = zkvmopt_riscv::compile_module(&m0, &TargetCostModel::zk()).unwrap();
         let base = run_program(&base_prog, VmKind::RiscZero, &[]).unwrap();
         for level in OptLevel::ALL {
             let mut m = zkvmopt_lang::compile_guest(src).unwrap();
@@ -190,7 +193,10 @@ mod tests {
         let s = zkvmopt_crypto::sig::sign(zkvmopt_crypto::sig::Scheme::Ecdsa, &kp, &msg);
         // Bake the vectors into globals.
         let fmt_bytes = |b: &[u8]| -> String {
-            b.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ")
+            b.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         };
         let src = format!(
             "static MSG: [i8; 32] = [{}];
@@ -234,7 +240,12 @@ mod tests {
         );
         let rb = run_program(&big, VmKind::RiscZero, &[]).unwrap();
         let rs = run_program(&small, VmKind::RiscZero, &[]).unwrap();
-        assert!(rb.page_outs > rs.page_outs, "{} !> {}", rb.page_outs, rs.page_outs);
+        assert!(
+            rb.page_outs > rs.page_outs,
+            "{} !> {}",
+            rb.page_outs,
+            rs.page_outs
+        );
         assert!(rb.paging_cycles > rs.paging_cycles);
     }
 
@@ -252,8 +263,12 @@ mod tests {
             &["mem2reg"],
         );
         let r = run_program(&prog, VmKind::RiscZero, &[]).unwrap();
-        assert!(r.segments > 1, "expected multiple segments, got {}", r.segments);
-        assert!(r.page_ins as u64 >= r.segments - 1, "each segment re-pages");
+        assert!(
+            r.segments > 1,
+            "expected multiple segments, got {}",
+            r.segments
+        );
+        assert!(r.page_ins >= r.segments - 1, "each segment re-pages");
     }
 
     #[test]
@@ -302,7 +317,10 @@ mod tests {
         )
         .unwrap();
         let prog = zkvmopt_riscv::compile_module(&m, &TargetCostModel::zk()).unwrap();
-        let cfg = ExecConfig { max_cycles: 10_000, ..Default::default() };
+        let cfg = ExecConfig {
+            max_cycles: 10_000,
+            ..Default::default()
+        };
         let r = Machine::new(&prog, VmProfile::risc_zero(), cfg).run();
         assert_eq!(r.unwrap_err(), ExecError::CycleLimit);
     }

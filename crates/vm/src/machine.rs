@@ -3,7 +3,7 @@
 //! count, and paging cycles — plus the journal for correctness checks.
 
 use crate::ecalls::{self, MemIo};
-use crate::mem::{PagedMemory, MemFault, STACK_TOP};
+use crate::mem::{MemFault, PagedMemory, STACK_TOP};
 use crate::profile::{VmKind, VmProfile};
 use std::fmt;
 use zkvmopt_ir::ecall;
@@ -21,7 +21,10 @@ pub struct ExecConfig {
 
 impl Default for ExecConfig {
     fn default() -> ExecConfig {
-        ExecConfig { inputs: Vec::new(), max_cycles: 2_000_000_000 }
+        ExecConfig {
+            inputs: Vec::new(),
+            max_cycles: 2_000_000_000,
+        }
     }
 }
 
@@ -120,7 +123,9 @@ struct PagedIo<'a>(&'a mut PagedMemory);
 
 impl MemIo for PagedIo<'_> {
     fn read_bytes(&mut self, addr: u32, len: u32) -> Vec<u8> {
-        self.0.read_bytes_host(addr, len).unwrap_or_else(|_| vec![0; len as usize])
+        self.0
+            .read_bytes_host(addr, len)
+            .unwrap_or_else(|_| vec![0; len as usize])
     }
 
     fn write_bytes(&mut self, addr: u32, data: &[u8]) {
@@ -133,11 +138,20 @@ impl<'p> Machine<'p> {
     pub fn new(program: &'p Program, profile: VmProfile, config: ExecConfig) -> Machine<'p> {
         let mut mem = PagedMemory::new(profile.page_size);
         for (addr, data) in &program.globals {
-            mem.write_bytes_host(*addr, data).expect("global image fits");
+            mem.write_bytes_host(*addr, data)
+                .expect("global image fits");
         }
         let mut regs = [0u32; 32];
         regs[Reg::SP.0 as usize] = STACK_TOP;
-        Machine { program, profile, config, regs, pc: program.entry, mem, journal: Vec::new() }
+        Machine {
+            program,
+            profile,
+            config,
+            regs,
+            pc: program.entry,
+            mem,
+            journal: Vec::new(),
+        }
     }
 
     fn reg(&self, r: Reg) -> u32 {
@@ -194,7 +208,12 @@ impl<'p> Machine<'p> {
                     let a = self.reg(rs1);
                     self.set_reg(rd, alu_imm(op, a, imm));
                 }
-                Inst::Load { width, rd, base, offset } => {
+                Inst::Load {
+                    width,
+                    rd,
+                    base,
+                    offset,
+                } => {
                     mix.load += 1;
                     let addr = self.reg(base).wrapping_add(offset as u32);
                     let raw = self
@@ -210,14 +229,24 @@ impl<'p> Machine<'p> {
                     };
                     self.set_reg(rd, v);
                 }
-                Inst::Store { width, src, base, offset } => {
+                Inst::Store {
+                    width,
+                    src,
+                    base,
+                    offset,
+                } => {
                     mix.store += 1;
                     let addr = self.reg(base).wrapping_add(offset as u32);
                     self.mem
                         .write(addr, self.reg(src), width.bytes())
                         .map_err(|MemFault { addr }| ExecError::MemFault { addr, pc: self.pc })?;
                 }
-                Inst::Branch { cond, rs1, rs2, target } => {
+                Inst::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
                     mix.branch += 1;
                     if cond.eval(self.reg(rs1), self.reg(rs2)) {
                         next_pc = target;
@@ -261,11 +290,8 @@ impl<'p> Machine<'p> {
                         }
                         other => {
                             cost += ecalls::precompile_cycles(&self.profile, other, &args);
-                            let r = ecalls::run_precompile(
-                                other,
-                                &args,
-                                &mut PagedIo(&mut self.mem),
-                            );
+                            let r =
+                                ecalls::run_precompile(other, &args, &mut PagedIo(&mut self.mem));
                             self.set_reg(Reg::A0, r as u32);
                         }
                     }
@@ -276,8 +302,7 @@ impl<'p> Machine<'p> {
             // Paging cycles from this instruction.
             let dins = self.mem.page_ins() - page_ins_before;
             let douts = self.mem.page_outs() - page_outs_before;
-            let pcycles = dins * self.profile.page_in_cycles
-                + douts * self.profile.page_out_cycles;
+            let pcycles = dins * self.profile.page_in_cycles + douts * self.profile.page_out_cycles;
             segment_cycles += cost + pcycles;
             if segment_cycles >= self.profile.segment_cycles {
                 segments += 1;
@@ -304,7 +329,11 @@ impl<'p> Machine<'p> {
         // the _start stub halts with it, so `halted` distinguishes guest
         // halts only when halt() was called before main returned. Either
         // way the code is in `exit_code` when halted; otherwise read a0.
-        let exit = if halted { exit_code } else { self.reg(Reg::A0) as i32 };
+        let exit = if halted {
+            exit_code
+        } else {
+            self.reg(Reg::A0) as i32
+        };
         Ok(ExecutionReport {
             kind: self.profile.kind,
             instret,
@@ -352,13 +381,7 @@ pub fn alu(op: AluOp, a: u32, b: u32) -> u32 {
                 sa.wrapping_div(sb) as u32
             }
         }
-        AluOp::Divu => {
-            if b == 0 {
-                u32::MAX
-            } else {
-                a / b
-            }
-        }
+        AluOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
         AluOp::Rem => {
             if b == 0 {
                 a
@@ -405,6 +428,9 @@ pub fn run_program(
     inputs: &[i32],
 ) -> Result<ExecutionReport, ExecError> {
     let profile = VmProfile::for_kind(kind);
-    let config = ExecConfig { inputs: inputs.to_vec(), ..ExecConfig::default() };
+    let config = ExecConfig {
+        inputs: inputs.to_vec(),
+        ..ExecConfig::default()
+    };
     Machine::new(program, profile, config).run()
 }

@@ -33,7 +33,10 @@ pub struct PagedMemory {
 impl PagedMemory {
     /// Fresh zeroed memory.
     pub fn new(page_size: u32) -> PagedMemory {
-        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
         PagedMemory {
             page_size,
             pages: HashMap::new(),
@@ -99,7 +102,7 @@ impl PagedMemory {
     }
 
     fn check(&self, addr: u32, size: u32) -> Result<(), MemFault> {
-        if addr < 0x100 || addr.checked_add(size).map_or(true, |e| e > MEM_SIZE) {
+        if addr < 0x100 || addr.checked_add(size).is_none_or(|e| e > MEM_SIZE) {
             return Err(MemFault { addr });
         }
         Ok(())

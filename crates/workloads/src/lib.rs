@@ -73,7 +73,10 @@ fn signature_workload(name: &'static str, scheme: zkvmopt_crypto::sig::Scheme) -
     // Deterministic vectors baked into globals; the guest verifies a batch of
     // signatures (some valid, some corrupted) via the precompile.
     let fmt = |b: &[u8]| -> String {
-        b.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ")
+        b.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
     };
     let mut msgs = Vec::new();
     let mut pks = Vec::new();
@@ -121,7 +124,13 @@ fn main() -> i32 {{
         p = fmt(&pks),
         s = fmt(&sigs),
     );
-    Workload { name, suite: Suite::Crypto, source, inputs: vec![42], uses_precompile: true }
+    Workload {
+        name,
+        suite: Suite::Crypto,
+        source,
+        inputs: vec![42],
+        uses_precompile: true,
+    }
 }
 
 fn build_all() -> Vec<Workload> {
@@ -189,8 +198,14 @@ fn build_all() -> Vec<Workload> {
         static_workload!("rsp", Other, true),
         static_workload!("zkvm-mnist", Other, false),
     ];
-    v.push(signature_workload("ecdsa-verify", zkvmopt_crypto::sig::Scheme::Ecdsa));
-    v.push(signature_workload("eddsa-verify", zkvmopt_crypto::sig::Scheme::Eddsa));
+    v.push(signature_workload(
+        "ecdsa-verify",
+        zkvmopt_crypto::sig::Scheme::Ecdsa,
+    ));
+    v.push(signature_workload(
+        "eddsa-verify",
+        zkvmopt_crypto::sig::Scheme::Eddsa,
+    ));
     v
 }
 
@@ -262,7 +277,9 @@ mod tests {
             let w = by_name(name).expect("exists");
             let m = zkvmopt_lang::compile_guest(&w.source).expect("compiles");
             let cfg = zkvmopt_ir::interp::InterpConfig::default();
-            let out = zkvmopt_ir::Interp::new(&m, cfg, HostEcalls).run_main().expect("runs");
+            let out = zkvmopt_ir::Interp::new(&m, cfg, HostEcalls)
+                .run_main()
+                .expect("runs");
             // 12 signatures, every third corrupted: 8 valid.
             assert_eq!(out.exit_value, 8, "{name}");
         }

@@ -97,7 +97,11 @@ struct Gshare {
 
 impl Gshare {
     fn new(bits: u32) -> Gshare {
-        Gshare { history: 0, table: vec![1; 1 << bits], bits }
+        Gshare {
+            history: 0,
+            table: vec![1; 1 << bits],
+            bits,
+        }
     }
 
     fn predict_and_update(&mut self, pc: usize, taken: bool) -> bool {
@@ -213,7 +217,9 @@ pub fn run_x86(program: &Program, model: &X86Model, inputs: &[i32]) -> Result<X8
     }
     let exit_code;
     loop {
-        let Some(inst) = program.code.get(pc) else { return Err(X86Error::BadPc { pc }) };
+        let Some(inst) = program.code.get(pc) else {
+            return Err(X86Error::BadPc { pc });
+        };
         let mut next_pc = pc + 1;
         match *inst {
             Inst::Lui { rd, imm } => {
@@ -232,7 +238,12 @@ pub fn run_x86(program: &Program, model: &X86Model, inputs: &[i32]) -> Result<X8
                 cycles += model.alu_cost;
                 set_reg!(rd, alu_imm(op, reg(&regs, rs1), imm));
             }
-            Inst::Load { width, rd, base, offset } => {
+            Inst::Load {
+                width,
+                rd,
+                base,
+                offset,
+            } => {
                 let addr = reg(&regs, base).wrapping_add(offset as u32);
                 if addr < 0x100 || addr as usize + width.bytes() as usize > mem_size {
                     return Err(X86Error::MemFault { addr });
@@ -261,7 +272,12 @@ pub fn run_x86(program: &Program, model: &X86Model, inputs: &[i32]) -> Result<X8
                 };
                 set_reg!(rd, v);
             }
-            Inst::Store { width, src, base, offset } => {
+            Inst::Store {
+                width,
+                src,
+                base,
+                offset,
+            } => {
                 let addr = reg(&regs, base).wrapping_add(offset as u32);
                 if addr < 0x100 || addr as usize + width.bytes() as usize > mem_size {
                     return Err(X86Error::MemFault { addr });
@@ -283,7 +299,12 @@ pub fn run_x86(program: &Program, model: &X86Model, inputs: &[i32]) -> Result<X8
                     _ => mem[a..a + 4].copy_from_slice(&v.to_le_bytes()),
                 }
             }
-            Inst::Branch { cond, rs1, rs2, target } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 let taken = cond.eval(reg(&regs, rs1), reg(&regs, rs2));
                 cycles += model.branch_cost;
                 if !predictor.predict_and_update(pc, taken) {

@@ -10,16 +10,28 @@ use zkvm_opt::vm::VmKind;
 
 fn main() {
     let w = zkvm_opt::workloads::by_name("sha2-bench").expect("suite workload");
-    println!("autotuning `{}` on RISC Zero (fitness = cycle count)\n", w.name);
+    println!(
+        "autotuning `{}` on RISC Zero (fitness = cycle count)\n",
+        w.name
+    );
 
     let (_, baseline) =
         measure(w, &OptProfile::baseline(), VmKind::RiscZero, false, None).expect("baseline");
-    let (o3, _) = measure(w, &OptProfile::level(OptLevel::O3), VmKind::RiscZero, false, Some(&baseline))
-        .expect("-O3");
+    let (o3, _) = measure(
+        w,
+        &OptProfile::level(OptLevel::O3),
+        VmKind::RiscZero,
+        false,
+        Some(&baseline),
+    )
+    .expect("-O3");
     println!("baseline : {:>12} cycles", baseline.exec.total_cycles);
     println!("-O3      : {:>12} cycles", o3.cycles);
 
-    let config = TunerConfig { iterations: 80, ..Default::default() };
+    let config = TunerConfig {
+        iterations: 80,
+        ..Default::default()
+    };
     let result = autotune(&config, |cand| {
         let profile = OptProfile::sequence("candidate", cand.passes.clone(), cand.pass_config());
         // Candidates that miscompile return None and can never win — the
@@ -31,10 +43,18 @@ fn main() {
         }
     });
 
-    println!("tuned    : {:>12} cycles  ({} evaluations)", result.best_fitness, result.evaluated);
-    println!("tuned vs -O3 cycle gain: {:+.1}%", gain(o3.cycles as f64, result.best_fitness as f64));
-    println!("\nbest sequence (inline-threshold {}, unroll-threshold {}):",
-        result.best.inline_threshold, result.best.unroll_threshold);
+    println!(
+        "tuned    : {:>12} cycles  ({} evaluations)",
+        result.best_fitness, result.evaluated
+    );
+    println!(
+        "tuned vs -O3 cycle gain: {:+.1}%",
+        gain(o3.cycles as f64, result.best_fitness as f64)
+    );
+    println!(
+        "\nbest sequence (inline-threshold {}, unroll-threshold {}):",
+        result.best.inline_threshold, result.best.unroll_threshold
+    );
     for p in &result.best.passes {
         println!("  - {p}");
     }

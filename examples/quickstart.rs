@@ -29,15 +29,31 @@ fn main() {
         let o3 = Pipeline::new(OptProfile::level(OptLevel::O3))
             .run_source(source, &[7], vm)
             .expect("-O3 runs");
-        assert_eq!(base.exec.journal, o3.exec.journal, "optimization must not change output");
+        assert_eq!(
+            base.exec.journal, o3.exec.journal,
+            "optimization must not change output"
+        );
         println!("{vm}:");
-        println!("  guest output          : {:?} (exit {})", base.exec.journal, base.exec.exit_code);
-        println!("  baseline              : {:>10} cycles, {:>9} instructions, {:>6} paging cycles",
-            base.exec.total_cycles, base.exec.instret, base.exec.paging_cycles);
-        println!("  -O3                   : {:>10} cycles, {:>9} instructions, {:>6} paging cycles",
-            o3.exec.total_cycles, o3.exec.instret, o3.exec.paging_cycles);
-        println!("  execution-time gain   : {:+.1}%", gain(base.exec_ms, o3.exec_ms));
-        println!("  proving-time gain     : {:+.1}%", gain(base.prove_ms, o3.prove_ms));
+        println!(
+            "  guest output          : {:?} (exit {})",
+            base.exec.journal, base.exec.exit_code
+        );
+        println!(
+            "  baseline              : {:>10} cycles, {:>9} instructions, {:>6} paging cycles",
+            base.exec.total_cycles, base.exec.instret, base.exec.paging_cycles
+        );
+        println!(
+            "  -O3                   : {:>10} cycles, {:>9} instructions, {:>6} paging cycles",
+            o3.exec.total_cycles, o3.exec.instret, o3.exec.paging_cycles
+        );
+        println!(
+            "  execution-time gain   : {:+.1}%",
+            gain(base.exec_ms, o3.exec_ms)
+        );
+        println!(
+            "  proving-time gain     : {:+.1}%",
+            gain(base.prove_ms, o3.prove_ms)
+        );
         println!();
     }
 }

@@ -36,19 +36,40 @@ fn main() {
 
     println!("== stock -O3 vs zkVM-aware -O3 (paper Fig. 14) ==\n");
     println!("                      stock -O3      zk-aware -O3");
-    println!("instructions        {:>11} {:>17}", stock.exec.instret, zk.exec.instret);
-    println!("zkVM cycles         {:>11} {:>17}", stock.exec.total_cycles, zk.exec.total_cycles);
-    println!("zkVM exec time      {:>9.3} ms {:>14.3} ms", stock.exec_ms, zk.exec_ms);
-    println!("proving time        {:>9.1} ms {:>14.1} ms", stock.prove_ms, zk.prove_ms);
+    println!(
+        "instructions        {:>11} {:>17}",
+        stock.exec.instret, zk.exec.instret
+    );
+    println!(
+        "zkVM cycles         {:>11} {:>17}",
+        stock.exec.total_cycles, zk.exec.total_cycles
+    );
+    println!(
+        "zkVM exec time      {:>9.3} ms {:>14.3} ms",
+        stock.exec_ms, zk.exec_ms
+    );
+    println!(
+        "proving time        {:>9.1} ms {:>14.1} ms",
+        stock.prove_ms, zk.prove_ms
+    );
     let (sx, zx) = (
         stock.x86.as_ref().expect("x86 run").time_ms,
         zk.x86.as_ref().expect("x86 run").time_ms,
     );
     println!("native x86 time     {:>9.4} ms {:>14.4} ms", sx, zx);
     println!();
-    println!("zkVM execution gain of zk-aware backend : {:+.1}%", gain(stock.exec_ms, zk.exec_ms));
-    println!("proving gain of zk-aware backend        : {:+.1}%", gain(stock.prove_ms, zk.prove_ms));
-    println!("native x86 'gain' (expected negative)   : {:+.1}%", gain(sx, zx));
+    println!(
+        "zkVM execution gain of zk-aware backend : {:+.1}%",
+        gain(stock.exec_ms, zk.exec_ms)
+    );
+    println!(
+        "proving gain of zk-aware backend        : {:+.1}%",
+        gain(stock.prove_ms, zk.prove_ms)
+    );
+    println!(
+        "native x86 'gain' (expected negative)   : {:+.1}%",
+        gain(sx, zx)
+    );
     println!();
     println!("The zk-aware backend keeps `div`/`rem` instructions and branchy");
     println!("selects (cheap in a proof, P3/P4), which the CPU model would have");

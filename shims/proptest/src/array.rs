@@ -1,0 +1,28 @@
+//! Fixed-size array strategies (subset of `proptest::array`).
+
+use crate::strategy::{BoxedStrategy, Strategy};
+
+/// `[T; 2]` with both elements drawn from `element`.
+pub fn uniform2<S>(element: S) -> BoxedStrategy<[S::Value; 2]>
+where
+    S: Strategy + 'static,
+    S::Value: 'static,
+{
+    BoxedStrategy::from_fn(move |rng| [element.sample(rng), element.sample(rng)])
+}
+
+/// `[T; 4]` with all elements drawn from `element`.
+pub fn uniform4<S>(element: S) -> BoxedStrategy<[S::Value; 4]>
+where
+    S: Strategy + 'static,
+    S::Value: 'static,
+{
+    BoxedStrategy::from_fn(move |rng| {
+        [
+            element.sample(rng),
+            element.sample(rng),
+            element.sample(rng),
+            element.sample(rng),
+        ]
+    })
+}

@@ -1,0 +1,18 @@
+//! Collection strategies (subset of `proptest::collection`).
+
+use crate::strategy::{BoxedStrategy, Strategy};
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// `Vec` strategy: length drawn from `len`, elements from `element`.
+pub fn vec<S>(element: S, len: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: 'static,
+{
+    assert!(len.start < len.end, "collection::vec: empty length range");
+    BoxedStrategy::from_fn(move |rng: &mut TestRng| {
+        let n = len.start + rng.below((len.end - len.start) as u64) as usize;
+        (0..n).map(|_| element.sample(rng)).collect()
+    })
+}

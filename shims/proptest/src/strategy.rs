@@ -1,0 +1,167 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+//!
+//! Unlike real proptest there is no shrinking and no `ValueTree`; a strategy
+//! is just a reproducible sampler. Combinators type-erase into
+//! [`BoxedStrategy`] eagerly, which keeps the trait object-safe-free and the
+//! implementation small.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A reproducible generator of values (subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erase into a [`BoxedStrategy`].
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let this = Rc::new(self);
+        BoxedStrategy {
+            sampler: Rc::new(move |rng| this.sample(rng)),
+        }
+    }
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized + 'static,
+        O: 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        let inner = self.boxed();
+        BoxedStrategy {
+            sampler: Rc::new(move |rng| f(inner.sample(rng))),
+        }
+    }
+
+    /// Build a recursive strategy: `expand` receives the strategy for the
+    /// previous depth and returns the strategy for one level deeper.
+    ///
+    /// `depth` bounds recursion; `_desired_size` and `_expected_branch_size`
+    /// are accepted for API compatibility but unused (no size accounting in
+    /// this shim). At each level the sampler picks the deeper strategy three
+    /// times out of four, so generated values vary in depth up to the bound.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = expand(strat).boxed();
+            let leaf = leaf.clone();
+            strat = BoxedStrategy {
+                sampler: Rc::new(move |rng| {
+                    if rng.below(4) == 0 {
+                        leaf.sample(rng)
+                    } else {
+                        deeper.sample(rng)
+                    }
+                }),
+            };
+        }
+        strat
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    sampler: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wrap a sampling closure.
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+        BoxedStrategy {
+            sampler: Rc::new(f),
+        }
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy {
+            sampler: Rc::clone(&self.sampler),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.sampler)(rng)
+    }
+}
+
+/// Uniform choice between same-valued strategies (backs [`crate::prop_oneof!`]).
+pub fn union<T: 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy::from_fn(move |rng| {
+        let i = rng.below(arms.len() as u64) as usize;
+        arms[i].sample(rng)
+    })
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy range is empty");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}

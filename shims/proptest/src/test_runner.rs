@@ -1,0 +1,64 @@
+//! Test-runner configuration and the deterministic RNG driving generation.
+
+/// Subset of `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 32,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Deterministic stream used to sample strategies, backed by the workspace's
+/// `rand` shim (`StdRng`), as real proptest is backed by real `rand`.
+///
+/// The default seed mixes a fixed constant with a hash of the property name so
+/// distinct properties see distinct streams but every run is reproducible.
+/// `PROPTEST_SEED=<u64>` overrides the constant.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// Generator with an explicit seed.
+    pub fn new(seed: u64) -> TestRng {
+        use rand::SeedableRng;
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generator seeded from `PROPTEST_SEED` (or a fixed default) and the
+    /// property name.
+    pub fn from_env(property: &str) -> TestRng {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x5EED_CAFE_F00D_D00D);
+        let name_hash = property.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        });
+        TestRng::new(base ^ name_hash)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.inner)
+    }
+
+    /// Uniform value in `0..n` (`n` must be non-zero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "TestRng::below(0)");
+        self.next_u64() % n
+    }
+}

@@ -1,0 +1,19 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` shims.
+//!
+//! The companion `serde` shim blanket-implements its marker traits for every
+//! type, so these derives only need to make the attribute syntactically valid;
+//! they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

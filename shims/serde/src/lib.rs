@@ -1,0 +1,17 @@
+//! Minimal shim for the `serde` crate: marker traits plus no-op derives.
+//!
+//! The workspace only uses `#[derive(Serialize)]` as forward-looking metadata
+//! on report types — nothing serializes through serde yet. The traits are
+//! blanket-implemented so they can appear in bounds, and the derive macros
+//! (re-exported from the `serde_derive` shim) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<T: ?Sized> Deserialize for T {}

@@ -21,6 +21,7 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
+pub use zkvmopt_core as study;
 pub use zkvmopt_crypto as crypto;
 pub use zkvmopt_ir as ir;
 pub use zkvmopt_lang as lang;
@@ -32,7 +33,6 @@ pub use zkvmopt_tuner as tuner;
 pub use zkvmopt_vm as vm;
 pub use zkvmopt_workloads as workloads;
 pub use zkvmopt_x86sim as x86sim;
-pub use zkvmopt_core as study;
 
 /// Common imports for examples and quick experiments.
 pub mod prelude {

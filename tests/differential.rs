@@ -28,11 +28,23 @@ fn all_opt_levels_preserve_behaviour_on_sample() {
         let (_, base) = measure(w, &OptProfile::baseline(), VmKind::RiscZero, false, None)
             .unwrap_or_else(|e| panic!("{name} baseline: {e}"));
         for level in OptLevel::ALL {
-            measure(w, &OptProfile::level(level), VmKind::RiscZero, false, Some(&base))
-                .unwrap_or_else(|e| panic!("{name} at {level:?}: {e}"));
+            measure(
+                w,
+                &OptProfile::level(level),
+                VmKind::RiscZero,
+                false,
+                Some(&base),
+            )
+            .unwrap_or_else(|e| panic!("{name} at {level:?}: {e}"));
         }
-        measure(w, &OptProfile::zk_o3(), VmKind::RiscZero, false, Some(&base))
-            .unwrap_or_else(|e| panic!("{name} at zk-O3: {e}"));
+        measure(
+            w,
+            &OptProfile::zk_o3(),
+            VmKind::RiscZero,
+            false,
+            Some(&base),
+        )
+        .unwrap_or_else(|e| panic!("{name} at zk-O3: {e}"));
     }
 }
 
@@ -43,8 +55,14 @@ fn every_single_pass_preserves_behaviour_on_two_programs() {
         let (_, base) = measure(w, &OptProfile::baseline(), VmKind::Sp1, false, None)
             .unwrap_or_else(|e| panic!("{name} baseline: {e}"));
         for pass in zkvm_opt::study::studied_passes() {
-            measure(w, &OptProfile::single_pass(pass), VmKind::Sp1, false, Some(&base))
-                .unwrap_or_else(|e| panic!("{name} under {pass}: {e}"));
+            measure(
+                w,
+                &OptProfile::single_pass(pass),
+                VmKind::Sp1,
+                false,
+                Some(&base),
+            )
+            .unwrap_or_else(|e| panic!("{name} under {pass}: {e}"));
         }
     }
 }
@@ -74,10 +92,22 @@ fn vm_matches_ir_interpreter_on_sample() {
 fn both_vms_agree_on_guest_behaviour() {
     for name in ["npb-ft", "sha3-bench", "zkvm-mnist"] {
         let w = zkvm_opt::workloads::by_name(name).expect("workload exists");
-        let (r0, _) = measure(w, &OptProfile::level(OptLevel::O2), VmKind::RiscZero, false, None)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
-        let (sp1, _) = measure(w, &OptProfile::level(OptLevel::O2), VmKind::Sp1, false, None)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (r0, _) = measure(
+            w,
+            &OptProfile::level(OptLevel::O2),
+            VmKind::RiscZero,
+            false,
+            None,
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (sp1, _) = measure(
+            w,
+            &OptProfile::level(OptLevel::O2),
+            VmKind::Sp1,
+            false,
+            None,
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(r0.instret, sp1.instret, "{name}: instret is VM-independent");
     }
 }

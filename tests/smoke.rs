@@ -1,0 +1,79 @@
+//! Workspace smoke test: exercises the facade path end to end by hand —
+//! parse a tiny zklang program, run one optimization pass, generate RV32IM
+//! code, execute it in the zkVM, and check the result against the IR
+//! interpreter oracle. This is the minimal "is the crate graph wired
+//! together" check; `differential.rs` covers the same path at suite scale.
+
+use zkvm_opt::ir::interp::InterpConfig;
+use zkvm_opt::ir::Interp;
+use zkvm_opt::passes::{run_pass, PassConfig};
+use zkvm_opt::riscv::{compile_module, TargetCostModel};
+use zkvm_opt::vm::{run_program, CryptoEcalls, VmKind};
+
+const SRC: &str = "
+    fn main() -> i32 {
+      let mut acc: i32 = read_input(0);
+      let mut i: i32 = 0;
+      while (i < 100) {
+        acc = (acc * 31 + i) % 65521;
+        i += 1;
+      }
+      commit(acc);
+      return acc;
+    }";
+
+const INPUTS: &[i32] = &[7];
+
+#[test]
+fn facade_pipeline_matches_oracle_step_by_step() {
+    // 1. Parse + lower the zklang source through the facade re-export.
+    let mut module = zkvm_opt::lang::compile_guest(SRC).expect("tiny program compiles");
+
+    // 2. Oracle first: interpret the unoptimized IR.
+    let cfg = InterpConfig {
+        inputs: INPUTS.to_vec(),
+        ..Default::default()
+    };
+    let oracle = Interp::new(&module, cfg, CryptoEcalls)
+        .run_main()
+        .expect("oracle runs");
+    assert!(!oracle.journal.is_empty(), "guest must commit something");
+
+    // 3. Run one real pass over the module.
+    run_pass("mem2reg", &mut module, &PassConfig::default());
+    zkvm_opt::ir::verify::verify_module(&module).expect("IR stays valid after mem2reg");
+
+    // 4. Codegen to RV32IM and execute on both zkVM cost models.
+    let prog = compile_module(&module, &TargetCostModel::zk()).expect("codegen succeeds");
+    for vm in VmKind::BOTH {
+        let r = run_program(&prog, vm, INPUTS).expect("vm executes");
+        assert_eq!(r.exit_code as i64, oracle.exit_value, "{vm}: exit code");
+        assert_eq!(r.journal, oracle.journal, "{vm}: journal");
+        assert!(r.total_cycles > 0, "{vm}: cycles must be metered");
+    }
+}
+
+#[test]
+fn facade_study_driver_agrees_with_manual_path() {
+    use zkvm_opt::prelude::*;
+
+    let report = Pipeline::new(OptProfile::level(OptLevel::O2))
+        .run_source(SRC, INPUTS, VmKind::RiscZero)
+        .expect("study pipeline runs");
+
+    let module = zkvm_opt::lang::compile_guest(SRC).expect("compiles");
+    let cfg = InterpConfig {
+        inputs: INPUTS.to_vec(),
+        ..Default::default()
+    };
+    let oracle = Interp::new(&module, cfg, CryptoEcalls)
+        .run_main()
+        .expect("oracle runs");
+
+    assert_eq!(
+        report.exec.journal, oracle.journal,
+        "study driver output matches oracle"
+    );
+    assert_eq!(report.exec.exit_code as i64, oracle.exit_value);
+    assert!(gain(2.0, 1.0) > 0.0, "facade prelude helpers are wired");
+}

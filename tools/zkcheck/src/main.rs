@@ -1,0 +1,17 @@
+fn main() {
+    let mut ok = true;
+    for f in std::env::args().skip(1) {
+        let src = std::fs::read_to_string(&f).unwrap();
+        match zkvmopt_lang::compile_guest(&src) {
+            Ok(m) => {
+                let cfg = zkvmopt_ir::interp::InterpConfig { inputs: vec![42], ..Default::default() };
+                match zkvmopt_ir::Interp::new(&m, cfg, zkvmopt_ir::NopEcalls).run_main() {
+                    Ok(out) => println!("OK   {f}: exit={} journal={:?} steps={}", out.exit_value, out.journal, out.steps),
+                    Err(e) => { ok = false; println!("RUNERR {f}: {e:?}"); }
+                }
+            }
+            Err(e) => { ok = false; println!("COMPILEERR {f}: {e}"); }
+        }
+    }
+    std::process::exit(if ok {0} else {1});
+}
