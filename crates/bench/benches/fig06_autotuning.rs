@@ -4,45 +4,51 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use zkvmopt_bench::{header, pct};
-use zkvmopt_core::{gain, measure, OptLevel, OptProfile};
+use zkvmopt_core::{gain, OptLevel, OptProfile, SuiteRunner};
 use zkvmopt_tuner::{autotune, TunerConfig};
 use zkvmopt_vm::VmKind;
 
 fn tune_one(name: &str, iterations: usize) -> (f64, f64) {
+    // The batched runner lowers the workload once and caches every candidate
+    // compile; the fitness loop is pure engine execution.
+    let mut runner = SuiteRunner::new();
     let w = zkvmopt_workloads::by_name(name).expect("exists");
-    let (_, base) =
-        measure(w, &OptProfile::baseline(), VmKind::RiscZero, false, None).expect("baseline");
-    let (o3, _) = measure(
-        w,
-        &OptProfile::level(OptLevel::O3),
-        VmKind::RiscZero,
-        false,
-        Some(&base),
-    )
-    .expect("-O3");
+    let (_, base) = runner
+        .measure(w, &OptProfile::baseline(), VmKind::RiscZero, false, None)
+        .expect("baseline");
+    let (o3, _) = runner
+        .measure(
+            w,
+            &OptProfile::level(OptLevel::O3),
+            VmKind::RiscZero,
+            false,
+            Some(&base),
+        )
+        .expect("-O3");
     let cfg = TunerConfig {
         iterations,
         ..Default::default()
     };
     let result = autotune(&cfg, |cand| {
         let profile = OptProfile::sequence("cand", cand.passes.clone(), cand.pass_config());
-        match measure(w, &profile, VmKind::RiscZero, false, Some(&base)) {
+        match runner.measure(w, &profile, VmKind::RiscZero, false, Some(&base)) {
             Ok((m, _)) => Some(m.cycles),
             Err(_) => None, // invalid candidate (the paper's SP1-bug channel)
         }
     });
-    let (tuned, _) = measure(
-        w,
-        &OptProfile::sequence(
-            "tuned",
-            result.best.passes.clone(),
-            result.best.pass_config(),
-        ),
-        VmKind::RiscZero,
-        false,
-        Some(&base),
-    )
-    .expect("tuned candidate re-runs");
+    let (tuned, _) = runner
+        .measure(
+            w,
+            &OptProfile::sequence(
+                "tuned",
+                result.best.passes.clone(),
+                result.best.pass_config(),
+            ),
+            VmKind::RiscZero,
+            false,
+            Some(&base),
+        )
+        .expect("tuned candidate re-runs");
     (o3.cycles as f64, tuned.cycles as f64)
 }
 

@@ -3,10 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use zkvmopt_bench::{baseline, header, impact_vs_baseline, pct};
-use zkvmopt_core::{OptLevel, OptProfile};
+use zkvmopt_core::{OptLevel, OptProfile, SuiteRunner};
 use zkvmopt_vm::VmKind;
 
 fn report() {
+    let mut runner = SuiteRunner::new();
     let cases: &[(&str, &str)] = &[
         ("inline", "polybench-floyd-warshall"),
         ("inline", "tailcall"),
@@ -22,10 +23,10 @@ fn report() {
     );
     for (pass, wname) in cases {
         let w = zkvmopt_workloads::by_name(wname).expect("exists");
-        let base = baseline(w, &[VmKind::RiscZero], false);
+        let base = baseline(&mut runner, w, &[VmKind::RiscZero], false);
         let (vm, bm, br) = &base.by_vm[0];
         let profile = OptProfile::single_pass(pass);
-        if let Some(i) = impact_vs_baseline(w, &profile, *vm, bm, br, false) {
+        if let Some(i) = impact_vs_baseline(&mut runner, w, &profile, *vm, bm, br, false) {
             println!(
                 "{pass:<16} {wname:<26} {:>9} {:>9} {:>9} {:>9} {:>9}",
                 pct(i.exec_gain),
@@ -39,9 +40,17 @@ fn report() {
     // -O3 and -O0 for completeness, matching the figure.
     for level in [OptLevel::O3, OptLevel::O0] {
         let w = zkvmopt_workloads::by_name("loop-sum").expect("exists");
-        let base = baseline(w, &[VmKind::RiscZero], false);
+        let base = baseline(&mut runner, w, &[VmKind::RiscZero], false);
         let (vm, bm, br) = &base.by_vm[0];
-        if let Some(i) = impact_vs_baseline(w, &OptProfile::level(level), *vm, bm, br, false) {
+        if let Some(i) = impact_vs_baseline(
+            &mut runner,
+            w,
+            &OptProfile::level(level),
+            *vm,
+            bm,
+            br,
+            false,
+        ) {
             println!(
                 "{:<16} {:<26} {:>9} {:>9} {:>9} {:>9} {:>9}",
                 level.flag(),

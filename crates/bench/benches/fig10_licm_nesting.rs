@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use zkvmopt_bench::{baseline, header, impact_vs_baseline};
-use zkvmopt_core::OptProfile;
+use zkvmopt_core::{OptProfile, SuiteRunner};
 use zkvmopt_vm::VmKind;
 use zkvmopt_workloads::{Suite, Workload};
 
@@ -36,6 +36,7 @@ fn nest_src(depth: u32) -> String {
 }
 
 fn report() {
+    let mut runner = SuiteRunner::new();
     header("Figure 10: licm impact vs loop nesting depth (RISC Zero)");
     println!(
         "{:<7} {:>14} {:>14}",
@@ -50,10 +51,18 @@ fn report() {
             inputs: vec![3],
             uses_precompile: false,
         };
-        let base = baseline(&w, &[VmKind::RiscZero], false);
+        let base = baseline(&mut runner, &w, &[VmKind::RiscZero], false);
         let (vm, bm, br) = &base.by_vm[0];
-        let i = impact_vs_baseline(&w, &OptProfile::single_pass("licm"), *vm, bm, br, false)
-            .expect("licm runs");
+        let i = impact_vs_baseline(
+            &mut runner,
+            &w,
+            &OptProfile::single_pass("licm"),
+            *vm,
+            bm,
+            br,
+            false,
+        )
+        .expect("licm runs");
         // Negative gain = increase in the metric.
         println!(
             "{depth:<7} {:>13.1}% {:>13.1}%",

@@ -4,13 +4,14 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use zkvmopt_bench::{baseline, header, impact_vs_baseline, pct};
-use zkvmopt_core::OptProfile;
+use zkvmopt_core::{OptProfile, SuiteRunner};
 use zkvmopt_passes::PassConfig;
 use zkvmopt_vm::VmKind;
 
 fn report() {
+    let mut runner = SuiteRunner::new();
     let w = zkvmopt_workloads::by_name("tailcall").expect("exists");
-    let base = baseline(w, &[VmKind::RiscZero], false);
+    let base = baseline(&mut runner, w, &[VmKind::RiscZero], false);
     let (vm, bm, br) = &base.by_vm[0];
     header("Figure 11: inlining the tailcall kernel (RISC Zero)");
     // mem2reg alone (no inlining) vs mem2reg+aggressive inline.
@@ -20,8 +21,8 @@ fn report() {
         ..Default::default()
     };
     let inline = OptProfile::sequence("mem2reg+inline", vec!["mem2reg", "inline"], aggressive_cfg);
-    let a = impact_vs_baseline(w, &noinline, *vm, bm, br, false).expect("runs");
-    let b = impact_vs_baseline(w, &inline, *vm, bm, br, false).expect("runs");
+    let a = impact_vs_baseline(&mut runner, w, &noinline, *vm, bm, br, false).expect("runs");
+    let b = impact_vs_baseline(&mut runner, w, &inline, *vm, bm, br, false).expect("runs");
     println!(
         "{:<16} exec {:>8}  cycles {:>8}  instret {:>8}  spilled vregs {:>4}",
         a.profile,

@@ -4,11 +4,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use zkvmopt_bench::{baseline, header, impact_vs_baseline, pass_profiles};
-use zkvmopt_core::KEY_PASSES;
+use zkvmopt_core::{SuiteRunner, KEY_PASSES};
 use zkvmopt_stats::{kendall_tau, mean, pearson};
 use zkvmopt_vm::VmKind;
 
 fn report() {
+    let mut runner = SuiteRunner::new();
     let workloads: Vec<_> = [
         "loop-sum",
         "polybench-gemm",
@@ -33,14 +34,14 @@ fn report() {
         let mut tau_pe = Vec::new(); // paging vs exec (R0 only)
         let mut r_pe = Vec::new();
         for w in &workloads {
-            let base = baseline(w, &[vm], false);
+            let base = baseline(&mut runner, w, &[vm], false);
             let (v, bm, br) = &base.by_vm[0];
             let mut instret = Vec::new();
             let mut paging = Vec::new();
             let mut exec = Vec::new();
             let mut prove = Vec::new();
             for p in pass_profiles(KEY_PASSES) {
-                if let Some(i) = impact_vs_baseline(w, &p, *v, bm, br, false) {
+                if let Some(i) = impact_vs_baseline(&mut runner, w, &p, *v, bm, br, false) {
                     instret.push(i.measurement.instret as f64);
                     paging.push(i.measurement.paging_cycles as f64);
                     exec.push(i.measurement.exec_ms);

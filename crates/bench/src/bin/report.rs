@@ -12,7 +12,7 @@
 use zkvmopt_bench::{
     bench_workloads, header, impact_matrix, mean_gain, pass_profiles, pct, Impact,
 };
-use zkvmopt_core::{categorize, EffectCategory, OptLevel, OptProfile, KEY_PASSES};
+use zkvmopt_core::{categorize, EffectCategory, OptLevel, OptProfile, SuiteRunner, KEY_PASSES};
 use zkvmopt_stats::{kendall_tau, mean, pearson, summarize};
 use zkvmopt_vm::VmKind;
 use zkvmopt_workloads::Workload;
@@ -184,19 +184,22 @@ fn main() {
     if want(&o, "table2") {
         header("Table 2: Kendall tau / Pearson (cost metric vs performance)");
         let ws = workload_set(&o);
+        let mut runner = SuiteRunner::new();
         for vm in VmKind::BOTH {
             let mut tau_ie = Vec::new();
             let mut r_ie = Vec::new();
             let mut tau_pe = Vec::new();
             let mut r_pe = Vec::new();
             for w in &ws {
-                let base = zkvmopt_bench::baseline(w, &[vm], false);
+                let base = zkvmopt_bench::baseline(&mut runner, w, &[vm], false);
                 let (v, bm, br) = &base.by_vm[0];
                 let mut instret = Vec::new();
                 let mut paging = Vec::new();
                 let mut exec = Vec::new();
                 for p in pass_profiles(KEY_PASSES) {
-                    if let Some(i) = zkvmopt_bench::impact_vs_baseline(w, &p, *v, bm, br, false) {
+                    if let Some(i) =
+                        zkvmopt_bench::impact_vs_baseline(&mut runner, w, &p, *v, bm, br, false)
+                    {
                         instret.push(i.measurement.instret as f64);
                         paging.push(i.measurement.paging_cycles as f64);
                         exec.push(i.measurement.exec_ms);
@@ -262,17 +265,17 @@ fn main() {
     if want(&o, "fig14") {
         header("Figure 14: zk-aware -O3 vs stock -O3, full suite");
         let ws = workload_set(&o);
+        let mut runner = SuiteRunner::new();
         let mut r0_gains = Vec::new();
         let mut sp1_gains = Vec::new();
         for w in &ws {
             for vm in VmKind::BOTH {
                 let Ok((o3, o3r)) =
-                    zkvmopt_core::measure(w, &OptProfile::level(OptLevel::O3), vm, false, None)
+                    runner.measure(w, &OptProfile::level(OptLevel::O3), vm, false, None)
                 else {
                     continue;
                 };
-                let Ok((zk, _)) =
-                    zkvmopt_core::measure(w, &OptProfile::zk_o3(), vm, false, Some(&o3r))
+                let Ok((zk, _)) = runner.measure(w, &OptProfile::zk_o3(), vm, false, Some(&o3r))
                 else {
                     continue;
                 };

@@ -7,7 +7,7 @@
 //! --bin report`) runs the full-scale version and emits the data recorded in
 //! EXPERIMENTS.md.
 
-use zkvmopt_core::{gain, measure, Measurement, OptLevel, OptProfile, RunReport};
+use zkvmopt_core::{gain, Measurement, OptLevel, OptProfile, RunReport, SuiteRunner};
 use zkvmopt_vm::VmKind;
 use zkvmopt_workloads::Workload;
 
@@ -62,15 +62,22 @@ pub struct BaselineRuns {
     pub by_vm: Vec<(VmKind, Measurement, RunReport)>,
 }
 
-/// Measure the baseline for `w` on the given VMs.
+/// Measure the baseline for `w` on the given VMs through the batched runner
+/// (the baseline program is compiled once and reused across VMs).
 ///
 /// # Panics
 /// Panics when the baseline itself fails — the suite guarantees it cannot.
-pub fn baseline(w: &Workload, vms: &[VmKind], with_x86: bool) -> BaselineRuns {
+pub fn baseline(
+    runner: &mut SuiteRunner,
+    w: &Workload,
+    vms: &[VmKind],
+    with_x86: bool,
+) -> BaselineRuns {
     let by_vm = vms
         .iter()
         .map(|&vm| {
-            let (m, r) = measure(w, &OptProfile::baseline(), vm, with_x86, None)
+            let (m, r) = runner
+                .measure(w, &OptProfile::baseline(), vm, with_x86, None)
                 .unwrap_or_else(|e| panic!("baseline {} on {vm}: {e}", w.name));
             (vm, m, r)
         })
@@ -82,6 +89,7 @@ pub fn baseline(w: &Workload, vms: &[VmKind], with_x86: bool) -> BaselineRuns {
 /// Returns `None` when the profile fails on this workload (reported and
 /// skipped, like the paper's invalid autotuner candidates).
 pub fn impact_vs_baseline(
+    runner: &mut SuiteRunner,
     w: &Workload,
     profile: &OptProfile,
     vm: VmKind,
@@ -89,7 +97,7 @@ pub fn impact_vs_baseline(
     base_r: &RunReport,
     with_x86: bool,
 ) -> Option<Impact> {
-    match measure(w, profile, vm, with_x86, Some(base_r)) {
+    match runner.measure(w, profile, vm, with_x86, Some(base_r)) {
         Ok((m, _)) => {
             let x86_gain = match (base_m.x86_ms, m.x86_ms) {
                 (Some(b), Some(n)) => Some(gain(b, n)),
@@ -118,19 +126,22 @@ pub fn impact_vs_baseline(
     }
 }
 
-/// Run a (workloads × profiles × vms) impact matrix.
+/// Run a (workloads × profiles × vms) impact matrix through one batched
+/// [`SuiteRunner`]: every {workload × profile} compiles once (baselines
+/// included), and all executions go through the block-dispatch engine.
 pub fn impact_matrix(
     workloads: &[&Workload],
     profiles: &[OptProfile],
     vms: &[VmKind],
     with_x86: bool,
 ) -> Vec<Impact> {
+    let mut runner = SuiteRunner::new();
     let mut out = Vec::new();
     for w in workloads {
-        let base = baseline(w, vms, with_x86);
+        let base = baseline(&mut runner, w, vms, with_x86);
         for (vm, bm, br) in &base.by_vm {
             for p in profiles {
-                if let Some(i) = impact_vs_baseline(w, p, *vm, bm, br, with_x86) {
+                if let Some(i) = impact_vs_baseline(&mut runner, w, p, *vm, bm, br, with_x86) {
                     out.push(i);
                 }
             }
@@ -193,10 +204,11 @@ mod tests {
     #[test]
     fn impact_math_signs() {
         let w = zkvmopt_workloads::by_name("loop-sum").unwrap();
-        let base = baseline(w, &[VmKind::Sp1], false);
+        let mut runner = SuiteRunner::new();
+        let base = baseline(&mut runner, w, &[VmKind::Sp1], false);
         let (vm, bm, br) = &base.by_vm[0];
         let o2 = OptProfile::level(OptLevel::O2);
-        let i = impact_vs_baseline(w, &o2, *vm, bm, br, false).expect("runs");
+        let i = impact_vs_baseline(&mut runner, w, &o2, *vm, bm, br, false).expect("runs");
         assert!(
             i.cycles_gain > 0.0,
             "-O2 must speed up loop-sum: {}",

@@ -27,10 +27,13 @@ use zkvmopt_ir::Module;
 use zkvmopt_passes::{PassConfig, PassManager};
 use zkvmopt_prover::ProvingModel;
 use zkvmopt_riscv::TargetCostModel;
-use zkvmopt_vm::{ExecConfig, ExecutionReport, Machine, VmKind, VmProfile};
+use zkvmopt_vm::{DecodedProgram, Engine, ExecConfig, ExecutionReport, VmKind, VmProfile};
 use zkvmopt_workloads::Workload;
 use zkvmopt_x86sim::{run_x86, X86Model, X86Report};
 
+pub mod suite;
+
+pub use suite::{MatrixCell, SuiteRunner};
 pub use zkvmopt_passes::OptLevel;
 
 /// How a profile transforms the module.
@@ -116,6 +119,14 @@ impl OptProfile {
             pass_config: PassConfig::zk_aware(),
             backend: TargetCostModel::zk(),
         }
+    }
+
+    /// A content-derived cache key: two profiles with equal keys produce the
+    /// same code from the same module. Deliberately ignores `name`, so the
+    /// autotuner's identically-named candidates never collide in the
+    /// [`SuiteRunner`] cache.
+    pub fn cache_key(&self) -> String {
+        format!("{:?}|{:?}|{:?}", self.kind, self.pass_config, self.backend)
     }
 
     /// Apply this profile to a module.
@@ -241,11 +252,12 @@ impl Pipeline {
         vm: VmKind,
     ) -> Result<RunReport, StudyError> {
         let program = self.compile(src)?;
+        let decoded = DecodedProgram::decode(&program);
         let config = ExecConfig {
             inputs: inputs.to_vec(),
             max_cycles: self.max_cycles,
         };
-        let exec = Machine::new(&program, VmProfile::for_kind(vm), config)
+        let exec = Engine::new(&decoded, VmProfile::for_kind(vm), config)
             .run()
             .map_err(|e| StudyError::Exec(e.to_string()))?;
         let model = ProvingModel::for_kind(vm);

@@ -1,0 +1,496 @@
+//! The batched suite runner: compile once, execute many.
+//!
+//! Every experiment in the paper re-executes the 58-program suite thousands
+//! of times (the opt-level matrices, the 160/1600-iteration autotuner runs),
+//! so the driver's hot path is *executions per second*, not compiles.
+//! [`SuiteRunner`] makes that explicit:
+//!
+//! - the **lowered base module** of each workload is cached, so a workload's
+//!   source is lexed/parsed/lowered exactly once no matter how many profiles
+//!   (or autotuner candidates) run it;
+//! - each `{workload × profile}` pair is compiled and **pre-decoded exactly
+//!   once** ([`CompiledWorkload`] holds the emitted [`Program`] and its
+//!   [`DecodedProgram`] block cache);
+//! - executions fan out `{program × profile × VmKind}` through the
+//!   block-dispatch engine, optionally across threads
+//!   ([`SuiteRunner::run_matrix`]).
+//!
+//! `bench/`'s impact matrices, the tuner fitness loops, and the report
+//! generator all run on top of this.
+
+use crate::{Measurement, OptProfile, RunReport, StudyError};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use zkvmopt_ir::Module;
+use zkvmopt_prover::ProvingModel;
+use zkvmopt_riscv::Program;
+use zkvmopt_vm::{DecodedProgram, Engine, ExecConfig, VmKind, VmProfile};
+use zkvmopt_workloads::Workload;
+use zkvmopt_x86sim::{run_x86, X86Model};
+
+/// A workload compiled under one profile: emitted code plus the engine's
+/// pre-decoded block representation, shareable across any number of runs.
+#[derive(Debug, Clone)]
+pub struct CompiledWorkload {
+    /// The linked RV32IM program.
+    pub program: Program,
+    /// The pre-decoded block-dispatch form.
+    pub decoded: DecodedProgram,
+}
+
+/// One cell of a `{workload × profile × vm}` execution matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Profile name.
+    pub profile: String,
+    /// VM kind.
+    pub vm: VmKind,
+    /// Measurement + full report, or the stage error.
+    pub result: Result<(Measurement, RunReport), StudyError>,
+}
+
+/// Cache key for one workload: name plus a source hash, so synthetic
+/// workloads that reuse a name (parameter sweeps building `Workload`s on the
+/// fly) never collide.
+fn workload_key(w: &Workload) -> (&'static str, u64) {
+    let mut h = DefaultHasher::new();
+    w.source.hash(&mut h);
+    (w.name, h.finish())
+}
+
+type CacheKey = (&'static str, u64, String);
+
+/// Default bound on cached compiled programs — comfortably above the full
+/// suite × all standard levels, small enough that a 1600-iteration autotuner
+/// run (one fresh candidate per iteration) cannot grow memory unboundedly.
+const DEFAULT_CACHE_CAP: usize = 512;
+
+/// Compile-once execute-many driver for the benchmark suite.
+pub struct SuiteRunner {
+    max_cycles: u64,
+    cache_cap: usize,
+    modules: HashMap<(&'static str, u64), Module>,
+    compiled: HashMap<CacheKey, CompiledWorkload>,
+    /// Insertion order of `compiled` keys, for FIFO eviction at `cache_cap`.
+    order: VecDeque<CacheKey>,
+}
+
+impl Default for SuiteRunner {
+    fn default() -> SuiteRunner {
+        SuiteRunner::new()
+    }
+}
+
+impl SuiteRunner {
+    /// A fresh runner with empty caches.
+    pub fn new() -> SuiteRunner {
+        SuiteRunner {
+            max_cycles: 2_000_000_000,
+            cache_cap: DEFAULT_CACHE_CAP,
+            modules: HashMap::new(),
+            compiled: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Override the guest cycle budget.
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> SuiteRunner {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Override the compiled-program cache bound (FIFO eviction beyond it).
+    pub fn with_cache_capacity(mut self, cap: usize) -> SuiteRunner {
+        self.cache_cap = cap.max(1);
+        self
+    }
+
+    /// Number of `{workload × profile}` programs currently cached.
+    pub fn cached_programs(&self) -> usize {
+        self.compiled.len()
+    }
+
+    /// Compile (or fetch from cache) `w` under `profile`.
+    ///
+    /// # Errors
+    /// Returns [`StudyError`] on frontend or codegen failures.
+    pub fn compile(
+        &mut self,
+        w: &Workload,
+        profile: &OptProfile,
+    ) -> Result<&CompiledWorkload, StudyError> {
+        let (name, src) = workload_key(w);
+        let key = (name, src, profile.cache_key());
+        if !self.compiled.contains_key(&key) {
+            let mut m = match self.modules.entry((name, src)) {
+                std::collections::hash_map::Entry::Occupied(e) => e.get().clone(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let m = zkvmopt_lang::compile_guest(&w.source)
+                        .map_err(|e| StudyError::Compile(e.to_string()))?;
+                    e.insert(m).clone()
+                }
+            };
+            profile.apply(&mut m);
+            let program = zkvmopt_riscv::compile_module(&m, &profile.backend)
+                .map_err(|e| StudyError::Codegen(e.to_string()))?;
+            let decoded = DecodedProgram::decode(&program);
+            while self.compiled.len() >= self.cache_cap {
+                let oldest = self.order.pop_front().expect("order tracks compiled");
+                self.compiled.remove(&oldest);
+            }
+            self.order.push_back(key.clone());
+            self.compiled
+                .insert(key.clone(), CompiledWorkload { program, decoded });
+        }
+        Ok(&self.compiled[&key])
+    }
+
+    /// Compile (cached) and execute `w` under `profile` on `vm`.
+    ///
+    /// # Errors
+    /// Returns [`StudyError`] on any stage failure.
+    pub fn run(
+        &mut self,
+        w: &Workload,
+        profile: &OptProfile,
+        vm: VmKind,
+        with_x86: bool,
+    ) -> Result<RunReport, StudyError> {
+        let max_cycles = self.max_cycles;
+        let cw = self.compile(w, profile)?;
+        execute(cw, &w.inputs, vm, with_x86, max_cycles)
+    }
+
+    /// Cached analogue of [`crate::measure`]: compile once, execute, verify
+    /// observable behaviour against `baseline` when given.
+    ///
+    /// # Errors
+    /// Returns [`StudyError::Miscompile`] when the journal or exit code
+    /// diverge from the baseline run.
+    pub fn measure(
+        &mut self,
+        w: &Workload,
+        profile: &OptProfile,
+        vm: VmKind,
+        with_x86: bool,
+        baseline: Option<&RunReport>,
+    ) -> Result<(Measurement, RunReport), StudyError> {
+        let r = self.run(w, profile, vm, with_x86)?;
+        check_and_measure(w, profile, vm, r, baseline)
+    }
+
+    /// Fan out the full `{workload × profile × vm}` matrix: compile every
+    /// pair once (serial, cached), then execute all cells across `threads`
+    /// worker threads (`0` = all available cores). Results are returned in
+    /// deterministic row-major (workload, profile, vm) order regardless of
+    /// scheduling.
+    pub fn run_matrix(
+        &mut self,
+        workloads: &[&Workload],
+        profiles: &[OptProfile],
+        vms: &[VmKind],
+        with_x86: bool,
+        threads: usize,
+    ) -> Vec<MatrixCell> {
+        // Phase 1: compile each {workload × profile} once, recording errors.
+        // Phase 2 borrows every compiled pair at once, so the cache bound is
+        // temporarily raised past everything already cached plus the whole
+        // matrix — no compile in this loop can evict a matrix pair (including
+        // pairs that were already resident before the call). The caller's
+        // bound is restored (and the cache shrunk back) before returning.
+        let saved_cap = self.cache_cap;
+        self.cache_cap = self.compiled.len() + workloads.len() * profiles.len() + 1;
+        let profile_keys: Vec<String> = profiles.iter().map(OptProfile::cache_key).collect();
+        let mut compile_err: HashMap<(usize, usize), StudyError> = HashMap::new();
+        for (wi, w) in workloads.iter().enumerate() {
+            for (pi, p) in profiles.iter().enumerate() {
+                if let Err(e) = self.compile(w, p) {
+                    compile_err.insert((wi, pi), e);
+                }
+            }
+        }
+        // Phase 2: the cache is now read-only; fan executions out over a
+        // shared work queue of jobs borrowing the compiled programs.
+        struct Job<'a> {
+            w: &'a Workload,
+            p: &'a OptProfile,
+            vm: VmKind,
+            cw: Result<&'a CompiledWorkload, StudyError>,
+        }
+        let mut jobs: Vec<Job<'_>> =
+            Vec::with_capacity(workloads.len() * profiles.len() * vms.len());
+        for (wi, w) in workloads.iter().enumerate() {
+            let (name, src) = workload_key(w);
+            for (pi, p) in profiles.iter().enumerate() {
+                let key = (name, src, profile_keys[pi].clone());
+                for &vm in vms {
+                    let cw = match compile_err.get(&(wi, pi)) {
+                        Some(e) => Err(e.clone()),
+                        None => Ok(&self.compiled[&key]),
+                    };
+                    jobs.push(Job { w, p, vm, cw });
+                }
+            }
+        }
+        let max_cycles = self.max_cycles;
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<MatrixCell>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let workers = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            threads
+        }
+        .min(jobs.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let job = &jobs[i];
+                    let result = match &job.cw {
+                        Ok(cw) => execute(cw, &job.w.inputs, job.vm, with_x86, max_cycles)
+                            .and_then(|r| check_and_measure(job.w, job.p, job.vm, r, None)),
+                        Err(e) => Err(e.clone()),
+                    };
+                    *results[i].lock().expect("result slot") = Some(MatrixCell {
+                        workload: job.w.name,
+                        profile: job.p.name.clone(),
+                        vm: job.vm,
+                        result,
+                    });
+                });
+            }
+        });
+        // Restore the configured bound and shrink back down to it.
+        self.cache_cap = saved_cap;
+        while self.compiled.len() > self.cache_cap {
+            let oldest = self.order.pop_front().expect("order tracks compiled");
+            self.compiled.remove(&oldest);
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("slot").expect("all jobs ran"))
+            .collect()
+    }
+}
+
+/// Execute a compiled workload through the block-dispatch engine and build
+/// the full [`RunReport`] (proving model, x86 timing when requested).
+fn execute(
+    cw: &CompiledWorkload,
+    inputs: &[i32],
+    vm: VmKind,
+    with_x86: bool,
+    max_cycles: u64,
+) -> Result<RunReport, StudyError> {
+    let config = ExecConfig {
+        inputs: inputs.to_vec(),
+        max_cycles,
+    };
+    let exec = Engine::new(&cw.decoded, VmProfile::for_kind(vm), config)
+        .run()
+        .map_err(|e| StudyError::Exec(e.to_string()))?;
+    let model = ProvingModel::for_kind(vm);
+    let prove_ms = model.proving_time_ms(&exec);
+    let exec_ms = exec.exec_time_ms;
+    let x86 = if with_x86 {
+        Some(
+            run_x86(&cw.program, &X86Model::default(), inputs)
+                .map_err(|e| StudyError::Exec(e.to_string()))?,
+        )
+    } else {
+        None
+    };
+    Ok(RunReport {
+        exec,
+        prove_ms,
+        exec_ms,
+        x86,
+        code_size: cw.program.len(),
+        spilled_vregs: cw.program.spilled_vregs,
+    })
+}
+
+fn check_and_measure(
+    w: &Workload,
+    profile: &OptProfile,
+    vm: VmKind,
+    r: RunReport,
+    baseline: Option<&RunReport>,
+) -> Result<(Measurement, RunReport), StudyError> {
+    if let Some(b) = baseline {
+        if r.exec.journal != b.exec.journal || r.exec.exit_code != b.exec.exit_code {
+            return Err(StudyError::Miscompile {
+                workload: w.name.to_string(),
+                profile: profile.name.clone(),
+            });
+        }
+    }
+    let m = Measurement {
+        workload: w.name.to_string(),
+        profile: profile.name.clone(),
+        vm: vm.name().to_string(),
+        cycles: r.exec.total_cycles,
+        instret: r.exec.instret,
+        paging_cycles: r.exec.paging_cycles,
+        exec_ms: r.exec_ms,
+        prove_ms: r.prove_ms,
+        segments: r.exec.segments,
+        x86_ms: r.x86.as_ref().map(|x| x.time_ms),
+        code_size: r.code_size,
+        spilled_vregs: r.spilled_vregs,
+    };
+    Ok((m, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{measure, OptLevel};
+
+    #[test]
+    fn cached_runs_match_the_uncached_pipeline() {
+        let w = zkvmopt_workloads::by_name("loop-sum").unwrap();
+        let mut runner = SuiteRunner::new();
+        for profile in [OptProfile::baseline(), OptProfile::level(OptLevel::O2)] {
+            for vm in VmKind::BOTH {
+                let (cm, _) = runner.measure(w, &profile, vm, false, None).unwrap();
+                let (um, _) = measure(w, &profile, vm, false, None).unwrap();
+                assert_eq!(cm.cycles, um.cycles, "{} on {vm}", profile.name);
+                assert_eq!(cm.instret, um.instret);
+                assert_eq!(cm.paging_cycles, um.paging_cycles);
+                assert_eq!(cm.segments, um.segments);
+                assert_eq!(cm.code_size, um.code_size);
+            }
+        }
+        // One compile per {workload × profile}, reused across both VMs.
+        assert_eq!(runner.cached_programs(), 2);
+    }
+
+    #[test]
+    fn compile_cache_is_keyed_by_content_not_name() {
+        let w = zkvmopt_workloads::by_name("fibonacci").unwrap();
+        let mut runner = SuiteRunner::new();
+        let a = OptProfile::sequence("candidate", vec!["mem2reg"], Default::default());
+        let b = OptProfile::sequence("candidate", vec!["mem2reg", "gvn"], Default::default());
+        runner.run(w, &a, VmKind::RiscZero, false).unwrap();
+        runner.run(w, &b, VmKind::RiscZero, false).unwrap();
+        assert_eq!(runner.cached_programs(), 2, "same name, distinct programs");
+        runner.run(w, &a, VmKind::Sp1, false).unwrap();
+        assert_eq!(runner.cached_programs(), 2, "cache hit across VM kinds");
+    }
+
+    #[test]
+    fn synthetic_workloads_with_one_name_do_not_collide() {
+        let make = |body: &str| Workload {
+            name: "synthetic",
+            suite: zkvmopt_workloads::Suite::Other,
+            source: format!("fn main() -> i32 {{ return {body}; }}"),
+            inputs: vec![],
+            uses_precompile: false,
+        };
+        let mut runner = SuiteRunner::new();
+        let a = runner
+            .run(&make("11"), &OptProfile::baseline(), VmKind::Sp1, false)
+            .unwrap();
+        let b = runner
+            .run(&make("22"), &OptProfile::baseline(), VmKind::Sp1, false)
+            .unwrap();
+        assert_eq!(a.exec.exit_code, 11);
+        assert_eq!(b.exec.exit_code, 22);
+    }
+
+    #[test]
+    fn compile_cache_is_bounded_with_fifo_eviction() {
+        // Autotuner-style usage: a long stream of unique candidates must not
+        // grow the cache past its bound, and evicted entries recompile fine.
+        let w = zkvmopt_workloads::by_name("loop-sum").unwrap();
+        let mut runner = SuiteRunner::new().with_cache_capacity(4);
+        let seqs: [&[&str]; 6] = [
+            &["mem2reg"],
+            &["mem2reg", "gvn"],
+            &["mem2reg", "licm"],
+            &["instcombine"],
+            &["dce"],
+            &["sccp"],
+        ];
+        for seq in seqs {
+            let p = OptProfile::sequence("candidate", seq.to_vec(), Default::default());
+            runner.run(w, &p, VmKind::Sp1, false).unwrap();
+            assert!(runner.cached_programs() <= 4, "cache must stay bounded");
+        }
+        // The first (evicted) candidate still runs, via recompilation.
+        let first = OptProfile::sequence("candidate", vec!["mem2reg"], Default::default());
+        let r = runner.run(w, &first, VmKind::Sp1, false).unwrap();
+        assert!(r.exec.total_cycles > 0);
+    }
+
+    /// Regression: a matrix pair that was already resident at the FIFO front
+    /// must not be evicted by phase-1 compiles of *other* matrix pairs
+    /// (previously panicked with "no entry found for key" in phase 2), and
+    /// `run_matrix` must hand back the caller's cache bound afterwards.
+    #[test]
+    fn matrix_protects_pre_resident_pairs_and_restores_cache_bound() {
+        let w = zkvmopt_workloads::by_name("loop-sum").unwrap();
+        let mut runner = SuiteRunner::new().with_cache_capacity(3);
+        let o2 = OptProfile::level(OptLevel::O2);
+        // Warm the cache so (loop-sum, -O2) sits at the FIFO front.
+        runner.run(w, &o2, VmKind::Sp1, false).unwrap();
+        runner
+            .run(w, &OptProfile::baseline(), VmKind::Sp1, false)
+            .unwrap();
+        runner
+            .run(w, &OptProfile::level(OptLevel::O1), VmKind::Sp1, false)
+            .unwrap();
+        let cells = runner.run_matrix(
+            &[w],
+            &[o2, OptProfile::level(OptLevel::O0)],
+            &[VmKind::Sp1],
+            false,
+            1,
+        );
+        assert_eq!(cells.len(), 2);
+        for c in &cells {
+            assert!(c.result.is_ok(), "{}: {:?}", c.profile, c.result);
+        }
+        assert!(
+            runner.cached_programs() <= 3,
+            "run_matrix must restore the configured cache bound"
+        );
+    }
+
+    #[test]
+    fn matrix_fans_out_in_deterministic_order() {
+        let workloads: Vec<&Workload> = ["loop-sum", "fibonacci"]
+            .iter()
+            .map(|n| zkvmopt_workloads::by_name(n).unwrap())
+            .collect();
+        let profiles = vec![OptProfile::baseline(), OptProfile::level(OptLevel::O2)];
+        let mut runner = SuiteRunner::new();
+        let cells = runner.run_matrix(&workloads, &profiles, &VmKind::BOTH, false, 0);
+        assert_eq!(cells.len(), 2 * 2 * 2);
+        // Row-major order: workload outermost, vm innermost.
+        assert_eq!(cells[0].workload, "loop-sum");
+        assert_eq!(cells[0].profile, "baseline");
+        assert_eq!(cells[0].vm, VmKind::RiscZero);
+        assert_eq!(cells[1].vm, VmKind::Sp1);
+        assert_eq!(cells[2].profile, "-O2");
+        assert_eq!(cells[4].workload, "fibonacci");
+        // Parallel and serial execution agree cycle-for-cycle.
+        let serial = runner.run_matrix(&workloads, &profiles, &VmKind::BOTH, false, 1);
+        for (a, b) in cells.iter().zip(&serial) {
+            let (am, _) = a.result.as_ref().unwrap();
+            let (bm, _) = b.result.as_ref().unwrap();
+            assert_eq!(am.cycles, bm.cycles);
+            assert_eq!(am.instret, bm.instret);
+        }
+    }
+}

@@ -301,6 +301,22 @@ pub fn decode(word: u32, pc: usize) -> Option<Inst<Reg>> {
     })
 }
 
+/// Decode a whole instruction stream (one word per code index).
+///
+/// This is the entry point the zkVM engine's pre-decoder uses when it is
+/// handed raw RV32IM words instead of an already-lowered [`Inst`] stream;
+/// `Err(pc)` reports the first undecodable word.
+///
+/// # Errors
+/// Returns the code index of the first word outside the RV32IM subset.
+pub fn decode_program(words: &[u32]) -> Result<Vec<Inst<Reg>>, usize> {
+    words
+        .iter()
+        .enumerate()
+        .map(|(pc, &w)| decode(w, pc).ok_or(pc))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -52,6 +52,19 @@ impl AluOp {
         }
     }
 
+    /// Which instruction-mix bucket a register–register ALU op falls into.
+    /// The block-dispatch engine's accounting (per-op and per-block) routes
+    /// through here; the reference step interpreter deliberately keeps its
+    /// own copy of this split so the differential harness compares two
+    /// independent implementations.
+    pub fn mix_class(self) -> MixClass {
+        match self {
+            AluOp::Mul | AluOp::Mulh | AluOp::Mulhsu | AluOp::Mulhu => MixClass::Mul,
+            AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu => MixClass::Div,
+            _ => MixClass::Alu,
+        }
+    }
+
     /// Whether this is an RV32M (multiply/divide extension) operation.
     pub fn is_m_ext(self) -> bool {
         matches!(
@@ -160,6 +173,29 @@ impl BranchCond {
             BranchCond::Geu => a >= b,
         }
     }
+}
+
+/// Coarse dynamic-instruction classification shared by the executors'
+/// instruction-mix accounting (the step interpreter, the block-dispatch
+/// engine's pre-decoder, and the x86 timing model all bucket the same way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MixClass {
+    /// ALU / immediate ALU operations (incl. `lui`).
+    Alu,
+    /// RV32M multiplies.
+    Mul,
+    /// RV32M divisions and remainders.
+    Div,
+    /// Loads.
+    Load,
+    /// Stores.
+    Store,
+    /// Conditional branches.
+    Branch,
+    /// Jumps (`jal`/`jalr`).
+    Jump,
+    /// Environment calls.
+    Ecall,
 }
 
 /// One RV32IM instruction, generic over the register type `R`.
@@ -279,6 +315,39 @@ impl<R: Copy> Inst<R> {
             | Inst::Load { rd, .. }
             | Inst::Jal { rd, .. }
             | Inst::Jalr { rd, .. } => Some(rd),
+            _ => None,
+        }
+    }
+
+    /// Which instruction-mix bucket a dynamic execution of this instruction
+    /// falls into.
+    pub fn mix_class(&self) -> MixClass {
+        match self {
+            Inst::Lui { .. } | Inst::AluImm { .. } => MixClass::Alu,
+            Inst::Alu { op, .. } => op.mix_class(),
+            Inst::Load { .. } => MixClass::Load,
+            Inst::Store { .. } => MixClass::Store,
+            Inst::Branch { .. } => MixClass::Branch,
+            Inst::Jal { .. } | Inst::Jalr { .. } => MixClass::Jump,
+            Inst::Ecall => MixClass::Ecall,
+        }
+    }
+
+    /// Whether this instruction ends a basic block (control may leave the
+    /// fall-through path). `ecall` is *not* a terminator: except for `halt`
+    /// (which ends the whole execution) it falls through.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. }
+        )
+    }
+
+    /// The statically-known control-flow target (code index), if any.
+    /// `jalr` targets are dynamic and return `None`.
+    pub fn static_target(&self) -> Option<usize> {
+        match self {
+            Inst::Branch { target, .. } | Inst::Jal { target, .. } => Some(*target),
             _ => None,
         }
     }

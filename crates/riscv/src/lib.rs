@@ -28,7 +28,7 @@ pub mod regalloc;
 pub mod vinst;
 
 pub use emit::Program;
-pub use inst::{AluImmOp, AluOp, BranchCond, Inst, MemWidth};
+pub use inst::{AluImmOp, AluOp, BranchCond, Inst, MemWidth, MixClass};
 pub use isel::CodegenError;
 pub use reg::{Reg, VReg};
 

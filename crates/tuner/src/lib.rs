@@ -30,6 +30,17 @@ impl Candidate {
             ..PassConfig::default()
         }
     }
+
+    /// One random candidate from the tuner's generator (the same
+    /// distribution `autotune` seeds its population with): a pass sequence
+    /// of depth 1..=`max_depth` drawn uniformly from the registry, plus
+    /// random threshold parameters. Deterministic in `seed` — this is the
+    /// entry point the property-based pass tests sample sequences from.
+    pub fn random(seed: u64, max_depth: usize) -> Candidate {
+        let names = pass_names();
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_candidate(&mut rng, &names, max_depth)
+    }
 }
 
 /// Tuner configuration (paper: 160 iterations per benchmark, 1600 for the

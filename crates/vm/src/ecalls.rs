@@ -76,6 +76,7 @@ pub fn run_precompile(code: u32, args: &[i64], mem: &mut dyn MemIo) -> i64 {
 
 /// Precompile cycle charge for a call (fixed-cost circuits, per the paper's
 /// precompile discussion in §4.2).
+#[inline]
 pub fn precompile_cycles(profile: &crate::profile::VmProfile, code: u32, args: &[i64]) -> u64 {
     let len = args.get(1).copied().unwrap_or(0).max(0) as u64;
     match code {

@@ -1,0 +1,530 @@
+//! The block-dispatch zkVM executor.
+//!
+//! [`Engine`] runs a [`DecodedProgram`] block-at-a-time: blocks with no
+//! memory or ecall instructions take a **batched straight-line path** (one
+//! cycle/segment/mix update per block instead of per instruction), everything
+//! else takes a stepped path whose per-instruction accounting replicates the
+//! reference step interpreter bit for bit. Cycle counts, paging charges,
+//! segment splits, instruction mixes, journals, and error classes are
+//! guaranteed identical to [`crate::machine::Machine`] — the suite-wide
+//! differential harness (`tests/differential.rs`) enforces this across all
+//! 58 workloads × 5 profiles × both VM kinds.
+
+use crate::ecalls::{self, MemIo};
+use crate::machine::{alu, alu_imm, ExecConfig, ExecError, ExecutionReport, InstMix};
+use crate::mem::{FastMemory, MemFault, STACK_TOP};
+use crate::op::{DecodedProgram, Op};
+use crate::profile::{VmKind, VmProfile};
+use zkvmopt_ir::ecall;
+use zkvmopt_riscv::{Program, Reg};
+
+struct FastIo<'a>(&'a mut FastMemory);
+
+impl MemIo for FastIo<'_> {
+    fn read_bytes(&mut self, addr: u32, len: u32) -> Vec<u8> {
+        self.0
+            .read_bytes_host(addr, len)
+            .unwrap_or_else(|_| vec![0; len as usize])
+    }
+
+    fn write_bytes(&mut self, addr: u32, data: &[u8]) {
+        let _ = self.0.write_bytes_host(addr, data);
+    }
+}
+
+/// The pre-decoded block-dispatch executor.
+pub struct Engine<'p> {
+    prog: &'p DecodedProgram,
+    profile: VmProfile,
+    config: ExecConfig,
+    /// 33 slots: `x0`–`x31` plus the `x0` write sink (see [`crate::op`]).
+    regs: [u32; 33],
+    mem: FastMemory,
+    journal: Vec<i32>,
+}
+
+impl<'p> Engine<'p> {
+    /// Set up an engine with globals loaded and `sp` initialized.
+    pub fn new(prog: &'p DecodedProgram, profile: VmProfile, config: ExecConfig) -> Engine<'p> {
+        let mut mem = FastMemory::new(profile.page_size);
+        for (addr, data) in &prog.globals {
+            mem.write_bytes_host(*addr, data)
+                .expect("global image fits");
+        }
+        let mut regs = [0u32; 33];
+        regs[Reg::SP.0 as usize] = STACK_TOP;
+        Engine {
+            prog,
+            profile,
+            config,
+            regs,
+            mem,
+            journal: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn reg(&self, r: u8) -> u32 {
+        self.regs[r as usize]
+    }
+
+    /// Run to halt, producing the metric report.
+    ///
+    /// # Errors
+    /// Returns [`ExecError`] on faults or budget exhaustion, with the same
+    /// error classes the reference interpreter reports.
+    #[allow(clippy::too_many_lines)]
+    pub fn run(mut self) -> Result<ExecutionReport, ExecError> {
+        let start = std::time::Instant::now();
+        let mut instret: u64 = 0;
+        let mut user_cycles: u64 = 0;
+        let mut mix = InstMix::default();
+        let mut segments: u64 = 1;
+        let mut segment_cycles: u64 = 0;
+        let exit_code: i32;
+        let halted: bool;
+
+        let seg_limit = self.profile.segment_cycles;
+        let max_cycles = self.config.max_cycles;
+        let n = self.prog.ops.len();
+        let mut pc = self.prog.entry;
+
+        'run: loop {
+            if pc >= n {
+                return Err(ExecError::BadPc { pc });
+            }
+            let block = &self.prog.blocks[self.prog.block_of[pc] as usize];
+            if block.pure && pc == block.start as usize {
+                // ---- Batched straight-line path (no memory, no ecalls) ----
+                let ops = &self.prog.ops[block.start as usize..block.end as usize];
+                let mut next_pc = block.end as usize;
+                for op in ops {
+                    match *op {
+                        Op::Lui { rd, imm } => self.regs[rd as usize] = imm as u32,
+                        Op::Alu { op, rd, rs1, rs2 } => {
+                            self.regs[rd as usize] =
+                                alu(op, self.regs[rs1 as usize], self.regs[rs2 as usize]);
+                        }
+                        Op::AluImm { op, rd, rs1, imm } => {
+                            self.regs[rd as usize] = alu_imm(op, self.regs[rs1 as usize], imm);
+                        }
+                        Op::Branch {
+                            cond,
+                            rs1,
+                            rs2,
+                            target,
+                        } => {
+                            if cond.eval(self.regs[rs1 as usize], self.regs[rs2 as usize]) {
+                                next_pc = target as usize;
+                            }
+                        }
+                        Op::Jal { rd, link, target } => {
+                            self.regs[rd as usize] = link;
+                            next_pc = target as usize;
+                        }
+                        Op::Jalr {
+                            rd,
+                            rs1,
+                            offset,
+                            link,
+                        } => {
+                            let t = self.regs[rs1 as usize].wrapping_add(offset as u32) / 4;
+                            self.regs[rd as usize] = link;
+                            next_pc = t as usize;
+                        }
+                        Op::Load { .. } | Op::Store { .. } | Op::Ecall => {
+                            unreachable!("impure op in pure block")
+                        }
+                    }
+                }
+                let k = block.len() as u64;
+                instret += k;
+                user_cycles += k;
+                mix.add(&block.mix);
+                // Per-instruction semantics replayed arithmetically: each op
+                // adds one segment cycle; crossing the limit resets to zero.
+                if seg_limit == 0 {
+                    segments += k;
+                    self.mem.flush_segment();
+                } else {
+                    let room = seg_limit - segment_cycles;
+                    if k < room {
+                        segment_cycles += k;
+                    } else {
+                        segments += 1 + (k - room) / seg_limit;
+                        segment_cycles = (k - room) % seg_limit;
+                        self.mem.flush_segment();
+                    }
+                }
+                if user_cycles > max_cycles {
+                    return Err(ExecError::CycleLimit);
+                }
+                pc = next_pc;
+            } else {
+                // ---- Stepped path (memory/ecall blocks, mid-block entry) ----
+                let end = block.end as usize;
+                let mut i = pc;
+                while i < end {
+                    let mut cost: u64 = 1;
+                    let mut next = i + 1;
+                    let mut pcycles: u64 = 0;
+                    let op = self.prog.ops[i];
+                    mix.bump(op.mix_class());
+                    match op {
+                        Op::Lui { rd, imm } => {
+                            self.regs[rd as usize] = imm as u32;
+                        }
+                        Op::Alu { op, rd, rs1, rs2 } => {
+                            self.regs[rd as usize] = alu(op, self.reg(rs1), self.reg(rs2));
+                        }
+                        Op::AluImm { op, rd, rs1, imm } => {
+                            self.regs[rd as usize] = alu_imm(op, self.reg(rs1), imm);
+                        }
+                        Op::Load {
+                            width,
+                            rd,
+                            base,
+                            offset,
+                        } => {
+                            let addr = self.reg(base).wrapping_add(offset as u32);
+                            let ins0 = self.mem.page_ins();
+                            let outs0 = self.mem.page_outs();
+                            let raw = self
+                                .mem
+                                .read(addr, width.bytes())
+                                .map_err(|MemFault { addr }| ExecError::MemFault { addr, pc: i })?;
+                            let v = match width {
+                                zkvmopt_riscv::MemWidth::Byte => (raw as u8 as i8) as i32 as u32,
+                                zkvmopt_riscv::MemWidth::ByteU => raw & 0xff,
+                                zkvmopt_riscv::MemWidth::Half => (raw as u16 as i16) as i32 as u32,
+                                zkvmopt_riscv::MemWidth::HalfU => raw & 0xffff,
+                                zkvmopt_riscv::MemWidth::Word => raw,
+                            };
+                            self.regs[rd as usize] = v;
+                            pcycles = self.profile.paging_cycles(
+                                self.mem.page_ins() - ins0,
+                                self.mem.page_outs() - outs0,
+                            );
+                        }
+                        Op::Store {
+                            width,
+                            src,
+                            base,
+                            offset,
+                        } => {
+                            let addr = self.reg(base).wrapping_add(offset as u32);
+                            let ins0 = self.mem.page_ins();
+                            let outs0 = self.mem.page_outs();
+                            self.mem
+                                .write(addr, self.reg(src), width.bytes())
+                                .map_err(|MemFault { addr }| ExecError::MemFault { addr, pc: i })?;
+                            pcycles = self.profile.paging_cycles(
+                                self.mem.page_ins() - ins0,
+                                self.mem.page_outs() - outs0,
+                            );
+                        }
+                        Op::Branch {
+                            cond,
+                            rs1,
+                            rs2,
+                            target,
+                        } => {
+                            if cond.eval(self.reg(rs1), self.reg(rs2)) {
+                                next = target as usize;
+                            }
+                        }
+                        Op::Jal { rd, link, target } => {
+                            self.regs[rd as usize] = link;
+                            next = target as usize;
+                        }
+                        Op::Jalr {
+                            rd,
+                            rs1,
+                            offset,
+                            link,
+                        } => {
+                            let t = self.reg(rs1).wrapping_add(offset as u32) / 4;
+                            self.regs[rd as usize] = link;
+                            next = t as usize;
+                        }
+                        Op::Ecall => {
+                            let code = self.reg(Reg::T0.0);
+                            let args: [i64; 3] = [
+                                self.reg(Reg::A0.0) as i64,
+                                self.reg(Reg::A1.0) as i64,
+                                self.reg(Reg::A2.0) as i64,
+                            ];
+                            match code {
+                                ecall::HALT => {
+                                    exit_code = self.reg(Reg::A0.0) as i32;
+                                    halted = true;
+                                    instret += 1;
+                                    user_cycles += cost;
+                                    break 'run;
+                                }
+                                ecall::COMMIT => {
+                                    self.journal.push(self.reg(Reg::A0.0) as i32);
+                                    self.regs[Reg::A0.0 as usize] = 0;
+                                }
+                                ecall::READ_INPUT => {
+                                    let idx = self.reg(Reg::A0.0) as usize;
+                                    let v = self.config.inputs.get(idx).copied().unwrap_or(0);
+                                    self.regs[Reg::A0.0 as usize] = v as u32;
+                                }
+                                other => {
+                                    cost += ecalls::precompile_cycles(&self.profile, other, &args);
+                                    let r = ecalls::run_precompile(
+                                        other,
+                                        &args,
+                                        &mut FastIo(&mut self.mem),
+                                    );
+                                    self.regs[Reg::A0.0 as usize] = r as u32;
+                                }
+                            }
+                        }
+                    }
+                    instret += 1;
+                    user_cycles += cost;
+                    segment_cycles += cost + pcycles;
+                    if segment_cycles >= seg_limit {
+                        segments += 1;
+                        segment_cycles = 0;
+                        self.mem.flush_segment();
+                    }
+                    if user_cycles > max_cycles {
+                        return Err(ExecError::CycleLimit);
+                    }
+                    if next != i + 1 {
+                        pc = next;
+                        continue 'run;
+                    }
+                    i = next;
+                }
+                pc = end;
+            }
+        }
+
+        let paging_cycles = self
+            .profile
+            .paging_cycles(self.mem.page_ins(), self.mem.page_outs());
+        let total_cycles = user_cycles + paging_cycles;
+        let exec_cycles = match self.profile.kind {
+            VmKind::RiscZero => total_cycles,
+            VmKind::Sp1 => user_cycles,
+        };
+        let exec_time_ms = exec_cycles as f64 / self.profile.emulation_hz * 1e3;
+        let exit = if halted {
+            exit_code
+        } else {
+            self.reg(Reg::A0.0) as i32
+        };
+        Ok(ExecutionReport {
+            kind: self.profile.kind,
+            instret,
+            user_cycles,
+            paging_cycles,
+            total_cycles,
+            page_ins: self.mem.page_ins(),
+            page_outs: self.mem.page_outs(),
+            segments,
+            exit_code: exit,
+            halted,
+            journal: self.journal,
+            mix,
+            exec_time_ms,
+            wall_time_ms: start.elapsed().as_secs_f64() * 1e3,
+        })
+    }
+}
+
+/// Run a decoded program under `kind` with `inputs` — the hot entry point
+/// for cached (batched-suite) execution.
+///
+/// # Errors
+/// Propagates [`ExecError`].
+pub fn run_decoded(
+    prog: &DecodedProgram,
+    kind: VmKind,
+    inputs: &[i32],
+) -> Result<ExecutionReport, ExecError> {
+    let profile = VmProfile::for_kind(kind);
+    let config = ExecConfig {
+        inputs: inputs.to_vec(),
+        ..ExecConfig::default()
+    };
+    Engine::new(prog, profile, config).run()
+}
+
+/// Decode-and-run convenience for one-shot executions of a [`Program`].
+///
+/// # Errors
+/// Propagates [`ExecError`].
+pub fn run_program(
+    program: &Program,
+    kind: VmKind,
+    inputs: &[i32],
+) -> Result<ExecutionReport, ExecError> {
+    run_decoded(&DecodedProgram::decode(program), kind, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use zkvmopt_passes::{OptLevel, PassConfig, PassManager};
+    use zkvmopt_riscv::TargetCostModel;
+
+    fn build(src: &str, level: Option<OptLevel>) -> Program {
+        let mut m = zkvmopt_lang::compile_guest(src).expect("compiles");
+        if let Some(l) = level {
+            PassManager::for_level(l).run(&mut m, &PassConfig::default());
+        }
+        zkvmopt_riscv::compile_module(&m, &TargetCostModel::zk()).expect("codegen")
+    }
+
+    /// Every observable and every cost metric must match the reference step
+    /// interpreter exactly (wall time excluded, of course).
+    fn assert_identical(src: &str, inputs: &[i32], level: Option<OptLevel>) {
+        let p = build(src, level);
+        for kind in VmKind::BOTH {
+            let config = ExecConfig {
+                inputs: inputs.to_vec(),
+                ..ExecConfig::default()
+            };
+            let old = Machine::new(&p, VmProfile::for_kind(kind), config.clone())
+                .run()
+                .expect("reference runs");
+            let d = DecodedProgram::decode(&p);
+            let new = Engine::new(&d, VmProfile::for_kind(kind), config)
+                .run()
+                .expect("engine runs");
+            assert_eq!(new.instret, old.instret, "instret ({kind})");
+            assert_eq!(new.user_cycles, old.user_cycles, "user_cycles ({kind})");
+            assert_eq!(new.paging_cycles, old.paging_cycles, "paging ({kind})");
+            assert_eq!(new.total_cycles, old.total_cycles, "total ({kind})");
+            assert_eq!(new.page_ins, old.page_ins, "page_ins ({kind})");
+            assert_eq!(new.page_outs, old.page_outs, "page_outs ({kind})");
+            assert_eq!(new.segments, old.segments, "segments ({kind})");
+            assert_eq!(new.exit_code, old.exit_code, "exit ({kind})");
+            assert_eq!(new.halted, old.halted, "halted ({kind})");
+            assert_eq!(new.journal, old.journal, "journal ({kind})");
+            assert_eq!(new.mix, old.mix, "mix ({kind})");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_arithmetic_loops() {
+        assert_identical(
+            "fn main() -> i32 {
+               let mut s: i32 = 0;
+               for (let mut i: i32 = 1; i <= 200; i += 1) { s += i * i - s / 7; }
+               commit(s);
+               return s;
+             }",
+            &[],
+            None,
+        );
+    }
+
+    #[test]
+    fn matches_reference_on_memory_and_paging() {
+        assert_identical(
+            "static A: [i32; 16384];
+             fn main() -> i32 {
+               for (let mut i: i32 = 0; i < 16384; i += 64) { A[i] = i * 3; }
+               let mut s: i32 = 0;
+               for (let mut i: i32 = 0; i < 16384; i += 64) { s += A[i]; }
+               commit(s);
+               return s;
+             }",
+            &[],
+            Some(OptLevel::O2),
+        );
+    }
+
+    #[test]
+    fn matches_reference_on_calls_and_recursion() {
+        assert_identical(
+            "fn fib(n: i32) -> i32 {
+               if (n < 2) { return n; }
+               return fib(n - 1) + fib(n - 2);
+             }
+             fn main() -> i32 { commit(fib(15)); return fib(11); }",
+            &[],
+            Some(OptLevel::O3),
+        );
+    }
+
+    #[test]
+    fn matches_reference_on_segment_splits() {
+        // A long loop over one page: segment flushes re-page the resident
+        // set, the accounting the batched path replays arithmetically.
+        assert_identical(
+            "static A: [i32; 4];
+             fn main() -> i32 {
+               let mut s: i32 = 0;
+               for (let mut i: i32 = 0; i < 400000; i += 1) { A[0] = i; s += A[0]; }
+               return s;
+             }",
+            &[],
+            Some(OptLevel::O1),
+        );
+    }
+
+    #[test]
+    fn matches_reference_on_precompiles_and_halt() {
+        assert_identical(
+            "static MSG: [i8; 3] = \"abc\";
+             static OUT: [i8; 32];
+             fn main() -> i32 {
+               sha256(MSG, 3, OUT);
+               commit(OUT[0] as i32);
+               halt(OUT[1] as i32);
+               return -1;
+             }",
+            &[],
+            None,
+        );
+    }
+
+    #[test]
+    fn matches_reference_on_inputs_and_division_edges() {
+        assert_identical(
+            "fn main() -> i32 {
+               let a: i32 = read_input(0);
+               let b: i32 = read_input(1);
+               commit(a / b); commit(a % b);
+               commit((-2147483647 - 1) / -1); commit((-2147483647 - 1) % -1);
+               return a / 8;
+             }",
+            &[-7, 0],
+            None,
+        );
+    }
+
+    #[test]
+    fn cycle_limit_matches_reference() {
+        let p = build(
+            "fn main() -> i32 { let mut i: i32 = 0; while (true) { i += 1; } return i; }",
+            None,
+        );
+        let cfg = ExecConfig {
+            max_cycles: 10_000,
+            ..ExecConfig::default()
+        };
+        let d = DecodedProgram::decode(&p);
+        let r = Engine::new(&d, VmProfile::risc_zero(), cfg).run();
+        assert_eq!(r.unwrap_err(), ExecError::CycleLimit);
+    }
+
+    #[test]
+    fn run_decoded_reuses_one_decode_across_vm_kinds() {
+        let p = build("fn main() -> i32 { return 6 * 7; }", None);
+        let d = DecodedProgram::decode(&p);
+        let r0 = run_decoded(&d, VmKind::RiscZero, &[]).unwrap();
+        let sp1 = run_decoded(&d, VmKind::Sp1, &[]).unwrap();
+        assert_eq!(r0.exit_code, 42);
+        assert_eq!(sp1.exit_code, 42);
+        assert_eq!(r0.instret, sp1.instret);
+    }
+}

@@ -9,10 +9,17 @@
 //! - [`VmKind::Sp1`]: shard-based accounting with small memory surcharges and
 //!   no public paging metric (Table 2's "N/A").
 //!
-//! The executor interprets real RV32IM programs from `zkvmopt-riscv` and
-//! reports the paper's cost components: **dynamic instruction count**,
-//! **paging cycles**, and **total cycles**, plus the journal used by the
-//! workspace's differential tests.
+//! Execution is a **pre-decoded block-dispatch engine** ([`engine::Engine`]):
+//! every RV32IM instruction is decoded once into a dense internal [`op::Op`],
+//! ops are grouped into fall-through basic blocks keyed by branch targets,
+//! and dispatch runs block-at-a-time through a direct-indexed block cache.
+//! Blocks without memory or ecall instructions execute with batched
+//! cycle/segment accounting; everything stays bit-identical to the original
+//! decode-per-step interpreter ([`machine::Machine`]), which is kept behind
+//! the `reference` cargo feature (and `cfg(test)`) as the differential
+//! oracle. The engine reports the paper's cost components: **dynamic
+//! instruction count**, **paging cycles**, and **total cycles**, plus the
+//! journal used by the workspace's differential tests.
 //!
 //! ## Example
 //!
@@ -29,15 +36,19 @@
 //! ```
 
 pub mod ecalls;
+pub mod engine;
 pub mod machine;
 pub mod mem;
+pub mod op;
 pub mod profile;
 
 pub use ecalls::CryptoEcalls;
-pub use machine::{
-    alu, alu_imm, run_program, ExecConfig, ExecError, ExecutionReport, InstMix, Machine,
-};
-pub use mem::PagedMemory;
+pub use engine::{run_decoded, run_program, Engine};
+pub use machine::{alu, alu_imm, ExecConfig, ExecError, ExecutionReport, InstMix};
+#[cfg(any(test, feature = "reference"))]
+pub use machine::{run_program_reference, Machine};
+pub use mem::{FastMemory, PagedMemory};
+pub use op::{Block, DecodedProgram, Op};
 pub use profile::{VmKind, VmProfile};
 
 #[cfg(test)]

@@ -1,13 +1,26 @@
-//! The zkVM executor: replays an RV32IM [`Program`] and produces the
-//! paper's three metric ingredients — cycle count, dynamic instruction
-//! count, and paging cycles — plus the journal for correctness checks.
+//! The **reference** zkVM step interpreter plus the execution-report types
+//! shared with the block-dispatch engine.
+//!
+//! [`Machine`] decodes on every step and accounts per instruction; it is the
+//! original executor, kept as the differential oracle for
+//! [`crate::engine::Engine`] behind `cfg(test)` / the `reference` cargo
+//! feature. Production execution goes through the engine — [`run_program`]
+//! here delegates to it.
 
+#[cfg(any(test, feature = "reference"))]
 use crate::ecalls::{self, MemIo};
+#[cfg(any(test, feature = "reference"))]
 use crate::mem::{MemFault, PagedMemory, STACK_TOP};
-use crate::profile::{VmKind, VmProfile};
+use crate::profile::VmKind;
+#[cfg(any(test, feature = "reference"))]
+use crate::profile::VmProfile;
 use std::fmt;
+#[cfg(any(test, feature = "reference"))]
 use zkvmopt_ir::ecall;
-use zkvmopt_riscv::inst::{AluImmOp, AluOp, Inst, MemWidth};
+use zkvmopt_riscv::inst::{AluImmOp, AluOp};
+#[cfg(any(test, feature = "reference"))]
+use zkvmopt_riscv::inst::{Inst, MemWidth};
+#[cfg(any(test, feature = "reference"))]
 use zkvmopt_riscv::{Program, Reg};
 
 /// Executor configuration.
@@ -75,6 +88,38 @@ pub struct InstMix {
     pub ecall: u64,
 }
 
+impl InstMix {
+    /// Count one dynamic instruction of the given class (the canonical
+    /// bucketing lives in [`zkvmopt_riscv::inst::MixClass`]).
+    #[inline]
+    pub fn bump(&mut self, class: zkvmopt_riscv::inst::MixClass) {
+        use zkvmopt_riscv::inst::MixClass;
+        match class {
+            MixClass::Alu => self.alu += 1,
+            MixClass::Mul => self.mul += 1,
+            MixClass::Div => self.div += 1,
+            MixClass::Load => self.load += 1,
+            MixClass::Store => self.store += 1,
+            MixClass::Branch => self.branch += 1,
+            MixClass::Jump => self.jump += 1,
+            MixClass::Ecall => self.ecall += 1,
+        }
+    }
+
+    /// Accumulate another mix (the engine adds a whole block's static mix
+    /// per batched entry).
+    pub fn add(&mut self, other: &InstMix) {
+        self.alu += other.alu;
+        self.mul += other.mul;
+        self.div += other.div;
+        self.load += other.load;
+        self.store += other.store;
+        self.branch += other.branch;
+        self.jump += other.jump;
+        self.ecall += other.ecall;
+    }
+}
+
 /// Everything the study measures from one guest execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionReport {
@@ -108,7 +153,10 @@ pub struct ExecutionReport {
     pub wall_time_ms: f64,
 }
 
-/// The executor.
+/// The reference step interpreter (decode-per-step, per-instruction
+/// accounting). Kept as the differential oracle for the block-dispatch
+/// engine; compiled only for tests or under the `reference` feature.
+#[cfg(any(test, feature = "reference"))]
 pub struct Machine<'p> {
     program: &'p Program,
     profile: VmProfile,
@@ -119,8 +167,10 @@ pub struct Machine<'p> {
     journal: Vec<i32>,
 }
 
+#[cfg(any(test, feature = "reference"))]
 struct PagedIo<'a>(&'a mut PagedMemory);
 
+#[cfg(any(test, feature = "reference"))]
 impl MemIo for PagedIo<'_> {
     fn read_bytes(&mut self, addr: u32, len: u32) -> Vec<u8> {
         self.0
@@ -133,6 +183,7 @@ impl MemIo for PagedIo<'_> {
     }
 }
 
+#[cfg(any(test, feature = "reference"))]
 impl<'p> Machine<'p> {
     /// Set up a machine with globals loaded and `sp` initialized.
     pub fn new(program: &'p Program, profile: VmProfile, config: ExecConfig) -> Machine<'p> {
@@ -302,7 +353,7 @@ impl<'p> Machine<'p> {
             // Paging cycles from this instruction.
             let dins = self.mem.page_ins() - page_ins_before;
             let douts = self.mem.page_outs() - page_outs_before;
-            let pcycles = dins * self.profile.page_in_cycles + douts * self.profile.page_out_cycles;
+            let pcycles = self.profile.paging_cycles(dins, douts);
             segment_cycles += cost + pcycles;
             if segment_cycles >= self.profile.segment_cycles {
                 segments += 1;
@@ -315,8 +366,9 @@ impl<'p> Machine<'p> {
             self.pc = next_pc;
         }
 
-        let paging_cycles = self.mem.page_ins() * self.profile.page_in_cycles
-            + self.mem.page_outs() * self.profile.page_out_cycles;
+        let paging_cycles = self
+            .profile
+            .paging_cycles(self.mem.page_ins(), self.mem.page_outs());
         let total_cycles = user_cycles + paging_cycles;
         // Modelled replay time: RISC Zero's executor also replays paging
         // work; SP1's does not expose it.
@@ -418,11 +470,13 @@ pub fn alu_imm(op: AluImmOp, a: u32, imm: i32) -> u32 {
     }
 }
 
-/// Compile-free convenience: run `program` under `kind` with `inputs`.
+/// Run `program` through the **reference** step interpreter — the oracle the
+/// differential harness and the `engine_throughput` bench compare against.
 ///
 /// # Errors
 /// Propagates [`ExecError`].
-pub fn run_program(
+#[cfg(any(test, feature = "reference"))]
+pub fn run_program_reference(
     program: &Program,
     kind: VmKind,
     inputs: &[i32],

@@ -1,4 +1,17 @@
 //! Paged guest memory with RISC Zero–style page-in/page-out accounting.
+//!
+//! Two implementations share the same observable counting semantics:
+//!
+//! - [`PagedMemory`] — the original hash-map-of-pages store, kept as the
+//!   independent oracle behind the reference step interpreter. Its byte-wise
+//!   touch loop is deliberately untouched so the differential tests compare
+//!   two genuinely distinct implementations.
+//! - [`FastMemory`] — the block-dispatch engine's store: one flat
+//!   zero-initialized buffer plus a direct-indexed residency table, with a
+//!   single page touch per access side (first and last byte) instead of one
+//!   per byte. Page-in/page-out counts are bit-identical to [`PagedMemory`]
+//!   because a multi-byte access can only ever touch the pages of its first
+//!   and last byte.
 
 use std::collections::HashMap;
 
@@ -169,6 +182,212 @@ impl PagedMemory {
     }
 }
 
+/// Residency states for [`FastMemory`]'s per-page table.
+const ABSENT: u8 = 0;
+const CLEAN: u8 = 1;
+const DIRTY: u8 = 2;
+
+/// Direct-indexed guest memory with the same page-in/page-out accounting as
+/// [`PagedMemory`], engineered for the block-dispatch engine's hot path:
+/// loads and stores are a bounds check, at most two direct-indexed residency
+/// touches, and a little-endian slice access within one lazily-allocated
+/// page — no hashing, no per-byte touch loop, and (crucially for the
+/// batched suite runner, which spins up one memory per execution) no O(guest
+/// address space) zeroing at construction.
+#[derive(Debug)]
+pub struct FastMemory {
+    page_size: u32,
+    page_shift: u32,
+    /// Data pages, allocated zeroed on first write (reads of untouched
+    /// pages return zero without allocating).
+    pages: Vec<Option<Box<[u8]>>>,
+    resident: Vec<u8>,
+    page_ins: u64,
+    page_outs: u64,
+}
+
+impl FastMemory {
+    /// Fresh zeroed memory covering the full guest address space.
+    pub fn new(page_size: u32) -> FastMemory {
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        // The first-byte/last-byte touch scheme matches PagedMemory's
+        // per-byte loop only while no access (≤ 4 bytes) can span 3 pages.
+        assert!(page_size >= 4, "page size must cover one word");
+        let npages = (MEM_SIZE / page_size) as usize;
+        FastMemory {
+            page_size,
+            page_shift: page_size.trailing_zeros(),
+            pages: (0..npages).map(|_| None).collect(),
+            resident: vec![ABSENT; npages],
+            page_ins: 0,
+            page_outs: 0,
+        }
+    }
+
+    #[inline]
+    fn page_mut(&mut self, page: usize) -> &mut [u8] {
+        let size = self.page_size as usize;
+        self.pages[page].get_or_insert_with(|| vec![0; size].into_boxed_slice())
+    }
+
+    #[inline]
+    fn touch(&mut self, page: usize, write: bool) {
+        let state = self.resident[page];
+        if state == ABSENT {
+            self.page_ins += 1;
+            if write {
+                self.page_outs += 1;
+                self.resident[page] = DIRTY;
+            } else {
+                self.resident[page] = CLEAN;
+            }
+        } else if write && state == CLEAN {
+            self.page_outs += 1;
+            self.resident[page] = DIRTY;
+        }
+    }
+
+    #[inline]
+    fn check(&self, addr: u32, size: u32) -> Result<(), MemFault> {
+        if addr < 0x100 || addr.checked_add(size).is_none_or(|e| e > MEM_SIZE) {
+            return Err(MemFault { addr });
+        }
+        Ok(())
+    }
+
+    /// End the current segment: the resident set is dropped, so the next
+    /// segment re-pages everything it touches.
+    pub fn flush_segment(&mut self) {
+        self.resident.fill(ABSENT);
+    }
+
+    /// Cumulative page-ins.
+    #[inline]
+    pub fn page_ins(&self) -> u64 {
+        self.page_ins
+    }
+
+    /// Cumulative page-outs.
+    #[inline]
+    pub fn page_outs(&self) -> u64 {
+        self.page_outs
+    }
+
+    /// Pages currently resident.
+    pub fn resident_pages(&self) -> usize {
+        self.resident.iter().filter(|&&s| s != ABSENT).count()
+    }
+
+    /// Read `size` (1, 2, or 4) bytes, little-endian, charging paging.
+    ///
+    /// # Errors
+    /// Faults on null-guard or out-of-range accesses.
+    #[inline]
+    pub fn read(&mut self, addr: u32, size: u32) -> Result<u32, MemFault> {
+        self.check(addr, size)?;
+        let first = (addr >> self.page_shift) as usize;
+        let last = ((addr + size - 1) >> self.page_shift) as usize;
+        self.touch(first, false);
+        if last == first {
+            let off = (addr & (self.page_size - 1)) as usize;
+            let Some(page) = &self.pages[first] else {
+                return Ok(0); // untouched page reads as zero, no allocation
+            };
+            Ok(match size {
+                4 => u32::from_le_bytes(page[off..off + 4].try_into().expect("4 bytes")),
+                2 => u16::from_le_bytes(page[off..off + 2].try_into().expect("2 bytes")) as u32,
+                _ => page[off] as u32,
+            })
+        } else {
+            self.touch(last, false);
+            let mut out: u32 = 0;
+            for i in 0..size {
+                let a = addr + i;
+                let p = (a >> self.page_shift) as usize;
+                let off = (a & (self.page_size - 1)) as usize;
+                let b = self.pages[p].as_ref().map_or(0, |pg| pg[off]);
+                out |= (b as u32) << (8 * i);
+            }
+            Ok(out)
+        }
+    }
+
+    /// Write `size` (1, 2, or 4) low bytes of `value`, charging paging.
+    ///
+    /// # Errors
+    /// Faults on null-guard or out-of-range accesses.
+    #[inline]
+    pub fn write(&mut self, addr: u32, value: u32, size: u32) -> Result<(), MemFault> {
+        self.check(addr, size)?;
+        let first = (addr >> self.page_shift) as usize;
+        let last = ((addr + size - 1) >> self.page_shift) as usize;
+        self.touch(first, true);
+        if last == first {
+            let off = (addr & (self.page_size - 1)) as usize;
+            let page = self.page_mut(first);
+            match size {
+                4 => page[off..off + 4].copy_from_slice(&value.to_le_bytes()),
+                2 => page[off..off + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+                _ => page[off] = value as u8,
+            }
+        } else {
+            self.touch(last, true);
+            for i in 0..size {
+                let a = addr + i;
+                let p = (a >> self.page_shift) as usize;
+                let off = (a & (self.page_size - 1)) as usize;
+                self.page_mut(p)[off] = (value >> (8 * i)) as u8;
+            }
+        }
+        Ok(())
+    }
+
+    /// Bulk read without affecting paging counters (host/precompile access
+    /// is charged separately as precompile cycles).
+    ///
+    /// # Errors
+    /// Faults on null-guard or out-of-range accesses.
+    pub fn read_bytes_host(&mut self, addr: u32, len: u32) -> Result<Vec<u8>, MemFault> {
+        self.check(addr, len.max(1))?;
+        let mut out = Vec::with_capacity(len as usize);
+        let mut a = addr;
+        let end = addr + len;
+        while a < end {
+            let p = (a >> self.page_shift) as usize;
+            let off = (a & (self.page_size - 1)) as usize;
+            let n = ((self.page_size as usize - off) as u32).min(end - a) as usize;
+            match &self.pages[p] {
+                Some(pg) => out.extend_from_slice(&pg[off..off + n]),
+                None => out.resize(out.len() + n, 0),
+            }
+            a += n as u32;
+        }
+        Ok(out)
+    }
+
+    /// Bulk write without affecting paging counters.
+    ///
+    /// # Errors
+    /// Faults on null-guard or out-of-range accesses.
+    pub fn write_bytes_host(&mut self, addr: u32, data: &[u8]) -> Result<(), MemFault> {
+        self.check(addr, data.len() as u32)?;
+        let mut a = addr;
+        let mut rest = data;
+        while !rest.is_empty() {
+            let p = (a >> self.page_shift) as usize;
+            let off = (a & (self.page_size - 1)) as usize;
+            let n = (self.page_size as usize - off).min(rest.len());
+            self.page_mut(p)[off..off + n].copy_from_slice(&rest[..n]);
+            a += n as u32;
+            rest = &rest[n..];
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,5 +437,48 @@ mod tests {
     fn memory_is_zero_initialized() {
         let mut m = PagedMemory::new(1024);
         assert_eq!(m.read(0x50000, 4).unwrap(), 0);
+    }
+
+    /// Replay the same access trace on both implementations and demand
+    /// identical values, faults, and paging counters.
+    #[test]
+    fn fast_memory_matches_paged_memory_on_a_mixed_trace() {
+        let mut slow = PagedMemory::new(1024);
+        let mut fast = FastMemory::new(1024);
+        // Deterministic pseudo-random trace: reads, writes, sub-word
+        // accesses, cross-page accesses, OOB probes, and segment flushes.
+        let mut x: u32 = 0x1234_5678;
+        for step in 0..20_000u32 {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            let addr = x % (MEM_SIZE + 512); // occasionally out of range
+            let size = [1, 2, 4][(x >> 8) as usize % 3];
+            if step % 997 == 0 {
+                slow.flush_segment();
+                fast.flush_segment();
+            }
+            if x & 1 == 0 {
+                let v = x.rotate_left(7);
+                assert_eq!(slow.write(addr, v, size), fast.write(addr, v, size));
+            } else {
+                assert_eq!(slow.read(addr, size), fast.read(addr, size));
+            }
+            assert_eq!(slow.page_ins(), fast.page_ins(), "step {step}");
+            assert_eq!(slow.page_outs(), fast.page_outs(), "step {step}");
+        }
+        assert_eq!(slow.resident_pages(), fast.resident_pages());
+    }
+
+    #[test]
+    fn fast_memory_cross_page_and_host_access() {
+        let mut m = FastMemory::new(1024);
+        m.read(1024 * 33 - 2, 4).unwrap();
+        assert_eq!(m.page_ins(), 2);
+        // Host access moves bytes but charges nothing.
+        m.write_bytes_host(0x40000, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.read_bytes_host(0x40000, 4).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(m.page_ins(), 2);
+        assert_eq!(m.page_outs(), 0);
+        assert!(m.read(0x10, 4).is_err());
+        assert!(m.write(MEM_SIZE - 2, 0, 4).is_err());
     }
 }

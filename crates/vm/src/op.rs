@@ -1,0 +1,409 @@
+//! Pre-decoded instruction stream for the block-dispatch engine.
+//!
+//! [`DecodedProgram::decode`] walks a linked [`Program`] **once**, lowering
+//! every [`Inst`] into a dense internal [`Op`] and grouping the stream into
+//! fall-through basic [`Block`]s keyed by branch targets. The per-pc
+//! `block_of` table is the engine's direct-indexed block cache: dispatching a
+//! jump is one array load, never a search. Pre-decoding also bakes in what
+//! the step interpreter recomputes on every execution of an instruction:
+//! `jal`/`jalr` link values, the `x0` write sink, and each block's static
+//! instruction mix.
+
+use crate::machine::InstMix;
+use zkvmopt_riscv::encode;
+use zkvmopt_riscv::inst::{AluImmOp, AluOp, BranchCond, MemWidth, MixClass};
+use zkvmopt_riscv::{Inst, Program, Reg};
+
+/// Register-file slot that swallows writes to `x0`. The engine's register
+/// file has 33 slots; slot 0 is never written, so reads of `x0` stay 0 and
+/// the hot path stores unconditionally instead of branching on `rd != x0`.
+pub const REG_SINK: u8 = 32;
+
+/// One pre-decoded RV32IM operation. Register fields are plain `u8` indices
+/// into the engine's 33-slot register file with the `x0`-write remap already
+/// applied; control-flow fields carry precomputed link values and targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `lui` — the full 32-bit immediate is precomputed.
+    Lui { rd: u8, imm: i32 },
+    /// Register–register ALU.
+    Alu { op: AluOp, rd: u8, rs1: u8, rs2: u8 },
+    /// Register–immediate ALU.
+    AluImm {
+        op: AluImmOp,
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+    },
+    /// Load of the given width.
+    Load {
+        width: MemWidth,
+        rd: u8,
+        base: u8,
+        offset: i32,
+    },
+    /// Store of the given width.
+    Store {
+        width: MemWidth,
+        src: u8,
+        base: u8,
+        offset: i32,
+    },
+    /// Conditional branch to code index `target`.
+    Branch {
+        cond: BranchCond,
+        rs1: u8,
+        rs2: u8,
+        target: u32,
+    },
+    /// Unconditional jump; `link` is the precomputed return address
+    /// `(pc + 1) * 4`.
+    Jal { rd: u8, link: u32, target: u32 },
+    /// Indirect jump; `link` as for [`Op::Jal`].
+    Jalr {
+        rd: u8,
+        rs1: u8,
+        offset: i32,
+        link: u32,
+    },
+    /// Environment call (falls through except for `halt`).
+    Ecall,
+}
+
+/// A maximal fall-through run of pre-decoded ops. Blocks partition the code
+/// contiguously; a block's terminator (if any) is its last op.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// First code index of the block.
+    pub start: u32,
+    /// One past the last code index.
+    pub end: u32,
+    /// No loads, stores, or ecalls: the engine may execute the whole block
+    /// straight-line with batched cycle/segment accounting.
+    pub pure: bool,
+    /// Static instruction mix of the block. Every op of a block executes
+    /// whenever the block is entered at its head, so for pure blocks this is
+    /// exactly the dynamic mix contribution per entry.
+    pub mix: InstMix,
+}
+
+impl Block {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the block is empty (never true for decoded programs).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A program decoded once for block-at-a-time dispatch.
+///
+/// Owns everything the engine needs, so it can be cached and shared across
+/// arbitrarily many executions (the batched suite runner compiles + decodes
+/// each {workload × profile} pair exactly once).
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    /// Pre-decoded ops, 1:1 with the original instruction stream.
+    pub ops: Vec<Op>,
+    /// Basic blocks, in code order, contiguously partitioning `ops`.
+    pub blocks: Vec<Block>,
+    /// Direct-indexed block cache: `block_of[pc]` is the block containing
+    /// `pc`.
+    pub block_of: Vec<u32>,
+    /// Entry code index (the `_start` stub).
+    pub entry: usize,
+    /// Initialized globals: (virtual address, bytes).
+    pub globals: Vec<(u32, Vec<u8>)>,
+}
+
+fn remap_rd(rd: Reg) -> u8 {
+    if rd == Reg::ZERO {
+        REG_SINK
+    } else {
+        rd.0
+    }
+}
+
+fn lower(inst: &Inst<Reg>, pc: usize) -> Op {
+    let link = (pc as u32 + 1) * 4;
+    match *inst {
+        Inst::Lui { rd, imm } => Op::Lui {
+            rd: remap_rd(rd),
+            imm,
+        },
+        Inst::Alu { op, rd, rs1, rs2 } => Op::Alu {
+            op,
+            rd: remap_rd(rd),
+            rs1: rs1.0,
+            rs2: rs2.0,
+        },
+        Inst::AluImm { op, rd, rs1, imm } => Op::AluImm {
+            op,
+            rd: remap_rd(rd),
+            rs1: rs1.0,
+            imm,
+        },
+        Inst::Load {
+            width,
+            rd,
+            base,
+            offset,
+        } => Op::Load {
+            width,
+            rd: remap_rd(rd),
+            base: base.0,
+            offset,
+        },
+        Inst::Store {
+            width,
+            src,
+            base,
+            offset,
+        } => Op::Store {
+            width,
+            src: src.0,
+            base: base.0,
+            offset,
+        },
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => Op::Branch {
+            cond,
+            rs1: rs1.0,
+            rs2: rs2.0,
+            target: target as u32,
+        },
+        Inst::Jal { rd, target } => Op::Jal {
+            rd: remap_rd(rd),
+            link,
+            target: target as u32,
+        },
+        Inst::Jalr { rd, rs1, offset } => Op::Jalr {
+            rd: remap_rd(rd),
+            rs1: rs1.0,
+            offset,
+            link,
+        },
+        Inst::Ecall => Op::Ecall,
+    }
+}
+
+impl Op {
+    /// Which instruction-mix bucket a dynamic execution of this op falls
+    /// into. Mirrors [`Inst::mix_class`] (both route ALU bucketing through
+    /// [`AluOp::mix_class`]); the engine's stepped path and the per-block
+    /// static mixes both use this, so the accounting cannot drift.
+    #[inline]
+    pub fn mix_class(&self) -> MixClass {
+        match self {
+            Op::Lui { .. } | Op::AluImm { .. } => MixClass::Alu,
+            Op::Alu { op, .. } => op.mix_class(),
+            Op::Load { .. } => MixClass::Load,
+            Op::Store { .. } => MixClass::Store,
+            Op::Branch { .. } => MixClass::Branch,
+            Op::Jal { .. } | Op::Jalr { .. } => MixClass::Jump,
+            Op::Ecall => MixClass::Ecall,
+        }
+    }
+}
+
+impl DecodedProgram {
+    /// Decode a linked program once for block dispatch.
+    pub fn decode(p: &Program) -> DecodedProgram {
+        Self::build(&p.code, p.entry, p.globals.clone())
+    }
+
+    /// Decode raw RV32IM words (e.g. a real guest binary image) via the
+    /// shared [`encode::decode`] decoder.
+    ///
+    /// # Errors
+    /// Returns the code index of the first undecodable word.
+    pub fn decode_words(
+        words: &[u32],
+        entry: usize,
+        globals: Vec<(u32, Vec<u8>)>,
+    ) -> Result<DecodedProgram, usize> {
+        let code = encode::decode_program(words)?;
+        Ok(Self::build(&code, entry, globals))
+    }
+
+    fn build(code: &[Inst<Reg>], entry: usize, globals: Vec<(u32, Vec<u8>)>) -> DecodedProgram {
+        let n = code.len();
+        // Leaders: the entry, every static control-flow target, and every
+        // fall-through / return point after a terminator (`jalr` return
+        // addresses are always `pc + 1` of some `jal`, so this covers every
+        // dynamic target the emitter can produce; anything else still runs
+        // through the engine's mid-block entry path).
+        let mut leader = vec![false; n];
+        if n > 0 {
+            leader[0] = true;
+        }
+        if entry < n {
+            leader[entry] = true;
+        }
+        for (pc, inst) in code.iter().enumerate() {
+            if let Some(t) = inst.static_target() {
+                if t < n {
+                    leader[t] = true;
+                }
+            }
+            if inst.is_terminator() && pc + 1 < n {
+                leader[pc + 1] = true;
+            }
+        }
+
+        let ops: Vec<Op> = code
+            .iter()
+            .enumerate()
+            .map(|(pc, i)| lower(i, pc))
+            .collect();
+
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut block_of = vec![0u32; n];
+        let mut pc = 0;
+        while pc < n {
+            let start = pc;
+            let mut mix = InstMix::default();
+            let mut pure = true;
+            loop {
+                let class = ops[pc].mix_class();
+                mix.bump(class);
+                pure &= !matches!(class, MixClass::Load | MixClass::Store | MixClass::Ecall);
+                block_of[pc] = blocks.len() as u32;
+                pc += 1;
+                if pc >= n || leader[pc] {
+                    break;
+                }
+            }
+            blocks.push(Block {
+                start: start as u32,
+                end: pc as u32,
+                pure,
+                mix,
+            });
+        }
+
+        DecodedProgram {
+            ops,
+            blocks,
+            block_of,
+            entry,
+            globals,
+        }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkvmopt_riscv::TargetCostModel;
+
+    fn decode_src(src: &str) -> (Program, DecodedProgram) {
+        let m = zkvmopt_lang::compile_guest(src).expect("compiles");
+        let p = zkvmopt_riscv::compile_module(&m, &TargetCostModel::zk()).expect("codegen");
+        let d = DecodedProgram::decode(&p);
+        (p, d)
+    }
+
+    #[test]
+    fn blocks_partition_the_code() {
+        let (p, d) = decode_src(
+            "fn main() -> i32 {
+               let mut s: i32 = 0;
+               for (let mut i: i32 = 0; i < 9; i += 1) { s += i; }
+               return s;
+             }",
+        );
+        assert_eq!(d.ops.len(), p.code.len());
+        assert_eq!(d.block_of.len(), p.code.len());
+        let mut covered = 0usize;
+        for (i, b) in d.blocks.iter().enumerate() {
+            assert_eq!(b.start as usize, covered, "blocks must be contiguous");
+            assert!(b.end > b.start);
+            covered = b.end as usize;
+            for pc in b.start..b.end {
+                assert_eq!(d.block_of[pc as usize] as usize, i);
+            }
+            let mix_total = b.mix.alu
+                + b.mix.mul
+                + b.mix.div
+                + b.mix.load
+                + b.mix.store
+                + b.mix.branch
+                + b.mix.jump
+                + b.mix.ecall;
+            assert_eq!(mix_total as usize, b.len(), "block mix partitions ops");
+        }
+        assert_eq!(covered, p.code.len());
+    }
+
+    #[test]
+    fn terminators_end_blocks_and_targets_lead_them() {
+        let (p, d) = decode_src(
+            "fn f(x: i32) -> i32 { if (x > 0) { return x; } return -x; }
+             fn main() -> i32 { return f(-3) + f(4); }",
+        );
+        for (pc, inst) in p.code.iter().enumerate() {
+            if inst.is_terminator() {
+                let b = &d.blocks[d.block_of[pc] as usize];
+                assert_eq!(b.end as usize, pc + 1, "terminator must end its block");
+            }
+            if let Some(t) = inst.static_target() {
+                let b = &d.blocks[d.block_of[t] as usize];
+                assert_eq!(b.start as usize, t, "target must start a block");
+            }
+        }
+    }
+
+    #[test]
+    fn x0_writes_are_redirected_to_the_sink() {
+        let (p, d) = decode_src("fn main() -> i32 { return 7; }");
+        for (inst, op) in p.code.iter().zip(&d.ops) {
+            if let (Inst::Jal { rd, .. }, Op::Jal { rd: r, .. }) = (inst, op) {
+                if *rd == Reg::ZERO {
+                    assert_eq!(*r, REG_SINK);
+                } else {
+                    assert_eq!(*r, rd.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_words_matches_decode() {
+        let (p, d) = decode_src(
+            "fn main() -> i32 {
+               let mut s: i32 = 0;
+               for (let mut i: i32 = 0; i < 5; i += 1) { s += i * i; }
+               return s;
+             }",
+        );
+        let words: Vec<u32> = p
+            .code
+            .iter()
+            .enumerate()
+            .map(|(pc, i)| encode::encode(i, pc))
+            .collect();
+        let d2 = DecodedProgram::decode_words(&words, p.entry, p.globals.clone())
+            .expect("round-trips through the binary encoding");
+        assert_eq!(d.ops, d2.ops);
+        assert_eq!(d.block_of, d2.block_of);
+        assert_eq!(d.blocks.len(), d2.blocks.len());
+    }
+}

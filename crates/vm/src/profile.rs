@@ -99,6 +99,14 @@ impl VmProfile {
             VmKind::Sp1 => VmProfile::sp1(),
         }
     }
+
+    /// Cycles charged for `ins` page-ins and `outs` page-outs — the one
+    /// paging-cost formula shared by the step interpreter and the
+    /// block-dispatch engine, so their accounting cannot drift.
+    #[inline]
+    pub fn paging_cycles(&self, ins: u64, outs: u64) -> u64 {
+        ins * self.page_in_cycles + outs * self.page_out_cycles
+    }
 }
 
 #[cfg(test)]

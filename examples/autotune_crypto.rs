@@ -4,27 +4,32 @@
 //!
 //! Run with: `cargo run --release --example autotune_crypto`
 
-use zkvm_opt::study::{gain, measure, OptLevel, OptProfile};
+use zkvm_opt::study::{gain, OptLevel, OptProfile, SuiteRunner};
 use zkvm_opt::tuner::{autotune, TunerConfig};
 use zkvm_opt::vm::VmKind;
 
 fn main() {
+    // The batched suite runner lowers the workload once; every autotuner
+    // candidate then only pays passes + codegen + engine execution.
+    let mut runner = SuiteRunner::new();
     let w = zkvm_opt::workloads::by_name("sha2-bench").expect("suite workload");
     println!(
         "autotuning `{}` on RISC Zero (fitness = cycle count)\n",
         w.name
     );
 
-    let (_, baseline) =
-        measure(w, &OptProfile::baseline(), VmKind::RiscZero, false, None).expect("baseline");
-    let (o3, _) = measure(
-        w,
-        &OptProfile::level(OptLevel::O3),
-        VmKind::RiscZero,
-        false,
-        Some(&baseline),
-    )
-    .expect("-O3");
+    let (_, baseline) = runner
+        .measure(w, &OptProfile::baseline(), VmKind::RiscZero, false, None)
+        .expect("baseline");
+    let (o3, _) = runner
+        .measure(
+            w,
+            &OptProfile::level(OptLevel::O3),
+            VmKind::RiscZero,
+            false,
+            Some(&baseline),
+        )
+        .expect("-O3");
     println!("baseline : {:>12} cycles", baseline.exec.total_cycles);
     println!("-O3      : {:>12} cycles", o3.cycles);
 
@@ -37,7 +42,7 @@ fn main() {
         // Candidates that miscompile return None and can never win — the
         // channel through which the paper's autotuner surfaced a real SP1
         // soundness bug.
-        match measure(w, &profile, VmKind::RiscZero, false, Some(&baseline)) {
+        match runner.measure(w, &profile, VmKind::RiscZero, false, Some(&baseline)) {
             Ok((m, _)) => Some(m.cycles),
             Err(_) => None,
         }

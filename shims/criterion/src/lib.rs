@@ -1,7 +1,7 @@
 //! Minimal, API-compatible subset of the `criterion` benchmark harness.
 //!
 //! The build environment has no registry access, so the workspace vendors the
-//! surface its 17 bench targets use: [`Criterion::bench_function`],
+//! surface its 18 bench targets use: [`Criterion::bench_function`],
 //! [`Bencher::iter`], [`criterion_group!`]/[`criterion_main!`] (both the
 //! `name = ..; config = ..; targets = ..` and positional forms), and
 //! [`black_box`]. Instead of criterion's statistical analysis it runs each

@@ -36,6 +36,8 @@ pub use zkvmopt_x86sim as x86sim;
 
 /// Common imports for examples and quick experiments.
 pub mod prelude {
-    pub use zkvmopt_core::{gain, measure, OptLevel, OptProfile, Pipeline, RunReport};
-    pub use zkvmopt_vm::VmKind;
+    pub use zkvmopt_core::{
+        gain, measure, MatrixCell, OptLevel, OptProfile, Pipeline, RunReport, SuiteRunner,
+    };
+    pub use zkvmopt_vm::{DecodedProgram, Engine, VmKind};
 }

@@ -1,8 +1,21 @@
 //! Workspace-level differential tests: every optimization profile must
 //! preserve guest-visible behaviour on real suite workloads, end to end
 //! (frontend → passes → codegen → zkVM), against the IR-interpreter oracle.
+//!
+//! The suite-wide harness at the bottom runs **all 58 workloads × {O0, O1,
+//! O2, O3, zk-aware} × both VM kinds** through three independent executors —
+//! the IR interpreter (oracle for guest-visible outputs), the original
+//! decode-per-step interpreter (`reference` feature), and the block-dispatch
+//! engine — and demands matching outputs *and* bit-identical cycle
+//! accounting between the two machine-code executors. It is ignored in
+//! debug builds (too slow for the tier-1 `cargo test -q`); CI runs it in the
+//! `test-release` job, and locally:
+//!
+//! ```text
+//! cargo test --release --test differential -- --include-ignored
+//! ```
 
-use zkvm_opt::study::{measure, OptLevel, OptProfile};
+use zkvm_opt::study::{measure, OptLevel, OptProfile, SuiteRunner};
 use zkvm_opt::vm::VmKind;
 
 /// A cross-suite sample kept small enough for debug-mode CI.
@@ -110,6 +123,75 @@ fn both_vms_agree_on_guest_behaviour() {
         .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(r0.instret, sp1.instret, "{name}: instret is VM-independent");
     }
+}
+
+/// The five profiles the suite-wide harness sweeps (the paper's main axes).
+fn suite_profiles() -> Vec<OptProfile> {
+    let mut ps: Vec<OptProfile> = [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3]
+        .iter()
+        .map(|&l| OptProfile::level(l))
+        .collect();
+    ps.push(OptProfile::zk_o3());
+    ps
+}
+
+/// All 58 workloads × {O0, O1, O2, O3, zk-aware} × both VM kinds:
+/// guest-visible outputs must match the IR-interpreter oracle, and the
+/// block-dispatch engine's full cost accounting must be bit-identical to the
+/// reference step interpreter.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "suite-wide sweep is release-only (CI: test-release)"
+)]
+fn suite_wide_differential_harness() {
+    let mut runner = SuiteRunner::new();
+    let profiles = suite_profiles();
+    let mut checked = 0usize;
+    for w in zkvm_opt::workloads::all() {
+        // Oracle: the IR interpreter on the *unoptimized* module.
+        let m = zkvm_opt::lang::compile_guest(&w.source).expect("compiles");
+        let cfg = zkvm_opt::ir::interp::InterpConfig {
+            inputs: w.inputs.clone(),
+            ..Default::default()
+        };
+        let oracle = zkvm_opt::ir::Interp::new(&m, cfg, zkvm_opt::vm::CryptoEcalls)
+            .run_main()
+            .unwrap_or_else(|e| panic!("{} oracle: {e}", w.name));
+        for profile in &profiles {
+            let cw = runner
+                .compile(w, profile)
+                .unwrap_or_else(|e| panic!("{} at {}: {e}", w.name, profile.name));
+            for vm in VmKind::BOTH {
+                let ctx = format!("{} at {} on {vm}", w.name, profile.name);
+                let new = zkvm_opt::vm::run_decoded(&cw.decoded, vm, &w.inputs)
+                    .unwrap_or_else(|e| panic!("{ctx} engine: {e}"));
+                // Guest-visible outputs vs the oracle.
+                assert_eq!(new.exit_code as i64, oracle.exit_value, "{ctx}: exit");
+                assert_eq!(new.journal, oracle.journal, "{ctx}: journal");
+                // Full cost accounting vs the old step interpreter.
+                let old = zkvm_opt::vm::run_program_reference(&cw.program, vm, &w.inputs)
+                    .unwrap_or_else(|e| panic!("{ctx} reference: {e}"));
+                assert_eq!(new.instret, old.instret, "{ctx}: instret");
+                assert_eq!(new.user_cycles, old.user_cycles, "{ctx}: user_cycles");
+                assert_eq!(new.paging_cycles, old.paging_cycles, "{ctx}: paging_cycles");
+                assert_eq!(new.total_cycles, old.total_cycles, "{ctx}: total_cycles");
+                assert_eq!(new.page_ins, old.page_ins, "{ctx}: page_ins");
+                assert_eq!(new.page_outs, old.page_outs, "{ctx}: page_outs");
+                assert_eq!(new.segments, old.segments, "{ctx}: segments");
+                assert_eq!(new.exit_code, old.exit_code, "{ctx}: exit_code");
+                assert_eq!(new.halted, old.halted, "{ctx}: halted");
+                assert_eq!(new.journal, old.journal, "{ctx}: journal vs reference");
+                assert_eq!(new.mix, old.mix, "{ctx}: instruction mix");
+                checked += 1;
+            }
+        }
+    }
+    assert_eq!(
+        checked,
+        58 * 5 * 2,
+        "harness must cover the full {{workload x profile x vm}} matrix"
+    );
 }
 
 #[test]

@@ -1,0 +1,154 @@
+//! Golden cycle-count snapshots: per-workload -O2 total cycles for both VM
+//! kinds, pinned in `tests/golden_cycles.json`.
+//!
+//! Any engine or pass change that moves costs fails here *explicitly* — the
+//! suite-wide differential harness proves old-vs-new executor identity, this
+//! file pins the absolute numbers across PRs. To regenerate after an
+//! intentional cost change:
+//!
+//! ```text
+//! ZKVMOPT_BLESS=1 cargo test --release --test golden_cycles -- --include-ignored
+//! ```
+//!
+//! and commit the updated JSON alongside the change that moved the numbers.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use zkvm_opt::study::{OptLevel, OptProfile, SuiteRunner};
+use zkvm_opt::vm::VmKind;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden_cycles.json")
+}
+
+/// Compute per-workload -O2 total cycles on both VM kinds (suite order).
+fn current_cycles() -> Vec<(String, u64, u64)> {
+    let mut runner = SuiteRunner::new();
+    let o2 = OptProfile::level(OptLevel::O2);
+    zkvm_opt::workloads::all()
+        .iter()
+        .map(|w| {
+            let r0 = runner
+                .run(w, &o2, VmKind::RiscZero, false)
+                .unwrap_or_else(|e| panic!("{} on RISC Zero: {e}", w.name));
+            let sp1 = runner
+                .run(w, &o2, VmKind::Sp1, false)
+                .unwrap_or_else(|e| panic!("{} on SP1: {e}", w.name));
+            (
+                w.name.to_string(),
+                r0.exec.total_cycles,
+                sp1.exec.total_cycles,
+            )
+        })
+        .collect()
+}
+
+fn render(rows: &[(String, u64, u64)]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"zkvmopt-golden-cycles-v1\",\n  \"profile\": \"-O2\",\n");
+    s.push_str("  \"workloads\": {\n");
+    for (i, (name, r0, sp1)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            s,
+            "    \"{name}\": {{ \"risc_zero\": {r0}, \"sp1\": {sp1} }}{comma}"
+        )
+        .expect("string write");
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Parse the subset of JSON `render` emits (one workload per line).
+fn parse(text: &str) -> BTreeMap<String, (u64, u64)> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('"') || !line.contains("risc_zero") {
+            continue;
+        }
+        let name = line
+            .trim_start_matches('"')
+            .split('"')
+            .next()
+            .expect("workload name")
+            .to_string();
+        let num_after = |key: &str| -> u64 {
+            let at = line.find(key).unwrap_or_else(|| panic!("missing {key}"));
+            line[at + key.len()..]
+                .trim_start_matches([':', ' ', '"'])
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .unwrap_or_else(|e| panic!("bad number for {name}/{key}: {e}"))
+        };
+        let cycles = (num_after("\"risc_zero\""), num_after("\"sp1\""));
+        out.insert(name, cycles);
+    }
+    out
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full-suite snapshot is release-only (CI: test-release)"
+)]
+fn golden_cycle_counts_are_stable() {
+    let rows = current_cycles();
+    let path = golden_path();
+    if std::env::var("ZKVMOPT_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::write(&path, render(&rows)).expect("write golden file");
+        eprintln!("blessed {} workloads into {}", rows.len(), path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing {} ({e}); run with ZKVMOPT_BLESS=1 to generate",
+            path.display()
+        )
+    });
+    let golden = parse(&text);
+    assert_eq!(golden.len(), 58, "golden file must cover the full suite");
+    let mut drift = Vec::new();
+    for (name, r0, sp1) in &rows {
+        let Some(&(g0, g1)) = golden.get(name) else {
+            drift.push(format!("{name}: missing from golden file"));
+            continue;
+        };
+        if *r0 != g0 {
+            drift.push(format!("{name} on RISC Zero: golden {g0}, got {r0}"));
+        }
+        if *sp1 != g1 {
+            drift.push(format!("{name} on SP1: golden {g1}, got {sp1}"));
+        }
+    }
+    assert!(
+        drift.is_empty(),
+        "cycle counts drifted from tests/golden_cycles.json — if intentional, \
+         rebless with ZKVMOPT_BLESS=1:\n  {}",
+        drift.join("\n  ")
+    );
+}
+
+/// The golden file itself must stay well-formed and round-trip through the
+/// renderer (guards hand edits). Runs in debug too — it executes nothing.
+#[test]
+fn golden_file_is_well_formed() {
+    let text = std::fs::read_to_string(golden_path()).expect("golden file exists");
+    let golden = parse(&text);
+    assert_eq!(golden.len(), 58);
+    for w in zkvm_opt::workloads::all() {
+        assert!(golden.contains_key(w.name), "{} missing", w.name);
+    }
+    let rows: Vec<(String, u64, u64)> = zkvm_opt::workloads::all()
+        .iter()
+        .map(|w| {
+            let (r0, sp1) = golden[w.name];
+            (w.name.to_string(), r0, sp1)
+        })
+        .collect();
+    assert_eq!(parse(&render(&rows)), golden, "render/parse round-trip");
+}
