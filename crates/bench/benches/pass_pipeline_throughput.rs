@@ -1,0 +1,188 @@
+//! Pass-pipeline throughput: the analysis-cached [`PassManager`] vs the
+//! legacy uncached `run_pass` loop, over the full 58-program suite.
+//!
+//! Before timing anything, the new manager is proven **bit-identical** to the
+//! legacy path: for every workload × {-O2, -O3}, both paths must produce the
+//! same printed IR and the same static instruction counts, and the -O2 output
+//! must execute to the same cycle count — so every later speedup number
+//! describes the *same* optimization outcomes, faster.
+//!
+//! The timed scenario models the tuner's hot loop: the same pipeline applied
+//! repeatedly (duplicate candidates, fixpoint groups). The legacy path pays
+//! the full pipeline every time — every pass re-walks every function and
+//! rebuilds `Cfg`/`DomTree`/`LoopForest` from scratch; the cached executor
+//! converges once and then skips passes that provably cannot change anything.
+//! The acceptance bar is a ≥1.5× geomean over the suite (advisory under CI
+//! noise via `ZKVMOPT_SPEEDUP_ADVISORY=1`, like `engine_throughput`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zkvmopt_ir::Module;
+use zkvmopt_passes::{run_pass, OptLevel, PassConfig, PassExecutor, PassManager};
+use zkvmopt_workloads::Workload;
+
+/// Pipeline repetitions per measurement — the tuner's duplicate-candidate /
+/// fixpoint shape.
+const REPEATS: usize = 8;
+
+fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Lower every workload once; passes run on clones of these base modules.
+fn lower_suite() -> Vec<(&'static Workload, Module)> {
+    zkvmopt_workloads::all()
+        .iter()
+        .map(|w| {
+            let m = zkvmopt_lang::compile_guest(&w.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            (w, m)
+        })
+        .collect()
+}
+
+fn legacy_apply(pm: &PassManager, m: &mut Module, cfg: &PassConfig, repeats: usize) {
+    for _ in 0..repeats {
+        for name in pm.names() {
+            run_pass(name, m, cfg);
+        }
+    }
+}
+
+fn cached_apply(pm: &PassManager, m: &mut Module, cfg: &PassConfig, repeats: usize) {
+    let mut ex = PassExecutor::new();
+    for _ in 0..repeats {
+        pm.run_with(m, cfg, &mut ex);
+    }
+}
+
+/// Static instruction count + executed RISC Zero cycles of a module.
+fn observe(m: &Module, w: &Workload) -> (usize, u64) {
+    let program = zkvmopt_riscv::compile_module(m, &zkvmopt_riscv::TargetCostModel::cpu())
+        .unwrap_or_else(|e| panic!("{}: codegen: {e}", w.name));
+    let decoded = zkvmopt_vm::DecodedProgram::decode(&program);
+    let report = zkvmopt_vm::run_decoded(&decoded, zkvmopt_vm::VmKind::RiscZero, &w.inputs)
+        .unwrap_or_else(|e| panic!("{}: exec: {e}", w.name));
+    (m.size(), report.total_cycles)
+}
+
+/// Gate: legacy and cached execution must be indistinguishable — identical
+/// printed IR, static counts, and executed cycles — before anything is timed.
+fn bit_identity_gate(suite: &[(&'static Workload, Module)]) {
+    let cfg = PassConfig::default();
+    for level in [OptLevel::O2, OptLevel::O3] {
+        let pm = PassManager::for_level(level);
+        for (w, base) in suite {
+            for repeats in [1, REPEATS] {
+                let mut legacy = base.clone();
+                legacy_apply(&pm, &mut legacy, &cfg, repeats);
+                let mut cached = base.clone();
+                cached_apply(&pm, &mut cached, &cfg, repeats);
+                assert_eq!(
+                    zkvmopt_ir::print::module_to_string(&legacy),
+                    zkvmopt_ir::print::module_to_string(&cached),
+                    "{} at {level:?} (×{repeats}): IR diverged",
+                    w.name
+                );
+            }
+            // Observable behaviour of the single-run -O2/-O3 output.
+            let mut legacy = base.clone();
+            legacy_apply(&pm, &mut legacy, &cfg, 1);
+            let mut cached = base.clone();
+            cached_apply(&pm, &mut cached, &cfg, 1);
+            let (lsize, lcycles) = observe(&legacy, w);
+            let (csize, ccycles) = observe(&cached, w);
+            assert_eq!(lsize, csize, "{} at {level:?}: static count", w.name);
+            assert_eq!(lcycles, ccycles, "{} at {level:?}: cycles", w.name);
+        }
+    }
+    println!("bit-identity: 58 workloads x {{-O2, -O3}} x {{1, {REPEATS}}} runs OK");
+}
+
+fn report(suite: &[(&'static Workload, Module)]) {
+    zkvmopt_bench::header(
+        "Pass-pipeline throughput: analysis-cached PassManager vs uncached run_pass (-O2)",
+    );
+    bit_identity_gate(suite);
+
+    let cfg = PassConfig::default();
+    let pm = PassManager::for_level(OptLevel::O2);
+    println!(
+        "{:<26} {:>12} {:>12} {:>9}   ({}x repeated -O2 pipeline)",
+        "workload", "legacy ms", "cached ms", "speedup", REPEATS
+    );
+    let mut speedups = Vec::new();
+    for (w, base) in suite {
+        let time = |f: &dyn Fn() -> usize| -> f64 {
+            (0..3)
+                .map(|_| {
+                    let t = std::time::Instant::now();
+                    black_box(f());
+                    t.elapsed().as_secs_f64() * 1e3
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let legacy_ms = time(&|| {
+            let mut m = base.clone();
+            legacy_apply(&pm, &mut m, &cfg, REPEATS);
+            m.size()
+        });
+        let cached_ms = time(&|| {
+            let mut m = base.clone();
+            cached_apply(&pm, &mut m, &cfg, REPEATS);
+            m.size()
+        });
+        let speedup = legacy_ms / cached_ms;
+        println!(
+            "{:<26} {legacy_ms:>12.3} {cached_ms:>12.3} {speedup:>8.2}x",
+            w.name
+        );
+        speedups.push(speedup);
+    }
+    let g = geomean(&speedups);
+    println!("\ngeomean speedup over the 58-program suite: {g:.2}x");
+    if std::env::var("ZKVMOPT_SPEEDUP_ADVISORY").is_ok_and(|v| v == "1") {
+        if g < 1.5 {
+            eprintln!("ADVISORY: geomean {g:.2}x below the 1.5x bar (noisy runner?)");
+        }
+    } else {
+        assert!(
+            g >= 1.5,
+            "cached pass manager must be >=1.5x the uncached loop on repeated \
+             pipelines (got {g:.2}x)"
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let suite = lower_suite();
+    report(&suite);
+    let cfg = PassConfig::default();
+    let pm = PassManager::for_level(OptLevel::O2);
+    c.bench_function(&format!("passes/suite-O2-cached-x{REPEATS}"), |b| {
+        b.iter(|| {
+            suite
+                .iter()
+                .map(|(_, base)| {
+                    let mut m = base.clone();
+                    cached_apply(&pm, &mut m, &cfg, REPEATS);
+                    m.size()
+                })
+                .sum::<usize>()
+        })
+    });
+    c.bench_function(&format!("passes/suite-O2-legacy-x{REPEATS}"), |b| {
+        b.iter(|| {
+            suite
+                .iter()
+                .map(|(_, base)| {
+                    let mut m = base.clone();
+                    legacy_apply(&pm, &mut m, &cfg, REPEATS);
+                    m.size()
+                })
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group! { name = benches; config = Criterion::default().sample_size(10); targets = bench }
+criterion_main!(benches);

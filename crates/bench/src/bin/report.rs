@@ -56,7 +56,7 @@ fn pass_axis(o: &Options) -> Vec<&'static str> {
     if o.quick {
         KEY_PASSES.to_vec()
     } else {
-        zkvmopt_core::studied_passes()
+        zkvmopt_core::studied_passes().to_vec()
     }
 }
 

@@ -129,7 +129,9 @@ impl OptProfile {
         format!("{:?}|{:?}|{:?}", self.kind, self.pass_config, self.backend)
     }
 
-    /// Apply this profile to a module.
+    /// Apply this profile to a module. Pipelines (levels, sequences, zk-O3)
+    /// run through the analysis-cached [`PassManager`]; a single pass has no
+    /// cross-pass reuse to exploit and keeps the direct path.
     pub fn apply(&self, m: &mut Module) {
         let cfg = &self.pass_config;
         match &self.kind {
@@ -141,9 +143,7 @@ impl OptProfile {
                 zkvmopt_passes::run_pass(p, m, cfg);
             }
             ProfileKind::Sequence(ps) => {
-                for p in ps {
-                    zkvmopt_passes::run_pass(p, m, cfg);
-                }
+                PassManager::from_names(ps.iter().copied()).run(m, cfg);
             }
             ProfileKind::ZkAwareO3 => {
                 PassManager::zk_o3().run(m, cfg);
@@ -399,7 +399,7 @@ pub fn categorize(gain_pct: f64) -> EffectCategory {
 }
 
 /// The individual-pass axis used by RQ1 (all registered passes).
-pub fn studied_passes() -> Vec<&'static str> {
+pub fn studied_passes() -> &'static [&'static str] {
     zkvmopt_passes::pass_names()
 }
 

@@ -1,4 +1,4 @@
-//! Keccak-f[1600] and Keccak-256 (the Ethereum variant: 0x01 padding),
+//! Keccak-f\[1600\] and Keccak-256 (the Ethereum variant: 0x01 padding),
 //! implemented from scratch.
 
 const RC: [u64; 24] = [
@@ -36,7 +36,7 @@ const PI: [usize; 24] = [
     10, 7, 11, 17, 18, 3, 5, 16, 8, 21, 24, 4, 15, 23, 19, 13, 12, 2, 20, 14, 22, 9, 6, 1,
 ];
 
-/// The Keccak-f[1600] permutation over the 25-lane state.
+/// The Keccak-f\[1600\] permutation over the 25-lane state.
 pub fn keccak_f(state: &mut [u64; 25]) {
     for rc in RC {
         // Theta.

@@ -1,0 +1,424 @@
+//! Analysis caching: [`AnalysisCache`] and [`PreservedAnalyses`].
+//!
+//! Mirrors LLVM's new-pass-manager analysis framework, scaled to this IR.
+//! Every structural analysis in the workspace — [`Cfg`], [`DomTree`],
+//! dominance frontiers, [`LoopForest`] — is a pure function of one thing: the
+//! function's *CFG shape* (entry block, block count, and each terminator's
+//! successor list). Instruction-level edits (adding phis, removing dead code,
+//! rewriting operands) never invalidate them; only terminator/block edits do.
+//!
+//! The cache hands analyses out as [`Rc`] clones so a pass can hold an
+//! analysis while mutating the function. The *contract* is:
+//!
+//! - cached results are valid for the function as it was when they were
+//!   computed;
+//! - a pass that changes the CFG shape must invalidate before querying again
+//!   ([`AnalysisCache::invalidate`] / [`AnalysisCache::invalidate_all`]);
+//! - the pass manager invalidates after each changed pass run according to
+//!   the pass's declared [`PreservedAnalyses`].
+//!
+//! Debug builds enforce the contract: every getter fingerprints the current
+//! CFG shape and panics if a cached analysis no longer matches, so a stale
+//! analysis can never be served silently.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::func::{BlockId, Function};
+use crate::loops::LoopForest;
+use std::rc::Rc;
+
+/// Identifier of one cached analysis kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisKind {
+    /// [`Cfg`]: predecessor/successor adjacency + reverse postorder.
+    Cfg,
+    /// [`DomTree`] (depends on [`AnalysisKind::Cfg`]).
+    DomTree,
+    /// Dominance frontiers (depend on [`AnalysisKind::DomTree`]).
+    Frontiers,
+    /// [`LoopForest`] (depends on [`AnalysisKind::DomTree`]).
+    Loops,
+}
+
+const CFG_BIT: u8 = 1 << 0;
+const DOM_BIT: u8 = 1 << 1;
+const FRONTIERS_BIT: u8 = 1 << 2;
+const LOOPS_BIT: u8 = 1 << 3;
+const ALL_BITS: u8 = CFG_BIT | DOM_BIT | FRONTIERS_BIT | LOOPS_BIT;
+
+/// The set of analyses a pass run left valid — the pass manager's
+/// invalidation currency (LLVM's `PreservedAnalyses`).
+///
+/// Because every analysis here derives from the CFG shape alone, the two
+/// interesting points of the lattice are [`PreservedAnalyses::all`] (the pass
+/// touched instructions only) and [`PreservedAnalyses::none`] (the pass may
+/// have changed terminators or blocks). The full set form exists so finer
+/// analyses can join later without changing the contract, and so dependency
+/// closure (dropping `Cfg` drops everything above it) has one home.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreservedAnalyses {
+    bits: u8,
+}
+
+impl PreservedAnalyses {
+    /// Nothing survives: the pass may have restructured the CFG.
+    pub const fn none() -> PreservedAnalyses {
+        PreservedAnalyses { bits: 0 }
+    }
+
+    /// Everything survives: the pass changed instructions/operands only.
+    pub const fn all() -> PreservedAnalyses {
+        PreservedAnalyses { bits: ALL_BITS }
+    }
+
+    /// All analyses derived from the CFG shape. Synonym for [`Self::all`]
+    /// today; named so pass declarations state *why* they preserve.
+    pub const fn cfg_shape() -> PreservedAnalyses {
+        PreservedAnalyses { bits: ALL_BITS }
+    }
+
+    /// Mark one analysis preserved (dependencies are **not** implied; use the
+    /// named constructors for the common cases).
+    pub const fn with(self, kind: AnalysisKind) -> PreservedAnalyses {
+        let bit = match kind {
+            AnalysisKind::Cfg => CFG_BIT,
+            AnalysisKind::DomTree => DOM_BIT,
+            AnalysisKind::Frontiers => FRONTIERS_BIT,
+            AnalysisKind::Loops => LOOPS_BIT,
+        };
+        PreservedAnalyses {
+            bits: self.bits | bit,
+        }
+    }
+
+    /// Whether `kind` is preserved, after closing over dependencies:
+    /// an analysis only counts as preserved if everything it is computed
+    /// from is preserved too.
+    pub fn preserves(&self, kind: AnalysisKind) -> bool {
+        let cfg = self.bits & CFG_BIT != 0;
+        let dom = cfg && self.bits & DOM_BIT != 0;
+        match kind {
+            AnalysisKind::Cfg => cfg,
+            AnalysisKind::DomTree => dom,
+            AnalysisKind::Frontiers => dom && self.bits & FRONTIERS_BIT != 0,
+            AnalysisKind::Loops => dom && self.bits & LOOPS_BIT != 0,
+        }
+    }
+}
+
+/// Fingerprint of everything the cached analyses depend on: the entry block,
+/// the block count, and each terminator's successor list. FNV-1a over the raw
+/// block ids — cheap enough to run on every debug-build cache hit.
+pub fn cfg_shape_fingerprint(f: &Function) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(PRIME);
+    };
+    mix(f.entry.0 as u64);
+    mix(f.blocks.len() as u64);
+    for b in &f.blocks {
+        for s in b.term.successors() {
+            mix(s.0 as u64);
+        }
+        // Separate blocks so successor lists cannot slide across boundaries.
+        mix(u64::MAX);
+    }
+    h
+}
+
+/// Fingerprint of a function's full *live content*: signature, attribute
+/// flags, entry, every block's instruction list (ids, defining ops, result
+/// types) and terminator. Two equal-content functions hash equal; any edit a
+/// pass can make to a function changes it. The pass manager uses this to
+/// detect, per function, what a module pass actually touched.
+pub fn content_fingerprint(f: &Function) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    f.params.hash(&mut h);
+    f.ret.hash(&mut h);
+    f.entry.hash(&mut h);
+    (f.always_inline, f.no_inline, f.readnone, f.readonly).hash(&mut h);
+    f.blocks.len().hash(&mut h);
+    for b in &f.blocks {
+        b.term.hash(&mut h);
+        b.insts.hash(&mut h);
+        for &v in &b.insts {
+            // Hash live values through the block lists so tombstoned arena
+            // slots cannot affect the fingerprint.
+            f.values[v.index()].hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// Lazily computed, invalidation-aware per-function analyses.
+///
+/// See the [module docs](self) for the validity contract. All getters return
+/// [`Rc`] clones, so holding an analysis across mutation is cheap and safe
+/// (the clone describes the function as of computation time).
+#[derive(Debug, Default, Clone)]
+pub struct AnalysisCache {
+    cfg: Option<Rc<Cfg>>,
+    dom: Option<Rc<DomTree>>,
+    frontiers: Option<Rc<Vec<Vec<BlockId>>>>,
+    loops: Option<Rc<LoopForest>>,
+    /// [`cfg_shape_fingerprint`] of the function at compute time
+    /// (debug-assertion fuel; absent until something is cached).
+    fingerprint: Option<u64>,
+    /// Number of times a getter recomputed instead of hitting the cache.
+    computes: u64,
+    /// Number of getter calls served from the cache.
+    hits: u64,
+}
+
+impl AnalysisCache {
+    /// An empty cache.
+    pub fn new() -> AnalysisCache {
+        AnalysisCache::default()
+    }
+
+    fn check_fresh(&mut self, f: &Function) {
+        match self.fingerprint {
+            None => self.fingerprint = Some(cfg_shape_fingerprint(f)),
+            Some(fp) => debug_assert_eq!(
+                fp,
+                cfg_shape_fingerprint(f),
+                "stale AnalysisCache: the CFG shape of `{}` changed without \
+                 invalidation — a pass mutated terminators/blocks and then \
+                 queried (or a pass over-declared its PreservedAnalyses)",
+                f.name
+            ),
+        }
+    }
+
+    /// The function's [`Cfg`], computing and caching it on first use.
+    pub fn cfg(&mut self, f: &Function) -> Rc<Cfg> {
+        self.check_fresh(f);
+        match &self.cfg {
+            Some(c) => {
+                self.hits += 1;
+                Rc::clone(c)
+            }
+            None => {
+                self.computes += 1;
+                let c = Rc::new(Cfg::new(f));
+                self.cfg = Some(Rc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// The function's [`DomTree`], computing it (and the [`Cfg`]) on demand.
+    pub fn dom(&mut self, f: &Function) -> Rc<DomTree> {
+        self.check_fresh(f);
+        if self.dom.is_none() {
+            let cfg = self.cfg(f);
+            self.computes += 1;
+            self.dom = Some(Rc::new(DomTree::new(f, &cfg)));
+        } else {
+            self.hits += 1;
+        }
+        Rc::clone(self.dom.as_ref().expect("just computed"))
+    }
+
+    /// Dominance frontiers of every block (the `mem2reg` phi-placement input).
+    pub fn frontiers(&mut self, f: &Function) -> Rc<Vec<Vec<BlockId>>> {
+        self.check_fresh(f);
+        if self.frontiers.is_none() {
+            let cfg = self.cfg(f);
+            let dom = self.dom(f);
+            self.computes += 1;
+            self.frontiers = Some(Rc::new(dom.dominance_frontiers(&cfg)));
+        } else {
+            self.hits += 1;
+        }
+        Rc::clone(self.frontiers.as_ref().expect("just computed"))
+    }
+
+    /// The function's [`LoopForest`], computing prerequisites on demand.
+    pub fn loops(&mut self, f: &Function) -> Rc<LoopForest> {
+        self.check_fresh(f);
+        if self.loops.is_none() {
+            let cfg = self.cfg(f);
+            let dom = self.dom(f);
+            self.computes += 1;
+            self.loops = Some(Rc::new(LoopForest::new(f, &cfg, &dom)));
+        } else {
+            self.hits += 1;
+        }
+        Rc::clone(self.loops.as_ref().expect("just computed"))
+    }
+
+    /// Drop every analysis not covered by `preserved` (dependency-closed:
+    /// losing the CFG loses everything computed from it).
+    pub fn invalidate(&mut self, preserved: &PreservedAnalyses) {
+        if !preserved.preserves(AnalysisKind::Cfg) {
+            self.cfg = None;
+            self.fingerprint = None;
+        }
+        if !preserved.preserves(AnalysisKind::DomTree) {
+            self.dom = None;
+        }
+        if !preserved.preserves(AnalysisKind::Frontiers) {
+            self.frontiers = None;
+        }
+        if !preserved.preserves(AnalysisKind::Loops) {
+            self.loops = None;
+        }
+        if self.cfg.is_none()
+            && self.dom.is_none()
+            && self.frontiers.is_none()
+            && self.loops.is_none()
+        {
+            self.fingerprint = None;
+        }
+    }
+
+    /// Drop everything.
+    pub fn invalidate_all(&mut self) {
+        *self = AnalysisCache {
+            computes: self.computes,
+            hits: self.hits,
+            ..AnalysisCache::default()
+        };
+    }
+
+    /// `(recomputes, cache hits)` since construction — observability for the
+    /// pipeline-throughput bench and tests.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.computes, self.hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{Operand, Pred, Term};
+    use crate::ty::Ty;
+
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("d", vec![Ty::I32], Some(Ty::I32));
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.icmp(Pred::Sgt, Operand::val(b.param(0)), Operand::i32(0));
+        b.cond_br(Operand::val(c), t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(Some(Operand::i32(0)));
+        b.finish()
+    }
+
+    #[test]
+    fn lazily_computes_and_reuses() {
+        let f = diamond();
+        let mut ac = AnalysisCache::new();
+        assert_eq!(ac.stats(), (0, 0));
+        let c1 = ac.cfg(&f);
+        let c2 = ac.cfg(&f);
+        assert!(Rc::ptr_eq(&c1, &c2), "second query must be a cache hit");
+        let (computes, hits) = ac.stats();
+        assert_eq!((computes, hits), (1, 1));
+        // dom/frontiers/loops share the cached Cfg.
+        let _ = ac.dom(&f);
+        let _ = ac.frontiers(&f);
+        let _ = ac.loops(&f);
+        let (computes, _) = ac.stats();
+        assert_eq!(computes, 4, "cfg + dom + frontiers + loops, each once");
+    }
+
+    #[test]
+    fn results_match_fresh_computation() {
+        let f = diamond();
+        let mut ac = AnalysisCache::new();
+        let cfg = ac.cfg(&f);
+        let fresh = Cfg::new(&f);
+        assert_eq!(cfg.rpo(), fresh.rpo());
+        let dom = ac.dom(&f);
+        let fresh_dom = DomTree::new(&f, &fresh);
+        for b in f.block_ids() {
+            assert_eq!(dom.idom(b), fresh_dom.idom(b));
+        }
+        assert_eq!(*ac.frontiers(&f), fresh_dom.dominance_frontiers(&fresh));
+        assert_eq!(ac.loops(&f).loops.len(), 0);
+    }
+
+    #[test]
+    fn invalidate_none_preserved_recomputes() {
+        let mut f = diamond();
+        let mut ac = AnalysisCache::new();
+        assert_eq!(ac.cfg(&f).succs(BlockId(0)).len(), 2);
+        // Collapse the branch: entry now goes straight to the join.
+        f.blocks[0].term = Term::Br(BlockId(3));
+        ac.invalidate(&PreservedAnalyses::none());
+        // A stale cache would still say two successors.
+        assert_eq!(ac.cfg(&f).succs(BlockId(0)).len(), 1);
+        assert!(!ac.cfg(&f).is_reachable(BlockId(1)));
+    }
+
+    #[test]
+    fn invalidate_all_preserved_keeps_cache() {
+        let f = diamond();
+        let mut ac = AnalysisCache::new();
+        let before = ac.cfg(&f);
+        ac.invalidate(&PreservedAnalyses::all());
+        let after = ac.cfg(&f);
+        assert!(Rc::ptr_eq(&before, &after));
+    }
+
+    #[test]
+    fn dependency_closure_drops_derived_analyses() {
+        // Preserving only DomTree (without Cfg) preserves nothing: the tree
+        // is computed from the Cfg, so losing the Cfg must lose the tree.
+        let pa = PreservedAnalyses::none().with(AnalysisKind::DomTree);
+        assert!(!pa.preserves(AnalysisKind::Cfg));
+        assert!(!pa.preserves(AnalysisKind::DomTree));
+        let pa = pa.with(AnalysisKind::Cfg);
+        assert!(pa.preserves(AnalysisKind::DomTree));
+        assert!(!pa.preserves(AnalysisKind::Loops));
+        assert!(PreservedAnalyses::all().preserves(AnalysisKind::Loops));
+    }
+
+    #[test]
+    fn instruction_edits_do_not_change_the_fingerprint() {
+        let mut f = diamond();
+        let before = cfg_shape_fingerprint(&f);
+        // Add an instruction: analyses don't depend on it.
+        let j = BlockId(3);
+        f.add_inst(
+            j,
+            crate::inst::Op::Bin {
+                op: crate::inst::BinOp::Add,
+                a: Operand::i32(1),
+                b: Operand::i32(2),
+            },
+            Some(Ty::I32),
+        );
+        assert_eq!(before, cfg_shape_fingerprint(&f));
+        // Retarget a terminator: that *is* a shape change.
+        f.blocks[1].term = Term::Br(BlockId(2));
+        assert_ne!(before, cfg_shape_fingerprint(&f));
+    }
+
+    /// The debug contract: serving a cached analysis after an uninvalidated
+    /// CFG-shape change must panic (debug builds only — release trusts the
+    /// pass manager's invalidation, which tier-1 tests exercise in debug).
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale AnalysisCache")]
+    fn stale_analysis_is_never_served() {
+        let mut f = diamond();
+        let mut ac = AnalysisCache::new();
+        let _ = ac.cfg(&f);
+        f.blocks[0].term = Term::Br(BlockId(3)); // CFG change, no invalidate
+        let _ = ac.cfg(&f); // must panic, not serve the stale adjacency
+    }
+}

@@ -49,7 +49,7 @@ impl GlobalId {
 }
 
 /// How an SSA value is defined.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum ValueDef {
     /// The `index`-th function parameter.
     Param { index: usize },
@@ -58,7 +58,7 @@ pub enum ValueDef {
 }
 
 /// One entry in a function's value arena.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct ValueData {
     /// The defining construct.
     pub def: ValueDef,
@@ -68,7 +68,7 @@ pub struct ValueData {
 }
 
 /// A basic block: an ordered instruction list plus a terminator.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct BlockData {
     /// Instruction list, in execution order. Phi nodes must form a prefix.
     pub insts: Vec<ValueId>,
@@ -321,7 +321,7 @@ impl Function {
 }
 
 /// A statically allocated global byte region.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct Global {
     /// Symbol name.
     pub name: String,

@@ -284,9 +284,9 @@ pub enum CastKind {
 /// An SSA instruction.
 ///
 /// Instructions live in a per-function arena (`Function::values`); each occupies
-/// one [`ValueId`](crate::ValueId) slot whether or not it produces a result
+/// one [`ValueId`] slot whether or not it produces a result
 /// (`store` and `nop` have no result type).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Op {
     /// Two-operand integer arithmetic / logic.
     Bin { op: BinOp, a: Operand, b: Operand },
@@ -442,7 +442,7 @@ impl Op {
 }
 
 /// Block terminators.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Term {
     /// Unconditional branch.
     Br(BlockId),

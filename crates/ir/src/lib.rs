@@ -35,6 +35,7 @@
 //! assert!(zkvmopt_ir::verify::verify_module(&m).is_ok());
 //! ```
 
+pub mod analysis;
 pub mod builder;
 pub mod cfg;
 pub mod dom;
@@ -47,6 +48,7 @@ pub mod print;
 pub mod ty;
 pub mod verify;
 
+pub use analysis::{AnalysisCache, AnalysisKind, PreservedAnalyses};
 pub use builder::FunctionBuilder;
 pub use func::{
     BlockData, BlockId, FuncId, Function, Global, GlobalId, Module, ValueData, ValueDef, ValueId,

@@ -1,11 +1,11 @@
 //! Redundancy elimination: `early-cse`, `gvn`, `newgvn`.
 
+use crate::framework::{FunctionContext, ModuleInfo};
 use crate::util;
 use crate::PassConfig;
 use std::collections::{HashMap, HashSet};
-use zkvmopt_ir::cfg::Cfg;
-use zkvmopt_ir::dom::DomTree;
-use zkvmopt_ir::{BlockId, Function, Module, Op, Operand, ValueId};
+use zkvmopt_ir::analysis::AnalysisCache;
+use zkvmopt_ir::{BlockId, Function, Op, Operand, ValueId};
 
 /// Hashable key for pure expressions (commutative operands canonicalized).
 fn expr_key(f: &Function, op: &Op) -> Option<String> {
@@ -44,16 +44,16 @@ fn expr_key(f: &Function, op: &Op) -> Option<String> {
 
 /// Block-local common-subexpression elimination with store-to-load
 /// forwarding.
-pub fn early_cse(m: &mut Module, _cfg: &PassConfig) -> bool {
-    let mut changed = false;
-    let readnone: Vec<bool> = m.funcs.iter().map(|f| f.readnone).collect();
-    for f in &mut m.funcs {
-        changed |= early_cse_function(f, &readnone);
-    }
-    changed
+pub fn early_cse(
+    f: &mut Function,
+    _ac: &mut AnalysisCache,
+    cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
+    early_cse_function(f, cx.info)
 }
 
-fn early_cse_function(f: &mut Function, readnone: &[bool]) -> bool {
+fn early_cse_function(f: &mut Function, info: &ModuleInfo) -> bool {
     let mut changed = false;
     for b in f.block_ids() {
         let mut avail: HashMap<String, ValueId> = HashMap::new();
@@ -85,7 +85,7 @@ fn early_cse_function(f: &mut Function, readnone: &[bool]) -> bool {
                     mem.insert(ptr, val);
                 }
                 Op::Call { callee, .. } => {
-                    let pure = readnone.get(callee.index()).copied().unwrap_or(false);
+                    let pure = info.is_readnone(*callee);
                     if pure {
                         if let Some(key) = expr_key(f, &op) {
                             if let Some(&prev) = avail.get(&key) {
@@ -129,7 +129,7 @@ struct MemFacts {
     unknown_writes: bool,
 }
 
-fn mem_facts(m: &Module, f: &Function) -> MemFacts {
+fn mem_facts(f: &Function, info: &ModuleInfo) -> MemFacts {
     let mut written = HashSet::new();
     let mut unknown_writes = false;
     for b in f.reachable_blocks() {
@@ -143,11 +143,10 @@ fn mem_facts(m: &Module, f: &Function) -> MemFacts {
                         written.insert(base);
                     }
                 }
-                Some(Op::Call { callee, .. }) => {
-                    let callee = &m.funcs[callee.index()];
-                    if !callee.readnone && !callee.readonly {
-                        unknown_writes = true;
-                    }
+                Some(Op::Call { callee, .. })
+                    if !info.is_readnone(*callee) && !info.is_readonly(*callee) =>
+                {
+                    unknown_writes = true;
                 }
                 Some(Op::Ecall { .. }) => unknown_writes = true,
                 _ => {}
@@ -165,19 +164,23 @@ fn mem_facts(m: &Module, f: &Function) -> MemFacts {
 /// Pure expressions are value-numbered across the dominator tree; loads are
 /// value-numbered only when their base is provably never written in the
 /// function (sound without a memory SSA).
-pub fn gvn(m: &mut Module, _cfg: &PassConfig) -> bool {
-    let mut changed = false;
-    let facts: Vec<MemFacts> = m.funcs.iter().map(|f| mem_facts(m, f)).collect();
-    let readnone: Vec<bool> = m.funcs.iter().map(|f| f.readnone).collect();
-    for (fi, f) in m.funcs.iter_mut().enumerate() {
-        changed |= gvn_function(f, &facts[fi], &readnone);
-    }
-    changed
+pub fn gvn(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
+    let facts = mem_facts(f, cx.info);
+    gvn_function(f, ac, &facts, cx.info)
 }
 
-fn gvn_function(f: &mut Function, facts: &MemFacts, readnone: &[bool]) -> bool {
-    let cfg = Cfg::new(f);
-    let dom = DomTree::new(f, &cfg);
+fn gvn_function(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    facts: &MemFacts,
+    info: &ModuleInfo,
+) -> bool {
+    let dom = ac.dom(f);
     let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); f.blocks.len()];
     for b in f.block_ids() {
         if let Some(d) = dom.idom(b) {
@@ -217,7 +220,7 @@ fn gvn_function(f: &mut Function, facts: &MemFacts, readnone: &[bool]) -> bool {
                             }
                         }
                         Op::Call { callee, .. } => {
-                            if readnone.get(callee.index()).copied().unwrap_or(false) {
+                            if info.is_readnone(*callee) {
                                 expr_key(f, &op)
                             } else {
                                 None
@@ -249,9 +252,14 @@ fn gvn_function(f: &mut Function, facts: &MemFacts, readnone: &[bool]) -> bool {
 /// `newgvn`: block-local CSE with memory forwarding, followed by
 /// dominator-scoped GVN (a stronger combination than either alone, mirroring
 /// LLVM's redesigned GVN).
-pub fn newgvn(m: &mut Module, cfg: &PassConfig) -> bool {
-    let a = early_cse(m, cfg);
-    let b = gvn(m, cfg);
+pub fn newgvn(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    cx: &FunctionContext<'_>,
+    cfg: &PassConfig,
+) -> bool {
+    let a = early_cse(f, ac, cx, cfg);
+    let b = gvn(f, ac, cx, cfg);
     a || b
 }
 

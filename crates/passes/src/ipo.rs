@@ -8,9 +8,11 @@
 //! real blocks and the register allocator downstream does real spilling, so
 //! both effects reproduce mechanically.
 
+use crate::framework::FunctionContext;
 use crate::util;
 use crate::PassConfig;
 use std::collections::HashMap;
+use zkvmopt_ir::analysis::AnalysisCache;
 use zkvmopt_ir::{BlockId, FuncId, Function, Module, Op, Operand, Term, Ty, ValueId};
 
 /// Upper bound on call sites inlined per pass invocation (growth guard).
@@ -309,16 +311,16 @@ fn inline_site(m: &mut Module, caller_id: FuncId, call_block: BlockId, call_v: V
 
 /// Self-recursive tail-call elimination: rewrite `return f(args)` in `f`
 /// into a loop.
-pub fn tailcall(m: &mut Module, _cfg: &PassConfig) -> bool {
-    let mut changed = false;
-    for fi in 0..m.funcs.len() {
-        changed |= tailcall_function(m, FuncId(fi as u32));
-    }
-    changed
+pub fn tailcall(
+    f: &mut Function,
+    _ac: &mut AnalysisCache,
+    cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
+    tailcall_function(f, cx.id)
 }
 
-fn tailcall_function(m: &mut Module, fid: FuncId) -> bool {
-    let f = &m.funcs[fid.index()];
+fn tailcall_function(f: &mut Function, fid: FuncId) -> bool {
     // Gate: no allocas (looping over allocas would regrow the frame).
     for b in f.reachable_blocks() {
         for &v in &f.blocks[b.index()].insts {
@@ -353,7 +355,6 @@ fn tailcall_function(m: &mut Module, fid: FuncId) -> bool {
     if sites.is_empty() {
         return false;
     }
-    let f = &mut m.funcs[fid.index()];
     // New preheader entry; the old entry becomes the loop header.
     let old_entry = f.entry;
     let new_entry = f.add_block();

@@ -9,9 +9,12 @@
 //! LCSSA phi insertion before loop transforms is deliberately faithful — the
 //! paper identifies it as the source of licm's extra `gep`/load/store work.
 
+use crate::framework::FunctionContext;
 use crate::util;
 use crate::PassConfig;
 use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use zkvmopt_ir::analysis::AnalysisCache;
 use zkvmopt_ir::cfg::Cfg;
 use zkvmopt_ir::dom::DomTree;
 use zkvmopt_ir::loops::{Loop, LoopForest};
@@ -25,32 +28,36 @@ fn sorted_blocks(l: &Loop) -> Vec<BlockId> {
     v
 }
 
-fn analyze(f: &Function) -> (Cfg, DomTree, LoopForest) {
-    let cfg = Cfg::new(f);
-    let dom = DomTree::new(f, &cfg);
-    let forest = LoopForest::new(f, &cfg, &dom);
+/// Fetch the loop-pass analysis triple from the cache (each is computed at
+/// most once until a CFG-shape change invalidates).
+fn analyze(f: &Function, ac: &mut AnalysisCache) -> (Rc<Cfg>, Rc<DomTree>, Rc<LoopForest>) {
+    let cfg = ac.cfg(f);
+    let dom = ac.dom(f);
+    let forest = ac.loops(f);
     (cfg, dom, forest)
 }
 
 /// Ensure every loop has a dedicated preheader and dedicated exit blocks.
-pub fn loop_simplify(m: &mut Module, _cfg: &PassConfig) -> bool {
-    let mut changed = false;
-    for f in &mut m.funcs {
-        changed |= loop_simplify_function(f);
-    }
-    changed
+pub fn loop_simplify(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
+    loop_simplify_function(f, ac)
 }
 
-fn loop_simplify_function(f: &mut Function) -> bool {
+pub(crate) fn loop_simplify_function(f: &mut Function, ac: &mut AnalysisCache) -> bool {
     let mut changed = false;
     // Iterate: creating blocks invalidates the analysis.
     for _ in 0..16 {
-        let (cfg, _dom, forest) = analyze(f);
+        let (cfg, _dom, forest) = analyze(f, ac);
         let mut did = false;
         for l in &forest.loops {
-            // Dedicated preheader.
-            if l.preheader(f, &cfg).is_none() {
-                make_preheader(f, &cfg, l);
+            // Dedicated preheader (not obtainable for every shape — e.g. a
+            // loop whose header is the entry block has no outside edge to
+            // splice one into; such loops simply stay non-canonical).
+            if l.preheader(f, &cfg).is_none() && make_preheader(f, &cfg, l) {
                 did = true;
                 break;
             }
@@ -72,17 +79,24 @@ fn loop_simplify_function(f: &mut Function) -> bool {
         if !did {
             break;
         }
+        // A preheader/dedicated exit was spliced in: the shape changed.
+        ac.invalidate_all();
     }
     changed
 }
 
-fn make_preheader(f: &mut Function, cfg: &Cfg, l: &Loop) {
+fn make_preheader(f: &mut Function, cfg: &Cfg, l: &Loop) -> bool {
     let header = l.header;
     let outside: Vec<BlockId> = cfg
         .unique_preds(header)
         .into_iter()
         .filter(|p| !l.contains(*p))
         .collect();
+    if outside.is_empty() {
+        // Entry-header loop: there is no edge to reroute through a
+        // preheader; splicing one in would only create unreachable blocks.
+        return false;
+    }
     let pre = f.add_block();
     f.blocks[pre.index()].term = Term::Br(header);
     // Header phis: merge the outside edges in the preheader.
@@ -116,6 +130,7 @@ fn make_preheader(f: &mut Function, cfg: &Cfg, l: &Loop) {
     for p in outside {
         f.blocks[p.index()].term.retarget(header, pre);
     }
+    true
 }
 
 fn make_dedicated_exit(f: &mut Function, cfg: &Cfg, l: &Loop, e: BlockId) {
@@ -164,18 +179,21 @@ fn make_dedicated_exit(f: &mut Function, cfg: &Cfg, l: &Loop, e: BlockId) {
 
 /// Put loops into loop-closed SSA form: values defined in a loop and used
 /// outside are routed through phis at the (single) exit block.
-pub fn lcssa(m: &mut Module, _cfg: &PassConfig) -> bool {
-    let mut changed = false;
-    for f in &mut m.funcs {
-        changed |= lcssa_function(f);
-    }
-    changed
+pub fn lcssa(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
+    lcssa_function(f, ac)
 }
 
-fn lcssa_function(f: &mut Function) -> bool {
+pub(crate) fn lcssa_function(f: &mut Function, ac: &mut AnalysisCache) -> bool {
     let mut changed = false;
     for _ in 0..8 {
-        let (cfg, _dom, forest) = analyze(f);
+        // LCSSA only inserts phis and rewrites operands — the cached
+        // analyses stay valid throughout, including across rounds.
+        let (cfg, _dom, forest) = analyze(f, ac);
         let mut did = false;
         for l in &forest.loops {
             if l.exits.len() != 1 {
@@ -224,7 +242,7 @@ fn lcssa_function(f: &mut Function) -> bool {
                 // The value must dominate every exit pred to be phi-able;
                 // in a single-exit loop with the def dominating the exiting
                 // block this holds for our shapes — verify defensively.
-                let dom = DomTree::new(f, &cfg);
+                let dom = ac.dom(f);
                 let def_bb = f
                     .block_ids()
                     .into_iter()
@@ -285,27 +303,29 @@ fn lcssa_function(f: &mut Function) -> bool {
 /// Runs `loop-simplify` + `lcssa` first (as LLVM's loop pass manager does),
 /// then hoists invariant speculatable instructions — and loads whose address
 /// is invariant and provably not clobbered — into the preheader.
-pub fn licm(m: &mut Module, cfg: &PassConfig) -> bool {
+pub fn licm(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
     let mut changed = false;
-    for f in &mut m.funcs {
-        changed |= loop_simplify_function(f);
-        // LLVM's licm promotes loop memory accesses to scalars
-        // (promoteLoopAccessesToScalars); mirror it by promoting allocas
-        // that are accessed inside some loop. This is where licm's large
-        // effects on -O0-style IR come from — including the register
-        // pressure that later spills (paper §5.2).
-        changed |= promote_loop_allocas(f);
-        changed |= lcssa_function(f);
-        changed |= licm_function(f);
-    }
-    let _ = cfg;
+    changed |= loop_simplify_function(f, ac);
+    // LLVM's licm promotes loop memory accesses to scalars
+    // (promoteLoopAccessesToScalars); mirror it by promoting allocas
+    // that are accessed inside some loop. This is where licm's large
+    // effects on -O0-style IR come from — including the register
+    // pressure that later spills (paper §5.2).
+    changed |= promote_loop_allocas(f, ac);
+    changed |= lcssa_function(f, ac);
+    changed |= licm_function(f, ac);
     changed
 }
 
 /// Promote non-escaping scalar allocas that are loaded or stored inside a
 /// natural loop.
-fn promote_loop_allocas(f: &mut Function) -> bool {
-    let (_, _, forest) = analyze(f);
+fn promote_loop_allocas(f: &mut Function, ac: &mut AnalysisCache) -> bool {
+    let (_, _, forest) = analyze(f, ac);
     if forest.loops.is_empty() {
         return false;
     }
@@ -341,13 +361,15 @@ fn promote_loop_allocas(f: &mut Function) -> bool {
     if in_loop.is_empty() {
         return false;
     }
-    crate::mem2reg::promote_function_filtered(f, |_, v| in_loop.contains(&v))
+    crate::mem2reg::promote_function_filtered(f, ac, |_, v| in_loop.contains(&v))
 }
 
-fn licm_function(f: &mut Function) -> bool {
+fn licm_function(f: &mut Function, ac: &mut AnalysisCache) -> bool {
     let mut changed = false;
     for _ in 0..8 {
-        let (cfg, _dom, forest) = analyze(f);
+        // Hoisting moves instructions between existing blocks; the cached
+        // analyses survive every round.
+        let (cfg, _dom, forest) = analyze(f, ac);
         let mut did = false;
         // Innermost loops first (deepest depth first).
         let mut order: Vec<usize> = (0..forest.loops.len()).collect();
@@ -635,14 +657,15 @@ fn counted_loop(f: &Function, cfg: &Cfg, l: &Loop) -> Option<CountedLoop> {
 pub fn loop_unroll(m: &mut Module, cfg: &PassConfig) -> bool {
     let mut changed = false;
     for f in &mut m.funcs {
-        changed |= loop_simplify_function(f);
-        changed |= lcssa_function(f);
-        changed |= unroll_function(f, cfg.unroll_threshold, usize::MAX);
+        let mut ac = AnalysisCache::new();
+        changed |= loop_simplify_function(f, &mut ac);
+        changed |= lcssa_function(f, &mut ac);
+        changed |= unroll_function(f, &mut ac, cfg.unroll_threshold, usize::MAX);
     }
     if changed {
-        crate::simplify::instsimplify(m, cfg);
-        crate::sccp::sccp(m, cfg);
-        crate::simplify::simplifycfg(m, cfg);
+        crate::simplify::instsimplify_module(m);
+        crate::sccp::sccp_module(m);
+        crate::simplify::simplifycfg_module(m, cfg);
     }
     changed
 }
@@ -653,22 +676,28 @@ pub fn loop_unroll(m: &mut Module, cfg: &PassConfig) -> bool {
 pub fn loop_unroll_and_jam(m: &mut Module, cfg: &PassConfig) -> bool {
     let mut changed = false;
     for f in &mut m.funcs {
-        changed |= loop_simplify_function(f);
-        changed |= lcssa_function(f);
-        changed |= unroll_function(f, cfg.unroll_threshold / 2, 2);
+        let mut ac = AnalysisCache::new();
+        changed |= loop_simplify_function(f, &mut ac);
+        changed |= lcssa_function(f, &mut ac);
+        changed |= unroll_function(f, &mut ac, cfg.unroll_threshold / 2, 2);
     }
     if changed {
-        crate::simplify::instsimplify(m, cfg);
-        crate::sccp::sccp(m, cfg);
-        crate::simplify::simplifycfg(m, cfg);
+        crate::simplify::instsimplify_module(m);
+        crate::sccp::sccp_module(m);
+        crate::simplify::simplifycfg_module(m, cfg);
     }
     changed
 }
 
-fn unroll_function(f: &mut Function, threshold: usize, min_depth: usize) -> bool {
+fn unroll_function(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    threshold: usize,
+    min_depth: usize,
+) -> bool {
     let mut changed = false;
     for _round in 0..8 {
-        let (cfg, _dom, forest) = analyze(f);
+        let (cfg, _dom, forest) = analyze(f, ac);
         let mut candidate: Option<(usize, u64)> = None;
         let mut order: Vec<usize> = (0..forest.loops.len()).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(forest.loops[i].depth));
@@ -704,7 +733,6 @@ fn unroll_function(f: &mut Function, threshold: usize, min_depth: usize) -> bool
         }
         let Some((li, trips)) = candidate else { break };
         let l = forest.loops[li].clone();
-        let cfg = Cfg::new(f);
         let Some(pre) = l.preheader(f, &cfg) else {
             break;
         };
@@ -718,6 +746,7 @@ fn unroll_function(f: &mut Function, threshold: usize, min_depth: usize) -> bool
         crate::mem2reg::collapse_trivial_phis(f);
         util::remove_unreachable(f);
         util::sweep_dead(f);
+        ac.invalidate_all();
     }
     changed
 }
@@ -807,225 +836,235 @@ fn peel_once(f: &mut Function, l: &Loop, entry_from: BlockId) -> BlockId {
 }
 
 /// Delete side-effect-free loops whose results are unused.
-pub fn loop_deletion(m: &mut Module, _cfg: &PassConfig) -> bool {
+pub fn loop_deletion(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
     let mut changed = false;
-    for f in &mut m.funcs {
-        changed |= loop_simplify_function(f);
-        for _ in 0..8 {
-            let (cfg, _dom, forest) = analyze(f);
-            let mut did = false;
-            for l in &forest.loops {
-                if l.exits.len() != 1 {
-                    continue;
-                }
-                let Some(pre) = l.preheader(f, &cfg) else {
-                    continue;
-                };
-                // Must be provably finite: canonical counted loop.
-                if counted_loop(f, &cfg, l).is_none() {
-                    continue;
-                }
-                // No side effects inside.
-                let mut pure = true;
-                for b in sorted_blocks(l) {
-                    for &v in &f.blocks[b.index()].insts {
-                        if let Some(op) = f.op(v) {
-                            if op.has_side_effects() {
-                                pure = false;
-                            }
+    changed |= loop_simplify_function(f, ac);
+    for _ in 0..8 {
+        let (cfg, _dom, forest) = analyze(f, ac);
+        let mut did = false;
+        for l in &forest.loops {
+            if l.exits.len() != 1 {
+                continue;
+            }
+            let Some(pre) = l.preheader(f, &cfg) else {
+                continue;
+            };
+            // Must be provably finite: canonical counted loop.
+            if counted_loop(f, &cfg, l).is_none() {
+                continue;
+            }
+            // No side effects inside.
+            let mut pure = true;
+            for b in sorted_blocks(l) {
+                for &v in &f.blocks[b.index()].insts {
+                    if let Some(op) = f.op(v) {
+                        if op.has_side_effects() {
+                            pure = false;
                         }
                     }
                 }
-                if !pure {
-                    continue;
-                }
-                // No loop-defined value used outside.
-                let exit = l.exits[0];
-                let mut escapes = false;
-                for b in sorted_blocks(l) {
-                    for &v in &f.blocks[b.index()].insts {
-                        for b2 in f.block_ids() {
-                            if l.contains(b2) {
-                                continue;
-                            }
-                            for &u in &f.blocks[b2.index()].insts {
-                                if let Some(op) = f.op(u) {
-                                    op.for_each_operand(|o| {
-                                        escapes |= *o == Operand::Value(v);
-                                    });
-                                }
-                            }
-                            f.blocks[b2.index()]
-                                .term
-                                .for_each_operand(|o| escapes |= *o == Operand::Value(v));
+            }
+            if !pure {
+                continue;
+            }
+            // No loop-defined value used outside.
+            let exit = l.exits[0];
+            let mut escapes = false;
+            for b in sorted_blocks(l) {
+                for &v in &f.blocks[b.index()].insts {
+                    for b2 in f.block_ids() {
+                        if l.contains(b2) {
+                            continue;
                         }
+                        for &u in &f.blocks[b2.index()].insts {
+                            if let Some(op) = f.op(u) {
+                                op.for_each_operand(|o| {
+                                    escapes |= *o == Operand::Value(v);
+                                });
+                            }
+                        }
+                        f.blocks[b2.index()]
+                            .term
+                            .for_each_operand(|o| escapes |= *o == Operand::Value(v));
                     }
                 }
-                if escapes {
-                    continue;
-                }
-                // Exit phis would be undefined; they must not exist (LCSSA
-                // phis of a result-free loop are dead and swept earlier).
-                let has_phis = f.blocks[exit.index()]
-                    .insts
-                    .iter()
-                    .any(|&v| matches!(f.op(v), Some(Op::Phi { .. })));
-                if has_phis {
-                    continue;
-                }
-                f.blocks[pre.index()].term.retarget(l.header, exit);
-                util::remove_unreachable(f);
-                util::sweep_dead(f);
-                did = true;
-                break;
             }
-            changed |= did;
-            if !did {
-                break;
+            if escapes {
+                continue;
             }
+            // Exit phis would be undefined; they must not exist (LCSSA
+            // phis of a result-free loop are dead and swept earlier).
+            let has_phis = f.blocks[exit.index()]
+                .insts
+                .iter()
+                .any(|&v| matches!(f.op(v), Some(Op::Phi { .. })));
+            if has_phis {
+                continue;
+            }
+            f.blocks[pre.index()].term.retarget(l.header, exit);
+            util::remove_unreachable(f);
+            util::sweep_dead(f);
+            ac.invalidate_all();
+            did = true;
+            break;
+        }
+        changed |= did;
+        if !did {
+            break;
         }
     }
     changed
 }
 
 /// Loop-idiom recognition: widen byte-wise constant fills to word stores.
-pub fn loop_idiom(m: &mut Module, _cfg: &PassConfig) -> bool {
+pub fn loop_idiom(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
     let mut changed = false;
-    for f in &mut m.funcs {
-        changed |= loop_simplify_function(f);
-        let (cfg, _dom, forest) = analyze(f);
-        for l in &forest.loops {
-            if l.blocks.len() != 2 || l.latches.len() != 1 {
-                continue; // header + single body block
-            }
-            let Some(counted) = counted_loop(f, &cfg, l) else {
-                continue;
-            };
-            if counted.step != 1 || counted.init != 0 || counted.trips % 4 != 0 {
-                continue;
-            }
-            let body = l.latches[0];
-            // Body: gep(base, iv, 1, 0); store i8 const; iv increment.
-            let insts = f.blocks[body.index()].insts.clone();
-            if insts.len() != 3 {
-                continue;
-            }
-            let Some(Op::Gep {
-                base,
-                index,
-                stride: 1,
-                offset: 0,
-            }) = f.op(insts[0]).cloned()
-            else {
-                continue;
-            };
-            if index != Operand::Value(counted.iv) {
-                continue;
-            }
-            let Some(Op::Store {
-                ptr,
-                val,
-                ty: Ty::I8,
-            }) = f.op(insts[1]).cloned()
-            else {
-                continue;
-            };
-            if ptr != Operand::val(insts[0]) {
-                continue;
-            }
-            let Some(byte) = val.as_const() else { continue };
-            // Base must be 4-aligned: allocas and globals are.
-            match util::ptr_base(f, &base) {
-                util::PtrBase::Alloca(_) | util::PtrBase::Global(_) => {}
-                util::PtrBase::Unknown => continue,
-            }
-            // Rewrite: stride 4, word store, bound /= 4.
-            let word = {
-                let b = (byte as u8) as u32;
-                (b | (b << 8) | (b << 16) | (b << 24)) as i32
-            };
-            *f.op_mut(insts[0]).expect("gep") = Op::Gep {
-                base,
-                index: Operand::Value(counted.iv),
-                stride: 4,
-                offset: 0,
-            };
-            *f.op_mut(insts[1]).expect("store") = Op::Store {
-                ptr: Operand::val(insts[0]),
-                val: Operand::i32(word),
-                ty: Ty::I32,
-            };
-            // Shrink the bound: find the header compare and divide by 4.
-            let Term::CondBr { c, .. } = &f.blocks[l.header.index()].term else {
-                continue;
-            };
-            let Operand::Value(cv) = *c else { continue };
-            if let Some(Op::Icmp { b: bound_op, .. }) = f.op_mut(cv) {
-                *bound_op = Operand::i32((counted.bound / 4) as i32);
-            }
-            changed = true;
+    changed |= loop_simplify_function(f, ac);
+    let (cfg, _dom, forest) = analyze(f, ac);
+    for l in &forest.loops {
+        if l.blocks.len() != 2 || l.latches.len() != 1 {
+            continue; // header + single body block
         }
+        let Some(counted) = counted_loop(f, &cfg, l) else {
+            continue;
+        };
+        if counted.step != 1 || counted.init != 0 || counted.trips % 4 != 0 {
+            continue;
+        }
+        let body = l.latches[0];
+        // Body: gep(base, iv, 1, 0); store i8 const; iv increment.
+        let insts = f.blocks[body.index()].insts.clone();
+        if insts.len() != 3 {
+            continue;
+        }
+        let Some(Op::Gep {
+            base,
+            index,
+            stride: 1,
+            offset: 0,
+        }) = f.op(insts[0]).cloned()
+        else {
+            continue;
+        };
+        if index != Operand::Value(counted.iv) {
+            continue;
+        }
+        let Some(Op::Store {
+            ptr,
+            val,
+            ty: Ty::I8,
+        }) = f.op(insts[1]).cloned()
+        else {
+            continue;
+        };
+        if ptr != Operand::val(insts[0]) {
+            continue;
+        }
+        let Some(byte) = val.as_const() else { continue };
+        // Base must be 4-aligned: allocas and globals are.
+        match util::ptr_base(f, &base) {
+            util::PtrBase::Alloca(_) | util::PtrBase::Global(_) => {}
+            util::PtrBase::Unknown => continue,
+        }
+        // Rewrite: stride 4, word store, bound /= 4.
+        let word = {
+            let b = (byte as u8) as u32;
+            (b | (b << 8) | (b << 16) | (b << 24)) as i32
+        };
+        *f.op_mut(insts[0]).expect("gep") = Op::Gep {
+            base,
+            index: Operand::Value(counted.iv),
+            stride: 4,
+            offset: 0,
+        };
+        *f.op_mut(insts[1]).expect("store") = Op::Store {
+            ptr: Operand::val(insts[0]),
+            val: Operand::i32(word),
+            ty: Ty::I32,
+        };
+        // Shrink the bound: find the header compare and divide by 4.
+        let Term::CondBr { c, .. } = &f.blocks[l.header.index()].term else {
+            continue;
+        };
+        let Operand::Value(cv) = *c else { continue };
+        if let Some(Op::Icmp { b: bound_op, .. }) = f.op_mut(cv) {
+            *bound_op = Operand::i32((counted.bound / 4) as i32);
+        }
+        changed = true;
     }
     changed
 }
 
 /// Induction-variable simplification: canonicalize `!=` exit tests and
 /// replace IV exit values with constants.
-pub fn indvars(m: &mut Module, _cfg: &PassConfig) -> bool {
+pub fn indvars(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
     let mut changed = false;
-    for f in &mut m.funcs {
-        changed |= loop_simplify_function(f);
-        let (cfg, _dom, forest) = analyze(f);
-        for l in &forest.loops {
-            let Some(counted) = counted_loop(f, &cfg, l) else {
+    changed |= loop_simplify_function(f, ac);
+    let (cfg, _dom, forest) = analyze(f, ac);
+    for l in &forest.loops {
+        let Some(counted) = counted_loop(f, &cfg, l) else {
+            continue;
+        };
+        // Rewrite `i != N` to `i < N` when step is 1 and init <= N.
+        if counted.pred == Pred::Ne && counted.step == 1 && counted.init <= counted.bound {
+            let Term::CondBr { c, .. } = &f.blocks[l.header.index()].term else {
                 continue;
             };
-            // Rewrite `i != N` to `i < N` when step is 1 and init <= N.
-            if counted.pred == Pred::Ne && counted.step == 1 && counted.init <= counted.bound {
-                let Term::CondBr { c, .. } = &f.blocks[l.header.index()].term else {
-                    continue;
-                };
-                let Operand::Value(cv) = *c else { continue };
-                if let Some(Op::Icmp { pred, .. }) = f.op_mut(cv) {
-                    *pred = Pred::Slt;
-                    changed = true;
-                }
+            let Operand::Value(cv) = *c else { continue };
+            if let Some(Op::Icmp { pred, .. }) = f.op_mut(cv) {
+                *pred = Pred::Slt;
+                changed = true;
             }
-            // Exit value: uses of the IV outside the loop see the final value.
-            let final_val = match counted.pred {
-                Pred::Slt | Pred::Sle | Pred::Ne => {
-                    let mut x = counted.init;
-                    while match counted.pred {
-                        Pred::Slt => x < counted.bound,
-                        Pred::Sle => x <= counted.bound,
-                        Pred::Ne => x != counted.bound,
-                        _ => false,
-                    } {
-                        x += counted.step;
-                        if x.abs() > 1 << 40 {
-                            break;
-                        }
+        }
+        // Exit value: uses of the IV outside the loop see the final value.
+        let final_val = match counted.pred {
+            Pred::Slt | Pred::Sle | Pred::Ne => {
+                let mut x = counted.init;
+                while match counted.pred {
+                    Pred::Slt => x < counted.bound,
+                    Pred::Sle => x <= counted.bound,
+                    Pred::Ne => x != counted.bound,
+                    _ => false,
+                } {
+                    x += counted.step;
+                    if x.abs() > 1 << 40 {
+                        break;
                     }
-                    Some(x)
                 }
-                _ => None,
-            };
-            if let Some(fv) = final_val {
-                for b2 in f.block_ids() {
-                    if l.contains(b2) {
-                        continue;
-                    }
-                    let insts = f.blocks[b2.index()].insts.clone();
-                    for u in insts {
-                        if let Some(op) = f.op_mut(u) {
-                            if !op.is_phi() {
-                                op.for_each_operand_mut(|o| {
-                                    if *o == Operand::Value(counted.iv) {
-                                        *o = Operand::i32(fv as i32);
-                                        changed = true;
-                                    }
-                                });
-                            }
+                Some(x)
+            }
+            _ => None,
+        };
+        if let Some(fv) = final_val {
+            for b2 in f.block_ids() {
+                if l.contains(b2) {
+                    continue;
+                }
+                let insts = f.blocks[b2.index()].insts.clone();
+                for u in insts {
+                    if let Some(op) = f.op_mut(u) {
+                        if !op.is_phi() {
+                            op.for_each_operand_mut(|o| {
+                                if *o == Operand::Value(counted.iv) {
+                                    *o = Operand::i32(fv as i32);
+                                    changed = true;
+                                }
+                            });
                         }
                     }
                 }
@@ -1037,339 +1076,355 @@ pub fn indvars(m: &mut Module, _cfg: &PassConfig) -> bool {
 
 /// Loop strength reduction: replace `iv * c` inside a loop with a derived
 /// induction variable updated by addition.
-pub fn loop_reduce(m: &mut Module, _cfg: &PassConfig) -> bool {
+pub fn loop_reduce(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
     let mut changed = false;
-    for f in &mut m.funcs {
-        changed |= loop_simplify_function(f);
-        for _ in 0..4 {
-            let (cfg, _dom, forest) = analyze(f);
-            let mut did = false;
-            'loops: for l in &forest.loops {
-                let Some(counted) = counted_loop(f, &cfg, l) else {
-                    continue;
-                };
-                if l.latches.len() != 1 {
-                    continue;
-                }
-                let latch = l.latches[0];
-                let Some(pre) = l.preheader(f, &cfg) else {
-                    continue;
-                };
-                for b in sorted_blocks(l) {
-                    let insts = f.blocks[b.index()].insts.clone();
-                    for v in insts {
-                        let Some(Op::Bin {
-                            op: BinOp::Mul,
-                            a,
-                            b: rhs,
-                        }) = f.op(v).cloned()
-                        else {
-                            continue;
-                        };
-                        if a != Operand::Value(counted.iv) {
-                            continue;
-                        }
-                        let Some(c) = rhs.as_const() else { continue };
-                        // j = phi(pre: init*c, latch: j + step*c)
-                        let ty = Ty::I32;
-                        let j = f.insert_inst(
-                            l.header,
-                            0,
-                            Op::Phi {
-                                incoming: Vec::new(),
-                            },
-                            Some(ty),
-                        );
-                        let init = BinOp::Mul.eval32(counted.init, c) as i32;
-                        let stepc = BinOp::Mul.eval32(counted.step, c) as i32;
-                        let at = f.blocks[latch.index()].insts.len();
-                        let jnext = f.insert_inst(
-                            latch,
-                            at,
-                            Op::Bin {
-                                op: BinOp::Add,
-                                a: Operand::val(j),
-                                b: Operand::i32(stepc),
-                            },
-                            Some(ty),
-                        );
-                        if let Some(Op::Phi { incoming }) = f.op_mut(j) {
-                            incoming.push((pre, Operand::i32(init)));
-                            incoming.push((latch, Operand::val(jnext)));
-                        }
-                        f.replace_all_uses(v, Operand::val(j));
-                        f.remove_inst(b, v);
-                        did = true;
-                        changed = true;
-                        break 'loops;
-                    }
-                }
+    changed |= loop_simplify_function(f, ac);
+    for _ in 0..4 {
+        // Strength reduction adds phis/adds and removes muls — all
+        // shape-preserving, so rounds reuse the cached analyses.
+        let (cfg, _dom, forest) = analyze(f, ac);
+        let mut did = false;
+        'loops: for l in &forest.loops {
+            let Some(counted) = counted_loop(f, &cfg, l) else {
+                continue;
+            };
+            if l.latches.len() != 1 {
+                continue;
             }
-            if !did {
-                break;
+            let latch = l.latches[0];
+            let Some(pre) = l.preheader(f, &cfg) else {
+                continue;
+            };
+            for b in sorted_blocks(l) {
+                let insts = f.blocks[b.index()].insts.clone();
+                for v in insts {
+                    let Some(Op::Bin {
+                        op: BinOp::Mul,
+                        a,
+                        b: rhs,
+                    }) = f.op(v).cloned()
+                    else {
+                        continue;
+                    };
+                    if a != Operand::Value(counted.iv) {
+                        continue;
+                    }
+                    let Some(c) = rhs.as_const() else { continue };
+                    // j = phi(pre: init*c, latch: j + step*c)
+                    let ty = Ty::I32;
+                    let j = f.insert_inst(
+                        l.header,
+                        0,
+                        Op::Phi {
+                            incoming: Vec::new(),
+                        },
+                        Some(ty),
+                    );
+                    let init = BinOp::Mul.eval32(counted.init, c) as i32;
+                    let stepc = BinOp::Mul.eval32(counted.step, c) as i32;
+                    let at = f.blocks[latch.index()].insts.len();
+                    let jnext = f.insert_inst(
+                        latch,
+                        at,
+                        Op::Bin {
+                            op: BinOp::Add,
+                            a: Operand::val(j),
+                            b: Operand::i32(stepc),
+                        },
+                        Some(ty),
+                    );
+                    if let Some(Op::Phi { incoming }) = f.op_mut(j) {
+                        incoming.push((pre, Operand::i32(init)));
+                        incoming.push((latch, Operand::val(jnext)));
+                    }
+                    f.replace_all_uses(v, Operand::val(j));
+                    f.remove_inst(b, v);
+                    did = true;
+                    changed = true;
+                    break 'loops;
+                }
             }
         }
-        util::sweep_dead(f);
+        if !did {
+            break;
+        }
     }
+    util::sweep_dead(f);
     changed
 }
 
 /// `instsimplify` focused on loop bodies (LLVM's `loop-instsimplify`; the
 /// whole-function run reaches the same fixed point).
-pub fn loop_instsimplify(m: &mut Module, cfg: &PassConfig) -> bool {
-    crate::simplify::instsimplify(m, cfg)
+pub fn loop_instsimplify(
+    f: &mut Function,
+    _ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
+    crate::simplify::instsimplify_function(f)
 }
 
 /// Loop fission (the paper's Fig. 2b): split a loop writing several disjoint
 /// arrays into one loop per array. Helps CPU cache locality; on zkVMs it
 /// duplicates loop-control work.
-pub fn loop_fission(m: &mut Module, _cfg: &PassConfig) -> bool {
+pub fn loop_fission(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
     let mut changed = false;
-    for f in &mut m.funcs {
-        changed |= loop_simplify_function(f);
-        let (cfg, _dom, forest) = analyze(f);
-        'loops: for l in &forest.loops {
-            if l.blocks.len() != 2 || l.latches.len() != 1 || l.exits.len() != 1 {
-                continue;
-            }
-            let Some(_) = counted_loop(f, &cfg, l) else {
-                continue;
-            };
-            let body = l.latches[0];
-            let exit = l.exits[0];
-            // No loads, no calls; stores to ≥ 2 distinct bases; nothing
-            // escapes the loop.
-            let mut bases: Vec<util::PtrBase> = Vec::new();
-            let mut store_of: HashMap<ValueId, util::PtrBase> = HashMap::new();
-            for &v in &f.blocks[body.index()].insts {
-                match f.op(v) {
-                    Some(Op::Store { ptr, .. }) => {
-                        let base = util::ptr_base(f, ptr);
-                        if base == util::PtrBase::Unknown {
-                            continue 'loops;
-                        }
-                        if !bases.contains(&base) {
-                            bases.push(base);
-                        }
-                        store_of.insert(v, base);
-                    }
-                    Some(Op::Load { .. }) | Some(Op::Call { .. }) | Some(Op::Ecall { .. }) => {
+    changed |= loop_simplify_function(f, ac);
+    let (cfg, _dom, forest) = analyze(f, ac);
+    'loops: for l in &forest.loops {
+        if l.blocks.len() != 2 || l.latches.len() != 1 || l.exits.len() != 1 {
+            continue;
+        }
+        let Some(_) = counted_loop(f, &cfg, l) else {
+            continue;
+        };
+        let body = l.latches[0];
+        let exit = l.exits[0];
+        // No loads, no calls; stores to ≥ 2 distinct bases; nothing
+        // escapes the loop.
+        let mut bases: Vec<util::PtrBase> = Vec::new();
+        let mut store_of: HashMap<ValueId, util::PtrBase> = HashMap::new();
+        for &v in &f.blocks[body.index()].insts {
+            match f.op(v) {
+                Some(Op::Store { ptr, .. }) => {
+                    let base = util::ptr_base(f, ptr);
+                    if base == util::PtrBase::Unknown {
                         continue 'loops;
                     }
-                    _ => {}
-                }
-            }
-            if bases.len() < 2 {
-                continue;
-            }
-            // Nothing defined in the loop may be used outside it.
-            for b in sorted_blocks(l) {
-                for &v in &f.blocks[b.index()].insts {
-                    for b2 in f.block_ids() {
-                        if l.contains(b2) {
-                            continue;
-                        }
-                        let mut used = false;
-                        for &u in &f.blocks[b2.index()].insts {
-                            if let Some(op) = f.op(u) {
-                                op.for_each_operand(|o| used |= *o == Operand::Value(v));
-                            }
-                        }
-                        f.blocks[b2.index()]
-                            .term
-                            .for_each_operand(|o| used |= *o == Operand::Value(v));
-                        if used {
-                            continue 'loops;
-                        }
+                    if !bases.contains(&base) {
+                        bases.push(base);
                     }
+                    store_of.insert(v, base);
                 }
+                Some(Op::Load { .. }) | Some(Op::Call { .. }) | Some(Op::Ecall { .. }) => {
+                    continue 'loops;
+                }
+                _ => {}
             }
-            // Clone the loop once per extra base; each copy keeps stores to
-            // exactly one base.
-            let first_base = bases[0];
-            let mut insert_after_exit_of = exit;
-            for &base in bases.iter().skip(1) {
-                let (bmap, _vmap) = clone_loop(f, l, None);
-                // New preheader between the previous exit and this copy.
-                let pre2 = f.add_block();
-                f.blocks[pre2.index()].term = Term::Br(bmap[&l.header]);
-                // Cloned header phis: entry edges (from outside the clone)
-                // must now come from pre2.
-                let cloned_header = bmap[&l.header];
-                let cloned_set: HashSet<BlockId> = bmap.values().copied().collect();
-                let insts = f.blocks[cloned_header.index()].insts.clone();
-                for v in insts {
-                    if let Some(Op::Phi { incoming }) = f.op_mut(v) {
-                        for (p, _) in incoming.iter_mut() {
-                            if !cloned_set.contains(p) {
-                                *p = pre2;
-                            }
-                        }
-                    }
-                }
-                // The cloned loop exits to `exit`; splice: old exiting edge of
-                // the previous stage now targets pre2.
-                // Previous stage exits via the ORIGINAL loop's exiting edge
-                // into `exit`; we instead retarget the previous copy's exit
-                // edge to pre2 and let the last copy fall through to exit.
-                // Simpler: chain copies in front of the original exit.
-                // The cloned loop currently exits to `exit` directly; the
-                // previous stage must flow into pre2 first.
-                if insert_after_exit_of == exit {
-                    // First extra copy: original loop -> pre2 -> clone -> exit.
-                    for &eb in &l.exiting {
-                        f.blocks[eb.index()].term.retarget(exit, pre2);
-                    }
-                } else {
-                    // Subsequent copies: previous clone -> pre2.
-                    f.blocks[insert_after_exit_of.index()]
-                        .term
-                        .retarget(exit, pre2);
-                }
-                // Record this clone's exiting block (its header clone exits).
-                let mut clone_exiting = cloned_header;
-                for &eb in &l.exiting {
-                    clone_exiting = bmap[&eb];
-                }
-                insert_after_exit_of = clone_exiting;
-                // Keep only this base's stores in the clone; drop others.
-                let cloned_body = bmap[&body];
-                let insts = f.blocks[cloned_body.index()].insts.clone();
-                for (orig_v, orig_base) in &store_of {
-                    if *orig_base != base {
-                        // Find the clone of this store by position match.
-                        let pos = f.blocks[body.index()]
-                            .insts
-                            .iter()
-                            .position(|x| x == orig_v);
-                        if let Some(p) = pos {
-                            if let Some(&cv) = insts.get(p) {
-                                f.remove_inst(cloned_body, cv);
-                            }
-                        }
-                    }
-                }
-            }
-            // Original loop keeps only the first base's stores.
-            for (v, base) in &store_of {
-                if *base != first_base {
-                    f.remove_inst(body, *v);
-                }
-            }
-            util::sweep_dead(f);
-            changed = true;
-            break;
         }
+        if bases.len() < 2 {
+            continue;
+        }
+        // Nothing defined in the loop may be used outside it.
+        for b in sorted_blocks(l) {
+            for &v in &f.blocks[b.index()].insts {
+                for b2 in f.block_ids() {
+                    if l.contains(b2) {
+                        continue;
+                    }
+                    let mut used = false;
+                    for &u in &f.blocks[b2.index()].insts {
+                        if let Some(op) = f.op(u) {
+                            op.for_each_operand(|o| used |= *o == Operand::Value(v));
+                        }
+                    }
+                    f.blocks[b2.index()]
+                        .term
+                        .for_each_operand(|o| used |= *o == Operand::Value(v));
+                    if used {
+                        continue 'loops;
+                    }
+                }
+            }
+        }
+        // Clone the loop once per extra base; each copy keeps stores to
+        // exactly one base.
+        let first_base = bases[0];
+        let mut insert_after_exit_of = exit;
+        for &base in bases.iter().skip(1) {
+            let (bmap, _vmap) = clone_loop(f, l, None);
+            // New preheader between the previous exit and this copy.
+            let pre2 = f.add_block();
+            f.blocks[pre2.index()].term = Term::Br(bmap[&l.header]);
+            // Cloned header phis: entry edges (from outside the clone)
+            // must now come from pre2.
+            let cloned_header = bmap[&l.header];
+            let cloned_set: HashSet<BlockId> = bmap.values().copied().collect();
+            let insts = f.blocks[cloned_header.index()].insts.clone();
+            for v in insts {
+                if let Some(Op::Phi { incoming }) = f.op_mut(v) {
+                    for (p, _) in incoming.iter_mut() {
+                        if !cloned_set.contains(p) {
+                            *p = pre2;
+                        }
+                    }
+                }
+            }
+            // The cloned loop exits to `exit`; splice: old exiting edge of
+            // the previous stage now targets pre2.
+            // Previous stage exits via the ORIGINAL loop's exiting edge
+            // into `exit`; we instead retarget the previous copy's exit
+            // edge to pre2 and let the last copy fall through to exit.
+            // Simpler: chain copies in front of the original exit.
+            // The cloned loop currently exits to `exit` directly; the
+            // previous stage must flow into pre2 first.
+            if insert_after_exit_of == exit {
+                // First extra copy: original loop -> pre2 -> clone -> exit.
+                for &eb in &l.exiting {
+                    f.blocks[eb.index()].term.retarget(exit, pre2);
+                }
+            } else {
+                // Subsequent copies: previous clone -> pre2.
+                f.blocks[insert_after_exit_of.index()]
+                    .term
+                    .retarget(exit, pre2);
+            }
+            // Record this clone's exiting block (its header clone exits).
+            let mut clone_exiting = cloned_header;
+            for &eb in &l.exiting {
+                clone_exiting = bmap[&eb];
+            }
+            insert_after_exit_of = clone_exiting;
+            // Keep only this base's stores in the clone; drop others.
+            let cloned_body = bmap[&body];
+            let insts = f.blocks[cloned_body.index()].insts.clone();
+            for (orig_v, orig_base) in &store_of {
+                if *orig_base != base {
+                    // Find the clone of this store by position match.
+                    let pos = f.blocks[body.index()]
+                        .insts
+                        .iter()
+                        .position(|x| x == orig_v);
+                    if let Some(p) = pos {
+                        if let Some(&cv) = insts.get(p) {
+                            f.remove_inst(cloned_body, cv);
+                        }
+                    }
+                }
+            }
+        }
+        // Original loop keeps only the first base's stores.
+        for (v, base) in &store_of {
+            if *base != first_base {
+                f.remove_inst(body, *v);
+            }
+        }
+        util::sweep_dead(f);
+        changed = true;
+        break;
     }
     changed
 }
 
 /// Simple loop unswitching: hoist a loop-invariant branch out of the loop by
 /// cloning the loop for each polarity.
-pub fn loop_unswitch(m: &mut Module, _cfg: &PassConfig) -> bool {
+pub fn loop_unswitch(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
     let mut changed = false;
-    for f in &mut m.funcs {
-        changed |= loop_simplify_function(f);
-        let (cfg, _dom, forest) = analyze(f);
-        'loops: for l in &forest.loops {
-            if l.blocks.len() > 16 {
-                continue;
-            }
-            let Some(pre) = l.preheader(f, &cfg) else {
-                continue;
-            };
-            // Exits must have no phis (pre-LCSSA shape).
-            for &e in &l.exits {
-                if f.blocks[e.index()]
-                    .insts
-                    .iter()
-                    .any(|&v| matches!(f.op(v), Some(Op::Phi { .. })))
-                {
-                    continue 'loops;
-                }
-            }
-            // Nothing defined inside may be used outside.
-            for b in sorted_blocks(l) {
-                for &v in &f.blocks[b.index()].insts {
-                    for b2 in f.block_ids() {
-                        if l.contains(b2) {
-                            continue;
-                        }
-                        let mut used = false;
-                        for &u in &f.blocks[b2.index()].insts {
-                            if let Some(op) = f.op(u) {
-                                op.for_each_operand(|o| used |= *o == Operand::Value(v));
-                            }
-                        }
-                        f.blocks[b2.index()]
-                            .term
-                            .for_each_operand(|o| used |= *o == Operand::Value(v));
-                        if used {
-                            continue 'loops;
-                        }
-                    }
-                }
-            }
-            // Find an invariant conditional branch inside (not the header's
-            // own exit test).
-            let defined_in: HashSet<ValueId> = l
-                .blocks
-                .iter()
-                .flat_map(|b| f.blocks[b.index()].insts.iter().copied())
-                .collect();
-            let mut cond: Option<(BlockId, Operand)> = None;
-            for b in sorted_blocks(l) {
-                if b == l.header {
-                    continue;
-                }
-                if let Term::CondBr { c, t, f: fb } = &f.blocks[b.index()].term {
-                    let inv = match c {
-                        Operand::Const { .. } => false, // let simplifycfg fold it
-                        Operand::Value(v) => !defined_in.contains(v),
-                    };
-                    if inv && l.contains(*t) && l.contains(*fb) {
-                        cond = Some((b, *c));
-                        break;
-                    }
-                }
-            }
-            let Some((cond_block, c)) = cond else {
-                continue;
-            };
-            // Clone the loop; original gets c := true, clone gets c := false.
-            let (bmap, _vmap) = clone_loop(f, l, None);
-            let cloned_header = bmap[&l.header];
-            let cloned_set: HashSet<BlockId> = bmap.values().copied().collect();
-            // Cloned header phis: entry edges must come from the preheader.
-            let insts = f.blocks[cloned_header.index()].insts.clone();
-            for v in insts {
-                if let Some(Op::Phi { incoming }) = f.op_mut(v) {
-                    for (p, _) in incoming.iter_mut() {
-                        if !cloned_set.contains(p) {
-                            *p = pre;
-                        }
-                    }
-                }
-            }
-            // Preheader: branch on the invariant condition.
-            f.blocks[pre.index()].term = Term::CondBr {
-                c,
-                t: l.header,
-                f: cloned_header,
-            };
-            // Specialize the branch in both copies.
-            if let Term::CondBr { t, .. } = f.blocks[cond_block.index()].term.clone() {
-                f.blocks[cond_block.index()].term = Term::Br(t);
-            }
-            let cloned_cond = bmap[&cond_block];
-            if let Term::CondBr { f: fb, .. } = f.blocks[cloned_cond.index()].term.clone() {
-                f.blocks[cloned_cond.index()].term = Term::Br(fb);
-            }
-            util::cleanup_phis(f);
-            util::sweep_dead(f);
-            changed = true;
-            break;
+    changed |= loop_simplify_function(f, ac);
+    let (cfg, _dom, forest) = analyze(f, ac);
+    'loops: for l in &forest.loops {
+        if l.blocks.len() > 16 {
+            continue;
         }
+        let Some(pre) = l.preheader(f, &cfg) else {
+            continue;
+        };
+        // Exits must have no phis (pre-LCSSA shape).
+        for &e in &l.exits {
+            if f.blocks[e.index()]
+                .insts
+                .iter()
+                .any(|&v| matches!(f.op(v), Some(Op::Phi { .. })))
+            {
+                continue 'loops;
+            }
+        }
+        // Nothing defined inside may be used outside.
+        for b in sorted_blocks(l) {
+            for &v in &f.blocks[b.index()].insts {
+                for b2 in f.block_ids() {
+                    if l.contains(b2) {
+                        continue;
+                    }
+                    let mut used = false;
+                    for &u in &f.blocks[b2.index()].insts {
+                        if let Some(op) = f.op(u) {
+                            op.for_each_operand(|o| used |= *o == Operand::Value(v));
+                        }
+                    }
+                    f.blocks[b2.index()]
+                        .term
+                        .for_each_operand(|o| used |= *o == Operand::Value(v));
+                    if used {
+                        continue 'loops;
+                    }
+                }
+            }
+        }
+        // Find an invariant conditional branch inside (not the header's
+        // own exit test).
+        let defined_in: HashSet<ValueId> = l
+            .blocks
+            .iter()
+            .flat_map(|b| f.blocks[b.index()].insts.iter().copied())
+            .collect();
+        let mut cond: Option<(BlockId, Operand)> = None;
+        for b in sorted_blocks(l) {
+            if b == l.header {
+                continue;
+            }
+            if let Term::CondBr { c, t, f: fb } = &f.blocks[b.index()].term {
+                let inv = match c {
+                    Operand::Const { .. } => false, // let simplifycfg fold it
+                    Operand::Value(v) => !defined_in.contains(v),
+                };
+                if inv && l.contains(*t) && l.contains(*fb) {
+                    cond = Some((b, *c));
+                    break;
+                }
+            }
+        }
+        let Some((cond_block, c)) = cond else {
+            continue;
+        };
+        // Clone the loop; original gets c := true, clone gets c := false.
+        let (bmap, _vmap) = clone_loop(f, l, None);
+        let cloned_header = bmap[&l.header];
+        let cloned_set: HashSet<BlockId> = bmap.values().copied().collect();
+        // Cloned header phis: entry edges must come from the preheader.
+        let insts = f.blocks[cloned_header.index()].insts.clone();
+        for v in insts {
+            if let Some(Op::Phi { incoming }) = f.op_mut(v) {
+                for (p, _) in incoming.iter_mut() {
+                    if !cloned_set.contains(p) {
+                        *p = pre;
+                    }
+                }
+            }
+        }
+        // Preheader: branch on the invariant condition.
+        f.blocks[pre.index()].term = Term::CondBr {
+            c,
+            t: l.header,
+            f: cloned_header,
+        };
+        // Specialize the branch in both copies.
+        if let Term::CondBr { t, .. } = f.blocks[cond_block.index()].term.clone() {
+            f.blocks[cond_block.index()].term = Term::Br(t);
+        }
+        let cloned_cond = bmap[&cond_block];
+        if let Term::CondBr { f: fb, .. } = f.blocks[cloned_cond.index()].term.clone() {
+            f.blocks[cloned_cond.index()].term = Term::Br(fb);
+        }
+        util::cleanup_phis(f);
+        util::sweep_dead(f);
+        changed = true;
+        break;
     }
     changed
 }
@@ -1388,9 +1443,10 @@ pub fn loop_extract(m: &mut Module, _cfg: &PassConfig) -> bool {
 }
 
 fn extract_one(m: &mut Module, fi: usize) -> bool {
-    loop_simplify_function(&mut m.funcs[fi]);
+    let mut ac = AnalysisCache::new();
+    loop_simplify_function(&mut m.funcs[fi], &mut ac);
     let f = &m.funcs[fi];
-    let (cfg, _dom, forest) = analyze(f);
+    let (cfg, _dom, forest) = analyze(f, &mut ac);
     // Pick an outermost loop that is not the whole function body.
     let mut pick: Option<Loop> = None;
     for l in &forest.loops {
@@ -1428,7 +1484,12 @@ fn extract_one(m: &mut Module, fi: usize) -> bool {
     let Some(l) = pick else { return false };
     let f = &m.funcs[fi];
     let (live_in, live_out) = loop_liveness(f, &l);
-    let pre = l.preheader(f, &Cfg::new(f)).expect("preheader");
+    // A loop without a dedicated preheader cannot be extracted (the call has
+    // nowhere to live); loop-simplify normally guarantees one, but irregular
+    // CFGs it cannot canonicalize must bail instead of panicking.
+    let Some(pre) = l.preheader(f, &cfg) else {
+        return false;
+    };
     let exit = l.exits[0];
     let caller_name = f.name.clone();
 
@@ -1611,75 +1672,78 @@ fn loop_liveness(f: &Function, l: &Loop) -> (LiveVals, LiveVals) {
 /// Loop predication: convert a conditional store in a loop into an
 /// unconditional load–select–store sequence. Removes a branch; adds memory
 /// traffic — the zkVM-hostile trade the paper describes.
-pub fn loop_predication(m: &mut Module, _cfg: &PassConfig) -> bool {
+pub fn loop_predication(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
     let mut changed = false;
-    for f in &mut m.funcs {
-        let (cfg, _dom, forest) = analyze(f);
-        'loops: for l in &forest.loops {
-            // Triangle inside the loop: A -CondBr-> (T, J), T: store only, T -> J.
-            for a in sorted_blocks(l) {
-                let Term::CondBr { c, t, f: j } = f.blocks[a.index()].term.clone() else {
-                    continue;
-                };
-                if !l.contains(t) || !l.contains(j) || t == j {
-                    continue;
-                }
-                if cfg.unique_preds(t).len() != 1 {
-                    continue;
-                }
-                let tsucc = f.blocks[t.index()].term.successors();
-                if tsucc.len() != 1 || tsucc[0] != j {
-                    continue;
-                }
-                if f.blocks[t.index()].insts.len() != 1 {
-                    continue;
-                }
-                let sv = f.blocks[t.index()].insts[0];
-                let Some(Op::Store { ptr, val, ty }) = f.op(sv).cloned() else {
-                    continue;
-                };
-                // Operands must be defined outside T (they dominate A).
-                let in_t = |o: &Operand| match o {
-                    Operand::Value(v) => f.blocks[t.index()].insts.contains(v),
-                    _ => false,
-                };
-                if in_t(&ptr) || in_t(&val) {
-                    continue;
-                }
-                // J must have no phis with incoming from T (nothing flows out).
-                let j_has_t_phi = f.blocks[j.index()].insts.iter().any(|&v| {
-                    matches!(f.op(v), Some(Op::Phi { incoming })
-                        if incoming.iter().any(|(p, _)| *p == t))
-                });
-                if j_has_t_phi {
-                    continue;
-                }
-                // Rewrite A: load old, select, store, jump to J.
-                f.remove_inst(t, sv);
-                let old = f.add_inst(a, Op::Load { ptr, ty }, Some(ty));
-                let sel = f.add_inst(
-                    a,
-                    Op::Select {
-                        c,
-                        t: val,
-                        f: Operand::val(old),
-                    },
-                    Some(ty),
-                );
-                f.add_inst(
-                    a,
-                    Op::Store {
-                        ptr,
-                        val: Operand::val(sel),
-                        ty,
-                    },
-                    None,
-                );
-                f.blocks[a.index()].term = Term::Br(j);
-                util::remove_unreachable(f);
-                changed = true;
-                break 'loops;
+    let (cfg, _dom, forest) = analyze(f, ac);
+    'loops: for l in &forest.loops {
+        // Triangle inside the loop: A -CondBr-> (T, J), T: store only, T -> J.
+        for a in sorted_blocks(l) {
+            let Term::CondBr { c, t, f: j } = f.blocks[a.index()].term.clone() else {
+                continue;
+            };
+            if !l.contains(t) || !l.contains(j) || t == j {
+                continue;
             }
+            if cfg.unique_preds(t).len() != 1 {
+                continue;
+            }
+            let tsucc = f.blocks[t.index()].term.successors();
+            if tsucc.len() != 1 || tsucc[0] != j {
+                continue;
+            }
+            if f.blocks[t.index()].insts.len() != 1 {
+                continue;
+            }
+            let sv = f.blocks[t.index()].insts[0];
+            let Some(Op::Store { ptr, val, ty }) = f.op(sv).cloned() else {
+                continue;
+            };
+            // Operands must be defined outside T (they dominate A).
+            let in_t = |o: &Operand| match o {
+                Operand::Value(v) => f.blocks[t.index()].insts.contains(v),
+                _ => false,
+            };
+            if in_t(&ptr) || in_t(&val) {
+                continue;
+            }
+            // J must have no phis with incoming from T (nothing flows out).
+            let j_has_t_phi = f.blocks[j.index()].insts.iter().any(|&v| {
+                matches!(f.op(v), Some(Op::Phi { incoming })
+                    if incoming.iter().any(|(p, _)| *p == t))
+            });
+            if j_has_t_phi {
+                continue;
+            }
+            // Rewrite A: load old, select, store, jump to J.
+            f.remove_inst(t, sv);
+            let old = f.add_inst(a, Op::Load { ptr, ty }, Some(ty));
+            let sel = f.add_inst(
+                a,
+                Op::Select {
+                    c,
+                    t: val,
+                    f: Operand::val(old),
+                },
+                Some(ty),
+            );
+            f.add_inst(
+                a,
+                Op::Store {
+                    ptr,
+                    val: Operand::val(sel),
+                    ty,
+                },
+                None,
+            );
+            f.blocks[a.index()].term = Term::Br(j);
+            util::remove_unreachable(f);
+            changed = true;
+            break 'loops;
         }
     }
     changed
@@ -1688,72 +1752,80 @@ pub fn loop_predication(m: &mut Module, _cfg: &PassConfig) -> bool {
 /// `loop-versioning-licm` (simplified): `loop-simplify` + `lcssa` + `licm`.
 /// Runtime alias-check versioning is not modelled; our static alias analysis
 /// already separates alloca/global bases (documented in DESIGN.md).
-pub fn loop_versioning_licm(m: &mut Module, cfg: &PassConfig) -> bool {
-    licm(m, cfg)
+pub fn loop_versioning_licm(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    cx: &FunctionContext<'_>,
+    cfg: &PassConfig,
+) -> bool {
+    licm(f, ac, cx, cfg)
 }
 
 /// Inductive range-check elimination: fold comparisons against the induction
 /// variable that are decidable over its whole range.
-pub fn irce(m: &mut Module, _cfg: &PassConfig) -> bool {
+pub fn irce(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
     let mut changed = false;
-    for f in &mut m.funcs {
-        changed |= loop_simplify_function(f);
-        let (cfg, _dom, forest) = analyze(f);
-        for l in &forest.loops {
-            let Some(counted) = counted_loop(f, &cfg, l) else {
-                continue;
-            };
-            if counted.step <= 0 {
-                continue;
+    changed |= loop_simplify_function(f, ac);
+    let (cfg, _dom, forest) = analyze(f, ac);
+    for l in &forest.loops {
+        let Some(counted) = counted_loop(f, &cfg, l) else {
+            continue;
+        };
+        if counted.step <= 0 {
+            continue;
+        }
+        // IV range during body execution: [init, last] inclusive.
+        let last = match counted.pred {
+            Pred::Slt | Pred::Ne => counted.bound - 1,
+            Pred::Sle => counted.bound,
+            _ => continue,
+        };
+        if counted.trips == 0 {
+            continue;
+        }
+        let lo = counted.init;
+        let hi = last;
+        for b in sorted_blocks(l) {
+            if b == l.header {
+                continue; // don't fold the loop's own exit test
             }
-            // IV range during body execution: [init, last] inclusive.
-            let last = match counted.pred {
-                Pred::Slt | Pred::Ne => counted.bound - 1,
-                Pred::Sle => counted.bound,
-                _ => continue,
-            };
-            if counted.trips == 0 {
-                continue;
-            }
-            let lo = counted.init;
-            let hi = last;
-            for b in sorted_blocks(l) {
-                if b == l.header {
-                    continue; // don't fold the loop's own exit test
+            let insts = f.blocks[b.index()].insts.clone();
+            for v in insts {
+                let Some(Op::Icmp { pred, a, b: rhs }) = f.op(v).cloned() else {
+                    continue;
+                };
+                if a != Operand::Value(counted.iv) {
+                    continue;
                 }
-                let insts = f.blocks[b.index()].insts.clone();
-                for v in insts {
-                    let Some(Op::Icmp { pred, a, b: rhs }) = f.op(v).cloned() else {
-                        continue;
-                    };
-                    if a != Operand::Value(counted.iv) {
-                        continue;
-                    }
-                    let Some(k) = rhs.as_const() else { continue };
-                    // Decide the predicate over [lo, hi] (lo >= 0 needed for
-                    // unsigned predicates to coincide with signed).
-                    let decided: Option<bool> = match pred {
-                        Pred::Slt => decide_range(lo, hi, |x| x < k),
-                        Pred::Sle => decide_range(lo, hi, |x| x <= k),
-                        Pred::Sgt => decide_range(lo, hi, |x| x > k),
-                        Pred::Sge => decide_range(lo, hi, |x| x >= k),
-                        Pred::Ult if lo >= 0 && k >= 0 => decide_range(lo, hi, |x| x < k),
-                        Pred::Ule if lo >= 0 && k >= 0 => decide_range(lo, hi, |x| x <= k),
-                        Pred::Uge if lo >= 0 && k >= 0 => decide_range(lo, hi, |x| x >= k),
-                        Pred::Ugt if lo >= 0 && k >= 0 => decide_range(lo, hi, |x| x > k),
-                        _ => None,
-                    };
-                    if let Some(val) = decided {
-                        f.replace_all_uses(v, Operand::bool(val));
-                        f.remove_inst(b, v);
-                        changed = true;
-                    }
+                let Some(k) = rhs.as_const() else { continue };
+                // Decide the predicate over [lo, hi] (lo >= 0 needed for
+                // unsigned predicates to coincide with signed).
+                let decided: Option<bool> = match pred {
+                    Pred::Slt => decide_range(lo, hi, |x| x < k),
+                    Pred::Sle => decide_range(lo, hi, |x| x <= k),
+                    Pred::Sgt => decide_range(lo, hi, |x| x > k),
+                    Pred::Sge => decide_range(lo, hi, |x| x >= k),
+                    Pred::Ult if lo >= 0 && k >= 0 => decide_range(lo, hi, |x| x < k),
+                    Pred::Ule if lo >= 0 && k >= 0 => decide_range(lo, hi, |x| x <= k),
+                    Pred::Uge if lo >= 0 && k >= 0 => decide_range(lo, hi, |x| x >= k),
+                    Pred::Ugt if lo >= 0 && k >= 0 => decide_range(lo, hi, |x| x > k),
+                    _ => None,
+                };
+                if let Some(val) = decided {
+                    f.replace_all_uses(v, Operand::bool(val));
+                    f.remove_inst(b, v);
+                    changed = true;
                 }
             }
         }
-        if changed {
-            util::sweep_dead(f);
-        }
+    }
+    if changed {
+        util::sweep_dead(f);
     }
     changed
 }
@@ -1770,24 +1842,27 @@ fn decide_range(lo: i64, hi: i64, p: impl Fn(i64) -> bool) -> Option<bool> {
 }
 
 /// Rotate while-loops into do-while form guarded by one preheader check.
-pub fn loop_rotate(m: &mut Module, _cfg: &PassConfig) -> bool {
+pub fn loop_rotate(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
     let mut changed = false;
-    for f in &mut m.funcs {
-        changed |= loop_simplify_function(f);
-        let mut guard = 0;
-        loop {
-            guard += 1;
-            if guard > 8 || !rotate_one(f) {
-                break;
-            }
-            changed = true;
+    changed |= loop_simplify_function(f, ac);
+    let mut guard = 0;
+    loop {
+        guard += 1;
+        if guard > 8 || !rotate_one(f, ac) {
+            break;
         }
+        changed = true;
     }
     changed
 }
 
-fn rotate_one(f: &mut Function) -> bool {
-    let (cfg, _dom, forest) = analyze(f);
+fn rotate_one(f: &mut Function, ac: &mut AnalysisCache) -> bool {
+    let (cfg, _dom, forest) = analyze(f, ac);
     'loops: for l in &forest.loops {
         if l.latches.len() != 1 || l.exits.len() != 1 {
             continue;
@@ -1898,7 +1973,58 @@ fn rotate_one(f: &mut Function) -> bool {
         };
         // Header now falls through into the body unconditionally.
         f.blocks[l.header.index()].term = Term::Br(t);
+        ac.invalidate_all();
         return true;
     }
     false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkvmopt_ir::{FunctionBuilder, Module};
+
+    /// A function whose loop header *is* the entry block: no block outside
+    /// the loop branches to the header, so no dedicated preheader can exist
+    /// (and `loop-simplify` cannot create a reachable one).
+    fn entry_header_loop() -> Function {
+        let mut b = FunctionBuilder::new("main", vec![], Some(Ty::I32));
+        let body = b.new_block();
+        let exit = b.new_block();
+        let entry = b.current_block();
+        let i = b.phi(Ty::I32, vec![]);
+        let c = b.icmp(Pred::Slt, Operand::val(i), Operand::i32(4));
+        b.cond_br(Operand::val(c), body, exit);
+        b.switch_to(body);
+        let i2 = b.bin(BinOp::Add, Operand::val(i), Operand::i32(1));
+        b.br(entry);
+        b.add_phi_incoming(i, body, Operand::val(i2));
+        b.switch_to(exit);
+        b.ret(Some(Operand::val(i)));
+        b.finish()
+    }
+
+    /// Regression for the `l.preheader(..).expect("preheader")` panic path
+    /// (loop-extract): a loop with no obtainable preheader must make the
+    /// transform bail, not crash.
+    #[test]
+    fn loop_extract_bails_without_preheader() {
+        let f = entry_header_loop();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let forest = LoopForest::new(&f, &cfg, &dom);
+        assert_eq!(forest.loops.len(), 1, "the entry-header loop is found");
+        assert!(
+            forest.loops[0].preheader(&f, &cfg).is_none(),
+            "no dedicated preheader exists for an entry-header loop"
+        );
+        let mut m = Module::new();
+        m.add_func(f);
+        // Before the fix this could reach the `.expect("preheader")`;
+        // now every preheader-less shape degrades to "no change".
+        for pass in ["loop-extract", "licm", "loop-rotate", "loop-deletion"] {
+            let _ = crate::run_pass(pass, &mut m, &PassConfig::default());
+        }
+        assert_eq!(m.funcs.len(), 1, "nothing was extracted");
+    }
 }

@@ -9,12 +9,12 @@
 //!   *helps* x86 sometimes but hurts zkVMs (Fig. 8) because every reload is a
 //!   real cost when memory traffic is priced into the proof.
 
+use crate::framework::FunctionContext;
 use crate::util;
 use crate::PassConfig;
 use std::collections::{HashMap, HashSet};
-use zkvmopt_ir::cfg::Cfg;
-use zkvmopt_ir::dom::DomTree;
-use zkvmopt_ir::{BlockId, Function, Module, Op, Operand, Ty, ValueId};
+use zkvmopt_ir::analysis::AnalysisCache;
+use zkvmopt_ir::{BlockId, Function, Op, Operand, Ty, ValueId};
 
 fn zero_of(ty: Ty) -> Operand {
     match ty {
@@ -29,25 +29,27 @@ fn zero_of(ty: Ty) -> Operand {
 }
 
 /// Promote non-escaping scalar allocas to SSA values.
-pub fn mem2reg(m: &mut Module, _cfg: &PassConfig) -> bool {
-    let mut changed = false;
-    for f in &mut m.funcs {
-        changed |= promote_function(f);
-    }
-    changed
+pub fn mem2reg(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
+    promote_function(f, ac)
 }
 
 /// Promote only the allocas accepted by `want` (used by `licm`'s
 /// load/store-promotion, which scopes promotion to loop-accessed slots).
 pub fn promote_function_filtered(
     f: &mut Function,
+    ac: &mut AnalysisCache,
     want: impl Fn(&Function, ValueId) -> bool,
 ) -> bool {
     let vars: Vec<(ValueId, Ty)> = promotable_allocas(f)
         .into_iter()
         .filter(|(v, _)| want(f, *v))
         .collect();
-    promote_vars(f, vars)
+    promote_vars(f, ac, vars)
 }
 
 fn promotable_allocas(f: &Function) -> Vec<(ValueId, Ty)> {
@@ -85,20 +87,22 @@ fn promotable_allocas(f: &Function) -> Vec<(ValueId, Ty)> {
     out
 }
 
-fn promote_function(f: &mut Function) -> bool {
+fn promote_function(f: &mut Function, ac: &mut AnalysisCache) -> bool {
     let vars = promotable_allocas(f);
-    promote_vars(f, vars)
+    promote_vars(f, ac, vars)
 }
 
-fn promote_vars(f: &mut Function, vars: Vec<(ValueId, Ty)>) -> bool {
+/// Promotion never touches terminators or blocks, so the cached analyses it
+/// reads stay valid for the function it produces.
+fn promote_vars(f: &mut Function, ac: &mut AnalysisCache, vars: Vec<(ValueId, Ty)>) -> bool {
     if vars.is_empty() {
         return false;
     }
     let var_index: HashMap<ValueId, usize> =
         vars.iter().enumerate().map(|(i, (v, _))| (*v, i)).collect();
-    let cfg = Cfg::new(f);
-    let dom = DomTree::new(f, &cfg);
-    let frontiers = dom.dominance_frontiers(&cfg);
+    let cfg = ac.cfg(f);
+    let dom = ac.dom(f);
+    let frontiers = ac.frontiers(f);
 
     // Phase 1: phi placement on iterated dominance frontiers of def blocks.
     // phi_at[(block, var)] = phi value id
@@ -308,13 +312,15 @@ pub fn collapse_trivial_phis(f: &mut Function) -> bool {
 
 /// Scalar replacement of aggregates: split small, constant-indexed array
 /// allocas into per-element scalars, then promote them with [`mem2reg`].
-pub fn sroa(m: &mut Module, cfg: &PassConfig) -> bool {
-    let mut changed = false;
-    for f in &mut m.funcs {
-        changed |= sroa_function(f);
-    }
+pub fn sroa(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
+    let changed = sroa_function(f);
     if changed {
-        mem2reg(m, cfg);
+        promote_function(f, ac);
     }
     changed
 }
@@ -429,15 +435,16 @@ fn sroa_function(f: &mut Function) -> bool {
 
 /// Demote SSA values (phis, and values live across blocks) to stack slots —
 /// LLVM's `reg2mem`.
-pub fn reg2mem(m: &mut Module, _cfg: &PassConfig) -> bool {
-    let mut changed = false;
-    for f in &mut m.funcs {
-        changed |= reg2mem_function(f);
-    }
-    changed
+pub fn reg2mem(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
+    reg2mem_function(f, ac)
 }
 
-fn reg2mem_function(f: &mut Function) -> bool {
+fn reg2mem_function(f: &mut Function, ac: &mut AnalysisCache) -> bool {
     let mut changed = false;
     // Step 1: demote phis.
     loop {
@@ -455,8 +462,9 @@ fn reg2mem_function(f: &mut Function) -> bool {
         demote_phi(f, b, v, ty);
         changed = true;
     }
-    // Step 2: demote values used outside their defining block.
-    let cfg = Cfg::new(f);
+    // Step 2: demote values used outside their defining block. Phi demotion
+    // above only adds loads/stores, so the cached CFG is still valid.
+    let cfg = ac.cfg(f);
     let mut def_block: HashMap<ValueId, BlockId> = HashMap::new();
     for &b in cfg.rpo() {
         for &v in &f.blocks[b.index()].insts {

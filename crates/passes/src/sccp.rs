@@ -1,11 +1,12 @@
 //! Constant propagation family: `sccp`, `ipsccp`, `jump-threading`, and
 //! `correlated-propagation`.
 
+use crate::framework::FunctionContext;
 use crate::util;
 use crate::PassConfig;
 use std::collections::{HashMap, HashSet, VecDeque};
+use zkvmopt_ir::analysis::AnalysisCache;
 use zkvmopt_ir::cfg::Cfg;
-use zkvmopt_ir::dom::DomTree;
 use zkvmopt_ir::{BlockId, Function, Module, Op, Operand, Pred, Term, ValueId};
 
 /// The SCCP lattice.
@@ -258,12 +259,26 @@ fn transform(f: &mut Function, res: &SccpResult) -> bool {
 }
 
 /// Sparse conditional constant propagation.
-pub fn sccp(m: &mut Module, _cfg: &PassConfig) -> bool {
+pub fn sccp(
+    f: &mut Function,
+    _ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
+    sccp_function(f)
+}
+
+pub(crate) fn sccp_function(f: &mut Function) -> bool {
+    let bottoms = vec![Lat::Bottom; f.params.len()];
+    let res = analyze(f, &bottoms);
+    transform(f, &res)
+}
+
+/// Module-wide [`sccp`] (used by `ipsccp` and the unroll cleanup).
+pub(crate) fn sccp_module(m: &mut Module) -> bool {
     let mut changed = false;
     for f in &mut m.funcs {
-        let bottoms = vec![Lat::Bottom; f.params.len()];
-        let res = analyze(f, &bottoms);
-        changed |= transform(f, &res);
+        changed |= sccp_function(f);
     }
     changed
 }
@@ -353,35 +368,42 @@ pub fn ipsccp(m: &mut Module, cfg: &PassConfig) -> bool {
         }
     }
     if changed {
-        sccp(m, cfg);
+        sccp_module(m);
     }
+    let _ = cfg;
     changed
 }
 
 /// Thread branches through blocks whose condition is decided by the incoming
 /// edge (phi-of-constants feeding the terminator).
-pub fn jump_threading(m: &mut Module, _cfg: &PassConfig) -> bool {
+pub fn jump_threading(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
     let mut changed = false;
-    for f in &mut m.funcs {
-        let mut guard = 0;
-        loop {
-            guard += 1;
-            if guard > 50 || !thread_one(f) {
-                break;
-            }
-            changed = true;
+    let mut guard = 0;
+    loop {
+        guard += 1;
+        let cfg = ac.cfg(f);
+        if guard > 50 || !thread_one(f, &cfg) {
+            break;
         }
-        if changed {
-            util::remove_unreachable(f);
-            crate::mem2reg::collapse_trivial_phis(f);
-            util::sweep_dead(f);
-        }
+        // Threading retargets terminators: the shape changed.
+        ac.invalidate_all();
+        changed = true;
+    }
+    if changed {
+        util::remove_unreachable(f);
+        crate::mem2reg::collapse_trivial_phis(f);
+        util::sweep_dead(f);
+        ac.invalidate_all();
     }
     changed
 }
 
-fn thread_one(f: &mut Function) -> bool {
-    let cfg = Cfg::new(f);
+fn thread_one(f: &mut Function, cfg: &Cfg) -> bool {
     for &b in cfg.rpo() {
         if b == f.entry {
             continue;
@@ -527,66 +549,69 @@ fn thread_one(f: &mut Function) -> bool {
 
 /// Correlated value propagation: inside the true arm of `if (x == C)`,
 /// uses of `x` become `C`.
-pub fn correlated_propagation(m: &mut Module, _cfg: &PassConfig) -> bool {
+pub fn correlated_propagation(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
     let mut changed = false;
-    for f in &mut m.funcs {
-        let cfg_ = Cfg::new(f);
-        let dom = DomTree::new(f, &cfg_);
-        let mut edits: Vec<(BlockId, ValueId, Operand)> = Vec::new();
-        for &b in cfg_.rpo() {
-            let Term::CondBr { c, t, f: fb } = &f.blocks[b.index()].term else {
-                continue;
-            };
-            let Operand::Value(cv) = c else { continue };
-            let Some(Op::Icmp { pred, a, b: rhs }) = f.op(*cv) else {
-                continue;
-            };
-            let Operand::Value(x) = a else { continue };
-            let Some(k) = rhs.as_const() else { continue };
-            // x == K on the true edge; x != K means the false edge knows x == K.
-            let (known_block, _other) = match pred {
-                Pred::Eq => (*t, *fb),
-                Pred::Ne => (*fb, *t),
-                _ => continue,
-            };
-            if known_block == *t && known_block == *fb {
+    let cfg_ = ac.cfg(f);
+    let dom = ac.dom(f);
+    let mut edits: Vec<(BlockId, ValueId, Operand)> = Vec::new();
+    for &b in cfg_.rpo() {
+        let Term::CondBr { c, t, f: fb } = &f.blocks[b.index()].term else {
+            continue;
+        };
+        let Operand::Value(cv) = c else { continue };
+        let Some(Op::Icmp { pred, a, b: rhs }) = f.op(*cv) else {
+            continue;
+        };
+        let Operand::Value(x) = a else { continue };
+        let Some(k) = rhs.as_const() else { continue };
+        // x == K on the true edge; x != K means the false edge knows x == K.
+        let (known_block, _other) = match pred {
+            Pred::Eq => (*t, *fb),
+            Pred::Ne => (*fb, *t),
+            _ => continue,
+        };
+        if known_block == *t && known_block == *fb {
+            continue;
+        }
+        // Sound only when the edge is the unique entry to the region.
+        if cfg_.unique_preds(known_block).len() != 1 {
+            continue;
+        }
+        let ty = f.ty(*x);
+        let kc = match ty {
+            Some(ty) => Operand::Const {
+                value: ty.truncate_s(k),
+                ty,
+            },
+            None => continue,
+        };
+        // Replace uses of x in all blocks dominated by known_block.
+        for b2 in f.block_ids() {
+            if !dom.dominates(known_block, b2) {
                 continue;
             }
-            // Sound only when the edge is the unique entry to the region.
-            if cfg_.unique_preds(known_block).len() != 1 {
-                continue;
-            }
-            let ty = f.ty(*x);
-            let kc = match ty {
-                Some(ty) => Operand::Const {
-                    value: ty.truncate_s(k),
-                    ty,
-                },
-                None => continue,
-            };
-            // Replace uses of x in all blocks dominated by known_block.
-            for b2 in f.block_ids() {
-                if !dom.dominates(known_block, b2) {
-                    continue;
-                }
-                for &u in &f.blocks[b2.index()].insts {
-                    if f.op(u).is_some() {
-                        edits.push((b2, u, kc));
-                    }
+            for &u in &f.blocks[b2.index()].insts {
+                if f.op(u).is_some() {
+                    edits.push((b2, u, kc));
                 }
             }
-            let x = *x;
-            for (b2, u, kc) in edits.drain(..) {
-                let _ = b2;
-                if let Some(op) = f.op_mut(u) {
-                    if !op.is_phi() {
-                        op.for_each_operand_mut(|o| {
-                            if *o == Operand::Value(x) {
-                                *o = kc;
-                                changed = true;
-                            }
-                        });
-                    }
+        }
+        let x = *x;
+        for (b2, u, kc) in edits.drain(..) {
+            let _ = b2;
+            if let Some(op) = f.op_mut(u) {
+                if !op.is_phi() {
+                    op.for_each_operand_mut(|o| {
+                        if *o == Operand::Value(x) {
+                            *o = kc;
+                            changed = true;
+                        }
+                    });
                 }
             }
         }

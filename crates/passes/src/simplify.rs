@@ -7,15 +7,27 @@
 //! as harmful on zkVMs (Figs. 2a and 13); both honour the zk-aware knobs in
 //! [`PassConfig`].
 
+use crate::framework::FunctionContext;
 use crate::util;
 use crate::PassConfig;
+use zkvmopt_ir::analysis::AnalysisCache;
 use zkvmopt_ir::cfg::Cfg;
 use zkvmopt_ir::{
     BinOp, BlockId, CastKind, Function, Module, Op, Operand, Pred, Term, Ty, ValueId,
 };
 
 /// Fold constants and algebraic identities; never creates instructions.
-pub fn instsimplify(m: &mut Module, _cfg: &PassConfig) -> bool {
+pub fn instsimplify(
+    f: &mut Function,
+    _ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
+    instsimplify_function(f)
+}
+
+/// Module-wide [`instsimplify`] (the unroll cleanup helper).
+pub(crate) fn instsimplify_module(m: &mut Module) -> bool {
     let mut changed = false;
     for f in &mut m.funcs {
         changed |= instsimplify_function(f);
@@ -23,7 +35,7 @@ pub fn instsimplify(m: &mut Module, _cfg: &PassConfig) -> bool {
     changed
 }
 
-fn instsimplify_function(f: &mut Function) -> bool {
+pub(crate) fn instsimplify_function(f: &mut Function) -> bool {
     let mut changed = false;
     loop {
         let mut local = false;
@@ -73,13 +85,16 @@ fn simplify_icmp_identities(op: &Op) -> Option<Operand> {
 /// Peephole combining: everything `instsimplify` does, plus rewrites that
 /// create new instructions (strength reduction, associative folding, gep
 /// canonicalization).
-pub fn instcombine(m: &mut Module, cfg: &PassConfig) -> bool {
+pub fn instcombine(
+    f: &mut Function,
+    _ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    cfg: &PassConfig,
+) -> bool {
     let mut changed = false;
-    for f in &mut m.funcs {
-        changed |= instsimplify_function(f);
-        changed |= instcombine_function(f, cfg);
-        changed |= instsimplify_function(f);
-    }
+    changed |= instsimplify_function(f);
+    changed |= instcombine_function(f, cfg);
+    changed |= instsimplify_function(f);
     changed
 }
 
@@ -371,75 +386,87 @@ fn instcombine_function(f: &mut Function, cfg: &PassConfig) -> bool {
 ///
 /// A focused subset of LLVM's `reassociate`: rotates `(c op x) op y` into
 /// `(x op y) op c` shapes so `instcombine`'s associative folds fire.
-pub fn reassociate(m: &mut Module, cfg: &PassConfig) -> bool {
+pub fn reassociate(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    cx: &FunctionContext<'_>,
+    cfg: &PassConfig,
+) -> bool {
     // Canonicalization + associative folding already live in instcombine;
     // running it twice reaches the fixed point reassociation would.
-    let a = instcombine(m, cfg);
-    let b = instcombine(m, cfg);
+    let a = instcombine(f, ac, cx, cfg);
+    let b = instcombine(f, ac, cx, cfg);
     a || b
 }
 
 /// Simple dead-code elimination: delete unused side-effect-free values.
-pub fn dce(m: &mut Module, _cfg: &PassConfig) -> bool {
-    let mut changed = false;
-    for f in &mut m.funcs {
-        changed |= util::sweep_dead(f);
-    }
-    changed
+pub fn dce(
+    f: &mut Function,
+    _ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
+    util::sweep_dead(f)
 }
 
 /// Aggressive DCE: `dce` plus unreachable-code removal and trivial-phi
 /// collapsing.
-pub fn adce(m: &mut Module, _cfg: &PassConfig) -> bool {
+pub fn adce(
+    f: &mut Function,
+    _ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
     let mut changed = false;
-    for f in &mut m.funcs {
-        changed |= util::remove_unreachable(f);
-        changed |= crate::mem2reg::collapse_trivial_phis(f);
-        changed |= util::sweep_dead(f);
-    }
+    changed |= util::remove_unreachable(f);
+    changed |= crate::mem2reg::collapse_trivial_phis(f);
+    changed |= util::sweep_dead(f);
     changed
 }
 
 /// Block-local dead-store elimination.
-pub fn dse(m: &mut Module, _cfg: &PassConfig) -> bool {
+pub fn dse(
+    f: &mut Function,
+    _ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
     let mut changed = false;
-    for f in &mut m.funcs {
-        for b in f.block_ids() {
-            let insts = f.blocks[b.index()].insts.clone();
-            let mut dead: Vec<ValueId> = Vec::new();
-            for (i, &v) in insts.iter().enumerate() {
-                let Some(Op::Store { ptr, ty, .. }) = f.op(v) else {
-                    continue;
-                };
-                let ptr = *ptr;
-                let width = ty.size_bytes();
-                // Look forward for an overwriting store with no intervening
-                // may-alias read or call.
-                for &w in &insts[i + 1..] {
-                    match f.op(w) {
-                        Some(Op::Store {
-                            ptr: p2, ty: t2, ..
-                        }) => {
-                            if t2.size_bytes() >= width && util::same_address(f, p2, &ptr) {
-                                dead.push(v);
-                                break;
-                            }
-                            if util::may_alias(f, p2, &ptr) {
-                                break;
-                            }
-                        }
-                        Some(Op::Load { ptr: p2, .. }) if util::may_alias(f, p2, &ptr) => {
+    for b in f.block_ids() {
+        let insts = f.blocks[b.index()].insts.clone();
+        let mut dead: Vec<ValueId> = Vec::new();
+        for (i, &v) in insts.iter().enumerate() {
+            let Some(Op::Store { ptr, ty, .. }) = f.op(v) else {
+                continue;
+            };
+            let ptr = *ptr;
+            let width = ty.size_bytes();
+            // Look forward for an overwriting store with no intervening
+            // may-alias read or call.
+            for &w in &insts[i + 1..] {
+                match f.op(w) {
+                    Some(Op::Store {
+                        ptr: p2, ty: t2, ..
+                    }) => {
+                        if t2.size_bytes() >= width && util::same_address(f, p2, &ptr) {
+                            dead.push(v);
                             break;
                         }
-                        Some(Op::Call { .. }) | Some(Op::Ecall { .. }) => break,
-                        _ => {}
+                        if util::may_alias(f, p2, &ptr) {
+                            break;
+                        }
                     }
+                    Some(Op::Load { ptr: p2, .. }) if util::may_alias(f, p2, &ptr) => {
+                        break;
+                    }
+                    Some(Op::Call { .. }) | Some(Op::Ecall { .. }) => break,
+                    _ => {}
                 }
             }
-            for v in dead {
-                f.remove_inst(b, v);
-                changed = true;
-            }
+        }
+        for v in dead {
+            f.remove_inst(b, v);
+            changed = true;
         }
     }
     changed
@@ -447,277 +474,303 @@ pub fn dse(m: &mut Module, _cfg: &PassConfig) -> bool {
 
 /// Sink single-use speculatable instructions into the successor that uses
 /// them, so the other branch path never executes them.
-pub fn sink(m: &mut Module, _cfg: &PassConfig) -> bool {
+pub fn sink(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
     let mut changed = false;
-    for f in &mut m.funcs {
-        let cfg_ = Cfg::new(f);
-        let rpo: Vec<BlockId> = cfg_.rpo().to_vec();
-        // Map each value to (block, index in block, use count, single user block).
-        for &b in &rpo {
-            if cfg_.succs(b).len() < 2 {
+    let cfg_ = ac.cfg(f);
+    let rpo: Vec<BlockId> = cfg_.rpo().to_vec();
+    // Map each value to (block, index in block, use count, single user block).
+    for &b in &rpo {
+        if cfg_.succs(b).len() < 2 {
+            continue;
+        }
+        let insts = f.blocks[b.index()].insts.clone();
+        for &v in insts.iter().rev() {
+            let Some(op) = f.op(v) else { continue };
+            if !op.is_speculatable() {
                 continue;
             }
-            let insts = f.blocks[b.index()].insts.clone();
-            for &v in insts.iter().rev() {
-                let Some(op) = f.op(v) else { continue };
-                if !op.is_speculatable() {
-                    continue;
-                }
-                // All uses must live in exactly one successor with b as its
-                // only predecessor, and not in b's own terminator.
-                let mut term_use = false;
-                f.blocks[b.index()].term.for_each_operand(|o| {
-                    term_use |= *o == Operand::Value(v);
-                });
-                if term_use {
-                    continue;
-                }
-                let mut use_blocks: Vec<BlockId> = Vec::new();
-                let mut used_by_phi = false;
-                for b2 in f.block_ids() {
-                    for &u in &f.blocks[b2.index()].insts {
-                        if let Some(uop) = f.op(u) {
-                            let mut uses = false;
-                            uop.for_each_operand(|o| uses |= *o == Operand::Value(v));
-                            if uses {
-                                use_blocks.push(b2);
-                                used_by_phi |= uop.is_phi();
-                            }
+            // All uses must live in exactly one successor with b as its
+            // only predecessor, and not in b's own terminator.
+            let mut term_use = false;
+            f.blocks[b.index()].term.for_each_operand(|o| {
+                term_use |= *o == Operand::Value(v);
+            });
+            if term_use {
+                continue;
+            }
+            let mut use_blocks: Vec<BlockId> = Vec::new();
+            let mut used_by_phi = false;
+            for b2 in f.block_ids() {
+                for &u in &f.blocks[b2.index()].insts {
+                    if let Some(uop) = f.op(u) {
+                        let mut uses = false;
+                        uop.for_each_operand(|o| uses |= *o == Operand::Value(v));
+                        if uses {
+                            use_blocks.push(b2);
+                            used_by_phi |= uop.is_phi();
                         }
                     }
-                    let mut term_uses = false;
-                    f.blocks[b2.index()]
-                        .term
-                        .for_each_operand(|o| term_uses |= *o == Operand::Value(v));
-                    if term_uses {
-                        use_blocks.push(b2);
-                    }
                 }
-                use_blocks.sort();
-                use_blocks.dedup();
-                if used_by_phi || use_blocks.len() != 1 {
-                    continue;
+                let mut term_uses = false;
+                f.blocks[b2.index()]
+                    .term
+                    .for_each_operand(|o| term_uses |= *o == Operand::Value(v));
+                if term_uses {
+                    use_blocks.push(b2);
                 }
-                let target = use_blocks[0];
-                if target == b
-                    || !cfg_.succs(b).contains(&target)
-                    || cfg_.unique_preds(target).len() != 1
-                {
-                    continue;
-                }
-                // Also: operands of v must still dominate target (they do —
-                // they dominate v in b, and b dominates its single-pred succ).
-                f.blocks[b.index()].insts.retain(|x| *x != v);
-                // Insert after phis.
-                let pos = f.blocks[target.index()]
-                    .insts
-                    .iter()
-                    .take_while(|&&x| matches!(f.op(x), Some(Op::Phi { .. })))
-                    .count();
-                f.blocks[target.index()].insts.insert(pos, v);
-                changed = true;
             }
+            use_blocks.sort();
+            use_blocks.dedup();
+            if used_by_phi || use_blocks.len() != 1 {
+                continue;
+            }
+            let target = use_blocks[0];
+            if target == b
+                || !cfg_.succs(b).contains(&target)
+                || cfg_.unique_preds(target).len() != 1
+            {
+                continue;
+            }
+            // Also: operands of v must still dominate target (they do —
+            // they dominate v in b, and b dominates its single-pred succ).
+            f.blocks[b.index()].insts.retain(|x| *x != v);
+            // Insert after phis.
+            let pos = f.blocks[target.index()]
+                .insts
+                .iter()
+                .take_while(|&&x| matches!(f.op(x), Some(Op::Phi { .. })))
+                .count();
+            f.blocks[target.index()].insts.insert(pos, v);
+            changed = true;
         }
     }
     changed
 }
 
 /// Unify multiple `ret` blocks into one (LLVM's `mergereturn`).
-pub fn mergereturn(m: &mut Module, _cfg: &PassConfig) -> bool {
-    let mut changed = false;
-    for f in &mut m.funcs {
-        let rets: Vec<BlockId> = f
-            .reachable_blocks()
-            .into_iter()
-            .filter(|b| matches!(f.blocks[b.index()].term, Term::Ret(_)))
-            .collect();
-        if rets.len() < 2 {
-            continue;
-        }
-        let unified = f.add_block();
-        match f.ret {
-            Some(ty) => {
-                let phi = f.add_inst(
-                    unified,
-                    Op::Phi {
-                        incoming: Vec::new(),
-                    },
-                    Some(ty),
-                );
-                for b in &rets {
-                    let val = match &f.blocks[b.index()].term {
-                        Term::Ret(Some(v)) => *v,
-                        _ => unreachable!("value fn must ret value"),
-                    };
-                    if let Some(Op::Phi { incoming }) = f.op_mut(phi) {
-                        incoming.push((*b, val));
-                    }
-                    f.blocks[b.index()].term = Term::Br(unified);
-                }
-                f.blocks[unified.index()].term = Term::Ret(Some(Operand::val(phi)));
-            }
-            None => {
-                for b in &rets {
-                    f.blocks[b.index()].term = Term::Br(unified);
-                }
-                f.blocks[unified.index()].term = Term::Ret(None);
-            }
-        }
-        changed = true;
+pub fn mergereturn(
+    f: &mut Function,
+    _ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
+    let rets: Vec<BlockId> = f
+        .reachable_blocks()
+        .into_iter()
+        .filter(|b| matches!(f.blocks[b.index()].term, Term::Ret(_)))
+        .collect();
+    if rets.len() < 2 {
+        return false;
     }
-    changed
+    let unified = f.add_block();
+    match f.ret {
+        Some(ty) => {
+            let phi = f.add_inst(
+                unified,
+                Op::Phi {
+                    incoming: Vec::new(),
+                },
+                Some(ty),
+            );
+            for b in &rets {
+                let val = match &f.blocks[b.index()].term {
+                    Term::Ret(Some(v)) => *v,
+                    _ => unreachable!("value fn must ret value"),
+                };
+                if let Some(Op::Phi { incoming }) = f.op_mut(phi) {
+                    incoming.push((*b, val));
+                }
+                f.blocks[b.index()].term = Term::Br(unified);
+            }
+            f.blocks[unified.index()].term = Term::Ret(Some(Operand::val(phi)));
+        }
+        None => {
+            for b in &rets {
+                f.blocks[b.index()].term = Term::Br(unified);
+            }
+            f.blocks[unified.index()].term = Term::Ret(None);
+        }
+    }
+    true
 }
 
 /// Lower `switch` terminators to compare-and-branch chains.
-pub fn lower_switch(m: &mut Module, _cfg: &PassConfig) -> bool {
+pub fn lower_switch(
+    f: &mut Function,
+    _ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
     let mut changed = false;
-    for f in &mut m.funcs {
-        for b in f.block_ids() {
-            let Term::Switch { v, cases, default } = f.blocks[b.index()].term.clone() else {
-                continue;
+    for b in f.block_ids() {
+        let Term::Switch { v, cases, default } = f.blocks[b.index()].term.clone() else {
+            continue;
+        };
+        // Chain: each case gets a test block.
+        let mut next_test = default;
+        for (k, target) in cases.into_iter().rev() {
+            let test = f.add_block();
+            let c = f.add_inst(
+                test,
+                Op::Icmp {
+                    pred: Pred::Eq,
+                    a: v,
+                    b: Operand::i32(k as i32),
+                },
+                Some(Ty::I1),
+            );
+            f.blocks[test.index()].term = Term::CondBr {
+                c: Operand::val(c),
+                t: target,
+                f: next_test,
             };
-            // Chain: each case gets a test block.
-            let mut next_test = default;
-            for (k, target) in cases.into_iter().rev() {
-                let test = f.add_block();
-                let c = f.add_inst(
-                    test,
-                    Op::Icmp {
-                        pred: Pred::Eq,
-                        a: v,
-                        b: Operand::i32(k as i32),
-                    },
-                    Some(Ty::I1),
-                );
-                f.blocks[test.index()].term = Term::CondBr {
-                    c: Operand::val(c),
-                    t: target,
-                    f: next_test,
-                };
-                next_test = test;
-            }
-            f.blocks[b.index()].term = Term::Br(next_test);
-            changed = true;
+            next_test = test;
         }
-        if changed {
-            // New test blocks change predecessor sets of the case targets;
-            // phis must be rewritten. Our frontend never emits switches with
-            // phis in targets, but passes might: fix up conservatively.
-            util::cleanup_phis(f);
-        }
+        f.blocks[b.index()].term = Term::Br(next_test);
+        changed = true;
+    }
+    if changed {
+        // New test blocks change predecessor sets of the case targets;
+        // phis must be rewritten. Our frontend never emits switches with
+        // phis in targets, but passes might: fix up conservatively.
+        util::cleanup_phis(f);
     }
     changed
 }
 
 /// Merge identical stores from both arms of a diamond into the join block
 /// (LLVM's `mldst-motion`, store-sinking half).
-pub fn mldst_motion(m: &mut Module, _cfg: &PassConfig) -> bool {
+pub fn mldst_motion(
+    f: &mut Function,
+    ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    _cfg: &PassConfig,
+) -> bool {
     let mut changed = false;
-    for f in &mut m.funcs {
-        let cfg_ = Cfg::new(f);
-        for &b in cfg_.rpo() {
-            let Term::CondBr { t, f: fb, .. } = f.blocks[b.index()].term.clone() else {
-                continue;
-            };
-            if t == fb {
-                continue;
-            }
-            let (st, sf) = (cfg_.succs(t), cfg_.succs(fb));
-            if st.len() != 1 || sf.len() != 1 || st[0] != sf[0] {
-                continue;
-            }
-            let join = st[0];
-            if cfg_.unique_preds(t).len() != 1
-                || cfg_.unique_preds(fb).len() != 1
-                || cfg_.unique_preds(join).len() != 2
-            {
-                continue;
-            }
-            // Last instruction of each arm must be a store to the same
-            // address operand.
-            let lt = *match f.blocks[t.index()].insts.last() {
-                Some(v) => v,
-                None => continue,
-            };
-            let lf = *match f.blocks[fb.index()].insts.last() {
-                Some(v) => v,
-                None => continue,
-            };
-            let (
-                Some(Op::Store {
-                    ptr: p1,
-                    val: v1,
-                    ty: ty1,
-                }),
-                Some(Op::Store {
-                    ptr: p2,
-                    val: v2,
-                    ty: ty2,
-                }),
-            ) = (f.op(lt).cloned(), f.op(lf).cloned())
-            else {
-                continue;
-            };
-            if p1 != p2 || ty1 != ty2 {
-                continue;
-            }
-            // The pointer must be defined outside the arms (it is, if it's
-            // the same operand and dominates both).
-            let ty = ty1;
-            f.remove_inst(t, lt);
-            f.remove_inst(fb, lf);
-            let phi = f.insert_inst(
-                join,
-                0,
-                Op::Phi {
-                    incoming: vec![(t, v1), (fb, v2)],
-                },
-                Some(ty),
-            );
-            let pos = f.blocks[join.index()]
-                .insts
-                .iter()
-                .take_while(|&&x| matches!(f.op(x), Some(Op::Phi { .. })))
-                .count();
-            f.insert_inst(
-                join,
-                pos,
-                Op::Store {
-                    ptr: p1,
-                    val: Operand::val(phi),
-                    ty,
-                },
-                None,
-            );
-            changed = true;
+    let cfg_ = ac.cfg(f);
+    for &b in cfg_.rpo() {
+        let Term::CondBr { t, f: fb, .. } = f.blocks[b.index()].term.clone() else {
+            continue;
+        };
+        if t == fb {
+            continue;
         }
+        let (st, sf) = (cfg_.succs(t), cfg_.succs(fb));
+        if st.len() != 1 || sf.len() != 1 || st[0] != sf[0] {
+            continue;
+        }
+        let join = st[0];
+        if cfg_.unique_preds(t).len() != 1
+            || cfg_.unique_preds(fb).len() != 1
+            || cfg_.unique_preds(join).len() != 2
+        {
+            continue;
+        }
+        // Last instruction of each arm must be a store to the same
+        // address operand.
+        let lt = *match f.blocks[t.index()].insts.last() {
+            Some(v) => v,
+            None => continue,
+        };
+        let lf = *match f.blocks[fb.index()].insts.last() {
+            Some(v) => v,
+            None => continue,
+        };
+        let (
+            Some(Op::Store {
+                ptr: p1,
+                val: v1,
+                ty: ty1,
+            }),
+            Some(Op::Store {
+                ptr: p2,
+                val: v2,
+                ty: ty2,
+            }),
+        ) = (f.op(lt).cloned(), f.op(lf).cloned())
+        else {
+            continue;
+        };
+        if p1 != p2 || ty1 != ty2 {
+            continue;
+        }
+        // The pointer must be defined outside the arms (it is, if it's
+        // the same operand and dominates both).
+        let ty = ty1;
+        f.remove_inst(t, lt);
+        f.remove_inst(fb, lf);
+        let phi = f.insert_inst(
+            join,
+            0,
+            Op::Phi {
+                incoming: vec![(t, v1), (fb, v2)],
+            },
+            Some(ty),
+        );
+        let pos = f.blocks[join.index()]
+            .insts
+            .iter()
+            .take_while(|&&x| matches!(f.op(x), Some(Op::Phi { .. })))
+            .count();
+        f.insert_inst(
+            join,
+            pos,
+            Op::Store {
+                ptr: p1,
+                val: Operand::val(phi),
+                ty,
+            },
+            None,
+        );
+        changed = true;
     }
     changed
 }
 
 /// Control-flow graph simplification: constant branches, block merging,
 /// empty-block forwarding, and (budgeted) branch-to-select conversion.
-pub fn simplifycfg(m: &mut Module, cfg: &PassConfig) -> bool {
+pub fn simplifycfg(
+    f: &mut Function,
+    _ac: &mut AnalysisCache,
+    _cx: &FunctionContext<'_>,
+    cfg: &PassConfig,
+) -> bool {
+    simplifycfg_function(f, cfg)
+}
+
+pub(crate) fn simplifycfg_function(f: &mut Function, cfg: &PassConfig) -> bool {
+    let mut changed = false;
+    let mut rounds = 0;
+    loop {
+        let mut local = false;
+        local |= fold_constant_branches(f);
+        local |= util::remove_unreachable(f);
+        local |= merge_straightline(f);
+        local |= forward_empty_blocks(f);
+        if cfg.simplifycfg_speculate > 0 {
+            local |= if_convert(f, cfg.simplifycfg_speculate);
+        }
+        local |= crate::mem2reg::collapse_trivial_phis(f);
+        changed |= local;
+        rounds += 1;
+        if !local || rounds > 20 {
+            break;
+        }
+    }
+    changed |= util::sweep_dead(f);
+    changed
+}
+
+/// Module-wide [`simplifycfg`] (the unroll cleanup helper).
+pub(crate) fn simplifycfg_module(m: &mut Module, cfg: &PassConfig) -> bool {
     let mut changed = false;
     for f in &mut m.funcs {
-        let mut rounds = 0;
-        loop {
-            let mut local = false;
-            local |= fold_constant_branches(f);
-            local |= util::remove_unreachable(f);
-            local |= merge_straightline(f);
-            local |= forward_empty_blocks(f);
-            if cfg.simplifycfg_speculate > 0 {
-                local |= if_convert(f, cfg.simplifycfg_speculate);
-            }
-            local |= crate::mem2reg::collapse_trivial_phis(f);
-            changed |= local;
-            rounds += 1;
-            if !local || rounds > 20 {
-                break;
-            }
-        }
-        changed |= util::sweep_dead(f);
+        changed |= simplifycfg_function(f, cfg);
     }
     changed
 }

@@ -5,10 +5,26 @@
 //! the integer parameters the paper tunes (`-inline-threshold`,
 //! `-unroll-threshold`); fitness is the zkVM **cycle count**, the paper's
 //! cheap, noise-free proxy for execution and proving time.
+//!
+//! ## Candidate memoization
+//!
+//! Genetic search re-visits candidates constantly (crossover reassembles
+//! parents, mutation undoes itself, and no-op passes pad otherwise-equal
+//! sequences), and every fitness evaluation re-lowers and re-optimizes a
+//! whole workload. [`autotune`] therefore canonicalizes each candidate's
+//! sequence ([`canonicalize_sequence`]: resolve registry aliases, drop
+//! registered no-ops, collapse idempotent adjacent repeats — all
+//! output-preserving by the registry's tested metadata) and caches fitness
+//! keyed on `(canonical sequence, inline_threshold, unroll_threshold)`.
+//! Duplicate candidates never reach the fitness function twice;
+//! [`TuneResult::cache_hits`] reports how often that fired. Fitness functions
+//! must be deterministic (cycle counts are), so memoization cannot change
+//! any search outcome — only its cost.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use zkvmopt_passes::{pass_names, PassConfig};
+use std::collections::HashMap;
+use zkvmopt_passes::{find_pass, pass_names, PassConfig};
 
 /// One tuning candidate: a pass sequence plus parameter values.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,9 +53,8 @@ impl Candidate {
     /// random threshold parameters. Deterministic in `seed` — this is the
     /// entry point the property-based pass tests sample sequences from.
     pub fn random(seed: u64, max_depth: usize) -> Candidate {
-        let names = pass_names();
         let mut rng = StdRng::seed_from_u64(seed);
-        random_candidate(&mut rng, &names, max_depth)
+        random_candidate(&mut rng, pass_names(), max_depth)
     }
 }
 
@@ -79,6 +94,37 @@ pub struct TuneResult {
     pub history: Vec<u64>,
     /// Number of candidates evaluated (invalid ones included).
     pub evaluated: usize,
+    /// Evaluations served from the candidate memo instead of re-running the
+    /// fitness function (duplicates modulo [`canonicalize_sequence`]).
+    pub cache_hits: usize,
+}
+
+/// Canonicalize a pass sequence for content-keyed memoization:
+///
+/// 1. resolve registry aliases to their canonical names (`ipconstprop` ≡
+///    `ipsccp`),
+/// 2. drop registered no-op passes (they never change the module),
+/// 3. collapse adjacent repeats of idempotent passes (`dce dce` ≡ `dce`).
+///
+/// Each rewrite is output-preserving by the registry's declared (and tested)
+/// metadata, so two candidates with equal canonical sequences and equal
+/// thresholds compile to identical programs.
+pub fn canonicalize_sequence(passes: &[&'static str]) -> Vec<&'static str> {
+    let mut out: Vec<&'static str> = Vec::with_capacity(passes.len());
+    for &p in passes {
+        // One registry lookup per element (this runs per candidate in the
+        // search loop).
+        let entry = find_pass(p).unwrap_or_else(|| panic!("unknown pass `{p}`"));
+        if entry.noop {
+            continue;
+        }
+        let canon = entry.canonical_name();
+        if out.last() == Some(&canon) && entry.is_idempotent() {
+            continue;
+        }
+        out.push(canon);
+    }
+    out
 }
 
 fn random_candidate(rng: &mut StdRng, names: &[&'static str], max_depth: usize) -> Candidate {
@@ -145,14 +191,50 @@ fn crossover(rng: &mut StdRng, a: &Candidate, b: &Candidate, max_depth: usize) -
     }
 }
 
+/// Content-keyed fitness memo: candidates equal modulo canonicalization are
+/// evaluated once.
+struct MemoFitness<F> {
+    fitness: F,
+    cache: HashMap<(Vec<&'static str>, usize, usize), Option<u64>>,
+    hits: usize,
+}
+
+impl<F: FnMut(&Candidate) -> Option<u64>> MemoFitness<F> {
+    fn new(fitness: F) -> MemoFitness<F> {
+        MemoFitness {
+            fitness,
+            cache: HashMap::new(),
+            hits: 0,
+        }
+    }
+
+    fn eval(&mut self, c: &Candidate) -> Option<u64> {
+        let key = (
+            canonicalize_sequence(&c.passes),
+            c.inline_threshold,
+            c.unroll_threshold,
+        );
+        if let Some(v) = self.cache.get(&key) {
+            self.hits += 1;
+            return *v;
+        }
+        let v = (self.fitness)(c);
+        self.cache.insert(key, v);
+        v
+    }
+}
+
 /// Run the genetic search. `fitness` returns the cycle count for a candidate,
 /// or `None` when the candidate is invalid (e.g. broke correctness — which
 /// would be a real finding, like the paper's SP1 soundness bug, but must not
-/// win the race).
+/// win the race). `fitness` must be deterministic: duplicate candidates
+/// (modulo [`canonicalize_sequence`]) are served from a memo and never
+/// re-evaluated.
 pub fn autotune(
     config: &TunerConfig,
-    mut fitness: impl FnMut(&Candidate) -> Option<u64>,
+    fitness: impl FnMut(&Candidate) -> Option<u64>,
 ) -> TuneResult {
+    let mut fitness = MemoFitness::new(fitness);
     let names = pass_names();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut history = Vec::with_capacity(config.iterations);
@@ -190,7 +272,7 @@ pub fn autotune(
         population.push((a, None));
     }
     while population.len() < config.population {
-        population.push((random_candidate(&mut rng, &names, config.max_depth), None));
+        population.push((random_candidate(&mut rng, names, config.max_depth), None));
     }
     let mut best: Option<(Candidate, u64)> = None;
     let mut evals_left = config.iterations;
@@ -200,7 +282,7 @@ pub fn autotune(
         if evals_left == 0 {
             break;
         }
-        *f = fitness(c);
+        *f = fitness.eval(c);
         evaluated += 1;
         evals_left -= 1;
         if let Some(v) = *f {
@@ -232,9 +314,9 @@ pub fn autotune(
             p1.clone()
         };
         if rng.gen_bool(0.9) {
-            child = mutate(&mut rng, &child, &names, config.max_depth);
+            child = mutate(&mut rng, &child, names, config.max_depth);
         }
-        let f = fitness(&child);
+        let f = fitness.eval(&child);
         evaluated += 1;
         evals_left -= 1;
         if let Some(v) = f {
@@ -261,6 +343,7 @@ pub fn autotune(
         best_fitness,
         history,
         evaluated,
+        cache_hits: fitness.hits,
     }
 }
 
@@ -315,6 +398,87 @@ mod tests {
         let b = autotune(&cfg, f);
         assert_eq!(a.best, b.best);
         assert_eq!(a.best_fitness, b.best_fitness);
+    }
+
+    #[test]
+    fn canonicalization_normalizes_sequences() {
+        // Aliases resolve, no-ops drop, idempotent adjacent repeats collapse.
+        assert_eq!(
+            canonicalize_sequence(&[
+                "ipconstprop",
+                "loop-data-prefetch",
+                "dce",
+                "dce",
+                "slp-vectorizer",
+                "dce",
+                "instcombine",
+                "instcombine",
+                "strip-dead-prototypes",
+            ]),
+            vec!["ipsccp", "dce", "instcombine", "instcombine", "globaldce"],
+        );
+        // Non-adjacent repeats and non-idempotent repeats are kept: only
+        // rewrites that provably preserve the compiled output are applied.
+        assert_eq!(
+            canonicalize_sequence(&["mem2reg", "gvn", "mem2reg"]),
+            vec!["mem2reg", "gvn", "mem2reg"]
+        );
+        assert_eq!(
+            canonicalize_sequence(&["mem2reg", "mem2reg", "mem2reg"]),
+            vec!["mem2reg"]
+        );
+    }
+
+    /// Duplicate candidates (modulo canonicalization) must be served from
+    /// the memo: the user fitness function never sees them twice.
+    #[test]
+    fn memoization_skips_duplicate_candidates() {
+        use std::collections::HashSet;
+        let cfg = TunerConfig {
+            iterations: 200,
+            ..Default::default()
+        };
+        let mut invocations = 0usize;
+        let mut seen_keys: HashSet<(Vec<&'static str>, usize, usize)> = HashSet::new();
+        let r = autotune(&cfg, |c| {
+            invocations += 1;
+            assert!(
+                seen_keys.insert((
+                    canonicalize_sequence(&c.passes),
+                    c.inline_threshold,
+                    c.unroll_threshold
+                )),
+                "fitness saw the same canonical candidate twice"
+            );
+            Some(c.passes.len() as u64 * 100 + c.inline_threshold as u64 % 7)
+        });
+        assert_eq!(r.evaluated, 200);
+        assert_eq!(invocations + r.cache_hits, r.evaluated);
+        assert!(
+            r.cache_hits > 0,
+            "a 200-iteration seeded run must revisit at least one candidate"
+        );
+    }
+
+    /// Memoization must not change what the search finds.
+    #[test]
+    fn memoization_preserves_search_determinism() {
+        let cfg = TunerConfig {
+            iterations: 80,
+            seed: 11,
+            ..Default::default()
+        };
+        // A fitness that is a pure function of the canonical key (the
+        // documented contract).
+        let f = |c: &Candidate| {
+            let canon = canonicalize_sequence(&c.passes);
+            Some(canon.len() as u64 * 50 + c.unroll_threshold as u64 % 13)
+        };
+        let a = autotune(&cfg, f);
+        let b = autotune(&cfg, f);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.cache_hits, b.cache_hits);
     }
 
     #[test]

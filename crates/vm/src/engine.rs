@@ -6,7 +6,7 @@
 //! else takes a stepped path whose per-instruction accounting replicates the
 //! reference step interpreter bit for bit. Cycle counts, paging charges,
 //! segment splits, instruction mixes, journals, and error classes are
-//! guaranteed identical to [`crate::machine::Machine`] — the suite-wide
+//! guaranteed identical to `crate::machine::Machine` — the suite-wide
 //! differential harness (`tests/differential.rs`) enforces this across all
 //! 58 workloads × 5 profiles × both VM kinds.
 

@@ -15,7 +15,7 @@
 //! and dispatch runs block-at-a-time through a direct-indexed block cache.
 //! Blocks without memory or ecall instructions execute with batched
 //! cycle/segment accounting; everything stays bit-identical to the original
-//! decode-per-step interpreter ([`machine::Machine`]), which is kept behind
+//! decode-per-step interpreter (`machine::Machine`), which is kept behind
 //! the `reference` cargo feature (and `cfg(test)`) as the differential
 //! oracle. The engine reports the paper's cost components: **dynamic
 //! instruction count**, **paging cycles**, and **total cycles**, plus the

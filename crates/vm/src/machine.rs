@@ -1,11 +1,12 @@
 //! The **reference** zkVM step interpreter plus the execution-report types
 //! shared with the block-dispatch engine.
 //!
-//! [`Machine`] decodes on every step and accounts per instruction; it is the
+//! `Machine` decodes on every step and accounts per instruction; it is the
 //! original executor, kept as the differential oracle for
 //! [`crate::engine::Engine`] behind `cfg(test)` / the `reference` cargo
-//! feature. Production execution goes through the engine — [`run_program`]
-//! here delegates to it.
+//! feature. Production execution goes through the engine — `run_program`
+//! here delegates to it. (Code spans, not links: these items are compiled
+//! out of default-feature docs.)
 
 #[cfg(any(test, feature = "reference"))]
 use crate::ecalls::{self, MemIo};

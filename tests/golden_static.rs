@@ -1,0 +1,149 @@
+//! Golden static-instruction-count snapshots: per-workload post-`-O2` IR
+//! instruction counts and emitted RV32 code sizes, pinned in
+//! `tests/golden_static.json`.
+//!
+//! `golden_cycles.json` pins what the optimized programs *do*; this file pins
+//! what the pass pipeline *produces*, so silent pass-pipeline drift (a pass
+//! firing differently, a manager reordering, an invalidation bug making a
+//! pass miss work) fails loudly even when the dynamic cost happens to stay
+//! put. To regenerate after an intentional pipeline change:
+//!
+//! ```text
+//! ZKVMOPT_BLESS=1 cargo test --release --test golden_static -- --include-ignored
+//! ```
+//!
+//! and commit the updated JSON alongside the change that moved the numbers.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use zkvm_opt::study::{OptLevel, OptProfile};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden_static.json")
+}
+
+/// Per-workload `(IR instruction count, emitted code size)` after `-O2`.
+fn current_counts() -> Vec<(String, u64, u64)> {
+    let o2 = OptProfile::level(OptLevel::O2);
+    zkvm_opt::workloads::all()
+        .iter()
+        .map(|w| {
+            let mut m = zkvm_opt::lang::compile_guest(&w.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            o2.apply(&mut m);
+            let program = zkvm_opt::riscv::compile_module(&m, &o2.backend)
+                .unwrap_or_else(|e| panic!("{}: codegen: {e}", w.name));
+            (w.name.to_string(), m.size() as u64, program.len() as u64)
+        })
+        .collect()
+}
+
+fn render(rows: &[(String, u64, u64)]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"zkvmopt-golden-static-v1\",\n  \"profile\": \"-O2\",\n");
+    s.push_str("  \"workloads\": {\n");
+    for (i, (name, ir, code)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            s,
+            "    \"{name}\": {{ \"ir_insts\": {ir}, \"code_size\": {code} }}{comma}"
+        )
+        .expect("string write");
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Parse the subset of JSON `render` emits (one workload per line).
+fn parse(text: &str) -> BTreeMap<String, (u64, u64)> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('"') || !line.contains("ir_insts") {
+            continue;
+        }
+        let name = line
+            .trim_start_matches('"')
+            .split('"')
+            .next()
+            .expect("workload name")
+            .to_string();
+        let num_after = |key: &str| -> u64 {
+            let at = line.find(key).unwrap_or_else(|| panic!("missing {key}"));
+            line[at + key.len()..]
+                .trim_start_matches([':', ' ', '"'])
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .unwrap_or_else(|e| panic!("bad number for {name}/{key}: {e}"))
+        };
+        let counts = (num_after("\"ir_insts\""), num_after("\"code_size\""));
+        out.insert(name, counts);
+    }
+    out
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full-suite snapshot is release-only (CI: test-release)"
+)]
+fn golden_static_counts_are_stable() {
+    let rows = current_counts();
+    let path = golden_path();
+    if std::env::var("ZKVMOPT_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::write(&path, render(&rows)).expect("write golden file");
+        eprintln!("blessed {} workloads into {}", rows.len(), path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing {} ({e}); run with ZKVMOPT_BLESS=1 to generate",
+            path.display()
+        )
+    });
+    let golden = parse(&text);
+    assert_eq!(golden.len(), 58, "golden file must cover the full suite");
+    let mut drift = Vec::new();
+    for (name, ir, code) in &rows {
+        let Some(&(gi, gc)) = golden.get(name) else {
+            drift.push(format!("{name}: missing from golden file"));
+            continue;
+        };
+        if *ir != gi {
+            drift.push(format!("{name}: IR insts golden {gi}, got {ir}"));
+        }
+        if *code != gc {
+            drift.push(format!("{name}: code size golden {gc}, got {code}"));
+        }
+    }
+    assert!(
+        drift.is_empty(),
+        "static counts drifted from tests/golden_static.json — if intentional, \
+         rebless with ZKVMOPT_BLESS=1:\n  {}",
+        drift.join("\n  ")
+    );
+}
+
+/// The golden file itself must stay well-formed and round-trip through the
+/// renderer (guards hand edits). Runs in debug too — it executes nothing.
+#[test]
+fn golden_static_file_is_well_formed() {
+    let text = std::fs::read_to_string(golden_path()).expect("golden file exists");
+    let golden = parse(&text);
+    assert_eq!(golden.len(), 58);
+    for w in zkvm_opt::workloads::all() {
+        assert!(golden.contains_key(w.name), "{} missing", w.name);
+    }
+    let rows: Vec<(String, u64, u64)> = zkvm_opt::workloads::all()
+        .iter()
+        .map(|w| {
+            let (ir, code) = golden[w.name];
+            (w.name.to_string(), ir, code)
+        })
+        .collect();
+    assert_eq!(parse(&render(&rows)), golden, "render/parse round-trip");
+}
