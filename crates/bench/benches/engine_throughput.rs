@@ -17,12 +17,18 @@ fn geomean(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 
-/// Compile + pre-decode the whole suite at -O2 once.
+/// Compile + pre-decode the whole suite at -O2 once. CI smoke mode
+/// (`ZKVMOPT_BENCH_SMOKE=1`) uses the reduced representative set so the
+/// trajectory job stays fast.
 fn compile_suite() -> Vec<(&'static Workload, CompiledWorkload)> {
     let mut runner = SuiteRunner::new();
     let o2 = OptProfile::level(OptLevel::O2);
-    zkvmopt_workloads::all()
-        .iter()
+    let ws: Vec<&'static Workload> = if zkvmopt_bench::smoke() {
+        zkvmopt_bench::bench_workloads()
+    } else {
+        zkvmopt_workloads::all().iter().collect()
+    };
+    ws.into_iter()
         .map(|w| {
             let cw = runner
                 .compile(w, &o2)
@@ -64,7 +70,10 @@ fn report(suite: &[(&'static Workload, CompiledWorkload)]) {
             assert_eq!(new.exit_code, old.exit_code, "{} on {vm}", w.name);
         }
     }
-    println!("bit-identity: all 58 workloads x both VM kinds OK");
+    println!(
+        "bit-identity: all {} workloads x both VM kinds OK",
+        suite.len()
+    );
 
     // Per-workload wall-clock speedup (best of 3 per executor, RISC Zero).
     println!(
@@ -93,7 +102,14 @@ fn report(suite: &[(&'static Workload, CompiledWorkload)]) {
         speedups.push(speedup);
     }
     let g = geomean(&speedups);
-    println!("\ngeomean speedup over the 58-program suite at -O2: {g:.2}x");
+    println!(
+        "\ngeomean speedup over the {}-program suite at -O2: {g:.2}x",
+        suite.len()
+    );
+    zkvmopt_bench::trajectory::record(
+        "engine_throughput",
+        &[("geomean_speedup", g), ("workloads", suite.len() as f64)],
+    );
     // Wall-clock ratios are noisy on shared CI runners; CI sets
     // ZKVMOPT_SPEEDUP_ADVISORY=1 to report without gating (the bit-identity
     // checks above always gate), while local runs enforce the PR's bar.

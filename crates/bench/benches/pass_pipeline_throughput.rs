@@ -29,9 +29,15 @@ fn geomean(xs: &[f64]) -> f64 {
 }
 
 /// Lower every workload once; passes run on clones of these base modules.
+/// CI smoke mode (`ZKVMOPT_BENCH_SMOKE=1`) uses the reduced representative
+/// set so the trajectory job stays fast.
 fn lower_suite() -> Vec<(&'static Workload, Module)> {
-    zkvmopt_workloads::all()
-        .iter()
+    let ws: Vec<&'static Workload> = if zkvmopt_bench::smoke() {
+        zkvmopt_bench::bench_workloads()
+    } else {
+        zkvmopt_workloads::all().iter().collect()
+    };
+    ws.into_iter()
         .map(|w| {
             let m = zkvmopt_lang::compile_guest(&w.source)
                 .unwrap_or_else(|e| panic!("{}: {e}", w.name));
@@ -95,7 +101,10 @@ fn bit_identity_gate(suite: &[(&'static Workload, Module)]) {
             assert_eq!(lcycles, ccycles, "{} at {level:?}: cycles", w.name);
         }
     }
-    println!("bit-identity: 58 workloads x {{-O2, -O3}} x {{1, {REPEATS}}} runs OK");
+    println!(
+        "bit-identity: {} workloads x {{-O2, -O3}} x {{1, {REPEATS}}} runs OK",
+        suite.len()
+    );
 }
 
 fn report(suite: &[(&'static Workload, Module)]) {
@@ -139,7 +148,18 @@ fn report(suite: &[(&'static Workload, Module)]) {
         speedups.push(speedup);
     }
     let g = geomean(&speedups);
-    println!("\ngeomean speedup over the 58-program suite: {g:.2}x");
+    println!(
+        "\ngeomean speedup over the {}-program suite: {g:.2}x",
+        suite.len()
+    );
+    zkvmopt_bench::trajectory::record(
+        "pass_pipeline_throughput",
+        &[
+            ("geomean_speedup", g),
+            ("workloads", suite.len() as f64),
+            ("repeats", REPEATS as f64),
+        ],
+    );
     if std::env::var("ZKVMOPT_SPEEDUP_ADVISORY").is_ok_and(|v| v == "1") {
         if g < 1.5 {
             eprintln!("ADVISORY: geomean {g:.2}x below the 1.5x bar (noisy runner?)");

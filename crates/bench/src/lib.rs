@@ -11,6 +11,10 @@ use zkvmopt_core::{gain, Measurement, OptLevel, OptProfile, RunReport, SuiteRunn
 use zkvmopt_vm::VmKind;
 use zkvmopt_workloads::Workload;
 
+pub mod trajectory;
+
+pub use trajectory::smoke;
+
 /// One pass-impact observation: percent gains vs. baseline.
 #[derive(Debug, Clone)]
 pub struct Impact {

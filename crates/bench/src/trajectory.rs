@@ -1,0 +1,354 @@
+//! Bench-trajectory recording: a tiny machine-readable side channel for CI.
+//!
+//! The CI `bench-trajectory` job runs the throughput benches in smoke mode
+//! with `ZKVMOPT_BENCH_JSON=BENCH_<sha>.json`; each bench calls
+//! [`record`] with its headline metrics (geomean speedups, eval counts,
+//! cache hit rates) and the metrics from every bench in the job accumulate
+//! into one JSON document, uploaded as a workflow artifact. Diffing the
+//! artifacts of two commits gives the performance trajectory of the repo
+//! without re-running anything.
+//!
+//! The document is deliberately minimal — the workspace's `serde` is an
+//! offline marker-only shim, so the format is a hand-rolled subset of JSON
+//! (one nesting level, string keys, finite `f64` values, sorted keys):
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "benches": {
+//!     "engine_throughput": {
+//!       "geomean_speedup": 11.32,
+//!       "workloads": 58.0
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! [`record`] merges: it re-reads the target file, replaces this bench's
+//! entry, keeps everything else, and rewrites atomically. An unparseable
+//! existing file is reported and replaced, never panicked over.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Document schema version.
+pub const SCHEMA: u64 = 1;
+
+/// Whether the benches should run in reduced "smoke" scale
+/// (`ZKVMOPT_BENCH_SMOKE=1`) — CI sets this; local full runs don't.
+pub fn smoke() -> bool {
+    std::env::var("ZKVMOPT_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// One bench's flat metric map.
+pub type Metrics = BTreeMap<String, f64>;
+
+/// A whole trajectory document: bench name → metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trajectory {
+    /// Per-bench metrics, rendered in sorted order.
+    pub benches: BTreeMap<String, Metrics>,
+}
+
+impl Trajectory {
+    /// Render as canonical JSON (sorted keys, two-space indent, `\n` ends).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": 1,\n  \"benches\": {");
+        let mut first_bench = true;
+        for (bench, metrics) in &self.benches {
+            if !first_bench {
+                out.push(',');
+            }
+            first_bench = false;
+            out.push_str(&format!("\n    {}: {{", quote(bench)));
+            let mut first_metric = true;
+            for (k, v) in metrics {
+                if !first_metric {
+                    out.push(',');
+                }
+                first_metric = false;
+                out.push_str(&format!("\n      {}: {}", quote(k), number(*v)));
+            }
+            out.push_str("\n    }");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Parse a document previously produced by [`Trajectory::to_json`].
+    /// `None` on anything outside the subset (foreign tools, corruption).
+    pub fn from_json(text: &str) -> Option<Trajectory> {
+        let mut p = Parser {
+            s: text.as_bytes(),
+            i: 0,
+        };
+        p.expect(b'{')?;
+        let mut t = Trajectory::default();
+        let mut seen_schema = false;
+        loop {
+            let key = p.string()?;
+            p.expect(b':')?;
+            match key.as_str() {
+                "schema" => {
+                    if p.number()? != SCHEMA as f64 {
+                        return None;
+                    }
+                    seen_schema = true;
+                }
+                "benches" => {
+                    p.expect(b'{')?;
+                    if !p.try_expect(b'}') {
+                        loop {
+                            let bench = p.string()?;
+                            p.expect(b':')?;
+                            p.expect(b'{')?;
+                            let mut m = Metrics::new();
+                            if !p.try_expect(b'}') {
+                                loop {
+                                    let k = p.string()?;
+                                    p.expect(b':')?;
+                                    m.insert(k, p.number()?);
+                                    if !p.try_expect(b',') {
+                                        break;
+                                    }
+                                }
+                                p.expect(b'}')?;
+                            }
+                            t.benches.insert(bench, m);
+                            if !p.try_expect(b',') {
+                                break;
+                            }
+                        }
+                        p.expect(b'}')?;
+                    }
+                }
+                _ => return None,
+            }
+            if !p.try_expect(b',') {
+                break;
+            }
+        }
+        p.expect(b'}')?;
+        p.skip_ws();
+        if p.i != p.s.len() || !seen_schema {
+            return None;
+        }
+        Some(t)
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a finite `f64` as JSON (integers without a fraction; non-finite
+/// values clamp to 0, JSON has no NaN/Inf).
+fn number(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && (self.s[self.i] as char).is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Option<()> {
+        self.skip_ws();
+        if self.s.get(self.i) == Some(&b) {
+            self.i += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn try_expect(&mut self, b: u8) -> bool {
+        let save = self.i;
+        if self.expect(b).is_some() {
+            true
+        } else {
+            self.i = save;
+            false
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let &b = self.s.get(self.i)?;
+            self.i += 1;
+            match b {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let &e = self.s.get(self.i)?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'u' => {
+                            let hex = self.s.get(self.i..self.i + 4)?;
+                            self.i += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                b => out.push(b as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<f64> {
+        self.skip_ws();
+        let start = self.i;
+        while self
+            .s
+            .get(self.i)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()?
+            .parse()
+            .ok()
+    }
+}
+
+/// Merge `metrics` for bench `name` into the trajectory file named by the
+/// `ZKVMOPT_BENCH_JSON` env var (no-op when unset, so plain `cargo bench`
+/// stays side-effect free). Unparseable existing files are reported on
+/// stderr and replaced.
+pub fn record(name: &str, metrics: &[(&str, f64)]) {
+    let Ok(path) = std::env::var("ZKVMOPT_BENCH_JSON") else {
+        return;
+    };
+    record_at(Path::new(&path), name, metrics);
+}
+
+/// [`record`] against an explicit path (testable core).
+pub fn record_at(path: &Path, name: &str, metrics: &[(&str, f64)]) {
+    let mut t = match std::fs::read_to_string(path) {
+        Ok(text) => Trajectory::from_json(&text).unwrap_or_else(|| {
+            eprintln!(
+                "bench: replacing unparseable trajectory file {}",
+                path.display()
+            );
+            Trajectory::default()
+        }),
+        Err(_) => Trajectory::default(),
+    };
+    t.benches.insert(
+        name.to_string(),
+        metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+    );
+    let tmp = path.with_extension("json.tmp");
+    let write = std::fs::write(&tmp, t.to_json()).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = write {
+        eprintln!("bench: cannot write trajectory {}: {e}", path.display());
+    } else {
+        println!("trajectory: recorded {name} -> {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_parses_the_canonical_document() {
+        let mut t = Trajectory::default();
+        t.benches.insert(
+            "engine_throughput".into(),
+            [
+                ("geomean_speedup".into(), 11.32),
+                ("workloads".into(), 58.0),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        t.benches.insert("empty_bench".into(), Metrics::new());
+        let json = t.to_json();
+        assert!(json.starts_with("{\n  \"schema\": 1,\n  \"benches\": {"));
+        assert!(json.contains("\"geomean_speedup\": 11.32"));
+        assert!(json.contains("\"workloads\": 58"), "{json}");
+        assert_eq!(Trajectory::from_json(&json), Some(t));
+        // Empty documents round-trip too.
+        let empty = Trajectory::default();
+        assert_eq!(Trajectory::from_json(&empty.to_json()), Some(empty));
+    }
+
+    #[test]
+    fn rejects_foreign_or_corrupt_documents() {
+        for bad in [
+            "",
+            "{}",
+            "{\"schema\": 2, \"benches\": {}}",
+            "{\"schema\": 1, \"benches\": {}} trailing",
+            "{\"schema\": 1, \"benches\": {\"b\": {\"k\": \"string\"}}}",
+            "{\"schema\": 1, \"unknown\": {}}",
+            "not json at all",
+        ] {
+            assert_eq!(Trajectory::from_json(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn record_at_merges_across_benches_and_replaces_corruption() {
+        let dir = std::env::temp_dir().join(format!("zkvmopt-traj-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let _ = std::fs::remove_file(&path);
+
+        record_at(&path, "engine", &[("geomean_speedup", 2.5)]);
+        record_at(
+            &path,
+            "tuner",
+            &[("speedup", 3.0), ("cache_hit_rate", 0.75)],
+        );
+        // Re-recording a bench replaces only its own entry.
+        record_at(&path, "engine", &[("geomean_speedup", 2.75)]);
+
+        let t = Trajectory::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(t.benches.len(), 2);
+        assert_eq!(t.benches["engine"]["geomean_speedup"], 2.75);
+        assert_eq!(t.benches["tuner"]["cache_hit_rate"], 0.75);
+
+        // A corrupt file is replaced, not fatal.
+        std::fs::write(&path, "{{{{ nope").unwrap();
+        record_at(&path, "fresh", &[("v", 1.0)]);
+        let t = Trajectory::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(t.benches.len(), 1);
+        assert_eq!(t.benches["fresh"]["v"], 1.0);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,278 @@
+//! Thread-safe batched candidate evaluation — the autotuning service's
+//! fitness backend.
+//!
+//! The island-model tuner evaluates thousands of pass-sequence candidates
+//! across worker threads, and for a candidate the dominant cost is the
+//! *compile* (passes + codegen on a module clone), not the execution.
+//! [`SuiteRunner`]'s compiled-program cache is `&mut self` and would
+//! serialize those compiles behind a lock, so the service instead snapshots
+//! what it needs up front into a [`BatchEvaluator`]:
+//!
+//! - each workload's **lowered base module** (lexed/parsed/lowered exactly
+//!   once, shared read-only),
+//! - its [`stable_module_fingerprint`] (the persistent tune-database key),
+//! - a **baseline run** (journal + exit code + cycles) that every candidate
+//!   is differentially checked against — a candidate that changes observable
+//!   behaviour is a miscompile and evaluates to `None`, the same channel
+//!   through which the paper's autotuner surfaced a real SP1 soundness bug.
+//!
+//! Evaluation is then a pure `&self` function of the candidate: clone the
+//! module, apply the profile, codegen, pre-decode, execute. No shared
+//! mutable state, so any number of threads evaluate concurrently
+//! ([`BatchEvaluator::eval_batch`] fans a batch out itself; the tuner's
+//! workers call [`BatchEvaluator::eval`] directly). Construct one via
+//! [`SuiteRunner::batch_evaluator`], which reuses the runner's lowered-module
+//! cache and baseline machinery.
+
+use crate::{OptProfile, StudyError, SuiteRunner};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use zkvmopt_ir::{stable_module_fingerprint, Module};
+use zkvmopt_passes::PassConfig;
+use zkvmopt_vm::{DecodedProgram, Engine, ExecConfig, VmKind, VmProfile};
+use zkvmopt_workloads::Workload;
+
+/// One tunable workload snapshot: base module + baseline oracle.
+#[derive(Debug, Clone)]
+struct Entry {
+    name: &'static str,
+    module: Module,
+    inputs: Vec<i32>,
+    fingerprint: u64,
+    baseline_journal: Vec<i32>,
+    baseline_exit: i32,
+    baseline_cycles: u64,
+}
+
+/// One candidate evaluation request for [`BatchEvaluator::eval_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Index of the target workload (see [`BatchEvaluator::names`]).
+    pub workload: usize,
+    /// The candidate pass sequence.
+    pub passes: Vec<&'static str>,
+    /// The candidate's pass parameters.
+    pub config: PassConfig,
+}
+
+/// Immutable, `Sync` fitness oracle over a fixed set of workloads on one VM.
+#[derive(Debug, Clone)]
+pub struct BatchEvaluator {
+    entries: Vec<Entry>,
+    vm: VmKind,
+    max_cycles: u64,
+}
+
+impl SuiteRunner {
+    /// Build a [`BatchEvaluator`] for `workloads` on `vm`: lower each
+    /// workload once (through this runner's module cache), fingerprint the
+    /// base IR, and record the unoptimized baseline run each candidate will
+    /// be differentially checked against.
+    ///
+    /// # Errors
+    /// Returns [`StudyError`] if any workload fails to compile or its
+    /// baseline fails to execute.
+    pub fn batch_evaluator(
+        &mut self,
+        workloads: &[&'static Workload],
+        vm: VmKind,
+    ) -> Result<BatchEvaluator, StudyError> {
+        let max_cycles = self.max_cycles();
+        let mut entries = Vec::with_capacity(workloads.len());
+        for w in workloads {
+            let module = self.lower(w)?;
+            let fingerprint = stable_module_fingerprint(&module);
+            let (_, baseline) = self.measure(w, &OptProfile::baseline(), vm, false, None)?;
+            entries.push(Entry {
+                name: w.name,
+                module,
+                inputs: w.inputs.clone(),
+                fingerprint,
+                baseline_journal: baseline.exec.journal.clone(),
+                baseline_exit: baseline.exec.exit_code,
+                baseline_cycles: baseline.exec.total_cycles,
+            });
+        }
+        Ok(BatchEvaluator {
+            entries,
+            vm,
+            max_cycles,
+        })
+    }
+}
+
+impl BatchEvaluator {
+    /// Number of workloads.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the evaluator holds no workloads.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Workload names, in index order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// The VM kind candidates are evaluated on.
+    pub fn vm(&self) -> VmKind {
+        self.vm
+    }
+
+    /// Stable fingerprint of workload `widx`'s lowered base module — the
+    /// tune-database key for this program.
+    pub fn fingerprint(&self, widx: usize) -> u64 {
+        self.entries[widx].fingerprint
+    }
+
+    /// Baseline (unoptimized) cycle count of workload `widx`.
+    pub fn baseline_cycles(&self, widx: usize) -> u64 {
+        self.entries[widx].baseline_cycles
+    }
+
+    /// Evaluate one candidate on workload `widx`: cycles under the
+    /// candidate's pipeline, or `None` when the candidate fails to compile,
+    /// fails to run, or — the interesting case — **changes observable
+    /// behaviour** vs the baseline (journal or exit code). Deterministic and
+    /// `&self`: safe to call from any number of threads.
+    pub fn eval(&self, widx: usize, passes: &[&'static str], cfg: &PassConfig) -> Option<u64> {
+        let e = &self.entries[widx];
+        let profile = OptProfile::sequence("candidate", passes.to_vec(), cfg.clone());
+        let mut m = e.module.clone();
+        profile.apply(&mut m);
+        let program = zkvmopt_riscv::compile_module(&m, &profile.backend).ok()?;
+        let decoded = DecodedProgram::decode(&program);
+        let config = ExecConfig {
+            inputs: e.inputs.clone(),
+            max_cycles: self.max_cycles,
+        };
+        let exec = Engine::new(&decoded, VmProfile::for_kind(self.vm), config)
+            .run()
+            .ok()?;
+        if exec.journal != e.baseline_journal || exec.exit_code != e.baseline_exit {
+            return None; // miscompile: must never win the search
+        }
+        Some(exec.total_cycles)
+    }
+
+    /// Evaluate a batch of candidates across `threads` worker threads
+    /// (`0` = all available cores). Results come back in job order
+    /// regardless of scheduling, and equal `eval` job-for-job.
+    pub fn eval_batch(&self, jobs: &[BatchJob], threads: usize) -> Vec<Option<u64>> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let workers = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            threads
+        }
+        .min(jobs.len());
+        if workers <= 1 {
+            return jobs
+                .iter()
+                .map(|j| self.eval(j.workload, &j.passes, &j.config))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Vec<std::sync::Mutex<Option<u64>>> =
+            jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let j = &jobs[i];
+                    *results[i].lock().expect("result slot") =
+                        self.eval(j.workload, &j.passes, &j.config);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("slot"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn evaluator(names: &[&str]) -> BatchEvaluator {
+        let workloads: Vec<&'static Workload> = names
+            .iter()
+            .map(|n| zkvmopt_workloads::by_name(n).expect("suite workload"))
+            .collect();
+        SuiteRunner::new()
+            .batch_evaluator(&workloads, VmKind::RiscZero)
+            .expect("evaluator")
+    }
+
+    #[test]
+    fn eval_matches_the_suite_runner_pipeline() {
+        let ev = evaluator(&["loop-sum"]);
+        let w = zkvmopt_workloads::by_name("loop-sum").unwrap();
+        let mut runner = SuiteRunner::new();
+        for seq in [&["mem2reg", "gvn"][..], &["mem2reg", "licm", "dce"][..]] {
+            let cfg = PassConfig::default();
+            let got = ev.eval(0, seq, &cfg).expect("valid candidate");
+            let profile = OptProfile::sequence("candidate", seq.to_vec(), cfg);
+            let (m, _) = runner
+                .measure(w, &profile, VmKind::RiscZero, false, None)
+                .unwrap();
+            assert_eq!(got, m.cycles, "{seq:?}");
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_per_program() {
+        let a = evaluator(&["loop-sum", "fibonacci"]);
+        let b = evaluator(&["loop-sum"]);
+        assert_eq!(a.fingerprint(0), b.fingerprint(0), "same source, same fp");
+        assert_ne!(a.fingerprint(0), a.fingerprint(1));
+        assert_eq!(a.names(), vec!["loop-sum", "fibonacci"]);
+        assert!(a.baseline_cycles(0) > 0);
+    }
+
+    #[test]
+    fn eval_batch_matches_serial_eval_in_job_order() {
+        let ev = evaluator(&["loop-sum", "fibonacci"]);
+        let seqs: [&[&'static str]; 3] = [&["mem2reg"], &["mem2reg", "gvn"], &["dce"]];
+        let mut jobs = Vec::new();
+        for w in 0..ev.len() {
+            for seq in seqs {
+                jobs.push(BatchJob {
+                    workload: w,
+                    passes: seq.to_vec(),
+                    config: PassConfig::default(),
+                });
+            }
+        }
+        let parallel = ev.eval_batch(&jobs, 4);
+        let serial = ev.eval_batch(&jobs, 1);
+        assert_eq!(parallel, serial);
+        for (j, r) in jobs.iter().zip(&serial) {
+            assert_eq!(*r, ev.eval(j.workload, &j.passes, &j.config));
+        }
+    }
+
+    /// An evaluator whose baseline cannot even execute must fail at
+    /// construction instead of producing an oracle-less fitness function,
+    /// and a candidate that exhausts the cycle budget evaluates to `None`.
+    #[test]
+    fn broken_baselines_and_budget_exhaustion_are_contained() {
+        let w = zkvmopt_workloads::by_name("loop-sum").unwrap();
+        let mut runner = SuiteRunner::new().with_max_cycles(10);
+        assert!(runner.batch_evaluator(&[w], VmKind::Sp1).is_err());
+        let ev = evaluator(&["loop-sum"]);
+        assert!(ev
+            .eval(0, &["mem2reg", "simplifycfg"], &PassConfig::default())
+            .is_some());
+        assert!(ev.eval(0, &[], &PassConfig::default()).is_some());
+    }
+}

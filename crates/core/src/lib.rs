@@ -31,8 +31,10 @@ use zkvmopt_vm::{DecodedProgram, Engine, ExecConfig, ExecutionReport, VmKind, Vm
 use zkvmopt_workloads::Workload;
 use zkvmopt_x86sim::{run_x86, X86Model, X86Report};
 
+pub mod batch;
 pub mod suite;
 
+pub use batch::{BatchEvaluator, BatchJob};
 pub use suite::{MatrixCell, SuiteRunner};
 pub use zkvmopt_passes::OptLevel;
 

@@ -115,6 +115,29 @@ impl SuiteRunner {
         self.compiled.len()
     }
 
+    /// The configured guest cycle budget.
+    pub fn max_cycles(&self) -> u64 {
+        self.max_cycles
+    }
+
+    /// Lower `w`'s source to its base (unoptimized) module, through the
+    /// runner's lowered-module cache — one lex/parse/lower per workload no
+    /// matter how many profiles or candidates run it.
+    ///
+    /// # Errors
+    /// Returns [`StudyError::Compile`] on frontend failures.
+    pub fn lower(&mut self, w: &Workload) -> Result<Module, StudyError> {
+        let (name, src) = workload_key(w);
+        match self.modules.entry((name, src)) {
+            std::collections::hash_map::Entry::Occupied(e) => Ok(e.get().clone()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let m = zkvmopt_lang::compile_guest(&w.source)
+                    .map_err(|e| StudyError::Compile(e.to_string()))?;
+                Ok(e.insert(m).clone())
+            }
+        }
+    }
+
     /// Compile (or fetch from cache) `w` under `profile`.
     ///
     /// # Errors
@@ -127,14 +150,7 @@ impl SuiteRunner {
         let (name, src) = workload_key(w);
         let key = (name, src, profile.cache_key());
         if !self.compiled.contains_key(&key) {
-            let mut m = match self.modules.entry((name, src)) {
-                std::collections::hash_map::Entry::Occupied(e) => e.get().clone(),
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    let m = zkvmopt_lang::compile_guest(&w.source)
-                        .map_err(|e| StudyError::Compile(e.to_string()))?;
-                    e.insert(m).clone()
-                }
-            };
+            let mut m = self.lower(w)?;
             profile.apply(&mut m);
             let program = zkvmopt_riscv::compile_module(&m, &profile.backend)
                 .map_err(|e| StudyError::Codegen(e.to_string()))?;

@@ -155,6 +155,58 @@ pub fn content_fingerprint(f: &Function) -> u64 {
     h.finish()
 }
 
+/// Stable FNV-1a fingerprint of a whole module's canonical textual form.
+///
+/// Unlike [`content_fingerprint`] (which hashes with [`DefaultHasher`] and is
+/// only meaningful within one process), this fingerprint is **stable across
+/// processes, platforms, and Rust versions**: it hashes the printed IR
+/// ([`crate::print::module_to_string`]), whose format the golden snapshots
+/// already pin down. It is the key the persistent tune database uses to
+/// recognize a program across runs — two sources that lower to the same IR
+/// warm-start from each other's tuning results.
+///
+/// [`DefaultHasher`]: std::collections::hash_map::DefaultHasher
+pub fn stable_module_fingerprint(m: &crate::func::Module) -> u64 {
+    stable_fingerprint_bytes(crate::print::module_to_string(m).as_bytes())
+}
+
+/// FNV-1a over raw bytes — the primitive under
+/// [`stable_module_fingerprint`], exposed so callers can fingerprint other
+/// stable serializations (e.g. source text) with the same function.
+pub fn stable_fingerprint_bytes(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Serialize a fingerprint as the fixed-width lowercase hex the tune
+/// database stores (`16` nibbles, zero-padded).
+///
+/// ```
+/// use zkvmopt_ir::analysis::{fingerprint_from_hex, fingerprint_to_hex};
+/// let fp = 0x00ab_cdef_0123_4567;
+/// assert_eq!(fingerprint_to_hex(fp), "00abcdef01234567");
+/// assert_eq!(fingerprint_from_hex(&fingerprint_to_hex(fp)), Some(fp));
+/// ```
+pub fn fingerprint_to_hex(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+/// Parse a fingerprint serialized by [`fingerprint_to_hex`]. Returns `None`
+/// for anything but exactly 16 lowercase hex digits, so a truncated or
+/// hand-edited database line is rejected rather than misread.
+pub fn fingerprint_from_hex(s: &str) -> Option<u64> {
+    if s.len() != 16 || !s.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
 /// Lazily computed, invalidation-aware per-function analyses.
 ///
 /// See the [module docs](self) for the validity contract. All getters return
@@ -385,6 +437,35 @@ mod tests {
         assert!(pa.preserves(AnalysisKind::DomTree));
         assert!(!pa.preserves(AnalysisKind::Loops));
         assert!(PreservedAnalyses::all().preserves(AnalysisKind::Loops));
+    }
+
+    #[test]
+    fn stable_fingerprint_is_content_keyed_and_hex_round_trips() {
+        let mut m = crate::func::Module::new();
+        m.add_func(diamond());
+        let fp = stable_module_fingerprint(&m);
+        let mut m2 = crate::func::Module::new();
+        m2.add_func(diamond());
+        assert_eq!(
+            fp,
+            stable_module_fingerprint(&m2),
+            "equal content, equal fp"
+        );
+        // Any content edit moves the fingerprint.
+        m2.funcs[0].blocks[1].term = Term::Br(BlockId(2));
+        assert_ne!(fp, stable_module_fingerprint(&m2));
+        // Hex serialization round-trips and rejects malformed inputs.
+        assert_eq!(fingerprint_from_hex(&fingerprint_to_hex(fp)), Some(fp));
+        assert_eq!(fingerprint_from_hex(&fingerprint_to_hex(0)), Some(0));
+        for bad in [
+            "",
+            "abc",
+            "00abcdef0123456",
+            "00ABCDEF01234567",
+            "g0abcdef01234567",
+        ] {
+            assert_eq!(fingerprint_from_hex(bad), None, "{bad:?}");
+        }
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod print;
 pub mod ty;
 pub mod verify;
 
-pub use analysis::{AnalysisCache, AnalysisKind, PreservedAnalyses};
+pub use analysis::{stable_module_fingerprint, AnalysisCache, AnalysisKind, PreservedAnalyses};
 pub use builder::FunctionBuilder;
 pub use func::{
     BlockData, BlockId, FuncId, Function, Global, GlobalId, Module, ValueData, ValueDef, ValueId,

@@ -1,0 +1,224 @@
+//! The concurrent sharded fitness cache.
+//!
+//! Generalizes the sequential tuner's per-run fitness memo into a
+//! `DashMap`-style sharded map shared by **every island of every workload**
+//! in a service run: keys carry the workload's stable IR fingerprint, so one
+//! map serves the whole suite, and lock contention is spread over
+//! fingerprint-hashed shards instead of one global mutex. Islands searching
+//! the same workload (and duplicate programs across workloads with equal
+//! fingerprints) therefore never pay for the same candidate twice.
+//!
+//! Concurrency contract: fitness is deterministic (cycle counts are), so a
+//! benign race — two threads missing on the same key and both evaluating —
+//! computes the same value twice and the second insert is a no-op. Search
+//! *results* can never depend on scheduling; only the hit/miss counters can
+//! wobble by the handful of racy duplicates, which is why the service
+//! reports them as throughput statistics, not as part of the deterministic
+//! outcome.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cache key: one candidate on one program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FitnessKey {
+    /// Stable fingerprint of the target's lowered base module
+    /// (`zkvmopt_ir::stable_module_fingerprint`).
+    pub fingerprint: u64,
+    /// The candidate's **canonical** pass sequence
+    /// ([`crate::canonicalize_sequence`]).
+    pub passes: Vec<&'static str>,
+    /// Inline threshold.
+    pub inline_threshold: usize,
+    /// Unroll threshold.
+    pub unroll_threshold: usize,
+}
+
+/// Number of shards: enough that 8–16 worker threads rarely collide, small
+/// enough that an empty cache stays cheap.
+const SHARDS: usize = 64;
+
+/// A sharded concurrent map from [`FitnessKey`] to measured fitness
+/// (`None` = the candidate was invalid: miscompile or failed run).
+#[derive(Debug)]
+pub struct ShardedFitnessCache {
+    shards: Vec<Mutex<HashMap<FitnessKey, Option<u64>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for ShardedFitnessCache {
+    fn default() -> ShardedFitnessCache {
+        ShardedFitnessCache::new()
+    }
+}
+
+impl ShardedFitnessCache {
+    /// An empty cache.
+    pub fn new() -> ShardedFitnessCache {
+        ShardedFitnessCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &FitnessKey) -> &Mutex<HashMap<FitnessKey, Option<u64>>> {
+        // FNV-1a over the key's fixed-width fields plus the canonical pass
+        // pointers' names; `Hash` for HashMap stays the std one.
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        mix(key.fingerprint);
+        mix(key.inline_threshold as u64);
+        mix(key.unroll_threshold as u64);
+        for p in &key.passes {
+            for b in p.bytes() {
+                mix(b as u64);
+            }
+            mix(u64::MAX);
+        }
+        &self.shards[(h % SHARDS as u64) as usize]
+    }
+
+    /// Look `key` up, counting a hit or miss.
+    pub fn get(&self, key: &FitnessKey) -> Option<Option<u64>> {
+        let found = self
+            .shard(key)
+            .lock()
+            .expect("cache shard")
+            .get(key)
+            .copied();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Record `value` for `key`. First write wins on the benign
+    /// evaluate-twice race (both writers hold the same deterministic value).
+    pub fn insert(&self, key: FitnessKey, value: Option<u64>) {
+        self.shard(&key)
+            .lock()
+            .expect("cache shard")
+            .entry(key)
+            .or_insert(value);
+    }
+
+    /// Cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").len())
+            .sum()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Hit rate in `[0, 1]` (`0` before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = self.stats();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(fp: u64, passes: &[&'static str], inline: usize, unroll: usize) -> FitnessKey {
+        FitnessKey {
+            fingerprint: fp,
+            passes: passes.to_vec(),
+            inline_threshold: inline,
+            unroll_threshold: unroll,
+        }
+    }
+
+    #[test]
+    fn get_insert_round_trip_with_counters() {
+        let c = ShardedFitnessCache::new();
+        let k = key(7, &["mem2reg", "gvn"], 225, 200);
+        assert_eq!(c.get(&k), None);
+        c.insert(k.clone(), Some(1234));
+        assert_eq!(c.get(&k), Some(Some(1234)));
+        // Invalid candidates cache too (None fitness is a result).
+        let bad = key(7, &["licm"], 0, 0);
+        assert_eq!(c.get(&bad), None);
+        c.insert(bad.clone(), None);
+        assert_eq!(c.get(&bad), Some(None));
+        assert_eq!(c.stats(), (2, 2));
+        assert_eq!(c.len(), 2);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn keys_distinguish_workload_sequence_and_thresholds() {
+        let c = ShardedFitnessCache::new();
+        c.insert(key(1, &["dce"], 10, 20), Some(1));
+        assert_eq!(c.get(&key(2, &["dce"], 10, 20)), None, "fingerprint");
+        assert_eq!(c.get(&key(1, &["gvn"], 10, 20)), None, "sequence");
+        assert_eq!(c.get(&key(1, &["dce"], 11, 20)), None, "inline");
+        assert_eq!(c.get(&key(1, &["dce"], 10, 21)), None, "unroll");
+        assert_eq!(c.get(&key(1, &["dce"], 10, 20)), Some(Some(1)));
+    }
+
+    #[test]
+    fn first_insert_wins_and_concurrent_use_is_safe() {
+        let c = ShardedFitnessCache::new();
+        let k = key(3, &["sccp"], 1, 2);
+        c.insert(k.clone(), Some(10));
+        c.insert(k.clone(), Some(99)); // racy duplicate: ignored
+        assert_eq!(c.get(&k), Some(Some(10)));
+
+        let shared = ShardedFitnessCache::new();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let shared = &shared;
+                s.spawn(move || {
+                    for i in 0..256u64 {
+                        let k = key(i % 32, &["mem2reg"], (t % 2) as usize, i as usize % 8);
+                        if shared.get(&k).is_none() {
+                            shared.insert(k, Some(i % 32));
+                        }
+                    }
+                });
+            }
+        });
+        // Every key maps to the deterministic value regardless of which
+        // thread inserted it.
+        for i in 0..32u64 {
+            for inline in 0..2usize {
+                for unroll in 0..8usize {
+                    if let Some(v) = shared.get(&key(i, &["mem2reg"], inline, unroll)) {
+                        assert_eq!(v, Some(i));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! The persistent tune database: best-known pass sequences, on disk.
+//!
+//! Autotuning-as-a-service re-sees the same programs constantly (repeated
+//! studies, repeated user submissions), and a genetic search costs thousands
+//! of fitness evaluations per program. [`TuneDb`] amortizes that: a small
+//! on-disk, versioned store keyed by the program's **stable IR fingerprint**
+//! (`zkvmopt_ir::stable_module_fingerprint`), mapping fingerprint → the
+//! best-known canonical pass sequence, its tuned thresholds, and the cycle
+//! count it measured. A service run with a warm database skips the search
+//! for every already-known program outright — zero fitness evaluations —
+//! and cold programs' results are recorded for the next run.
+//!
+//! ## File format (schema version 1)
+//!
+//! A line-oriented UTF-8 text file, one header plus one line per program:
+//!
+//! ```text
+//! zkvmopt-tunedb 1
+//! <fp:16-hex> <cycles> <inline> <unroll> <pass,pass,...|->
+//! ```
+//!
+//! The sequence field is the comma-joined canonical pass list, or `-` for
+//! the empty sequence (a program whose best-known pipeline is "run nothing").
+//!
+//! ## Failure policy
+//!
+//! Loading **never panics** and never fails the caller:
+//! - a missing file is a fresh, empty database;
+//! - a bad header or schema-version mismatch rejects the whole file (the
+//!   format may have changed incompatibly) and starts empty;
+//! - a corrupt *line* (truncated write, hand edit) is logged and dropped
+//!   while every well-formed line is kept.
+//!
+//! The outcome is reported in [`TuneDb::load_status`] so tests (and
+//! operators) can tell recovery from a clean load. Writes go through a
+//! temp-file + rename so a crash mid-save can truncate at most the temp
+//! file, never the database itself. Refreshing stored entries after a
+//! cost-model change follows the golden-snapshot workflow: delete the file
+//! (or run with `warm_start` off) and let the next service run re-record —
+//! the `ZKVMOPT_BLESS`-style "re-measure and overwrite" flow.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Current on-disk schema version. Bump on any incompatible format change.
+pub const SCHEMA_VERSION: u32 = 1;
+
+const MAGIC: &str = "zkvmopt-tunedb";
+
+/// One stored result: the best-known tuning outcome for one program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TuneDbEntry {
+    /// Stable fingerprint of the program's lowered base module.
+    pub fingerprint: u64,
+    /// Best-known canonical pass sequence.
+    pub passes: Vec<String>,
+    /// Tuned inline threshold.
+    pub inline_threshold: usize,
+    /// Tuned unroll threshold.
+    pub unroll_threshold: usize,
+    /// Measured cycle count under that pipeline.
+    pub cycles: u64,
+}
+
+/// How the last [`TuneDb::open`] went.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadStatus {
+    /// No file existed: fresh, empty database.
+    Fresh,
+    /// Every line parsed.
+    Loaded {
+        /// Entries read.
+        entries: usize,
+    },
+    /// The file was rejected or partially salvaged; searching rebuilds it.
+    Recovered {
+        /// Well-formed entries kept.
+        kept: usize,
+        /// Malformed lines dropped.
+        dropped: usize,
+        /// Human-readable cause (logged to stderr at load time).
+        reason: String,
+    },
+}
+
+impl fmt::Display for LoadStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadStatus::Fresh => write!(f, "fresh (no file)"),
+            LoadStatus::Loaded { entries } => write!(f, "loaded {entries} entries"),
+            LoadStatus::Recovered {
+                kept,
+                dropped,
+                reason,
+            } => write!(f, "recovered (kept {kept}, dropped {dropped}): {reason}"),
+        }
+    }
+}
+
+/// The persistent fingerprint → best-sequence store.
+#[derive(Debug)]
+pub struct TuneDb {
+    path: PathBuf,
+    entries: BTreeMap<u64, TuneDbEntry>,
+    load_status: LoadStatus,
+}
+
+impl TuneDb {
+    /// Open (or create in memory) the database at `path`. Never fails and
+    /// never panics: see the module docs for the recovery policy.
+    pub fn open(path: impl Into<PathBuf>) -> TuneDb {
+        let path = path.into();
+        let (entries, load_status) = match std::fs::read_to_string(&path) {
+            Err(_) => (BTreeMap::new(), LoadStatus::Fresh),
+            Ok(text) => match parse(&text) {
+                Ok(entries) => {
+                    let n = entries.len();
+                    (entries, LoadStatus::Loaded { entries: n })
+                }
+                Err((kept, dropped, reason)) => {
+                    eprintln!(
+                        "tuner: tune database {} is damaged ({reason}); \
+                         kept {} entries, dropped {dropped} — rebuilding as we search",
+                        path.display(),
+                        kept.len(),
+                    );
+                    let n = kept.len();
+                    (
+                        kept,
+                        LoadStatus::Recovered {
+                            kept: n,
+                            dropped,
+                            reason,
+                        },
+                    )
+                }
+            },
+        };
+        TuneDb {
+            path,
+            entries,
+            load_status,
+        }
+    }
+
+    /// An in-memory database never backed by a file (tests, dry runs);
+    /// [`TuneDb::save`] writes to the given path only when one was opened.
+    pub fn in_memory() -> TuneDb {
+        TuneDb {
+            path: PathBuf::new(),
+            entries: BTreeMap::new(),
+            load_status: LoadStatus::Fresh,
+        }
+    }
+
+    /// How the backing file loaded.
+    pub fn load_status(&self) -> &LoadStatus {
+        &self.load_status
+    }
+
+    /// The backing file path (empty for [`TuneDb::in_memory`]).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of stored programs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored best for `fingerprint`, if any.
+    pub fn get(&self, fingerprint: u64) -> Option<&TuneDbEntry> {
+        self.entries.get(&fingerprint)
+    }
+
+    /// All entries in fingerprint order.
+    pub fn iter(&self) -> impl Iterator<Item = &TuneDbEntry> {
+        self.entries.values()
+    }
+
+    /// Record `entry`, keeping whichever of (stored, new) measured fewer
+    /// cycles — ties keep the stored entry, so repeated equal-seed runs are
+    /// idempotent. Returns `true` when the database changed.
+    pub fn record(&mut self, entry: TuneDbEntry) -> bool {
+        match self.entries.get(&entry.fingerprint) {
+            Some(old) if old.cycles <= entry.cycles => false,
+            _ => {
+                self.entries.insert(entry.fingerprint, entry);
+                true
+            }
+        }
+    }
+
+    /// Remove the entry for `fingerprint` (the per-program bless/refresh
+    /// path: drop, re-search, re-record). Returns the removed entry.
+    pub fn remove(&mut self, fingerprint: u64) -> Option<TuneDbEntry> {
+        self.entries.remove(&fingerprint)
+    }
+
+    /// Serialize to the schema-versioned text format.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = format!("{MAGIC} {SCHEMA_VERSION}\n");
+        for e in self.entries.values() {
+            let seq = if e.passes.is_empty() {
+                "-".to_string()
+            } else {
+                e.passes.join(",")
+            };
+            out.push_str(&format!(
+                "{} {} {} {} {seq}\n",
+                zkvmopt_ir::analysis::fingerprint_to_hex(e.fingerprint),
+                e.cycles,
+                e.inline_threshold,
+                e.unroll_threshold,
+            ));
+        }
+        out
+    }
+
+    /// Atomically persist to the opened path (temp file + rename). A
+    /// [`TuneDb::in_memory`] database saves nowhere and returns `Ok`.
+    ///
+    /// # Errors
+    /// Returns the underlying I/O error when the file cannot be written.
+    pub fn save(&self) -> std::io::Result<()> {
+        if self.path.as_os_str().is_empty() {
+            return Ok(());
+        }
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.to_string_pretty().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)
+    }
+}
+
+/// Parse the full file. `Ok` when every line parsed; `Err((salvaged,
+/// dropped, reason))` otherwise — a bad header salvages nothing.
+#[allow(clippy::type_complexity)]
+fn parse(
+    text: &str,
+) -> Result<BTreeMap<u64, TuneDbEntry>, (BTreeMap<u64, TuneDbEntry>, usize, String)> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(header) => {
+            let mut parts = header.split_ascii_whitespace();
+            match (
+                parts.next(),
+                parts.next().and_then(|v| v.parse::<u32>().ok()),
+            ) {
+                (Some(MAGIC), Some(SCHEMA_VERSION)) => {}
+                (Some(MAGIC), Some(v)) => {
+                    return Err((
+                        BTreeMap::new(),
+                        text.lines().count().saturating_sub(1),
+                        format!("schema version {v} != supported {SCHEMA_VERSION}"),
+                    ));
+                }
+                _ => {
+                    return Err((
+                        BTreeMap::new(),
+                        text.lines().count().saturating_sub(1),
+                        format!("bad header {header:?}"),
+                    ));
+                }
+            }
+        }
+        None => {
+            return Err((BTreeMap::new(), 0, "empty file".to_string()));
+        }
+    }
+    let mut entries = BTreeMap::new();
+    let mut dropped = 0usize;
+    let mut first_error = None;
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Some(e) => {
+                entries.insert(e.fingerprint, e);
+            }
+            None => {
+                dropped += 1;
+                first_error.get_or_insert_with(|| format!("malformed line {}", i + 2));
+            }
+        }
+    }
+    match first_error {
+        None => Ok(entries),
+        Some(reason) => Err((entries, dropped, reason)),
+    }
+}
+
+fn parse_line(line: &str) -> Option<TuneDbEntry> {
+    let mut parts = line.split_ascii_whitespace();
+    let fingerprint = zkvmopt_ir::analysis::fingerprint_from_hex(parts.next()?)?;
+    let cycles = parts.next()?.parse().ok()?;
+    let inline_threshold = parts.next()?.parse().ok()?;
+    let unroll_threshold = parts.next()?.parse().ok()?;
+    let seq = parts.next()?;
+    if parts.next().is_some() {
+        return None; // trailing junk: reject rather than misread
+    }
+    let passes = if seq == "-" {
+        Vec::new()
+    } else {
+        let ps: Vec<String> = seq.split(',').map(str::to_string).collect();
+        if ps.iter().any(String::is_empty) {
+            return None;
+        }
+        ps
+    };
+    Some(TuneDbEntry {
+        fingerprint,
+        passes,
+        inline_threshold,
+        unroll_threshold,
+        cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(fp: u64, cycles: u64, passes: &[&str]) -> TuneDbEntry {
+        TuneDbEntry {
+            fingerprint: fp,
+            passes: passes.iter().map(|s| s.to_string()).collect(),
+            inline_threshold: 225,
+            unroll_threshold: 200,
+            cycles,
+        }
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("zkvmopt-tunedb-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("tune.db");
+        let mut db = TuneDb::open(&path);
+        assert_eq!(*db.load_status(), LoadStatus::Fresh);
+        assert!(db.record(entry(0xA, 500, &["mem2reg", "gvn"])));
+        assert!(db.record(entry(0xB, 900, &[])));
+        db.save().unwrap();
+
+        let re = TuneDb::open(&path);
+        assert_eq!(*re.load_status(), LoadStatus::Loaded { entries: 2 });
+        assert_eq!(re.get(0xA), db.get(0xA));
+        assert_eq!(re.get(0xB), db.get(0xB));
+        assert_eq!(re.get(0xB).unwrap().passes, Vec::<String>::new());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn record_keeps_the_best_and_is_idempotent() {
+        let mut db = TuneDb::in_memory();
+        assert!(db.record(entry(1, 1000, &["dce"])));
+        assert!(!db.record(entry(1, 1000, &["gvn"])), "tie keeps stored");
+        assert_eq!(db.get(1).unwrap().passes, vec!["dce"]);
+        assert!(!db.record(entry(1, 2000, &["gvn"])), "worse is rejected");
+        assert!(db.record(entry(1, 900, &["gvn"])), "better replaces");
+        assert_eq!(db.get(1).unwrap().cycles, 900);
+        assert!(db.remove(1).is_some());
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn schema_version_mismatch_rejects_the_file() {
+        let dir = tmpdir("version");
+        let path = dir.join("tune.db");
+        std::fs::write(
+            &path,
+            format!(
+                "{MAGIC} {}\n{} 500 225 200 mem2reg\n",
+                SCHEMA_VERSION + 1,
+                zkvmopt_ir::analysis::fingerprint_to_hex(0xA)
+            ),
+        )
+        .unwrap();
+        let db = TuneDb::open(&path);
+        assert!(db.is_empty(), "future-versioned entries must not load");
+        match db.load_status() {
+            LoadStatus::Recovered {
+                kept: 0,
+                dropped: 1,
+                reason,
+            } => {
+                assert!(reason.contains("schema version"), "{reason}");
+            }
+            other => panic!("expected recovery, got {other:?}"),
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_lines_are_dropped_and_valid_lines_salvaged() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("tune.db");
+        let good = format!(
+            "{} 500 225 200 mem2reg,gvn",
+            zkvmopt_ir::analysis::fingerprint_to_hex(0xA)
+        );
+        // A truncated second record (crash mid-write) plus trailing junk.
+        std::fs::write(
+            &path,
+            format!("{MAGIC} {SCHEMA_VERSION}\n{good}\n00abcdef012 77\nnot a line at all\n"),
+        )
+        .unwrap();
+        let db = TuneDb::open(&path);
+        assert_eq!(db.len(), 1, "the well-formed line survives");
+        assert_eq!(db.get(0xA).unwrap().passes, vec!["mem2reg", "gvn"]);
+        match db.load_status() {
+            LoadStatus::Recovered {
+                kept: 1,
+                dropped: 2,
+                ..
+            } => {}
+            other => panic!("expected recovery, got {other:?}"),
+        }
+        // Saving heals the file.
+        db.save().unwrap();
+        let healed = TuneDb::open(&path);
+        assert_eq!(*healed.load_status(), LoadStatus::Loaded { entries: 1 });
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_and_empty_files_recover_to_empty() {
+        let dir = tmpdir("garbage");
+        for (name, content) in [
+            ("binary", "\u{0}\u{1}\u{2}garbage"),
+            ("empty", ""),
+            ("wrong-magic", "sqlite3 1\n"),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, content).unwrap();
+            let db = TuneDb::open(&path);
+            assert!(db.is_empty(), "{name}");
+            assert!(
+                matches!(db.load_status(), LoadStatus::Recovered { .. }),
+                "{name}: {:?}",
+                db.load_status()
+            );
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn trailing_junk_on_a_line_is_rejected() {
+        let hex = zkvmopt_ir::analysis::fingerprint_to_hex(0xA);
+        assert!(parse_line(&format!("{hex} 500 225 200 mem2reg")).is_some());
+        assert!(parse_line(&format!("{hex} 500 225 200 mem2reg extra")).is_none());
+        assert!(parse_line(&format!("{hex} 500 225 200 mem2reg,,gvn")).is_none());
+        assert!(parse_line(&format!("{hex} 500 225 200 -")).is_some());
+        assert!(parse_line(&format!("{hex} 500 225")).is_none());
+    }
+}

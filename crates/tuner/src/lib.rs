@@ -26,6 +26,16 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use zkvmopt_passes::{find_pass, pass_names, PassConfig};
 
+pub mod cache;
+pub mod db;
+pub mod rng;
+pub mod service;
+
+pub use cache::{FitnessKey, ShardedFitnessCache};
+pub use db::{LoadStatus, TuneDb, TuneDbEntry, SCHEMA_VERSION};
+pub use rng::{seed_from_env, SeedTree};
+pub use service::{tune_suite, ServiceConfig, ServiceReport, TuneTarget, WorkloadTuneReport};
+
 /// One tuning candidate: a pass sequence plus parameter values.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Candidate {
@@ -50,12 +60,49 @@ impl Candidate {
     /// One random candidate from the tuner's generator (the same
     /// distribution `autotune` seeds its population with): a pass sequence
     /// of depth 1..=`max_depth` drawn uniformly from the registry, plus
-    /// random threshold parameters. Deterministic in `seed` — this is the
+    /// random threshold parameters. Deterministic in `seed`, drawn through
+    /// the service's splittable [`SeedTree`] (stream `(0, 0)`) so callers
+    /// and the parallel tuner share one seeding discipline — this is the
     /// entry point the property-based pass tests sample sequences from.
     pub fn random(seed: u64, max_depth: usize) -> Candidate {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SeedTree::new(seed).rng(0, 0);
         random_candidate(&mut rng, pass_names(), max_depth)
     }
+}
+
+/// The known-good seed candidates every population starts from (`-O2`-style
+/// skeletons); shared by [`autotune`] and the parallel service's island 0.
+pub(crate) fn anchor_candidates(max_depth: usize) -> Vec<Candidate> {
+    let mut anchors = vec![
+        Candidate {
+            passes: vec![
+                "mem2reg",
+                "instcombine",
+                "simplifycfg",
+                "inline",
+                "gvn",
+                "dce",
+            ],
+            inline_threshold: 225,
+            unroll_threshold: 200,
+        },
+        Candidate {
+            passes: vec![
+                "mem2reg",
+                "inline",
+                "sroa",
+                "early-cse",
+                "sccp",
+                "simplifycfg",
+            ],
+            inline_threshold: 1000,
+            unroll_threshold: 400,
+        },
+    ];
+    for a in &mut anchors {
+        a.passes.truncate(max_depth.max(1));
+    }
+    anchors
 }
 
 /// Tuner configuration (paper: 160 iterations per benchmark, 1600 for the
@@ -127,7 +174,11 @@ pub fn canonicalize_sequence(passes: &[&'static str]) -> Vec<&'static str> {
     out
 }
 
-fn random_candidate(rng: &mut StdRng, names: &[&'static str], max_depth: usize) -> Candidate {
+pub(crate) fn random_candidate(
+    rng: &mut StdRng,
+    names: &[&'static str],
+    max_depth: usize,
+) -> Candidate {
     let depth = rng.gen_range(1..=max_depth);
     let passes = (0..depth)
         .map(|_| names[rng.gen_range(0..names.len())])
@@ -139,7 +190,12 @@ fn random_candidate(rng: &mut StdRng, names: &[&'static str], max_depth: usize) 
     }
 }
 
-fn mutate(rng: &mut StdRng, c: &Candidate, names: &[&'static str], max_depth: usize) -> Candidate {
+pub(crate) fn mutate(
+    rng: &mut StdRng,
+    c: &Candidate,
+    names: &[&'static str],
+    max_depth: usize,
+) -> Candidate {
     let mut n = c.clone();
     match rng.gen_range(0..5) {
         0 if n.passes.len() < max_depth => {
@@ -164,7 +220,12 @@ fn mutate(rng: &mut StdRng, c: &Candidate, names: &[&'static str], max_depth: us
     n
 }
 
-fn crossover(rng: &mut StdRng, a: &Candidate, b: &Candidate, max_depth: usize) -> Candidate {
+pub(crate) fn crossover(
+    rng: &mut StdRng,
+    a: &Candidate,
+    b: &Candidate,
+    max_depth: usize,
+) -> Candidate {
     let cut_a = rng.gen_range(0..=a.passes.len());
     let cut_b = rng.gen_range(0..=b.passes.len());
     let mut passes: Vec<&'static str> = a.passes[..cut_a]
@@ -242,33 +303,7 @@ pub fn autotune(
 
     // Seed the population with random candidates plus known-good anchors.
     let mut population: Vec<(Candidate, Option<u64>)> = Vec::new();
-    let anchors: Vec<Candidate> = vec![
-        Candidate {
-            passes: vec![
-                "mem2reg",
-                "instcombine",
-                "simplifycfg",
-                "inline",
-                "gvn",
-                "dce",
-            ],
-            inline_threshold: 225,
-            unroll_threshold: 200,
-        },
-        Candidate {
-            passes: vec![
-                "mem2reg",
-                "inline",
-                "sroa",
-                "early-cse",
-                "sccp",
-                "simplifycfg",
-            ],
-            inline_threshold: 1000,
-            unroll_threshold: 400,
-        },
-    ];
-    for a in anchors {
+    for a in anchor_candidates(config.max_depth) {
         population.push((a, None));
     }
     while population.len() < config.population {

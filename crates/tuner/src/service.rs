@@ -1,0 +1,826 @@
+//! The parallel autotuning service: island-model search over many programs
+//! at once.
+//!
+//! The sequential [`autotune`](crate::autotune) loop tunes one program on
+//! one thread — fine for one study, hopeless for tuning-as-a-service. This
+//! module restructures the search the way GPU-scale combinatorial solvers
+//! do: as a large population of small, independent evolution steps that
+//! worker threads chew through concurrently.
+//!
+//! ## Shape
+//!
+//! - **Islands.** Each workload gets `islands` independent populations. An
+//!   island evolves alone (its own RNG stream, its own selection pressure)
+//!   and every `migration_interval` generations donates its elite to the
+//!   next island in the ring — classic island-model diversity with a
+//!   periodic exchange of winners.
+//! - **Work stealing.** Every `(workload, island, generation)` step is one
+//!   task in a shared ready queue; idle workers steal the next ready task
+//!   regardless of which workload it belongs to, so a slow program's islands
+//!   never leave threads idle while 57 other programs have work.
+//! - **Generation barriers per workload.** Islands of one workload advance
+//!   in lockstep (generation `g+1` is enqueued only when all of its islands
+//!   finished `g`); migration happens at the barrier, in island-index order.
+//!   Different workloads proceed completely independently.
+//! - **Sharded fitness cache.** All candidate evaluations go through one
+//!   [`ShardedFitnessCache`] keyed by `(program fingerprint, canonical
+//!   sequence, thresholds)`, shared across islands *and* workloads.
+//! - **Tune database.** Known programs (by stable IR fingerprint) found in
+//!   the [`TuneDb`] warm-start: with [`ServiceConfig::warm_start`] set their
+//!   search is skipped outright (zero fitness evaluations, counted in
+//!   [`ServiceReport::db_hits`]); fresh results are recorded back.
+//!
+//! ## Determinism
+//!
+//! Same seed → same study, **regardless of thread count**. Every random
+//! stream derives from the single root seed via [`SeedTree`] streams keyed
+//! by `(workload fingerprint, island index)`; migration happens at fixed
+//! generation numbers in fixed order; fitness is deterministic. The only
+//! scheduling-dependent observables are the cache-hit/fitness-call
+//! *counters* (a benign race can evaluate a shared candidate twice), never
+//! the populations, the bests, or the tune-database contents. The fitness
+//! function must be a pure function of `(fingerprint, candidate)` — two
+//! targets with equal fingerprints must measure identically.
+
+use crate::cache::{FitnessKey, ShardedFitnessCache};
+use crate::db::{TuneDb, TuneDbEntry};
+use crate::rng::SeedTree;
+use crate::{
+    anchor_candidates, canonicalize_sequence, crossover, mutate, random_candidate, Candidate,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use zkvmopt_passes::{find_pass, pass_names};
+
+/// Parallel-service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Independent islands (populations) per workload.
+    pub islands: usize,
+    /// Population size per island.
+    pub population: usize,
+    /// Evolution generations per island. Each generation evaluates exactly
+    /// `population` candidates, so the per-workload evaluation budget is
+    /// `islands × population × generations` ([`ServiceConfig::budget_per_workload`]).
+    pub generations: usize,
+    /// Donate each island's elite to the ring neighbour every this many
+    /// generations (`0` = never migrate).
+    pub migration_interval: usize,
+    /// Maximum pass-sequence depth (paper: 20).
+    pub max_depth: usize,
+    /// Root RNG seed; every island stream splits from it.
+    pub seed: u64,
+    /// Worker threads (`0` = all available cores).
+    pub threads: usize,
+    /// Skip the search for programs already in the tune database.
+    pub warm_start: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            islands: 4,
+            population: 8,
+            generations: 5,
+            migration_interval: 2,
+            max_depth: 20,
+            seed: 0xC0FFEE,
+            threads: 0,
+            warm_start: true,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Candidate evaluations spent per cold workload (cache hits included —
+    /// a hit consumes budget, it just costs no fitness call).
+    pub fn budget_per_workload(&self) -> usize {
+        self.islands * self.population * self.generations
+    }
+
+    /// Override the seed from `ZKVMOPT_SEED` when the env var is set.
+    pub fn with_seed_from_env(mut self) -> ServiceConfig {
+        self.seed = crate::rng::seed_from_env(self.seed);
+        self
+    }
+}
+
+/// One program to tune.
+#[derive(Debug, Clone)]
+pub struct TuneTarget {
+    /// Display name.
+    pub name: String,
+    /// Stable fingerprint of the program's lowered base module — the cache
+    /// and tune-database key.
+    pub fingerprint: u64,
+}
+
+/// Per-workload outcome.
+#[derive(Debug, Clone)]
+pub struct WorkloadTuneReport {
+    /// Target name.
+    pub name: String,
+    /// Target fingerprint.
+    pub fingerprint: u64,
+    /// Best candidate found (canonical form), or `None` when every
+    /// evaluated candidate was invalid.
+    pub best: Option<Candidate>,
+    /// The best candidate's measured cycles.
+    pub best_fitness: Option<u64>,
+    /// Evaluation budget spent (cache hits included).
+    pub evaluated: usize,
+    /// Actual fitness-function calls (budget minus cache hits).
+    pub fitness_evals: usize,
+    /// Evaluations served by the sharded cache.
+    pub cache_hits: usize,
+    /// Whether the result came straight from the tune database.
+    pub warm_started: bool,
+}
+
+/// Whole-run outcome.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Per-workload reports, in target order.
+    pub workloads: Vec<WorkloadTuneReport>,
+    /// Total evaluation budget spent.
+    pub evaluated: usize,
+    /// Total fitness-function calls.
+    pub fitness_evals: usize,
+    /// Total sharded-cache hits.
+    pub cache_hits: usize,
+    /// Workloads answered straight from the tune database.
+    pub db_hits: usize,
+    /// Tune-database entries inserted or improved by this run.
+    pub db_updates: usize,
+}
+
+/// One island's private evolution state.
+struct IslandState {
+    rng: StdRng,
+    /// Population, sorted best-first after every generation.
+    pop: Vec<(Candidate, Option<u64>)>,
+    best: Option<(Candidate, u64)>,
+    /// Elite migrated in from the ring neighbour (arrives with its fitness:
+    /// migration never costs budget).
+    incoming: Option<(Candidate, Option<u64>)>,
+    evaluated: usize,
+    fitness_evals: usize,
+    cache_hits: usize,
+}
+
+/// Shared per-workload scheduling state.
+struct WorkState {
+    fingerprint: u64,
+    islands: Vec<Mutex<IslandState>>,
+    /// Islands still running the current generation.
+    remaining: AtomicUsize,
+    /// Generations fully completed.
+    done_gens: AtomicUsize,
+}
+
+/// Tune every target concurrently. `fitness(widx, candidate)` returns the
+/// cycle count on `targets[widx]` (or `None` for invalid candidates) and
+/// must be deterministic in `(targets[widx].fingerprint, candidate)`.
+/// Results for known programs come from `db` when
+/// [`ServiceConfig::warm_start`] is set; new results are recorded into `db`
+/// (call [`TuneDb::save`] to persist them).
+pub fn tune_suite<F>(
+    config: &ServiceConfig,
+    targets: &[TuneTarget],
+    db: &mut TuneDb,
+    fitness: F,
+) -> ServiceReport
+where
+    F: Fn(usize, &Candidate) -> Option<u64> + Sync,
+{
+    assert!(config.islands >= 1, "need at least one island");
+    assert!(config.population >= 1, "need a non-empty population");
+    assert!(config.generations >= 1, "need at least one generation");
+    assert!(config.max_depth >= 1, "need depth >= 1");
+
+    let seeds = SeedTree::new(config.seed);
+    let names = pass_names();
+
+    // Resolve warm starts first: a known fingerprint costs nothing.
+    let mut reports: Vec<Option<WorkloadTuneReport>> = Vec::with_capacity(targets.len());
+    let mut cold: Vec<usize> = Vec::new();
+    let mut db_hits = 0usize;
+    for (widx, t) in targets.iter().enumerate() {
+        match db.get(t.fingerprint).filter(|_| config.warm_start) {
+            Some(e) => match candidate_from_db(e) {
+                Some(best) => {
+                    db_hits += 1;
+                    reports.push(Some(WorkloadTuneReport {
+                        name: t.name.clone(),
+                        fingerprint: t.fingerprint,
+                        best: Some(best),
+                        best_fitness: Some(e.cycles),
+                        evaluated: 0,
+                        fitness_evals: 0,
+                        cache_hits: 0,
+                        warm_started: true,
+                    }));
+                }
+                None => {
+                    // A stored pass no longer exists in the registry: the
+                    // entry is stale. Search fresh and overwrite.
+                    eprintln!(
+                        "tuner: tune-db entry for {} ({:016x}) names an unknown pass; re-searching",
+                        t.name, t.fingerprint
+                    );
+                    cold.push(widx);
+                    reports.push(None);
+                }
+            },
+            None => {
+                cold.push(widx);
+                reports.push(None);
+            }
+        }
+    }
+
+    let cache = ShardedFitnessCache::new();
+    let work: Vec<WorkState> = cold
+        .iter()
+        .map(|&widx| WorkState {
+            fingerprint: targets[widx].fingerprint,
+            islands: (0..config.islands)
+                .map(|i| {
+                    Mutex::new(IslandState {
+                        rng: seeds.rng(targets[widx].fingerprint, i as u64),
+                        pop: Vec::new(),
+                        best: None,
+                        incoming: None,
+                        evaluated: 0,
+                        fitness_evals: 0,
+                        cache_hits: 0,
+                    })
+                })
+                .collect(),
+            remaining: AtomicUsize::new(config.islands),
+            done_gens: AtomicUsize::new(0),
+        })
+        .collect();
+
+    if !cold.is_empty() {
+        run_scheduler(config, &cold, &work, &cache, &fitness, names);
+    }
+
+    // Collect island results and record fresh bests into the database.
+    let mut db_updates = 0usize;
+    for (ci, &widx) in cold.iter().enumerate() {
+        let t = &targets[widx];
+        let mut best: Option<(Candidate, u64)> = None;
+        let (mut evaluated, mut fitness_evals, mut cache_hits) = (0, 0, 0);
+        for island in &work[ci].islands {
+            let s = island.lock().expect("island");
+            evaluated += s.evaluated;
+            fitness_evals += s.fitness_evals;
+            cache_hits += s.cache_hits;
+            if let Some((c, f)) = &s.best {
+                // Strict `<` keeps the lowest island index on ties —
+                // deterministic because island order is.
+                if best.as_ref().is_none_or(|(_, bf)| f < bf) {
+                    best = Some((c.clone(), *f));
+                }
+            }
+        }
+        let best = best.map(|(c, f)| (canonical_candidate(&c), f));
+        if let Some((c, f)) = &best {
+            if db.record(TuneDbEntry {
+                fingerprint: t.fingerprint,
+                passes: c.passes.iter().map(|p| p.to_string()).collect(),
+                inline_threshold: c.inline_threshold,
+                unroll_threshold: c.unroll_threshold,
+                cycles: *f,
+            }) {
+                db_updates += 1;
+            }
+        }
+        reports[widx] = Some(WorkloadTuneReport {
+            name: t.name.clone(),
+            fingerprint: t.fingerprint,
+            best_fitness: best.as_ref().map(|(_, f)| *f),
+            best: best.map(|(c, _)| c),
+            evaluated,
+            fitness_evals,
+            cache_hits,
+            warm_started: false,
+        });
+    }
+
+    let workloads: Vec<WorkloadTuneReport> = reports
+        .into_iter()
+        .map(|r| r.expect("every target reported"))
+        .collect();
+    ServiceReport {
+        evaluated: workloads.iter().map(|w| w.evaluated).sum(),
+        fitness_evals: workloads.iter().map(|w| w.fitness_evals).sum(),
+        cache_hits: workloads.iter().map(|w| w.cache_hits).sum(),
+        db_hits,
+        db_updates,
+        workloads,
+    }
+}
+
+/// The work-stealing loop: a shared ready queue of `(cold index, island)`
+/// tasks, per-workload generation barriers, termination via an outstanding
+/// task counter.
+fn run_scheduler<F>(
+    config: &ServiceConfig,
+    cold: &[usize],
+    work: &[WorkState],
+    cache: &ShardedFitnessCache,
+    fitness: &F,
+    names: &'static [&'static str],
+) where
+    F: Fn(usize, &Candidate) -> Option<u64> + Sync,
+{
+    let queue: Mutex<VecDeque<(usize, usize)>> = Mutex::new(
+        (0..cold.len())
+            .flat_map(|ci| (0..config.islands).map(move |i| (ci, i)))
+            .collect(),
+    );
+    let ready = Condvar::new();
+    let outstanding = AtomicUsize::new(cold.len() * config.islands * config.generations);
+    let workers = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        config.threads
+    }
+    .max(1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Steal the next ready island task, or exit once every
+                // island-generation in the run has been processed.
+                let task = {
+                    let mut q = queue.lock().expect("task queue");
+                    loop {
+                        if let Some(t) = q.pop_front() {
+                            break Some(t);
+                        }
+                        if outstanding.load(Ordering::SeqCst) == 0 {
+                            break None;
+                        }
+                        q = ready.wait(q).expect("task queue");
+                    }
+                };
+                let Some((ci, island_idx)) = task else {
+                    return;
+                };
+                let w = &work[ci];
+                let gen = w.done_gens.load(Ordering::SeqCst);
+                {
+                    let mut island = w.islands[island_idx].lock().expect("island");
+                    run_generation(
+                        config,
+                        &mut island,
+                        gen,
+                        island_idx,
+                        w.fingerprint,
+                        cold[ci],
+                        cache,
+                        fitness,
+                        names,
+                    );
+                }
+                // Generation barrier: the last island of this generation
+                // migrates elites and releases the next generation.
+                if w.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    let done = w.done_gens.fetch_add(1, Ordering::SeqCst) + 1;
+                    if done < config.generations {
+                        if config.migration_interval > 0
+                            && config.islands > 1
+                            && done.is_multiple_of(config.migration_interval)
+                        {
+                            migrate_ring(w);
+                        }
+                        w.remaining.store(config.islands, Ordering::SeqCst);
+                        let mut q = queue.lock().expect("task queue");
+                        q.extend((0..config.islands).map(|i| (ci, i)));
+                        drop(q);
+                        ready.notify_all();
+                    }
+                }
+                if outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    ready.notify_all();
+                }
+            });
+        }
+    });
+}
+
+/// Evolve one island by one generation. Deterministic in the island's RNG
+/// state and population; costs exactly `config.population` budget.
+#[allow(clippy::too_many_arguments)]
+fn run_generation<F>(
+    config: &ServiceConfig,
+    island: &mut IslandState,
+    gen: usize,
+    island_idx: usize,
+    fingerprint: u64,
+    widx: usize,
+    cache: &ShardedFitnessCache,
+    fitness: &F,
+    names: &'static [&'static str],
+) where
+    F: Fn(usize, &Candidate) -> Option<u64> + Sync,
+{
+    let eval = |island: &mut IslandState, c: &Candidate| -> Option<u64> {
+        let key = FitnessKey {
+            fingerprint,
+            passes: canonicalize_sequence(&c.passes),
+            inline_threshold: c.inline_threshold,
+            unroll_threshold: c.unroll_threshold,
+        };
+        island.evaluated += 1;
+        match cache.get(&key) {
+            Some(v) => {
+                island.cache_hits += 1;
+                v
+            }
+            None => {
+                let v = fitness(widx, c);
+                island.fitness_evals += 1;
+                cache.insert(key, v);
+                v
+            }
+        }
+    };
+
+    if gen == 0 {
+        // Initial population: island 0 carries the known-good anchors, every
+        // island fills up with its own random candidates.
+        let mut init: Vec<Candidate> = Vec::with_capacity(config.population);
+        if island_idx == 0 {
+            init.extend(anchor_candidates(config.max_depth));
+            init.truncate(config.population);
+        }
+        while init.len() < config.population {
+            init.push(random_candidate(&mut island.rng, names, config.max_depth));
+        }
+        island.pop = init
+            .into_iter()
+            .map(|c| {
+                let f = eval(island, &c);
+                (c, f)
+            })
+            .collect();
+    } else {
+        // Accept the ring migrant (already measured by the donor island).
+        if let Some(m) = island.incoming.take() {
+            let worst = island.pop.len() - 1;
+            island.pop[worst] = m;
+            sort_pop(&mut island.pop);
+        }
+        // μ+λ: breed `population` children, keep the best `population` of
+        // parents ∪ children (stable sort: parents win ties).
+        let mut children: Vec<(Candidate, Option<u64>)> = Vec::with_capacity(config.population);
+        for _ in 0..config.population {
+            let p1 = tournament(&mut island.rng, &island.pop);
+            let p2 = tournament(&mut island.rng, &island.pop);
+            let mut child = if island.rng.gen_bool(0.7) {
+                crossover(&mut island.rng, &p1, &p2, config.max_depth)
+            } else {
+                p1.clone()
+            };
+            if island.rng.gen_bool(0.9) {
+                child = mutate(&mut island.rng, &child, names, config.max_depth);
+            }
+            let f = eval(island, &child);
+            children.push((child, f));
+        }
+        island.pop.append(&mut children);
+        sort_pop(&mut island.pop);
+        island.pop.truncate(config.population);
+    }
+    if island.pop.len() > 1 {
+        sort_pop(&mut island.pop);
+    }
+    // Track the island best (first-found wins ties: deterministic, since
+    // evaluation order is).
+    for (c, f) in &island.pop {
+        if let Some(v) = f {
+            if island.best.as_ref().is_none_or(|(_, b)| v < b) {
+                island.best = Some((c.clone(), *v));
+            }
+        }
+    }
+}
+
+/// Stable best-first order; invalid candidates (`None`) sink to the back.
+fn sort_pop(pop: &mut [(Candidate, Option<u64>)]) {
+    pop.sort_by_key(|(_, f)| f.unwrap_or(u64::MAX));
+}
+
+/// Tournament selection (size 3) over the island's population.
+fn tournament(rng: &mut StdRng, pop: &[(Candidate, Option<u64>)]) -> Candidate {
+    let mut best: Option<(usize, u64)> = None;
+    for _ in 0..3 {
+        let i = rng.gen_range(0..pop.len());
+        let f = pop[i].1.unwrap_or(u64::MAX);
+        if best.is_none_or(|(_, bf)| f < bf) {
+            best = Some((i, f));
+        }
+    }
+    pop[best.expect("non-empty population").0].0.clone()
+}
+
+/// Ring migration at a generation barrier: island `i`'s best population
+/// member moves to island `i+1 (mod n)`'s inbox. Runs with every island of
+/// the workload quiescent, in island-index order — fully deterministic.
+fn migrate_ring(w: &WorkState) {
+    let n = w.islands.len();
+    let elites: Vec<Option<(Candidate, Option<u64>)>> = (0..n)
+        .map(|i| {
+            let s = w.islands[i].lock().expect("island");
+            s.pop.first().cloned()
+        })
+        .collect();
+    for (i, elite) in elites.into_iter().enumerate() {
+        if let Some(e) = elite {
+            w.islands[(i + 1) % n].lock().expect("island").incoming = Some(e);
+        }
+    }
+}
+
+/// A candidate in canonical form (aliases resolved, no-ops dropped) — what
+/// the tune database stores and reports present.
+fn canonical_candidate(c: &Candidate) -> Candidate {
+    Candidate {
+        passes: canonicalize_sequence(&c.passes),
+        inline_threshold: c.inline_threshold,
+        unroll_threshold: c.unroll_threshold,
+    }
+}
+
+/// Rehydrate a stored entry into a [`Candidate`]. `None` when a stored pass
+/// name is no longer registered (stale database after a registry change).
+fn candidate_from_db(e: &TuneDbEntry) -> Option<Candidate> {
+    let passes: Option<Vec<&'static str>> = e
+        .passes
+        .iter()
+        .map(|p| find_pass(p).map(|entry| entry.canonical_name()))
+        .collect();
+    Some(Candidate {
+        passes: passes?,
+        inline_threshold: e.inline_threshold,
+        unroll_threshold: e.unroll_threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cheap synthetic fitness: deterministic pure function of
+    /// (fingerprint, canonical candidate) — the documented contract.
+    fn synthetic(fp: u64, c: &Candidate) -> Option<u64> {
+        let canon = canonicalize_sequence(&c.passes);
+        let mut score = 10_000 + (fp % 7) * 100;
+        if canon.first() == Some(&"mem2reg") {
+            score -= 4_000;
+        }
+        if canon.contains(&"inline") {
+            score -= 3_000;
+        }
+        score += canon.len() as u64 * 10;
+        score += (c.inline_threshold as u64) % 13;
+        if canon.contains(&"licm") {
+            return None; // exercise the invalid-candidate path
+        }
+        Some(score)
+    }
+
+    fn targets(n: usize) -> Vec<TuneTarget> {
+        (0..n)
+            .map(|i| TuneTarget {
+                name: format!("w{i}"),
+                fingerprint: 0x1000 + i as u64,
+            })
+            .collect()
+    }
+
+    fn run(cfg: &ServiceConfig, db: &mut TuneDb, n: usize) -> ServiceReport {
+        let ts = targets(n);
+        tune_suite(cfg, &ts, db, |widx, c| synthetic(ts[widx].fingerprint, c))
+    }
+
+    #[test]
+    fn spends_exactly_the_budget_and_finds_good_candidates() {
+        let cfg = ServiceConfig {
+            threads: 4,
+            ..Default::default()
+        };
+        let mut db = TuneDb::in_memory();
+        let r = run(&cfg, &mut db, 3);
+        assert_eq!(r.workloads.len(), 3);
+        assert_eq!(r.evaluated, 3 * cfg.budget_per_workload());
+        assert_eq!(r.db_hits, 0);
+        assert_eq!(r.db_updates, 3);
+        for w in &r.workloads {
+            assert!(!w.warm_started);
+            assert_eq!(w.evaluated, cfg.budget_per_workload());
+            assert_eq!(w.evaluated, w.fitness_evals + w.cache_hits);
+            let f = w.best_fitness.expect("found a valid candidate");
+            assert!(f < 7_000, "search should beat the random floor, got {f}");
+            assert!(!w.best.as_ref().unwrap().passes.contains(&"licm"));
+            assert_eq!(db.get(w.fingerprint).unwrap().cycles, f);
+        }
+    }
+
+    /// The satellite regression test: two multi-threaded runs with one
+    /// pinned seed must produce bit-identical tune databases — thread
+    /// scheduling can influence throughput counters only, never results.
+    #[test]
+    fn four_thread_runs_with_equal_seed_produce_identical_databases() {
+        let cfg = ServiceConfig {
+            islands: 3,
+            population: 6,
+            generations: 6,
+            threads: 4,
+            seed: 0xFEED,
+            ..Default::default()
+        };
+        let mut runs = Vec::new();
+        for threads in [4, 4, 1, 8] {
+            let cfg = ServiceConfig {
+                threads,
+                ..cfg.clone()
+            };
+            let mut db = TuneDb::in_memory();
+            let r = run(&cfg, &mut db, 4);
+            runs.push((db.to_string_pretty(), r));
+        }
+        for (text, r) in &runs[1..] {
+            assert_eq!(
+                *text, runs[0].0,
+                "tune database must not depend on thread count"
+            );
+            for (a, b) in r.workloads.iter().zip(&runs[0].1.workloads) {
+                assert_eq!(a.best, b.best);
+                assert_eq!(a.best_fitness, b.best_fitness);
+                assert_eq!(a.evaluated, b.evaluated);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_search_differently() {
+        let mut dbs = Vec::new();
+        for seed in [1u64, 2] {
+            let cfg = ServiceConfig {
+                seed,
+                threads: 2,
+                generations: 3,
+                ..Default::default()
+            };
+            let mut db = TuneDb::in_memory();
+            run(&cfg, &mut db, 2);
+            dbs.push(db.to_string_pretty());
+        }
+        assert_ne!(dbs[0], dbs[1], "seed must steer the search");
+    }
+
+    /// Warm start: a populated database answers instantly — zero budget,
+    /// zero fitness calls, result identical to what was stored.
+    #[test]
+    fn warm_start_skips_search_with_zero_evaluations() {
+        let cfg = ServiceConfig {
+            threads: 4,
+            ..Default::default()
+        };
+        let mut db = TuneDb::in_memory();
+        let cold = run(&cfg, &mut db, 3);
+        assert_eq!(db.len(), 3);
+
+        let warm = run(&cfg, &mut db, 3);
+        assert_eq!(warm.db_hits, 3);
+        assert_eq!(warm.evaluated, 0, "no budget spent");
+        assert_eq!(warm.fitness_evals, 0, "zero redundant fitness evaluations");
+        assert_eq!(warm.db_updates, 0);
+        for (c, w) in cold.workloads.iter().zip(&warm.workloads) {
+            assert!(w.warm_started);
+            assert_eq!(w.best_fitness, c.best_fitness);
+            assert_eq!(w.best, c.best);
+        }
+
+        // With warm_start off, the database is ignored (but stays intact).
+        let re = tune_suite(
+            &ServiceConfig {
+                warm_start: false,
+                ..cfg
+            },
+            &targets(3),
+            &mut db,
+            |widx, c| synthetic(targets(3)[widx].fingerprint, c),
+        );
+        assert_eq!(re.db_hits, 0);
+        assert!(re.fitness_evals > 0);
+    }
+
+    /// Duplicate programs (equal fingerprints) share the fitness cache
+    /// across workloads: the second copy's search runs almost entirely on
+    /// cache hits in single-threaded mode.
+    #[test]
+    fn equal_fingerprints_share_the_cache_across_workloads() {
+        let cfg = ServiceConfig {
+            threads: 1,
+            generations: 3,
+            ..Default::default()
+        };
+        let ts = vec![
+            TuneTarget {
+                name: "a".into(),
+                fingerprint: 42,
+            },
+            TuneTarget {
+                name: "b".into(),
+                fingerprint: 42,
+            },
+        ];
+        let mut db = TuneDb::in_memory();
+        let r = tune_suite(&cfg, &ts, &mut db, |_, c| synthetic(42, c));
+        let (a, b) = (&r.workloads[0], &r.workloads[1]);
+        // Identical RNG streams (same fingerprint) generate identical
+        // candidates, so the clone is served from the cache wholesale.
+        assert_eq!(b.fitness_evals, 0, "duplicate program re-measured");
+        assert_eq!(a.best_fitness, b.best_fitness);
+        assert_eq!(r.db_hits, 0);
+        assert_eq!(db.len(), 1, "one fingerprint, one entry");
+    }
+
+    #[test]
+    fn stale_db_entries_with_unknown_passes_are_researched() {
+        let cfg = ServiceConfig {
+            threads: 2,
+            generations: 2,
+            ..Default::default()
+        };
+        let ts = targets(1);
+        let mut db = TuneDb::in_memory();
+        db.record(TuneDbEntry {
+            fingerprint: ts[0].fingerprint,
+            passes: vec!["a-pass-that-never-existed".into()],
+            inline_threshold: 1,
+            unroll_threshold: 1,
+            cycles: 1, // "unbeatably good", but unusable
+        });
+        let r = tune_suite(&cfg, &ts, &mut db, |widx, c| {
+            synthetic(ts[widx].fingerprint, c)
+        });
+        assert_eq!(r.db_hits, 0, "stale entry must not warm-start");
+        assert!(r.fitness_evals > 0);
+        assert!(r.workloads[0].best.is_some());
+    }
+
+    #[test]
+    fn single_island_single_thread_degenerates_to_a_plain_ga() {
+        let cfg = ServiceConfig {
+            islands: 1,
+            population: 4,
+            generations: 4,
+            threads: 1,
+            migration_interval: 0,
+            ..Default::default()
+        };
+        let mut db = TuneDb::in_memory();
+        let r = run(&cfg, &mut db, 1);
+        assert_eq!(r.evaluated, 16);
+        assert!(r.workloads[0].best_fitness.is_some());
+    }
+
+    /// Migration must help search: an island that never finds the good
+    /// region imports the elite from one that does. With migration off the
+    /// islands stay independent (weaker coupling is at least not *worse*
+    /// when fitness is unimodal — here we just pin behaviour: results stay
+    /// deterministic and valid either way).
+    #[test]
+    fn migration_interval_zero_disables_migration_deterministically() {
+        for interval in [0usize, 1, 3] {
+            let cfg = ServiceConfig {
+                islands: 2,
+                population: 4,
+                generations: 4,
+                migration_interval: interval,
+                threads: 3,
+                ..Default::default()
+            };
+            let mut a = TuneDb::in_memory();
+            let mut b = TuneDb::in_memory();
+            let ra = run(&cfg, &mut a, 2);
+            let rb = run(&cfg, &mut b, 2);
+            assert_eq!(
+                a.to_string_pretty(),
+                b.to_string_pretty(),
+                "interval {interval}"
+            );
+            assert_eq!(ra.evaluated, rb.evaluated);
+        }
+    }
+}

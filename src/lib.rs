@@ -16,7 +16,8 @@
 //! - [`crypto`] — SHA-256 / Keccak / Merkle / toy signature precompile backends
 //! - [`workloads`] — the 58-program benchmark suite
 //! - [`stats`] — Kendall’s τ, Pearson r, and summary statistics
-//! - [`tuner`] — genetic pass-sequence autotuner (OpenTuner substitute)
+//! - [`tuner`] — genetic pass-sequence autotuner (OpenTuner substitute) and
+//!   the island-model parallel tuning service with its persistent tune db
 //! - [`study`] — the experiment driver that regenerates the paper’s tables/figures
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.

@@ -1,0 +1,219 @@
+//! Differential gates for the island-model autotuning service, with the
+//! sequential tuner as the deterministic oracle.
+//!
+//! Fitness here is the real pipeline (clone lowered module → apply candidate
+//! passes → RISC-V codegen → block-dispatch engine, journal-checked against
+//! the baseline), via `SuiteRunner::batch_evaluator`. The gates:
+//!
+//! 1. **Thread-count independence** — one pinned seed, 1-thread and 4-thread
+//!    service runs: bit-identical tune databases.
+//! 2. **Oracle** — at the same seed the service's best must be at least as
+//!    good as the sequential `autotune` loop's best at an equal evaluation
+//!    budget (the island model sees the same anchors plus migration).
+//! 3. **Bit-identical persistence** — every tune-db entry re-measured from
+//!    scratch must reproduce its recorded cycle count exactly.
+//! 4. **Warm start** — a populated database (reloaded through disk) answers
+//!    every workload with zero fitness evaluations.
+//!
+//! The search evaluates hundreds of real compiles, so the suite is
+//! release-only, like the suite-wide differential harness:
+//!
+//! ```text
+//! cargo test --release --test tuner_service -- --include-ignored
+//! ```
+
+use zkvm_opt::study::SuiteRunner;
+use zkvm_opt::tuner::{
+    autotune, tune_suite, Candidate, ServiceConfig, TuneDb, TuneTarget, TunerConfig,
+};
+use zkvm_opt::vm::VmKind;
+use zkvmopt_core::BatchEvaluator;
+use zkvmopt_passes::PassConfig;
+use zkvmopt_workloads::Workload;
+
+const WORKLOADS: [&str; 3] = ["loop-sum", "fibonacci", "tailcall"];
+const SEED: u64 = 0xC0FFEE;
+
+fn evaluator() -> BatchEvaluator {
+    let ws: Vec<&'static Workload> = WORKLOADS
+        .iter()
+        .map(|n| zkvm_opt::workloads::by_name(n).expect("suite workload"))
+        .collect();
+    SuiteRunner::new()
+        .batch_evaluator(&ws, VmKind::RiscZero)
+        .expect("suite workloads compile")
+}
+
+fn targets(ev: &BatchEvaluator) -> Vec<TuneTarget> {
+    ev.names()
+        .iter()
+        .enumerate()
+        .map(|(i, n)| TuneTarget {
+            name: n.to_string(),
+            fingerprint: ev.fingerprint(i),
+        })
+        .collect()
+}
+
+fn candidate_cycles(ev: &BatchEvaluator, widx: usize, c: &Candidate) -> Option<u64> {
+    let cfg = PassConfig {
+        inline_threshold: c.inline_threshold,
+        unroll_threshold: c.unroll_threshold,
+        ..PassConfig::default()
+    };
+    ev.eval(widx, &c.passes, &cfg)
+}
+
+fn service_config(threads: usize) -> ServiceConfig {
+    ServiceConfig {
+        islands: 2,
+        population: 8,
+        generations: 4,
+        migration_interval: 2,
+        seed: SEED,
+        threads,
+        ..Default::default()
+    }
+}
+
+fn run_service(
+    ev: &BatchEvaluator,
+    threads: usize,
+    db: &mut TuneDb,
+) -> zkvm_opt::tuner::ServiceReport {
+    tune_suite(&service_config(threads), &targets(ev), db, |widx, c| {
+        candidate_cycles(ev, widx, c)
+    })
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "real-compile search is release-only (CI: test-release)"
+)]
+fn service_is_thread_count_independent_and_entries_remeasure_bit_identically() {
+    let ev = evaluator();
+
+    let mut db1 = TuneDb::in_memory();
+    let r1 = run_service(&ev, 1, &mut db1);
+    let mut db4 = TuneDb::in_memory();
+    let r4 = run_service(&ev, 4, &mut db4);
+
+    // Gate 1: same seed, different thread counts — identical databases.
+    assert_eq!(
+        db1.to_string_pretty(),
+        db4.to_string_pretty(),
+        "tune database must not depend on thread count"
+    );
+    assert_eq!(r1.evaluated, r4.evaluated, "equal budgets by construction");
+    for (a, b) in r1.workloads.iter().zip(&r4.workloads) {
+        assert_eq!(a.best, b.best, "{}", a.name);
+        assert_eq!(a.best_fitness, b.best_fitness, "{}", a.name);
+    }
+
+    // Gate 3: every persisted entry reproduces its recorded cycles exactly
+    // when re-measured from scratch — the cache holds truth, not staleness.
+    for (widx, t) in targets(&ev).iter().enumerate() {
+        let e = db4.get(t.fingerprint).expect("every workload recorded");
+        let stored = Candidate {
+            passes: e
+                .passes
+                .iter()
+                .map(|p| {
+                    zkvmopt_passes::find_pass(p)
+                        .expect("recorded pass exists")
+                        .canonical_name()
+                })
+                .collect(),
+            inline_threshold: e.inline_threshold,
+            unroll_threshold: e.unroll_threshold,
+        };
+        let remeasured = candidate_cycles(&ev, widx, &stored);
+        assert_eq!(
+            remeasured,
+            Some(e.cycles),
+            "{}: tune-db entry must be bit-identical to re-measurement",
+            t.name
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "real-compile search is release-only (CI: test-release)"
+)]
+fn service_matches_or_beats_the_sequential_oracle_at_equal_budget() {
+    let ev = evaluator();
+    let svc_cfg = service_config(4);
+
+    let mut db = TuneDb::in_memory();
+    let report = tune_suite(&svc_cfg, &targets(&ev), &mut db, |widx, c| {
+        candidate_cycles(&ev, widx, c)
+    });
+
+    for (widx, w) in report.workloads.iter().enumerate() {
+        // Sequential oracle at the same seed: `iterations` counts total
+        // fitness evaluations, so the equal budget is exactly the service's
+        // islands × population × generations.
+        let oracle_cfg = TunerConfig {
+            iterations: svc_cfg.budget_per_workload(),
+            population: svc_cfg.population,
+            max_depth: svc_cfg.max_depth,
+            seed: SEED,
+        };
+        let oracle = autotune(&oracle_cfg, |c| candidate_cycles(&ev, widx, c));
+        assert_eq!(
+            w.evaluated,
+            svc_cfg.budget_per_workload(),
+            "{}: service budget",
+            w.name
+        );
+        let service_best = w.best_fitness.expect("service found a valid candidate");
+        assert!(
+            service_best <= oracle.best_fitness,
+            "{}: service ({service_best} cycles) must match or beat the \
+             sequential oracle ({} cycles) at an equal budget",
+            w.name,
+            oracle.best_fitness
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "real-compile search is release-only (CI: test-release)"
+)]
+fn warm_start_through_disk_performs_zero_redundant_evaluations() {
+    let ev = evaluator();
+    let dir = std::env::temp_dir().join(format!("zkvmopt-tunedb-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("tune.db");
+    let _ = std::fs::remove_file(&path);
+
+    // Cold run, persisted to disk.
+    let mut db = TuneDb::open(&path);
+    let cold = run_service(&ev, 4, &mut db);
+    assert!(cold.fitness_evals > 0);
+    assert_eq!(cold.db_hits, 0);
+    db.save().expect("tune db saves");
+
+    // Fresh process simulation: reload from disk, tune again.
+    let mut reloaded = TuneDb::open(&path);
+    assert_eq!(reloaded.len(), WORKLOADS.len());
+    let warm = run_service(&ev, 4, &mut reloaded);
+    assert_eq!(warm.db_hits, WORKLOADS.len());
+    assert_eq!(
+        warm.fitness_evals, 0,
+        "warm start must perform zero redundant fitness evaluations"
+    );
+    assert_eq!(warm.evaluated, 0, "warm start must spend no search budget");
+    for (c, w) in cold.workloads.iter().zip(&warm.workloads) {
+        assert!(w.warm_started, "{}", w.name);
+        assert_eq!(w.best, c.best, "{}", w.name);
+        assert_eq!(w.best_fitness, c.best_fitness, "{}", w.name);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
