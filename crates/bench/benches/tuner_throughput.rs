@@ -25,7 +25,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use zkvmopt_bench::trajectory;
 use zkvmopt_core::{BatchEvaluator, SuiteRunner};
 use zkvmopt_passes::PassConfig;
-use zkvmopt_tuner::{tune_suite, Candidate, ServiceConfig, TuneDb, TuneTarget};
+use zkvmopt_tuner::{tune_suite, Candidate, EvalResult, ServiceConfig, TuneDb, TuneTarget};
 use zkvmopt_vm::VmKind;
 use zkvmopt_workloads::Workload;
 
@@ -96,14 +96,16 @@ fn build_groups() -> Vec<Group> {
         .collect()
 }
 
-fn fitness(g: &Group) -> impl Fn(usize, &Candidate) -> Option<u64> + Sync + '_ {
+fn fitness(g: &Group) -> impl Fn(usize, &Candidate) -> EvalResult + Sync + '_ {
     |widx, c: &Candidate| {
         let cfg = PassConfig {
             inline_threshold: c.inline_threshold,
             unroll_threshold: c.unroll_threshold,
             ..PassConfig::default()
         };
-        g.evaluator.eval(widx, &c.passes, &cfg)
+        g.evaluator
+            .eval_classified(widx, &c.passes, &cfg)
+            .map_err(|e| e.class())
     }
 }
 

@@ -24,12 +24,25 @@
 //! [`SuiteRunner::batch_evaluator`], which reuses the runner's lowered-module
 //! cache and baseline machinery.
 
-use crate::{OptProfile, StudyError, SuiteRunner};
+use crate::{OptProfile, PipelineError, StudyError, SuiteRunner};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use zkvmopt_ir::{stable_module_fingerprint, Module};
 use zkvmopt_passes::PassConfig;
+use zkvmopt_tuner::{Candidate, EvalResult, TuneTarget};
 use zkvmopt_vm::{DecodedProgram, Engine, ExecConfig, VmKind, VmProfile};
 use zkvmopt_workloads::Workload;
+
+/// Per-candidate cycle-budget headroom over the workload's baseline: an
+/// optimizing candidate should finish well under the unoptimized run; one
+/// that needs 8× the baseline is runaway (e.g. unrolling gone wrong) and is
+/// cut off as a [`PipelineError::Budget`] instead of burning the service's
+/// global `max_cycles` allowance.
+const BUDGET_HEADROOM: u64 = 8;
+
+/// Floor for the per-candidate budget, so trivially tiny baselines don't
+/// starve legitimate candidates of their fixed setup cycles.
+const BUDGET_FLOOR: u64 = 4096;
 
 /// One tunable workload snapshot: base module + baseline oracle.
 #[derive(Debug, Clone)]
@@ -132,29 +145,97 @@ impl BatchEvaluator {
         self.entries[widx].baseline_cycles
     }
 
+    /// The per-candidate cycle budget for workload `widx`:
+    /// `min(global max_cycles, max(baseline × 8, 4096))`. A candidate is an
+    /// *optimization attempt* — if it cannot finish within a generous
+    /// multiple of the unoptimized baseline, it has blown its budget.
+    pub fn candidate_budget(&self, widx: usize) -> u64 {
+        self.max_cycles.min(
+            self.entries[widx]
+                .baseline_cycles
+                .saturating_mul(BUDGET_HEADROOM)
+                .max(BUDGET_FLOOR),
+        )
+    }
+
     /// Evaluate one candidate on workload `widx`: cycles under the
     /// candidate's pipeline, or `None` when the candidate fails to compile,
     /// fails to run, or — the interesting case — **changes observable
     /// behaviour** vs the baseline (journal or exit code). Deterministic and
     /// `&self`: safe to call from any number of threads.
+    ///
+    /// This is the classification-erasing view of
+    /// [`BatchEvaluator::eval_classified`]; use that directly when the
+    /// failure reason matters (the fault-tolerant tuning service does).
     pub fn eval(&self, widx: usize, passes: &[&'static str], cfg: &PassConfig) -> Option<u64> {
+        self.eval_classified(widx, passes, cfg).ok()
+    }
+
+    /// Evaluate one candidate on workload `widx`, classifying every failure
+    /// as a [`PipelineError`]. The whole pipeline is isolated: the compile
+    /// stages (pass application, IR verification, instruction selection)
+    /// run under `catch_unwind`, so a pass bug that panics on this
+    /// candidate's IR is reported as [`PipelineError::Panic`] instead of
+    /// unwinding into (and poisoning) the caller; execution runs under the
+    /// per-candidate [`BatchEvaluator::candidate_budget`]. Deterministic
+    /// and `&self`: safe to call from any number of threads.
+    ///
+    /// # Errors
+    /// Every failure mode of the candidate pipeline, classified — see the
+    /// [`crate::error`] module docs for the taxonomy.
+    pub fn eval_classified(
+        &self,
+        widx: usize,
+        passes: &[&'static str],
+        cfg: &PassConfig,
+    ) -> Result<u64, PipelineError> {
         let e = &self.entries[widx];
         let profile = OptProfile::sequence("candidate", passes.to_vec(), cfg.clone());
-        let mut m = e.module.clone();
-        profile.apply(&mut m);
-        let program = zkvmopt_riscv::compile_module(&m, &profile.backend).ok()?;
+        let program = catch_unwind(AssertUnwindSafe(|| {
+            let mut m = e.module.clone();
+            profile.apply(&mut m);
+            zkvmopt_ir::verify::verify_module(&m).map_err(|err| PipelineError::Verify {
+                message: err.to_string(),
+            })?;
+            zkvmopt_riscv::compile_module(&m, &profile.backend).map_err(PipelineError::from)
+        }))
+        .unwrap_or_else(|payload| Err(PipelineError::from_panic(payload)))?;
+        let budget = self.candidate_budget(widx);
         let decoded = DecodedProgram::decode(&program);
         let config = ExecConfig {
             inputs: e.inputs.clone(),
-            max_cycles: self.max_cycles,
+            max_cycles: budget,
         };
         let exec = Engine::new(&decoded, VmProfile::for_kind(self.vm), config)
             .run()
-            .ok()?;
+            .map_err(|err| PipelineError::from_exec(err, budget))?;
         if exec.journal != e.baseline_journal || exec.exit_code != e.baseline_exit {
-            return None; // miscompile: must never win the search
+            return Err(PipelineError::Divergence); // miscompile: must never win
         }
-        Some(exec.total_cycles)
+        Ok(exec.total_cycles)
+    }
+
+    /// The [`TuneTarget`] list for this evaluator's workloads, in index
+    /// order — what [`zkvmopt_tuner::tune_suite`] wants alongside
+    /// [`BatchEvaluator::classified_fitness`].
+    pub fn tune_targets(&self) -> Vec<TuneTarget> {
+        self.entries
+            .iter()
+            .map(|e| TuneTarget {
+                name: e.name.to_string(),
+                fingerprint: e.fingerprint,
+            })
+            .collect()
+    }
+
+    /// The classified fitness function the fault-tolerant tuning service
+    /// consumes: cycles on success, the payload-free
+    /// [`zkvmopt_tuner::FailureClass`] on any pipeline failure.
+    pub fn classified_fitness(&self) -> impl Fn(usize, &Candidate) -> EvalResult + Sync + '_ {
+        move |widx, c| {
+            self.eval_classified(widx, &c.passes, &c.pass_config())
+                .map_err(|e| e.class())
+        }
     }
 
     /// Evaluate a batch of candidates across `threads` worker threads
@@ -274,5 +355,43 @@ mod tests {
             .eval(0, &["mem2reg", "simplifycfg"], &PassConfig::default())
             .is_some());
         assert!(ev.eval(0, &[], &PassConfig::default()).is_some());
+    }
+
+    /// The classified path: successes carry cycles, failures carry the
+    /// pipeline stage that rejected the candidate, and the plain `eval`
+    /// view is exactly `eval_classified().ok()`.
+    #[test]
+    fn eval_classified_agrees_with_eval_and_budgets_are_derived() {
+        let ev = evaluator(&["loop-sum", "fibonacci"]);
+        for widx in 0..ev.len() {
+            let budget = ev.candidate_budget(widx);
+            assert!(budget >= ev.baseline_cycles(widx));
+            for seq in [&[][..], &["mem2reg", "gvn"][..], &["reg2mem"][..]] {
+                let classified = ev.eval_classified(widx, seq, &PassConfig::default());
+                let plain = ev.eval(widx, seq, &PassConfig::default());
+                assert_eq!(classified.clone().ok(), plain, "{seq:?}");
+                let cycles = classified.unwrap_or_else(|e| panic!("{seq:?}: {e}"));
+                assert!(cycles <= budget, "{seq:?} within its own budget");
+            }
+        }
+        let targets = ev.tune_targets();
+        assert_eq!(targets.len(), 2);
+        assert_eq!(targets[0].name, "loop-sum");
+        assert_eq!(targets[0].fingerprint, ev.fingerprint(0));
+
+        // The classified fitness closure mirrors eval_classified, erasing
+        // payloads down to the tuner's FailureClass.
+        let fit = ev.classified_fitness();
+        let c = zkvmopt_tuner::Candidate {
+            passes: vec!["mem2reg", "gvn"],
+            inline_threshold: 225,
+            unroll_threshold: 200,
+        };
+        assert_eq!(
+            fit(0, &c),
+            ev.eval_classified(0, &c.passes, &c.pass_config())
+                .map_err(|e| e.class())
+        );
+        assert!(fit(0, &c).is_ok());
     }
 }

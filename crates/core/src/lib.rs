@@ -32,9 +32,11 @@ use zkvmopt_workloads::Workload;
 use zkvmopt_x86sim::{run_x86, X86Model, X86Report};
 
 pub mod batch;
+pub mod error;
 pub mod suite;
 
 pub use batch::{BatchEvaluator, BatchJob};
+pub use error::PipelineError;
 pub use suite::{MatrixCell, SuiteRunner};
 pub use zkvmopt_passes::OptLevel;
 

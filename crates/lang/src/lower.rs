@@ -196,10 +196,15 @@ impl FnCtx {
     }
 
     fn declare(&mut self, name: &str, sym: Sym) {
-        self.scopes
-            .last_mut()
-            .expect("scope stack non-empty")
-            .insert(name.to_string(), sym);
+        // The scope stack is pushed before any declaration by construction,
+        // but the frontend runs on untrusted text and must never abort:
+        // recover by opening a scope rather than panicking.
+        if self.scopes.is_empty() {
+            self.scopes.push(HashMap::new());
+        }
+        if let Some(scope) = self.scopes.last_mut() {
+            scope.insert(name.to_string(), sym);
+        }
     }
 }
 
@@ -911,7 +916,10 @@ impl Lowerer {
     ) -> Result<(Operand, ETy), LowerError> {
         use Bin::*;
         match op {
-            LAnd | LOr => unreachable!("short-circuit handled in lower_expr"),
+            // Short-circuit ops are handled in lower_expr; reaching here is
+            // a frontend bug, reported as an error — never a panic — since
+            // this code runs on untrusted program text.
+            LAnd | LOr => err(line, "internal: short-circuit op in lower_binop"),
             Lt | Le | Gt | Ge | Eq | Ne => {
                 if !(compatible(at, bt) || (at.is_ptr() && at == bt)) {
                     return err(
@@ -931,7 +939,7 @@ impl Lowerer {
                     (Le, true) => Pred::Ule,
                     (Gt, true) => Pred::Ugt,
                     (Ge, true) => Pred::Uge,
-                    _ => unreachable!(),
+                    _ => return err(line, "internal: non-comparison op"),
                 };
                 let v = cx.emit(Op::Icmp { pred, a, b }, Some(Ty::I1));
                 Ok((Operand::val(v), ETy::Bool))
@@ -970,7 +978,7 @@ impl Lowerer {
                             BinOp::ShrA
                         }
                     }
-                    _ => unreachable!(),
+                    _ => return err(line, "internal: non-arithmetic op"),
                 };
                 let rt = if at == ETy::U32 || bt == ETy::U32 {
                     ETy::U32

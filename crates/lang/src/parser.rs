@@ -28,21 +28,59 @@ impl From<LexError> for ParseError {
     }
 }
 
+/// Maximum statement/expression nesting depth. Recursive descent spends
+/// real stack per nesting level, and the parser runs on **untrusted**
+/// program text (the tuning service's submission path), where an input like
+/// `((((((…` would otherwise overflow the stack — an abort no
+/// `catch_unwind` can contain. Deeper-than-human nesting is rejected with a
+/// spanned [`ParseError`] instead. 128 levels is far beyond any legitimate
+/// zklang program and fits comfortably in a default 2 MiB *thread* stack
+/// even with debug-sized frames (the service parses on worker threads).
+const MAX_NESTING: usize = 128;
+
 /// Parse a zklang source file into a [`Program`].
 ///
 /// # Errors
-/// Returns the first lexical or syntactic error.
+/// Returns the first lexical or syntactic error. Never panics: malformed or
+/// hostile input (including pathologically deep nesting) is reported as a
+/// [`ParseError`].
 pub fn parse(src: &str) -> Result<Program, ParseError> {
     let toks = lex(src)?;
-    Parser { toks, pos: 0 }.program()
+    Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    }
+    .program()
 }
 
 struct Parser {
     toks: Vec<Spanned>,
     pos: usize,
+    /// Current recursion depth across `stmt`/`expr`/`unary`, bounded by
+    /// [`MAX_NESTING`].
+    depth: usize,
 }
 
 impl Parser {
+    /// Enter one nesting level; fails with a spanned error past
+    /// [`MAX_NESTING`]. Every `enter` pairs with a `leave` on the success
+    /// *and* error paths of the wrappers below — an error aborts the whole
+    /// parse, but `parse` may be called again on the same `Parser` only
+    /// through a fresh construction, so balance matters only for deep
+    /// sequential (non-nested) input, which must not accumulate depth.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            Err(self.err("nesting too deep"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
     fn peek(&self) -> &Tok {
         &self.toks[self.pos].tok
     }
@@ -260,6 +298,13 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.enter()?;
+        let r = self.stmt_inner();
+        self.leave();
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, ParseError> {
         let line = self.line();
         match self.peek().clone() {
             Tok::Let => {
@@ -443,7 +488,10 @@ impl Parser {
     }
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
-        self.lor()
+        self.enter()?;
+        let r = self.lor();
+        self.leave();
+        r
     }
 
     fn lor(&mut self) -> Result<Expr, ParseError> {
@@ -570,6 +618,13 @@ impl Parser {
     }
 
     fn unary(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let r = self.unary_inner();
+        self.leave();
+        r
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr, ParseError> {
         let e = match self.peek() {
             Tok::Minus => {
                 self.next();
@@ -720,5 +775,47 @@ mod tests {
     fn error_reports_line() {
         let e = parse("fn main() -> i32 {\n  let x: i32 = ;\n}").unwrap_err();
         assert_eq!(e.line, 2);
+    }
+
+    /// Hostile nesting is rejected with a spanned error rather than
+    /// overflowing the parser's stack — an abort no caller could contain.
+    #[test]
+    fn pathological_nesting_errors_instead_of_overflowing() {
+        for (open, close) in [("(", ")"), ("-", ""), ("!", ""), ("~", "")] {
+            let src = format!(
+                "fn main() -> i32 {{ return {}1{}; }}",
+                open.repeat(100_000),
+                close.repeat(100_000)
+            );
+            let e = parse(&src).unwrap_err();
+            assert!(e.message.contains("nesting too deep"), "{open}: {e}");
+        }
+        // Deep *statement* nesting trips the same guard.
+        let src = format!(
+            "fn main() -> i32 {{ {} return 0; {} }}",
+            "if (1) {".repeat(100_000),
+            "}".repeat(100_000)
+        );
+        let e = parse(&src).unwrap_err();
+        assert!(e.message.contains("nesting too deep"), "{e}");
+    }
+
+    /// The guard tracks *nesting*, not volume: long flat programs and long
+    /// operator chains stay within depth and must still parse.
+    #[test]
+    fn depth_guard_does_not_fire_on_flat_or_chained_input() {
+        let flat = format!(
+            "fn main() -> i32 {{ {} return 0; }}",
+            "let a: i32 = 1; a += 1; ".repeat(2_000)
+        );
+        assert!(parse(&flat).is_ok(), "sequential statements are not nested");
+        let chain = format!("fn f() -> i32 {{ return 0 {}; }}", "+ 1".repeat(5_000));
+        assert!(parse(&chain).is_ok(), "left-leaning chains are iterative");
+        let modest = format!(
+            "fn f() -> i32 {{ return {}7{}; }}",
+            "(".repeat(60),
+            ")".repeat(60)
+        );
+        assert!(parse(&modest).is_ok(), "60 parens is legitimate input");
     }
 }

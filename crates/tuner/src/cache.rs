@@ -8,6 +8,10 @@
 //! the same workload (and duplicate programs across workloads with equal
 //! fingerprints) therefore never pay for the same candidate twice.
 //!
+//! Values are classified [`EvalResult`]s: a failing candidate caches *why*
+//! it failed, which is what the quarantine log and checkpoint files are
+//! derived from.
+//!
 //! Concurrency contract: fitness is deterministic (cycle counts are), so a
 //! benign race — two threads missing on the same key and both evaluating —
 //! computes the same value twice and the second insert is a no-op. Search
@@ -16,6 +20,7 @@
 //! reports them as throughput statistics, not as part of the deterministic
 //! outcome.
 
+use crate::fault::EvalResult;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -39,11 +44,11 @@ pub struct FitnessKey {
 /// enough that an empty cache stays cheap.
 const SHARDS: usize = 64;
 
-/// A sharded concurrent map from [`FitnessKey`] to measured fitness
-/// (`None` = the candidate was invalid: miscompile or failed run).
+/// A sharded concurrent map from [`FitnessKey`] to its classified
+/// evaluation outcome.
 #[derive(Debug)]
 pub struct ShardedFitnessCache {
-    shards: Vec<Mutex<HashMap<FitnessKey, Option<u64>>>>,
+    shards: Vec<Mutex<HashMap<FitnessKey, EvalResult>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -64,7 +69,7 @@ impl ShardedFitnessCache {
         }
     }
 
-    fn shard(&self, key: &FitnessKey) -> &Mutex<HashMap<FitnessKey, Option<u64>>> {
+    fn shard(&self, key: &FitnessKey) -> &Mutex<HashMap<FitnessKey, EvalResult>> {
         // FNV-1a over the key's fixed-width fields plus the canonical pass
         // pointers' names; `Hash` for HashMap stays the std one.
         let mut h: u64 = 0xcbf29ce484222325;
@@ -85,7 +90,7 @@ impl ShardedFitnessCache {
     }
 
     /// Look `key` up, counting a hit or miss.
-    pub fn get(&self, key: &FitnessKey) -> Option<Option<u64>> {
+    pub fn get(&self, key: &FitnessKey) -> Option<EvalResult> {
         let found = self
             .shard(key)
             .lock()
@@ -106,12 +111,61 @@ impl ShardedFitnessCache {
 
     /// Record `value` for `key`. First write wins on the benign
     /// evaluate-twice race (both writers hold the same deterministic value).
-    pub fn insert(&self, key: FitnessKey, value: Option<u64>) {
+    pub fn insert(&self, key: FitnessKey, value: EvalResult) {
         self.shard(&key)
             .lock()
             .expect("cache shard")
             .entry(key)
             .or_insert(value);
+    }
+
+    /// Preload entries (a resumed checkpoint) without touching the
+    /// hit/miss counters. First write wins, as with [`Self::insert`].
+    /// Returns the number of entries actually added.
+    pub fn preload(&self, entries: impl IntoIterator<Item = (FitnessKey, EvalResult)>) -> usize {
+        let mut added = 0usize;
+        for (key, value) in entries {
+            let mut shard = self.shard(&key).lock().expect("cache shard");
+            if let std::collections::hash_map::Entry::Vacant(e) = shard.entry(key) {
+                e.insert(value);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// A point-in-time copy of every cached entry, in a deterministic
+    /// order (sorted by key). Because the cache is insert-only and every
+    /// value is a pure function of its key, *any* snapshot — even one taken
+    /// while workers are mid-generation — is a valid checkpoint: resuming
+    /// from it replays the search with those evaluations pre-answered.
+    pub fn snapshot(&self) -> Vec<(FitnessKey, EvalResult)> {
+        let mut out: Vec<(FitnessKey, EvalResult)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("cache shard")
+                    .iter()
+                    .map(|(k, v)| (k.clone(), *v))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by(|(a, _), (b, _)| {
+            (
+                a.fingerprint,
+                &a.passes,
+                a.inline_threshold,
+                a.unroll_threshold,
+            )
+                .cmp(&(
+                    b.fingerprint,
+                    &b.passes,
+                    b.inline_threshold,
+                    b.unroll_threshold,
+                ))
+        });
+        out
     }
 
     /// Cached entries across all shards.
@@ -149,6 +203,7 @@ impl ShardedFitnessCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FailureClass;
 
     fn key(fp: u64, passes: &[&'static str], inline: usize, unroll: usize) -> FitnessKey {
         FitnessKey {
@@ -164,13 +219,14 @@ mod tests {
         let c = ShardedFitnessCache::new();
         let k = key(7, &["mem2reg", "gvn"], 225, 200);
         assert_eq!(c.get(&k), None);
-        c.insert(k.clone(), Some(1234));
-        assert_eq!(c.get(&k), Some(Some(1234)));
-        // Invalid candidates cache too (None fitness is a result).
+        c.insert(k.clone(), Ok(1234));
+        assert_eq!(c.get(&k), Some(Ok(1234)));
+        // Failing candidates cache too, with their class: failure is a
+        // result.
         let bad = key(7, &["licm"], 0, 0);
         assert_eq!(c.get(&bad), None);
-        c.insert(bad.clone(), None);
-        assert_eq!(c.get(&bad), Some(None));
+        c.insert(bad.clone(), Err(FailureClass::Divergence));
+        assert_eq!(c.get(&bad), Some(Err(FailureClass::Divergence)));
         assert_eq!(c.stats(), (2, 2));
         assert_eq!(c.len(), 2);
         assert!((c.hit_rate() - 0.5).abs() < 1e-9);
@@ -179,21 +235,21 @@ mod tests {
     #[test]
     fn keys_distinguish_workload_sequence_and_thresholds() {
         let c = ShardedFitnessCache::new();
-        c.insert(key(1, &["dce"], 10, 20), Some(1));
+        c.insert(key(1, &["dce"], 10, 20), Ok(1));
         assert_eq!(c.get(&key(2, &["dce"], 10, 20)), None, "fingerprint");
         assert_eq!(c.get(&key(1, &["gvn"], 10, 20)), None, "sequence");
         assert_eq!(c.get(&key(1, &["dce"], 11, 20)), None, "inline");
         assert_eq!(c.get(&key(1, &["dce"], 10, 21)), None, "unroll");
-        assert_eq!(c.get(&key(1, &["dce"], 10, 20)), Some(Some(1)));
+        assert_eq!(c.get(&key(1, &["dce"], 10, 20)), Some(Ok(1)));
     }
 
     #[test]
     fn first_insert_wins_and_concurrent_use_is_safe() {
         let c = ShardedFitnessCache::new();
         let k = key(3, &["sccp"], 1, 2);
-        c.insert(k.clone(), Some(10));
-        c.insert(k.clone(), Some(99)); // racy duplicate: ignored
-        assert_eq!(c.get(&k), Some(Some(10)));
+        c.insert(k.clone(), Ok(10));
+        c.insert(k.clone(), Ok(99)); // racy duplicate: ignored
+        assert_eq!(c.get(&k), Some(Ok(10)));
 
         let shared = ShardedFitnessCache::new();
         std::thread::scope(|s| {
@@ -203,7 +259,7 @@ mod tests {
                     for i in 0..256u64 {
                         let k = key(i % 32, &["mem2reg"], (t % 2) as usize, i as usize % 8);
                         if shared.get(&k).is_none() {
-                            shared.insert(k, Some(i % 32));
+                            shared.insert(k, Ok(i % 32));
                         }
                     }
                 });
@@ -215,10 +271,28 @@ mod tests {
             for inline in 0..2usize {
                 for unroll in 0..8usize {
                     if let Some(v) = shared.get(&key(i, &["mem2reg"], inline, unroll)) {
-                        assert_eq!(v, Some(i));
+                        assert_eq!(v, Ok(i));
                     }
                 }
             }
         }
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_preload_round_trips() {
+        let c = ShardedFitnessCache::new();
+        c.insert(key(9, &["gvn"], 1, 1), Ok(50));
+        c.insert(key(2, &["dce"], 0, 0), Err(FailureClass::Trap));
+        c.insert(key(2, &["mem2reg", "dce"], 0, 0), Ok(7));
+        let snap = c.snapshot();
+        assert_eq!(snap.len(), 3);
+        let fps: Vec<u64> = snap.iter().map(|(k, _)| k.fingerprint).collect();
+        assert_eq!(fps, vec![2, 2, 9], "sorted by key");
+
+        let re = ShardedFitnessCache::new();
+        assert_eq!(re.preload(snap.clone()), 3);
+        assert_eq!(re.preload(snap.clone()), 0, "idempotent");
+        assert_eq!(re.snapshot(), snap);
+        assert_eq!(re.stats(), (0, 0), "preload leaves counters untouched");
     }
 }

@@ -112,6 +112,12 @@ impl TuneDb {
     /// never panics: see the module docs for the recovery policy.
     pub fn open(path: impl Into<PathBuf>) -> TuneDb {
         let path = path.into();
+        // Take the advisory lock while reading so a concurrent save cannot
+        // rename mid-read. Best-effort: a lock failure (exotic filesystem)
+        // degrades to the old unlocked read, it never fails the open.
+        let _lock = (!path.as_os_str().is_empty())
+            .then(|| crate::lock::FileLock::acquire(&path).ok())
+            .flatten();
         let (entries, load_status) = match std::fs::read_to_string(&path) {
             Err(_) => (BTreeMap::new(), LoadStatus::Fresh),
             Ok(text) => match parse(&text) {
@@ -238,6 +244,10 @@ impl TuneDb {
                 std::fs::create_dir_all(dir)?;
             }
         }
+        // Serialize concurrent savers: without the advisory lock, two
+        // temp-file + rename writers both succeed and the survivor silently
+        // drops the loser's entries.
+        let _lock = crate::lock::FileLock::acquire(&self.path)?;
         let tmp = self.path.with_extension("tmp");
         {
             let mut f = std::fs::File::create(&tmp)?;
@@ -465,6 +475,50 @@ mod tests {
                 db.load_status()
             );
         }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn save_takes_the_advisory_lock_and_leaves_the_sidecar() {
+        let dir = tmpdir("locking");
+        let path = dir.join("tune.db");
+        let mut db = TuneDb::open(&path);
+        db.record(entry(0xC, 300, &["dce"]));
+        db.save().unwrap();
+        let sidecar = crate::lock::lock_path_for(&path);
+        assert!(sidecar.exists(), "save must have created the lock sidecar");
+        // A stale sidecar (left by a dead process) never blocks reopening:
+        // flock dies with its descriptor.
+        let re = TuneDb::open(&path);
+        assert_eq!(re.len(), 1);
+        // While *we* hold the lock, save from another thread still
+        // completes once we release — it blocks rather than corrupts.
+        let held = crate::lock::FileLock::acquire(&path).unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let t = {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut other = TuneDb::in_memory();
+                other.record(entry(0xD, 400, &["gvn"]));
+                let other = TuneDb {
+                    path,
+                    entries: other.entries,
+                    load_status: LoadStatus::Fresh,
+                };
+                other.save().unwrap();
+                tx.send(()).unwrap();
+            })
+        };
+        assert!(
+            rx.recv_timeout(std::time::Duration::from_millis(200))
+                .is_err(),
+            "save must wait for the lock holder"
+        );
+        drop(held);
+        rx.recv_timeout(std::time::Duration::from_secs(10))
+            .expect("save completes after release");
+        t.join().unwrap();
+        assert_eq!(TuneDb::open(&path).get(0xD).unwrap().cycles, 400);
         std::fs::remove_dir_all(dir).unwrap();
     }
 

@@ -27,14 +27,24 @@ use std::collections::HashMap;
 use zkvmopt_passes::{find_pass, pass_names, PassConfig};
 
 pub mod cache;
+pub mod checkpoint;
 pub mod db;
+pub mod fault;
+pub mod lock;
 pub mod rng;
 pub mod service;
 
 pub use cache::{FitnessKey, ShardedFitnessCache};
+pub use checkpoint::{
+    load_checkpoint, save_checkpoint, CheckpointStatus, CHECKPOINT_SCHEMA_VERSION,
+};
 pub use db::{LoadStatus, TuneDb, TuneDbEntry, SCHEMA_VERSION};
+pub use fault::{EvalResult, FailureClass, FaultConfig, FaultPlan};
+pub use lock::{lock_path_for, FileLock};
 pub use rng::{seed_from_env, SeedTree};
-pub use service::{tune_suite, ServiceConfig, ServiceReport, TuneTarget, WorkloadTuneReport};
+pub use service::{
+    tune_suite, QuarantineEntry, ServiceConfig, ServiceReport, TuneTarget, WorkloadTuneReport,
+};
 
 /// One tuning candidate: a pass sequence plus parameter values.
 #[derive(Debug, Clone, PartialEq)]

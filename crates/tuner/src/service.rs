@@ -30,6 +30,30 @@
 //!   search is skipped outright (zero fitness evaluations, counted in
 //!   [`ServiceReport::db_hits`]); fresh results are recorded back.
 //!
+//! ## Fault tolerance
+//!
+//! The service assumes hostile inputs and partial failures:
+//!
+//! - **Panic isolation.** Every fitness call runs under `catch_unwind`; a
+//!   panicking evaluation becomes [`FailureClass::Panic`] instead of
+//!   killing the island (and poisoning its lock).
+//! - **Bounded retries.** Transient failures ([`FailureClass::is_transient`]:
+//!   panic, trap, budget) are retried up to [`ServiceConfig::max_retries`]
+//!   times before the failure is accepted; deterministic compile-stage
+//!   failures are never retried.
+//! - **Quarantine.** Candidates whose final outcome is a failure are
+//!   reported per workload ([`WorkloadTuneReport::quarantined`]) and
+//!   optionally appended to a quarantine log file, carrying the canonical
+//!   sequence and the failure class.
+//! - **Demotion.** A workload whose islands produce *zero* valid candidates
+//!   for [`ServiceConfig::demote_after`] consecutive generations stops
+//!   burning budget: its remaining generations are cancelled and it falls
+//!   back to the baseline (empty) sequence.
+//! - **Checkpoint/resume.** With [`ServiceConfig::checkpoint_path`] set,
+//!   the fitness cache is dumped atomically at generation barriers; a rerun
+//!   with the same configuration resumes from it with zero redundant
+//!   fitness evaluations (see [`crate::checkpoint`]).
+//!
 //! ## Determinism
 //!
 //! Same seed → same study, **regardless of thread count**. Every random
@@ -40,10 +64,15 @@
 //! *counters* (a benign race can evaluate a shared candidate twice), never
 //! the populations, the bests, or the tune-database contents. The fitness
 //! function must be a pure function of `(fingerprint, candidate)` — two
-//! targets with equal fingerprints must measure identically.
+//! targets with equal fingerprints must measure identically. Those
+//! properties survive faults: a kill + resume replays the identical search
+//! with the checkpointed evaluations pre-answered, and injected transient
+//! faults (see [`crate::fault`]) are retried until the true value lands.
 
 use crate::cache::{FitnessKey, ShardedFitnessCache};
+use crate::checkpoint::{load_checkpoint, save_checkpoint, CheckpointStatus};
 use crate::db::{TuneDb, TuneDbEntry};
+use crate::fault::{EvalResult, FailureClass};
 use crate::rng::SeedTree;
 use crate::{
     anchor_candidates, canonicalize_sequence, crossover, mutate, random_candidate, Candidate,
@@ -51,9 +80,15 @@ use crate::{
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use zkvmopt_passes::{find_pass, pass_names};
+
+/// Quarantine entries kept in memory per workload; the rest are counted in
+/// [`WorkloadTuneReport::quarantine_total`] (the log file gets everything).
+const QUARANTINE_CAP: usize = 64;
 
 /// Parallel-service configuration.
 #[derive(Debug, Clone)]
@@ -77,6 +112,21 @@ pub struct ServiceConfig {
     pub threads: usize,
     /// Skip the search for programs already in the tune database.
     pub warm_start: bool,
+    /// Re-attempts for a transiently failing evaluation (panic, trap,
+    /// budget — see [`FailureClass::is_transient`]) before the failure is
+    /// accepted and cached.
+    pub max_retries: usize,
+    /// Cancel a workload's remaining generations after this many
+    /// *consecutive* generations in which no island produced a single
+    /// valid candidate (`0` = never demote).
+    pub demote_after: usize,
+    /// Dump the fitness cache here at generation barriers; on start, resume
+    /// from it when its digest matches this run (`None` = no checkpointing).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Write a checkpoint every this many generation barriers (≥ 1).
+    pub checkpoint_interval: usize,
+    /// Write the quarantine log here after the run (`None` = in-report only).
+    pub quarantine_path: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -90,6 +140,11 @@ impl Default for ServiceConfig {
             seed: 0xC0FFEE,
             threads: 0,
             warm_start: true,
+            max_retries: 3,
+            demote_after: 3,
+            checkpoint_path: None,
+            checkpoint_interval: 1,
+            quarantine_path: None,
         }
     }
 }
@@ -106,6 +161,30 @@ impl ServiceConfig {
         self.seed = crate::rng::seed_from_env(self.seed);
         self
     }
+
+    /// Digest binding a checkpoint to this run's shape: the search-relevant
+    /// configuration plus the target fingerprints. Two runs with equal
+    /// digests replay the identical candidate stream, which is what makes
+    /// resuming from the other's checkpoint sound.
+    pub fn run_digest(&self, targets: &[TuneTarget]) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        mix(self.islands as u64);
+        mix(self.population as u64);
+        mix(self.generations as u64);
+        mix(self.migration_interval as u64);
+        mix(self.max_depth as u64);
+        mix(self.seed);
+        mix(self.max_retries as u64);
+        mix(self.demote_after as u64);
+        for t in targets {
+            mix(t.fingerprint);
+        }
+        h
+    }
 }
 
 /// One program to tune.
@@ -116,6 +195,15 @@ pub struct TuneTarget {
     /// Stable fingerprint of the program's lowered base module — the cache
     /// and tune-database key.
     pub fingerprint: u64,
+}
+
+/// One quarantined candidate: its canonical form and why it failed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineEntry {
+    /// The failing candidate (canonical sequence).
+    pub candidate: Candidate,
+    /// The recorded failure class.
+    pub class: FailureClass,
 }
 
 /// Per-workload outcome.
@@ -132,12 +220,24 @@ pub struct WorkloadTuneReport {
     pub best_fitness: Option<u64>,
     /// Evaluation budget spent (cache hits included).
     pub evaluated: usize,
-    /// Actual fitness-function calls (budget minus cache hits).
+    /// Actual fitness-function calls (budget minus cache hits, plus
+    /// retries).
     pub fitness_evals: usize,
     /// Evaluations served by the sharded cache.
     pub cache_hits: usize,
+    /// Transient-failure re-attempts ([`ServiceConfig::max_retries`]).
+    pub retries: usize,
     /// Whether the result came straight from the tune database.
     pub warm_started: bool,
+    /// Whether the search was cancelled early ([`ServiceConfig::demote_after`])
+    /// and the workload fell back to its baseline sequence.
+    pub demoted: bool,
+    /// Candidates whose final outcome was a failure (the first 64, in
+    /// deterministic key order).
+    pub quarantined: Vec<QuarantineEntry>,
+    /// Total failing candidates for this workload (may exceed
+    /// `quarantined.len()`).
+    pub quarantine_total: usize,
 }
 
 /// Whole-run outcome.
@@ -151,10 +251,21 @@ pub struct ServiceReport {
     pub fitness_evals: usize,
     /// Total sharded-cache hits.
     pub cache_hits: usize,
+    /// Total transient-failure re-attempts.
+    pub retries: usize,
     /// Workloads answered straight from the tune database.
     pub db_hits: usize,
     /// Tune-database entries inserted or improved by this run.
     pub db_updates: usize,
+    /// Workloads demoted to their baseline sequence.
+    pub demoted: usize,
+    /// Total quarantined (failing) candidates across workloads.
+    pub quarantine_total: usize,
+    /// How the checkpoint (if configured) loaded at start of run.
+    pub checkpoint_status: CheckpointStatus,
+    /// Checkpoint entries restored into the fitness cache — evaluations
+    /// this run will never have to repeat.
+    pub resumed_entries: usize,
 }
 
 /// One island's private evolution state.
@@ -169,6 +280,7 @@ struct IslandState {
     evaluated: usize,
     fitness_evals: usize,
     cache_hits: usize,
+    retries: usize,
 }
 
 /// Shared per-workload scheduling state.
@@ -179,14 +291,73 @@ struct WorkState {
     remaining: AtomicUsize,
     /// Generations fully completed.
     done_gens: AtomicUsize,
+    /// Valid (Ok) evaluations in the generation now running.
+    valid_in_gen: AtomicUsize,
+    /// Consecutive completed generations with zero valid evaluations.
+    failed_gens: AtomicUsize,
+    /// Whether the workload's remaining generations were cancelled.
+    demoted: AtomicBool,
+}
+
+/// Periodic checkpoint writer shared by the worker threads.
+struct CheckpointSink<'a> {
+    path: &'a Path,
+    digest: u64,
+    interval: usize,
+    barriers: AtomicUsize,
+    write_lock: Mutex<()>,
+}
+
+impl CheckpointSink<'_> {
+    /// Called at every generation barrier; dumps the cache every
+    /// `interval`-th call. Best-effort: an unwritable checkpoint degrades
+    /// to a longer resume, never a failed run.
+    fn barrier(&self, cache: &ShardedFitnessCache) {
+        let n = self.barriers.fetch_add(1, Ordering::SeqCst) + 1;
+        if !n.is_multiple_of(self.interval) {
+            return;
+        }
+        let _guard = self.write_lock.lock().expect("checkpoint writer");
+        if let Err(e) = save_checkpoint(self.path, self.digest, &cache.snapshot()) {
+            eprintln!(
+                "tuner: checkpoint write to {} failed ({e}); continuing without",
+                self.path.display()
+            );
+        }
+    }
+}
+
+/// Evaluate `fitness` once with panic isolation and the bounded transient
+/// retry policy. Returns the accepted outcome and the number of fitness
+/// calls made (≥ 1; every call after the first is a retry).
+fn eval_with_retries<F>(
+    config: &ServiceConfig,
+    fitness: &F,
+    widx: usize,
+    c: &Candidate,
+) -> (EvalResult, usize)
+where
+    F: Fn(usize, &Candidate) -> EvalResult + Sync,
+{
+    let mut calls = 0usize;
+    loop {
+        let r =
+            catch_unwind(AssertUnwindSafe(|| fitness(widx, c))).unwrap_or(Err(FailureClass::Panic));
+        calls += 1;
+        match r {
+            Err(class) if class.is_transient() && calls <= config.max_retries => continue,
+            r => return (r, calls),
+        }
+    }
 }
 
 /// Tune every target concurrently. `fitness(widx, candidate)` returns the
-/// cycle count on `targets[widx]` (or `None` for invalid candidates) and
-/// must be deterministic in `(targets[widx].fingerprint, candidate)`.
-/// Results for known programs come from `db` when
-/// [`ServiceConfig::warm_start`] is set; new results are recorded into `db`
-/// (call [`TuneDb::save`] to persist them).
+/// cycle count on `targets[widx]` (or the [`FailureClass`] describing why
+/// the candidate failed) and must be deterministic in
+/// `(targets[widx].fingerprint, candidate)`. A panicking fitness call is
+/// caught and treated as [`FailureClass::Panic`]. Results for known
+/// programs come from `db` when [`ServiceConfig::warm_start`] is set; new
+/// results are recorded into `db` (call [`TuneDb::save`] to persist them).
 pub fn tune_suite<F>(
     config: &ServiceConfig,
     targets: &[TuneTarget],
@@ -194,15 +365,17 @@ pub fn tune_suite<F>(
     fitness: F,
 ) -> ServiceReport
 where
-    F: Fn(usize, &Candidate) -> Option<u64> + Sync,
+    F: Fn(usize, &Candidate) -> EvalResult + Sync,
 {
     assert!(config.islands >= 1, "need at least one island");
     assert!(config.population >= 1, "need a non-empty population");
     assert!(config.generations >= 1, "need at least one generation");
     assert!(config.max_depth >= 1, "need depth >= 1");
+    assert!(config.checkpoint_interval >= 1, "interval >= 1");
 
     let seeds = SeedTree::new(config.seed);
     let names = pass_names();
+    let digest = config.run_digest(targets);
 
     // Resolve warm starts first: a known fingerprint costs nothing.
     let mut reports: Vec<Option<WorkloadTuneReport>> = Vec::with_capacity(targets.len());
@@ -221,7 +394,11 @@ where
                         evaluated: 0,
                         fitness_evals: 0,
                         cache_hits: 0,
+                        retries: 0,
                         warm_started: true,
+                        demoted: false,
+                        quarantined: Vec::new(),
+                        quarantine_total: 0,
                     }));
                 }
                 None => {
@@ -242,7 +419,33 @@ where
         }
     }
 
+    // Resume: restore the previous attempt's evaluations into the cache.
     let cache = ShardedFitnessCache::new();
+    let mut checkpoint_status = CheckpointStatus::Absent;
+    let mut resumed_entries = 0usize;
+    if let Some(path) = &config.checkpoint_path {
+        let (entries, status) = load_checkpoint(path, digest);
+        resumed_entries = cache.preload(entries);
+        match &status {
+            CheckpointStatus::Absent | CheckpointStatus::Loaded { .. } => {}
+            other => eprintln!(
+                "tuner: checkpoint {}: {other}; resuming from what survived",
+                path.display()
+            ),
+        }
+        checkpoint_status = status;
+    }
+    let sink = config
+        .checkpoint_path
+        .as_deref()
+        .map(|path| CheckpointSink {
+            path,
+            digest,
+            interval: config.checkpoint_interval,
+            barriers: AtomicUsize::new(0),
+            write_lock: Mutex::new(()),
+        });
+
     let work: Vec<WorkState> = cold
         .iter()
         .map(|&widx| WorkState {
@@ -257,35 +460,83 @@ where
                         evaluated: 0,
                         fitness_evals: 0,
                         cache_hits: 0,
+                        retries: 0,
                     })
                 })
                 .collect(),
             remaining: AtomicUsize::new(config.islands),
             done_gens: AtomicUsize::new(0),
+            valid_in_gen: AtomicUsize::new(0),
+            failed_gens: AtomicUsize::new(0),
+            demoted: AtomicBool::new(false),
         })
         .collect();
 
     if !cold.is_empty() {
-        run_scheduler(config, &cold, &work, &cache, &fitness, names);
+        run_scheduler(config, &cold, &work, &cache, &fitness, names, sink.as_ref());
     }
+
+    // Quarantine: every cached failure, grouped per fingerprint. Derived
+    // from the cache snapshot so it is deterministic at any thread count
+    // (the set of evaluated candidates is; only counters wobble).
+    let failures: Vec<(FitnessKey, FailureClass)> = cache
+        .snapshot()
+        .into_iter()
+        .filter_map(|(k, v)| v.err().map(|class| (k, class)))
+        .collect();
 
     // Collect island results and record fresh bests into the database.
     let mut db_updates = 0usize;
     for (ci, &widx) in cold.iter().enumerate() {
         let t = &targets[widx];
         let mut best: Option<(Candidate, u64)> = None;
-        let (mut evaluated, mut fitness_evals, mut cache_hits) = (0, 0, 0);
+        let (mut evaluated, mut fitness_evals, mut cache_hits, mut retries) = (0, 0, 0, 0);
         for island in &work[ci].islands {
             let s = island.lock().expect("island");
             evaluated += s.evaluated;
             fitness_evals += s.fitness_evals;
             cache_hits += s.cache_hits;
+            retries += s.retries;
             if let Some((c, f)) = &s.best {
                 // Strict `<` keeps the lowest island index on ties —
                 // deterministic because island order is.
                 if best.as_ref().is_none_or(|(_, bf)| f < bf) {
                     best = Some((c.clone(), *f));
                 }
+            }
+        }
+        let demoted = work[ci].demoted.load(Ordering::SeqCst);
+        if demoted && best.is_none() {
+            // Graceful degradation: a fully-failing workload falls back to
+            // the baseline (empty) sequence — "run nothing" is always a
+            // legitimate pipeline, provided it actually evaluates.
+            let baseline = Candidate {
+                passes: Vec::new(),
+                inline_threshold: 225,
+                unroll_threshold: 200,
+            };
+            let key = FitnessKey {
+                fingerprint: t.fingerprint,
+                passes: Vec::new(),
+                inline_threshold: baseline.inline_threshold,
+                unroll_threshold: baseline.unroll_threshold,
+            };
+            evaluated += 1;
+            let r = match cache.get(&key) {
+                Some(v) => {
+                    cache_hits += 1;
+                    v
+                }
+                None => {
+                    let (r, calls) = eval_with_retries(config, &fitness, widx, &baseline);
+                    fitness_evals += calls;
+                    retries += calls - 1;
+                    cache.insert(key, r);
+                    r
+                }
+            };
+            if let Ok(f) = r {
+                best = Some((baseline, f));
             }
         }
         let best = best.map(|(c, f)| (canonical_candidate(&c), f));
@@ -300,6 +551,24 @@ where
                 db_updates += 1;
             }
         }
+        let mut quarantined: Vec<QuarantineEntry> = Vec::new();
+        let mut quarantine_total = 0usize;
+        for (k, class) in failures
+            .iter()
+            .filter(|(k, _)| k.fingerprint == t.fingerprint)
+        {
+            quarantine_total += 1;
+            if quarantined.len() < QUARANTINE_CAP {
+                quarantined.push(QuarantineEntry {
+                    candidate: Candidate {
+                        passes: k.passes.clone(),
+                        inline_threshold: k.inline_threshold,
+                        unroll_threshold: k.unroll_threshold,
+                    },
+                    class: *class,
+                });
+            }
+        }
         reports[widx] = Some(WorkloadTuneReport {
             name: t.name.clone(),
             fingerprint: t.fingerprint,
@@ -308,8 +577,22 @@ where
             evaluated,
             fitness_evals,
             cache_hits,
+            retries,
             warm_started: false,
+            demoted,
+            quarantined,
+            quarantine_total,
         });
+    }
+
+    if let Some(path) = &config.quarantine_path {
+        if let Err(e) = write_quarantine_log(path, &failures) {
+            eprintln!(
+                "tuner: quarantine log write to {} failed ({e}); \
+                 failures remain in the in-memory report",
+                path.display()
+            );
+        }
     }
 
     let workloads: Vec<WorkloadTuneReport> = reports
@@ -320,15 +603,61 @@ where
         evaluated: workloads.iter().map(|w| w.evaluated).sum(),
         fitness_evals: workloads.iter().map(|w| w.fitness_evals).sum(),
         cache_hits: workloads.iter().map(|w| w.cache_hits).sum(),
+        retries: workloads.iter().map(|w| w.retries).sum(),
         db_hits,
         db_updates,
+        demoted: workloads.iter().filter(|w| w.demoted).count(),
+        quarantine_total: failures.len(),
+        checkpoint_status,
+        resumed_entries,
         workloads,
     }
+}
+
+/// Atomic (tmp + rename) dump of every cached failure:
+/// `<fp> <class> <inline> <unroll> <seq|->` per line.
+fn write_quarantine_log(
+    path: &Path,
+    failures: &[(FitnessKey, FailureClass)],
+) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut out = String::from("zkvmopt-quarantine 1\n");
+    for (k, class) in failures {
+        let seq = if k.passes.is_empty() {
+            "-".to_string()
+        } else {
+            k.passes.join(",")
+        };
+        out.push_str(&format!(
+            "{} {} {} {} {seq}\n",
+            zkvmopt_ir::analysis::fingerprint_to_hex(k.fingerprint),
+            class.token(),
+            k.inline_threshold,
+            k.unroll_threshold,
+        ));
+    }
+    let tmp = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".tmp");
+        PathBuf::from(os)
+    };
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(out.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
 }
 
 /// The work-stealing loop: a shared ready queue of `(cold index, island)`
 /// tasks, per-workload generation barriers, termination via an outstanding
 /// task counter.
+#[allow(clippy::too_many_arguments)]
 fn run_scheduler<F>(
     config: &ServiceConfig,
     cold: &[usize],
@@ -336,8 +665,9 @@ fn run_scheduler<F>(
     cache: &ShardedFitnessCache,
     fitness: &F,
     names: &'static [&'static str],
+    sink: Option<&CheckpointSink<'_>>,
 ) where
-    F: Fn(usize, &Candidate) -> Option<u64> + Sync,
+    F: Fn(usize, &Candidate) -> EvalResult + Sync,
 {
     let queue: Mutex<VecDeque<(usize, usize)>> = Mutex::new(
         (0..cold.len())
@@ -375,7 +705,7 @@ fn run_scheduler<F>(
                 };
                 let w = &work[ci];
                 let gen = w.done_gens.load(Ordering::SeqCst);
-                {
+                let valid = {
                     let mut island = w.islands[island_idx].lock().expect("island");
                     run_generation(
                         config,
@@ -387,24 +717,46 @@ fn run_scheduler<F>(
                         cache,
                         fitness,
                         names,
-                    );
-                }
+                    )
+                };
+                w.valid_in_gen.fetch_add(valid, Ordering::SeqCst);
                 // Generation barrier: the last island of this generation
                 // migrates elites and releases the next generation.
                 if w.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
                     let done = w.done_gens.fetch_add(1, Ordering::SeqCst) + 1;
+                    let valid_total = w.valid_in_gen.swap(0, Ordering::SeqCst);
+                    let failed = if valid_total == 0 {
+                        w.failed_gens.fetch_add(1, Ordering::SeqCst) + 1
+                    } else {
+                        w.failed_gens.store(0, Ordering::SeqCst);
+                        0
+                    };
+                    if let Some(s) = sink {
+                        s.barrier(cache);
+                    }
                     if done < config.generations {
-                        if config.migration_interval > 0
-                            && config.islands > 1
-                            && done.is_multiple_of(config.migration_interval)
-                        {
-                            migrate_ring(w);
+                        if config.demote_after > 0 && failed >= config.demote_after {
+                            // Demote: cancel the remaining generations —
+                            // burning the rest of the budget on a workload
+                            // that cannot produce a valid candidate starves
+                            // the healthy ones. The collection phase falls
+                            // back to the baseline sequence.
+                            w.demoted.store(true, Ordering::SeqCst);
+                            let skipped = (config.generations - done) * config.islands;
+                            outstanding.fetch_sub(skipped, Ordering::SeqCst);
+                        } else {
+                            if config.migration_interval > 0
+                                && config.islands > 1
+                                && done.is_multiple_of(config.migration_interval)
+                            {
+                                migrate_ring(w);
+                            }
+                            w.remaining.store(config.islands, Ordering::SeqCst);
+                            let mut q = queue.lock().expect("task queue");
+                            q.extend((0..config.islands).map(|i| (ci, i)));
+                            drop(q);
+                            ready.notify_all();
                         }
-                        w.remaining.store(config.islands, Ordering::SeqCst);
-                        let mut q = queue.lock().expect("task queue");
-                        q.extend((0..config.islands).map(|i| (ci, i)));
-                        drop(q);
-                        ready.notify_all();
                     }
                 }
                 if outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
@@ -416,7 +768,8 @@ fn run_scheduler<F>(
 }
 
 /// Evolve one island by one generation. Deterministic in the island's RNG
-/// state and population; costs exactly `config.population` budget.
+/// state and population; costs exactly `config.population` budget. Returns
+/// the number of valid (Ok) evaluations, for the demotion policy.
 #[allow(clippy::too_many_arguments)]
 fn run_generation<F>(
     config: &ServiceConfig,
@@ -428,10 +781,12 @@ fn run_generation<F>(
     cache: &ShardedFitnessCache,
     fitness: &F,
     names: &'static [&'static str],
-) where
-    F: Fn(usize, &Candidate) -> Option<u64> + Sync,
+) -> usize
+where
+    F: Fn(usize, &Candidate) -> EvalResult + Sync,
 {
-    let eval = |island: &mut IslandState, c: &Candidate| -> Option<u64> {
+    let mut valid = 0usize;
+    let mut eval = |island: &mut IslandState, c: &Candidate| -> Option<u64> {
         let key = FitnessKey {
             fingerprint,
             passes: canonicalize_sequence(&c.passes),
@@ -439,18 +794,23 @@ fn run_generation<F>(
             unroll_threshold: c.unroll_threshold,
         };
         island.evaluated += 1;
-        match cache.get(&key) {
+        let r = match cache.get(&key) {
             Some(v) => {
                 island.cache_hits += 1;
                 v
             }
             None => {
-                let v = fitness(widx, c);
-                island.fitness_evals += 1;
-                cache.insert(key, v);
-                v
+                let (r, calls) = eval_with_retries(config, fitness, widx, c);
+                island.fitness_evals += calls;
+                island.retries += calls - 1;
+                cache.insert(key, r);
+                r
             }
+        };
+        if r.is_ok() {
+            valid += 1;
         }
+        r.ok()
     };
 
     if gen == 0 {
@@ -511,6 +871,7 @@ fn run_generation<F>(
             }
         }
     }
+    valid
 }
 
 /// Stable best-first order; invalid candidates (`None`) sink to the back.
@@ -577,10 +938,11 @@ fn candidate_from_db(e: &TuneDbEntry) -> Option<Candidate> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultConfig, FaultPlan};
 
     /// A cheap synthetic fitness: deterministic pure function of
     /// (fingerprint, canonical candidate) — the documented contract.
-    fn synthetic(fp: u64, c: &Candidate) -> Option<u64> {
+    fn synthetic(fp: u64, c: &Candidate) -> EvalResult {
         let canon = canonicalize_sequence(&c.passes);
         let mut score = 10_000 + (fp % 7) * 100;
         if canon.first() == Some(&"mem2reg") {
@@ -592,9 +954,9 @@ mod tests {
         score += canon.len() as u64 * 10;
         score += (c.inline_threshold as u64) % 13;
         if canon.contains(&"licm") {
-            return None; // exercise the invalid-candidate path
+            return Err(FailureClass::Divergence); // exercise the failure path
         }
-        Some(score)
+        Ok(score)
     }
 
     fn targets(n: usize) -> Vec<TuneTarget> {
@@ -611,6 +973,14 @@ mod tests {
         tune_suite(cfg, &ts, db, |widx, c| synthetic(ts[widx].fingerprint, c))
     }
 
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("zkvmopt-service-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn spends_exactly_the_budget_and_finds_good_candidates() {
         let cfg = ServiceConfig {
@@ -623,14 +993,22 @@ mod tests {
         assert_eq!(r.evaluated, 3 * cfg.budget_per_workload());
         assert_eq!(r.db_hits, 0);
         assert_eq!(r.db_updates, 3);
+        assert_eq!(r.retries, 0, "divergence failures are never retried");
+        assert_eq!(r.demoted, 0);
         for w in &r.workloads {
             assert!(!w.warm_started);
             assert_eq!(w.evaluated, cfg.budget_per_workload());
-            assert_eq!(w.evaluated, w.fitness_evals + w.cache_hits);
+            assert_eq!(w.evaluated, w.fitness_evals + w.cache_hits - w.retries);
             let f = w.best_fitness.expect("found a valid candidate");
             assert!(f < 7_000, "search should beat the random floor, got {f}");
             assert!(!w.best.as_ref().unwrap().passes.contains(&"licm"));
             assert_eq!(db.get(w.fingerprint).unwrap().cycles, f);
+            // Every licm-bearing candidate landed in quarantine, classed.
+            assert!(w.quarantine_total >= w.quarantined.len());
+            for q in &w.quarantined {
+                assert_eq!(q.class, FailureClass::Divergence);
+                assert!(q.candidate.passes.contains(&"licm"));
+            }
         }
     }
 
@@ -666,6 +1044,8 @@ mod tests {
                 assert_eq!(a.best, b.best);
                 assert_eq!(a.best_fitness, b.best_fitness);
                 assert_eq!(a.evaluated, b.evaluated);
+                assert_eq!(a.quarantine_total, b.quarantine_total, "{}", a.name);
+                assert_eq!(a.quarantined, b.quarantined, "{}", a.name);
             }
         }
     }
@@ -822,5 +1202,274 @@ mod tests {
             );
             assert_eq!(ra.evaluated, rb.evaluated);
         }
+    }
+
+    /// Panic isolation + bounded retries: a fitness function that panics
+    /// and traps transiently (via the deterministic fault plan, capped
+    /// below the retry budget) yields a bit-identical database to the
+    /// fault-free run, with the retries surfaced in the report.
+    #[test]
+    fn transient_faults_converge_to_the_fault_free_database() {
+        let cfg = ServiceConfig {
+            islands: 2,
+            population: 6,
+            generations: 4,
+            threads: 4,
+            seed: 0xFA_B1E,
+            max_retries: 3,
+            ..Default::default()
+        };
+        let ts = targets(3);
+
+        let mut clean_db = TuneDb::in_memory();
+        let clean = tune_suite(&cfg, &ts, &mut clean_db, |widx, c| {
+            synthetic(ts[widx].fingerprint, c)
+        });
+
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 0xBAD5EED,
+            panic_rate: 0.10,
+            trap_rate: 0.10,
+            budget_rate: 0.05,
+            max_injections: 2, // ≤ max_retries: convergence guaranteed
+            ..Default::default()
+        });
+        let mut chaos_db = TuneDb::in_memory();
+        let wrapped = plan.wrap(|widx: usize, c: &Candidate| synthetic(ts[widx].fingerprint, c));
+        let chaos = tune_suite(&cfg, &ts, &mut chaos_db, &wrapped);
+
+        assert!(
+            !plan.injected().is_empty(),
+            "the plan must actually have injected faults"
+        );
+        assert!(chaos.retries > 0, "injected faults must surface as retries");
+        assert_eq!(
+            chaos_db.to_string_pretty(),
+            clean_db.to_string_pretty(),
+            "non-corrupting faults must not change the tune database"
+        );
+        for (a, b) in chaos.workloads.iter().zip(&clean.workloads) {
+            assert_eq!(a.best, b.best, "{}", a.name);
+            assert_eq!(a.best_fitness, b.best_fitness, "{}", a.name);
+            assert_eq!(a.evaluated, b.evaluated, "{}", a.name);
+            assert_eq!(a.quarantined, b.quarantined, "{}", a.name);
+            assert_eq!(a.evaluated, a.fitness_evals + a.cache_hits - a.retries);
+        }
+    }
+
+    /// A workload whose evaluations always fail is demoted after
+    /// `demote_after` consecutive empty generations instead of burning its
+    /// whole budget, and falls back to the baseline sequence when even that
+    /// is all the run ever measured. Healthy workloads are untouched.
+    #[test]
+    fn hopeless_workloads_are_demoted_and_fall_back_to_baseline() {
+        let cfg = ServiceConfig {
+            islands: 2,
+            population: 4,
+            generations: 6,
+            threads: 3,
+            demote_after: 2,
+            ..Default::default()
+        };
+        let ts = targets(2);
+        let poisoned = ts[1].fingerprint;
+        let mut db = TuneDb::in_memory();
+        let r = tune_suite(&cfg, &ts, &mut db, |widx, c| {
+            if ts[widx].fingerprint == poisoned {
+                // Baseline (empty sequence) still works: demotion has a
+                // fallback to land on. Everything else traps.
+                if canonicalize_sequence(&c.passes).is_empty() {
+                    Ok(77_777)
+                } else {
+                    Err(FailureClass::Trap)
+                }
+            } else {
+                synthetic(ts[widx].fingerprint, c)
+            }
+        });
+
+        let healthy = &r.workloads[0];
+        assert!(!healthy.demoted);
+        assert_eq!(healthy.evaluated, cfg.budget_per_workload());
+
+        let sick = &r.workloads[1];
+        assert!(sick.demoted, "all-failing workload must demote");
+        assert!(
+            sick.evaluated < cfg.budget_per_workload(),
+            "demotion must cancel the remaining budget ({} evals)",
+            sick.evaluated
+        );
+        assert_eq!(r.demoted, 1);
+        let best = sick.best.as_ref().expect("baseline fallback");
+        assert!(best.passes.is_empty(), "fallback is the empty sequence");
+        assert_eq!(sick.best_fitness, Some(77_777));
+        assert_eq!(db.get(poisoned).unwrap().cycles, 77_777);
+        assert!(sick.quarantine_total > 0, "failures were quarantined");
+        assert!(sick.retries > 0, "traps are transient: retried");
+    }
+
+    /// Even a workload with **no** valid outcome at all (baseline included)
+    /// completes with `best: None` — the service degrades, never hangs or
+    /// panics.
+    #[test]
+    fn totally_hostile_workloads_complete_with_no_best() {
+        let cfg = ServiceConfig {
+            islands: 2,
+            population: 3,
+            generations: 5,
+            threads: 2,
+            demote_after: 1,
+            ..Default::default()
+        };
+        let ts = targets(1);
+        let mut db = TuneDb::in_memory();
+        let r = tune_suite(&cfg, &ts, &mut db, |_, _c| {
+            Err::<u64, _>(FailureClass::Codegen)
+        });
+        let w = &r.workloads[0];
+        assert!(w.demoted);
+        assert_eq!(w.best, None);
+        assert_eq!(w.best_fitness, None);
+        assert_eq!(w.retries, 0, "codegen failures are deterministic");
+        assert!(db.is_empty(), "nothing valid, nothing recorded");
+    }
+
+    /// A panicking fitness function (raw `panic!`, no fault plan) is
+    /// isolated: the run completes, the panics class as `Panic`, and the
+    /// panicking candidates are quarantined.
+    #[test]
+    fn raw_panics_in_fitness_are_isolated_and_classified() {
+        let cfg = ServiceConfig {
+            islands: 2,
+            population: 4,
+            generations: 3,
+            threads: 2,
+            ..Default::default()
+        };
+        let ts = targets(1);
+        let mut db = TuneDb::in_memory();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let r = tune_suite(&cfg, &ts, &mut db, |widx, c| {
+            if canonicalize_sequence(&c.passes).contains(&"gvn") {
+                panic!("evaluator bug");
+            }
+            synthetic(ts[widx].fingerprint, c)
+        });
+        std::panic::set_hook(prev);
+        let w = &r.workloads[0];
+        assert!(w.best.is_some(), "search survives panicking candidates");
+        assert!(!w.best.as_ref().unwrap().passes.contains(&"gvn"));
+        assert!(
+            w.quarantined.iter().any(|q| q.class == FailureClass::Panic),
+            "panics must be classified and quarantined"
+        );
+        assert!(w.retries > 0, "panics are transient: retried");
+    }
+
+    /// Checkpoint/resume at the unit level: a completed run leaves a
+    /// checkpoint holding every evaluation; a second run with the same
+    /// configuration resumes from it and needs **zero** fitness calls to
+    /// produce the bit-identical database. A corrupted checkpoint degrades
+    /// to a partial resume, never a wrong result.
+    #[test]
+    fn resume_from_checkpoint_repeats_no_evaluations() {
+        let dir = tmpdir("resume");
+        let ckpt = dir.join("run.ckpt");
+        let cfg = ServiceConfig {
+            islands: 2,
+            population: 5,
+            generations: 4,
+            threads: 3,
+            warm_start: false, // force the search; resume must do the saving
+            checkpoint_path: Some(ckpt.clone()),
+            ..Default::default()
+        };
+        let mut db1 = TuneDb::in_memory();
+        let first = run(&cfg, &mut db1, 2);
+        assert_eq!(first.checkpoint_status, CheckpointStatus::Absent);
+        assert!(first.fitness_evals > 0);
+        assert!(ckpt.exists(), "barriers must have written the checkpoint");
+
+        let mut db2 = TuneDb::in_memory();
+        let resumed = run(&cfg, &mut db2, 2);
+        assert!(matches!(
+            resumed.checkpoint_status,
+            CheckpointStatus::Loaded { .. }
+        ));
+        assert!(resumed.resumed_entries > 0);
+        assert_eq!(
+            resumed.fitness_evals, 0,
+            "a full checkpoint answers every evaluation"
+        );
+        assert_eq!(db2.to_string_pretty(), db1.to_string_pretty());
+
+        // Corrupt the checkpoint: tail lines survive, the run completes
+        // with the same database.
+        let text = std::fs::read_to_string(&ckpt).unwrap();
+        let keep = text.lines().count() / 2;
+        let mut torn: String = text.lines().take(keep).collect::<Vec<_>>().join("\n");
+        torn.push_str("\ntorn-li");
+        std::fs::write(&ckpt, torn).unwrap();
+        let mut db4 = TuneDb::in_memory();
+        let salvaged = run(&cfg, &mut db4, 2);
+        assert!(matches!(
+            salvaged.checkpoint_status,
+            CheckpointStatus::Recovered { .. }
+        ));
+        assert!(salvaged.resumed_entries > 0);
+        assert_eq!(db4.to_string_pretty(), db1.to_string_pretty());
+
+        // A different seed must reject the checkpoint (digest mismatch)
+        // rather than resume a different search from it.
+        let mut db3 = TuneDb::in_memory();
+        let other = run(
+            &ServiceConfig {
+                seed: cfg.seed + 1,
+                ..cfg.clone()
+            },
+            &mut db3,
+            2,
+        );
+        assert_eq!(other.checkpoint_status, CheckpointStatus::Mismatch);
+        assert!(other.fitness_evals > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The quarantine log file: every cached failure, atomically written,
+    /// line-parseable, stable across reruns.
+    #[test]
+    fn quarantine_log_is_written_and_deterministic() {
+        let dir = tmpdir("quarantine");
+        let log = dir.join("quarantine.log");
+        let cfg = ServiceConfig {
+            islands: 2,
+            population: 6,
+            generations: 3,
+            threads: 2,
+            quarantine_path: Some(log.clone()),
+            ..Default::default()
+        };
+        let mut db = TuneDb::in_memory();
+        let r = run(&cfg, &mut db, 2);
+        let text = std::fs::read_to_string(&log).expect("log written");
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("zkvmopt-quarantine 1"));
+        let body: Vec<&str> = lines.collect();
+        assert_eq!(body.len(), r.quarantine_total);
+        for line in &body {
+            let parts: Vec<&str> = line.split_ascii_whitespace().collect();
+            assert_eq!(parts.len(), 5, "{line:?}");
+            assert!(FailureClass::from_token(parts[1]).is_some(), "{line:?}");
+            assert!(parts[4].contains("licm"), "{line:?}");
+        }
+        let mut db2 = TuneDb::in_memory();
+        run(&cfg, &mut db2, 2);
+        assert_eq!(
+            std::fs::read_to_string(&log).unwrap(),
+            text,
+            "equal seeds produce the identical quarantine log"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -16,7 +16,6 @@
 use zkvm_opt::study::SuiteRunner;
 use zkvm_opt::tuner::{tune_suite, ServiceConfig, TuneDb, TuneTarget};
 use zkvm_opt::vm::VmKind;
-use zkvmopt_passes::PassConfig;
 
 fn main() {
     let names = ["loop-sum", "fibonacci", "tailcall", "sha2-bench"];
@@ -29,15 +28,7 @@ fn main() {
     let evaluator = runner
         .batch_evaluator(&workloads, VmKind::RiscZero)
         .expect("suite workloads compile");
-    let targets: Vec<TuneTarget> = evaluator
-        .names()
-        .iter()
-        .enumerate()
-        .map(|(i, n)| TuneTarget {
-            name: n.to_string(),
-            fingerprint: evaluator.fingerprint(i),
-        })
-        .collect();
+    let targets: Vec<TuneTarget> = evaluator.tune_targets();
 
     // `ZKVMOPT_SEED` overrides the seed; results are identical for a given
     // seed regardless of thread count.
@@ -61,14 +52,10 @@ fn main() {
     let mut db = TuneDb::open("target/tune.db");
     println!("tune db: target/tune.db ({})\n", db.load_status());
 
-    let report = tune_suite(&config, &targets, &mut db, |widx, cand| {
-        let cfg = PassConfig {
-            inline_threshold: cand.inline_threshold,
-            unroll_threshold: cand.unroll_threshold,
-            ..PassConfig::default()
-        };
-        evaluator.eval(widx, &cand.passes, &cfg)
-    });
+    // The classified fitness isolates panics, enforces per-candidate cycle
+    // budgets, and reports every failure as a `FailureClass` the service
+    // can retry or quarantine.
+    let report = tune_suite(&config, &targets, &mut db, evaluator.classified_fitness());
     db.save().expect("tune db saves");
 
     println!(
@@ -95,6 +82,12 @@ fn main() {
          {} answered from the tune db)",
         report.evaluated, report.fitness_evals, report.cache_hits, report.db_hits
     );
+    if report.retries > 0 || report.quarantine_total > 0 {
+        println!(
+            "fault tolerance: {} retries, {} candidates quarantined, {} workloads demoted",
+            report.retries, report.quarantine_total, report.demoted
+        );
+    }
     if report.db_hits == targets.len() {
         println!("everything warm-started — delete target/tune.db to search again");
     }

@@ -1,0 +1,117 @@
+//! The block-dispatch engine is **total** under hostile budgets and inputs:
+//! for every workload in the suite, any `max_cycles` (including 0) and any
+//! input vector (wrong length, extreme magnitudes), `Engine::run` returns
+//! `Ok(report)` or a structured `ExecError` — it never panics.
+//!
+//! This is the runtime half of the fault-tolerance story: the tuning
+//! service's per-candidate cycle budgets only isolate runaway candidates if
+//! hitting the budget (or faulting on memory the inputs drove out of range)
+//! surfaces as an error value the retry/quarantine machinery can classify.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use zkvm_opt::riscv::TargetCostModel;
+use zkvm_opt::vm::{DecodedProgram, Engine, ExecConfig, ExecError, VmKind, VmProfile};
+
+struct Compiled {
+    name: &'static str,
+    prog: DecodedProgram,
+    inputs: Vec<i32>,
+}
+
+/// Every suite workload compiled once at -O0 (no passes: the baseline
+/// pipeline, and the cheapest compile — this file is about the engine).
+fn suite() -> &'static [Compiled] {
+    static SUITE: OnceLock<Vec<Compiled>> = OnceLock::new();
+    SUITE.get_or_init(|| {
+        zkvm_opt::workloads::all()
+            .iter()
+            .map(|w| {
+                let m = zkvm_opt::lang::compile_guest(&w.source)
+                    .unwrap_or_else(|e| panic!("{}: workload compiles: {e}", w.name));
+                let p = zkvm_opt::riscv::compile_module(&m, &TargetCostModel::zk())
+                    .unwrap_or_else(|e| panic!("{}: codegen: {e}", w.name));
+                Compiled {
+                    name: w.name,
+                    prog: DecodedProgram::decode(&p),
+                    inputs: w.inputs.clone(),
+                }
+            })
+            .collect()
+    })
+}
+
+/// Run one workload under a budget with the given inputs; the property is
+/// that this returns at all. Structured outcomes are sanity-checked: a halt
+/// report is internally consistent, a cycle-limit error only fires when the
+/// budget is actually short.
+fn check(c: &Compiled, kind: VmKind, max_cycles: u64, inputs: &[i32]) {
+    let config = ExecConfig {
+        inputs: inputs.to_vec(),
+        max_cycles,
+    };
+    match Engine::new(&c.prog, VmProfile::for_kind(kind), config).run() {
+        Ok(r) => {
+            // The halting instruction itself is exempt from the budget
+            // check, so a halt may land one ecall's cost past the limit —
+            // but never materially beyond it.
+            assert!(r.halted, "{}: Ok(report) must be a halt", c.name);
+            assert!(
+                r.user_cycles <= max_cycles.saturating_add(64),
+                "{}: halted run blew far past its budget ({} vs {max_cycles})",
+                c.name,
+                r.user_cycles
+            );
+        }
+        Err(ExecError::CycleLimit) => {}
+        Err(ExecError::MemFault { .. }) | Err(ExecError::BadPc { .. }) => {}
+    }
+}
+
+/// Pinned tiny budgets over the whole suite with the genuine inputs: 0 must
+/// not underflow anything, 1 exercises the first-block path, the others
+/// land mid-block and mid-loop for most programs.
+#[test]
+fn tiny_cycle_budgets_error_cleanly_across_the_suite() {
+    for c in suite() {
+        for kind in VmKind::BOTH {
+            for budget in [0, 1, 13, 997] {
+                check(c, kind, budget, &c.inputs);
+            }
+        }
+    }
+}
+
+/// Extreme input values with the genuine input arity: drives input-derived
+/// array indexing and loop trip counts to their limits.
+#[test]
+fn extreme_inputs_never_panic_the_engine() {
+    for c in suite() {
+        for fill in [i32::MIN, i32::MAX, -1] {
+            let inputs = vec![fill; c.inputs.len()];
+            for kind in VmKind::BOTH {
+                check(c, kind, 200_000, &inputs);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Random budgets and random (possibly wrong-arity) inputs, every
+    /// workload, both cost models.
+    #[test]
+    fn random_budgets_and_inputs_never_panic_the_engine(
+        budget in 0u64..4096,
+        arity in 0usize..4,
+        fill in -2_000_000_000i32..2_000_000_000,
+    ) {
+        let inputs = vec![fill; arity];
+        for c in suite() {
+            for kind in VmKind::BOTH {
+                check(c, kind, budget, &inputs);
+            }
+        }
+    }
+}

@@ -24,7 +24,7 @@
 
 use zkvm_opt::study::SuiteRunner;
 use zkvm_opt::tuner::{
-    autotune, tune_suite, Candidate, ServiceConfig, TuneDb, TuneTarget, TunerConfig,
+    autotune, tune_suite, Candidate, EvalResult, ServiceConfig, TuneDb, TuneTarget, TunerConfig,
 };
 use zkvm_opt::vm::VmKind;
 use zkvmopt_core::BatchEvaluator;
@@ -64,6 +64,18 @@ fn candidate_cycles(ev: &BatchEvaluator, widx: usize, c: &Candidate) -> Option<u
     ev.eval(widx, &c.passes, &cfg)
 }
 
+/// The structured-error fitness the service consumes: same pipeline as
+/// [`candidate_cycles`] but failures keep their [`FailureClass`].
+fn classified(ev: &BatchEvaluator, widx: usize, c: &Candidate) -> EvalResult {
+    let cfg = PassConfig {
+        inline_threshold: c.inline_threshold,
+        unroll_threshold: c.unroll_threshold,
+        ..PassConfig::default()
+    };
+    ev.eval_classified(widx, &c.passes, &cfg)
+        .map_err(|e| e.class())
+}
+
 fn service_config(threads: usize) -> ServiceConfig {
     ServiceConfig {
         islands: 2,
@@ -82,7 +94,7 @@ fn run_service(
     db: &mut TuneDb,
 ) -> zkvm_opt::tuner::ServiceReport {
     tune_suite(&service_config(threads), &targets(ev), db, |widx, c| {
-        candidate_cycles(ev, widx, c)
+        classified(ev, widx, c)
     })
 }
 
@@ -149,7 +161,7 @@ fn service_matches_or_beats_the_sequential_oracle_at_equal_budget() {
 
     let mut db = TuneDb::in_memory();
     let report = tune_suite(&svc_cfg, &targets(&ev), &mut db, |widx, c| {
-        candidate_cycles(&ev, widx, c)
+        classified(&ev, widx, c)
     });
 
     for (widx, w) in report.workloads.iter().enumerate() {

@@ -1,0 +1,162 @@
+//! panicguard: a ratchet lint against new panic sites in the crates that sit
+//! on the tuning service's untrusted-input path (`lang`, `core`, `tuner`).
+//!
+//! The fault-tolerance contract is that untrusted program text and untrusted
+//! candidate pipelines surface failures as values (`CompileError`,
+//! `PipelineError`, `FailureClass`), never as panics. `catch_unwind` in the
+//! service is the backstop, not the error channel — so new `.unwrap()` /
+//! `.expect("...")` / `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+//! sites in non-test code of those crates fail CI unless the baseline is
+//! consciously re-blessed.
+//!
+//! Usage (from the repo root):
+//!
+//! ```text
+//! cargo run --manifest-path tools/panicguard/Cargo.toml            # lint
+//! cargo run --manifest-path tools/panicguard/Cargo.toml -- --bless # accept
+//! ```
+//!
+//! Counting rules, kept deliberately dumb and reviewable:
+//! - only `src/**/*.rs` of the guarded crates is scanned;
+//! - counting stops at the first `#[cfg(test)]` line of a file (this
+//!   workspace keeps test modules at the end of each file);
+//! - comment-only lines are skipped;
+//! - `.expect(` only counts with a string-literal argument (`.expect("`),
+//!   which distinguishes panicking expectations from the lang parser's own
+//!   `expect(&Tok, ..)` method;
+//! - per-file counts are compared against `baseline.txt`: any increase
+//!   fails, any decrease asks for a re-bless so the ratchet only tightens.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+const GUARDED: &[&str] = &["crates/lang/src", "crates/core/src", "crates/tuner/src"];
+const PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(\"",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+fn repo_root() -> PathBuf {
+    // tools/panicguard/Cargo.toml -> repo root is two levels up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("tool lives two levels under the repo root")
+        .to_path_buf()
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            rust_files(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+fn count_sites(src: &str) -> usize {
+    let mut n = 0;
+    for line in src.lines() {
+        let t = line.trim_start();
+        if t.starts_with("#[cfg(test)]") {
+            break; // test modules trail the production code in this repo
+        }
+        if t.starts_with("//") {
+            continue;
+        }
+        n += PATTERNS.iter().map(|p| t.matches(p).count()).sum::<usize>();
+    }
+    n
+}
+
+fn main() {
+    let bless = std::env::args().any(|a| a == "--bless");
+    let root = repo_root();
+
+    let mut files = Vec::new();
+    for dir in GUARDED {
+        rust_files(&root.join(dir), &mut files);
+    }
+    files.sort();
+
+    let mut current = String::new();
+    for f in &files {
+        let src = std::fs::read_to_string(f).expect("guarded source is readable");
+        let rel = f.strip_prefix(&root).expect("under root");
+        let n = count_sites(&src);
+        if n > 0 {
+            writeln!(current, "{n:4} {}", rel.display()).expect("string write");
+        }
+    }
+
+    let baseline_path = root.join("tools/panicguard/baseline.txt");
+    if bless {
+        std::fs::write(&baseline_path, &current).expect("baseline writes");
+        println!("panicguard: baseline blessed ({} guarded files)", files.len());
+        return;
+    }
+
+    let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_default();
+    let parse = |s: &str| -> Vec<(String, usize)> {
+        s.lines()
+            .filter_map(|l| {
+                let (n, path) = l.trim().split_once(' ')?;
+                Some((path.trim().to_string(), n.trim().parse().ok()?))
+            })
+            .collect()
+    };
+    let old = parse(&baseline);
+    let new = parse(&current);
+
+    let mut failed = false;
+    for (path, n) in &new {
+        let was = old
+            .iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        match n.cmp(&was) {
+            std::cmp::Ordering::Greater => {
+                failed = true;
+                eprintln!(
+                    "panicguard: {path}: {n} panic sites (baseline {was}) — \
+                     return a structured error instead, or re-bless with --bless"
+                );
+            }
+            std::cmp::Ordering::Less => {
+                failed = true;
+                eprintln!(
+                    "panicguard: {path}: {n} panic sites, down from {was} — \
+                     nice; tighten the ratchet with --bless"
+                );
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    for (path, was) in &old {
+        if !new.iter().any(|(p, _)| p == path) {
+            failed = true;
+            eprintln!("panicguard: {path}: 0 panic sites, down from {was} — re-bless with --bless");
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    let total: usize = new.iter().map(|(_, n)| n).sum();
+    println!(
+        "panicguard: OK — {total} baselined panic sites across {} files in {} guarded crates",
+        new.len(),
+        GUARDED.len()
+    );
+}
