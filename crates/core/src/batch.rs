@@ -25,6 +25,7 @@
 //! cache and baseline machinery.
 
 use crate::{OptProfile, PipelineError, StudyError, SuiteRunner};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use zkvmopt_ir::{stable_module_fingerprint, Module};
@@ -238,41 +239,115 @@ impl BatchEvaluator {
         }
     }
 
+    /// Evaluate one distinct candidate for `lanes` identical requests at
+    /// once: one compile, one decode, one lockstep cohort. Per-lane results
+    /// equal [`BatchEvaluator::eval`] exactly (the engine guarantees
+    /// lockstep lanes are bit-identical to solo runs).
+    fn eval_group(
+        &self,
+        widx: usize,
+        passes: &[&'static str],
+        cfg: &PassConfig,
+        lanes: usize,
+    ) -> Vec<Option<u64>> {
+        let e = &self.entries[widx];
+        let profile = OptProfile::sequence("candidate", passes.to_vec(), cfg.clone());
+        let compiled = catch_unwind(AssertUnwindSafe(|| {
+            let mut m = e.module.clone();
+            profile.apply(&mut m);
+            zkvmopt_ir::verify::verify_module(&m).map_err(|err| PipelineError::Verify {
+                message: err.to_string(),
+            })?;
+            zkvmopt_riscv::compile_module(&m, &profile.backend).map_err(PipelineError::from)
+        }))
+        .unwrap_or_else(|payload| Err(PipelineError::from_panic(payload)));
+        let Ok(program) = compiled else {
+            return vec![None; lanes];
+        };
+        let budget = self.candidate_budget(widx);
+        let decoded = DecodedProgram::decode(&program);
+        let config = ExecConfig {
+            inputs: e.inputs.clone(),
+            max_cycles: budget,
+        };
+        let cohort: Vec<(VmProfile, ExecConfig)> = (0..lanes)
+            .map(|_| (VmProfile::for_kind(self.vm), config.clone()))
+            .collect();
+        Engine::run_lockstep(&decoded, &cohort)
+            .into_iter()
+            .map(|r| match r {
+                Ok(exec)
+                    if exec.journal == e.baseline_journal && exec.exit_code == e.baseline_exit =>
+                {
+                    Some(exec.total_cycles)
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Evaluate a batch of candidates across `threads` worker threads
-    /// (`0` = all available cores). Results come back in job order
-    /// regardless of scheduling, and equal `eval` job-for-job.
+    /// (`0` = all available cores). Requests for the same `(workload,
+    /// candidate)` are grouped: each distinct candidate compiles and
+    /// decodes once and its requests run as one lockstep cohort, so the
+    /// tuner's fan-out amortizes everything but the per-lane accounting.
+    /// Results come back in job order regardless of scheduling, and equal
+    /// `eval` job-for-job.
     pub fn eval_batch(&self, jobs: &[BatchJob], threads: usize) -> Vec<Option<u64>> {
         if jobs.is_empty() {
             return Vec::new();
         }
+        // Group job indices by identical (workload, candidate) requests,
+        // preserving first-seen order. The candidate identity is the same
+        // cache key the suite runner uses (passes + parameters).
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut index: HashMap<(usize, String), usize> = HashMap::new();
+        for (i, j) in jobs.iter().enumerate() {
+            let key = (
+                j.workload,
+                OptProfile::sequence("candidate", j.passes.clone(), j.config.clone()).cache_key(),
+            );
+            match index.get(&key) {
+                Some(&g) => groups[g].push(i),
+                None => {
+                    index.insert(key, groups.len());
+                    groups.push(vec![i]);
+                }
+            }
+        }
+        let results: Vec<std::sync::Mutex<Option<u64>>> =
+            jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        let run_group = |members: &[usize]| {
+            let j = &jobs[members[0]];
+            let values = self.eval_group(j.workload, &j.passes, &j.config, members.len());
+            for (&m, v) in members.iter().zip(values) {
+                *results[m].lock().expect("result slot") = v;
+            }
+        };
         let workers = if threads == 0 {
             std::thread::available_parallelism().map_or(1, usize::from)
         } else {
             threads
         }
-        .min(jobs.len());
+        .min(groups.len());
         if workers <= 1 {
-            return jobs
-                .iter()
-                .map(|j| self.eval(j.workload, &j.passes, &j.config))
-                .collect();
-        }
-        let next = AtomicUsize::new(0);
-        let results: Vec<std::sync::Mutex<Option<u64>>> =
-            jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    let j = &jobs[i];
-                    *results[i].lock().expect("result slot") =
-                        self.eval(j.workload, &j.passes, &j.config);
-                });
+            for g in &groups {
+                run_group(g);
             }
-        });
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= groups.len() {
+                            break;
+                        }
+                        run_group(&groups[i]);
+                    });
+                }
+            });
+        }
         results
             .into_iter()
             .map(|slot| slot.into_inner().expect("slot"))

@@ -11,9 +11,11 @@
 //! - each `{workload × profile}` pair is compiled and **pre-decoded exactly
 //!   once** ([`CompiledWorkload`] holds the emitted [`Program`] and its
 //!   [`DecodedProgram`] block cache);
-//! - executions fan out `{program × profile × VmKind}` through the
+//! - executions fan out `{program × profile}` pairs through the
 //!   block-dispatch engine, optionally across threads
-//!   ([`SuiteRunner::run_matrix`]).
+//!   ([`SuiteRunner::run_matrix`]); each pair advances **all requested VM
+//!   kinds in one lockstep cohort** ([`Engine::run_lockstep`]), so block
+//!   lookup and dispatch are amortized across the VM dimension.
 //!
 //! `bench/`'s impact matrices, the tuner fitness loops, and the report
 //! generator all run on top of this.
@@ -231,31 +233,30 @@ impl SuiteRunner {
             }
         }
         // Phase 2: the cache is now read-only; fan executions out over a
-        // shared work queue of jobs borrowing the compiled programs.
+        // shared work queue of `{workload × profile}` pair jobs borrowing the
+        // compiled programs. Each pair advances every requested VM kind in
+        // one lockstep cohort, so the per-cell work is the per-VM accounting
+        // rather than a full dispatch walk per VM.
         struct Job<'a> {
             w: &'a Workload,
             p: &'a OptProfile,
-            vm: VmKind,
             cw: Result<&'a CompiledWorkload, StudyError>,
         }
-        let mut jobs: Vec<Job<'_>> =
-            Vec::with_capacity(workloads.len() * profiles.len() * vms.len());
+        let mut jobs: Vec<Job<'_>> = Vec::with_capacity(workloads.len() * profiles.len());
         for (wi, w) in workloads.iter().enumerate() {
             let (name, src) = workload_key(w);
             for (pi, p) in profiles.iter().enumerate() {
                 let key = (name, src, profile_keys[pi].clone());
-                for &vm in vms {
-                    let cw = match compile_err.get(&(wi, pi)) {
-                        Some(e) => Err(e.clone()),
-                        None => Ok(&self.compiled[&key]),
-                    };
-                    jobs.push(Job { w, p, vm, cw });
-                }
+                let cw = match compile_err.get(&(wi, pi)) {
+                    Some(e) => Err(e.clone()),
+                    None => Ok(&self.compiled[&key]),
+                };
+                jobs.push(Job { w, p, cw });
             }
         }
         let max_cycles = self.max_cycles;
         let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<MatrixCell>>> =
+        let results: Vec<Mutex<Option<Vec<MatrixCell>>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
         let workers = if threads == 0 {
             std::thread::available_parallelism().map_or(1, usize::from)
@@ -271,17 +272,31 @@ impl SuiteRunner {
                         break;
                     }
                     let job = &jobs[i];
-                    let result = match &job.cw {
-                        Ok(cw) => execute(cw, &job.w.inputs, job.vm, with_x86, max_cycles)
-                            .and_then(|r| check_and_measure(job.w, job.p, job.vm, r, None)),
-                        Err(e) => Err(e.clone()),
+                    let cells: Vec<MatrixCell> = match &job.cw {
+                        Ok(cw) => {
+                            let runs = execute_pair(cw, &job.w.inputs, vms, with_x86, max_cycles);
+                            vms.iter()
+                                .zip(runs)
+                                .map(|(&vm, run)| MatrixCell {
+                                    workload: job.w.name,
+                                    profile: job.p.name.clone(),
+                                    vm,
+                                    result: run
+                                        .and_then(|r| check_and_measure(job.w, job.p, vm, r, None)),
+                                })
+                                .collect()
+                        }
+                        Err(e) => vms
+                            .iter()
+                            .map(|&vm| MatrixCell {
+                                workload: job.w.name,
+                                profile: job.p.name.clone(),
+                                vm,
+                                result: Err(e.clone()),
+                            })
+                            .collect(),
                     };
-                    *results[i].lock().expect("result slot") = Some(MatrixCell {
-                        workload: job.w.name,
-                        profile: job.p.name.clone(),
-                        vm: job.vm,
-                        result,
-                    });
+                    *results[i].lock().expect("result slot") = Some(cells);
                 });
             }
         });
@@ -293,7 +308,7 @@ impl SuiteRunner {
         }
         results
             .into_iter()
-            .map(|slot| slot.into_inner().expect("slot").expect("all jobs ran"))
+            .flat_map(|slot| slot.into_inner().expect("slot").expect("all jobs ran"))
             .collect()
     }
 }
@@ -333,6 +348,56 @@ fn execute(
         code_size: cw.program.len(),
         spilled_vregs: cw.program.spilled_vregs,
     })
+}
+
+/// Execute one compiled workload for every VM kind at once through
+/// [`Engine::run_lockstep`], returning per-VM results in `vms` order. The
+/// cohort shares block lookup, dispatch, and (for pure blocks) the op-fetch
+/// loop; the x86 native baseline is VM-independent, so it runs once per
+/// pair and is cloned into each VM's report.
+fn execute_pair(
+    cw: &CompiledWorkload,
+    inputs: &[i32],
+    vms: &[VmKind],
+    with_x86: bool,
+    max_cycles: u64,
+) -> Vec<Result<RunReport, StudyError>> {
+    let config = ExecConfig {
+        inputs: inputs.to_vec(),
+        max_cycles,
+    };
+    let lanes: Vec<(VmProfile, ExecConfig)> = vms
+        .iter()
+        .map(|&vm| (VmProfile::for_kind(vm), config.clone()))
+        .collect();
+    let execs = Engine::run_lockstep(&cw.decoded, &lanes);
+    let x86 = if with_x86 {
+        Some(run_x86(&cw.program, &X86Model::default(), inputs).map_err(|e| e.to_string()))
+    } else {
+        None
+    };
+    execs
+        .into_iter()
+        .map(|r| {
+            let exec = r.map_err(|e| StudyError::Exec(e.to_string()))?;
+            let x86_run = match &x86 {
+                Some(Ok(x)) => Some(x.clone()),
+                Some(Err(e)) => return Err(StudyError::Exec(e.clone())),
+                None => None,
+            };
+            let model = ProvingModel::for_kind(exec.kind);
+            let prove_ms = model.proving_time_ms(&exec);
+            let exec_ms = exec.exec_time_ms;
+            Ok(RunReport {
+                exec,
+                prove_ms,
+                exec_ms,
+                x86: x86_run,
+                code_size: cw.program.len(),
+                spilled_vregs: cw.program.spilled_vregs,
+            })
+        })
+        .collect()
 }
 
 fn check_and_measure(

@@ -1,22 +1,63 @@
-//! The block-dispatch zkVM executor.
+//! The block-dispatch zkVM executor, v3.
 //!
-//! [`Engine`] runs a [`DecodedProgram`] block-at-a-time: blocks with no
-//! memory or ecall instructions take a **batched straight-line path** (one
-//! cycle/segment/mix update per block instead of per instruction), everything
-//! else takes a stepped path whose per-instruction accounting replicates the
-//! reference step interpreter bit for bit. Cycle counts, paging charges,
-//! segment splits, instruction mixes, journals, and error classes are
-//! guaranteed identical to `crate::machine::Machine` — the suite-wide
-//! differential harness (`tests/differential.rs`) enforces this across all
-//! 58 workloads × 5 profiles × both VM kinds.
+//! [`Engine`] runs a [`DecodedProgram`] block-at-a-time through three tiers:
+//!
+//! - **Pure blocks** (no memory, no ecalls) take a batched straight-line
+//!   path: one cycle/segment/mix update per block instead of per
+//!   instruction, with the per-instruction segment semantics replayed
+//!   arithmetically.
+//! - **Memory blocks** (loads/stores, no ecalls) take a batched path with a
+//!   per-lane *residency pre-probe*: the page an access resolves to is
+//!   cached once per segment, and subsequent same-page accesses skip the
+//!   bounds/paging machinery entirely (their paging charge is provably
+//!   zero while the page stays resident). Accounting is bit-identical to
+//!   the stepped path because residency is monotone within a segment.
+//! - **Ecall blocks** and mid-block entries take a stepped path whose
+//!   per-instruction accounting replicates the reference step interpreter
+//!   bit for bit.
+//!
+//! On top of block dispatch, hot block heads are chained into
+//! **superblocks/traces**: after `TRACE_THRESHOLD` (64) entries, the observed
+//! branch direction at each terminator is baked into a trace of up to
+//! `TRACE_MAX_BLOCKS` (16) blocks, and execution follows the trace without
+//! consulting the dispatch loop until a successor diverges from the trained
+//! direction (a *deopt*, counted in [`EngineStats::trace_exits`], which
+//! safely falls back to block dispatch — per-block accounting never depends
+//! on the successor, so a deopt costs nothing but the early exit).
+//!
+//! [`Engine::run_lockstep`] advances N machine states through the shared
+//! decoded program in convoys keyed by pc, using a structure-of-arrays
+//! register layout so the candidate fan-out of the tuner amortizes block
+//! lookup, dispatch, and (for pure blocks) even the op-fetch loop across
+//! the whole cohort.
+//!
+//! Cycle counts, paging charges, segment splits, instruction mixes,
+//! journals, and error classes are guaranteed identical to
+//! `crate::machine::Machine` — the suite-wide differential harness
+//! (`tests/differential.rs`) enforces this across all 58 workloads × 5
+//! profiles × both VM kinds, and `tests/engine_lockstep.rs` enforces
+//! lockstep-vs-sequential identity.
 
 use crate::ecalls::{self, MemIo};
 use crate::machine::{alu, alu_imm, ExecConfig, ExecError, ExecutionReport, InstMix};
 use crate::mem::{FastMemory, MemFault, STACK_TOP};
-use crate::op::{DecodedProgram, Op};
-use crate::profile::{VmKind, VmProfile};
+use crate::op::{Block, BlockKind, DecodedProgram, Op};
+use crate::profile::{EngineStats, VmKind, VmProfile};
+use std::mem;
+use std::time::Instant;
 use zkvmopt_ir::ecall;
-use zkvmopt_riscv::{Program, Reg};
+use zkvmopt_riscv::{MemWidth, Program, Reg};
+
+/// Register-file slots per machine state: `x0`–`x31` plus the `x0` write
+/// sink (see [`crate::op`]).
+const NREGS: usize = 33;
+
+/// Block-head entries before a superblock trace is formed.
+const TRACE_THRESHOLD: u32 = 64;
+/// Maximum blocks chained into one trace.
+const TRACE_MAX_BLOCKS: usize = 16;
+/// Hot-counter sentinel: trace formation failed, never retry.
+const REJECTED: u32 = u32::MAX;
 
 struct FastIo<'a>(&'a mut FastMemory);
 
@@ -32,40 +73,671 @@ impl MemIo for FastIo<'_> {
     }
 }
 
-/// The pre-decoded block-dispatch executor.
-pub struct Engine<'p> {
-    prog: &'p DecodedProgram,
-    profile: VmProfile,
-    config: ExecConfig,
-    /// 33 slots: `x0`–`x31` plus the `x0` write sink (see [`crate::op`]).
-    regs: [u32; 33],
-    mem: FastMemory,
-    journal: Vec<i32>,
+/// Outcome of executing one block (or trace) for one machine state.
+enum StepOut {
+    /// Continue at this code index.
+    Next(usize),
+    /// The guest halted with this exit code.
+    Halt(i32),
+    /// Execution failed.
+    Err(ExecError),
 }
 
-impl<'p> Engine<'p> {
-    /// Set up an engine with globals loaded and `sp` initialized.
-    pub fn new(prog: &'p DecodedProgram, profile: VmProfile, config: ExecConfig) -> Engine<'p> {
+/// One machine state's everything-but-registers: memory, accounting,
+/// journal, and the residency pre-probe cache. The solo [`Engine`] owns one
+/// lane; [`Engine::run_lockstep`] owns N.
+struct Lane {
+    profile: VmProfile,
+    inputs: Vec<i32>,
+    max_cycles: u64,
+    mem: FastMemory,
+    journal: Vec<i32>,
+    instret: u64,
+    user_cycles: u64,
+    mix: InstMix,
+    segments: u64,
+    segment_cycles: u64,
+    page_shift: u32,
+    page_mask: u32,
+    /// Residency pre-probe: the one page known resident this segment
+    /// (0 = no page cached; page 0 is never cached because it holds the
+    /// null-guarded addresses below `0x100`).
+    probe_page: u32,
+    /// Whether `probe_page` is known dirty (stores to it charge nothing).
+    probe_writable: bool,
+    stats: EngineStats,
+    /// First global-image byte that failed to load, reported lazily as a
+    /// `MemFault` when the lane runs.
+    init_fault: Option<u32>,
+}
+
+impl Lane {
+    fn new(profile: VmProfile, config: ExecConfig, globals: &[(u32, Vec<u8>)]) -> Lane {
         let mut mem = FastMemory::new(profile.page_size);
-        for (addr, data) in &prog.globals {
-            mem.write_bytes_host(*addr, data)
-                .expect("global image fits");
+        let mut init_fault = None;
+        for (addr, data) in globals {
+            if mem.write_bytes_host(*addr, data).is_err() && init_fault.is_none() {
+                init_fault = Some(*addr);
+            }
         }
-        let mut regs = [0u32; 33];
-        regs[Reg::SP.0 as usize] = STACK_TOP;
-        Engine {
-            prog,
+        let page_shift = profile.page_size.trailing_zeros();
+        let page_mask = profile.page_size - 1;
+        Lane {
+            max_cycles: config.max_cycles,
+            inputs: config.inputs,
             profile,
-            config,
-            regs,
             mem,
             journal: Vec::new(),
+            instret: 0,
+            user_cycles: 0,
+            mix: InstMix::default(),
+            segments: 1,
+            segment_cycles: 0,
+            page_shift,
+            page_mask,
+            probe_page: 0,
+            probe_writable: false,
+            stats: EngineStats::default(),
+            init_fault,
         }
     }
 
+    /// End the segment: residency drops, so the probe cache must too.
     #[inline]
-    fn reg(&self, r: u8) -> u32 {
-        self.regs[r as usize]
+    fn flush_segment(&mut self) {
+        self.mem.flush_segment();
+        self.probe_page = 0;
+        self.probe_writable = false;
+    }
+
+    /// Load through the residency pre-probe. Returns the raw value and the
+    /// paging cycles charged (zero on a probe hit — the page is already
+    /// resident this segment, so the reference charges nothing either).
+    #[inline]
+    fn load(&mut self, addr: u32, size: u32) -> Result<(u32, u64), MemFault> {
+        let page = addr >> self.page_shift;
+        // `wrapping_add`: near-u32::MAX addresses wrap into page 0, which
+        // is never cached, so the hit test stays correct without widening.
+        if page == self.probe_page && addr.wrapping_add(size - 1) >> self.page_shift == page {
+            self.stats.probe_hits += 1;
+            return Ok((self.mem.peek_in_page(page, addr & self.page_mask, size), 0));
+        }
+        self.stats.probe_misses += 1;
+        let (v, ins, outs) = self.mem.read_charged(addr, size)?;
+        if addr.wrapping_add(size - 1) >> self.page_shift == page && page != 0 {
+            self.probe_page = page;
+            self.probe_writable = self.mem.page_dirty(page);
+        }
+        Ok((v, self.profile.paging_cycles(ins, outs)))
+    }
+
+    /// Store through the residency pre-probe. Returns the paging cycles
+    /// charged (zero on a hit — the page is already dirty this segment).
+    #[inline]
+    fn store(&mut self, addr: u32, value: u32, size: u32) -> Result<u64, MemFault> {
+        let page = addr >> self.page_shift;
+        if page == self.probe_page
+            && self.probe_writable
+            && addr.wrapping_add(size - 1) >> self.page_shift == page
+        {
+            self.stats.probe_hits += 1;
+            self.mem
+                .poke_in_page(page, addr & self.page_mask, value, size);
+            return Ok(0);
+        }
+        self.stats.probe_misses += 1;
+        let (ins, outs) = self.mem.write_charged(addr, value, size)?;
+        if addr.wrapping_add(size - 1) >> self.page_shift == page && page != 0 {
+            self.probe_page = page;
+            self.probe_writable = true;
+        }
+        Ok(self.profile.paging_cycles(ins, outs))
+    }
+}
+
+#[inline]
+fn extend(width: MemWidth, raw: u32) -> u32 {
+    match width {
+        MemWidth::Byte => (raw as u8 as i8) as i32 as u32,
+        MemWidth::ByteU => raw & 0xff,
+        MemWidth::Half => (raw as u16 as i16) as i32 as u32,
+        MemWidth::HalfU => raw & 0xffff,
+        MemWidth::Word => raw,
+    }
+}
+
+/// The stepped path: per-instruction accounting identical to the reference
+/// interpreter, from `pc` to the end of its block (or a taken jump, halt,
+/// or error). Handles every op class; the batched paths fall back here.
+#[allow(clippy::too_many_lines)]
+fn exec_stepped(
+    prog: &DecodedProgram,
+    lane: &mut Lane,
+    regs: &mut [u32],
+    pc: usize,
+    end: usize,
+) -> StepOut {
+    let seg_limit = lane.profile.segment_cycles;
+    let max_cycles = lane.max_cycles;
+    let mut i = pc;
+    while i < end {
+        let mut cost: u64 = 1;
+        let mut next = i + 1;
+        let mut pcycles: u64 = 0;
+        let op = prog.ops[i];
+        lane.mix.bump(op.mix_class());
+        match op {
+            Op::Lui { rd, imm } => regs[rd as usize] = imm as u32,
+            Op::Alu { op, rd, rs1, rs2 } => {
+                regs[rd as usize] = alu(op, regs[rs1 as usize], regs[rs2 as usize]);
+            }
+            Op::AluImm { op, rd, rs1, imm } => {
+                regs[rd as usize] = alu_imm(op, regs[rs1 as usize], imm);
+            }
+            Op::Load {
+                width,
+                rd,
+                base,
+                offset,
+            } => {
+                let addr = regs[base as usize].wrapping_add(offset as u32);
+                match lane.load(addr, width.bytes()) {
+                    Ok((raw, p)) => {
+                        regs[rd as usize] = extend(width, raw);
+                        pcycles = p;
+                    }
+                    Err(MemFault { addr }) => {
+                        return StepOut::Err(ExecError::MemFault { addr, pc: i });
+                    }
+                }
+            }
+            Op::Store {
+                width,
+                src,
+                base,
+                offset,
+            } => {
+                let addr = regs[base as usize].wrapping_add(offset as u32);
+                match lane.store(addr, regs[src as usize], width.bytes()) {
+                    Ok(p) => pcycles = p,
+                    Err(MemFault { addr }) => {
+                        return StepOut::Err(ExecError::MemFault { addr, pc: i });
+                    }
+                }
+            }
+            Op::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                if cond.eval(regs[rs1 as usize], regs[rs2 as usize]) {
+                    next = target as usize;
+                }
+            }
+            Op::Jal { rd, link, target } => {
+                regs[rd as usize] = link;
+                next = target as usize;
+            }
+            Op::Jalr {
+                rd,
+                rs1,
+                offset,
+                link,
+            } => {
+                let t = regs[rs1 as usize].wrapping_add(offset as u32) / 4;
+                regs[rd as usize] = link;
+                next = t as usize;
+            }
+            Op::Ecall => {
+                let code = regs[Reg::T0.0 as usize];
+                let args: [i64; 3] = [
+                    regs[Reg::A0.0 as usize] as i64,
+                    regs[Reg::A1.0 as usize] as i64,
+                    regs[Reg::A2.0 as usize] as i64,
+                ];
+                match code {
+                    ecall::HALT => {
+                        let exit = regs[Reg::A0.0 as usize] as i32;
+                        lane.instret += 1;
+                        lane.user_cycles += cost;
+                        return StepOut::Halt(exit);
+                    }
+                    ecall::COMMIT => {
+                        lane.journal.push(regs[Reg::A0.0 as usize] as i32);
+                        regs[Reg::A0.0 as usize] = 0;
+                    }
+                    ecall::READ_INPUT => {
+                        let idx = regs[Reg::A0.0 as usize] as usize;
+                        let v = lane.inputs.get(idx).copied().unwrap_or(0);
+                        regs[Reg::A0.0 as usize] = v as u32;
+                    }
+                    other => {
+                        cost += ecalls::precompile_cycles(&lane.profile, other, &args);
+                        let r = ecalls::run_precompile(other, &args, &mut FastIo(&mut lane.mem));
+                        regs[Reg::A0.0 as usize] = r as u32;
+                    }
+                }
+            }
+        }
+        lane.instret += 1;
+        lane.user_cycles += cost;
+        lane.segment_cycles += cost + pcycles;
+        if lane.segment_cycles >= seg_limit {
+            lane.segments += 1;
+            lane.segment_cycles = 0;
+            lane.flush_segment();
+        }
+        if lane.user_cycles > max_cycles {
+            return StepOut::Err(ExecError::CycleLimit);
+        }
+        if next != i + 1 {
+            return StepOut::Next(next);
+        }
+        i = next;
+    }
+    StepOut::Next(end)
+}
+
+/// The pure batched path: execute a memory-free, ecall-free block
+/// straight-line against one lane's register window. Accounting is the
+/// caller's job ([`account_pure`]).
+fn exec_pure(prog: &DecodedProgram, block: &Block, regs: &mut [u32]) -> usize {
+    let mut next_pc = block.end as usize;
+    for op in &prog.ops[block.start as usize..block.end as usize] {
+        match *op {
+            Op::Lui { rd, imm } => regs[rd as usize] = imm as u32,
+            Op::Alu { op, rd, rs1, rs2 } => {
+                regs[rd as usize] = alu(op, regs[rs1 as usize], regs[rs2 as usize]);
+            }
+            Op::AluImm { op, rd, rs1, imm } => {
+                regs[rd as usize] = alu_imm(op, regs[rs1 as usize], imm);
+            }
+            Op::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                if cond.eval(regs[rs1 as usize], regs[rs2 as usize]) {
+                    next_pc = target as usize;
+                }
+            }
+            Op::Jal { rd, link, target } => {
+                regs[rd as usize] = link;
+                next_pc = target as usize;
+            }
+            Op::Jalr {
+                rd,
+                rs1,
+                offset,
+                link,
+            } => {
+                let t = regs[rs1 as usize].wrapping_add(offset as u32) / 4;
+                regs[rd as usize] = link;
+                next_pc = t as usize;
+            }
+            Op::Load { .. } | Op::Store { .. } | Op::Ecall => {
+                debug_assert!(false, "impure op in pure block");
+            }
+        }
+    }
+    next_pc
+}
+
+/// Batched accounting for one pure-block execution: per-instruction
+/// semantics replayed arithmetically (each op adds one segment cycle;
+/// crossing the limit resets to zero). The caller guarantees the block
+/// fits the cycle budget, so no limit check is needed here.
+fn account_pure(lane: &mut Lane, block: &Block) {
+    let k = block.len() as u64;
+    lane.instret += k;
+    lane.user_cycles += k;
+    lane.mix.add(&block.mix);
+    let seg_limit = lane.profile.segment_cycles;
+    if seg_limit == 0 {
+        lane.segments += k;
+        lane.flush_segment();
+    } else {
+        let room = seg_limit - lane.segment_cycles;
+        if k < room {
+            lane.segment_cycles += k;
+        } else {
+            lane.segments += 1 + (k - room) / seg_limit;
+            lane.segment_cycles = (k - room) % seg_limit;
+            lane.flush_segment();
+        }
+    }
+}
+
+/// The batched memory path: execute a load/store-bearing (ecall-free)
+/// block with loads and stores resolved through the lane's residency
+/// pre-probe, charging segment cycles per access exactly as the stepped
+/// path would, and batching `instret`/`user_cycles`/mix at the end. The
+/// caller guarantees the block fits the cycle budget (so CycleLimit cannot
+/// fire mid-block and error ordering matches the stepped path) and that
+/// the segment limit is nonzero.
+fn exec_mem(prog: &DecodedProgram, block: &Block, lane: &mut Lane, regs: &mut [u32]) -> StepOut {
+    let start = block.start as usize;
+    let end = block.end as usize;
+    let seg_limit = lane.profile.segment_cycles;
+    let mut next = end;
+    for (j, op) in prog.ops[start..end].iter().enumerate() {
+        let mut pcycles: u64 = 0;
+        match *op {
+            Op::Lui { rd, imm } => regs[rd as usize] = imm as u32,
+            Op::Alu { op, rd, rs1, rs2 } => {
+                regs[rd as usize] = alu(op, regs[rs1 as usize], regs[rs2 as usize]);
+            }
+            Op::AluImm { op, rd, rs1, imm } => {
+                regs[rd as usize] = alu_imm(op, regs[rs1 as usize], imm);
+            }
+            Op::Load {
+                width,
+                rd,
+                base,
+                offset,
+            } => {
+                let addr = regs[base as usize].wrapping_add(offset as u32);
+                match lane.load(addr, width.bytes()) {
+                    Ok((raw, p)) => {
+                        regs[rd as usize] = extend(width, raw);
+                        pcycles = p;
+                    }
+                    Err(MemFault { addr }) => {
+                        return StepOut::Err(ExecError::MemFault {
+                            addr,
+                            pc: start + j,
+                        });
+                    }
+                }
+            }
+            Op::Store {
+                width,
+                src,
+                base,
+                offset,
+            } => {
+                let addr = regs[base as usize].wrapping_add(offset as u32);
+                match lane.store(addr, regs[src as usize], width.bytes()) {
+                    Ok(p) => pcycles = p,
+                    Err(MemFault { addr }) => {
+                        return StepOut::Err(ExecError::MemFault {
+                            addr,
+                            pc: start + j,
+                        });
+                    }
+                }
+            }
+            Op::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                if cond.eval(regs[rs1 as usize], regs[rs2 as usize]) {
+                    next = target as usize;
+                }
+            }
+            Op::Jal { rd, link, target } => {
+                regs[rd as usize] = link;
+                next = target as usize;
+            }
+            Op::Jalr {
+                rd,
+                rs1,
+                offset,
+                link,
+            } => {
+                let t = regs[rs1 as usize].wrapping_add(offset as u32) / 4;
+                regs[rd as usize] = link;
+                next = t as usize;
+            }
+            Op::Ecall => debug_assert!(false, "ecall in memory block"),
+        }
+        lane.segment_cycles += 1 + pcycles;
+        if lane.segment_cycles >= seg_limit {
+            lane.segments += 1;
+            lane.segment_cycles = 0;
+            lane.flush_segment();
+        }
+    }
+    let k = block.len() as u64;
+    lane.instret += k;
+    lane.user_cycles += k;
+    lane.mix.add(&block.mix);
+    StepOut::Next(next)
+}
+
+/// Execute the block `bidx` (entered at its head) for one lane, picking the
+/// fastest path its kind and the lane's remaining cycle budget allow.
+fn exec_block_auto(
+    prog: &DecodedProgram,
+    bidx: usize,
+    lane: &mut Lane,
+    regs: &mut [u32],
+) -> StepOut {
+    let block = &prog.blocks[bidx];
+    let k = block.len() as u64;
+    let fits = lane.user_cycles.saturating_add(k) <= lane.max_cycles;
+    match block.kind {
+        BlockKind::Pure if fits => {
+            let next = exec_pure(prog, block, regs);
+            account_pure(lane, block);
+            StepOut::Next(next)
+        }
+        BlockKind::Mem if fits && lane.profile.segment_cycles > 0 => {
+            exec_mem(prog, block, lane, regs)
+        }
+        _ => exec_stepped(prog, lane, regs, block.start as usize, block.end as usize),
+    }
+}
+
+/// One step of a superblock trace: the block to execute and the successor
+/// pc the trace was trained to expect (`u32::MAX` on the final step — a
+/// planned exit, not a deopt).
+#[derive(Clone, Copy)]
+struct TraceStep {
+    block: u32,
+    expected: u32,
+}
+
+/// A superblock: a chain of blocks along the trained branch directions.
+struct Trace {
+    steps: Vec<TraceStep>,
+}
+
+/// Per-program trace state: hot counters, last observed branch directions,
+/// and formed traces, all direct-indexed by block. One `TraceSet` is shared
+/// by a whole lockstep cohort, so formation thresholds are crossed by the
+/// cohort's combined entry weight.
+struct TraceSet {
+    hot: Vec<u32>,
+    taken: Vec<bool>,
+    traces: Vec<Option<Box<Trace>>>,
+}
+
+impl TraceSet {
+    fn new(nblocks: usize) -> TraceSet {
+        TraceSet {
+            hot: vec![0; nblocks],
+            taken: vec![false; nblocks],
+            traces: (0..nblocks).map(|_| None).collect(),
+        }
+    }
+
+    /// Count `weight` entries at block `bidx`; at [`TRACE_THRESHOLD`], form
+    /// a trace (or reject the head permanently if none can be built).
+    fn observe_entry(
+        &mut self,
+        prog: &DecodedProgram,
+        bidx: usize,
+        weight: u32,
+        stats: &mut EngineStats,
+    ) {
+        if self.hot[bidx] == REJECTED || self.traces[bidx].is_some() {
+            return;
+        }
+        let h = self.hot[bidx].saturating_add(weight).min(TRACE_THRESHOLD);
+        self.hot[bidx] = h;
+        if h >= TRACE_THRESHOLD {
+            match form_trace(prog, &self.taken, bidx) {
+                Some(t) => {
+                    self.traces[bidx] = Some(Box::new(t));
+                    stats.traces_formed += 1;
+                }
+                None => self.hot[bidx] = REJECTED,
+            }
+        }
+    }
+
+    /// Record the direction a block's terminating branch actually went, so
+    /// trace formation chains along observed behavior.
+    fn record_branch(&mut self, prog: &DecodedProgram, bidx: usize, next: usize) {
+        let block = &prog.blocks[bidx];
+        if let Op::Branch { target, .. } = prog.ops[block.end as usize - 1] {
+            self.taken[bidx] = next == target as usize;
+        }
+    }
+}
+
+/// Build a trace from `head` by following predicted successors: branches go
+/// the last observed direction, `jal` follows its target, fall-throughs
+/// continue, and `jalr` (dynamic target) ends the chain. Formation stops
+/// before ecall-bearing blocks, at mid-block targets, on revisits, and at
+/// [`TRACE_MAX_BLOCKS`]; a chain shorter than two blocks is not worth a
+/// trace (`None` → the head is rejected and never reconsidered).
+fn form_trace(prog: &DecodedProgram, taken: &[bool], head: usize) -> Option<Trace> {
+    let n = prog.ops.len();
+    let mut steps: Vec<TraceStep> = Vec::new();
+    let mut bidx = head;
+    loop {
+        let block = &prog.blocks[bidx];
+        if block.mix.ecall > 0 {
+            break;
+        }
+        let pred: Option<usize> = match prog.ops[block.end as usize - 1] {
+            Op::Branch { target, .. } => {
+                if taken[bidx] {
+                    Some(target as usize)
+                } else {
+                    Some(block.end as usize)
+                }
+            }
+            Op::Jal { target, .. } => Some(target as usize),
+            Op::Jalr { .. } => None,
+            _ => Some(block.end as usize),
+        };
+        steps.push(TraceStep {
+            block: bidx as u32,
+            expected: u32::MAX,
+        });
+        if steps.len() >= TRACE_MAX_BLOCKS {
+            break;
+        }
+        let Some(p) = pred else { break };
+        if p >= n {
+            break;
+        }
+        let nb = prog.block_of[p] as usize;
+        if prog.blocks[nb].start as usize != p {
+            break; // mid-block target: dispatch handles it
+        }
+        if nb == head || steps.iter().any(|s| s.block as usize == nb) {
+            break; // loop closed: let the head's own trace take over
+        }
+        if let Some(s) = steps.last_mut() {
+            s.expected = p as u32;
+        }
+        bidx = nb;
+    }
+    if steps.len() >= 2 {
+        Some(Trace { steps })
+    } else {
+        None
+    }
+}
+
+/// Run a trace for one lane: execute each step's block, continuing while
+/// the observed successor matches the trained one. A mismatch before the
+/// final step is a deopt (counted, then back to dispatch at the actual pc —
+/// always safe, because per-block accounting never depends on the
+/// successor).
+fn run_trace(prog: &DecodedProgram, trace: &Trace, lane: &mut Lane, regs: &mut [u32]) -> StepOut {
+    let len = trace.steps.len();
+    let mut i = 0;
+    loop {
+        let TraceStep { block, expected } = trace.steps[i];
+        let out = exec_block_auto(prog, block as usize, lane, regs);
+        let StepOut::Next(p) = out else { return out };
+        i += 1;
+        if i == len {
+            return StepOut::Next(p);
+        }
+        if p as u32 != expected {
+            lane.stats.trace_exits += 1;
+            return StepOut::Next(p);
+        }
+    }
+}
+
+/// Build the final report for a finished lane.
+fn finish(
+    lane: &mut Lane,
+    regs: &[u32],
+    halted: bool,
+    exit_code: i32,
+    start: Instant,
+) -> ExecutionReport {
+    let paging_cycles = lane
+        .profile
+        .paging_cycles(lane.mem.page_ins(), lane.mem.page_outs());
+    let total_cycles = lane.user_cycles + paging_cycles;
+    let exec_cycles = match lane.profile.kind {
+        VmKind::RiscZero => total_cycles,
+        VmKind::Sp1 => lane.user_cycles,
+    };
+    let exec_time_ms = exec_cycles as f64 / lane.profile.emulation_hz * 1e3;
+    let exit = if halted {
+        exit_code
+    } else {
+        regs[Reg::A0.0 as usize] as i32
+    };
+    ExecutionReport {
+        kind: lane.profile.kind,
+        instret: lane.instret,
+        user_cycles: lane.user_cycles,
+        paging_cycles,
+        total_cycles,
+        page_ins: lane.mem.page_ins(),
+        page_outs: lane.mem.page_outs(),
+        segments: lane.segments,
+        exit_code: exit,
+        halted,
+        journal: std::mem::take(&mut lane.journal),
+        mix: lane.mix,
+        stats: lane.stats,
+        exec_time_ms,
+        wall_time_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// The pre-decoded block-dispatch executor.
+pub struct Engine<'p> {
+    prog: &'p DecodedProgram,
+    lane: Lane,
+    regs: [u32; NREGS],
+}
+
+impl<'p> Engine<'p> {
+    /// Set up an engine with globals loaded and `sp` initialized. A global
+    /// image that does not fit guest memory is reported as a `MemFault`
+    /// from [`Engine::run`], not a panic.
+    pub fn new(prog: &'p DecodedProgram, profile: VmProfile, config: ExecConfig) -> Engine<'p> {
+        let lane = Lane::new(profile, config, &prog.globals);
+        let mut regs = [0u32; NREGS];
+        regs[Reg::SP.0 as usize] = STACK_TOP;
+        Engine { prog, lane, regs }
     }
 
     /// Run to halt, producing the metric report.
@@ -73,268 +745,554 @@ impl<'p> Engine<'p> {
     /// # Errors
     /// Returns [`ExecError`] on faults or budget exhaustion, with the same
     /// error classes the reference interpreter reports.
-    #[allow(clippy::too_many_lines)]
     pub fn run(mut self) -> Result<ExecutionReport, ExecError> {
-        let start = std::time::Instant::now();
-        let mut instret: u64 = 0;
-        let mut user_cycles: u64 = 0;
-        let mut mix = InstMix::default();
-        let mut segments: u64 = 1;
-        let mut segment_cycles: u64 = 0;
-        let exit_code: i32;
-        let halted: bool;
-
-        let seg_limit = self.profile.segment_cycles;
-        let max_cycles = self.config.max_cycles;
+        let start = Instant::now();
+        if let Some(addr) = self.lane.init_fault {
+            return Err(ExecError::MemFault { addr, pc: 0 });
+        }
         let n = self.prog.ops.len();
+        let mut traces = TraceSet::new(self.prog.blocks.len());
         let mut pc = self.prog.entry;
-
-        'run: loop {
+        loop {
             if pc >= n {
                 return Err(ExecError::BadPc { pc });
             }
-            let block = &self.prog.blocks[self.prog.block_of[pc] as usize];
-            if block.pure && pc == block.start as usize {
-                // ---- Batched straight-line path (no memory, no ecalls) ----
-                let ops = &self.prog.ops[block.start as usize..block.end as usize];
-                let mut next_pc = block.end as usize;
-                for op in ops {
-                    match *op {
-                        Op::Lui { rd, imm } => self.regs[rd as usize] = imm as u32,
-                        Op::Alu { op, rd, rs1, rs2 } => {
-                            self.regs[rd as usize] =
-                                alu(op, self.regs[rs1 as usize], self.regs[rs2 as usize]);
-                        }
-                        Op::AluImm { op, rd, rs1, imm } => {
-                            self.regs[rd as usize] = alu_imm(op, self.regs[rs1 as usize], imm);
-                        }
-                        Op::Branch {
-                            cond,
-                            rs1,
-                            rs2,
-                            target,
-                        } => {
-                            if cond.eval(self.regs[rs1 as usize], self.regs[rs2 as usize]) {
-                                next_pc = target as usize;
-                            }
-                        }
-                        Op::Jal { rd, link, target } => {
-                            self.regs[rd as usize] = link;
-                            next_pc = target as usize;
-                        }
-                        Op::Jalr {
-                            rd,
-                            rs1,
-                            offset,
-                            link,
-                        } => {
-                            let t = self.regs[rs1 as usize].wrapping_add(offset as u32) / 4;
-                            self.regs[rd as usize] = link;
-                            next_pc = t as usize;
-                        }
-                        Op::Load { .. } | Op::Store { .. } | Op::Ecall => {
-                            unreachable!("impure op in pure block")
-                        }
-                    }
-                }
-                let k = block.len() as u64;
-                instret += k;
-                user_cycles += k;
-                mix.add(&block.mix);
-                // Per-instruction semantics replayed arithmetically: each op
-                // adds one segment cycle; crossing the limit resets to zero.
-                if seg_limit == 0 {
-                    segments += k;
-                    self.mem.flush_segment();
+            let bidx = self.prog.block_of[pc] as usize;
+            let block = &self.prog.blocks[bidx];
+            let out = if pc == block.start as usize {
+                if let Some(trace) = traces.traces[bidx].as_deref() {
+                    run_trace(self.prog, trace, &mut self.lane, &mut self.regs)
                 } else {
-                    let room = seg_limit - segment_cycles;
-                    if k < room {
-                        segment_cycles += k;
-                    } else {
-                        segments += 1 + (k - room) / seg_limit;
-                        segment_cycles = (k - room) % seg_limit;
-                        self.mem.flush_segment();
+                    traces.observe_entry(self.prog, bidx, 1, &mut self.lane.stats);
+                    let out = exec_block_auto(self.prog, bidx, &mut self.lane, &mut self.regs);
+                    if let StepOut::Next(p) = out {
+                        traces.record_branch(self.prog, bidx, p);
                     }
+                    out
                 }
-                if user_cycles > max_cycles {
-                    return Err(ExecError::CycleLimit);
-                }
-                pc = next_pc;
             } else {
-                // ---- Stepped path (memory/ecall blocks, mid-block entry) ----
-                let end = block.end as usize;
-                let mut i = pc;
-                while i < end {
-                    let mut cost: u64 = 1;
-                    let mut next = i + 1;
-                    let mut pcycles: u64 = 0;
-                    let op = self.prog.ops[i];
-                    mix.bump(op.mix_class());
-                    match op {
-                        Op::Lui { rd, imm } => {
-                            self.regs[rd as usize] = imm as u32;
-                        }
-                        Op::Alu { op, rd, rs1, rs2 } => {
-                            self.regs[rd as usize] = alu(op, self.reg(rs1), self.reg(rs2));
-                        }
-                        Op::AluImm { op, rd, rs1, imm } => {
-                            self.regs[rd as usize] = alu_imm(op, self.reg(rs1), imm);
-                        }
-                        Op::Load {
-                            width,
-                            rd,
-                            base,
-                            offset,
-                        } => {
-                            let addr = self.reg(base).wrapping_add(offset as u32);
-                            let ins0 = self.mem.page_ins();
-                            let outs0 = self.mem.page_outs();
-                            let raw = self
-                                .mem
-                                .read(addr, width.bytes())
-                                .map_err(|MemFault { addr }| ExecError::MemFault { addr, pc: i })?;
-                            let v = match width {
-                                zkvmopt_riscv::MemWidth::Byte => (raw as u8 as i8) as i32 as u32,
-                                zkvmopt_riscv::MemWidth::ByteU => raw & 0xff,
-                                zkvmopt_riscv::MemWidth::Half => (raw as u16 as i16) as i32 as u32,
-                                zkvmopt_riscv::MemWidth::HalfU => raw & 0xffff,
-                                zkvmopt_riscv::MemWidth::Word => raw,
-                            };
-                            self.regs[rd as usize] = v;
-                            pcycles = self.profile.paging_cycles(
-                                self.mem.page_ins() - ins0,
-                                self.mem.page_outs() - outs0,
-                            );
-                        }
-                        Op::Store {
-                            width,
-                            src,
-                            base,
-                            offset,
-                        } => {
-                            let addr = self.reg(base).wrapping_add(offset as u32);
-                            let ins0 = self.mem.page_ins();
-                            let outs0 = self.mem.page_outs();
-                            self.mem
-                                .write(addr, self.reg(src), width.bytes())
-                                .map_err(|MemFault { addr }| ExecError::MemFault { addr, pc: i })?;
-                            pcycles = self.profile.paging_cycles(
-                                self.mem.page_ins() - ins0,
-                                self.mem.page_outs() - outs0,
-                            );
-                        }
-                        Op::Branch {
-                            cond,
-                            rs1,
-                            rs2,
-                            target,
-                        } => {
-                            if cond.eval(self.reg(rs1), self.reg(rs2)) {
-                                next = target as usize;
-                            }
-                        }
-                        Op::Jal { rd, link, target } => {
-                            self.regs[rd as usize] = link;
-                            next = target as usize;
-                        }
-                        Op::Jalr {
-                            rd,
-                            rs1,
-                            offset,
-                            link,
-                        } => {
-                            let t = self.reg(rs1).wrapping_add(offset as u32) / 4;
-                            self.regs[rd as usize] = link;
-                            next = t as usize;
-                        }
-                        Op::Ecall => {
-                            let code = self.reg(Reg::T0.0);
-                            let args: [i64; 3] = [
-                                self.reg(Reg::A0.0) as i64,
-                                self.reg(Reg::A1.0) as i64,
-                                self.reg(Reg::A2.0) as i64,
-                            ];
-                            match code {
-                                ecall::HALT => {
-                                    exit_code = self.reg(Reg::A0.0) as i32;
-                                    halted = true;
-                                    instret += 1;
-                                    user_cycles += cost;
-                                    break 'run;
-                                }
-                                ecall::COMMIT => {
-                                    self.journal.push(self.reg(Reg::A0.0) as i32);
-                                    self.regs[Reg::A0.0 as usize] = 0;
-                                }
-                                ecall::READ_INPUT => {
-                                    let idx = self.reg(Reg::A0.0) as usize;
-                                    let v = self.config.inputs.get(idx).copied().unwrap_or(0);
-                                    self.regs[Reg::A0.0 as usize] = v as u32;
-                                }
-                                other => {
-                                    cost += ecalls::precompile_cycles(&self.profile, other, &args);
-                                    let r = ecalls::run_precompile(
-                                        other,
-                                        &args,
-                                        &mut FastIo(&mut self.mem),
-                                    );
-                                    self.regs[Reg::A0.0 as usize] = r as u32;
-                                }
-                            }
-                        }
-                    }
-                    instret += 1;
-                    user_cycles += cost;
-                    segment_cycles += cost + pcycles;
-                    if segment_cycles >= seg_limit {
-                        segments += 1;
-                        segment_cycles = 0;
-                        self.mem.flush_segment();
-                    }
-                    if user_cycles > max_cycles {
-                        return Err(ExecError::CycleLimit);
-                    }
-                    if next != i + 1 {
-                        pc = next;
-                        continue 'run;
-                    }
-                    i = next;
+                exec_stepped(
+                    self.prog,
+                    &mut self.lane,
+                    &mut self.regs,
+                    pc,
+                    block.end as usize,
+                )
+            };
+            match out {
+                StepOut::Next(p) => pc = p,
+                StepOut::Halt(code) => {
+                    return Ok(finish(&mut self.lane, &self.regs, true, code, start));
                 }
-                pc = end;
+                StepOut::Err(e) => return Err(e),
             }
         }
-
-        let paging_cycles = self
-            .profile
-            .paging_cycles(self.mem.page_ins(), self.mem.page_outs());
-        let total_cycles = user_cycles + paging_cycles;
-        let exec_cycles = match self.profile.kind {
-            VmKind::RiscZero => total_cycles,
-            VmKind::Sp1 => user_cycles,
-        };
-        let exec_time_ms = exec_cycles as f64 / self.profile.emulation_hz * 1e3;
-        let exit = if halted {
-            exit_code
-        } else {
-            self.reg(Reg::A0.0) as i32
-        };
-        Ok(ExecutionReport {
-            kind: self.profile.kind,
-            instret,
-            user_cycles,
-            paging_cycles,
-            total_cycles,
-            page_ins: self.mem.page_ins(),
-            page_outs: self.mem.page_outs(),
-            segments,
-            exit_code: exit,
-            halted,
-            journal: self.journal,
-            mix,
-            exec_time_ms,
-            wall_time_ms: start.elapsed().as_secs_f64() * 1e3,
-        })
     }
+
+    /// Advance N machine states through one shared decoded program in
+    /// lockstep, returning one result per job in job order.
+    ///
+    /// States at the same pc form a *convoy* that shares block lookup and
+    /// dispatch; pure-block convoys execute op-outer/lane-inner over a
+    /// structure-of-arrays register file (lane-major `33 × N` flat array),
+    /// amortizing even the op-fetch loop. When control flow diverges the
+    /// convoy partitions by successor pc; each partition continues
+    /// independently (no remerge). Trace formation is shared across the
+    /// cohort — formation thresholds are crossed by combined entry weight —
+    /// so [`EngineStats`] attribution is scheduling-dependent, but every
+    /// architectural observable (cycles, paging, segments, journal, exit)
+    /// is bit-identical to running each job alone via [`Engine::run`].
+    pub fn run_lockstep(
+        prog: &DecodedProgram,
+        jobs: &[(VmProfile, ExecConfig)],
+    ) -> Vec<Result<ExecutionReport, ExecError>> {
+        let nlanes = jobs.len();
+        let mut co = Cohort {
+            prog,
+            lanes: jobs
+                .iter()
+                .map(|(p, c)| Lane::new(p.clone(), c.clone(), &prog.globals))
+                .collect(),
+            regs: vec![[0u32; NREGS]; nlanes],
+            results: (0..nlanes).map(|_| None).collect(),
+            start: Instant::now(),
+        };
+        let mut live: Vec<usize> = Vec::new();
+        for l in 0..nlanes {
+            co.regs[l][Reg::SP.0 as usize] = STACK_TOP;
+            match co.lanes[l].init_fault {
+                Some(addr) => co.results[l] = Some(Err(ExecError::MemFault { addr, pc: 0 })),
+                None => live.push(l),
+            }
+        }
+        let n = prog.ops.len();
+        let mut traces = TraceSet::new(prog.blocks.len());
+        let mut sc = Scratch::default();
+        let mut queue: Vec<(usize, Vec<usize>)> = Vec::new();
+        if !live.is_empty() {
+            queue.push((prog.entry, live));
+        }
+        // Outer loop: one queue entry = one convoy. The inner loop keeps a
+        // convoy running block-to-block without touching the queue for as
+        // long as every member agrees on the successor — the converged
+        // common case pays no queue, grouping, or outcome-buffer traffic.
+        'groups: while let Some((mut pc, mut members)) = queue.pop() {
+            loop {
+                if pc >= n {
+                    for l in members {
+                        co.results[l] = Some(Err(ExecError::BadPc { pc }));
+                    }
+                    continue 'groups;
+                }
+                let bidx = prog.block_of[pc] as usize;
+                let head = prog.blocks[bidx].start as usize;
+                if pc == head {
+                    if let Some(trace) = traces.traces[bidx].as_deref() {
+                        match run_trace_members(&mut co, trace, &mut members, &mut queue, &mut sc) {
+                            Some(p) => {
+                                pc = p;
+                                continue;
+                            }
+                            None => continue 'groups,
+                        }
+                    }
+                    traces.observe_entry(
+                        prog,
+                        bidx,
+                        members.len() as u32,
+                        &mut co.lanes[members[0]].stats,
+                    );
+                    if co.try_exec_tight(bidx, &members, &mut sc) {
+                        if let Some(mi0) = sc.faults.iter().position(Option::is_none) {
+                            let p0 = sc.nexts[mi0];
+                            traces.record_branch(prog, bidx, p0);
+                            if sc.faults.iter().all(Option::is_none)
+                                && sc.nexts.iter().all(|&p| p == p0)
+                            {
+                                pc = p0;
+                                continue;
+                            }
+                        }
+                        sc.movers.clear();
+                        for (mi, &l) in members.iter().enumerate() {
+                            match sc.faults[mi].take() {
+                                Some(e) => co.results[l] = Some(Err(e)),
+                                None => sc.movers.push((l, sc.nexts[mi])),
+                            }
+                        }
+                        enqueue_by_pc(&mut queue, &mut sc.movers, &mut members);
+                        continue 'groups;
+                    }
+                    co.exec_block_members(bidx, &members, &mut sc);
+                    let first_next = sc.outs.iter().find_map(|(_, o)| match o {
+                        StepOut::Next(p) => Some(*p),
+                        _ => None,
+                    });
+                    if let Some(p) = first_next {
+                        traces.record_branch(prog, bidx, p);
+                    }
+                } else {
+                    let end = prog.blocks[bidx].end as usize;
+                    sc.outs.clear();
+                    for &l in &members {
+                        let out = co.exec_lane_stepped(l, pc, end);
+                        sc.outs.push((l, out));
+                    }
+                }
+                // Converged fast path: everyone advanced to the same pc.
+                if let Some(&(_, StepOut::Next(p0))) = sc.outs.first() {
+                    if sc.outs.len() == members.len()
+                        && sc
+                            .outs
+                            .iter()
+                            .all(|(_, o)| matches!(o, StepOut::Next(p) if *p == p0))
+                    {
+                        sc.outs.clear();
+                        pc = p0;
+                        continue;
+                    }
+                }
+                sc.movers.clear();
+                for (l, out) in sc.outs.drain(..) {
+                    match out {
+                        StepOut::Next(p) => sc.movers.push((l, p)),
+                        StepOut::Halt(code) => co.finalize_halt(l, code),
+                        StepOut::Err(e) => co.results[l] = Some(Err(e)),
+                    }
+                }
+                enqueue_by_pc(&mut queue, &mut sc.movers, &mut members);
+                continue 'groups;
+            }
+        }
+        debug_assert!(co.results.iter().all(Option::is_some));
+        co.results
+            .into_iter()
+            .map(|r| r.unwrap_or(Err(ExecError::BadPc { pc: usize::MAX })))
+            .collect()
+    }
+}
+
+/// N machine states advancing through one decoded program: per-lane
+/// accounting in `lanes`, registers as one lane-major structure-of-arrays
+/// slab, and finished results scattered by lane index.
+struct Cohort<'p> {
+    prog: &'p DecodedProgram,
+    lanes: Vec<Lane>,
+    regs: Vec<[u32; NREGS]>,
+    results: Vec<Option<Result<ExecutionReport, ExecError>>>,
+    start: Instant,
+}
+
+/// Reusable dispatch buffers for the lockstep loop. Each block dispatch
+/// needs a handful of small vectors (budget flags, convoy membership,
+/// successor pcs, outcomes, movers); allocating them fresh per block would
+/// cost more than the block itself, so they live here and are cleared
+/// between uses.
+#[derive(Default)]
+struct Scratch {
+    /// Per-member "whole block fits in budget" flags.
+    fits: Vec<bool>,
+    /// Lane indices of the in-budget convoy members.
+    fast: Vec<usize>,
+    /// Successor pc per `fast` entry.
+    nexts: Vec<usize>,
+    /// Per-member block outcomes, in member order.
+    outs: Vec<(usize, StepOut)>,
+    /// Per-member memory fault from a tight convoy block, if any.
+    faults: Vec<Option<ExecError>>,
+    /// Lanes that left the current block/trace, with their actual pcs.
+    movers: Vec<(usize, usize)>,
+    /// Lanes staying on a trace at the current step.
+    stay: Vec<usize>,
+}
+
+impl Scratch {
+    /// Size `nexts`/`faults` for an `n`-member convoy. Every `nexts` slot
+    /// is overwritten by the convoy executors, and `faults` slots are
+    /// `None` between dispatches (every setter is paired with a `take`),
+    /// so no clearing is needed when the size already matches.
+    #[inline]
+    fn ensure(&mut self, n: usize) {
+        if self.nexts.len() != n {
+            self.nexts.resize(n, 0);
+            self.faults.clear();
+            self.faults.resize(n, None);
+        }
+    }
+}
+
+impl Cohort<'_> {
+    fn exec_lane_block(&mut self, l: usize, bidx: usize) -> StepOut {
+        exec_block_auto(self.prog, bidx, &mut self.lanes[l], &mut self.regs[l])
+    }
+
+    fn exec_lane_stepped(&mut self, l: usize, pc: usize, end: usize) -> StepOut {
+        exec_stepped(self.prog, &mut self.lanes[l], &mut self.regs[l], pc, end)
+    }
+
+    /// The hot convoy path: a pure or memory block with **every** member
+    /// lane in budget runs op-outer/lane-inner directly over `members` (no
+    /// membership copy, no outcome buffer), leaving each member's successor
+    /// pc in `sc.nexts` and any memory fault in `sc.faults`. Returns
+    /// `false` — having executed nothing — when the preconditions don't
+    /// hold and the generic [`Cohort::exec_block_members`] path must run
+    /// instead.
+    fn try_exec_tight(&mut self, bidx: usize, members: &[usize], sc: &mut Scratch) -> bool {
+        let (kind, k) = {
+            let b = &self.prog.blocks[bidx];
+            (b.kind, b.len() as u64)
+        };
+        if members.len() < 2 {
+            return false;
+        }
+        let fits = |lane: &Lane| lane.user_cycles.saturating_add(k) <= lane.max_cycles;
+        match kind {
+            BlockKind::Pure => {
+                if !members.iter().all(|&l| fits(&self.lanes[l])) {
+                    return false;
+                }
+                sc.ensure(members.len());
+                exec_pure_convoy(self.prog, bidx, members, &mut self.regs, &mut sc.nexts);
+                for &l in members {
+                    account_pure(&mut self.lanes[l], &self.prog.blocks[bidx]);
+                }
+                true
+            }
+            BlockKind::Mem => {
+                if !members.iter().all(|&l| {
+                    let lane = &self.lanes[l];
+                    fits(lane) && lane.profile.segment_cycles > 0
+                }) {
+                    return false;
+                }
+                sc.ensure(members.len());
+                // Memory blocks run lane-outer: op-outer interleaving would
+                // touch every lane's memory per op and thrash the cache,
+                // while lane-outer keeps each lane's working set hot for
+                // the whole block.
+                let block = &self.prog.blocks[bidx];
+                for (mi, &l) in members.iter().enumerate() {
+                    let out = exec_mem(self.prog, block, &mut self.lanes[l], &mut self.regs[l]);
+                    match out {
+                        StepOut::Next(p) => sc.nexts[mi] = p,
+                        StepOut::Err(e) => sc.faults[mi] = Some(e),
+                        StepOut::Halt(_) => debug_assert!(false, "halt in memory block"),
+                    }
+                }
+                true
+            }
+            BlockKind::Ecall => false,
+        }
+    }
+
+    /// Execute block `bidx` (entered at its head) for every member lane,
+    /// filling `sc.outs` in member order. Pure blocks with more than one
+    /// in-budget lane run op-outer/lane-inner over the shared register
+    /// slab; everything else runs per-lane.
+    fn exec_block_members(&mut self, bidx: usize, members: &[usize], sc: &mut Scratch) {
+        let (kind, k) = {
+            let b = &self.prog.blocks[bidx];
+            (b.kind, b.len() as u64)
+        };
+        sc.outs.clear();
+        sc.fits.clear();
+        sc.fits.extend(
+            members
+                .iter()
+                .map(|&l| self.lanes[l].user_cycles.saturating_add(k) <= self.lanes[l].max_cycles),
+        );
+        let nfast = sc.fits.iter().filter(|&&f| f).count();
+        if kind == BlockKind::Pure && nfast > 1 {
+            sc.fast.clear();
+            sc.fast.extend(
+                members
+                    .iter()
+                    .zip(&sc.fits)
+                    .filter(|&(_, &f)| f)
+                    .map(|(&l, _)| l),
+            );
+            sc.nexts.clear();
+            sc.nexts.resize(sc.fast.len(), 0);
+            exec_pure_convoy(self.prog, bidx, &sc.fast, &mut self.regs, &mut sc.nexts);
+            let mut fi = 0;
+            for (mi, &l) in members.iter().enumerate() {
+                if sc.fits[mi] {
+                    account_pure(&mut self.lanes[l], &self.prog.blocks[bidx]);
+                    sc.outs.push((l, StepOut::Next(sc.nexts[fi])));
+                    fi += 1;
+                } else {
+                    let out = self.exec_lane_block(l, bidx);
+                    sc.outs.push((l, out));
+                }
+            }
+        } else {
+            for &l in members {
+                let out = self.exec_lane_block(l, bidx);
+                sc.outs.push((l, out));
+            }
+        }
+    }
+
+    fn finalize_halt(&mut self, l: usize, code: i32) {
+        let report = finish(&mut self.lanes[l], &self.regs[l], true, code, self.start);
+        self.results[l] = Some(Ok(report));
+    }
+}
+
+/// Op-outer/lane-inner execution of one pure block for the in-budget
+/// lanes of a convoy: each op is fetched and matched once and applied to
+/// every lane's register window before moving on. `nexts[j]` receives the
+/// successor pc of `fast[j]`.
+fn exec_pure_convoy(
+    prog: &DecodedProgram,
+    bidx: usize,
+    fast: &[usize],
+    regs: &mut [[u32; NREGS]],
+    nexts: &mut [usize],
+) {
+    let block = &prog.blocks[bidx];
+    let end = block.end as usize;
+    for nx in nexts.iter_mut() {
+        *nx = end;
+    }
+    for op in &prog.ops[block.start as usize..end] {
+        match *op {
+            Op::Lui { rd, imm } => {
+                for &l in fast {
+                    regs[l][rd as usize] = imm as u32;
+                }
+            }
+            Op::Alu { op, rd, rs1, rs2 } => {
+                for &l in fast {
+                    let r = &mut regs[l];
+                    r[rd as usize] = alu(op, r[rs1 as usize], r[rs2 as usize]);
+                }
+            }
+            Op::AluImm { op, rd, rs1, imm } => {
+                for &l in fast {
+                    let r = &mut regs[l];
+                    r[rd as usize] = alu_imm(op, r[rs1 as usize], imm);
+                }
+            }
+            Op::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                for (j, &l) in fast.iter().enumerate() {
+                    let r = &regs[l];
+                    if cond.eval(r[rs1 as usize], r[rs2 as usize]) {
+                        nexts[j] = target as usize;
+                    }
+                }
+            }
+            Op::Jal { rd, link, target } => {
+                for (j, &l) in fast.iter().enumerate() {
+                    regs[l][rd as usize] = link;
+                    nexts[j] = target as usize;
+                }
+            }
+            Op::Jalr {
+                rd,
+                rs1,
+                offset,
+                link,
+            } => {
+                for (j, &l) in fast.iter().enumerate() {
+                    let r = &mut regs[l];
+                    let t = r[rs1 as usize].wrapping_add(offset as u32) / 4;
+                    r[rd as usize] = link;
+                    nexts[j] = t as usize;
+                }
+            }
+            Op::Load { .. } | Op::Store { .. } | Op::Ecall => {
+                debug_assert!(false, "impure op in pure block");
+            }
+        }
+    }
+}
+
+/// Run a trace for a whole convoy: lanes whose observed successor matches
+/// the trained direction stay; divergers deopt (counted per lane) and are
+/// regrouped by actual pc onto the dispatch queue.
+/// Returns `Some(pc)` when the **entire** (unchanged) membership left the
+/// trace converged at one pc — the caller keeps the convoy running inline.
+/// Returns `None` when lanes were dispersed (finalized, errored, or
+/// regrouped onto the dispatch queue).
+fn run_trace_members(
+    co: &mut Cohort<'_>,
+    trace: &Trace,
+    members: &mut Vec<usize>,
+    queue: &mut Vec<(usize, Vec<usize>)>,
+    sc: &mut Scratch,
+) -> Option<usize> {
+    let len = trace.steps.len();
+    let mut i = 0;
+    while i < len && !members.is_empty() {
+        let TraceStep { block, expected } = trace.steps[i];
+        i += 1;
+        let last = i == len;
+        if co.try_exec_tight(block as usize, members, sc) {
+            if sc.faults.iter().all(Option::is_none) {
+                let p0 = sc.nexts[0];
+                if sc.nexts.iter().all(|&p| p == p0) {
+                    if !last && p0 as u32 == expected {
+                        continue; // whole convoy stays on the trace
+                    }
+                    if !last {
+                        for &l in members.iter() {
+                            co.lanes[l].stats.trace_exits += 1;
+                        }
+                    }
+                    return Some(p0); // converged exit (planned or joint deopt)
+                }
+            }
+            sc.stay.clear();
+            sc.movers.clear();
+            for (mi, &l) in members.iter().enumerate() {
+                match sc.faults[mi].take() {
+                    Some(e) => co.results[l] = Some(Err(e)),
+                    None => {
+                        let p = sc.nexts[mi];
+                        if !last && p as u32 == expected {
+                            sc.stay.push(l);
+                        } else {
+                            if !last {
+                                co.lanes[l].stats.trace_exits += 1;
+                            }
+                            sc.movers.push((l, p));
+                        }
+                    }
+                }
+            }
+        } else {
+            co.exec_block_members(block as usize, members, sc);
+            sc.stay.clear();
+            sc.movers.clear();
+            for (l, out) in sc.outs.drain(..) {
+                match out {
+                    StepOut::Next(p) => {
+                        if !last && p as u32 == expected {
+                            sc.stay.push(l);
+                        } else {
+                            if !last {
+                                co.lanes[l].stats.trace_exits += 1;
+                            }
+                            sc.movers.push((l, p));
+                        }
+                    }
+                    StepOut::Halt(code) => co.finalize_halt(l, code),
+                    StepOut::Err(e) => co.results[l] = Some(Err(e)),
+                }
+            }
+        }
+        if sc.movers.is_empty() && sc.stay.len() == members.len() {
+            continue; // everyone stayed; membership unchanged
+        }
+        if sc.stay.is_empty() && sc.movers.len() == members.len() {
+            let p0 = sc.movers[0].1;
+            if sc.movers.iter().all(|&(_, p)| p == p0) {
+                sc.movers.clear();
+                return Some(p0); // converged exit (deopts already counted)
+            }
+        }
+        // Keep the stayers in `members` (reusing its storage) and recycle
+        // the previous round's buffer as grouping spare.
+        mem::swap(members, &mut sc.stay);
+        enqueue_by_pc(queue, &mut sc.movers, &mut sc.stay);
+    }
+    None
+}
+
+/// Group `(lane, pc)` movers by pc (first-seen order, lanes in arrival
+/// order) and push each group as a dispatch-queue entry. `spare` donates
+/// its storage when every mover shares one pc — the common converged case
+/// — making the hot path allocation-free.
+fn enqueue_by_pc(
+    queue: &mut Vec<(usize, Vec<usize>)>,
+    movers: &mut Vec<(usize, usize)>,
+    spare: &mut Vec<usize>,
+) {
+    let Some(&(_, p0)) = movers.first() else {
+        return;
+    };
+    if movers.iter().all(|&(_, p)| p == p0) {
+        spare.clear();
+        spare.extend(movers.iter().map(|&(l, _)| l));
+        queue.push((p0, mem::take(spare)));
+        movers.clear();
+        return;
+    }
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for &(l, p) in movers.iter() {
+        match groups.iter_mut().find(|(gp, _)| *gp == p) {
+            Some((_, v)) => v.push(l),
+            None => groups.push((p, vec![l])),
+        }
+    }
+    movers.clear();
+    queue.extend(groups);
 }
 
 /// Run a decoded program under `kind` with `inputs` — the hot entry point
@@ -383,7 +1341,7 @@ mod tests {
     }
 
     /// Every observable and every cost metric must match the reference step
-    /// interpreter exactly (wall time excluded, of course).
+    /// interpreter exactly (wall time and advisory engine stats excluded).
     fn assert_identical(src: &str, inputs: &[i32], level: Option<OptLevel>) {
         let p = build(src, level);
         for kind in VmKind::BOTH {
@@ -395,7 +1353,7 @@ mod tests {
                 .run()
                 .expect("reference runs");
             let d = DecodedProgram::decode(&p);
-            let new = Engine::new(&d, VmProfile::for_kind(kind), config)
+            let new = Engine::new(&d, VmProfile::for_kind(kind), config.clone())
                 .run()
                 .expect("engine runs");
             assert_eq!(new.instret, old.instret, "instret ({kind})");
@@ -409,6 +1367,21 @@ mod tests {
             assert_eq!(new.halted, old.halted, "halted ({kind})");
             assert_eq!(new.journal, old.journal, "journal ({kind})");
             assert_eq!(new.mix, old.mix, "mix ({kind})");
+
+            // Lockstep must agree with the solo engine on every
+            // architectural observable, lane by lane.
+            let jobs = vec![(VmProfile::for_kind(kind), config.clone()); 3];
+            for r in Engine::run_lockstep(&d, &jobs) {
+                let lr = r.expect("lockstep lane runs");
+                assert_eq!(lr.user_cycles, new.user_cycles, "lockstep cycles ({kind})");
+                assert_eq!(lr.segments, new.segments, "lockstep segments ({kind})");
+                assert_eq!(
+                    lr.paging_cycles, new.paging_cycles,
+                    "lockstep paging ({kind})"
+                );
+                assert_eq!(lr.journal, new.journal, "lockstep journal ({kind})");
+                assert_eq!(lr.exit_code, new.exit_code, "lockstep exit ({kind})");
+            }
         }
     }
 
@@ -458,7 +1431,8 @@ mod tests {
     #[test]
     fn matches_reference_on_segment_splits() {
         // A long loop over one page: segment flushes re-page the resident
-        // set, the accounting the batched path replays arithmetically.
+        // set (and invalidate the residency pre-probe), the accounting the
+        // batched paths replay arithmetically.
         assert_identical(
             "static A: [i32; 4];
              fn main() -> i32 {
@@ -526,5 +1500,70 @@ mod tests {
         assert_eq!(r0.exit_code, 42);
         assert_eq!(sp1.exit_code, 42);
         assert_eq!(r0.instret, sp1.instret);
+    }
+
+    #[test]
+    fn hot_loops_form_traces_and_memory_probes_hit() {
+        let p = build(
+            "static A: [i32; 256];
+             fn main() -> i32 {
+               let mut s: i32 = 0;
+               for (let mut i: i32 = 0; i < 256; i += 1) { A[i] = i; }
+               for (let mut j: i32 = 0; j < 2000; j += 1) { s += A[j % 256]; }
+               commit(s);
+               return s;
+             }",
+            Some(OptLevel::O2),
+        );
+        let d = DecodedProgram::decode(&p);
+        let r = run_decoded(&d, VmKind::RiscZero, &[]).expect("runs");
+        assert!(r.stats.traces_formed >= 1, "hot loop should form a trace");
+        assert!(
+            r.stats.probe_hits > r.stats.probe_misses,
+            "a loop over one array should mostly hit the residency probe \
+             (hits {}, misses {})",
+            r.stats.probe_hits,
+            r.stats.probe_misses
+        );
+    }
+
+    #[test]
+    fn lockstep_mixes_vm_kinds_and_budgets() {
+        let p = build(
+            "fn main() -> i32 {
+               let mut s: i32 = 0;
+               for (let mut i: i32 = 0; i < 5000; i += 1) { s += i; }
+               commit(s);
+               return s;
+             }",
+            None,
+        );
+        let d = DecodedProgram::decode(&p);
+        let jobs: Vec<(VmProfile, ExecConfig)> = vec![
+            (VmProfile::risc_zero(), ExecConfig::default()),
+            (VmProfile::sp1(), ExecConfig::default()),
+            (
+                VmProfile::risc_zero(),
+                ExecConfig {
+                    max_cycles: 100,
+                    ..ExecConfig::default()
+                },
+            ),
+        ];
+        let results = Engine::run_lockstep(&d, &jobs);
+        assert_eq!(results.len(), 3);
+        for (job, r) in jobs.iter().zip(&results) {
+            let solo = Engine::new(&d, job.0.clone(), job.1.clone()).run();
+            match (r, &solo) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.user_cycles, b.user_cycles);
+                    assert_eq!(a.total_cycles, b.total_cycles);
+                    assert_eq!(a.journal, b.journal);
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                _ => panic!("lockstep/solo outcome class diverged"),
+            }
+        }
+        assert!(matches!(results[2], Err(ExecError::CycleLimit)));
     }
 }

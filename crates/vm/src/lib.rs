@@ -13,13 +13,19 @@
 //! every RV32IM instruction is decoded once into a dense internal [`op::Op`],
 //! ops are grouped into fall-through basic blocks keyed by branch targets,
 //! and dispatch runs block-at-a-time through a direct-indexed block cache.
-//! Blocks without memory or ecall instructions execute with batched
-//! cycle/segment accounting; everything stays bit-identical to the original
+//! Blocks without ecall instructions execute with batched cycle/segment
+//! accounting (memory blocks resolve loads/stores through a per-segment
+//! residency pre-probe), hot block heads chain into superblock traces keyed
+//! by observed branch direction with safe deopt back to dispatch, and
+//! [`Engine::run_lockstep`] advances N machine states through one shared
+//! decoded program in a structure-of-arrays register layout (the tuner's
+//! candidate fan-out). Everything stays bit-identical to the original
 //! decode-per-step interpreter (`machine::Machine`), which is kept behind
 //! the `reference` cargo feature (and `cfg(test)`) as the differential
 //! oracle. The engine reports the paper's cost components: **dynamic
 //! instruction count**, **paging cycles**, and **total cycles**, plus the
-//! journal used by the workspace's differential tests.
+//! journal used by the workspace's differential tests and advisory
+//! [`EngineStats`] counters explaining how each run was executed.
 //!
 //! ## Example
 //!
@@ -48,8 +54,8 @@ pub use machine::{alu, alu_imm, ExecConfig, ExecError, ExecutionReport, InstMix}
 #[cfg(any(test, feature = "reference"))]
 pub use machine::{run_program_reference, Machine};
 pub use mem::{FastMemory, PagedMemory};
-pub use op::{Block, DecodedProgram, Op};
-pub use profile::{VmKind, VmProfile};
+pub use op::{Block, BlockKind, DecodedProgram, Op};
+pub use profile::{EngineStats, VmKind, VmProfile};
 
 #[cfg(test)]
 mod tests {

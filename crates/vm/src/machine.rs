@@ -12,9 +12,9 @@
 use crate::ecalls::{self, MemIo};
 #[cfg(any(test, feature = "reference"))]
 use crate::mem::{MemFault, PagedMemory, STACK_TOP};
-use crate::profile::VmKind;
 #[cfg(any(test, feature = "reference"))]
 use crate::profile::VmProfile;
+use crate::profile::{EngineStats, VmKind};
 use std::fmt;
 #[cfg(any(test, feature = "reference"))]
 use zkvmopt_ir::ecall;
@@ -148,6 +148,10 @@ pub struct ExecutionReport {
     pub journal: Vec<i32>,
     /// Instruction mix.
     pub mix: InstMix,
+    /// Advisory engine-v3 profiling counters (all zero from the reference
+    /// interpreter; excluded from the bit-identity contract — see
+    /// [`EngineStats`]).
+    pub stats: EngineStats,
     /// Modelled zkVM execution (replay) time in milliseconds.
     pub exec_time_ms: f64,
     /// Measured wall-clock time of this simulation (informational).
@@ -400,6 +404,7 @@ impl<'p> Machine<'p> {
             halted,
             journal: self.journal,
             mix,
+            stats: EngineStats::default(),
             exec_time_ms,
             wall_time_ms: start.elapsed().as_secs_f64() * 1e3,
         })

@@ -297,8 +297,8 @@ impl FastMemory {
                 return Ok(0); // untouched page reads as zero, no allocation
             };
             Ok(match size {
-                4 => u32::from_le_bytes(page[off..off + 4].try_into().expect("4 bytes")),
-                2 => u16::from_le_bytes(page[off..off + 2].try_into().expect("2 bytes")) as u32,
+                4 => u32::from_le_bytes([page[off], page[off + 1], page[off + 2], page[off + 3]]),
+                2 => u16::from_le_bytes([page[off], page[off + 1]]) as u32,
                 _ => page[off] as u32,
             })
         } else {
@@ -343,6 +343,79 @@ impl FastMemory {
             }
         }
         Ok(())
+    }
+
+    /// [`FastMemory::read`] variant returning the paging charge alongside
+    /// the value: `(value, page-ins charged, page-outs charged)`. The
+    /// engine's batched memory path uses this to charge segment cycles
+    /// per-access without re-reading the cumulative counters.
+    ///
+    /// # Errors
+    /// Faults on null-guard or out-of-range accesses.
+    #[inline]
+    pub fn read_charged(&mut self, addr: u32, size: u32) -> Result<(u32, u64, u64), MemFault> {
+        let (ins0, outs0) = (self.page_ins, self.page_outs);
+        let v = self.read(addr, size)?;
+        Ok((v, self.page_ins - ins0, self.page_outs - outs0))
+    }
+
+    /// [`FastMemory::write`] variant returning the paging charge:
+    /// `(page-ins charged, page-outs charged)`.
+    ///
+    /// # Errors
+    /// Faults on null-guard or out-of-range accesses.
+    #[inline]
+    pub fn write_charged(
+        &mut self,
+        addr: u32,
+        value: u32,
+        size: u32,
+    ) -> Result<(u64, u64), MemFault> {
+        let (ins0, outs0) = (self.page_ins, self.page_outs);
+        self.write(addr, value, size)?;
+        Ok((self.page_ins - ins0, self.page_outs - outs0))
+    }
+
+    /// Whether `page` is resident-dirty in the current segment (its
+    /// page-out is already charged, so further writes to it are free).
+    #[inline]
+    pub fn page_dirty(&self, page: u32) -> bool {
+        self.resident[page as usize] == DIRTY
+    }
+
+    /// Read within one page without touching residency or paging counters.
+    ///
+    /// Callers must guarantee `page` is a valid in-range page the current
+    /// segment already counted resident, and that `off + size` stays inside
+    /// it — the engine's residency pre-probe establishes both before taking
+    /// this path. Reads of never-allocated pages return zero.
+    #[inline]
+    pub fn peek_in_page(&self, page: u32, off: u32, size: u32) -> u32 {
+        let off = off as usize;
+        match &self.pages[page as usize] {
+            None => 0,
+            Some(pg) => match size {
+                4 => u32::from_le_bytes([pg[off], pg[off + 1], pg[off + 2], pg[off + 3]]),
+                2 => u16::from_le_bytes([pg[off], pg[off + 1]]) as u32,
+                _ => pg[off] as u32,
+            },
+        }
+    }
+
+    /// Write within one page without touching residency or paging counters.
+    ///
+    /// Same contract as [`FastMemory::peek_in_page`], plus the page must
+    /// already be resident-dirty (the probe only serves writes from dirty
+    /// pages, whose page-out is already charged).
+    #[inline]
+    pub fn poke_in_page(&mut self, page: u32, off: u32, value: u32, size: u32) {
+        let off = off as usize;
+        let pg = self.page_mut(page as usize);
+        match size {
+            4 => pg[off..off + 4].copy_from_slice(&value.to_le_bytes()),
+            2 => pg[off..off + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            _ => pg[off] = value as u8,
+        }
     }
 
     /// Bulk read without affecting paging counters (host/precompile access

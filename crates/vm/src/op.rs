@@ -70,6 +70,21 @@ pub enum Op {
     Ecall,
 }
 
+/// How the engine may execute a [`Block`], decided statically at decode
+/// time from the ops it contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// No loads, stores, or ecalls: the engine executes the whole block
+    /// straight-line with batched cycle/segment accounting.
+    Pure,
+    /// Contains loads and/or stores but no ecalls: eligible for the batched
+    /// memory path (residency pre-probe + per-access paging charge).
+    Mem,
+    /// Contains at least one ecall: always stepped (ecalls can halt
+    /// mid-block, commit to the journal, and charge precompile cycles).
+    Ecall,
+}
+
 /// A maximal fall-through run of pre-decoded ops. Blocks partition the code
 /// contiguously; a block's terminator (if any) is its last op.
 #[derive(Debug, Clone)]
@@ -78,9 +93,8 @@ pub struct Block {
     pub start: u32,
     /// One past the last code index.
     pub end: u32,
-    /// No loads, stores, or ecalls: the engine may execute the whole block
-    /// straight-line with batched cycle/segment accounting.
-    pub pure: bool,
+    /// Which execution path the block is eligible for.
+    pub kind: BlockKind,
     /// Static instruction mix of the block. Every op of a block executes
     /// whenever the block is entered at its head, so for pure blocks this is
     /// exactly the dynamic mix contribution per entry.
@@ -270,21 +284,30 @@ impl DecodedProgram {
         while pc < n {
             let start = pc;
             let mut mix = InstMix::default();
-            let mut pure = true;
+            let mut has_mem = false;
+            let mut has_ecall = false;
             loop {
                 let class = ops[pc].mix_class();
                 mix.bump(class);
-                pure &= !matches!(class, MixClass::Load | MixClass::Store | MixClass::Ecall);
+                has_mem |= matches!(class, MixClass::Load | MixClass::Store);
+                has_ecall |= matches!(class, MixClass::Ecall);
                 block_of[pc] = blocks.len() as u32;
                 pc += 1;
                 if pc >= n || leader[pc] {
                     break;
                 }
             }
+            let kind = if has_ecall {
+                BlockKind::Ecall
+            } else if has_mem {
+                BlockKind::Mem
+            } else {
+                BlockKind::Pure
+            };
             blocks.push(Block {
                 start: start as u32,
                 end: pc as u32,
-                pure,
+                kind,
                 mix,
             });
         }

@@ -109,6 +109,32 @@ impl VmProfile {
     }
 }
 
+/// Advisory engine-v3 profiling counters, surfaced per run in
+/// [`crate::ExecutionReport::stats`]: superblock (trace) formation and deopt
+/// activity, plus the hit rate of the residency pre-probe that lets the
+/// batched memory path skip full paging checks.
+///
+/// These counters describe *how* the engine ran, not *what* it computed:
+/// they are excluded from the bit-identity contract (the reference
+/// interpreter reports all zeros, and under [`crate::Engine::run_lockstep`]
+/// trace formation is shared across the cohort, making the attribution
+/// scheduling-dependent). Every architectural observable — cycles, paging,
+/// segments, journal, exit — stays bit-identical regardless of these values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Superblock traces formed (attributed to the lane whose block entry
+    /// crossed the formation threshold).
+    pub traces_formed: u64,
+    /// Early trace exits taken (deopts back to block dispatch because an
+    /// observed successor diverged from the trace's trained direction).
+    pub trace_exits: u64,
+    /// Loads/stores served entirely by the residency pre-probe cache (page
+    /// known resident this segment: no bounds/paging work, zero charge).
+    pub probe_hits: u64,
+    /// Loads/stores that took the full charged access path.
+    pub probe_misses: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,219 @@
+//! Engine v3 cross-checks: lockstep multi-state rollouts are **bit-identical**
+//! to sequential solo runs, and superblock traces deoptimize safely when a
+//! trained branch direction flips mid-run.
+//!
+//! Lockstep is a scheduling optimization, not a semantic mode: every lane in
+//! a cohort must report exactly the cycles, paging, journal, and exit it
+//! would have reported running alone — including lanes that err out under
+//! tiny cycle budgets while their neighbours run to completion. Wall-clock
+//! time and the advisory `EngineStats` counters are the only fields allowed
+//! to differ (trace formation credit is scheduling-dependent by design).
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use zkvm_opt::riscv::TargetCostModel;
+use zkvm_opt::vm::{
+    DecodedProgram, Engine, ExecConfig, ExecError, ExecutionReport, VmKind, VmProfile,
+};
+
+struct Compiled {
+    name: &'static str,
+    prog: DecodedProgram,
+    inputs: Vec<i32>,
+}
+
+/// Every suite workload compiled once at -O0 (no passes: the baseline
+/// pipeline, and the cheapest compile — this file is about the engine).
+fn suite() -> &'static [Compiled] {
+    static SUITE: OnceLock<Vec<Compiled>> = OnceLock::new();
+    SUITE.get_or_init(|| {
+        zkvm_opt::workloads::all()
+            .iter()
+            .map(|w| {
+                let m = zkvm_opt::lang::compile_guest(&w.source)
+                    .unwrap_or_else(|e| panic!("{}: workload compiles: {e}", w.name));
+                let p = zkvm_opt::riscv::compile_module(&m, &TargetCostModel::zk())
+                    .unwrap_or_else(|e| panic!("{}: codegen: {e}", w.name));
+                Compiled {
+                    name: w.name,
+                    prog: DecodedProgram::decode(&p),
+                    inputs: w.inputs.clone(),
+                }
+            })
+            .collect()
+    })
+}
+
+/// Field-by-field report identity, excluding wall-clock time and the
+/// advisory trace/probe counters (which legitimately depend on how lanes
+/// were scheduled). `exec_time_ms` is derived from cycles and stays in.
+fn assert_lane_matches(
+    lockstep: &Result<ExecutionReport, ExecError>,
+    solo: &Result<ExecutionReport, ExecError>,
+    ctx: &str,
+) {
+    match (lockstep, solo) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.kind, b.kind, "{ctx}: kind");
+            assert_eq!(a.instret, b.instret, "{ctx}: instret");
+            assert_eq!(a.user_cycles, b.user_cycles, "{ctx}: user_cycles");
+            assert_eq!(a.paging_cycles, b.paging_cycles, "{ctx}: paging_cycles");
+            assert_eq!(a.total_cycles, b.total_cycles, "{ctx}: total_cycles");
+            assert_eq!(a.page_ins, b.page_ins, "{ctx}: page_ins");
+            assert_eq!(a.page_outs, b.page_outs, "{ctx}: page_outs");
+            assert_eq!(a.segments, b.segments, "{ctx}: segments");
+            assert_eq!(a.exit_code, b.exit_code, "{ctx}: exit_code");
+            assert_eq!(a.halted, b.halted, "{ctx}: halted");
+            assert_eq!(a.journal, b.journal, "{ctx}: journal");
+            assert_eq!(a.mix, b.mix, "{ctx}: mix");
+            assert!(
+                (a.exec_time_ms - b.exec_time_ms).abs() < 1e-12,
+                "{ctx}: exec_time_ms {} vs {}",
+                a.exec_time_ms,
+                b.exec_time_ms
+            );
+        }
+        (Err(a), Err(b)) => assert_eq!(a, b, "{ctx}: error"),
+        (a, b) => panic!("{ctx}: lockstep {a:?} vs solo {b:?}"),
+    }
+}
+
+/// Run a cohort over `jobs` in lockstep and each job solo, and demand
+/// bit-identical outcomes lane by lane.
+fn check_cohort(c: &Compiled, jobs: &[(VmKind, u64, Vec<i32>)]) {
+    let lanes: Vec<(VmProfile, ExecConfig)> = jobs
+        .iter()
+        .map(|(kind, budget, inputs)| {
+            (
+                VmProfile::for_kind(*kind),
+                ExecConfig {
+                    inputs: inputs.clone(),
+                    max_cycles: *budget,
+                },
+            )
+        })
+        .collect();
+    let lockstep = Engine::run_lockstep(&c.prog, &lanes);
+    assert_eq!(lockstep.len(), lanes.len(), "{}: lane count", c.name);
+    for (l, ((profile, config), got)) in lanes.iter().zip(&lockstep).enumerate() {
+        let solo = Engine::new(&c.prog, profile.clone(), config.clone()).run();
+        let ctx = format!("{} lane {l} (budget {})", c.name, config.max_cycles);
+        assert_lane_matches(got, &solo, &ctx);
+    }
+}
+
+/// Mixed VM kinds and the pinned tiny budgets from `engine_limits.rs` in one
+/// cohort: lanes hit `CycleLimit` at different blocks while a generous lane
+/// runs to halt, so the convoy splits, shrinks, and finalizes incrementally.
+#[test]
+fn lockstep_matches_sequential_across_the_suite() {
+    for c in suite() {
+        let jobs: Vec<(VmKind, u64, Vec<i32>)> = VmKind::BOTH
+            .iter()
+            .flat_map(|&kind| {
+                [0u64, 1, 13, 997, 2_000_000]
+                    .into_iter()
+                    .map(move |budget| (kind, budget, c.inputs.clone()))
+            })
+            .collect();
+        check_cohort(c, &jobs);
+    }
+}
+
+/// A cohort whose lanes disagree on *inputs* (not just budgets) diverges at
+/// the first input-dependent branch; every group downstream of the split
+/// must still account exactly like a solo run.
+#[test]
+fn lockstep_with_divergent_inputs_matches_sequential() {
+    for c in suite() {
+        let arity = c.inputs.len();
+        let jobs: Vec<(VmKind, u64, Vec<i32>)> = [0i32, 1, 7, 1_000_000]
+            .iter()
+            .map(|&fill| (VmKind::RiscZero, 2_000_000, vec![fill; arity]))
+            .collect();
+        check_cohort(c, &jobs);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Random per-lane budgets (skewed tiny so mid-block exits are common),
+    /// random shared fill input, every workload, kinds interleaved.
+    #[test]
+    fn random_budget_cohorts_match_sequential(
+        budgets in proptest::collection::vec(0u64..4096, 6..7),
+        fill in -2_000_000_000i32..2_000_000_000,
+        arity in 0usize..4,
+    ) {
+        let inputs = vec![fill; arity];
+        for c in suite() {
+            let jobs: Vec<(VmKind, u64, Vec<i32>)> = budgets
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| {
+                    let kind = VmKind::BOTH[i % VmKind::BOTH.len()];
+                    (kind, b, inputs.clone())
+                })
+                .collect();
+            check_cohort(c, &jobs);
+        }
+    }
+}
+
+/// A branch that runs one direction long enough to get a superblock trained
+/// on it (threshold 64), then flips for the tail of the loop: the engine
+/// must deoptimize — exiting the trace at the actual successor — and still
+/// produce a report bit-identical to the reference step interpreter.
+#[test]
+fn superblock_deopt_on_trained_branch_flip_is_bit_identical() {
+    let source = r"
+        fn main() -> i32 {
+          let mut acc: i32 = 0;
+          for (let mut i: i32 = 0; i < 200; i += 1) {
+            if (i < 150) { acc = acc + i * 3; } else { acc = acc - i; }
+          }
+          commit(acc);
+          return acc;
+        }
+    ";
+    let m = zkvm_opt::lang::compile_guest(source).expect("deopt guest compiles");
+    let p = zkvm_opt::riscv::compile_module(&m, &TargetCostModel::zk()).expect("deopt codegen");
+    let prog = DecodedProgram::decode(&p);
+    for kind in VmKind::BOTH {
+        let config = ExecConfig {
+            inputs: vec![],
+            max_cycles: 2_000_000,
+        };
+        let report = Engine::new(&prog, VmProfile::for_kind(kind), config)
+            .run()
+            .expect("deopt guest halts");
+        let reference =
+            zkvm_opt::vm::run_program_reference(&p, kind, &[]).expect("reference halts");
+        assert_eq!(
+            report.total_cycles, reference.total_cycles,
+            "{kind:?}: cycles"
+        );
+        assert_eq!(report.instret, reference.instret, "{kind:?}: instret");
+        assert_eq!(
+            report.paging_cycles, reference.paging_cycles,
+            "{kind:?}: paging"
+        );
+        assert_eq!(report.segments, reference.segments, "{kind:?}: segments");
+        assert_eq!(report.journal, reference.journal, "{kind:?}: journal");
+        assert_eq!(report.exit_code, reference.exit_code, "{kind:?}: exit");
+        // The loop body runs 150 + 50 iterations: plenty to cross the
+        // trace-formation threshold, and the flip at i == 150 must surface
+        // as at least one recorded trace exit.
+        assert!(
+            report.stats.traces_formed >= 1,
+            "{kind:?}: expected a trace to form, stats {:?}",
+            report.stats
+        );
+        assert!(
+            report.stats.trace_exits >= 1,
+            "{kind:?}: expected the branch flip to deoptimize, stats {:?}",
+            report.stats
+        );
+    }
+}

@@ -1,5 +1,6 @@
 //! panicguard: a ratchet lint against new panic sites in the crates that sit
-//! on the tuning service's untrusted-input path (`lang`, `core`, `tuner`).
+//! on the tuning service's untrusted-input path (`lang`, `core`, `tuner`,
+//! and — since the engine executes tuner-selected candidate programs — `vm`).
 //!
 //! The fault-tolerance contract is that untrusted program text and untrusted
 //! candidate pipelines surface failures as values (`CompileError`,
@@ -30,7 +31,12 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-const GUARDED: &[&str] = &["crates/lang/src", "crates/core/src", "crates/tuner/src"];
+const GUARDED: &[&str] = &[
+    "crates/lang/src",
+    "crates/core/src",
+    "crates/tuner/src",
+    "crates/vm/src",
+];
 const PATTERNS: &[&str] = &[
     ".unwrap()",
     ".expect(\"",
