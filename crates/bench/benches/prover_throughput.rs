@@ -1,0 +1,234 @@
+//! Segmented proving throughput: execute → segment → prove, in proofs/sec.
+//!
+//! Before timing anything, two bit-identity gates run over the whole suite
+//! (reduced set in CI smoke mode) × both VM kinds:
+//!
+//! 1. **Segment accounting** — the per-segment records of a segmented run
+//!    must sum exactly to the run's `ExecutionReport` totals (instret,
+//!    user/paging cycles, page-ins/outs, mix), and the segmented run's
+//!    report must equal a plain `Engine::run` under the same profile.
+//! 2. **Parallel proving** — proving segments across threads must produce
+//!    the same per-segment Merkle commitments, aggregation root, and total
+//!    modelled cost as sequential proving, for every backend.
+//!
+//! The report then measures the multi-core advantage of the parallel
+//! per-segment fan-out (advisory below 4 cores, like the lockstep bench)
+//! and end-to-end proofs/sec per backend; Criterion measures the full
+//! pipeline. Segment limits are scaled down from the production profiles so
+//! every workload splits into several segments — this is the "heavy
+//! traffic" shape: a stream of programs, each a bag of parallel segments.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zkvmopt_core::suite::CompiledWorkload;
+use zkvmopt_core::{OptLevel, OptProfile, SuiteRunner};
+use zkvmopt_prover::{check_segment_accounting, prove_segmented, standard_backends};
+use zkvmopt_vm::{Engine, ExecConfig, ExecutionReport, SegmentRecord, VmKind, VmProfile};
+use zkvmopt_workloads::Workload;
+
+/// Segment limit divisor vs the production profiles: small segments turn
+/// every suite program into a multi-segment proving job.
+const SEGMENT_SCALE: u64 = 64;
+
+fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// The bench's VM profile: production cost model, scaled-down segments.
+fn profile(kind: VmKind) -> VmProfile {
+    let mut p = VmProfile::for_kind(kind);
+    p.segment_cycles = (p.segment_cycles / SEGMENT_SCALE).max(1);
+    p
+}
+
+fn compile_suite() -> Vec<(&'static Workload, CompiledWorkload)> {
+    let mut runner = SuiteRunner::new();
+    let o2 = OptProfile::level(OptLevel::O2);
+    let ws: Vec<&'static Workload> = if zkvmopt_bench::smoke() {
+        zkvmopt_bench::bench_workloads()
+    } else {
+        zkvmopt_workloads::all().iter().collect()
+    };
+    ws.into_iter()
+        .map(|w| {
+            let cw = runner
+                .compile(w, &o2)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            (w, cw.clone())
+        })
+        .collect()
+}
+
+/// One segmented execution: the proving pipeline's input.
+struct SegmentedRun {
+    workload: &'static str,
+    kind: VmKind,
+    report: ExecutionReport,
+    records: Vec<SegmentRecord>,
+}
+
+/// Execute every workload × both VM kinds with per-segment accounting,
+/// gating record/report bit-identity (and segmented-vs-plain dispatch
+/// identity) along the way.
+fn execute_suite(suite: &[(&'static Workload, CompiledWorkload)]) -> Vec<SegmentedRun> {
+    let mut runs = Vec::with_capacity(suite.len() * 2);
+    for (w, cw) in suite {
+        for kind in VmKind::BOTH {
+            let config = ExecConfig {
+                inputs: w.inputs.clone(),
+                ..ExecConfig::default()
+            };
+            let (report, records) = Engine::new(&cw.decoded, profile(kind), config.clone())
+                .run_segmented()
+                .unwrap_or_else(|e| panic!("{} ({kind}): {e}", w.name));
+            check_segment_accounting(&report, &records)
+                .unwrap_or_else(|e| panic!("{} ({kind}): {e}", w.name));
+            let plain = Engine::new(&cw.decoded, profile(kind), config)
+                .run()
+                .unwrap_or_else(|e| panic!("{} ({kind}) plain: {e}", w.name));
+            let ctx = format!("{} ({kind})", w.name);
+            assert_eq!(report.instret, plain.instret, "{ctx}: instret");
+            assert_eq!(report.total_cycles, plain.total_cycles, "{ctx}: cycles");
+            assert_eq!(report.paging_cycles, plain.paging_cycles, "{ctx}: paging");
+            assert_eq!(report.segments, plain.segments, "{ctx}: segments");
+            assert_eq!(report.journal, plain.journal, "{ctx}: journal");
+            runs.push(SegmentedRun {
+                workload: w.name,
+                kind,
+                report,
+                records,
+            });
+        }
+    }
+    runs
+}
+
+/// Prove every run with every backend at the given thread count, returning
+/// the summed modelled cost (the timed kernel).
+fn prove_all(runs: &[SegmentedRun], threads: usize) -> f64 {
+    let mut total = 0.0;
+    for run in runs {
+        for backend in standard_backends() {
+            total += prove_segmented(backend, &run.report, &run.records, threads)
+                .unwrap_or_else(|e| panic!("{} ({}): {e}", run.workload, run.kind))
+                .total_cost_ms;
+        }
+    }
+    total
+}
+
+fn report(runs: &[SegmentedRun]) {
+    zkvmopt_bench::header("Segmented proving: execute -> segment -> prove (-O2 suite)");
+
+    // Parallel-vs-sequential identity gate: roots, per-segment proofs, and
+    // modelled totals must not depend on the thread count.
+    for run in runs {
+        for backend in standard_backends() {
+            let seq = prove_segmented(backend, &run.report, &run.records, 1)
+                .unwrap_or_else(|e| panic!("{}: {e}", run.workload));
+            let par = prove_segmented(backend, &run.report, &run.records, 0)
+                .unwrap_or_else(|e| panic!("{}: {e}", run.workload));
+            let ctx = format!("{} ({}, {})", run.workload, run.kind, backend.name());
+            assert_eq!(par.root, seq.root, "{ctx}: root");
+            assert_eq!(par.segments, seq.segments, "{ctx}: segments");
+            assert!(
+                par.total_cost_ms == seq.total_cost_ms,
+                "{ctx}: cost {} != {}",
+                par.total_cost_ms,
+                seq.total_cost_ms
+            );
+        }
+    }
+    let nsegments: u64 = runs.iter().map(|r| r.report.segments).sum();
+    println!(
+        "bit-identity: {} segmented runs ({nsegments} segments) x {} backends OK",
+        runs.len(),
+        standard_backends().len()
+    );
+
+    // Wall-clock: the whole proving wave, sequential vs all cores.
+    let time = |f: &dyn Fn() -> f64| -> f64 {
+        (0..5)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                black_box(f());
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let seq_ms = time(&|| prove_all(runs, 1));
+    let par_ms = time(&|| prove_all(runs, 0));
+    let speedup = seq_ms / par_ms;
+    let nproofs = (runs.len() * standard_backends().len()) as f64;
+    let proofs_per_sec = nproofs / (par_ms / 1e3);
+    let segments_per_program = nsegments as f64 / runs.len() as f64;
+    // Geomean over per-run parallel proving rates (risc0 backend), the
+    // headline throughput metric.
+    let rates: Vec<f64> = runs
+        .iter()
+        .map(|run| {
+            let backend = standard_backends()[0];
+            let ms = time(&|| {
+                prove_segmented(backend, &run.report, &run.records, 0)
+                    .expect("gated above")
+                    .total_cost_ms
+            });
+            1e3 / ms.max(1e-6)
+        })
+        .collect();
+    let rate_geomean = geomean(&rates);
+    println!(
+        "proving wave: {nproofs:.0} proofs, seq {seq_ms:.2} ms, parallel {par_ms:.2} ms \
+         ({speedup:.2}x), {proofs_per_sec:.0} proofs/sec"
+    );
+    println!(
+        "segments/program: {segments_per_program:.1}; per-run proof rate geomean: \
+         {rate_geomean:.0}/sec"
+    );
+    zkvmopt_bench::trajectory::record(
+        "prover_throughput",
+        &[
+            ("proofs_per_sec", proofs_per_sec),
+            ("proof_rate_geomean", rate_geomean),
+            ("segments_per_program", segments_per_program),
+            ("parallel_speedup", speedup),
+            ("runs", runs.len() as f64),
+        ],
+    );
+    // Advisory below 4 cores (and in CI), hard gate otherwise: per-segment
+    // proving is embarrassingly parallel, so multi-core proving must not be
+    // slower than sequential once real cores are available.
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    if std::env::var("ZKVMOPT_SPEEDUP_ADVISORY").is_ok_and(|v| v == "1") || cores < 4 {
+        if speedup < 1.0 {
+            eprintln!(
+                "ADVISORY: parallel proving {speedup:.2}x below the 1.0x bar ({cores} cores)"
+            );
+        }
+    } else {
+        assert!(
+            speedup >= 1.0,
+            "parallel segment proving must beat sequential on {cores} cores (got {speedup:.2}x)"
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let suite = compile_suite();
+    let runs = execute_suite(&suite);
+    report(&runs);
+    c.bench_function("prover/segment-prove-parallel", |b| {
+        b.iter(|| prove_all(&runs, 0))
+    });
+    c.bench_function("prover/segment-prove-sequential", |b| {
+        b.iter(|| prove_all(&runs, 1))
+    });
+    c.bench_function("prover/execute-segment-prove", |b| {
+        b.iter(|| {
+            let runs = execute_suite(&suite);
+            prove_all(&runs, 0)
+        })
+    });
+}
+
+criterion_group! { name = benches; config = Criterion::default().sample_size(10); targets = bench }
+criterion_main!(benches);

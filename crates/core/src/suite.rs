@@ -29,7 +29,9 @@ use std::sync::Mutex;
 use zkvmopt_ir::Module;
 use zkvmopt_prover::ProvingModel;
 use zkvmopt_riscv::Program;
-use zkvmopt_vm::{DecodedProgram, Engine, ExecConfig, VmKind, VmProfile};
+use zkvmopt_vm::{
+    DecodedProgram, Engine, ExecConfig, ExecutionReport, SegmentRecord, VmKind, VmProfile,
+};
 use zkvmopt_workloads::Workload;
 use zkvmopt_x86sim::{run_x86, X86Model};
 
@@ -182,6 +184,36 @@ impl SuiteRunner {
         let max_cycles = self.max_cycles;
         let cw = self.compile(w, profile)?;
         execute(cw, &w.inputs, vm, with_x86, max_cycles)
+    }
+
+    /// Compile (cached) and execute `w` under `profile` on `vm` with
+    /// per-segment accounting: the segmented-dispatch engine run that feeds
+    /// the proving pipeline (`zkvmopt_prover::prove_segmented`). The
+    /// segment-accounting bit-identity gate runs before returning, so a
+    /// record set that does not sum exactly to the report is an error here,
+    /// never a silently corrupted proving cost.
+    ///
+    /// # Errors
+    /// Returns [`StudyError`] on any stage failure, including a
+    /// segment-accounting mismatch.
+    pub fn run_segmented(
+        &mut self,
+        w: &Workload,
+        profile: &OptProfile,
+        vm: VmKind,
+    ) -> Result<(ExecutionReport, Vec<SegmentRecord>), StudyError> {
+        let max_cycles = self.max_cycles;
+        let cw = self.compile(w, profile)?;
+        let config = ExecConfig {
+            inputs: w.inputs.clone(),
+            max_cycles,
+        };
+        let (report, records) = Engine::new(&cw.decoded, VmProfile::for_kind(vm), config)
+            .run_segmented()
+            .map_err(|e| StudyError::Exec(e.to_string()))?;
+        zkvmopt_prover::check_segment_accounting(&report, &records)
+            .map_err(|e| StudyError::Exec(e.to_string()))?;
+        Ok((report, records))
     }
 
     /// Cached analogue of [`crate::measure`]: compile once, execute, verify
@@ -454,6 +486,21 @@ mod tests {
         }
         // One compile per {workload × profile}, reused across both VMs.
         assert_eq!(runner.cached_programs(), 2);
+    }
+
+    #[test]
+    fn segmented_runs_match_plain_runs_and_pass_the_gate() {
+        let w = zkvmopt_workloads::by_name("loop-sum").unwrap();
+        let mut runner = SuiteRunner::new();
+        let profile = OptProfile::level(OptLevel::O2);
+        for vm in VmKind::BOTH {
+            let plain = runner.run(w, &profile, vm, false).unwrap();
+            let (report, records) = runner.run_segmented(w, &profile, vm).unwrap();
+            assert_eq!(report.total_cycles, plain.exec.total_cycles, "{vm}");
+            assert_eq!(report.segments, plain.exec.segments, "{vm}");
+            assert_eq!(report.journal, plain.exec.journal, "{vm}");
+            assert_eq!(records.len() as u64, report.segments, "{vm}");
+        }
     }
 
     #[test]

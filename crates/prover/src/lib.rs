@@ -14,6 +14,27 @@
 use zkvmopt_crypto::MerkleTree;
 use zkvmopt_vm::{ExecutionReport, VmKind};
 
+pub mod pipeline;
+
+pub use pipeline::{
+    check_segment_accounting, prove_segmented, standard_backends, verify_segmented,
+    AccountingMismatch, LookupCentricBackend, ProverBackend, RiscZeroBackend, SegmentProof,
+    SegmentedProof, Sp1Backend,
+};
+
+/// Rows after padding, as measured proving time sees them. Real STARK
+/// provers pad the main trace to a power of two, but the many secondary
+/// chip tables pad at much finer granularity, so measured proving time
+/// tracks rows far more continuously than a single pow2 pad would suggest.
+/// Model that blend: half the cost follows the pow2-padded main trace
+/// (min 4 Ki rows), half follows 2 KiB-granular chip tables.
+#[must_use]
+pub fn padded_rows_blend(rows: u64) -> u64 {
+    let pow2 = rows.next_power_of_two().max(1 << 12);
+    let fine = rows.div_ceil(2048).max(1) * 2048;
+    (pow2 + fine) / 2
+}
+
 /// Analytic proving-cost model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProvingModel {
@@ -89,16 +110,7 @@ impl ProvingModel {
         for _ in 0..units {
             let in_unit = remaining.min(self.unit_rows);
             remaining = remaining.saturating_sub(self.unit_rows);
-            // Real STARK provers pad the main trace to a power of two, but
-            // the many secondary chip tables pad at much finer granularity,
-            // so measured proving time tracks rows far more continuously
-            // than a single pow2 pad would suggest. Model that blend:
-            // half the cost follows the pow2-padded main trace, half follows
-            // 2 KiB-granular chip tables.
-            let pow2 = in_unit.next_power_of_two().max(1 << 12);
-            let fine = in_unit.div_ceil(2048).max(1) * 2048;
-            let padded = (pow2 + fine) / 2;
-            ms += self.per_unit_ms + padded as f64 * self.per_row_ms;
+            ms += self.per_unit_ms + padded_rows_blend(in_unit) as f64 * self.per_row_ms;
         }
         if units > 1 {
             ms += units as f64 * self.aggregation_ms;
@@ -243,6 +255,120 @@ mod tests {
         let mut other = r.clone();
         other.journal.push(42);
         assert!(!toy_verify(&model, &other, &proof));
+    }
+
+    fn segmented(
+        cycles_hint: u32,
+        kind: VmKind,
+    ) -> (ExecutionReport, Vec<zkvmopt_vm::SegmentRecord>) {
+        let src = format!(
+            "static A: [i32; 16384];
+             fn main() -> i32 {{
+               let mut s: i32 = 0;
+               for (let mut i: i32 = 0; i < {cycles_hint}; i += 1) {{
+                 A[i % 16384] = i; s += A[(i * 7) % 16384];
+               }}
+               commit(s);
+               return s;
+             }}"
+        );
+        let m = zkvmopt_lang::compile_guest(&src).unwrap();
+        let p = zkvmopt_riscv::compile_module(&m, &zkvmopt_riscv::TargetCostModel::zk()).unwrap();
+        let d = zkvmopt_vm::DecodedProgram::decode(&p);
+        let mut profile = zkvmopt_vm::VmProfile::for_kind(kind);
+        // Small segments so even modest runs split into several.
+        profile.segment_cycles = 1 << 14;
+        zkvmopt_vm::Engine::new(&d, profile, zkvmopt_vm::ExecConfig::default())
+            .run_segmented()
+            .unwrap()
+    }
+
+    #[test]
+    fn segment_records_pass_the_accounting_gate() {
+        for kind in VmKind::BOTH {
+            let (report, records) = segmented(20_000, kind);
+            assert!(records.len() > 1, "{kind}: want a multi-segment run");
+            check_segment_accounting(&report, &records).unwrap();
+        }
+    }
+
+    #[test]
+    fn accounting_gate_rejects_tampered_records() {
+        let (report, mut records) = segmented(5_000, VmKind::RiscZero);
+        records[0].user_cycles += 1;
+        let err = check_segment_accounting(&report, &records).unwrap_err();
+        assert_eq!(err.field, "user_cycles");
+        records[0].user_cycles -= 1;
+        records.pop();
+        let err = check_segment_accounting(&report, &records).unwrap_err();
+        assert_eq!(err.field, "segments");
+    }
+
+    #[test]
+    fn parallel_proving_matches_sequential_bit_for_bit() {
+        let (report, records) = segmented(20_000, VmKind::RiscZero);
+        for backend in standard_backends() {
+            let seq = prove_segmented(backend, &report, &records, 1).unwrap();
+            for threads in [0, 2, 4] {
+                let par = prove_segmented(backend, &report, &records, threads).unwrap();
+                assert_eq!(par.root, seq.root, "{}: root", backend.name());
+                assert_eq!(par.segments, seq.segments, "{}: segments", backend.name());
+                assert!(
+                    par.total_cost_ms == seq.total_cost_ms,
+                    "{}: cost {} != {}",
+                    backend.name(),
+                    par.total_cost_ms,
+                    seq.total_cost_ms
+                );
+            }
+            assert!(verify_segmented(backend, &report, &records, &seq));
+        }
+    }
+
+    #[test]
+    fn segmented_proofs_bind_segments_and_journal() {
+        let (report, records) = segmented(10_000, VmKind::RiscZero);
+        let backend: &dyn ProverBackend = &RiscZeroBackend;
+        let proof = prove_segmented(backend, &report, &records, 1).unwrap();
+        assert_eq!(proof.segments.len(), records.len());
+
+        // Tampering with a record breaks verification (the accounting gate
+        // catches sum changes; a compensated swap changes the commitment).
+        let mut moved = records.clone();
+        if moved.len() >= 2 {
+            let a = moved[0].user_cycles;
+            moved[0].user_cycles = moved[1].user_cycles;
+            moved[1].user_cycles = a;
+            if moved[0] != records[0] {
+                assert!(!verify_segmented(backend, &report, &moved, &proof));
+            }
+        }
+        // Tampering with the journal breaks the public-leaf binding.
+        let mut other = report.clone();
+        other.journal.push(42);
+        assert!(!verify_segmented(backend, &other, &records, &proof));
+    }
+
+    #[test]
+    fn backends_disagree_on_cost_shape() {
+        let (report, records) = segmented(20_000, VmKind::RiscZero);
+        let r0 = prove_segmented(&RiscZeroBackend, &report, &records, 1).unwrap();
+        let sp1 = prove_segmented(&Sp1Backend, &report, &records, 1).unwrap();
+        let lk = prove_segmented(&LookupCentricBackend, &report, &records, 1).unwrap();
+        // Paging-heavy risc0 charges paging rows; sp1 does not.
+        let r0_rows: u64 = r0.segments.iter().map(|s| s.rows).sum();
+        let sp1_rows: u64 = sp1.segments.iter().map(|s| s.rows).sum();
+        assert!(r0_rows > sp1_rows, "paging rows: {r0_rows} vs {sp1_rows}");
+        // All three produce distinct total costs on a paging workload.
+        assert!(r0.total_cost_ms != sp1.total_cost_ms);
+        assert!(sp1.total_cost_ms != lk.total_cost_ms);
+    }
+
+    #[test]
+    fn mismatched_report_and_records_are_rejected() {
+        let (report, _) = segmented(5_000, VmKind::RiscZero);
+        let (_, other_records) = segmented(20_000, VmKind::RiscZero);
+        assert!(prove_segmented(&RiscZeroBackend, &report, &other_records, 1).is_err());
     }
 
     #[test]

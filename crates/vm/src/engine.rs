@@ -43,6 +43,7 @@ use crate::machine::{alu, alu_imm, ExecConfig, ExecError, ExecutionReport, InstM
 use crate::mem::{FastMemory, MemFault, STACK_TOP};
 use crate::op::{Block, BlockKind, DecodedProgram, Op};
 use crate::profile::{EngineStats, VmKind, VmProfile};
+use crate::segment::{SegmentRecord, SegmentRecorder};
 use std::mem;
 use std::time::Instant;
 use zkvmopt_ir::ecall;
@@ -58,6 +59,15 @@ const TRACE_THRESHOLD: u32 = 64;
 const TRACE_MAX_BLOCKS: usize = 16;
 /// Hot-counter sentinel: trace formation failed, never retry.
 const REJECTED: u32 = u32::MAX;
+
+/// Residency pre-probe sentinel: no page cached this segment. Real page
+/// indices never reach this value (`page_size >= 4`, so `addr >> page_shift`
+/// tops out at `u32::MAX >> 2`). An *impossible* sentinel matters: the
+/// previous sentinel `0` conflated "empty probe" with page 0 itself, so the
+/// first access to any page-0 address vacuously "hit" — swallowing the
+/// null-guard `MemFault` for `addr < 0x100` and eliding the page-in charge
+/// for legal page-0 addresses.
+const PROBE_NONE: u32 = u32::MAX;
 
 struct FastIo<'a>(&'a mut FastMemory);
 
@@ -100,15 +110,23 @@ struct Lane {
     page_shift: u32,
     page_mask: u32,
     /// Residency pre-probe: the one page known resident this segment
-    /// (0 = no page cached; page 0 is never cached because it holds the
-    /// null-guarded addresses below `0x100`).
+    /// ([`PROBE_NONE`] = no page cached).
     probe_page: u32,
+    /// First page the probe may cache. Every byte of a cached page must
+    /// clear the `addr < 0x100` null guard, so pages overlapping the
+    /// guarded range are never cached and always take the fully-checked
+    /// access path — a probe hit can never bypass the validity check.
+    min_probe_page: u32,
     /// Whether `probe_page` is known dirty (stores to it charge nothing).
     probe_writable: bool,
     stats: EngineStats,
     /// First global-image byte that failed to load, reported lazily as a
     /// `MemFault` when the lane runs.
     init_fault: Option<u32>,
+    /// Per-segment accounting capture, installed only by
+    /// [`Engine::run_segmented`] (`None` everywhere else, including every
+    /// lockstep lane — the boxed option costs the hot paths nothing).
+    recorder: Option<Box<SegmentRecorder>>,
 }
 
 impl Lane {
@@ -122,6 +140,7 @@ impl Lane {
         }
         let page_shift = profile.page_size.trailing_zeros();
         let page_mask = profile.page_size - 1;
+        let min_probe_page = 0x100u32.div_ceil(profile.page_size);
         Lane {
             max_cycles: config.max_cycles,
             inputs: config.inputs,
@@ -135,18 +154,32 @@ impl Lane {
             segment_cycles: 0,
             page_shift,
             page_mask,
-            probe_page: 0,
+            probe_page: PROBE_NONE,
+            min_probe_page,
             probe_writable: false,
             stats: EngineStats::default(),
             init_fault,
+            recorder: None,
         }
     }
 
-    /// End the segment: residency drops, so the probe cache must too.
+    /// End the segment: residency drops, so the probe cache must too. When
+    /// a [`SegmentRecorder`] is installed ([`Engine::run_segmented`]), the
+    /// closing segment's accounting deltas are captured first.
     #[inline]
     fn flush_segment(&mut self) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.close(
+                &self.profile,
+                self.instret,
+                self.user_cycles,
+                self.mem.page_ins(),
+                self.mem.page_outs(),
+                &self.mix,
+            );
+        }
         self.mem.flush_segment();
-        self.probe_page = 0;
+        self.probe_page = PROBE_NONE;
         self.probe_writable = false;
     }
 
@@ -157,14 +190,15 @@ impl Lane {
     fn load(&mut self, addr: u32, size: u32) -> Result<(u32, u64), MemFault> {
         let page = addr >> self.page_shift;
         // `wrapping_add`: near-u32::MAX addresses wrap into page 0, which
-        // is never cached, so the hit test stays correct without widening.
+        // is never cached (`min_probe_page >= 1`), so the hit test stays
+        // correct without widening.
         if page == self.probe_page && addr.wrapping_add(size - 1) >> self.page_shift == page {
             self.stats.probe_hits += 1;
             return Ok((self.mem.peek_in_page(page, addr & self.page_mask, size), 0));
         }
         self.stats.probe_misses += 1;
         let (v, ins, outs) = self.mem.read_charged(addr, size)?;
-        if addr.wrapping_add(size - 1) >> self.page_shift == page && page != 0 {
+        if addr.wrapping_add(size - 1) >> self.page_shift == page && page >= self.min_probe_page {
             self.probe_page = page;
             self.probe_writable = self.mem.page_dirty(page);
         }
@@ -187,7 +221,7 @@ impl Lane {
         }
         self.stats.probe_misses += 1;
         let (ins, outs) = self.mem.write_charged(addr, value, size)?;
-        if addr.wrapping_add(size - 1) >> self.page_shift == page && page != 0 {
+        if addr.wrapping_add(size - 1) >> self.page_shift == page && page >= self.min_probe_page {
             self.probe_page = page;
             self.probe_writable = true;
         }
@@ -783,6 +817,75 @@ impl<'p> Engine<'p> {
                 StepOut::Next(p) => pc = p,
                 StepOut::Halt(code) => {
                     return Ok(finish(&mut self.lane, &self.regs, true, code, start));
+                }
+                StepOut::Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Run to halt like [`Engine::run`], additionally splitting the
+    /// execution into per-segment accounting records — the input to the
+    /// segmented proving pipeline (`zkvmopt-prover`).
+    ///
+    /// Dispatch is stepped-only: the batched paths replay segment
+    /// boundaries arithmetically (one internal segment flush can stand in
+    /// for several crossings), which is fine for totals but cannot
+    /// attribute cycles to individual segments. The stepped path flushes
+    /// exactly once per boundary, so hooking the flush yields exact
+    /// per-segment deltas; the report stays bit-identical to [`Engine::run`]
+    /// because the stepped path *is* the accounting reference the batched
+    /// tiers are verified against.
+    ///
+    /// Guarantees (gated by tests and the prover throughput bench):
+    /// - the returned report equals [`Engine::run`]'s bit for bit
+    ///   (advisory [`EngineStats`] excluded);
+    /// - records sum bit-identically to the report's totals (`instret`,
+    ///   `user_cycles`, paging, page-ins/outs, mix);
+    /// - `records.len() == report.segments`.
+    ///
+    /// Callers supply profiles with nonzero `segment_cycles`; a zero limit
+    /// degenerates to one record per instruction.
+    ///
+    /// # Errors
+    /// Returns [`ExecError`] exactly as [`Engine::run`] would.
+    pub fn run_segmented(mut self) -> Result<(ExecutionReport, Vec<SegmentRecord>), ExecError> {
+        let start = Instant::now();
+        if let Some(addr) = self.lane.init_fault {
+            return Err(ExecError::MemFault { addr, pc: 0 });
+        }
+        self.lane.recorder = Some(Box::default());
+        let n = self.prog.ops.len();
+        let mut pc = self.prog.entry;
+        loop {
+            if pc >= n {
+                return Err(ExecError::BadPc { pc });
+            }
+            let block = &self.prog.blocks[self.prog.block_of[pc] as usize];
+            let out = exec_stepped(
+                self.prog,
+                &mut self.lane,
+                &mut self.regs,
+                pc,
+                block.end as usize,
+            );
+            match out {
+                StepOut::Next(p) => pc = p,
+                StepOut::Halt(code) => {
+                    let mut rec = self.lane.recorder.take().expect("recorder installed");
+                    // The final (partial) segment never hit the limit, so no
+                    // flush closed it; close it now. It is never empty: the
+                    // halting ecall itself lands in it.
+                    rec.close(
+                        &self.lane.profile,
+                        self.lane.instret,
+                        self.lane.user_cycles,
+                        self.lane.mem.page_ins(),
+                        self.lane.mem.page_outs(),
+                        &self.lane.mix,
+                    );
+                    let report = finish(&mut self.lane, &self.regs, true, code, start);
+                    debug_assert_eq!(rec.records.len() as u64, report.segments);
+                    return Ok((report, rec.records));
                 }
                 StepOut::Err(e) => return Err(e),
             }

@@ -47,6 +47,7 @@ pub mod machine;
 pub mod mem;
 pub mod op;
 pub mod profile;
+pub mod segment;
 
 pub use ecalls::CryptoEcalls;
 pub use engine::{run_decoded, run_program, Engine};
@@ -56,6 +57,7 @@ pub use machine::{run_program_reference, Machine};
 pub use mem::{FastMemory, PagedMemory};
 pub use op::{Block, BlockKind, DecodedProgram, Op};
 pub use profile::{EngineStats, VmKind, VmProfile};
+pub use segment::SegmentRecord;
 
 #[cfg(test)]
 mod tests {

@@ -119,6 +119,24 @@ impl InstMix {
         self.jump += other.jump;
         self.ecall += other.ecall;
     }
+
+    /// Per-class difference vs an `earlier` snapshot of the same cumulative
+    /// counters (`self - earlier`) — the per-segment mix deltas behind
+    /// [`crate::SegmentRecord`]. Every field of `earlier` must be `<=` the
+    /// corresponding field of `self`.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &InstMix) -> InstMix {
+        InstMix {
+            alu: self.alu - earlier.alu,
+            mul: self.mul - earlier.mul,
+            div: self.div - earlier.div,
+            load: self.load - earlier.load,
+            store: self.store - earlier.store,
+            branch: self.branch - earlier.branch,
+            jump: self.jump - earlier.jump,
+            ecall: self.ecall - earlier.ecall,
+        }
+    }
 }
 
 /// Everything the study measures from one guest execution.

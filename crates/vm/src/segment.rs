@@ -1,0 +1,87 @@
+//! Per-segment accounting records.
+//!
+//! A zkVM proves long executions as a chain of *segments* (RISC Zero
+//! continuations, SP1 shards): the execution is cut every
+//! [`VmProfile::segment_cycles`](crate::VmProfile) cycles, each cut is
+//! proved independently (in parallel, in practice), and the per-segment
+//! proofs are joined by a recursion/aggregation layer. The engine's
+//! [`ExecutionReport`](crate::ExecutionReport) carries run-wide totals;
+//! [`Engine::run_segmented`](crate::Engine::run_segmented) additionally
+//! yields one [`SegmentRecord`] per segment, whose fields sum bit-identically
+//! to those totals. The prover crate turns these records into per-segment
+//! proof costs and commitments.
+
+use crate::machine::InstMix;
+use crate::profile::VmProfile;
+
+/// Accounting for one proof segment of an execution: exactly the slice of
+/// the run-wide totals that fell between two segment boundaries.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SegmentRecord {
+    /// Dynamic instructions retired in this segment.
+    pub instret: u64,
+    /// User (instruction + precompile) cycles in this segment.
+    pub user_cycles: u64,
+    /// Paging cycles charged in this segment.
+    pub paging_cycles: u64,
+    /// Pages paged in during this segment.
+    pub page_ins: u64,
+    /// Pages paged out during this segment.
+    pub page_outs: u64,
+    /// Instruction-class mix of this segment.
+    pub mix: InstMix,
+}
+
+impl SegmentRecord {
+    /// User plus paging cycles — the segment's share of
+    /// [`ExecutionReport::total_cycles`](crate::ExecutionReport).
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.user_cycles + self.paging_cycles
+    }
+}
+
+/// Converts the lane's cumulative counters into per-segment deltas: one
+/// [`close`](SegmentRecorder::close) call per segment boundary (the engine
+/// hooks its per-boundary segment flush) plus one for the final partial
+/// segment.
+#[derive(Default)]
+pub(crate) struct SegmentRecorder {
+    pub(crate) records: Vec<SegmentRecord>,
+    // Cumulative-counter snapshots at the last closed boundary.
+    instret: u64,
+    user_cycles: u64,
+    page_ins: u64,
+    page_outs: u64,
+    mix: InstMix,
+}
+
+impl SegmentRecorder {
+    /// Close the current segment at the given cumulative counter values,
+    /// recording the deltas since the previous boundary.
+    pub(crate) fn close(
+        &mut self,
+        profile: &VmProfile,
+        instret: u64,
+        user_cycles: u64,
+        page_ins: u64,
+        page_outs: u64,
+        mix: &InstMix,
+    ) {
+        let d_ins = page_ins - self.page_ins;
+        let d_outs = page_outs - self.page_outs;
+        self.records.push(SegmentRecord {
+            instret: instret - self.instret,
+            user_cycles: user_cycles - self.user_cycles,
+            paging_cycles: profile.paging_cycles(d_ins, d_outs),
+            page_ins: d_ins,
+            page_outs: d_outs,
+            mix: mix.delta_since(&self.mix),
+        });
+        self.instret = instret;
+        self.user_cycles = user_cycles;
+        self.page_ins = page_ins;
+        self.page_outs = page_outs;
+        self.mix = *mix;
+    }
+}

@@ -1,0 +1,229 @@
+//! Page-0 footprint regressions for the *batched* execution tiers: the
+//! hoisted memory-block pre-probe (`exec_mem`), superblock traces, and
+//! lockstep convoys all funnel loads/stores through the same per-lane
+//! residency probe that once used page 0 as its empty sentinel. Each test
+//! here drives a block whose memory footprint starts at page 0 through one
+//! of those tiers and checks the null guard still fires (exact address and
+//! pc) and paging is still charged — bit-identical to the stepped path.
+
+use zkvmopt_riscv::inst::{AluImmOp, BranchCond, MemWidth};
+use zkvmopt_riscv::{Inst, Program, Reg};
+use zkvmopt_vm::{
+    DecodedProgram, Engine, ExecConfig, ExecError, ExecutionReport, VmKind, VmProfile,
+};
+
+fn program(code: Vec<Inst<Reg>>) -> Program {
+    Program {
+        code,
+        entry: 0,
+        func_entries: vec![],
+        func_names: vec![],
+        globals: vec![],
+        spilled_vregs: 0,
+    }
+}
+
+fn addi(rd: Reg, rs1: Reg, imm: i32) -> Inst<Reg> {
+    Inst::AluImm {
+        op: AluImmOp::Addi,
+        rd,
+        rs1,
+        imm,
+    }
+}
+
+fn lw(rd: Reg, base: Reg, offset: i32) -> Inst<Reg> {
+    Inst::Load {
+        width: MemWidth::Word,
+        rd,
+        base,
+        offset,
+    }
+}
+
+fn sw(src: Reg, base: Reg, offset: i32) -> Inst<Reg> {
+    Inst::Store {
+        width: MemWidth::Word,
+        src,
+        base,
+        offset,
+    }
+}
+
+/// A two-block hot loop whose memory footprint is entirely page 0: the
+/// `jal` splits the body so trace formation can chain blocks (a one-block
+/// loop closes on itself and is rejected).
+fn page0_loop() -> Program {
+    program(vec![
+        addi(Reg::T1, Reg::ZERO, 0x200), // page-0 pointer (legal: >= 0x100)
+        addi(Reg::T2, Reg::ZERO, 0),     // i = 0
+        addi(Reg::T3, Reg::ZERO, 200),   // limit
+        lw(Reg::A0, Reg::T1, 0),         // 3: loop head (Mem block A)
+        Inst::Jal {
+            rd: Reg::ZERO,
+            target: 5,
+        },
+        sw(Reg::A0, Reg::T1, 4), // 5: Mem block B
+        addi(Reg::T2, Reg::T2, 1),
+        Inst::Branch {
+            cond: BranchCond::Lt,
+            rs1: Reg::T2,
+            rs2: Reg::T3,
+            target: 3,
+        },
+        Inst::Ecall, // halt(a0)
+    ])
+}
+
+fn run(p: &Program, profile: VmProfile) -> Result<ExecutionReport, ExecError> {
+    let d = DecodedProgram::decode(p);
+    Engine::new(&d, profile, ExecConfig::default()).run()
+}
+
+/// Batched memory block (entered at its head, in budget → `exec_mem`): a
+/// null-guard violation mid-block must fault at the exact address and pc
+/// the stepped path reports, even though a legal page-0 access precedes it.
+#[test]
+fn mem_block_null_guard_faults_at_exact_pc() {
+    let p = program(vec![
+        addi(Reg::T1, Reg::ZERO, 0x200),
+        lw(Reg::A0, Reg::T1, 0), // legal page-0 load
+        addi(Reg::T2, Reg::ZERO, 0x10),
+        lw(Reg::A1, Reg::T2, 0), // 3: addr 0x10 < 0x100 -> fault
+        Inst::Jal {
+            rd: Reg::ZERO,
+            target: 5,
+        },
+        Inst::Ecall,
+    ]);
+    let r = run(&p, VmProfile::risc_zero());
+    assert_eq!(
+        r,
+        Err(ExecError::MemFault { addr: 0x10, pc: 3 }),
+        "batched mem block must preserve the null guard"
+    );
+}
+
+/// A probe already caching a *legal* page must not let a later sub-0x100
+/// store through: the hit test is per-page, and page 0 is never cached.
+#[test]
+fn probe_hit_on_other_page_never_bypasses_null_guard() {
+    let p = program(vec![
+        addi(Reg::T1, Reg::ZERO, 0x400),
+        lw(Reg::A0, Reg::T1, 0), // caches probe on page 1
+        addi(Reg::T2, Reg::ZERO, 0x10),
+        sw(Reg::A0, Reg::T2, 0), // 3: store to 0x10 -> fault
+        Inst::Jal {
+            rd: Reg::ZERO,
+            target: 5,
+        },
+        Inst::Ecall,
+    ]);
+    let r = run(&p, VmProfile::risc_zero());
+    assert_eq!(r, Err(ExecError::MemFault { addr: 0x10, pc: 3 }));
+}
+
+/// A batched block whose whole footprint is page 0 charges exactly one
+/// page-in: the first access pays, later same-page accesses are resident
+/// (but must go through the checked path, not the probe cache).
+#[test]
+fn mem_block_page0_footprint_charges_one_page_in() {
+    let p = program(vec![
+        addi(Reg::T1, Reg::ZERO, 0x200),
+        lw(Reg::A0, Reg::T1, 0),
+        sw(Reg::A0, Reg::T1, 4),
+        lw(Reg::A1, Reg::T1, 8),
+        Inst::Jal {
+            rd: Reg::ZERO,
+            target: 5,
+        },
+        Inst::Ecall,
+    ]);
+    let r = run(&p, VmProfile::risc_zero()).expect("legal page-0 block runs");
+    assert_eq!(r.page_ins, 1, "page 0 pages in exactly once");
+}
+
+/// The hot page-0 loop must actually form a superblock trace, and the
+/// trace-following execution must be bit-identical to the stepped-only
+/// `run_segmented` dispatch on every architectural observable.
+#[test]
+fn page0_trace_matches_stepped_dispatch() {
+    let p = page0_loop();
+    let d = DecodedProgram::decode(&p);
+    for kind in VmKind::BOTH {
+        let profile = VmProfile::for_kind(kind);
+        let fast = Engine::new(&d, profile.clone(), ExecConfig::default())
+            .run()
+            .expect("traced run");
+        assert!(
+            fast.stats.traces_formed >= 1,
+            "hot page-0 loop should form a trace ({kind})"
+        );
+        let (stepped, _records) = Engine::new(&d, profile, ExecConfig::default())
+            .run_segmented()
+            .expect("stepped run");
+        assert_eq!(fast.instret, stepped.instret, "instret ({kind})");
+        assert_eq!(fast.user_cycles, stepped.user_cycles, "cycles ({kind})");
+        assert_eq!(fast.paging_cycles, stepped.paging_cycles, "paging ({kind})");
+        assert_eq!(fast.page_ins, stepped.page_ins, "page_ins ({kind})");
+        assert_eq!(fast.page_outs, stepped.page_outs, "page_outs ({kind})");
+        assert_eq!(fast.segments, stepped.segments, "segments ({kind})");
+        assert_eq!(fast.mix, stepped.mix, "mix ({kind})");
+        assert_eq!(fast.exit_code, stepped.exit_code, "exit ({kind})");
+        assert_eq!(fast.journal, stepped.journal, "journal ({kind})");
+        assert_eq!(fast.page_ins, 1, "loop footprint is one page ({kind})");
+    }
+}
+
+/// Lockstep convoys (tight `exec_mem` path: >= 2 lanes at one pc) over the
+/// page-0 loop must match each lane's solo run bit for bit.
+#[test]
+fn lockstep_page0_loop_matches_solo() {
+    let p = page0_loop();
+    let d = DecodedProgram::decode(&p);
+    let jobs = vec![
+        (VmProfile::risc_zero(), ExecConfig::default()),
+        (VmProfile::risc_zero(), ExecConfig::default()),
+        (VmProfile::sp1(), ExecConfig::default()),
+    ];
+    for (job, r) in jobs.iter().zip(Engine::run_lockstep(&d, &jobs)) {
+        let lane = r.expect("lockstep lane runs");
+        let solo = Engine::new(&d, job.0.clone(), job.1.clone())
+            .run()
+            .expect("solo runs");
+        assert_eq!(lane.user_cycles, solo.user_cycles);
+        assert_eq!(lane.paging_cycles, solo.paging_cycles);
+        assert_eq!(lane.page_ins, solo.page_ins);
+        assert_eq!(lane.page_outs, solo.page_outs);
+        assert_eq!(lane.segments, solo.segments);
+        assert_eq!(lane.mix, solo.mix);
+        assert_eq!(lane.journal, solo.journal);
+        assert_eq!(lane.exit_code, solo.exit_code);
+    }
+}
+
+/// Every lockstep lane must see the null-guard fault a tight convoy's
+/// memory block raises, at the same address and pc as the solo engine.
+#[test]
+fn lockstep_null_guard_faults_every_lane() {
+    let p = program(vec![
+        addi(Reg::T1, Reg::ZERO, 0x200),
+        lw(Reg::A0, Reg::T1, 0),
+        addi(Reg::T2, Reg::ZERO, 0x10),
+        lw(Reg::A1, Reg::T2, 0), // 3: faults in every lane
+        Inst::Jal {
+            rd: Reg::ZERO,
+            target: 5,
+        },
+        Inst::Ecall,
+    ]);
+    let d = DecodedProgram::decode(&p);
+    let jobs = vec![
+        (VmProfile::risc_zero(), ExecConfig::default()),
+        (VmProfile::risc_zero(), ExecConfig::default()),
+        (VmProfile::sp1(), ExecConfig::default()),
+    ];
+    for r in Engine::run_lockstep(&d, &jobs) {
+        assert_eq!(r, Err(ExecError::MemFault { addr: 0x10, pc: 3 }));
+    }
+}

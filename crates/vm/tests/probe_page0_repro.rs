@@ -1,4 +1,10 @@
-//! Throwaway review repro: loads from page 0 must fault / charge paging.
+//! Permanent regression suite for the page-0 probe sentinel bug: the
+//! residency pre-probe once used `probe_page: 0` as its empty sentinel, so
+//! the first access to any page-0 address vacuously "hit" — swallowing the
+//! null-guard `MemFault` for `addr < 0x100` and eliding the page-in charge
+//! for legal page-0 addresses. These tests pin the fixed semantics on the
+//! stepped path; `page0_blocks.rs` covers the batched-block, superblock
+//! -trace, and lockstep paths.
 
 use zkvmopt_riscv::inst::{AluImmOp, MemWidth};
 use zkvmopt_riscv::{Inst, Program, Reg};

@@ -1,6 +1,7 @@
 //! panicguard: a ratchet lint against new panic sites in the crates that sit
 //! on the tuning service's untrusted-input path (`lang`, `core`, `tuner`,
-//! and — since the engine executes tuner-selected candidate programs — `vm`).
+//! `vm` — the engine executes tuner-selected candidate programs — and
+//! `prover`, which consumes engine-produced segment records).
 //!
 //! The fault-tolerance contract is that untrusted program text and untrusted
 //! candidate pipelines surface failures as values (`CompileError`,
@@ -34,6 +35,7 @@ use std::path::{Path, PathBuf};
 const GUARDED: &[&str] = &[
     "crates/lang/src",
     "crates/core/src",
+    "crates/prover/src",
     "crates/tuner/src",
     "crates/vm/src",
 ];
