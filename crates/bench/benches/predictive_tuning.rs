@@ -1,0 +1,330 @@
+//! Predictive tuning: feature-indexed tune database with O(1) pass-sequence
+//! prediction, evaluated leave-one-out over the workload suite.
+//!
+//! The report tunes the suite once (predictor off) to populate an in-memory
+//! schema-2 tune database — every entry carries the workload's structural
+//! [`FeatureVector`] and its unoptimized baseline — then answers three
+//! questions:
+//!
+//! 1. **Leave-one-out quality.** For each workload the predictor is rebuilt
+//!    from the database *minus that workload's own entry*, predicts a pass
+//!    sequence from features alone (zero engine cycles: `predict` consumes
+//!    only the database and the feature vector — the fitness closure is
+//!    never invoked), and the predicted candidate is then measured once.
+//!    Gates: geomean(predicted / fully-tuned) ≤ 1.10 and
+//!    geomean(predicted / -O3) < 1.0 — the prediction must land within 10%
+//!    of a full search and strictly beat the canonical -O3 pipeline.
+//! 2. **Prediction latency.** Criterion measures `Predictor::predict` per
+//!    program — a k-NN vote over the database, no compilation, no engine.
+//! 3. **Service throughput, predictor on vs off.** The suite is split in
+//!    half: the first half's tuned entries form the database, then the
+//!    second half is tuned against a copy of it with `predict: false` (full
+//!    island search) and `predict: true` (predict-first). Programs/sec for
+//!    both are reported along with the predicted-hit rate, and — one pinned
+//!    seed, 1-thread vs all-cores — the predict-first databases must be
+//!    bit-identical (always asserted).
+//!
+//! Wall-clock ratios are advisory on small runners; the leave-one-out
+//! geomean gates and the determinism gate always hold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zkvmopt_bench::trajectory;
+use zkvmopt_core::{BatchEvaluator, SuiteRunner};
+use zkvmopt_tuner::{tune_suite, Predictor, ServiceConfig, TuneDb, TuneDbEntry, TuneTarget};
+use zkvmopt_vm::VmKind;
+use zkvmopt_workloads::Workload;
+
+fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Smoke mode keeps the suite small enough for `cargo bench -- --test`;
+/// the full run goes leave-one-out over the whole 58-program suite.
+fn suite_workloads() -> Vec<&'static Workload> {
+    if trajectory::smoke() {
+        // Interleaved so the half-split (knowledge base vs predicted) puts
+        // relatives of every program on both sides.
+        [
+            "loop-sum",
+            "polybench-jacobi-1d",
+            "polybench-atax",
+            "fibonacci",
+            "factorial",
+            "tailcall",
+            "polybench-trisolv",
+            "polybench-bicg",
+        ]
+        .iter()
+        .map(|n| zkvmopt_workloads::by_name(n).expect("bench workload exists"))
+        .collect()
+    } else {
+        zkvmopt_workloads::all().iter().collect()
+    }
+}
+
+fn service_config(predict: bool, threads: usize) -> ServiceConfig {
+    ServiceConfig {
+        islands: 2,
+        population: 4,
+        generations: 2,
+        migration_interval: 2,
+        threads,
+        seed: 0xC0FFEE,
+        predict,
+        ..Default::default()
+    }
+    .with_seed_from_env()
+}
+
+fn build_evaluator(ws: &[&'static Workload]) -> BatchEvaluator {
+    SuiteRunner::new()
+        .batch_evaluator(ws, VmKind::RiscZero)
+        .expect("bench workloads compile")
+}
+
+/// Tune `targets[lo..hi]` into `db`. The fitness closure re-bases workload
+/// indices so a sub-range of the suite still addresses the right program.
+fn tune_range(
+    ev: &BatchEvaluator,
+    targets: &[TuneTarget],
+    lo: usize,
+    hi: usize,
+    cfg: &ServiceConfig,
+    db: &mut TuneDb,
+) -> zkvmopt_tuner::ServiceReport {
+    let fitness = ev.classified_fitness();
+    tune_suite(cfg, &targets[lo..hi], db, |widx, c| fitness(lo + widx, c))
+}
+
+/// Known-good -O3-family candidates measured when flooring the database:
+/// the canonical pipeline, the pipeline with its cleanup tail re-run (the
+/// `o3_fixpoint` idea — the fixed tail does not always converge), and both
+/// at the paper's §6.1 zkVM-aware thresholds. Four evaluations per program,
+/// and the per-program winner differs — exactly the variation a k-NN
+/// predictor exists to transfer.
+fn o3_family() -> Vec<zkvmopt_tuner::Candidate> {
+    let o3 = zkvmopt_tuner::predict::o3_fallback();
+    let tail = ["gvn", "dse", "instcombine", "adce", "simplifycfg"];
+    let mut o3_tail = o3.passes.clone();
+    o3_tail.extend(tail);
+    let o3_tail = zkvmopt_tuner::canonicalize_sequence(&o3_tail);
+    let mut family = vec![
+        o3.clone(),
+        zkvmopt_tuner::Candidate {
+            passes: o3_tail.clone(),
+            ..o3.clone()
+        },
+    ];
+    // The paper's §6.1 zk-aware thresholds: inline far past the hardware
+    // default (zkVMs pay no icache penalty), unroll more aggressively.
+    for passes in [o3.passes.clone(), o3_tail] {
+        family.push(zkvmopt_tuner::Candidate {
+            passes,
+            inline_threshold: 4328,
+            unroll_threshold: 512,
+        });
+    }
+    family
+}
+
+/// Floor `targets[lo..hi]`'s entries at the best of the -O3 family: a
+/// handful of measurements each, recorded only where they beat the searched
+/// best. A production database is bootstrapped the same way — the -O3
+/// pipeline and its zk-aware threshold variants are known-good candidates
+/// that cost a few evaluations, while the island search explores short
+/// specialized sequences rather than rediscovering the 28-pass pipeline.
+fn record_o3_floor(
+    ev: &BatchEvaluator,
+    targets: &[TuneTarget],
+    lo: usize,
+    hi: usize,
+    db: &mut TuneDb,
+) {
+    let family = o3_family();
+    for (i, t) in targets.iter().enumerate().take(hi).skip(lo) {
+        for c in &family {
+            if let Some(cycles) = ev.eval(i, &c.passes, &c.pass_config()) {
+                db.record(TuneDbEntry {
+                    fingerprint: t.fingerprint,
+                    passes: c.passes.iter().map(|p| (*p).to_string()).collect(),
+                    inline_threshold: c.inline_threshold,
+                    unroll_threshold: c.unroll_threshold,
+                    cycles,
+                    baseline_cycles: t.baseline_cycles.unwrap_or(0),
+                    features: t
+                        .features
+                        .as_ref()
+                        .map(|f| f.as_slice().to_vec())
+                        .unwrap_or_default(),
+                });
+            }
+        }
+    }
+}
+
+/// Copy a database by replaying its entries into a fresh in-memory one.
+fn clone_db(db: &TuneDb) -> TuneDb {
+    let mut out = TuneDb::in_memory();
+    for e in db.iter() {
+        out.record(e.clone());
+    }
+    out
+}
+
+struct LeaveOneOut {
+    vs_tuned: Vec<f64>,
+    vs_o3: Vec<f64>,
+    fallbacks: usize,
+}
+
+/// Leave-one-out: rebuild the predictor without workload `i`'s entry,
+/// predict from features alone, then measure the predicted candidate once.
+fn leave_one_out(
+    ev: &BatchEvaluator,
+    targets: &[TuneTarget],
+    db: &TuneDb,
+    k: usize,
+) -> LeaveOneOut {
+    let mut r = LeaveOneOut {
+        vs_tuned: Vec::new(),
+        vs_o3: Vec::new(),
+        fallbacks: 0,
+    };
+    for (i, t) in targets.iter().enumerate() {
+        let predictor = Predictor::from_db_excluding(db, k, Some(t.fingerprint));
+        let p = predictor.predict(ev.features(i));
+        r.fallbacks += p.fallback as usize;
+        let cfg = p.candidate.pass_config();
+        // One measurement of the predicted sequence; a predicted candidate
+        // that fails to validate falls back to the -O3 profile's cycles.
+        let predicted = ev
+            .eval(i, &p.candidate.passes, &cfg)
+            .unwrap_or_else(|| ev.o3_cycles(i));
+        let tuned = db.get(t.fingerprint).expect("suite was tuned").cycles;
+        let o3 = ev.o3_cycles(i);
+        r.vs_tuned.push(predicted as f64 / tuned as f64);
+        r.vs_o3.push(predicted as f64 / o3 as f64);
+    }
+    r
+}
+
+fn report(ev: &BatchEvaluator, targets: &[TuneTarget]) -> TuneDb {
+    zkvmopt_bench::header("Predictive tuning: leave-one-out k-NN prediction vs full search");
+    let n = targets.len();
+    let half = n / 2;
+    let cfg_off = service_config(false, 0);
+    println!(
+        "suite: {n} programs, budget {} evals/workload, k = {}, seed {:#x}",
+        cfg_off.budget_per_workload(),
+        cfg_off.predict_k,
+        cfg_off.seed
+    );
+
+    // Phase 1: tune the first half cold — the knowledge base for the
+    // predictor-on-vs-off comparison.
+    let mut db_a = TuneDb::in_memory();
+    tune_range(ev, targets, 0, half, &cfg_off, &mut db_a);
+    record_o3_floor(ev, targets, 0, half, &mut db_a);
+
+    // Phase 2: tune the second half against a copy of that database, with
+    // the predictor off (full search) and on (predict-first), same seed.
+    let mut db_off = clone_db(&db_a);
+    let t = std::time::Instant::now();
+    tune_range(ev, targets, half, n, &cfg_off, &mut db_off);
+    let off_s = t.elapsed().as_secs_f64();
+    record_o3_floor(ev, targets, half, n, &mut db_off);
+
+    let cfg_on = service_config(true, 0);
+    let mut db_on = clone_db(&db_a);
+    let t = std::time::Instant::now();
+    let rep_on = tune_range(ev, targets, half, n, &cfg_on, &mut db_on);
+    let on_s = t.elapsed().as_secs_f64();
+
+    // Determinism gate: predict-first on one thread must produce a
+    // bit-identical database to the all-cores run above.
+    let cfg_on1 = service_config(true, 1);
+    let mut db_on1 = clone_db(&db_a);
+    tune_range(ev, targets, half, n, &cfg_on1, &mut db_on1);
+    assert_eq!(
+        db_on.to_string_pretty(),
+        db_on1.to_string_pretty(),
+        "predict-first tune database must not depend on thread count"
+    );
+
+    let cold = (n - half) as f64;
+    let hit_rate = rep_on.predicted_hits as f64 / cold;
+    println!(
+        "service, second half ({} programs): predictor off {:.1}/s, on {:.1}/s ({:.2}x), \
+         {} / {} predicted hits",
+        n - half,
+        cold / off_s,
+        cold / on_s,
+        off_s / on_s,
+        rep_on.predicted_hits,
+        n - half
+    );
+
+    // Phase 3: leave-one-out over the full suite. `db_off` now holds every
+    // program's fully-tuned entry (first half + second half, predictor off
+    // throughout), so excluding one fingerprint leaves n-1 neighbours.
+    let db_full = db_off;
+    assert_eq!(db_full.len(), n, "every program tuned");
+    let loo = leave_one_out(ev, targets, &db_full, cfg_off.predict_k);
+    let g_tuned = geomean(&loo.vs_tuned);
+    let g_o3 = geomean(&loo.vs_o3);
+    println!(
+        "leave-one-out ({n} programs): predicted/tuned geomean {g_tuned:.4}, \
+         predicted/-O3 geomean {g_o3:.4}, {} fallback(s)",
+        loo.fallbacks
+    );
+
+    trajectory::record(
+        "predictive_tuning",
+        &[
+            ("programs", n as f64),
+            ("predicted_vs_tuned_geomean", g_tuned),
+            ("predicted_vs_o3_geomean", g_o3),
+            ("predicted_hit_rate", hit_rate),
+            ("loo_fallbacks", loo.fallbacks as f64),
+            ("service_speedup_predict_on", off_s / on_s),
+            ("budget_per_workload", cfg_off.budget_per_workload() as f64),
+        ],
+    );
+
+    // The acceptance gates: within 10% of the full search, strictly better
+    // than the canonical -O3 pipeline. Cycle counts are deterministic, so
+    // these gate unconditionally (no wall-clock noise involved).
+    assert!(
+        g_tuned <= 1.10,
+        "predicted sequences must land within 10% of fully-tuned (geomean {g_tuned:.4})"
+    );
+    assert!(
+        g_o3 < 1.0,
+        "predicted sequences must strictly beat -O3 (geomean {g_o3:.4})"
+    );
+    db_full
+}
+
+fn bench(c: &mut Criterion) {
+    let ws = suite_workloads();
+    let ev = build_evaluator(&ws);
+    let targets = ev.tune_targets();
+    let db = report(&ev, &targets);
+
+    // Prediction latency: one k-NN vote per program, no engine, no compile.
+    let predictor = Predictor::from_db(&db, service_config(false, 0).predict_k);
+    c.bench_function("predict/knn-vote", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let p = predictor.predict(ev.features(i % ev.len()));
+            i += 1;
+            p.candidate.passes.len()
+        })
+    });
+    c.bench_function("predict/fit", |b| {
+        b.iter(|| Predictor::from_db(&db, 3).len())
+    });
+}
+
+criterion_group! { name = benches; config = Criterion::default().sample_size(10); targets = bench }
+criterion_main!(benches);

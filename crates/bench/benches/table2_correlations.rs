@@ -3,7 +3,7 @@
 //! variants.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use zkvmopt_bench::{baseline, header, impact_vs_baseline, pass_profiles};
+use zkvmopt_bench::{baseline, header, metric_columns, pass_profiles};
 use zkvmopt_core::{SuiteRunner, KEY_PASSES};
 use zkvmopt_stats::{kendall_tau, mean, pearson};
 use zkvmopt_vm::VmKind;
@@ -36,25 +36,14 @@ fn report() {
         for w in &workloads {
             let base = baseline(&mut runner, w, &[vm], false);
             let (v, bm, br) = &base.by_vm[0];
-            let mut instret = Vec::new();
-            let mut paging = Vec::new();
-            let mut exec = Vec::new();
-            let mut prove = Vec::new();
-            for p in pass_profiles(KEY_PASSES) {
-                if let Some(i) = impact_vs_baseline(&mut runner, w, &p, *v, bm, br, false) {
-                    instret.push(i.measurement.instret as f64);
-                    paging.push(i.measurement.paging_cycles as f64);
-                    exec.push(i.measurement.exec_ms);
-                    prove.push(i.measurement.prove_ms);
-                }
-            }
-            tau_ie.push(kendall_tau(&instret, &exec));
-            r_ie.push(pearson(&instret, &exec));
-            tau_ip.push(kendall_tau(&instret, &prove));
-            r_ip.push(pearson(&instret, &prove));
+            let cols = metric_columns(&mut runner, w, &pass_profiles(KEY_PASSES), *v, bm, br);
+            tau_ie.push(kendall_tau(&cols.instret, &cols.exec_ms));
+            r_ie.push(pearson(&cols.instret, &cols.exec_ms));
+            tau_ip.push(kendall_tau(&cols.instret, &cols.prove_ms));
+            r_ip.push(pearson(&cols.instret, &cols.prove_ms));
             if vm == VmKind::RiscZero {
-                tau_pe.push(kendall_tau(&paging, &exec));
-                r_pe.push(pearson(&paging, &exec));
+                tau_pe.push(kendall_tau(&cols.paging, &cols.exec_ms));
+                r_pe.push(pearson(&cols.paging, &cols.exec_ms));
             }
         }
         println!(

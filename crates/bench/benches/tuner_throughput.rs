@@ -83,14 +83,7 @@ fn build_groups() -> Vec<Group> {
             let evaluator = runner
                 .batch_evaluator(&ws, VmKind::RiscZero)
                 .expect("bench workloads compile");
-            let targets = ws
-                .iter()
-                .enumerate()
-                .map(|(i, w)| TuneTarget {
-                    name: w.name.to_string(),
-                    fingerprint: evaluator.fingerprint(i),
-                })
-                .collect();
+            let targets = evaluator.tune_targets();
             Group { evaluator, targets }
         })
         .collect()

@@ -193,23 +193,19 @@ fn main() {
             for w in &ws {
                 let base = zkvmopt_bench::baseline(&mut runner, w, &[vm], false);
                 let (v, bm, br) = &base.by_vm[0];
-                let mut instret = Vec::new();
-                let mut paging = Vec::new();
-                let mut exec = Vec::new();
-                for p in pass_profiles(KEY_PASSES) {
-                    if let Some(i) =
-                        zkvmopt_bench::impact_vs_baseline(&mut runner, w, &p, *v, bm, br, false)
-                    {
-                        instret.push(i.measurement.instret as f64);
-                        paging.push(i.measurement.paging_cycles as f64);
-                        exec.push(i.measurement.exec_ms);
-                    }
-                }
-                tau_ie.push(kendall_tau(&instret, &exec));
-                r_ie.push(pearson(&instret, &exec));
+                let cols = zkvmopt_bench::metric_columns(
+                    &mut runner,
+                    w,
+                    &pass_profiles(KEY_PASSES),
+                    *v,
+                    bm,
+                    br,
+                );
+                tau_ie.push(kendall_tau(&cols.instret, &cols.exec_ms));
+                r_ie.push(pearson(&cols.instret, &cols.exec_ms));
                 if vm == VmKind::RiscZero {
-                    tau_pe.push(kendall_tau(&paging, &exec));
-                    r_pe.push(pearson(&paging, &exec));
+                    tau_pe.push(kendall_tau(&cols.paging, &cols.exec_ms));
+                    r_pe.push(pearson(&cols.paging, &cols.exec_ms));
                 }
             }
             println!(

@@ -130,6 +130,45 @@ pub fn impact_vs_baseline(
     }
 }
 
+/// Per-profile metric columns for one workload: the zkVM cost metrics and
+/// performance numbers the correlation tables consume, one row per profile
+/// that validated. Collected by [`metric_columns`] so Table 2 (bench and
+/// report binary) share one collection path.
+#[derive(Debug, Clone, Default)]
+pub struct MetricColumns {
+    /// Dynamic instruction count per profile.
+    pub instret: Vec<f64>,
+    /// Paging cycles per profile.
+    pub paging: Vec<f64>,
+    /// zkVM execution time (ms) per profile.
+    pub exec_ms: Vec<f64>,
+    /// Proving time (ms) per profile.
+    pub prove_ms: Vec<f64>,
+}
+
+/// Measure `profiles` against an established baseline and collect the
+/// correlation-table metric columns (failed profiles are skipped, like the
+/// paper's invalid autotuner candidates).
+pub fn metric_columns(
+    runner: &mut SuiteRunner,
+    w: &Workload,
+    profiles: &[OptProfile],
+    vm: VmKind,
+    base_m: &Measurement,
+    base_r: &RunReport,
+) -> MetricColumns {
+    let mut cols = MetricColumns::default();
+    for p in profiles {
+        if let Some(i) = impact_vs_baseline(runner, w, p, vm, base_m, base_r, false) {
+            cols.instret.push(i.measurement.instret as f64);
+            cols.paging.push(i.measurement.paging_cycles as f64);
+            cols.exec_ms.push(i.measurement.exec_ms);
+            cols.prove_ms.push(i.measurement.prove_ms);
+        }
+    }
+    cols
+}
+
 /// Run a (workloads × profiles × vms) impact matrix through one batched
 /// [`SuiteRunner`]: every {workload × profile} compiles once (baselines
 /// included), and all executions go through the block-dispatch engine.

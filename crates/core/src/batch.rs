@@ -24,11 +24,11 @@
 //! [`SuiteRunner::batch_evaluator`], which reuses the runner's lowered-module
 //! cache and baseline machinery.
 
-use crate::{OptProfile, PipelineError, StudyError, SuiteRunner};
+use crate::{OptLevel, OptProfile, PipelineError, StudyError, SuiteRunner};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use zkvmopt_ir::{stable_module_fingerprint, Module};
+use zkvmopt_ir::{stable_module_fingerprint, FeatureVector, Module};
 use zkvmopt_passes::PassConfig;
 use zkvmopt_tuner::{Candidate, EvalResult, TuneTarget};
 use zkvmopt_vm::{DecodedProgram, Engine, ExecConfig, VmKind, VmProfile};
@@ -52,9 +52,13 @@ struct Entry {
     module: Module,
     inputs: Vec<i32>,
     fingerprint: u64,
+    features: FeatureVector,
     baseline_journal: Vec<i32>,
     baseline_exit: i32,
     baseline_cycles: u64,
+    /// Cycles under the fixed `-O3` pipeline — the reference the predictive
+    /// tuner normalizes tuned results against.
+    o3_cycles: u64,
 }
 
 /// One candidate evaluation request for [`BatchEvaluator::eval_batch`].
@@ -95,15 +99,19 @@ impl SuiteRunner {
         for w in workloads {
             let module = self.lower(w)?;
             let fingerprint = stable_module_fingerprint(&module);
+            let features = FeatureVector::extract(&module);
             let (_, baseline) = self.measure(w, &OptProfile::baseline(), vm, false, None)?;
+            let (_, o3) = self.measure(w, &OptProfile::level(OptLevel::O3), vm, false, None)?;
             entries.push(Entry {
                 name: w.name,
                 module,
                 inputs: w.inputs.clone(),
                 fingerprint,
+                features,
                 baseline_journal: baseline.exec.journal.clone(),
                 baseline_exit: baseline.exec.exit_code,
                 baseline_cycles: baseline.exec.total_cycles,
+                o3_cycles: o3.exec.total_cycles,
             });
         }
         Ok(BatchEvaluator {
@@ -144,6 +152,17 @@ impl BatchEvaluator {
     /// Baseline (unoptimized) cycle count of workload `widx`.
     pub fn baseline_cycles(&self, widx: usize) -> u64 {
         self.entries[widx].baseline_cycles
+    }
+
+    /// Cycle count of workload `widx` under the fixed `-O3` pipeline — the
+    /// reference the predictive tuner's quality ratios are relative to.
+    pub fn o3_cycles(&self, widx: usize) -> u64 {
+        self.entries[widx].o3_cycles
+    }
+
+    /// Structural features of workload `widx`'s lowered base module.
+    pub fn features(&self, widx: usize) -> &FeatureVector {
+        &self.entries[widx].features
     }
 
     /// The per-candidate cycle budget for workload `widx`:
@@ -222,9 +241,9 @@ impl BatchEvaluator {
     pub fn tune_targets(&self) -> Vec<TuneTarget> {
         self.entries
             .iter()
-            .map(|e| TuneTarget {
-                name: e.name.to_string(),
-                fingerprint: e.fingerprint,
+            .map(|e| {
+                TuneTarget::new(e.name, e.fingerprint)
+                    .with_prediction(e.features.clone(), e.o3_cycles)
             })
             .collect()
     }

@@ -40,6 +40,7 @@ pub mod builder;
 pub mod cfg;
 pub mod dom;
 pub mod ecall;
+pub mod features;
 pub mod func;
 pub mod inst;
 pub mod interp;
@@ -50,6 +51,7 @@ pub mod verify;
 
 pub use analysis::{stable_module_fingerprint, AnalysisCache, AnalysisKind, PreservedAnalyses};
 pub use builder::FunctionBuilder;
+pub use features::{FeatureVector, FEATURE_DIM, FEATURE_LABELS};
 pub use func::{
     BlockData, BlockId, FuncId, Function, Global, GlobalId, Module, ValueData, ValueDef, ValueId,
 };

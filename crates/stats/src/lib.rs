@@ -106,6 +106,46 @@ pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> f64 {
     (concordant - discordant) as f64 / denom
 }
 
+/// Z-score of `x` against a population with the given `mean` and standard
+/// deviation. A degenerate population (`sd == 0`, or non-finite) maps every
+/// value to `0.0`, so constant feature dimensions contribute nothing to a
+/// normalized distance instead of producing NaN/∞.
+pub fn zscore(x: f64, mean: f64, sd: f64) -> f64 {
+    if sd == 0.0 || !sd.is_finite() {
+        0.0
+    } else {
+        (x - mean) / sd
+    }
+}
+
+/// Per-column mean and population standard deviation over `rows` of equal
+/// width — the normalization parameters a k-NN predictor fits once per
+/// database. Returns `(means, std_devs)`, each `width` long; empty input
+/// yields empty vectors.
+///
+/// # Panics
+/// Panics when rows disagree on width.
+pub fn column_stats(rows: &[&[f64]]) -> (Vec<f64>, Vec<f64>) {
+    let Some(first) = rows.first() else {
+        return (Vec::new(), Vec::new());
+    };
+    let width = first.len();
+    let mut means = vec![0.0; width];
+    let mut sds = vec![0.0; width];
+    for col in 0..width {
+        let xs: Vec<f64> = rows
+            .iter()
+            .map(|r| {
+                assert_eq!(r.len(), width, "ragged feature rows");
+                r[col]
+            })
+            .collect();
+        means[col] = mean(&xs);
+        sds[col] = std_dev(&xs);
+    }
+    (means, sds)
+}
+
 /// Percent change of `new` relative to `old` (positive = increase).
 pub fn pct_change(old: f64, new: f64) -> f64 {
     if old == 0.0 {
@@ -187,6 +227,24 @@ mod tests {
         let t = kendall_tau(&xs, &ys);
         assert!((-1.0..=1.0).contains(&t));
         assert!((kendall_tau(&ys, &xs) - t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscore_normalizes_and_degenerates_to_zero() {
+        assert_eq!(zscore(7.0, 5.0, 2.0), 1.0);
+        assert_eq!(zscore(3.0, 5.0, 2.0), -1.0);
+        assert_eq!(zscore(123.0, 5.0, 0.0), 0.0, "constant column");
+        assert_eq!(zscore(1.0, 0.0, f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn column_stats_fits_per_dimension() {
+        let rows: [&[f64]; 2] = [&[1.0, 10.0, 5.0], &[3.0, 30.0, 5.0]];
+        let (means, sds) = column_stats(&rows);
+        assert_eq!(means, vec![2.0, 20.0, 5.0]);
+        assert_eq!(sds, vec![1.0, 10.0, 0.0]);
+        let empty: [&[f64]; 0] = [];
+        assert_eq!(column_stats(&empty), (Vec::new(), Vec::new()));
     }
 
     #[test]

@@ -10,47 +10,60 @@
 //! for every already-known program outright — zero fitness evaluations —
 //! and cold programs' results are recorded for the next run.
 //!
-//! ## File format (schema version 1)
+//! ## File format (schema version 2)
 //!
 //! A line-oriented UTF-8 text file, one header plus one line per program:
 //!
 //! ```text
-//! zkvmopt-tunedb 1
-//! <fp:16-hex> <cycles> <inline> <unroll> <pass,pass,...|->
+//! zkvmopt-tunedb 2
+//! <fp:16-hex> <cycles> <baseline> <inline> <unroll> <pass,pass,...|-> <f,f,...|->
 //! ```
 //!
 //! The sequence field is the comma-joined canonical pass list, or `-` for
 //! the empty sequence (a program whose best-known pipeline is "run nothing").
+//! Schema 2 adds two prediction fields to each entry: `<baseline>` — the
+//! program's `-O3` reference cycle count (`0` = unknown) — and the trailing
+//! comma-joined [`FeatureVector`](zkvmopt_ir::FeatureVector) (`-` = not
+//! extracted), both consumed by [`crate::predict::Predictor`].
+//!
+//! **Migration:** schema-1 files (no prediction fields) load transparently —
+//! every entry comes up with `baseline_cycles: 0` and empty `features`, and
+//! the database is marked dirty so the next [`TuneDb::save`] rewrites it in
+//! the v2 format. Versions *newer* than 2 are rejected wholesale, as before.
 //!
 //! ## Failure policy
 //!
 //! Loading **never panics** and never fails the caller:
 //! - a missing file is a fresh, empty database;
-//! - a bad header or schema-version mismatch rejects the whole file (the
-//!   format may have changed incompatibly) and starts empty;
+//! - a bad header or a schema version newer than supported rejects the whole
+//!   file (the format may have changed incompatibly) and starts empty;
 //! - a corrupt *line* (truncated write, hand edit) is logged and dropped
 //!   while every well-formed line is kept.
 //!
 //! The outcome is reported in [`TuneDb::load_status`] so tests (and
 //! operators) can tell recovery from a clean load. Writes go through a
 //! temp-file + rename so a crash mid-save can truncate at most the temp
-//! file, never the database itself. Refreshing stored entries after a
-//! cost-model change follows the golden-snapshot workflow: delete the file
-//! (or run with `warm_start` off) and let the next service run re-record —
-//! the `ZKVMOPT_BLESS`-style "re-measure and overwrite" flow.
+//! file, never the database itself — and [`TuneDb::save`] skips the write
+//! entirely when nothing changed since load, so a service checkpointing at
+//! every generation barrier no longer rewrites an unchanged file each time.
+//! Refreshing stored entries after a cost-model change follows the
+//! golden-snapshot workflow: delete the file (or run with `warm_start` off)
+//! and let the next service run re-record — the `ZKVMOPT_BLESS`-style
+//! "re-measure and overwrite" flow.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Current on-disk schema version. Bump on any incompatible format change.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 const MAGIC: &str = "zkvmopt-tunedb";
 
 /// One stored result: the best-known tuning outcome for one program.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TuneDbEntry {
     /// Stable fingerprint of the program's lowered base module.
     pub fingerprint: u64,
@@ -62,6 +75,14 @@ pub struct TuneDbEntry {
     pub unroll_threshold: usize,
     /// Measured cycle count under that pipeline.
     pub cycles: u64,
+    /// The program's `-O3` reference cycle count (`0` = unknown; entries
+    /// migrated from schema 1 have no baseline until re-recorded).
+    pub baseline_cycles: u64,
+    /// The program's extracted feature vector (empty = not extracted). The
+    /// predictor only consumes entries whose length matches the current
+    /// [`zkvmopt_ir::FEATURE_DIM`], so a feature-set change degrades stale
+    /// entries to warm-start-only instead of corrupting predictions.
+    pub features: Vec<f64>,
 }
 
 /// How the last [`TuneDb::open`] went.
@@ -105,6 +126,9 @@ pub struct TuneDb {
     path: PathBuf,
     entries: BTreeMap<u64, TuneDbEntry>,
     load_status: LoadStatus,
+    /// Whether in-memory state diverged from the backing file since load /
+    /// last save. `Cell` so [`TuneDb::save`] can clear it through `&self`.
+    dirty: Cell<bool>,
 }
 
 impl TuneDb {
@@ -118,12 +142,14 @@ impl TuneDb {
         let _lock = (!path.as_os_str().is_empty())
             .then(|| crate::lock::FileLock::acquire(&path).ok())
             .flatten();
-        let (entries, load_status) = match std::fs::read_to_string(&path) {
-            Err(_) => (BTreeMap::new(), LoadStatus::Fresh),
+        let (entries, load_status, dirty) = match std::fs::read_to_string(&path) {
+            Err(_) => (BTreeMap::new(), LoadStatus::Fresh, false),
             Ok(text) => match parse(&text) {
-                Ok(entries) => {
+                Ok((entries, migrated)) => {
                     let n = entries.len();
-                    (entries, LoadStatus::Loaded { entries: n })
+                    // A migrated v1 file is clean data in a stale format:
+                    // mark dirty so the next save upgrades it to schema 2.
+                    (entries, LoadStatus::Loaded { entries: n }, migrated)
                 }
                 Err((kept, dropped, reason)) => {
                     eprintln!(
@@ -140,6 +166,9 @@ impl TuneDb {
                             dropped,
                             reason,
                         },
+                        // A save heals the damaged file even if nothing is
+                        // recorded afterwards.
+                        true,
                     )
                 }
             },
@@ -148,6 +177,7 @@ impl TuneDb {
             path,
             entries,
             load_status,
+            dirty: Cell::new(dirty),
         }
     }
 
@@ -158,6 +188,7 @@ impl TuneDb {
             path: PathBuf::new(),
             entries: BTreeMap::new(),
             load_status: LoadStatus::Fresh,
+            dirty: Cell::new(false),
         }
     }
 
@@ -191,14 +222,38 @@ impl TuneDb {
         self.entries.values()
     }
 
+    /// Whether in-memory state differs from the backing file ([`TuneDb::save`]
+    /// is a no-op while this is `false`).
+    pub fn is_dirty(&self) -> bool {
+        self.dirty.get()
+    }
+
     /// Record `entry`, keeping whichever of (stored, new) measured fewer
     /// cycles — ties keep the stored entry, so repeated equal-seed runs are
-    /// idempotent. Returns `true` when the database changed.
+    /// idempotent. A kept stored entry that predates schema 2 (no features)
+    /// is backfilled with the new entry's features and baseline, so a
+    /// migrated database heals into a predictable one as programs are
+    /// re-seen. Returns `true` when the database changed.
     pub fn record(&mut self, entry: TuneDbEntry) -> bool {
-        match self.entries.get(&entry.fingerprint) {
-            Some(old) if old.cycles <= entry.cycles => false,
+        match self.entries.get_mut(&entry.fingerprint) {
+            Some(old) if old.cycles <= entry.cycles => {
+                let mut changed = false;
+                if old.features.is_empty() && !entry.features.is_empty() {
+                    old.features = entry.features;
+                    changed = true;
+                }
+                if old.baseline_cycles == 0 && entry.baseline_cycles != 0 {
+                    old.baseline_cycles = entry.baseline_cycles;
+                    changed = true;
+                }
+                if changed {
+                    self.dirty.set(true);
+                }
+                changed
+            }
             _ => {
                 self.entries.insert(entry.fingerprint, entry);
+                self.dirty.set(true);
                 true
             }
         }
@@ -207,7 +262,11 @@ impl TuneDb {
     /// Remove the entry for `fingerprint` (the per-program bless/refresh
     /// path: drop, re-search, re-record). Returns the removed entry.
     pub fn remove(&mut self, fingerprint: u64) -> Option<TuneDbEntry> {
-        self.entries.remove(&fingerprint)
+        let removed = self.entries.remove(&fingerprint);
+        if removed.is_some() {
+            self.dirty.set(true);
+        }
+        removed
     }
 
     /// Serialize to the schema-versioned text format.
@@ -220,23 +279,27 @@ impl TuneDb {
                 e.passes.join(",")
             };
             out.push_str(&format!(
-                "{} {} {} {} {seq}\n",
+                "{} {} {} {} {} {seq} {}\n",
                 zkvmopt_ir::analysis::fingerprint_to_hex(e.fingerprint),
                 e.cycles,
+                e.baseline_cycles,
                 e.inline_threshold,
                 e.unroll_threshold,
+                features_to_text(&e.features),
             ));
         }
         out
     }
 
     /// Atomically persist to the opened path (temp file + rename). A
-    /// [`TuneDb::in_memory`] database saves nowhere and returns `Ok`.
+    /// [`TuneDb::in_memory`] database saves nowhere and returns `Ok`, and a
+    /// clean database (nothing changed since load or the last save) skips
+    /// the write+rename entirely.
     ///
     /// # Errors
     /// Returns the underlying I/O error when the file cannot be written.
     pub fn save(&self) -> std::io::Result<()> {
-        if self.path.as_os_str().is_empty() {
+        if self.path.as_os_str().is_empty() || !self.dirty.get() {
             return Ok(());
         }
         if let Some(dir) = self.path.parent() {
@@ -254,30 +317,59 @@ impl TuneDb {
             f.write_all(self.to_string_pretty().as_bytes())?;
             f.sync_all()?;
         }
-        std::fs::rename(&tmp, &self.path)
+        std::fs::rename(&tmp, &self.path)?;
+        self.dirty.set(false);
+        Ok(())
     }
 }
 
-/// Parse the full file. `Ok` when every line parsed; `Err((salvaged,
-/// dropped, reason))` otherwise — a bad header salvages nothing.
+/// Serialize a feature vector as one whitespace-free field (`-` for none).
+/// Rust's shortest-round-trip `f64` formatting keeps this byte-stable across
+/// processes for bit-equal features.
+fn features_to_text(features: &[f64]) -> String {
+    if features.is_empty() {
+        return "-".to_string();
+    }
+    let parts: Vec<String> = features.iter().map(|v| format!("{v}")).collect();
+    parts.join(",")
+}
+
+/// Parse the feature field: `-` → empty, otherwise all-finite comma-joined
+/// floats. `None` rejects the line (NaN/∞ would poison k-NN distances).
+fn features_from_text(s: &str) -> Option<Vec<f64>> {
+    if s == "-" {
+        return Some(Vec::new());
+    }
+    let values: Option<Vec<f64>> = s.split(',').map(|p| p.parse::<f64>().ok()).collect();
+    let values = values?;
+    if values.is_empty() || values.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    Some(values)
+}
+
+/// Parse the full file. `Ok((entries, migrated))` when every line parsed
+/// (`migrated` = the file was a supported *older* schema and should be
+/// rewritten); `Err((salvaged, dropped, reason))` otherwise — a bad header
+/// salvages nothing.
 #[allow(clippy::type_complexity)]
 fn parse(
     text: &str,
-) -> Result<BTreeMap<u64, TuneDbEntry>, (BTreeMap<u64, TuneDbEntry>, usize, String)> {
+) -> Result<(BTreeMap<u64, TuneDbEntry>, bool), (BTreeMap<u64, TuneDbEntry>, usize, String)> {
     let mut lines = text.lines();
-    match lines.next() {
+    let version = match lines.next() {
         Some(header) => {
             let mut parts = header.split_ascii_whitespace();
             match (
                 parts.next(),
                 parts.next().and_then(|v| v.parse::<u32>().ok()),
             ) {
-                (Some(MAGIC), Some(SCHEMA_VERSION)) => {}
+                (Some(MAGIC), Some(v)) if (1..=SCHEMA_VERSION).contains(&v) => v,
                 (Some(MAGIC), Some(v)) => {
                     return Err((
                         BTreeMap::new(),
                         text.lines().count().saturating_sub(1),
-                        format!("schema version {v} != supported {SCHEMA_VERSION}"),
+                        format!("schema version {v} > supported {SCHEMA_VERSION}"),
                     ));
                 }
                 _ => {
@@ -292,7 +384,7 @@ fn parse(
         None => {
             return Err((BTreeMap::new(), 0, "empty file".to_string()));
         }
-    }
+    };
     let mut entries = BTreeMap::new();
     let mut dropped = 0usize;
     let mut first_error = None;
@@ -300,7 +392,11 @@ fn parse(
         if line.trim().is_empty() {
             continue;
         }
-        match parse_line(line) {
+        let parsed = match version {
+            1 => parse_line_v1(line),
+            _ => parse_line(line),
+        };
+        match parsed {
             Some(e) => {
                 entries.insert(e.fingerprint, e);
             }
@@ -311,36 +407,66 @@ fn parse(
         }
     }
     match first_error {
-        None => Ok(entries),
+        None => Ok((entries, version < SCHEMA_VERSION)),
         Some(reason) => Err((entries, dropped, reason)),
     }
 }
 
+/// Parse the comma-joined pass-sequence field (`-` = empty sequence).
+fn passes_from_text(seq: &str) -> Option<Vec<String>> {
+    if seq == "-" {
+        return Some(Vec::new());
+    }
+    let ps: Vec<String> = seq.split(',').map(str::to_string).collect();
+    if ps.iter().any(String::is_empty) {
+        return None;
+    }
+    Some(ps)
+}
+
+/// Parse one schema-2 line.
 fn parse_line(line: &str) -> Option<TuneDbEntry> {
     let mut parts = line.split_ascii_whitespace();
     let fingerprint = zkvmopt_ir::analysis::fingerprint_from_hex(parts.next()?)?;
     let cycles = parts.next()?.parse().ok()?;
+    let baseline_cycles = parts.next()?.parse().ok()?;
     let inline_threshold = parts.next()?.parse().ok()?;
     let unroll_threshold = parts.next()?.parse().ok()?;
-    let seq = parts.next()?;
+    let passes = passes_from_text(parts.next()?)?;
+    let features = features_from_text(parts.next()?)?;
     if parts.next().is_some() {
         return None; // trailing junk: reject rather than misread
     }
-    let passes = if seq == "-" {
-        Vec::new()
-    } else {
-        let ps: Vec<String> = seq.split(',').map(str::to_string).collect();
-        if ps.iter().any(String::is_empty) {
-            return None;
-        }
-        ps
-    };
     Some(TuneDbEntry {
         fingerprint,
         passes,
         inline_threshold,
         unroll_threshold,
         cycles,
+        baseline_cycles,
+        features,
+    })
+}
+
+/// Parse one legacy schema-1 line (no baseline, no features).
+fn parse_line_v1(line: &str) -> Option<TuneDbEntry> {
+    let mut parts = line.split_ascii_whitespace();
+    let fingerprint = zkvmopt_ir::analysis::fingerprint_from_hex(parts.next()?)?;
+    let cycles = parts.next()?.parse().ok()?;
+    let inline_threshold = parts.next()?.parse().ok()?;
+    let unroll_threshold = parts.next()?.parse().ok()?;
+    let passes = passes_from_text(parts.next()?)?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(TuneDbEntry {
+        fingerprint,
+        passes,
+        inline_threshold,
+        unroll_threshold,
+        cycles,
+        baseline_cycles: 0,
+        features: Vec::new(),
     })
 }
 
@@ -355,6 +481,8 @@ mod tests {
             inline_threshold: 225,
             unroll_threshold: 200,
             cycles,
+            baseline_cycles: cycles * 2,
+            features: vec![1.0, 0.5, 1.0 / 3.0],
         }
     }
 
@@ -430,7 +558,7 @@ mod tests {
         let dir = tmpdir("corrupt");
         let path = dir.join("tune.db");
         let good = format!(
-            "{} 500 225 200 mem2reg,gvn",
+            "{} 500 1000 225 200 mem2reg,gvn 1,0.5",
             zkvmopt_ir::analysis::fingerprint_to_hex(0xA)
         );
         // A truncated second record (crash mid-write) plus trailing junk.
@@ -504,6 +632,7 @@ mod tests {
                     path,
                     entries: other.entries,
                     load_status: LoadStatus::Fresh,
+                    dirty: Cell::new(true),
                 };
                 other.save().unwrap();
                 tx.send(()).unwrap();
@@ -525,10 +654,129 @@ mod tests {
     #[test]
     fn trailing_junk_on_a_line_is_rejected() {
         let hex = zkvmopt_ir::analysis::fingerprint_to_hex(0xA);
-        assert!(parse_line(&format!("{hex} 500 225 200 mem2reg")).is_some());
-        assert!(parse_line(&format!("{hex} 500 225 200 mem2reg extra")).is_none());
-        assert!(parse_line(&format!("{hex} 500 225 200 mem2reg,,gvn")).is_none());
-        assert!(parse_line(&format!("{hex} 500 225 200 -")).is_some());
-        assert!(parse_line(&format!("{hex} 500 225")).is_none());
+        assert!(parse_line(&format!("{hex} 500 1000 225 200 mem2reg 1,2.5")).is_some());
+        assert!(parse_line(&format!("{hex} 500 1000 225 200 mem2reg 1,2.5 extra")).is_none());
+        assert!(parse_line(&format!("{hex} 500 1000 225 200 mem2reg,,gvn 1")).is_none());
+        assert!(parse_line(&format!("{hex} 500 1000 225 200 - -")).is_some());
+        assert!(parse_line(&format!("{hex} 500 1000 225 200 mem2reg nan")).is_none());
+        assert!(parse_line(&format!("{hex} 500 1000 225 200 mem2reg inf,1")).is_none());
+        assert!(
+            parse_line(&format!("{hex} 500 225 200 mem2reg")).is_none(),
+            "v1 arity"
+        );
+        assert!(parse_line_v1(&format!("{hex} 500 225 200 mem2reg")).is_some());
+        assert!(parse_line_v1(&format!("{hex} 500 225 200 mem2reg extra")).is_none());
+    }
+
+    /// The v1 → v2 migration: a schema-1 file loads cleanly (entries carry
+    /// no features / baseline), comes up dirty, and the first save rewrites
+    /// it as schema 2 — after which a reload is clean and bit-stable.
+    #[test]
+    fn v1_files_migrate_to_v2_on_load_and_save() {
+        let dir = tmpdir("migrate");
+        let path = dir.join("tune.db");
+        let hex_a = zkvmopt_ir::analysis::fingerprint_to_hex(0xA);
+        let hex_b = zkvmopt_ir::analysis::fingerprint_to_hex(0xB);
+        std::fs::write(
+            &path,
+            format!("{MAGIC} 1\n{hex_a} 500 225 200 mem2reg,gvn\n{hex_b} 900 100 50 -\n"),
+        )
+        .unwrap();
+        let db = TuneDb::open(&path);
+        assert_eq!(*db.load_status(), LoadStatus::Loaded { entries: 2 });
+        assert!(db.is_dirty(), "stale format must schedule a rewrite");
+        let a = db.get(0xA).unwrap();
+        assert_eq!(a.passes, vec!["mem2reg", "gvn"]);
+        assert_eq!(a.cycles, 500);
+        assert_eq!(a.baseline_cycles, 0, "v1 has no baseline");
+        assert!(a.features.is_empty(), "v1 has no features");
+        db.save().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.starts_with(&format!("{MAGIC} 2\n")),
+            "save upgrades the schema: {text:?}"
+        );
+        let re = TuneDb::open(&path);
+        assert!(!re.is_dirty());
+        assert_eq!(re.get(0xA), db.get(0xA));
+        assert_eq!(re.get(0xB), db.get(0xB));
+
+        // Re-recording a migrated entry with an equal-or-worse result still
+        // backfills the prediction fields.
+        let mut re = re;
+        assert!(re.record(entry(0xA, 500, &["mem2reg", "gvn"])));
+        let healed = re.get(0xA).unwrap();
+        assert_eq!(healed.cycles, 500);
+        assert!(!healed.features.is_empty());
+        assert_eq!(healed.baseline_cycles, 1000);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Corrupt v2 lines salvage exactly like corrupt v1 lines always did:
+    /// well-formed lines survive, the file heals on save.
+    #[test]
+    fn corrupt_v2_feature_fields_are_dropped_not_misread() {
+        let dir = tmpdir("corrupt-v2");
+        let path = dir.join("tune.db");
+        let good = format!(
+            "{} 500 1000 225 200 mem2reg 1,2,3",
+            zkvmopt_ir::analysis::fingerprint_to_hex(0xA)
+        );
+        let bad_feats = format!(
+            "{} 600 1200 225 200 gvn 1,junk,3",
+            zkvmopt_ir::analysis::fingerprint_to_hex(0xB)
+        );
+        std::fs::write(
+            &path,
+            format!("{MAGIC} {SCHEMA_VERSION}\n{good}\n{bad_feats}\n"),
+        )
+        .unwrap();
+        let db = TuneDb::open(&path);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get(0xA).unwrap().features, vec![1.0, 2.0, 3.0]);
+        assert!(matches!(
+            db.load_status(),
+            LoadStatus::Recovered {
+                kept: 1,
+                dropped: 1,
+                ..
+            }
+        ));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Dirty tracking: save is a no-op until something changes, each change
+    /// re-arms it, and a successful save disarms it again.
+    #[test]
+    fn save_skips_the_write_when_nothing_changed() {
+        let dir = tmpdir("dirty");
+        let path = dir.join("tune.db");
+        let mut db = TuneDb::open(&path);
+        assert!(!db.is_dirty());
+        db.save().unwrap();
+        assert!(!path.exists(), "clean fresh db must not touch the disk");
+
+        db.record(entry(0xA, 500, &["dce"]));
+        assert!(db.is_dirty());
+        db.save().unwrap();
+        assert!(!db.is_dirty());
+        let mtime = std::fs::metadata(&path).unwrap().modified().unwrap();
+
+        // No change → no rewrite (the rename would bump the inode/mtime).
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        db.save().unwrap();
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().modified().unwrap(),
+            mtime,
+            "clean save must skip the write+rename"
+        );
+
+        // A worse record changes nothing: still clean.
+        assert!(!db.record(entry(0xA, 900, &["gvn"])));
+        assert!(!db.is_dirty());
+        // Removal dirties.
+        db.remove(0xA);
+        assert!(db.is_dirty());
+        std::fs::remove_dir_all(dir).unwrap();
     }
 }

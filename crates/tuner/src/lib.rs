@@ -31,6 +31,7 @@ pub mod checkpoint;
 pub mod db;
 pub mod fault;
 pub mod lock;
+pub mod predict;
 pub mod rng;
 pub mod service;
 
@@ -41,6 +42,7 @@ pub use checkpoint::{
 pub use db::{LoadStatus, TuneDb, TuneDbEntry, SCHEMA_VERSION};
 pub use fault::{EvalResult, FailureClass, FaultConfig, FaultPlan};
 pub use lock::{lock_path_for, FileLock};
+pub use predict::{Prediction, Predictor};
 pub use rng::{seed_from_env, SeedTree};
 pub use service::{
     tune_suite, QuarantineEntry, ServiceConfig, ServiceReport, TuneTarget, WorkloadTuneReport,

@@ -73,6 +73,7 @@ use crate::cache::{FitnessKey, ShardedFitnessCache};
 use crate::checkpoint::{load_checkpoint, save_checkpoint, CheckpointStatus};
 use crate::db::{TuneDb, TuneDbEntry};
 use crate::fault::{EvalResult, FailureClass};
+use crate::predict::{candidate_from_entry, Predictor};
 use crate::rng::SeedTree;
 use crate::{
     anchor_candidates, canonicalize_sequence, crossover, mutate, random_candidate, Candidate,
@@ -84,7 +85,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
-use zkvmopt_passes::{find_pass, pass_names};
+use zkvmopt_ir::FeatureVector;
+use zkvmopt_passes::pass_names;
 
 /// Quarantine entries kept in memory per workload; the rest are counted in
 /// [`WorkloadTuneReport::quarantine_total`] (the log file gets everything).
@@ -127,6 +129,19 @@ pub struct ServiceConfig {
     pub checkpoint_interval: usize,
     /// Write the quarantine log here after the run (`None` = in-report only).
     pub quarantine_path: Option<PathBuf>,
+    /// Predict-first mode: before searching a cold workload whose
+    /// [`TuneTarget::features`] are known, ask the [`Predictor`] for a
+    /// candidate and measure it **once**. Within
+    /// [`ServiceConfig::predict_margin`] of the database's recorded quality
+    /// the workload is served on the spot (~1 fitness evaluation, counted in
+    /// [`ServiceReport::predicted_hits`]); otherwise the prediction seeds
+    /// island 0 and the genetic search runs as offline refinement.
+    pub predict: bool,
+    /// Neighbours consulted per prediction (k-NN; `0` is clamped to 1).
+    pub predict_k: usize,
+    /// Acceptance margin: a measured prediction is accepted when
+    /// `measured ≤ baseline × expected_ratio × (1 + predict_margin)`.
+    pub predict_margin: f64,
 }
 
 impl Default for ServiceConfig {
@@ -145,6 +160,9 @@ impl Default for ServiceConfig {
             checkpoint_path: None,
             checkpoint_interval: 1,
             quarantine_path: None,
+            predict: false,
+            predict_k: 3,
+            predict_margin: 0.10,
         }
     }
 }
@@ -180,6 +198,9 @@ impl ServiceConfig {
         mix(self.seed);
         mix(self.max_retries as u64);
         mix(self.demote_after as u64);
+        mix(self.predict as u64);
+        mix(self.predict_k as u64);
+        mix(self.predict_margin.to_bits());
         for t in targets {
             mix(t.fingerprint);
         }
@@ -195,6 +216,33 @@ pub struct TuneTarget {
     /// Stable fingerprint of the program's lowered base module — the cache
     /// and tune-database key.
     pub fingerprint: u64,
+    /// Structural features of the base module, for predict-first mode and
+    /// for recording into the schema-2 database (`None` = never predicted;
+    /// the workload always searches).
+    pub features: Option<FeatureVector>,
+    /// The program's `-O3` reference cycles — the denominator of the
+    /// predictor's quality ratios and the acceptance test's baseline
+    /// (`None` = not measured; predictions for this target never accept).
+    pub baseline_cycles: Option<u64>,
+}
+
+impl TuneTarget {
+    /// A target with no prediction metadata (always searched when cold).
+    pub fn new(name: impl Into<String>, fingerprint: u64) -> TuneTarget {
+        TuneTarget {
+            name: name.into(),
+            fingerprint,
+            features: None,
+            baseline_cycles: None,
+        }
+    }
+
+    /// Attach the prediction metadata predict-first mode consumes.
+    pub fn with_prediction(mut self, features: FeatureVector, baseline_cycles: u64) -> TuneTarget {
+        self.features = Some(features);
+        self.baseline_cycles = Some(baseline_cycles);
+        self
+    }
 }
 
 /// One quarantined candidate: its canonical form and why it failed.
@@ -229,6 +277,9 @@ pub struct WorkloadTuneReport {
     pub retries: usize,
     /// Whether the result came straight from the tune database.
     pub warm_started: bool,
+    /// Whether the result is an accepted prediction (served with ~1 fitness
+    /// evaluation instead of a genetic search).
+    pub predicted: bool,
     /// Whether the search was cancelled early ([`ServiceConfig::demote_after`])
     /// and the workload fell back to its baseline sequence.
     pub demoted: bool,
@@ -255,6 +306,8 @@ pub struct ServiceReport {
     pub retries: usize,
     /// Workloads answered straight from the tune database.
     pub db_hits: usize,
+    /// Workloads served by an accepted prediction (predict-first mode).
+    pub predicted_hits: usize,
     /// Tune-database entries inserted or improved by this run.
     pub db_updates: usize,
     /// Workloads demoted to their baseline sequence.
@@ -286,6 +339,9 @@ struct IslandState {
 /// Shared per-workload scheduling state.
 struct WorkState {
     fingerprint: u64,
+    /// Rejected prediction seeding island 0's initial population
+    /// (predict-first mode's refinement path).
+    seed: Option<Candidate>,
     islands: Vec<Mutex<IslandState>>,
     /// Islands still running the current generation.
     remaining: AtomicUsize,
@@ -383,7 +439,7 @@ where
     let mut db_hits = 0usize;
     for (widx, t) in targets.iter().enumerate() {
         match db.get(t.fingerprint).filter(|_| config.warm_start) {
-            Some(e) => match candidate_from_db(e) {
+            Some(e) => match candidate_from_entry(e) {
                 Some(best) => {
                     db_hits += 1;
                     reports.push(Some(WorkloadTuneReport {
@@ -396,6 +452,7 @@ where
                         cache_hits: 0,
                         retries: 0,
                         warm_started: true,
+                        predicted: false,
                         demoted: false,
                         quarantined: Vec::new(),
                         quarantine_total: 0,
@@ -446,10 +503,98 @@ where
             write_lock: Mutex::new(()),
         });
 
+    // Predict-first: for each cold workload with known features, measure
+    // the predicted candidate exactly once (through the shared cache, so a
+    // subsequent search re-uses it). Accepted → served on the spot;
+    // rejected → the candidate seeds island 0 of the genetic search.
+    // Sequential in target order, so fully deterministic.
+    let mut db_updates = 0usize;
+    let mut predicted_hits = 0usize;
+    let mut seeds_for: Vec<Option<Candidate>> = vec![None; targets.len()];
+    let mut predict_costs: Vec<(usize, usize, usize, usize)> = vec![(0, 0, 0, 0); targets.len()];
+    if config.predict && !cold.is_empty() {
+        let predictor = Predictor::from_db(db, config.predict_k);
+        let mut still_cold = Vec::with_capacity(cold.len());
+        for &widx in &cold {
+            let t = &targets[widx];
+            let Some(features) = &t.features else {
+                still_cold.push(widx);
+                continue;
+            };
+            let prediction = predictor.predict(features);
+            let candidate = canonical_candidate(&prediction.candidate);
+            let key = FitnessKey {
+                fingerprint: t.fingerprint,
+                passes: candidate.passes.clone(),
+                inline_threshold: candidate.inline_threshold,
+                unroll_threshold: candidate.unroll_threshold,
+            };
+            let (mut fitness_evals, mut cache_hits, mut retries) = (0usize, 0usize, 0usize);
+            let r = match cache.get(&key) {
+                Some(v) => {
+                    cache_hits += 1;
+                    v
+                }
+                None => {
+                    let (r, calls) = eval_with_retries(config, &fitness, widx, &candidate);
+                    fitness_evals += calls;
+                    retries += calls - 1;
+                    cache.insert(key, r);
+                    r
+                }
+            };
+            let accepted = match (r, t.baseline_cycles, prediction.expected_ratio) {
+                (Ok(measured), Some(base), Some(ratio)) if base > 0 => {
+                    measured as f64 <= base as f64 * ratio * (1.0 + config.predict_margin)
+                }
+                _ => false,
+            };
+            if accepted {
+                let measured = r.expect("accepted implies a measurement");
+                predicted_hits += 1;
+                if db.record(TuneDbEntry {
+                    fingerprint: t.fingerprint,
+                    passes: candidate.passes.iter().map(|p| p.to_string()).collect(),
+                    inline_threshold: candidate.inline_threshold,
+                    unroll_threshold: candidate.unroll_threshold,
+                    cycles: measured,
+                    baseline_cycles: t.baseline_cycles.unwrap_or(0),
+                    features: features.as_slice().to_vec(),
+                }) {
+                    db_updates += 1;
+                }
+                reports[widx] = Some(WorkloadTuneReport {
+                    name: t.name.clone(),
+                    fingerprint: t.fingerprint,
+                    best: Some(candidate),
+                    best_fitness: Some(measured),
+                    evaluated: 1,
+                    fitness_evals,
+                    cache_hits,
+                    retries,
+                    warm_started: false,
+                    predicted: true,
+                    demoted: false,
+                    quarantined: Vec::new(),
+                    quarantine_total: 0,
+                });
+            } else {
+                // The measurement was spent either way; carry its cost into
+                // the workload's search report so the accounting invariant
+                // (evaluated = fitness + hits − retries) holds.
+                predict_costs[widx] = (1, fitness_evals, cache_hits, retries);
+                seeds_for[widx] = Some(candidate);
+                still_cold.push(widx);
+            }
+        }
+        cold = still_cold;
+    }
+
     let work: Vec<WorkState> = cold
         .iter()
         .map(|&widx| WorkState {
             fingerprint: targets[widx].fingerprint,
+            seed: seeds_for[widx].clone(),
             islands: (0..config.islands)
                 .map(|i| {
                     Mutex::new(IslandState {
@@ -486,11 +631,12 @@ where
         .collect();
 
     // Collect island results and record fresh bests into the database.
-    let mut db_updates = 0usize;
     for (ci, &widx) in cold.iter().enumerate() {
         let t = &targets[widx];
         let mut best: Option<(Candidate, u64)> = None;
-        let (mut evaluated, mut fitness_evals, mut cache_hits, mut retries) = (0, 0, 0, 0);
+        // Start from what the rejected prediction already spent (zeros when
+        // predict-first was off or skipped this workload).
+        let (mut evaluated, mut fitness_evals, mut cache_hits, mut retries) = predict_costs[widx];
         for island in &work[ci].islands {
             let s = island.lock().expect("island");
             evaluated += s.evaluated;
@@ -547,6 +693,12 @@ where
                 inline_threshold: c.inline_threshold,
                 unroll_threshold: c.unroll_threshold,
                 cycles: *f,
+                baseline_cycles: t.baseline_cycles.unwrap_or(0),
+                features: t
+                    .features
+                    .as_ref()
+                    .map(|fv| fv.as_slice().to_vec())
+                    .unwrap_or_default(),
             }) {
                 db_updates += 1;
             }
@@ -579,6 +731,7 @@ where
             cache_hits,
             retries,
             warm_started: false,
+            predicted: false,
             demoted,
             quarantined,
             quarantine_total,
@@ -605,6 +758,7 @@ where
         cache_hits: workloads.iter().map(|w| w.cache_hits).sum(),
         retries: workloads.iter().map(|w| w.retries).sum(),
         db_hits,
+        predicted_hits,
         db_updates,
         demoted: workloads.iter().filter(|w| w.demoted).count(),
         quarantine_total: failures.len(),
@@ -713,6 +867,7 @@ fn run_scheduler<F>(
                         gen,
                         island_idx,
                         w.fingerprint,
+                        w.seed.as_ref(),
                         cold[ci],
                         cache,
                         fitness,
@@ -777,6 +932,7 @@ fn run_generation<F>(
     gen: usize,
     island_idx: usize,
     fingerprint: u64,
+    seed: Option<&Candidate>,
     widx: usize,
     cache: &ShardedFitnessCache,
     fitness: &F,
@@ -814,10 +970,14 @@ where
     };
 
     if gen == 0 {
-        // Initial population: island 0 carries the known-good anchors, every
-        // island fills up with its own random candidates.
+        // Initial population: island 0 carries the rejected prediction (if
+        // any) plus the known-good anchors; every island fills up with its
+        // own random candidates.
         let mut init: Vec<Candidate> = Vec::with_capacity(config.population);
         if island_idx == 0 {
+            if let Some(s) = seed {
+                init.push(s.clone());
+            }
             init.extend(anchor_candidates(config.max_depth));
             init.truncate(config.population);
         }
@@ -920,21 +1080,6 @@ fn canonical_candidate(c: &Candidate) -> Candidate {
     }
 }
 
-/// Rehydrate a stored entry into a [`Candidate`]. `None` when a stored pass
-/// name is no longer registered (stale database after a registry change).
-fn candidate_from_db(e: &TuneDbEntry) -> Option<Candidate> {
-    let passes: Option<Vec<&'static str>> = e
-        .passes
-        .iter()
-        .map(|p| find_pass(p).map(|entry| entry.canonical_name()))
-        .collect();
-    Some(Candidate {
-        passes: passes?,
-        inline_threshold: e.inline_threshold,
-        unroll_threshold: e.unroll_threshold,
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -961,10 +1106,7 @@ mod tests {
 
     fn targets(n: usize) -> Vec<TuneTarget> {
         (0..n)
-            .map(|i| TuneTarget {
-                name: format!("w{i}"),
-                fingerprint: 0x1000 + i as u64,
-            })
+            .map(|i| TuneTarget::new(format!("w{i}"), 0x1000 + i as u64))
             .collect()
     }
 
@@ -1114,16 +1256,7 @@ mod tests {
             generations: 3,
             ..Default::default()
         };
-        let ts = vec![
-            TuneTarget {
-                name: "a".into(),
-                fingerprint: 42,
-            },
-            TuneTarget {
-                name: "b".into(),
-                fingerprint: 42,
-            },
-        ];
+        let ts = vec![TuneTarget::new("a", 42), TuneTarget::new("b", 42)];
         let mut db = TuneDb::in_memory();
         let r = tune_suite(&cfg, &ts, &mut db, |_, c| synthetic(42, c));
         let (a, b) = (&r.workloads[0], &r.workloads[1]);
@@ -1150,6 +1283,8 @@ mod tests {
             inline_threshold: 1,
             unroll_threshold: 1,
             cycles: 1, // "unbeatably good", but unusable
+            baseline_cycles: 0,
+            features: Vec::new(),
         });
         let r = tune_suite(&cfg, &ts, &mut db, |widx, c| {
             synthetic(ts[widx].fingerprint, c)
@@ -1434,6 +1569,184 @@ mod tests {
         assert_eq!(other.checkpoint_status, CheckpointStatus::Mismatch);
         assert!(other.fitness_evals > 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn fv(x: f64) -> FeatureVector {
+        let mut raw = vec![0.5; zkvmopt_ir::FEATURE_DIM];
+        raw[0] = x;
+        FeatureVector::from_slice(&raw).unwrap()
+    }
+
+    /// The synthetic `-O3` reference: the do-nothing score of [`synthetic`],
+    /// comfortably above any tuned result (ratio < 1).
+    fn synthetic_baseline(fp: u64) -> u64 {
+        10_000 + (fp % 7) * 100
+    }
+
+    /// Targets with prediction metadata: feature coordinate `i` on axis 0,
+    /// baseline from [`synthetic_baseline`].
+    fn predictable_targets(n: usize) -> Vec<TuneTarget> {
+        (0..n)
+            .map(|i| {
+                let fp = 0x1000 + i as u64;
+                TuneTarget::new(format!("w{i}"), fp)
+                    .with_prediction(fv(i as f64), synthetic_baseline(fp))
+            })
+            .collect()
+    }
+
+    /// Predict-first end to end: a database populated by real searches
+    /// serves a similar unseen program with exactly one fitness evaluation.
+    #[test]
+    fn predicted_hit_serves_with_one_evaluation() {
+        let cfg = ServiceConfig {
+            threads: 2,
+            generations: 3,
+            ..Default::default()
+        };
+        let ts = predictable_targets(3);
+        let mut db = TuneDb::in_memory();
+        tune_suite(&cfg, &ts, &mut db, |widx, c| {
+            synthetic(ts[widx].fingerprint, c)
+        });
+        assert_eq!(db.len(), 3);
+        for e in db.iter() {
+            assert!(!e.features.is_empty(), "searches record features");
+            assert_eq!(e.baseline_cycles, synthetic_baseline(e.fingerprint));
+        }
+
+        // An unseen program shaped like w0 (same features, same fp % 7 so
+        // the synthetic fitness behaves identically): the predictor lifts
+        // w0's sequence and the one measurement lands inside the margin.
+        let fp_new = 0x1000 + 7;
+        let unseen =
+            vec![TuneTarget::new("unseen", fp_new)
+                .with_prediction(fv(0.0), synthetic_baseline(fp_new))];
+        let pcfg = ServiceConfig {
+            predict: true,
+            ..cfg.clone()
+        };
+        let r = tune_suite(&pcfg, &unseen, &mut db, |_, c| synthetic(fp_new, c));
+        assert_eq!(r.predicted_hits, 1);
+        assert_eq!(r.db_hits, 0);
+        let w = &r.workloads[0];
+        assert!(w.predicted);
+        assert!(!w.warm_started);
+        assert_eq!(w.evaluated, 1, "one measurement, no search");
+        assert_eq!(w.fitness_evals, 1);
+        assert_eq!(
+            w.best,
+            db.get(0x1000).map(|e| Candidate {
+                passes: e
+                    .passes
+                    .iter()
+                    .map(|p| zkvmopt_passes::find_pass(p).unwrap().canonical_name())
+                    .collect(),
+                inline_threshold: e.inline_threshold,
+                unroll_threshold: e.unroll_threshold,
+            }),
+            "served w0's tuning"
+        );
+        let e = db.get(fp_new).expect("accepted prediction recorded");
+        assert_eq!(Some(e.cycles), w.best_fitness);
+        assert_eq!(e.baseline_cycles, synthetic_baseline(fp_new));
+        assert!(!e.features.is_empty());
+
+        // Second visit: now a plain warm start.
+        let again = tune_suite(&pcfg, &unseen, &mut db, |_, c| synthetic(fp_new, c));
+        assert_eq!(again.db_hits, 1);
+        assert_eq!(again.predicted_hits, 0);
+        assert_eq!(again.evaluated, 0);
+    }
+
+    /// A rejected prediction costs its one measurement, then seeds the
+    /// genetic search instead of replacing it.
+    #[test]
+    fn rejected_prediction_seeds_the_search() {
+        let cfg = ServiceConfig {
+            threads: 2,
+            generations: 3,
+            ..Default::default()
+        };
+        let ts = predictable_targets(3);
+        let mut db = TuneDb::in_memory();
+        tune_suite(&cfg, &ts, &mut db, |widx, c| {
+            synthetic(ts[widx].fingerprint, c)
+        });
+
+        // A program whose behaviour defies its neighbours: every candidate
+        // measures 50 000 cycles, far outside the accepted ratio band.
+        let fp_new = 0x1000 + 14;
+        let unseen =
+            vec![TuneTarget::new("defiant", fp_new)
+                .with_prediction(fv(0.0), synthetic_baseline(fp_new))];
+        let pcfg = ServiceConfig {
+            predict: true,
+            ..cfg.clone()
+        };
+        let r = tune_suite(&pcfg, &unseen, &mut db, |_, _c| Ok(50_000));
+        assert_eq!(r.predicted_hits, 0);
+        let w = &r.workloads[0];
+        assert!(!w.predicted);
+        assert_eq!(
+            w.evaluated,
+            pcfg.budget_per_workload() + 1,
+            "full search plus the rejected measurement"
+        );
+        assert_eq!(w.evaluated, w.fitness_evals + w.cache_hits - w.retries);
+        assert_eq!(w.best_fitness, Some(50_000));
+        assert_eq!(db.get(fp_new).unwrap().cycles, 50_000);
+    }
+
+    /// Predict-first determinism: with one pre-populated database, runs at
+    /// 1, 4, and 8 threads produce bit-identical databases and results —
+    /// the satellite acceptance gate.
+    #[test]
+    fn predict_first_is_deterministic_across_thread_counts() {
+        let warm_cfg = ServiceConfig {
+            threads: 2,
+            generations: 3,
+            seed: 0xFEED,
+            ..Default::default()
+        };
+        let seed_ts = predictable_targets(3);
+        // Mixed phase-2 suite: one predictable hit, one defiant miss.
+        let unseen: Vec<TuneTarget> = vec![
+            TuneTarget::new("hit", 0x1000 + 7)
+                .with_prediction(fv(0.0), synthetic_baseline(0x1000 + 7)),
+            TuneTarget::new("miss", 0x2111).with_prediction(fv(1.0), synthetic_baseline(0x2111)),
+        ];
+        let fitness = |widx: usize, c: &Candidate| -> EvalResult {
+            if unseen[widx].fingerprint == 0x2111 {
+                Ok(60_000)
+            } else {
+                synthetic(unseen[widx].fingerprint, c)
+            }
+        };
+        let mut runs = Vec::new();
+        for threads in [1usize, 4, 8] {
+            let mut db = TuneDb::in_memory();
+            tune_suite(&warm_cfg, &seed_ts, &mut db, |widx, c| {
+                synthetic(seed_ts[widx].fingerprint, c)
+            });
+            let pcfg = ServiceConfig {
+                threads,
+                predict: true,
+                ..warm_cfg.clone()
+            };
+            let r = tune_suite(&pcfg, &unseen, &mut db, fitness);
+            assert_eq!(r.predicted_hits, 1, "threads={threads}");
+            runs.push((db.to_string_pretty(), r));
+        }
+        for (text, r) in &runs[1..] {
+            assert_eq!(*text, runs[0].0, "db must not depend on thread count");
+            for (a, b) in r.workloads.iter().zip(&runs[0].1.workloads) {
+                assert_eq!(a.best, b.best, "{}", a.name);
+                assert_eq!(a.best_fitness, b.best_fitness, "{}", a.name);
+                assert_eq!(a.predicted, b.predicted, "{}", a.name);
+                assert_eq!(a.evaluated, b.evaluated, "{}", a.name);
+            }
+        }
     }
 
     /// The quarantine log file: every cached failure, atomically written,

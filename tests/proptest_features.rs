@@ -1,0 +1,113 @@
+//! Property-based tests for the predictive tuner's feature extractor: the
+//! [`FeatureVector`] must be a *stable fingerprint* of program structure —
+//! identical across repeated extraction, across independent compilations of
+//! the same source, and across its shortest-round-trip text encoding (the
+//! schema-2 tune database persists features as text, so a single ULP of
+//! drift would silently perturb every k-NN distance after a reload).
+
+use proptest::prelude::*;
+use zkvm_opt::ir::{FeatureVector, FEATURE_DIM};
+use zkvm_opt::passes::{run_pass, PassConfig};
+
+/// Generated well-typed terminating programs: straight-line arithmetic, a
+/// bounded loop, array traffic, a conditional, and a helper call — enough
+/// structure to exercise every feature axis (loops, memory density,
+/// instruction mix, branches, call fan-out, size moments).
+fn program(consts: &[i32], trip: u8, arms: bool) -> String {
+    let body: Vec<String> = consts
+        .iter()
+        .enumerate()
+        .map(|(i, c)| format!("v{} = v{} * 3 + {c};", i % 3, (i + 1) % 3))
+        .collect();
+    let cond = if arms {
+        "if (v0 % 2 == 0) { v2 += helper(v1); } else { v2 -= 1; }"
+    } else {
+        "v2 += helper(v1);"
+    };
+    format!(
+        "static A: [i32; 8];
+         fn helper(x: i32) -> i32 {{
+           return x * 2 + 1;
+         }}
+         fn main() -> i32 {{
+           let mut v0: i32 = read_input(0);
+           let mut v1: i32 = 11;
+           let mut v2: i32 = -3;
+           for (let mut i: i32 = 0; i < {trip}; i += 1) {{
+             {}
+             A[i % 8] = v0 ^ v2;
+             {cond}
+           }}
+           commit(v2);
+           return v0 + v1 + v2;
+         }}",
+        body.join("\n             ")
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Determinism: extracting twice from one module, and once from an
+    /// independently compiled copy of the same source, yields bit-identical
+    /// vectors of the advertised dimension.
+    #[test]
+    fn extraction_is_deterministic_across_compilations(
+        consts in prop::collection::vec(-1000i32..1000, 1..6),
+        trip in 1u8..20,
+        arms in 0u8..2,
+    ) {
+        let src = program(&consts, trip, arms == 1);
+        let m1 = zkvm_opt::lang::compile_guest(&src).expect("generated program compiles");
+        let m2 = zkvm_opt::lang::compile_guest(&src).expect("generated program compiles");
+        let a = FeatureVector::extract(&m1);
+        let b = FeatureVector::extract(&m1);
+        let c = FeatureVector::extract(&m2);
+        prop_assert_eq!(a.as_slice().len(), FEATURE_DIM);
+        prop_assert_eq!(a.as_slice(), b.as_slice(), "repeated extraction drifted\n{}", &src);
+        prop_assert_eq!(a.as_slice(), c.as_slice(), "recompilation drifted\n{}", &src);
+        prop_assert!(a.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// Text round-trip: the database encoding reproduces every feature
+    /// bit-exactly (shortest-round-trip f64 formatting).
+    #[test]
+    fn text_round_trip_is_bit_exact(
+        consts in prop::collection::vec(-1000i32..1000, 1..6),
+        trip in 1u8..20,
+        arms in 0u8..2,
+    ) {
+        let src = program(&consts, trip, arms == 1);
+        let m = zkvm_opt::lang::compile_guest(&src).expect("generated program compiles");
+        let fv = FeatureVector::extract(&m);
+        let decoded = FeatureVector::from_text(&fv.to_text()).expect("round-trip parses");
+        for (i, (x, y)) in fv.as_slice().iter().zip(decoded.as_slice()).enumerate() {
+            prop_assert_eq!(
+                x.to_bits(), y.to_bits(),
+                "feature {} not bit-exact through text: {} vs {}", i, x, y
+            );
+        }
+    }
+
+    /// Optimization changes the module, so features legitimately move — but
+    /// extraction must stay total, finite, and deterministic on optimized
+    /// IR too (the service extracts features from the lowered module it
+    /// actually tunes).
+    #[test]
+    fn extraction_is_stable_on_optimized_modules(
+        consts in prop::collection::vec(-1000i32..1000, 1..5),
+        trip in 1u8..12,
+        picks in prop::collection::vec(0usize..64, 1..8),
+    ) {
+        let src = program(&consts, trip, true);
+        let mut m = zkvm_opt::lang::compile_guest(&src).expect("generated program compiles");
+        let names = zkvm_opt::study::studied_passes();
+        for i in &picks {
+            run_pass(names[i % names.len()], &mut m, &PassConfig::default());
+        }
+        let a = FeatureVector::extract(&m);
+        let b = FeatureVector::extract(&m);
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+        prop_assert!(a.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

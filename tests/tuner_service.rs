@@ -45,14 +45,7 @@ fn evaluator() -> BatchEvaluator {
 }
 
 fn targets(ev: &BatchEvaluator) -> Vec<TuneTarget> {
-    ev.names()
-        .iter()
-        .enumerate()
-        .map(|(i, n)| TuneTarget {
-            name: n.to_string(),
-            fingerprint: ev.fingerprint(i),
-        })
-        .collect()
+    ev.tune_targets()
 }
 
 fn candidate_cycles(ev: &BatchEvaluator, widx: usize, c: &Candidate) -> Option<u64> {

@@ -1,7 +1,9 @@
 //! panicguard: a ratchet lint against new panic sites in the crates that sit
 //! on the tuning service's untrusted-input path (`lang`, `core`, `tuner`,
-//! `vm` — the engine executes tuner-selected candidate programs — and
-//! `prover`, which consumes engine-produced segment records).
+//! `vm` — the engine executes tuner-selected candidate programs — `prover`,
+//! which consumes engine-produced segment records, and `ir` / `stats`,
+//! whose feature extraction and normalization feed the predictor values
+//! read back from on-disk tune databases).
 //!
 //! The fault-tolerance contract is that untrusted program text and untrusted
 //! candidate pipelines surface failures as values (`CompileError`,
@@ -35,7 +37,9 @@ use std::path::{Path, PathBuf};
 const GUARDED: &[&str] = &[
     "crates/lang/src",
     "crates/core/src",
+    "crates/ir/src",
     "crates/prover/src",
+    "crates/stats/src",
     "crates/tuner/src",
     "crates/vm/src",
 ];
